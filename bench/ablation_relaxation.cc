@@ -1,0 +1,73 @@
+// Ablation (DESIGN.md §6): how much revenue does the relaxed feasible
+// region of problem (4) actually give up versus the true subadditive
+// optimum? Proposition 3 guarantees C_MBP >= C_SA / 2; this harness
+// measures the realized ratio across curve shapes and sizes, and shows it
+// is usually far closer to 1 than to the 0.5 floor.
+//
+// Usage: ablation_relaxation [--max_n=12]
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "core/curves.h"
+#include "core/exact_opt.h"
+#include "core/revenue_opt.h"
+
+namespace mbp {
+namespace {
+
+void Run(size_t max_n) {
+  bench::PrintHeader(
+      "Ablation: relaxed-DP revenue / exact subadditive optimum");
+  std::printf("%-10s %-12s", "value", "demand");
+  for (size_t n = 4; n <= max_n; n += 2) std::printf("   n=%-5zu", n);
+  std::printf("\n");
+  bench::PrintRule(22 + 9 * ((max_n - 4) / 2 + 1));
+
+  double worst = 1.0;
+  for (core::ValueShape value_shape :
+       {core::ValueShape::kLinear, core::ValueShape::kConvex,
+        core::ValueShape::kConcave, core::ValueShape::kSigmoid}) {
+    for (core::DemandShape demand_shape :
+         {core::DemandShape::kUniform, core::DemandShape::kMidPeaked,
+          core::DemandShape::kExtremes}) {
+      std::printf("%-10s %-12s",
+                  core::ValueShapeToString(value_shape).c_str(),
+                  core::DemandShapeToString(demand_shape).c_str());
+      for (size_t n = 4; n <= max_n; n += 2) {
+        core::MarketCurveOptions options;
+        options.num_points = n;
+        options.x_min = 10.0;
+        options.x_max = 10.0 * static_cast<double>(n);
+        options.value_shape = value_shape;
+        options.demand_shape = demand_shape;
+        auto curve = core::MakeMarketCurve(options);
+        MBP_CHECK(curve.ok());
+        auto dp = core::MaximizeRevenueDp(*curve);
+        auto exact = core::MaximizeRevenueExact(*curve);
+        MBP_CHECK(dp.ok() && exact.ok());
+        const double ratio =
+            exact->revenue > 0.0 ? dp->revenue / exact->revenue : 1.0;
+        worst = std::min(worst, ratio);
+        std::printf("   %6.3f ", ratio);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nWorst observed ratio: %.3f (Proposition 3 floor: 0.500). The "
+      "relaxation's\npractical cost is small, which is why the paper "
+      "reports a 'negligible gap'.\n",
+      worst);
+}
+
+}  // namespace
+}  // namespace mbp
+
+int main(int argc, char** argv) {
+  const auto max_n = static_cast<size_t>(
+      mbp::bench::FlagValue(argc, argv, "max_n", 12));
+  mbp::Run(max_n);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Price interpolation solver comparison (Section 5's T^2_pi and T^inf_pi
+// objectives): fit seller target prices under the relaxed arbitrage-free
+// constraints with (a) Dykstra's alternating projections (exact L2
+// projection) and (b) the simplex LP (exact L1 fit), and report both
+// error metrics plus runtime for several target-shape families.
+//
+// Usage: bench_interpolation [--n=16]
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/interpolation.h"
+#include "random/rng.h"
+
+namespace mbp {
+namespace {
+
+using core::InterpolationPoint;
+
+std::vector<InterpolationPoint> MakeTargets(const std::string& family,
+                                            size_t n) {
+  std::vector<InterpolationPoint> points(n);
+  random::Rng rng(7);
+  for (size_t j = 0; j < n; ++j) {
+    const double a = static_cast<double>(j + 1);
+    double price = 0.0;
+    if (family == "concave") {
+      price = 40.0 * std::sqrt(a);  // already feasible
+    } else if (family == "convex") {
+      price = 2.0 * a * a;  // ratio increasing: infeasible
+    } else if (family == "step") {
+      price = (j < n / 2) ? 20.0 : 90.0;  // flat, then a jump
+    } else {  // "random"
+      price = rng.NextDouble(0.0, 100.0);
+    }
+    points[j] = {a, price};
+  }
+  return points;
+}
+
+struct Fit {
+  double l1 = 0.0;
+  double l2 = 0.0;
+};
+
+Fit Errors(const std::vector<InterpolationPoint>& points,
+           const std::vector<double>& prices) {
+  Fit fit;
+  for (size_t j = 0; j < points.size(); ++j) {
+    const double diff = prices[j] - points[j].target_price;
+    fit.l1 += std::fabs(diff);
+    fit.l2 += diff * diff;
+  }
+  return fit;
+}
+
+void Run(size_t n) {
+  bench::PrintHeader("Price interpolation: Dykstra (T^2) vs simplex (T^inf)");
+  std::printf("%-8s | %10s %10s %9s | %10s %10s %9s\n", "targets",
+              "dyk L2", "dyk L1", "time s", "lp L2", "lp L1", "time s");
+  bench::PrintRule(76);
+  for (const std::string& family :
+       {std::string("concave"), std::string("convex"), std::string("step"),
+        std::string("random")}) {
+    const std::vector<InterpolationPoint> points = MakeTargets(family, n);
+
+    Timer dykstra_timer;
+    auto dykstra = core::InterpolateSquaredLoss(points);
+    const double dykstra_seconds = dykstra_timer.ElapsedSeconds();
+    MBP_CHECK(dykstra.ok());
+    const Fit dykstra_fit = Errors(points, dykstra->prices);
+
+    Timer lp_timer;
+    auto lp = core::InterpolateAbsoluteLoss(points);
+    const double lp_seconds = lp_timer.ElapsedSeconds();
+    MBP_CHECK(lp.ok());
+    const Fit lp_fit = Errors(points, lp->prices);
+
+    std::printf("%-8s | %10.3f %10.3f %9.2e | %10.3f %10.3f %9.2e\n",
+                family.c_str(), dykstra_fit.l2, dykstra_fit.l1,
+                dykstra_seconds, lp_fit.l2, lp_fit.l1, lp_seconds);
+
+    // Sanity: each solver wins (or ties) on its own metric.
+    MBP_CHECK(dykstra_fit.l2 <= lp_fit.l2 + 1e-6);
+    MBP_CHECK(lp_fit.l1 <= dykstra_fit.l1 + 1e-6);
+  }
+  std::printf(
+      "\nEach solver is optimal in its own norm (checked). Feasible "
+      "targets (concave)\nare reproduced exactly by both; infeasible "
+      "shapes are projected.\n");
+}
+
+}  // namespace
+}  // namespace mbp
+
+int main(int argc, char** argv) {
+  const auto n =
+      static_cast<size_t>(mbp::bench::FlagValue(argc, argv, "n", 16));
+  mbp::Run(n);
+  return 0;
+}

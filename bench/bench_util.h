@@ -1,0 +1,49 @@
+#ifndef MBP_BENCH_BENCH_UTIL_H_
+#define MBP_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the paper-figure reproduction harnesses. Each bench
+// binary prints the rows/series of one table or figure from the paper
+// (see DESIGN.md §2); these helpers keep the output format consistent.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mbp::bench {
+
+// Parses "--name=value" style flags from argv. Returns fallback when the
+// flag is absent or malformed.
+inline double FlagValue(int argc, char** argv, const char* name,
+                        double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline bool FlagPresent(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+// Prints a section header in the style used across all harnesses.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule(size_t width = 78) {
+  for (size_t i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace mbp::bench
+
+#endif  // MBP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,24 @@
+// Reproduces Figure 10 (runtime performance, varying the buyer demand
+// curve): with the value curve fixed (concave), sweep the number of price
+// points n under a mid-peaked demand (panels a,c,e,g) and a bimodal
+// extremes demand (panels b,d,f,h), recording runtime, revenue, and
+// affordability for MBP, the naive baselines, and the exact "MILP".
+//
+// Usage: fig10_runtime_demand [--max_n=10]
+
+#include "bench/bench_util.h"
+#include "bench/runtime_sweep.h"
+
+int main(int argc, char** argv) {
+  const auto max_n = static_cast<size_t>(
+      mbp::bench::FlagValue(argc, argv, "max_n", 10));
+  mbp::bench::PrintSweep(
+      "Figure 10(a,c,e,g): concave value curve, mid-peaked demand",
+      mbp::bench::RunSweep(mbp::core::ValueShape::kConcave,
+                           mbp::core::DemandShape::kMidPeaked, max_n));
+  mbp::bench::PrintSweep(
+      "Figure 10(b,d,f,h): concave value curve, extremes (bimodal) demand",
+      mbp::bench::RunSweep(mbp::core::ValueShape::kConcave,
+                           mbp::core::DemandShape::kExtremes, max_n));
+  return 0;
+}

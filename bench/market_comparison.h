@@ -1,0 +1,95 @@
+#ifndef MBP_BENCH_MARKET_COMPARISON_H_
+#define MBP_BENCH_MARKET_COMPARISON_H_
+
+// Shared driver for the Figures 7/8 revenue-and-affordability comparisons:
+// MBP's DP optimizer versus the four naive baselines on a market curve.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "core/baselines.h"
+#include "core/curves.h"
+#include "core/revenue_opt.h"
+
+namespace mbp::bench {
+
+struct MethodOutcome {
+  std::string name;
+  core::RevenueOptResult result;
+};
+
+inline std::vector<MethodOutcome> CompareMethods(
+    const std::vector<core::CurvePoint>& curve) {
+  std::vector<MethodOutcome> outcomes;
+  auto mbp = core::MaximizeRevenueDp(curve);
+  MBP_CHECK(mbp.ok()) << mbp.status().ToString();
+  outcomes.push_back({"MBP", std::move(mbp).value()});
+  for (core::BaselineKind kind : core::AllBaselines()) {
+    auto baseline = core::PriceWithBaseline(kind, curve);
+    MBP_CHECK(baseline.ok()) << baseline.status().ToString();
+    outcomes.push_back(
+        {core::BaselineKindToString(kind), std::move(baseline).value()});
+  }
+  return outcomes;
+}
+
+// Prints the (a)/(b)-style panel: the input value and demand curves.
+inline void PrintMarketCurve(const std::string& title,
+                             const std::vector<core::CurvePoint>& curve) {
+  PrintHeader(title);
+  std::printf("%-10s", "1/NCP");
+  for (const core::CurvePoint& point : curve) {
+    std::printf(" %8.1f", point.x);
+  }
+  std::printf("\n%-10s", "value");
+  for (const core::CurvePoint& point : curve) {
+    std::printf(" %8.2f", point.value);
+  }
+  std::printf("\n%-10s", "demand");
+  for (const core::CurvePoint& point : curve) {
+    std::printf(" %8.3f", point.demand);
+  }
+  std::printf("\n");
+}
+
+// Prints the (c)/(d) price-curve panel and the (e)-(h) revenue and
+// affordability bars, with gain multipliers relative to MBP as in the
+// paper's bar labels.
+inline void PrintComparison(const std::vector<core::CurvePoint>& curve,
+                            const std::vector<MethodOutcome>& outcomes) {
+  std::printf("\nPrice curves:\n%-8s", "method");
+  for (const core::CurvePoint& point : curve) {
+    std::printf(" %8.1f", point.x);
+  }
+  std::printf("\n");
+  PrintRule(8 + 9 * curve.size());
+  for (const MethodOutcome& outcome : outcomes) {
+    std::printf("%-8s", outcome.name.c_str());
+    for (double price : outcome.result.prices) {
+      std::printf(" %8.2f", price);
+    }
+    std::printf("\n");
+  }
+
+  const double mbp_revenue = outcomes.front().result.revenue;
+  const double mbp_afford = outcomes.front().result.affordability;
+  std::printf("\n%-8s %10s %8s %14s %8s\n", "method", "revenue",
+              "rev-gain", "affordability", "aff-gain");
+  PrintRule(54);
+  for (const MethodOutcome& outcome : outcomes) {
+    const double rev = outcome.result.revenue;
+    const double aff = outcome.result.affordability;
+    std::printf("%-8s %10.3f %7.1fx %14.3f %7.1fx\n", outcome.name.c_str(),
+                rev, rev > 0 ? mbp_revenue / rev : 0.0, aff,
+                aff > 0 ? mbp_afford / aff : 0.0);
+  }
+  std::printf("(gains are MBP's multiplier over each method, as in the "
+              "paper's bar labels)\n");
+}
+
+}  // namespace mbp::bench
+
+#endif  // MBP_BENCH_MARKET_COMPARISON_H_

@@ -1,0 +1,116 @@
+// A multi-listing marketplace (the full menu M of Section 3.1): one
+// operator hosts several sellers and model families, buyers browse the
+// catalog and purchase from different listings, and the operator settles
+// the books from the transaction ledger at the end of the day.
+//
+// Build & run: ./build/examples/marketplace_catalog
+
+#include <cstdio>
+
+#include "core/curves.h"
+#include "core/marketplace.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace mbp;
+
+  const auto make_seller = [](const char* name, bool classification,
+                              uint64_t seed) {
+    data::Dataset dataset =
+        classification
+            ? data::GenerateSimulated2({.num_examples = 1200,
+                                        .num_features = 8,
+                                        .seed = seed})
+                  .value()
+            : data::GenerateSimulated1({.num_examples = 1200,
+                                        .num_features = 8,
+                                        .seed = seed})
+                  .value();
+    random::Rng rng(seed + 1);
+    core::MarketCurveOptions curve;
+    curve.num_points = 8;
+    curve.value_shape = core::ValueShape::kConcave;
+    return core::Seller::Create(
+               name, data::RandomSplit(dataset, 0.25, rng).value(),
+               core::MakeMarketCurve(curve).value())
+        .value();
+  };
+
+  core::Broker::Options fast;
+  fast.transform.grid_size = 8;
+  fast.transform.trials_per_delta = 150;
+  fast.transform.num_threads = 4;
+
+  core::Marketplace market;
+  {
+    core::ModelListing listing;
+    listing.model = ml::ModelKind::kLinearRegression;
+    listing.l2 = 1e-4;
+    listing.test_error = ml::LossKind::kSquare;
+    auto status = market.List("census/income-linreg",
+                              make_seller("census-bureau", false, 100),
+                              listing, fast);
+    if (!status.ok()) return 1;
+  }
+  {
+    core::ModelListing listing;
+    listing.model = ml::ModelKind::kLogisticRegression;
+    listing.l2 = 0.01;
+    listing.test_error = ml::LossKind::kZeroOne;
+    auto status = market.List("social/tweet-classifier",
+                              make_seller("tweet-stream", true, 200),
+                              listing, fast);
+    if (!status.ok()) return 1;
+  }
+  {
+    core::ModelListing listing;
+    listing.model = ml::ModelKind::kLinearSvm;
+    listing.l2 = 0.01;
+    listing.test_error = ml::LossKind::kZeroOne;
+    auto status = market.List("fraud/svm-detector",
+                              make_seller("payments-co", true, 300),
+                              listing, fast);
+    if (!status.ok()) return 1;
+  }
+
+  std::printf("Catalog (%zu listings):\n", market.num_listings());
+  for (const core::CatalogEntry& entry : market.Catalog()) {
+    std::printf("  %-26s seller=%-14s model=%s\n", entry.id.c_str(),
+                entry.seller_name.c_str(),
+                ml::ModelKindToString(entry.model).c_str());
+  }
+
+  // A day of trading: buyers hit different listings with price budgets.
+  struct Order {
+    const char* listing;
+    double budget;
+  };
+  const Order orders[] = {{"census/income-linreg", 25.0},
+                          {"social/tweet-classifier", 60.0},
+                          {"fraud/svm-detector", 15.0},
+                          {"census/income-linreg", 90.0},
+                          {"social/tweet-classifier", 8.0}};
+  for (const Order& order : orders) {
+    auto broker = market.Lookup(order.listing);
+    if (!broker.ok()) return 1;
+    auto txn = (*broker)->BuyWithPriceBudget(order.budget);
+    if (!txn.ok()) return 1;
+    std::printf("sale on %-26s budget %6.2f -> paid %6.2f (E[err] %.4f)\n",
+                order.listing, order.budget, txn->price,
+                txn->quoted_expected_error);
+  }
+
+  // Settlement from the audit books (broker keeps a 15% cut).
+  const core::TransactionLedger ledger = market.BuildLedger();
+  std::printf("\nLedger: %zu records, total revenue $%.2f\n", ledger.size(),
+              ledger.TotalRevenue());
+  for (const core::CatalogEntry& entry : market.Catalog()) {
+    std::printf("  %-26s earned $%.2f\n", entry.id.c_str(),
+                ledger.RevenueForListing(entry.id));
+  }
+  std::printf("Broker's 15%% cut: $%.2f; sellers receive $%.2f\n",
+              ledger.BrokerCut(0.15),
+              ledger.TotalRevenue() - ledger.BrokerCut(0.15));
+  return 0;
+}

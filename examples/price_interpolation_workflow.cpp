@@ -1,0 +1,102 @@
+// The Section-5 price interpolation workflow: instead of giving the broker
+// value/demand research, the seller hand-picks target prices for a few
+// quality levels ("$50 for the rough model, $400 for the best one, ...").
+// Raw targets are usually NOT arbitrage-free; the broker projects them
+// onto the feasible region with the T² (least-squares) interpolation
+// solver, builds the canonical curve, proves it safe, and lists it.
+//
+// Build & run: ./build/examples/price_interpolation_workflow
+
+#include <cstdio>
+#include <vector>
+
+#include "core/arbitrage.h"
+#include "core/interpolation.h"
+#include "core/market.h"
+#include "core/pricing_function.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace mbp;
+
+  // The seller's wishlist: steep premium for top accuracy. The jump from
+  // 120 to 400 between x=40 and x=80 is superadditive (two x=40 models
+  // at 120 each would beat one x=80 at 400), so it cannot stand as-is.
+  const std::vector<core::InterpolationPoint> wishlist = {
+      {10.0, 50.0}, {20.0, 80.0}, {40.0, 120.0}, {80.0, 400.0}};
+
+  auto fitted = core::InterpolateSquaredLoss(wishlist);
+  if (!fitted.ok()) return 1;
+
+  std::printf("%8s %12s %14s\n", "1/NCP", "target $", "fitted $");
+  std::vector<core::PricePoint> knots(wishlist.size());
+  for (size_t j = 0; j < wishlist.size(); ++j) {
+    knots[j] = {wishlist[j].a, fitted->prices[j]};
+    std::printf("%8.0f %12.2f %14.2f\n", wishlist[j].a,
+                wishlist[j].target_price, fitted->prices[j]);
+  }
+  std::printf("(L2 projection distance: %.2f, %zu Dykstra iterations)\n\n",
+              fitted->objective, fitted->iterations);
+
+  auto pricing = core::PiecewiseLinearPricing::Create(knots);
+  if (!pricing.ok()) return 1;
+  const Status certificate = pricing->ValidateArbitrageFree();
+  std::printf("certificate: %s\n",
+              certificate.ok() ? "arbitrage-free" : "REJECTED");
+  if (!certificate.ok()) return 1;
+
+  // Sanity-check the original wishlist WOULD have been attackable.
+  std::vector<core::PricePoint> raw_knots(wishlist.size());
+  for (size_t j = 0; j < wishlist.size(); ++j) {
+    raw_knots[j] = {wishlist[j].a, wishlist[j].target_price};
+  }
+  auto raw = core::PiecewiseLinearPricing::Create(raw_knots);
+  if (!raw.ok()) return 1;
+  auto attack = core::FindArbitrageAttack(
+      [&](double x) { return raw->PriceAtInverseNcp(x); }, 80.0, 80);
+  if (attack.has_value()) {
+    std::printf(
+        "raw wishlist attackable: pay %.2f instead of %.2f by combining "
+        "%zu cheap instances\n\n",
+        attack->total_price, attack->target_price,
+        attack->purchase_deltas.size());
+  }
+
+  // List it: broker with the fitted custom curve.
+  data::Simulated1Options data_options;
+  data_options.num_examples = 1500;
+  data_options.num_features = 8;
+  auto dataset = data::GenerateSimulated1(data_options);
+  if (!dataset.ok()) return 1;
+  random::Rng rng(4);
+  auto split = data::RandomSplit(*dataset, 0.25, rng);
+  if (!split.ok()) return 1;
+  core::MarketCurveOptions research;  // only used for metadata here
+  research.x_min = 10.0;
+  research.x_max = 80.0;
+  auto curve = core::MakeMarketCurve(research);
+  if (!curve.ok()) return 1;
+  auto seller = core::Seller::Create("wishlist-seller",
+                                     std::move(split).value(),
+                                     std::move(curve).value());
+  if (!seller.ok()) return 1;
+
+  core::ModelListing listing;
+  listing.model = ml::ModelKind::kLinearRegression;
+  listing.l2 = 1e-4;
+  core::Broker::Options options;
+  auto broker = core::Broker::CreateWithPricing(
+      std::move(seller).value(), listing, std::move(pricing).value(),
+      options);
+  if (!broker.ok()) {
+    std::fprintf(stderr, "listing failed: %s\n",
+                 broker.status().ToString().c_str());
+    return 1;
+  }
+  auto txn = broker->BuyWithPriceBudget(100.0);
+  if (!txn.ok()) return 1;
+  std::printf("listed and sold: $%.2f for NCP %.4f (quoted E[err] %.5f)\n",
+              txn->price, txn->delta, txn->quoted_expected_error);
+  return 0;
+}

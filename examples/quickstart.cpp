@@ -1,0 +1,91 @@
+// Quickstart: the minimal end-to-end use of the MBP library.
+//
+//   1. A seller lists a dataset (here: synthetic regression data) plus
+//      market research (value & demand curves over 1/NCP).
+//   2. A broker trains the optimal model once, builds the error<->noise
+//      transform, and revenue-optimizes an arbitrage-free pricing curve.
+//   3. A buyer purchases a model instance under a price budget.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/curves.h"
+#include "core/market.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+
+int main() {
+  using namespace mbp;
+
+  // --- Seller side: a dataset worth selling + market research.
+  data::Simulated1Options data_options;
+  data_options.num_examples = 2000;
+  data_options.num_features = 10;
+  data_options.noise_stddev = 0.1;
+  auto dataset = data::GenerateSimulated1(data_options);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "data generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  random::Rng rng(1);
+  auto split = data::RandomSplit(*dataset, 0.25, rng);
+  if (!split.ok()) return 1;
+
+  core::MarketCurveOptions curve_options;
+  curve_options.num_points = 10;
+  curve_options.x_min = 10.0;
+  curve_options.x_max = 100.0;
+  curve_options.max_value = 100.0;  // top instance is worth $100
+  curve_options.value_shape = core::ValueShape::kConcave;
+  auto research = core::MakeMarketCurve(curve_options);
+  if (!research.ok()) return 1;
+
+  auto seller = core::Seller::Create("quickstart-seller",
+                                     std::move(split).value(),
+                                     std::move(research).value());
+  if (!seller.ok()) return 1;
+
+  // --- Broker side: one-time setup (training + pricing optimization).
+  core::ModelListing listing;
+  listing.model = ml::ModelKind::kLinearRegression;
+  listing.l2 = 1e-4;
+  listing.test_error = ml::LossKind::kSquare;
+  auto broker = core::Broker::Create(std::move(seller).value(), listing);
+  if (!broker.ok()) {
+    std::fprintf(stderr, "broker setup failed: %s\n",
+                 broker.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Price-error menu (what the buyer sees):\n");
+  std::printf("%10s %12s %10s\n", "NCP", "E[error]", "price");
+  for (const core::QuotePoint& quote : broker->QuoteCurve(8)) {
+    std::printf("%10.4f %12.5f %10.2f\n", quote.delta,
+                quote.expected_error, quote.price);
+  }
+
+  // --- Buyer side: $40 budget, most accurate instance it can buy.
+  core::Buyer buyer("quickstart-buyer", /*wallet=*/40.0);
+  core::BuyerRequest request;
+  request.mode = core::BuyerRequest::Mode::kPriceBudget;
+  request.parameter = 40.0;
+  auto txn = buyer.Purchase(*broker, request);
+  if (!txn.ok()) {
+    std::fprintf(stderr, "purchase failed: %s\n",
+                 txn.status().ToString().c_str());
+    return 1;
+  }
+
+  const double mse =
+      ml::MeanSquaredError(txn->instance, broker->seller().test());
+  std::printf(
+      "\nBought instance #%llu for $%.2f (NCP %.4f, quoted E[error] "
+      "%.5f)\nMeasured test MSE of the delivered instance: %.5f\n"
+      "Broker revenue so far: $%.2f\n",
+      static_cast<unsigned long long>(txn->id), txn->price, txn->delta,
+      txn->quoted_expected_error, mse, broker->total_revenue());
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Example 3 at realistic text dimensions: tweets embedded as SPARSE
+// bag-of-words vectors (d = 5000, ~10 active terms per message). The
+// optimal classifier is trained with the sparse substrate (O(nnz) per
+// pass); the broker then sells noisy versions of its dense coefficient
+// vector exactly as in the dense markets. The broker's error transform
+// scores instances on a densified held-out slice.
+//
+// Build & run: ./build/examples/sparse_text_market
+
+#include <cstdio>
+#include <vector>
+
+#include "core/curves.h"
+#include "core/market.h"
+#include "core/revenue_opt.h"
+#include "data/sparse_dataset.h"
+#include "ml/metrics.h"
+#include "ml/sparse_trainer.h"
+#include "random/distributions.h"
+
+int main() {
+  using namespace mbp;
+
+  // --- Synthesize the sparse corpus: 3000 "tweets", vocabulary 5000.
+  const size_t kTweets = 3000, kVocabulary = 5000;
+  random::Rng rng(77);
+  const linalg::Vector topic = random::SampleUnitSphere(rng, kVocabulary);
+  std::vector<linalg::SparseEntry> entries;
+  linalg::Vector labels(kTweets);
+  for (size_t i = 0; i < kTweets; ++i) {
+    double score = 0.0;
+    const size_t terms = 5 + rng.NextBounded(10);
+    for (size_t t = 0; t < terms; ++t) {
+      const size_t term = rng.NextBounded(kVocabulary);
+      const double tfidf = rng.NextDouble(0.2, 2.0);
+      entries.push_back({i, term, tfidf});
+      score += tfidf * topic[term];
+    }
+    const bool flip = rng.NextDouble() < 0.05;
+    labels[i] = ((score > 0.0) != flip) ? 1.0 : -1.0;
+  }
+  auto corpus = data::SparseDataset::Create(
+      linalg::SparseMatrix::FromTriplets(kTweets, kVocabulary,
+                                         std::move(entries))
+          .value(),
+      std::move(labels), data::TaskType::kBinaryClassification);
+  if (!corpus.ok()) return 1;
+  std::printf("corpus: %zu tweets, vocabulary %zu, %zu nonzeros "
+              "(%.2f%% dense)\n",
+              corpus->num_examples(), corpus->num_features(),
+              corpus->features().num_nonzeros(),
+              100.0 * corpus->features().num_nonzeros() /
+                  (kTweets * kVocabulary));
+
+  // --- Train the optimal sparse classifier.
+  ml::TrainOptions train_options;
+  train_options.max_iterations = 200;
+  auto trained = ml::TrainLogisticSparse(*corpus, 1e-4, train_options);
+  if (!trained.ok()) return 1;
+  std::printf("optimal sparse classifier: train 0/1 error %.4f "
+              "(%zu GD iterations)\n\n",
+              ml::SparseMisclassificationRate(
+                  trained->model.coefficients(), *corpus),
+              trained->iterations);
+
+  // --- Hand the market a densified held-out slice for ε evaluation.
+  // (The coefficient vector the market perturbs is dense regardless.)
+  const size_t kHoldout = 600;
+  std::vector<linalg::SparseEntry> holdout_entries;
+  linalg::Vector holdout_labels(kHoldout);
+  for (size_t i = 0; i < kHoldout; ++i) {
+    double score = 0.0;
+    const size_t terms = 5 + rng.NextBounded(10);
+    for (size_t t = 0; t < terms; ++t) {
+      const size_t term = rng.NextBounded(kVocabulary);
+      const double tfidf = rng.NextDouble(0.2, 2.0);
+      holdout_entries.push_back({i, term, tfidf});
+      score += tfidf * topic[term];
+    }
+    holdout_labels[i] = score > 0.0 ? 1.0 : -1.0;
+  }
+  auto holdout_sparse = data::SparseDataset::Create(
+      linalg::SparseMatrix::FromTriplets(kHoldout, kVocabulary,
+                                         std::move(holdout_entries))
+          .value(),
+      std::move(holdout_labels), data::TaskType::kBinaryClassification);
+  if (!holdout_sparse.ok()) return 1;
+  auto holdout = holdout_sparse->ToDense();
+  if (!holdout.ok()) return 1;
+
+  // With d = 5000 coefficients of magnitude ~1/sqrt(d) each, per-
+  // coordinate noise only bites for large δ; span δ from 100 (scrambled)
+  // down to 0.03 (near-optimal).
+  core::MarketCurveOptions curve_options;
+  curve_options.num_points = 6;
+  curve_options.x_min = 0.01;
+  curve_options.x_max = 30.0;
+  curve_options.max_value = 300.0;
+  curve_options.value_shape = core::ValueShape::kConcave;
+  auto research = core::MakeMarketCurve(curve_options);
+  if (!research.ok()) return 1;
+  // Both "train" and "test" sides of the seller's pair are the holdout
+  // here: the expensive training already happened in sparse land, and we
+  // inject the trained model via CreateWithPricing-style flow. Simplest
+  // faithful wiring: retrain on the densified holdout is NOT what we
+  // want, so we use the broker only for pricing + noise via the sparse
+  // optimum. We emulate the broker's sale loop directly:
+  auto pricing_result = core::MaximizeRevenueDp(*research);
+  if (!pricing_result.ok()) return 1;
+  auto pricing = core::PricingFromKnots(*research, pricing_result->prices);
+  if (!pricing.ok() || !pricing->ValidateArbitrageFree().ok()) return 1;
+
+  core::GaussianMechanism mechanism;
+  random::Rng sale_rng(5);
+  std::printf("%10s %10s %18s\n", "1/NCP", "price $", "holdout 0/1 err");
+  for (double x : {0.01, 0.1, 1.0, 30.0}) {
+    const double delta = 1.0 / x;
+    const linalg::Vector noisy = mechanism.Perturb(
+        trained->model.coefficients(), delta, sale_rng);
+    const ml::LinearModel instance(ml::ModelKind::kLogisticRegression,
+                                   noisy);
+    std::printf("%10.1f %10.2f %18.4f\n", x,
+                pricing->PriceAtInverseNcp(x),
+                ml::MisclassificationRate(instance, *holdout));
+  }
+  std::printf(
+      "\nAccuracy rises with the price paid; the sparse substrate made "
+      "the one-time\ntraining pass O(nnz) instead of O(n*d).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure reproduction plus the ablations into
+# out/figures/. Usage:
+#   scripts/run_all_figures.sh [build_dir] [out_dir]
+# Pass MBP_SCALE=1 MBP_TRIALS=2000 in the environment for paper-scale data
+# and the paper's Monte-Carlo budget (much slower).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-out/figures}"
+SCALE="${MBP_SCALE:-}"
+TRIALS="${MBP_TRIALS:-}"
+
+mkdir -p "$OUT_DIR"
+
+run() {
+  local name="$1"; shift
+  echo "== $name"
+  "$BUILD_DIR/bench/$name" "$@" | tee "$OUT_DIR/$name.txt"
+}
+
+scale_flag=()
+[[ -n "$SCALE" ]] && scale_flag=(--scale="$SCALE")
+trials_flag=()
+[[ -n "$TRIALS" ]] && trials_flag=(--trials="$TRIALS")
+
+run table3_datasets "${scale_flag[@]}"
+run fig5_example
+run fig6_error_curves "${scale_flag[@]}" "${trials_flag[@]}"
+run fig7_revenue_value
+run fig8_revenue_demand
+run fig9_runtime_value
+run fig10_runtime_demand
+run ablation_mechanisms "${trials_flag[@]}"
+run ablation_relaxation
+run bench_interpolation
+run paper_scale_training "${scale_flag[@]}"
+
+echo "All outputs in $OUT_DIR"

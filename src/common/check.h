@@ -1,0 +1,62 @@
+#ifndef MBP_COMMON_CHECK_H_
+#define MBP_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace mbp {
+namespace internal_check {
+
+// Accumulates a failure message and aborts the process when destroyed
+// (i.e. at the end of the full MBP_CHECK expression). Used only via the
+// MBP_CHECK* macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "MBP_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Makes the failure arm of the ternary in MBP_CHECK a void expression while
+// still allowing `MBP_CHECK(x) << "detail"`. operator& binds tighter than
+// ?: and looser than <<.
+struct Voidify {
+  void operator&(const CheckFailureStream&) const {}
+};
+
+}  // namespace internal_check
+}  // namespace mbp
+
+// Aborts with a diagnostic when `condition` is false. For programming errors
+// (broken invariants), not data-dependent failures — those return Status.
+// Additional context can be streamed: MBP_CHECK(n > 0) << "n=" << n;
+#define MBP_CHECK(condition)                             \
+  (condition) ? static_cast<void>(0)                     \
+              : ::mbp::internal_check::Voidify() &       \
+                    ::mbp::internal_check::CheckFailureStream( \
+                        #condition, __FILE__, __LINE__)
+
+#define MBP_CHECK_EQ(a, b) MBP_CHECK((a) == (b))
+#define MBP_CHECK_NE(a, b) MBP_CHECK((a) != (b))
+#define MBP_CHECK_LT(a, b) MBP_CHECK((a) < (b))
+#define MBP_CHECK_LE(a, b) MBP_CHECK((a) <= (b))
+#define MBP_CHECK_GT(a, b) MBP_CHECK((a) > (b))
+#define MBP_CHECK_GE(a, b) MBP_CHECK((a) >= (b))
+
+#endif  // MBP_COMMON_CHECK_H_

@@ -1,0 +1,46 @@
+#ifndef MBP_COMMON_LOGGING_H_
+#define MBP_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mbp {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum severity; messages below it are discarded.
+// Not synchronized: set once at startup (e.g. from main or a test fixture).
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+// One log line; flushed to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace mbp
+
+#define MBP_LOG(severity)                         \
+  ::mbp::internal_logging::LogMessage(            \
+      ::mbp::LogSeverity::k##severity, __FILE__, __LINE__)
+
+#endif  // MBP_COMMON_LOGGING_H_

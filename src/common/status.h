@@ -1,0 +1,86 @@
+#ifndef MBP_COMMON_STATUS_H_
+#define MBP_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mbp {
+
+// Error categories for recoverable failures. Programming errors (broken
+// invariants) should use MBP_CHECK instead; see common/check.h.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kInfeasible,  // An optimization problem has an empty feasible region.
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+// A cheap, copyable value describing the outcome of an operation.
+// Mirrors the absl::Status / rocksdb::Status idiom: functions that can fail
+// for data-dependent reasons return Status (or StatusOr<T>) instead of
+// throwing.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors, mirroring absl::InvalidArgumentError etc.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InfeasibleError(std::string message);
+
+}  // namespace mbp
+
+// Evaluates `expr` (a Status expression); returns it from the enclosing
+// function if not OK.
+#define MBP_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::mbp::Status mbp_return_if_error_st = (expr);  \
+    if (!mbp_return_if_error_st.ok()) {             \
+      return mbp_return_if_error_st;                \
+    }                                               \
+  } while (false)
+
+#endif  // MBP_COMMON_STATUS_H_

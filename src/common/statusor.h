@@ -1,0 +1,78 @@
+#ifndef MBP_COMMON_STATUSOR_H_
+#define MBP_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace mbp {
+
+// Holds either a value of type T or a non-OK Status explaining why the value
+// is absent. Accessing the value of a non-OK StatusOr is a checked
+// programming error.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so `return SomeStatusError(...)` and
+  // `return value;` both work inside functions returning StatusOr<T>.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    MBP_CHECK(!status_.ok()) << "StatusOr constructed from OK status "
+                                "without a value";
+  }
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MBP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    MBP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    MBP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mbp
+
+// Assigns the value of `rexpr` (a StatusOr expression) to `lhs`, or returns
+// its error Status from the enclosing function.
+#define MBP_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  MBP_ASSIGN_OR_RETURN_IMPL_(                            \
+      MBP_STATUS_MACROS_CONCAT_(mbp_statusor, __LINE__), lhs, rexpr)
+
+#define MBP_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                               \
+  if (!statusor.ok()) {                                  \
+    return statusor.status();                            \
+  }                                                      \
+  lhs = std::move(statusor).value()
+
+#define MBP_STATUS_MACROS_CONCAT_(x, y) MBP_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define MBP_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+#endif  // MBP_COMMON_STATUSOR_H_

@@ -1,0 +1,130 @@
+#include "core/arbitrage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/check.h"
+#include "linalg/vector_ops.h"
+#include "ml/loss.h"
+
+namespace mbp::core {
+
+std::optional<ArbitrageAttack> FindArbitrageAttack(
+    const PriceCallable& price, double x_max, size_t grid_size,
+    double tolerance) {
+  MBP_CHECK_GT(x_max, 0.0);
+  MBP_CHECK_GE(grid_size, 2u);
+  const double step = x_max / static_cast<double>(grid_size);
+
+  std::vector<double> grid_price(grid_size + 1, 0.0);
+  for (size_t i = 1; i <= grid_size; ++i) {
+    grid_price[i] = price(step * static_cast<double>(i));
+  }
+
+  // cheapest[t]: min total price of a multiset of grid points whose x-sum
+  // is >= t*step, plus the first purchased point (for reconstruction).
+  std::vector<double> cheapest(grid_size + 1,
+                               std::numeric_limits<double>::infinity());
+  std::vector<size_t> first_pick(grid_size + 1, 0);
+  cheapest[0] = 0.0;
+  for (size_t t = 1; t <= grid_size; ++t) {
+    for (size_t i = 1; i <= grid_size; ++i) {
+      const size_t rest = t > i ? t - i : 0;
+      const double cost = grid_price[i] + cheapest[rest];
+      if (cost < cheapest[t]) {
+        cheapest[t] = cost;
+        first_pick[t] = i;
+      }
+    }
+  }
+
+  for (size_t t = 1; t <= grid_size; ++t) {
+    if (cheapest[t] + tolerance < grid_price[t]) {
+      // Reconstruct the multiset that undercuts target t.
+      ArbitrageAttack attack;
+      attack.target_delta = 1.0 / (step * static_cast<double>(t));
+      attack.target_price = grid_price[t];
+      attack.total_price = cheapest[t];
+      size_t remaining = t;
+      while (remaining > 0) {
+        const size_t pick = first_pick[remaining];
+        MBP_CHECK_GT(pick, 0u);
+        attack.purchase_deltas.push_back(
+            1.0 / (step * static_cast<double>(pick)));
+        remaining = remaining > pick ? remaining - pick : 0;
+      }
+      attack.combined_delta = CombinedDelta(attack.purchase_deltas);
+      return attack;
+    }
+  }
+  return std::nullopt;
+}
+
+StatusOr<ExecutedAttack> ExecuteArbitrageAttack(
+    Broker& broker, const ArbitrageAttack& attack) {
+  if (attack.purchase_deltas.empty()) {
+    return InvalidArgumentError("attack has no purchases");
+  }
+  ExecutedAttack executed;
+  std::vector<linalg::Vector> instances;
+  instances.reserve(attack.purchase_deltas.size());
+  for (double delta : attack.purchase_deltas) {
+    MBP_ASSIGN_OR_RETURN(Transaction txn, broker.BuyAtNcp(delta));
+    executed.total_paid += txn.price;
+    instances.push_back(txn.instance.coefficients());
+  }
+  executed.combined_instance =
+      CombineInstances(instances, attack.purchase_deltas);
+  executed.target_price =
+      broker.pricing().PriceAtNcp(attack.target_delta);
+  executed.target_error =
+      broker.error_transform().ExpectedError(attack.target_delta);
+
+  if (broker.listing().error_space == ErrorSpace::kModelSquare) {
+    executed.combined_error = linalg::SquaredDistance(
+        executed.combined_instance, broker.optimal_model().coefficients());
+  } else {
+    const std::unique_ptr<ml::Loss> epsilon =
+        ml::MakeLoss(broker.listing().test_error, 0.0);
+    const data::Dataset& eval = broker.listing().evaluate_on_test
+                                    ? broker.seller().test()
+                                    : broker.seller().train();
+    executed.combined_error =
+        epsilon->Evaluate(executed.combined_instance, eval);
+  }
+  return executed;
+}
+
+linalg::Vector CombineInstances(
+    const std::vector<linalg::Vector>& instances,
+    const std::vector<double>& deltas) {
+  MBP_CHECK_EQ(instances.size(), deltas.size());
+  MBP_CHECK_GE(instances.size(), 1u);
+  double total_precision = 0.0;
+  for (double delta : deltas) {
+    MBP_CHECK_GT(delta, 0.0);
+    total_precision += 1.0 / delta;
+  }
+  linalg::Vector combined(instances.front().size());
+  for (size_t i = 0; i < instances.size(); ++i) {
+    MBP_CHECK_EQ(instances[i].size(), combined.size());
+    const double weight = (1.0 / deltas[i]) / total_precision;
+    linalg::Axpy(weight, instances[i].data(), combined.data(),
+                 combined.size());
+  }
+  return combined;
+}
+
+double CombinedDelta(const std::vector<double>& deltas) {
+  MBP_CHECK_GE(deltas.size(), 1u);
+  double total_precision = 0.0;
+  for (double delta : deltas) {
+    MBP_CHECK_GT(delta, 0.0);
+    total_precision += 1.0 / delta;
+  }
+  return 1.0 / total_precision;
+}
+
+}  // namespace mbp::core

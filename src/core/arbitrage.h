@@ -1,0 +1,73 @@
+#ifndef MBP_CORE_ARBITRAGE_H_
+#define MBP_CORE_ARBITRAGE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/market.h"
+#include "core/pricing_function.h"
+#include "linalg/vector.h"
+
+namespace mbp::core {
+
+// Tools that play the attacker of Definition 3 (k-arbitrage): buy several
+// cheap noisy instances and combine them into one better instance. For the
+// Gaussian mechanism the optimal unbiased combiner is inverse-variance
+// weighting, and the combined instance's effective NCP is
+// 1 / sum_i (1/δ_i) — exactly the quantity Theorem 5's conditions guard.
+
+// A discovered arbitrage opportunity against a pricing function.
+struct ArbitrageAttack {
+  // NCPs of the instances the attacker buys.
+  std::vector<double> purchase_deltas;
+  double total_price = 0.0;     // what the attacker pays in total
+  double combined_delta = 0.0;  // effective NCP of the combined instance
+  double target_delta = 0.0;    // the instance being undercut
+  double target_price = 0.0;    // what the market charges for the target
+};
+
+// Searches for a k-arbitrage opportunity against `price` (given in x-space,
+// x = 1/δ) over a uniform grid of `grid_size` points on (0, x_max]: is
+// there a target x0 and a multiset of grid points with total x >= x0 and
+// total price < price(x0)? Runs the unbounded-knapsack cheapest-cover DP,
+// O(grid_size^2). Returns nullopt when the function is arbitrage-safe on
+// the grid (which Theorem 5 guarantees for monotone subadditive curves).
+std::optional<ArbitrageAttack> FindArbitrageAttack(
+    const PriceCallable& price, double x_max, size_t grid_size = 200,
+    double tolerance = 1e-6);
+
+// Outcome of EXECUTING an arbitrage attack against a live broker: what
+// the attacker actually paid, what the market charges for the target, and
+// the measured quality of the combined instance versus a directly
+// purchased target instance.
+struct ExecutedAttack {
+  double total_paid = 0.0;      // sum of the attacker's purchase prices
+  double target_price = 0.0;    // posted price of the undercut instance
+  double combined_error = 0.0;  // ε of the combined instance
+  double target_error = 0.0;    // quoted expected ε of the target
+  linalg::Vector combined_instance;
+};
+
+// Carries out `attack` against `broker` for real: buys every instance in
+// attack.purchase_deltas (the broker's books advance), combines them with
+// inverse-variance weights, and evaluates the buyer-facing ε of the
+// result on the broker's evaluation dataset. Used to demonstrate
+// Definition 3 end-to-end and to verify that certified pricing makes such
+// attacks unprofitable.
+StatusOr<ExecutedAttack> ExecuteArbitrageAttack(Broker& broker,
+                                                const ArbitrageAttack& attack);
+
+// The attacker's combiner g: inverse-variance weighted average of
+// purchased instances. Unbiased whenever each instance is unbiased.
+// Requires instances.size() == deltas.size() >= 1, all deltas > 0.
+linalg::Vector CombineInstances(
+    const std::vector<linalg::Vector>& instances,
+    const std::vector<double>& deltas);
+
+// Effective NCP of the combined instance: 1 / sum_i (1/δ_i).
+double CombinedDelta(const std::vector<double>& deltas);
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_ARBITRAGE_H_

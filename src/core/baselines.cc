@@ -1,0 +1,142 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mbp::core {
+namespace {
+
+Status ValidateCurve(const std::vector<CurvePoint>& curve) {
+  if (curve.empty()) return InvalidArgumentError("market curve is empty");
+  double prev_x = 0.0;
+  for (const CurvePoint& point : curve) {
+    if (!(point.x > prev_x)) {
+      return InvalidArgumentError("curve x must be strictly increasing > 0");
+    }
+    if (point.value < 0.0 || point.demand < 0.0) {
+      return InvalidArgumentError("values and demands must be non-negative");
+    }
+    prev_x = point.x;
+  }
+  return Status::OK();
+}
+
+std::vector<double> LinearPrices(const std::vector<CurvePoint>& curve) {
+  const size_t n = curve.size();
+  std::vector<double> prices(n);
+  if (n == 1) {
+    prices[0] = curve[0].value;
+    return prices;
+  }
+  const double x0 = curve.front().x;
+  const double x1 = curve.back().x;
+  const double v0 = curve.front().value;
+  const double v1 = curve.back().value;
+  for (size_t j = 0; j < n; ++j) {
+    const double t = (curve[j].x - x0) / (x1 - x0);
+    prices[j] = v0 + t * (v1 - v0);
+  }
+  return prices;
+}
+
+std::vector<double> ConstantPrices(const std::vector<CurvePoint>& curve,
+                                   double price) {
+  return std::vector<double>(curve.size(), price);
+}
+
+double MaxValuation(const std::vector<CurvePoint>& curve) {
+  double max_value = 0.0;
+  for (const CurvePoint& point : curve) {
+    max_value = std::max(max_value, point.value);
+  }
+  return max_value;
+}
+
+// The largest single price that at least half of the (demand-weighted)
+// buyer population can afford: the demand-weighted lower median of the
+// valuations.
+double MedianAffordablePrice(const std::vector<CurvePoint>& curve) {
+  std::vector<std::pair<double, double>> by_value;  // (valuation, demand)
+  double total = 0.0;
+  for (const CurvePoint& point : curve) {
+    by_value.emplace_back(point.value, point.demand);
+    total += point.demand;
+  }
+  std::sort(by_value.begin(), by_value.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  // Walk valuations from high to low until half the demand can afford.
+  double covered = 0.0;
+  for (const auto& [value, demand] : by_value) {
+    covered += demand;
+    if (covered >= 0.5 * total) return value;
+  }
+  return by_value.back().first;
+}
+
+// The single price maximizing revenue: scan candidate prices = valuations.
+double OptimalConstantPrice(const std::vector<CurvePoint>& curve) {
+  double best_price = 0.0;
+  double best_revenue = -1.0;
+  for (const CurvePoint& candidate : curve) {
+    const double price = candidate.value;
+    double revenue = 0.0;
+    for (const CurvePoint& point : curve) {
+      if (price <= point.value + 1e-9) revenue += point.demand * price;
+    }
+    if (revenue > best_revenue) {
+      best_revenue = revenue;
+      best_price = price;
+    }
+  }
+  return best_price;
+}
+
+}  // namespace
+
+std::string BaselineKindToString(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kLinear:
+      return "Lin";
+    case BaselineKind::kMaxConstant:
+      return "MaxC";
+    case BaselineKind::kMedianConstant:
+      return "MedC";
+    case BaselineKind::kOptimalConstant:
+      return "OptC";
+  }
+  return "unknown";
+}
+
+StatusOr<RevenueOptResult> PriceWithBaseline(
+    BaselineKind kind, const std::vector<CurvePoint>& curve) {
+  MBP_RETURN_IF_ERROR(ValidateCurve(curve));
+  std::vector<double> prices;
+  switch (kind) {
+    case BaselineKind::kLinear:
+      prices = LinearPrices(curve);
+      break;
+    case BaselineKind::kMaxConstant:
+      prices = ConstantPrices(curve, MaxValuation(curve));
+      break;
+    case BaselineKind::kMedianConstant:
+      prices = ConstantPrices(curve, MedianAffordablePrice(curve));
+      break;
+    case BaselineKind::kOptimalConstant:
+      prices = ConstantPrices(curve, OptimalConstantPrice(curve));
+      break;
+  }
+  RevenueOptResult result;
+  result.prices = std::move(prices);
+  result.revenue = RevenueOf(curve, result.prices);
+  result.affordability = AffordabilityOf(curve, result.prices);
+  return result;
+}
+
+std::vector<BaselineKind> AllBaselines() {
+  return {BaselineKind::kLinear, BaselineKind::kMaxConstant,
+          BaselineKind::kMedianConstant, BaselineKind::kOptimalConstant};
+}
+
+}  // namespace mbp::core

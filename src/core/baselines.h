@@ -1,0 +1,36 @@
+#ifndef MBP_CORE_BASELINES_H_
+#define MBP_CORE_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/curves.h"
+#include "core/revenue_opt.h"
+
+namespace mbp::core {
+
+// The four naive pricing schemes MBP is compared against in Section 6.2.
+// All produce well-behaved (monotone + subadditive) pricing curves; none
+// adapts prices per quality level the way the MBP optimizer does.
+enum class BaselineKind {
+  kLinear,           // "Lin": linear interpolation of min/max valuation
+  kMaxConstant,      // "MaxC": one price = highest valuation
+  kMedianConstant,   // "MedC": one price affordable to >= half the buyers
+  kOptimalConstant,  // "OptC": the revenue-optimal single price
+};
+
+std::string BaselineKindToString(BaselineKind kind);
+
+// Prices every curve point with the chosen baseline scheme and reports the
+// realized revenue/affordability. Curve requirements match
+// MaximizeRevenueDp (strictly increasing x, non-decreasing values).
+StatusOr<RevenueOptResult> PriceWithBaseline(
+    BaselineKind kind, const std::vector<CurvePoint>& curve);
+
+// All four baselines, in enum order.
+std::vector<BaselineKind> AllBaselines();
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_BASELINES_H_

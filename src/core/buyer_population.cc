@@ -1,0 +1,71 @@
+#include "core/buyer_population.h"
+
+#include <cmath>
+
+namespace mbp::core {
+
+StatusOr<PopulationOutcome> SimulateBuyerPopulation(
+    Broker& broker, const std::vector<CurvePoint>& curve,
+    const PopulationOptions& options, random::Rng& rng) {
+  if (curve.empty()) return InvalidArgumentError("empty market curve");
+  if (options.num_buyers == 0) {
+    return InvalidArgumentError("num_buyers must be positive");
+  }
+  if (options.valuation_jitter < 0.0 || options.valuation_jitter >= 1.0) {
+    return InvalidArgumentError("valuation_jitter must be in [0, 1)");
+  }
+  double total_demand = 0.0;
+  for (const CurvePoint& point : curve) {
+    if (point.demand < 0.0) {
+      return InvalidArgumentError("negative demand weight");
+    }
+    total_demand += point.demand;
+  }
+  if (!(total_demand > 0.0)) {
+    return InvalidArgumentError("demand weights must sum to > 0");
+  }
+
+  PopulationOutcome outcome;
+  outcome.buyers = options.num_buyers;
+
+  // Expected per-buyer revenue/affordability implied by the posted curve
+  // (jitter-free): sum_j (b_j / B) * price_j * 1[price_j <= v_j].
+  for (const CurvePoint& point : curve) {
+    const double posted = broker.pricing().PriceAtInverseNcp(point.x);
+    if (posted <= point.value + 1e-9) {
+      outcome.expected_revenue_per_buyer +=
+          point.demand / total_demand * posted;
+      outcome.expected_affordability += point.demand / total_demand;
+    }
+  }
+
+  for (size_t b = 0; b < outcome.buyers; ++b) {
+    // Sample a quality level from the demand distribution.
+    double u = rng.NextDouble() * total_demand;
+    size_t level = 0;
+    for (; level + 1 < curve.size(); ++level) {
+      if (u < curve[level].demand) break;
+      u -= curve[level].demand;
+    }
+    double valuation = curve[level].value;
+    if (options.valuation_jitter > 0.0) {
+      valuation *= 1.0 + rng.NextDouble(-options.valuation_jitter,
+                                        options.valuation_jitter);
+    }
+    const double posted =
+        broker.pricing().PriceAtInverseNcp(curve[level].x);
+    if (posted <= valuation + 1e-9) {
+      MBP_ASSIGN_OR_RETURN(Transaction txn,
+                           broker.BuyAtNcp(1.0 / curve[level].x));
+      outcome.revenue += txn.price;
+      ++outcome.sales;
+    } else {
+      ++outcome.priced_out;
+    }
+  }
+  outcome.affordability = static_cast<double>(outcome.sales) /
+                          static_cast<double>(outcome.buyers);
+  return outcome;
+}
+
+}  // namespace mbp::core

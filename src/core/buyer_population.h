@@ -1,0 +1,50 @@
+#ifndef MBP_CORE_BUYER_POPULATION_H_
+#define MBP_CORE_BUYER_POPULATION_H_
+
+// Monte-Carlo buyer population simulation: turns the market-research
+// curves into a stream of individual buyers hitting a live broker, the
+// way Section 6.2's revenue/affordability numbers are realized in an
+// actual market rather than in expectation.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/curves.h"
+#include "core/market.h"
+#include "random/rng.h"
+
+namespace mbp::core {
+
+struct PopulationOptions {
+  size_t num_buyers = 1000;
+  // Each buyer's private valuation is the curve value times
+  // (1 + U[-valuation_jitter, +valuation_jitter]): buyer heterogeneity
+  // around the market research.
+  double valuation_jitter = 0.0;
+};
+
+struct PopulationOutcome {
+  size_t buyers = 0;
+  size_t sales = 0;
+  size_t priced_out = 0;
+  double revenue = 0.0;        // total collected by the broker
+  double affordability = 0.0;  // sales / buyers
+  // Expected values implied by the curve and posted prices, for
+  // comparison with the realized numbers above.
+  double expected_revenue_per_buyer = 0.0;
+  double expected_affordability = 0.0;
+};
+
+// Draws `num_buyers` buyers: each samples a quality level from the demand
+// distribution, jitters their valuation, and purchases at the posted
+// price iff they can afford it. Executes real purchases against `broker`
+// (its revenue and transaction log advance). The demand weights of
+// `curve` must sum to something positive.
+StatusOr<PopulationOutcome> SimulateBuyerPopulation(
+    Broker& broker, const std::vector<CurvePoint>& curve,
+    const PopulationOptions& options, random::Rng& rng);
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_BUYER_POPULATION_H_

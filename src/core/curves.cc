@@ -1,0 +1,112 @@
+#include "core/curves.h"
+
+#include <cmath>
+
+namespace mbp::core {
+namespace {
+
+// Normalized value shape on t in [0, 1]; non-decreasing with f(0) ~ 0 and
+// f(1) = 1.
+double ValueAt(ValueShape shape, double t) {
+  switch (shape) {
+    case ValueShape::kLinear:
+      return t;
+    case ValueShape::kConvex:
+      return std::pow(t, 2.5);
+    case ValueShape::kConcave:
+      return std::pow(t, 1.0 / 2.5);
+    case ValueShape::kSigmoid: {
+      // Logistic squashed to hit 0 and 1 exactly at the endpoints.
+      const double raw = 1.0 / (1.0 + std::exp(-10.0 * (t - 0.5)));
+      const double lo = 1.0 / (1.0 + std::exp(5.0));
+      const double hi = 1.0 / (1.0 + std::exp(-5.0));
+      return (raw - lo) / (hi - lo);
+    }
+  }
+  return t;
+}
+
+// Unnormalized demand weight on t in [0, 1].
+double DemandAt(DemandShape shape, double t) {
+  const auto bump = [](double t, double center, double width) {
+    const double z = (t - center) / width;
+    return std::exp(-0.5 * z * z);
+  };
+  switch (shape) {
+    case DemandShape::kUniform:
+      return 1.0;
+    case DemandShape::kMidPeaked:
+      return bump(t, 0.5, 0.2);
+    case DemandShape::kExtremes:
+      return bump(t, 0.0, 0.15) + bump(t, 1.0, 0.15);
+    case DemandShape::kHighAccuracy:
+      return bump(t, 1.0, 0.25);
+    case DemandShape::kLowAccuracy:
+      return bump(t, 0.0, 0.25);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+std::string ValueShapeToString(ValueShape shape) {
+  switch (shape) {
+    case ValueShape::kLinear:
+      return "linear";
+    case ValueShape::kConvex:
+      return "convex";
+    case ValueShape::kConcave:
+      return "concave";
+    case ValueShape::kSigmoid:
+      return "sigmoid";
+  }
+  return "unknown";
+}
+
+std::string DemandShapeToString(DemandShape shape) {
+  switch (shape) {
+    case DemandShape::kUniform:
+      return "uniform";
+    case DemandShape::kMidPeaked:
+      return "mid_peaked";
+    case DemandShape::kExtremes:
+      return "extremes";
+    case DemandShape::kHighAccuracy:
+      return "high_accuracy";
+    case DemandShape::kLowAccuracy:
+      return "low_accuracy";
+  }
+  return "unknown";
+}
+
+StatusOr<std::vector<CurvePoint>> MakeMarketCurve(
+    const MarketCurveOptions& options) {
+  if (options.num_points < 2) {
+    return InvalidArgumentError("curve needs at least 2 points");
+  }
+  if (!(options.x_min > 0.0) || options.x_max <= options.x_min) {
+    return InvalidArgumentError("need 0 < x_min < x_max");
+  }
+  if (options.max_value <= 0.0) {
+    return InvalidArgumentError("max_value must be positive");
+  }
+
+  const size_t n = options.num_points;
+  std::vector<CurvePoint> curve(n);
+  double total_demand = 0.0;
+  // A small value floor keeps even the noisiest instance worth something,
+  // matching the strictly positive value curves in the paper's figures.
+  const double floor = 0.02 * options.max_value;
+  for (size_t j = 0; j < n; ++j) {
+    const double t = static_cast<double>(j) / static_cast<double>(n - 1);
+    curve[j].x = options.x_min + t * (options.x_max - options.x_min);
+    curve[j].value =
+        floor + (options.max_value - floor) * ValueAt(options.value_shape, t);
+    curve[j].demand = DemandAt(options.demand_shape, t);
+    total_demand += curve[j].demand;
+  }
+  for (CurvePoint& point : curve) point.demand /= total_demand;
+  return curve;
+}
+
+}  // namespace mbp::core

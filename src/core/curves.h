@@ -1,0 +1,60 @@
+#ifndef MBP_CORE_CURVES_H_
+#define MBP_CORE_CURVES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace mbp::core {
+
+// One market-research sample (Figure 2a, transformed to x-space): at
+// x = 1/NCP, prospective buyers attach monetary value `value` to a model
+// instance of that quality, and `demand` is the fraction of the buyer
+// population interested in exactly that quality level.
+struct CurvePoint {
+  double x = 0.0;       // inverse NCP, > 0, strictly increasing
+  double value = 0.0;   // buyer valuation v_j >= 0
+  double demand = 0.0;  // buyer mass b_j >= 0 (sums to 1 across the curve)
+};
+
+// Value-curve shapes used across Figures 7-10. Values are non-decreasing
+// in x (more accurate models are worth at least as much).
+enum class ValueShape {
+  kLinear,
+  kConvex,   // value stays low until high accuracy (Fig. 7a)
+  kConcave,  // value rises quickly then saturates (Fig. 7b)
+  kSigmoid,  // slow-fast-slow
+};
+
+// Demand-curve shapes: where buyer interest concentrates.
+enum class DemandShape {
+  kUniform,
+  kMidPeaked,        // most buyers want medium accuracy (Fig. 8a)
+  kExtremes,         // bimodal: very low and very high accuracy (Fig. 8b)
+  kHighAccuracy,     // mass concentrated at large x
+  kLowAccuracy,      // mass concentrated at small x
+};
+
+std::string ValueShapeToString(ValueShape shape);
+std::string DemandShapeToString(DemandShape shape);
+
+struct MarketCurveOptions {
+  size_t num_points = 10;
+  double x_min = 10.0;
+  double x_max = 100.0;
+  double max_value = 100.0;
+  ValueShape value_shape = ValueShape::kLinear;
+  DemandShape demand_shape = DemandShape::kUniform;
+};
+
+// Builds the market-research curve: `num_points` equally spaced x values in
+// [x_min, x_max], a value curve of the requested shape scaled to
+// [~0, max_value], and a demand curve normalized to sum to 1.
+StatusOr<std::vector<CurvePoint>> MakeMarketCurve(
+    const MarketCurveOptions& options);
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_CURVES_H_

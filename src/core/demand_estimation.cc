@@ -1,0 +1,127 @@
+#include "core/demand_estimation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "optim/pava.h"
+
+namespace mbp::core {
+namespace {
+
+// Index of the grid level closest to x, or npos if outside tolerance.
+size_t MatchLevel(double x, const std::vector<double>& grid,
+                  double tolerance_fraction) {
+  size_t best = grid.size();
+  double best_distance = 0.0;
+  for (size_t j = 0; j < grid.size(); ++j) {
+    const double distance = std::fabs(x - grid[j]);
+    if (best == grid.size() || distance < best_distance) {
+      best = j;
+      best_distance = distance;
+    }
+  }
+  // Spacing around the matched level.
+  const double spacing =
+      grid.size() == 1
+          ? grid[0]
+          : (best + 1 < grid.size() ? grid[best + 1] - grid[best]
+                                    : grid[best] - grid[best - 1]);
+  if (best_distance > tolerance_fraction * spacing) return grid.size();
+  return best;
+}
+
+}  // namespace
+
+StatusOr<std::vector<CurvePoint>> EstimateCurveFromLedger(
+    const TransactionLedger& ledger, const std::vector<double>& x_grid,
+    const DemandEstimationOptions& options) {
+  if (x_grid.empty()) return InvalidArgumentError("empty x grid");
+  double prev = 0.0;
+  for (double x : x_grid) {
+    if (!(x > prev)) {
+      return InvalidArgumentError("x grid must be strictly increasing > 0");
+    }
+    prev = x;
+  }
+  if (!(options.match_tolerance > 0.0)) {
+    return InvalidArgumentError("match_tolerance must be positive");
+  }
+
+  const size_t n = x_grid.size();
+  std::vector<size_t> sales(n, 0);
+  std::vector<double> max_price(n, -1.0);  // -1 = unobserved
+  size_t matched = 0;
+  for (const LedgerRecord& record : ledger.records()) {
+    if (!(record.ncp > 0.0)) continue;  // δ = 0 (optimal model) has x = inf
+    const size_t level =
+        MatchLevel(1.0 / record.ncp, x_grid, options.match_tolerance);
+    if (level == n) continue;
+    ++matched;
+    ++sales[level];
+    max_price[level] = std::max(max_price[level], record.price);
+  }
+  if (matched == 0) {
+    return FailedPreconditionError(
+        "no ledger records map onto the given x grid");
+  }
+
+  // Fill unobserved levels by linear interpolation between observed
+  // neighbors (clamped at the ends), then smooth with an isotonic fit
+  // weighted by sales counts so well-observed levels dominate.
+  std::vector<double> values(n, 0.0);
+  std::vector<double> weights(n, 0.0);
+  // Forward/backward nearest observed indices.
+  size_t last_observed = n;
+  for (size_t j = 0; j < n; ++j) {
+    if (max_price[j] >= 0.0) {
+      values[j] = max_price[j];
+      weights[j] = static_cast<double>(sales[j]);
+      last_observed = j;
+    }
+  }
+  MBP_CHECK_LT(last_observed, n);
+  // Interpolate gaps.
+  size_t prev_observed = n;
+  for (size_t j = 0; j < n; ++j) {
+    if (max_price[j] >= 0.0) {
+      prev_observed = j;
+      continue;
+    }
+    // Find next observed.
+    size_t next_observed = n;
+    for (size_t k = j + 1; k < n; ++k) {
+      if (max_price[k] >= 0.0) {
+        next_observed = k;
+        break;
+      }
+    }
+    if (prev_observed == n) {
+      values[j] = max_price[next_observed] * x_grid[j] /
+                  x_grid[next_observed];  // scale down toward the origin
+    } else if (next_observed == n) {
+      values[j] = max_price[prev_observed];
+    } else {
+      const double t = (x_grid[j] - x_grid[prev_observed]) /
+                       (x_grid[next_observed] - x_grid[prev_observed]);
+      values[j] = max_price[prev_observed] +
+                  t * (max_price[next_observed] - max_price[prev_observed]);
+    }
+    weights[j] = 0.25;  // weak prior weight for interpolated levels
+  }
+  values = optim::IsotonicNonDecreasing(values, weights);
+
+  // Demand: sales share with a floor for unseen levels.
+  std::vector<CurvePoint> curve(n);
+  double total = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    curve[j].x = x_grid[j];
+    curve[j].value = values[j];
+    curve[j].demand = static_cast<double>(sales[j]) +
+                      options.unseen_demand_floor * matched;
+    total += curve[j].demand;
+  }
+  for (CurvePoint& point : curve) point.demand /= total;
+  return curve;
+}
+
+}  // namespace mbp::core

@@ -1,0 +1,46 @@
+#ifndef MBP_CORE_DEMAND_ESTIMATION_H_
+#define MBP_CORE_DEMAND_ESTIMATION_H_
+
+// Market research from the broker's own books. The paper assumes the
+// seller supplies value/demand curves via external market research
+// (Figure 2a); a running marketplace can instead estimate them from its
+// transaction ledger and re-optimize prices for the next period:
+//
+//   demand_j  ~ the share of sales at quality level x_j;
+//   value_j   = the highest price ever paid at x_j (every buyer who paid
+//               it valued the instance at least that much), smoothed with
+//               an isotonic fit so the estimate is non-decreasing in x
+//               (the monotone-valuation assumption the DP requires).
+//
+// The value estimate is a LOWER bound on true valuations by
+// construction; re-optimizing against it is conservative and never
+// prices a previously-observed buyer out.
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/curves.h"
+#include "core/ledger.h"
+
+namespace mbp::core {
+
+struct DemandEstimationOptions {
+  // A record at NCP δ maps to grid level x_j when |1/δ - x_j| is within
+  // this fraction of the grid spacing; unmatched records are skipped.
+  double match_tolerance = 0.5;
+  // Demand mass given to levels with zero observed sales (so the curve
+  // stays usable as a sampling distribution).
+  double unseen_demand_floor = 1e-3;
+};
+
+// Estimates a market curve over `x_grid` (strictly increasing, > 0) from
+// the ledger's records. Requires at least one record mapping onto the
+// grid. Levels with no sales get value interpolated from observed
+// neighbors and the demand floor.
+StatusOr<std::vector<CurvePoint>> EstimateCurveFromLedger(
+    const TransactionLedger& ledger, const std::vector<double>& x_grid,
+    const DemandEstimationOptions& options = {});
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_DEMAND_ESTIMATION_H_

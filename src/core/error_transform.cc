@@ -1,0 +1,160 @@
+#include "core/error_transform.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "optim/pava.h"
+
+namespace mbp::core {
+namespace {
+
+// Piecewise-linear interpolation of ys over ascending xs, clamped to the
+// table's range at both ends.
+double Interpolate(const std::vector<double>& xs,
+                   const std::vector<double>& ys, double x) {
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const size_t hi = static_cast<size_t>(it - xs.begin());
+  const size_t lo = hi - 1;
+  const double span = xs[hi] - xs[lo];
+  if (span <= 0.0) return ys[lo];
+  const double t = (x - xs[lo]) / span;
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+}  // namespace
+
+StatusOr<AnalyticSquareLossTransform> AnalyticSquareLossTransform::Build(
+    const linalg::Vector& optimal, const data::Dataset& eval) {
+  if (optimal.size() != eval.num_features()) {
+    return InvalidArgumentError(
+        "optimal model dimension must match dataset features");
+  }
+  const size_t n = eval.num_examples();
+  const size_t d = eval.num_features();
+  // tr(X^T X) = sum of squared entries = sum_i ||x_i||^2.
+  double trace = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = eval.ExampleFeatures(i);
+    for (size_t j = 0; j < d; ++j) trace += row[j] * row[j];
+  }
+  const double slope =
+      trace / (2.0 * static_cast<double>(n) * static_cast<double>(d));
+  if (!(slope > 0.0)) {
+    return InvalidArgumentError(
+        "dataset has all-zero features; the square-loss transform would "
+        "be flat and non-invertible");
+  }
+  const ml::SquareLoss epsilon(0.0);
+  return AnalyticSquareLossTransform(epsilon.Evaluate(optimal, eval),
+                                     slope);
+}
+
+StatusOr<EmpiricalErrorTransform> EmpiricalErrorTransform::Build(
+    const RandomizedMechanism& mechanism, const linalg::Vector& optimal,
+    const ml::Loss& error_function, const data::Dataset& eval,
+    const BuildOptions& options) {
+  if (optimal.size() != eval.num_features()) {
+    return InvalidArgumentError(
+        "optimal model dimension must match dataset features");
+  }
+  if (!(options.delta_min > 0.0) || options.delta_max <= options.delta_min) {
+    return InvalidArgumentError("need 0 < delta_min < delta_max");
+  }
+  if (options.grid_size < 2) {
+    return InvalidArgumentError("grid_size must be >= 2");
+  }
+  if (options.trials_per_delta == 0) {
+    return InvalidArgumentError("trials_per_delta must be > 0");
+  }
+
+  // Geometric δ grid, ascending.
+  std::vector<double> deltas(options.grid_size);
+  const double ratio = std::pow(options.delta_max / options.delta_min,
+                                1.0 / (options.grid_size - 1));
+  double delta = options.delta_min;
+  for (size_t g = 0; g < options.grid_size; ++g) {
+    deltas[g] = delta;
+    delta *= ratio;
+  }
+  deltas.back() = options.delta_max;  // exact endpoint despite rounding
+
+  // Each grid point gets its own RNG stream derived from (seed, g), so
+  // the result is independent of how grid points are assigned to threads.
+  std::vector<double> errors(options.grid_size);
+  const auto estimate_point = [&](size_t g) {
+    random::Rng rng(options.seed ^
+                    (0x9E3779B97F4A7C15ULL * (g + 1)));
+    double total = 0.0;
+    for (size_t t = 0; t < options.trials_per_delta; ++t) {
+      const linalg::Vector noisy =
+          mechanism.Perturb(optimal, deltas[g], rng);
+      total += error_function.Evaluate(noisy, eval);
+    }
+    errors[g] = total / static_cast<double>(options.trials_per_delta);
+  };
+
+  const size_t num_threads =
+      std::max<size_t>(1, std::min(options.num_threads, options.grid_size));
+  if (num_threads == 1) {
+    for (size_t g = 0; g < options.grid_size; ++g) estimate_point(g);
+  } else {
+    std::atomic<size_t> next_point{0};
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (size_t w = 0; w < num_threads; ++w) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const size_t g = next_point.fetch_add(1);
+          if (g >= options.grid_size) return;
+          estimate_point(g);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  // Theorem 4 guarantees monotonicity in expectation for strictly convex ε;
+  // Monte-Carlo noise (and non-convex losses like 0/1) can still produce
+  // small inversions, so project onto the monotone cone.
+  errors = optim::IsotonicNonDecreasing(errors);
+
+  const double min_error = error_function.Evaluate(optimal, eval);
+  return EmpiricalErrorTransform(std::move(deltas), std::move(errors),
+                                 min_error);
+}
+
+double EmpiricalErrorTransform::ExpectedError(double delta) const {
+  if (delta <= 0.0) return min_error_;
+  if (delta < deltas_.front()) {
+    // Linear blend between the optimal instance's error at δ=0 and the
+    // first grid point.
+    const double t = delta / deltas_.front();
+    return min_error_ + t * (errors_.front() - min_error_);
+  }
+  return Interpolate(deltas_, errors_, delta);
+}
+
+double EmpiricalErrorTransform::DeltaForError(double error) const {
+  if (error <= min_error_) return 0.0;
+  if (error <= errors_.front()) {
+    const double span = errors_.front() - min_error_;
+    if (span <= 0.0) return deltas_.front();
+    return deltas_.front() * (error - min_error_) / span;
+  }
+  if (error >= errors_.back()) return deltas_.back();
+  // The error table is non-decreasing; find the bracketing segment and
+  // invert linearly (flat segments return their left endpoint).
+  const auto it = std::upper_bound(errors_.begin(), errors_.end(), error);
+  const size_t hi = static_cast<size_t>(it - errors_.begin());
+  const size_t lo = hi - 1;
+  const double span = errors_[hi] - errors_[lo];
+  if (span <= 0.0) return deltas_[lo];
+  const double t = (error - errors_[lo]) / span;
+  return deltas_[lo] + t * (deltas_[hi] - deltas_[lo]);
+}
+
+}  // namespace mbp::core

@@ -1,0 +1,135 @@
+#ifndef MBP_CORE_ERROR_TRANSFORM_H_
+#define MBP_CORE_ERROR_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/mechanism.h"
+#include "data/dataset.h"
+#include "linalg/vector.h"
+#include "ml/loss.h"
+
+namespace mbp::core {
+
+// A monotone map between the noise control parameter δ and the expected
+// buyer-facing error E[ε(ĥ^δ_λ(D), D)] (Section 4.2 / Figure 2's "error
+// curve transformation"). Both directions are exposed: the broker quotes
+// expected error per δ, and the error-inverse ϕ turns a buyer error budget
+// back into a δ (Theorem 6).
+class ErrorTransform {
+ public:
+  virtual ~ErrorTransform() = default;
+
+  // Expected error at the given NCP (delta >= 0).
+  virtual double ExpectedError(double delta) const = 0;
+
+  // The error-inverse ϕ: the δ whose expected error equals `error`.
+  // Values outside the transform's error range clamp to the range ends.
+  virtual double DeltaForError(double error) const = 0;
+
+  // Error at δ = 0, i.e. the optimal instance's error.
+  virtual double MinError() const = 0;
+};
+
+// Analytic transform for the model-space square loss
+// ε_s(h, D) = ||h - h*||^2: Lemma 3 gives E[ε_s] = δ exactly, for every
+// mechanism normalized as in mechanism.h.
+class SquareLossTransform final : public ErrorTransform {
+ public:
+  double ExpectedError(double delta) const override { return delta; }
+  double DeltaForError(double error) const override {
+    return error < 0.0 ? 0.0 : error;
+  }
+  double MinError() const override { return 0.0; }
+};
+
+// Closed-form transform for the DATASET square loss
+// ε(h, D) = (1/2n) Σ (y_i - h.x_i)^2 under any mechanism with isotropic
+// noise covariance E[w w^T] = (δ/d) I (Gaussian, Laplace, uniform
+// additive — all mechanisms here except the multiplicative one). Exact:
+//   E[ε(h* + w, D)] = ε(h*, D) + δ * tr(X^T X) / (2 n d),
+// because the cross term vanishes by unbiasedness and
+// E[(w.x_i)^2] = (δ/d) ||x_i||^2. No Monte Carlo needed; the broker can
+// use this instead of EmpiricalErrorTransform for square-loss listings
+// (see the analytic-vs-empirical ablation bench).
+class AnalyticSquareLossTransform final : public ErrorTransform {
+ public:
+  // `optimal` is h*_λ(D); `eval` is the dataset ε operates on.
+  static StatusOr<AnalyticSquareLossTransform> Build(
+      const linalg::Vector& optimal, const data::Dataset& eval);
+
+  double ExpectedError(double delta) const override {
+    return min_error_ + slope_ * (delta < 0.0 ? 0.0 : delta);
+  }
+  double DeltaForError(double error) const override {
+    if (error <= min_error_) return 0.0;
+    return (error - min_error_) / slope_;
+  }
+  double MinError() const override { return min_error_; }
+
+  // The exact linear coefficient tr(X^T X) / (2 n d).
+  double slope() const { return slope_; }
+
+ private:
+  AnalyticSquareLossTransform(double min_error, double slope)
+      : min_error_(min_error), slope_(slope) {}
+
+  double min_error_;
+  double slope_;
+};
+
+// Empirical Monte-Carlo transform for arbitrary ε (logistic loss, 0/1
+// error, ...): the Figure 6 procedure. For each δ on a grid, draws
+// `trials_per_delta` noisy instances from the mechanism and averages
+// ε(ĥ, D). The resulting table is made monotone with an isotonic fit
+// (guaranteed by Theorem 4 for strictly convex ε; enforced numerically for
+// losses like 0/1), then interpolated in both directions.
+class EmpiricalErrorTransform final : public ErrorTransform {
+ public:
+  struct BuildOptions {
+    // δ grid: `grid_size` geometrically spaced points in
+    // [delta_min, delta_max].
+    double delta_min = 0.01;
+    double delta_max = 1.0;
+    size_t grid_size = 30;
+    // Noisy models drawn per grid point (paper uses 2000).
+    size_t trials_per_delta = 2000;
+    uint64_t seed = 7;
+    // Worker threads for the Monte-Carlo sweep. Each grid point owns an
+    // RNG stream derived from (seed, grid index), so the fitted table is
+    // bit-identical for ANY thread count; threads only change wall time.
+    size_t num_threads = 1;
+  };
+
+  // `optimal` is h*_λ(D); `eval` is the dataset ε operates on (test or
+  // train, per the buyer's preference).
+  static StatusOr<EmpiricalErrorTransform> Build(
+      const RandomizedMechanism& mechanism, const linalg::Vector& optimal,
+      const ml::Loss& error_function, const data::Dataset& eval,
+      const BuildOptions& options);
+
+  double ExpectedError(double delta) const override;
+  double DeltaForError(double error) const override;
+  double MinError() const override { return min_error_; }
+
+  // The fitted (δ, expected error) table, ascending in δ; exactly the
+  // series Figure 6 plots (against 1/δ).
+  const std::vector<double>& delta_grid() const { return deltas_; }
+  const std::vector<double>& error_grid() const { return errors_; }
+
+ private:
+  EmpiricalErrorTransform(std::vector<double> deltas,
+                          std::vector<double> errors, double min_error)
+      : deltas_(std::move(deltas)),
+        errors_(std::move(errors)),
+        min_error_(min_error) {}
+
+  std::vector<double> deltas_;   // ascending
+  std::vector<double> errors_;   // non-decreasing (isotonic-fitted)
+  double min_error_;             // error of the optimal instance (δ = 0)
+};
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_ERROR_TRANSFORM_H_

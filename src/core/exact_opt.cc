@@ -1,0 +1,213 @@
+#include "core/exact_opt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace mbp::core {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// Approximate real GCD (Euclid with tolerance), used to recover the common
+// base step of the x grid.
+double ApproxGcd(double a, double b, double tolerance) {
+  a = std::fabs(a);
+  b = std::fabs(b);
+  while (b > tolerance) {
+    const double r = std::fmod(a, b);
+    a = b;
+    // fmod can return values within tolerance of b (i.e. "zero" remainder).
+    b = (r > b - tolerance) ? 0.0 : r;
+  }
+  return a;
+}
+
+// Maps x values onto an integer grid: x_j ~= units[j] * base. Empty result
+// means no acceptable common base was found.
+std::vector<size_t> IntegerizeGrid(const std::vector<double>& xs,
+                                   size_t max_grid_units) {
+  double base = xs[0];
+  for (size_t j = 1; j < xs.size(); ++j) {
+    base = ApproxGcd(base, xs[j], 1e-6 * xs[0]);
+    if (base < 1e-9) return {};
+  }
+  std::vector<size_t> units(xs.size());
+  for (size_t j = 0; j < xs.size(); ++j) {
+    const double ratio = xs[j] / base;
+    const auto unit = static_cast<size_t>(std::llround(ratio));
+    if (unit == 0 || std::fabs(ratio - static_cast<double>(unit)) > 1e-6) {
+      return {};
+    }
+    if (unit > max_grid_units) return {};
+    units[j] = unit;
+  }
+  return units;
+}
+
+// Cheapest multiset cover by the anchors: for every t = 0..max(targets),
+//   g[t] = min { sum_j m_j cost_j : sum_j m_j anchor_unit_j >= t }.
+// Unbounded-knapsack DP in O(max_target * |anchors|).
+std::vector<double> MinCoverCosts(const std::vector<size_t>& target_units,
+                                  const std::vector<size_t>& anchor_units,
+                                  const std::vector<double>& anchor_costs) {
+  const size_t max_unit =
+      *std::max_element(target_units.begin(), target_units.end());
+  std::vector<double> cover(max_unit + 1,
+                            std::numeric_limits<double>::infinity());
+  cover[0] = 0.0;
+  for (size_t t = 1; t <= max_unit; ++t) {
+    for (size_t j = 0; j < anchor_units.size(); ++j) {
+      const size_t rest = t > anchor_units[j] ? t - anchor_units[j] : 0;
+      cover[t] = std::min(cover[t], anchor_costs[j] + cover[rest]);
+    }
+  }
+  return cover;
+}
+
+// Cover where every point is both a target and an anchor at its own price.
+std::vector<double> MinCoverCosts(const std::vector<size_t>& units,
+                                  const std::vector<double>& prices) {
+  return MinCoverCosts(units, units, prices);
+}
+
+// True iff the monotone assignment `prices` admits a monotone subadditive
+// extension through all (units[j], prices[j]).
+bool CoveringFeasible(const std::vector<size_t>& units,
+                      const std::vector<double>& prices) {
+  const std::vector<double> cover = MinCoverCosts(units, prices);
+  for (size_t j = 0; j < units.size(); ++j) {
+    if (cover[units[j]] + kTol < prices[j]) return false;
+  }
+  return true;
+}
+
+// Exhaustive search over anchor subsets. For anchor set A, prices are the
+// min-plus closure f_A evaluated at every grid point; the closure is
+// monotone and subadditive by construction, and dominates any feasible
+// pricing whose earner set is A (see header comment). The empty set means
+// "price everyone out" (revenue 0) and is skipped.
+class ExactSearch {
+ public:
+  ExactSearch(const std::vector<CurvePoint>& curve,
+              std::vector<size_t> units)
+      : curve_(curve), units_(std::move(units)), n_(curve.size()) {}
+
+  RevenueOptResult Run() {
+    const double max_value =
+        std::max_element(curve_.begin(), curve_.end(),
+                         [](const CurvePoint& a, const CurvePoint& b) {
+                           return a.value < b.value;
+                         })
+            ->value;
+    RevenueOptResult best;
+    // No-sale fallback: everything priced above every valuation.
+    best.prices.assign(n_, 2.0 * max_value + 1.0);
+    best.revenue = 0.0;
+
+    std::vector<size_t> anchor_units;
+    std::vector<double> anchor_costs;
+    std::vector<double> prices(n_);
+    for (uint64_t mask = 1; mask < (uint64_t{1} << n_); ++mask) {
+      anchor_units.clear();
+      anchor_costs.clear();
+      for (size_t j = 0; j < n_; ++j) {
+        if (mask & (uint64_t{1} << j)) {
+          anchor_units.push_back(units_[j]);
+          anchor_costs.push_back(curve_[j].value);
+        }
+      }
+      const std::vector<double> cover =
+          MinCoverCosts(units_, anchor_units, anchor_costs);
+      for (size_t j = 0; j < n_; ++j) prices[j] = cover[units_[j]];
+      const double revenue = RevenueOf(curve_, prices);
+      if (revenue > best.revenue + kTol) {
+        best.revenue = revenue;
+        best.prices = prices;
+      }
+    }
+    best.revenue = RevenueOf(curve_, best.prices);
+    best.affordability = AffordabilityOf(curve_, best.prices);
+    return best;
+  }
+
+ private:
+  const std::vector<CurvePoint>& curve_;
+  std::vector<size_t> units_;
+  size_t n_;
+};
+
+Status ValidateExactInputs(const std::vector<CurvePoint>& curve) {
+  if (curve.empty()) return InvalidArgumentError("market curve is empty");
+  double prev_x = 0.0;
+  double prev_v = -1.0;
+  for (const CurvePoint& point : curve) {
+    if (!(point.x > prev_x)) {
+      return InvalidArgumentError("curve x must be strictly increasing > 0");
+    }
+    if (point.value < 0.0 || point.demand < 0.0) {
+      return InvalidArgumentError("values and demands must be non-negative");
+    }
+    if (point.value + kTol < prev_v) {
+      return InvalidArgumentError("valuations must be non-decreasing");
+    }
+    prev_x = point.x;
+    prev_v = std::max(prev_v, point.value);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<RevenueOptResult> MaximizeRevenueExact(
+    const std::vector<CurvePoint>& curve, size_t max_grid_units) {
+  MBP_RETURN_IF_ERROR(ValidateExactInputs(curve));
+  std::vector<double> xs(curve.size());
+  for (size_t j = 0; j < curve.size(); ++j) xs[j] = curve[j].x;
+  if (curve.size() > 24) {
+    return ResourceExhaustedError(
+        "exact solver enumerates 2^n anchor subsets; n > 24 is impractical");
+  }
+  std::vector<size_t> units = IntegerizeGrid(xs, max_grid_units);
+  if (units.empty()) {
+    return InvalidArgumentError(
+        "curve x values do not lie on a common integer grid (or the grid "
+        "exceeds max_grid_units); the exact solver requires one");
+  }
+  ExactSearch search(curve, std::move(units));
+  return search.Run();
+}
+
+StatusOr<bool> SubadditiveInterpolationFeasible(
+    const std::vector<InterpolationPoint>& points, size_t max_grid_units) {
+  if (points.empty()) {
+    return InvalidArgumentError("need at least one point");
+  }
+  std::vector<double> xs(points.size());
+  std::vector<double> prices(points.size());
+  double prev_x = 0.0;
+  for (size_t j = 0; j < points.size(); ++j) {
+    if (!(points[j].a > prev_x)) {
+      return InvalidArgumentError("a must be strictly increasing > 0");
+    }
+    prev_x = points[j].a;
+    xs[j] = points[j].a;
+    prices[j] = points[j].target_price;
+    // Definition 6 requires a positive function.
+    if (!(prices[j] > 0.0)) return false;
+  }
+  // Monotonicity across the sample points is necessary.
+  for (size_t j = 1; j < points.size(); ++j) {
+    if (prices[j] + kTol < prices[j - 1]) return false;
+  }
+  std::vector<size_t> units = IntegerizeGrid(xs, max_grid_units);
+  if (units.empty()) {
+    return InvalidArgumentError(
+        "points do not lie on a common integer grid");
+  }
+  return CoveringFeasible(units, prices);
+}
+
+}  // namespace mbp::core

@@ -1,0 +1,52 @@
+#ifndef MBP_CORE_EXACT_OPT_H_
+#define MBP_CORE_EXACT_OPT_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/curves.h"
+#include "core/interpolation.h"
+#include "core/revenue_opt.h"
+
+namespace mbp::core {
+
+// Exact revenue maximization over ALL monotone + subadditive (i.e. truly
+// arbitrage-free, Theorem 5) pricing functions — the paper's exponential
+// "MILP" yardstick from Figures 9-10. The general problem is coNP-hard
+// (Theorem 7); this solver handles curves whose x values lie on an integer
+// grid (x_j = u_j * base for integers u_j), where subadditive-extension
+// feasibility reduces to an unbounded-knapsack covering test:
+//
+//   a price assignment {z_j} extends to a monotone subadditive function
+//   through all (x_j, z_j) iff z is non-decreasing and no z_k exceeds the
+//   cheapest way of covering u_k by other points, i.e.
+//   z_k <= min{ sum_j m_j z_j : sum_j m_j u_j >= u_k, m_j in Z >= 0 }.
+//
+// The search enumerates anchor subsets A of the curve points and prices
+// with the min-plus closure of {(u_j, v_j) : j in A}:
+//   f_A(x) = min{ sum_{j in A} m_j v_j : sum_{j in A} m_j u_j >= x }.
+// Every f_A is monotone and subadditive; conversely, for any feasible f,
+// taking A = {j : f(u_j) <= v_j} yields f_A >= f pointwise with every
+// earner still earning, so max over the 2^n subsets is the true optimum.
+// Exponential by design (the problem is coNP-hard): 2^n closures, each an
+// unbounded-knapsack DP.
+//
+// Returns InvalidArgument if the x values do not share a common base step
+// (or the grid exceeds max_grid_units), ResourceExhausted when
+// curve.size() > 24.
+StatusOr<RevenueOptResult> MaximizeRevenueExact(
+    const std::vector<CurvePoint>& curve, size_t max_grid_units = 100000);
+
+// Decision procedure for the paper's SUBADDITIVE INTERPOLATION problem
+// (Definition 6) on integer-grid inputs: does a positive, monotone,
+// subadditive function through every (a_j, P_j) exist? Exact via the same
+// covering characterization (this is the problem proved coNP-hard in
+// Theorem 7; integer-grid instances are exactly the unbounded-subset-sum
+// reduction's domain).
+StatusOr<bool> SubadditiveInterpolationFeasible(
+    const std::vector<InterpolationPoint>& points,
+    size_t max_grid_units = 100000);
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_EXACT_OPT_H_

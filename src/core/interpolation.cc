@@ -1,0 +1,174 @@
+#include "core/interpolation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "optim/pava.h"
+#include "optim/simplex.h"
+
+namespace mbp::core {
+namespace {
+
+Status ValidatePoints(const std::vector<InterpolationPoint>& points) {
+  if (points.empty()) {
+    return InvalidArgumentError("need at least one interpolation point");
+  }
+  double prev_a = 0.0;
+  for (const InterpolationPoint& point : points) {
+    if (!(point.a > prev_a)) {
+      return InvalidArgumentError("a must be strictly increasing > 0");
+    }
+    if (point.target_price < 0.0) {
+      return InvalidArgumentError("target prices must be non-negative");
+    }
+    prev_a = point.a;
+  }
+  return Status::OK();
+}
+
+// Projection onto the monotone non-decreasing cone.
+std::vector<double> ProjectMonotone(const std::vector<double>& y) {
+  return optim::IsotonicNonDecreasing(y);
+}
+
+// Projection onto { z : z_j / a_j non-increasing }: substitute r = z/a,
+// giving a weighted isotonic problem with weights a_j^2.
+std::vector<double> ProjectRatio(const std::vector<double>& y,
+                                 const std::vector<double>& a,
+                                 std::vector<double>& scratch_ratio,
+                                 std::vector<double>& scratch_weight) {
+  const size_t n = y.size();
+  scratch_ratio.resize(n);
+  scratch_weight.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    scratch_ratio[j] = y[j] / a[j];
+    scratch_weight[j] = a[j] * a[j];
+  }
+  std::vector<double> fit =
+      optim::IsotonicNonIncreasing(scratch_ratio, scratch_weight);
+  for (size_t j = 0; j < n; ++j) fit[j] *= a[j];
+  return fit;
+}
+
+std::vector<double> ProjectNonNegative(const std::vector<double>& y) {
+  std::vector<double> out = y;
+  for (double& v : out) v = std::max(v, 0.0);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<InterpolationResult> InterpolateSquaredLoss(
+    const std::vector<InterpolationPoint>& points,
+    const DykstraOptions& options) {
+  MBP_RETURN_IF_ERROR(ValidatePoints(points));
+  const size_t n = points.size();
+  std::vector<double> a(n), target(n);
+  for (size_t j = 0; j < n; ++j) {
+    a[j] = points[j].a;
+    target[j] = points[j].target_price;
+  }
+
+  // Dykstra's algorithm over the three cones. increments[s] carries the
+  // correction for set s between cycles; plain alternating projections
+  // without them would converge to a feasible point but not the projection.
+  std::vector<double> x = target;
+  std::vector<std::vector<double>> increments(
+      3, std::vector<double>(n, 0.0));
+  std::vector<double> scratch_ratio, scratch_weight;
+
+  size_t iteration = 0;
+  for (; iteration < options.max_iterations; ++iteration) {
+    double max_change = 0.0;
+    for (int s = 0; s < 3; ++s) {
+      std::vector<double> y(n);
+      for (size_t j = 0; j < n; ++j) y[j] = x[j] + increments[s][j];
+      std::vector<double> projected;
+      switch (s) {
+        case 0:
+          projected = ProjectMonotone(y);
+          break;
+        case 1:
+          projected = ProjectRatio(y, a, scratch_ratio, scratch_weight);
+          break;
+        default:
+          projected = ProjectNonNegative(y);
+          break;
+      }
+      for (size_t j = 0; j < n; ++j) {
+        increments[s][j] = y[j] - projected[j];
+        max_change = std::max(max_change, std::fabs(projected[j] - x[j]));
+      }
+      x = std::move(projected);
+    }
+    if (max_change < options.tolerance) break;
+  }
+
+  InterpolationResult result;
+  result.prices = std::move(x);
+  result.iterations = iteration + 1;
+  result.objective = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    const double diff = result.prices[j] - target[j];
+    result.objective += diff * diff;
+  }
+  return result;
+}
+
+StatusOr<InterpolationResult> InterpolateAbsoluteLoss(
+    const std::vector<InterpolationPoint>& points) {
+  MBP_RETURN_IF_ERROR(ValidatePoints(points));
+  const size_t n = points.size();
+
+  // LP variables: [ z_0..z_{n-1} | t_0..t_{n-1} ], all >= 0.
+  //   maximize  -sum_j t_j
+  //   s.t.  z_j - t_j <= P_j          (t_j >= z_j - P_j)
+  //        -z_j - t_j <= -P_j         (t_j >= P_j - z_j)
+  //         z_j - z_{j+1} <= 0        (monotone)
+  //         a_j * z_{j+1} - a_{j+1} * z_j <= 0   (ratio non-increasing)
+  const size_t num_vars = 2 * n;
+  const size_t num_rows = 2 * n + 2 * (n - 1);
+  optim::LinearProgram lp;
+  lp.objective = linalg::Vector(num_vars);
+  for (size_t j = 0; j < n; ++j) lp.objective[n + j] = -1.0;
+  lp.constraints = linalg::Matrix(num_rows, num_vars);
+  lp.rhs = linalg::Vector(num_rows);
+
+  size_t row = 0;
+  for (size_t j = 0; j < n; ++j) {
+    lp.constraints(row, j) = 1.0;
+    lp.constraints(row, n + j) = -1.0;
+    lp.rhs[row] = points[j].target_price;
+    ++row;
+    lp.constraints(row, j) = -1.0;
+    lp.constraints(row, n + j) = -1.0;
+    lp.rhs[row] = -points[j].target_price;
+    ++row;
+  }
+  for (size_t j = 0; j + 1 < n; ++j) {
+    lp.constraints(row, j) = 1.0;
+    lp.constraints(row, j + 1) = -1.0;
+    lp.rhs[row] = 0.0;
+    ++row;
+    lp.constraints(row, j + 1) = points[j].a;
+    lp.constraints(row, j) = -points[j + 1].a;
+    lp.rhs[row] = 0.0;
+    ++row;
+  }
+  MBP_CHECK_EQ(row, num_rows);
+
+  MBP_ASSIGN_OR_RETURN(optim::LpSolution solution,
+                       optim::SolveLinearProgram(lp));
+  InterpolationResult result;
+  result.prices.resize(n);
+  result.objective = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    result.prices[j] = solution.x[j];
+    result.objective += std::fabs(result.prices[j] - points[j].target_price);
+  }
+  result.iterations = 1;
+  return result;
+}
+
+}  // namespace mbp::core

@@ -1,0 +1,50 @@
+#ifndef MBP_CORE_INTERPOLATION_H_
+#define MBP_CORE_INTERPOLATION_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace mbp::core {
+
+// Price interpolation (Section 5, objectives T^2_pi and T^inf_pi): the
+// seller supplies target prices P_j at parameter points a_j, and wants the
+// feasible (arbitrage-free by Lemma 8) prices z_j under the relaxed
+// constraints of problem (4):
+//   z_j / a_j non-increasing,  z_j non-decreasing,  z_j >= 0,
+// closest to the targets.
+
+// One target: desired price P at parameter a (= 1/NCP).
+struct InterpolationPoint {
+  double a = 0.0;  // > 0, strictly increasing across the input
+  double target_price = 0.0;  // P_j >= 0
+};
+
+struct InterpolationResult {
+  std::vector<double> prices;  // fitted z_j
+  double objective = 0.0;      // sum of losses sum_j l(z_j, P_j)
+  size_t iterations = 0;       // solver iterations actually used
+};
+
+struct DykstraOptions {
+  size_t max_iterations = 10000;
+  double tolerance = 1e-10;  // max coordinate change per sweep
+};
+
+// T^2_pi (squared loss): minimizes sum_j (z_j - P_j)^2 over (4).
+// The feasible region is the intersection of three convex cones (monotone
+// cone, ratio cone, non-negative orthant); Dykstra's alternating-projection
+// algorithm with weighted isotonic-regression sub-steps converges to the
+// exact Euclidean projection.
+StatusOr<InterpolationResult> InterpolateSquaredLoss(
+    const std::vector<InterpolationPoint>& points,
+    const DykstraOptions& options = {});
+
+// T^inf_pi (absolute loss): minimizes sum_j |z_j - P_j| over (4), solved
+// exactly as a linear program by the bundled simplex.
+StatusOr<InterpolationResult> InterpolateAbsoluteLoss(
+    const std::vector<InterpolationPoint>& points);
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_INTERPOLATION_H_

@@ -1,0 +1,115 @@
+#include "core/ledger.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace mbp::core {
+namespace {
+
+constexpr char kHeader[] = "mbp-ledger v1";
+
+StatusOr<double> ParseDouble(const std::string& token) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return InvalidArgumentError("malformed number: '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Status TransactionLedger::Append(LedgerRecord record) {
+  if (record.listing_id.empty() ||
+      record.listing_id.find_first_of(" \t\n\r") != std::string::npos) {
+    return InvalidArgumentError(
+        "listing id must be non-empty without whitespace");
+  }
+  if (record.price < 0.0 || !std::isfinite(record.price)) {
+    return InvalidArgumentError("price must be finite and non-negative");
+  }
+  if (!(record.ncp >= 0.0)) {
+    return InvalidArgumentError("ncp must be non-negative");
+  }
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+double TransactionLedger::TotalRevenue() const {
+  double total = 0.0;
+  for (const LedgerRecord& record : records_) total += record.price;
+  return total;
+}
+
+double TransactionLedger::RevenueForListing(
+    const std::string& listing_id) const {
+  double total = 0.0;
+  for (const LedgerRecord& record : records_) {
+    if (record.listing_id == listing_id) total += record.price;
+  }
+  return total;
+}
+
+double TransactionLedger::BrokerCut(double rate) const {
+  MBP_CHECK(rate >= 0.0 && rate <= 1.0) << "rate must be in [0, 1]";
+  return rate * TotalRevenue();
+}
+
+Status TransactionLedger::SaveTo(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return InternalError("cannot open for writing: " + path);
+  }
+  out.precision(17);
+  out << kHeader << "\n";
+  for (const LedgerRecord& record : records_) {
+    out << record.listing_id << " " << record.transaction_id << " "
+        << record.ncp << " " << record.price << " " << record.quoted_error
+        << "\n";
+  }
+  if (!out.good()) return InternalError("I/O error writing: " + path);
+  return Status::OK();
+}
+
+StatusOr<TransactionLedger> TransactionLedger::LoadFrom(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return NotFoundError("cannot open: " + path);
+  std::string line;
+  if (!std::getline(in, line) ||
+      (line != kHeader && line != std::string(kHeader) + "\r")) {
+    return InvalidArgumentError("missing or wrong ledger header");
+  }
+  TransactionLedger ledger;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    LedgerRecord record;
+    std::string id_token, ncp_token, price_token, error_token, extra;
+    if (!(row >> record.listing_id >> id_token >> ncp_token >>
+          price_token >> error_token) ||
+        (row >> extra)) {
+      return InvalidArgumentError("malformed ledger line " +
+                                  std::to_string(line_number));
+    }
+    MBP_ASSIGN_OR_RETURN(double txn_id, ParseDouble(id_token));
+    if (txn_id < 0 || txn_id != static_cast<uint64_t>(txn_id)) {
+      return InvalidArgumentError("bad transaction id at line " +
+                                  std::to_string(line_number));
+    }
+    record.transaction_id = static_cast<uint64_t>(txn_id);
+    MBP_ASSIGN_OR_RETURN(record.ncp, ParseDouble(ncp_token));
+    MBP_ASSIGN_OR_RETURN(record.price, ParseDouble(price_token));
+    MBP_ASSIGN_OR_RETURN(record.quoted_error, ParseDouble(error_token));
+    MBP_RETURN_IF_ERROR(ledger.Append(std::move(record)));
+  }
+  return ledger;
+}
+
+}  // namespace mbp::core

@@ -1,0 +1,57 @@
+#ifndef MBP_CORE_LEDGER_H_
+#define MBP_CORE_LEDGER_H_
+
+// Append-only audit books for the marketplace: every completed sale as a
+// flat record, with text persistence so books survive process restarts
+// and can be inspected/diffed with standard tools. The broker-seller
+// settlement (the broker "gets a cut from the seller for each sale",
+// Figure 1) is computed from these records.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace mbp::core {
+
+struct LedgerRecord {
+  std::string listing_id;  // which listing sold (no spaces allowed)
+  uint64_t transaction_id = 0;
+  double ncp = 0.0;
+  double price = 0.0;
+  double quoted_error = 0.0;
+};
+
+class TransactionLedger {
+ public:
+  TransactionLedger() = default;
+
+  // Appends one sale. InvalidArgument for empty/whitespace listing ids or
+  // negative prices.
+  Status Append(LedgerRecord record);
+
+  const std::vector<LedgerRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  double TotalRevenue() const;
+
+  // Revenue booked against one listing id.
+  double RevenueForListing(const std::string& listing_id) const;
+
+  // The broker's commission at the given rate in [0, 1]; the remainder is
+  // owed to sellers.
+  double BrokerCut(double rate) const;
+
+  // Persistence: "mbp-ledger v1" header, then one
+  // "<listing> <txn-id> <ncp> <price> <quoted-error>" line per record.
+  Status SaveTo(const std::string& path) const;
+  static StatusOr<TransactionLedger> LoadFrom(const std::string& path);
+
+ private:
+  std::vector<LedgerRecord> records_;
+};
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_LEDGER_H_

@@ -1,0 +1,73 @@
+#include "core/marketplace.h"
+
+#include <algorithm>
+
+namespace mbp::core {
+
+Status Marketplace::List(std::string id, Seller seller,
+                         ModelListing listing,
+                         const Broker::Options& options) {
+  if (id.empty()) return InvalidArgumentError("listing id must not be empty");
+  for (const Entry& entry : entries_) {
+    if (entry.info.id == id) {
+      return InvalidArgumentError("listing id already exists: " + id);
+    }
+  }
+  const std::string seller_name = seller.name();
+  MBP_ASSIGN_OR_RETURN(Broker broker,
+                       Broker::Create(std::move(seller), listing, options));
+  Entry entry;
+  entry.info = CatalogEntry{std::move(id), seller_name, listing.model,
+                            listing.test_error};
+  entry.broker = std::make_unique<Broker>(std::move(broker));
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+std::vector<CatalogEntry> Marketplace::Catalog() const {
+  std::vector<CatalogEntry> catalog;
+  catalog.reserve(entries_.size());
+  for (const Entry& entry : entries_) catalog.push_back(entry.info);
+  return catalog;
+}
+
+StatusOr<Broker*> Marketplace::Lookup(const std::string& id) {
+  for (Entry& entry : entries_) {
+    if (entry.info.id == id) return entry.broker.get();
+  }
+  return NotFoundError("no listing with id: " + id);
+}
+
+Status Marketplace::Delist(const std::string& id) {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const Entry& entry) { return entry.info.id == id; });
+  if (it == entries_.end()) {
+    return NotFoundError("no listing with id: " + id);
+  }
+  entries_.erase(it);
+  return Status::OK();
+}
+
+TransactionLedger Marketplace::BuildLedger() const {
+  TransactionLedger ledger;
+  for (const Entry& entry : entries_) {
+    for (const Transaction& txn : entry.broker->transactions()) {
+      const Status status = ledger.Append(
+          LedgerRecord{entry.info.id, txn.id, txn.delta, txn.price,
+                       txn.quoted_expected_error});
+      MBP_CHECK(status.ok()) << status.ToString();
+    }
+  }
+  return ledger;
+}
+
+double Marketplace::TotalRevenue() const {
+  double total = 0.0;
+  for (const Entry& entry : entries_) {
+    total += entry.broker->total_revenue();
+  }
+  return total;
+}
+
+}  // namespace mbp::core

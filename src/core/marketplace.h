@@ -1,0 +1,72 @@
+#ifndef MBP_CORE_MARKETPLACE_H_
+#define MBP_CORE_MARKETPLACE_H_
+
+// The full marketplace of Section 3.1: a broker supports a MENU M of ML
+// models (e.g. logistic regression for classification and least squares
+// for regression), each listed over some seller's dataset. Buyers browse
+// the menu, pick the model family they want, and interact with that
+// listing's broker. This composes the single-listing Broker into the
+// multi-model marketplace of Figure 1.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/ledger.h"
+#include "core/market.h"
+
+namespace mbp::core {
+
+// A catalog entry: a human-readable listing id plus its live broker.
+struct CatalogEntry {
+  std::string id;           // unique listing identifier
+  std::string seller_name;  // convenience copy of the seller's name
+  ml::ModelKind model;
+  ml::LossKind test_error;
+};
+
+class Marketplace {
+ public:
+  Marketplace() = default;
+
+  Marketplace(Marketplace&&) = default;
+  Marketplace& operator=(Marketplace&&) = default;
+
+  // Lists a new (seller, model) offering under `id`. Broker construction
+  // (training + pricing optimization) happens here, once.
+  // InvalidArgument if the id is already taken or any broker setup step
+  // fails.
+  Status List(std::string id, Seller seller, ModelListing listing,
+              const Broker::Options& options);
+
+  // The browsable menu M, in listing order.
+  std::vector<CatalogEntry> Catalog() const;
+
+  // Accesses a live listing by id; NotFound if absent.
+  StatusOr<Broker*> Lookup(const std::string& id);
+
+  // Removes a listing (e.g. the seller withdraws the dataset).
+  // NotFound if absent.
+  Status Delist(const std::string& id);
+
+  // Total revenue booked across all listings.
+  double TotalRevenue() const;
+
+  // Snapshots every completed transaction across all listings into audit
+  // books (see core/ledger.h). Records carry the listing id.
+  TransactionLedger BuildLedger() const;
+
+  size_t num_listings() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    CatalogEntry info;
+    std::unique_ptr<Broker> broker;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_MARKETPLACE_H_

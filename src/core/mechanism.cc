@@ -1,0 +1,98 @@
+#include "core/mechanism.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/vector_ops.h"
+#include "random/distributions.h"
+
+namespace mbp::core {
+
+double RandomizedMechanism::ExpectedSquaredNoise(double delta,
+                                                 size_t dim) const {
+  MBP_CHECK_GE(delta, 0.0);
+  MBP_CHECK_GT(dim, 0u);
+  return delta;
+}
+
+linalg::Vector GaussianMechanism::Perturb(const linalg::Vector& optimal,
+                                          double delta,
+                                          random::Rng& rng) const {
+  MBP_CHECK_GE(delta, 0.0);
+  MBP_CHECK_GT(optimal.size(), 0u);
+  if (delta == 0.0) return optimal;
+  const double stddev =
+      std::sqrt(delta / static_cast<double>(optimal.size()));
+  linalg::Vector noisy = optimal;
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    noisy[i] += random::SampleNormal(rng, 0.0, stddev);
+  }
+  return noisy;
+}
+
+linalg::Vector LaplaceMechanism::Perturb(const linalg::Vector& optimal,
+                                         double delta,
+                                         random::Rng& rng) const {
+  MBP_CHECK_GE(delta, 0.0);
+  MBP_CHECK_GT(optimal.size(), 0u);
+  if (delta == 0.0) return optimal;
+  // Var(Laplace(0, b)) = 2 b^2, so b = sqrt(delta / (2d)) gives
+  // E||w||^2 = d * 2 b^2 = delta.
+  const double scale =
+      std::sqrt(delta / (2.0 * static_cast<double>(optimal.size())));
+  linalg::Vector noisy = optimal;
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    noisy[i] += random::SampleLaplace(rng, 0.0, scale);
+  }
+  return noisy;
+}
+
+linalg::Vector UniformAdditiveMechanism::Perturb(
+    const linalg::Vector& optimal, double delta, random::Rng& rng) const {
+  MBP_CHECK_GE(delta, 0.0);
+  MBP_CHECK_GT(optimal.size(), 0u);
+  if (delta == 0.0) return optimal;
+  // Var(U[-r, r]) = r^2 / 3, so r = sqrt(3 delta / d).
+  const double radius =
+      std::sqrt(3.0 * delta / static_cast<double>(optimal.size()));
+  linalg::Vector noisy = optimal;
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    noisy[i] += random::SampleUniform(rng, -radius, radius);
+  }
+  return noisy;
+}
+
+linalg::Vector UniformMultiplicativeMechanism::Perturb(
+    const linalg::Vector& optimal, double delta, random::Rng& rng) const {
+  MBP_CHECK_GE(delta, 0.0);
+  MBP_CHECK_GT(optimal.size(), 0u);
+  if (delta == 0.0) return optimal;
+  const double norm_sq = linalg::SquaredNorm2(optimal);
+  MBP_CHECK_GT(norm_sq, 0.0)
+      << "multiplicative noise needs a non-zero model";
+  // h_i -> h_i * u_i, u_i ~ U[1-r, 1+r]: per-coordinate variance
+  // h_i^2 r^2 / 3, so r = sqrt(3 delta / ||h||^2) gives E||w||^2 = delta.
+  const double radius = std::sqrt(3.0 * delta / norm_sq);
+  linalg::Vector noisy = optimal;
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    noisy[i] *= random::SampleUniform(rng, 1.0 - radius, 1.0 + radius);
+  }
+  return noisy;
+}
+
+std::unique_ptr<RandomizedMechanism> MakeMechanism(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kGaussian:
+      return std::make_unique<GaussianMechanism>();
+    case MechanismKind::kLaplace:
+      return std::make_unique<LaplaceMechanism>();
+    case MechanismKind::kUniformAdditive:
+      return std::make_unique<UniformAdditiveMechanism>();
+    case MechanismKind::kUniformMultiplicative:
+      return std::make_unique<UniformMultiplicativeMechanism>();
+  }
+  MBP_CHECK(false) << "unknown MechanismKind";
+  return nullptr;
+}
+
+}  // namespace mbp::core

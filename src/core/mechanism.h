@@ -1,0 +1,91 @@
+#ifndef MBP_CORE_MECHANISM_H_
+#define MBP_CORE_MECHANISM_H_
+
+#include <memory>
+#include <string>
+
+#include "linalg/vector.h"
+#include "random/rng.h"
+
+namespace mbp::core {
+
+// A randomized noise-injection mechanism K (Section 3.1): given the optimal
+// model instance h*_λ(D) and a noise control parameter (NCP) δ, produces a
+// noisy model instance ĥ^δ = K(h*, w), w ~ W_δ.
+//
+// Every implementation in this library satisfies the paper's two
+// restrictions by construction:
+//   1. Unbiasedness:  E[K(h*, w)] = h*.
+//   2. The NCP δ is exactly the expected squared model-space error:
+//      E[||K(h*, w) - h*||^2] = δ  (Lemma 3 normalization),
+//      so larger δ means strictly larger expected error for any strictly
+//      convex ε (Theorem 4).
+class RandomizedMechanism {
+ public:
+  virtual ~RandomizedMechanism() = default;
+
+  virtual std::string name() const = 0;
+
+  // Samples one noisy instance at NCP `delta` >= 0 (delta == 0 returns the
+  // optimal instance unchanged).
+  virtual linalg::Vector Perturb(const linalg::Vector& optimal, double delta,
+                                 random::Rng& rng) const = 0;
+
+  // E[||K(h*,w) - h*||^2] at the given delta and model dimension. Equal to
+  // delta for every mechanism shipped here; exposed as a virtual so tests
+  // and the analytic error transform state the dependency explicitly.
+  virtual double ExpectedSquaredNoise(double delta, size_t dim) const;
+};
+
+// The paper's Gaussian mechanism K_G (Equation 1):
+//   ĥ = h* + w,  w ~ N(0, (δ/d) · I_d).
+// Per-coordinate variance δ/d makes E||w||^2 = δ.
+class GaussianMechanism final : public RandomizedMechanism {
+ public:
+  std::string name() const override { return "gaussian"; }
+  linalg::Vector Perturb(const linalg::Vector& optimal, double delta,
+                         random::Rng& rng) const override;
+};
+
+// Additive i.i.d. Laplace noise (the alternative in Example 2), scaled so
+// that E||w||^2 = δ: per-coordinate scale b = sqrt(δ / (2d)).
+class LaplaceMechanism final : public RandomizedMechanism {
+ public:
+  std::string name() const override { return "laplace"; }
+  linalg::Vector Perturb(const linalg::Vector& optimal, double delta,
+                         random::Rng& rng) const override;
+};
+
+// Additive i.i.d. uniform noise U[-r, r] (mechanism K_1 of Example 1),
+// scaled so that E||w||^2 = δ: r = sqrt(3δ/d).
+class UniformAdditiveMechanism final : public RandomizedMechanism {
+ public:
+  std::string name() const override { return "uniform_additive"; }
+  linalg::Vector Perturb(const linalg::Vector& optimal, double delta,
+                         random::Rng& rng) const override;
+};
+
+// Multiplicative uniform noise (mechanism K_2 of Example 1): each
+// coordinate is scaled by an independent uniform factor. Normalized so
+// that E||K(h*,w) - h*||^2 = δ: the half-width is r = sqrt(3δ) / ||h*||,
+// giving per-coordinate variance h_i^2 r^2 / 3 summing to δ. Requires
+// ||h*|| > 0 (checked).
+class UniformMultiplicativeMechanism final : public RandomizedMechanism {
+ public:
+  std::string name() const override { return "uniform_multiplicative"; }
+  linalg::Vector Perturb(const linalg::Vector& optimal, double delta,
+                         random::Rng& rng) const override;
+};
+
+enum class MechanismKind {
+  kGaussian,
+  kLaplace,
+  kUniformAdditive,
+  kUniformMultiplicative,
+};
+
+std::unique_ptr<RandomizedMechanism> MakeMechanism(MechanismKind kind);
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_MECHANISM_H_

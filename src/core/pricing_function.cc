@@ -1,0 +1,167 @@
+#include "core/pricing_function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mbp::core {
+
+double PricingFunction::PriceAtNcp(double delta) const {
+  MBP_CHECK_GT(delta, 0.0);
+  return PriceAtInverseNcp(1.0 / delta);
+}
+
+StatusOr<PiecewiseLinearPricing> PiecewiseLinearPricing::Create(
+    std::vector<PricePoint> points) {
+  if (points.empty()) {
+    return InvalidArgumentError("pricing curve needs at least one point");
+  }
+  double prev_x = 0.0;
+  for (const PricePoint& point : points) {
+    if (!(point.x > prev_x)) {
+      return InvalidArgumentError(
+          "pricing points must have strictly increasing x > 0");
+    }
+    if (point.price < 0.0 || !std::isfinite(point.price)) {
+      return InvalidArgumentError("prices must be finite and non-negative");
+    }
+    prev_x = point.x;
+  }
+  return PiecewiseLinearPricing(std::move(points));
+}
+
+double PiecewiseLinearPricing::PriceAtInverseNcp(double x) const {
+  MBP_CHECK_GE(x, 0.0);
+  if (x == 0.0) return 0.0;
+  const PricePoint& first = points_.front();
+  if (x <= first.x) {
+    // Linear from the origin through the first knot.
+    return first.price * (x / first.x);
+  }
+  const PricePoint& last = points_.back();
+  if (x >= last.x) return last.price;
+  // Find the bracketing segment.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), x,
+      [](double value, const PricePoint& p) { return value < p.x; });
+  const size_t hi = static_cast<size_t>(it - points_.begin());
+  const size_t lo = hi - 1;
+  const double t = (x - points_[lo].x) / (points_[hi].x - points_[lo].x);
+  return points_[lo].price + t * (points_[hi].price - points_[lo].price);
+}
+
+Status PiecewiseLinearPricing::ValidateArbitrageFree() const {
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].price + 1e-9 < points_[i - 1].price) {
+      return FailedPreconditionError(
+          "prices are not monotone non-decreasing at knot " +
+          std::to_string(i));
+    }
+    const double ratio_prev = points_[i - 1].price / points_[i - 1].x;
+    const double ratio_here = points_[i].price / points_[i].x;
+    if (ratio_here > ratio_prev + 1e-9) {
+      return FailedPreconditionError(
+          "price/x is not monotone non-increasing at knot " +
+          std::to_string(i) + "; the curve is not subadditive");
+    }
+  }
+  return Status::OK();
+}
+
+double PiecewiseLinearPricing::MaxInverseNcpForBudget(double budget) const {
+  MBP_CHECK_GE(budget, 0.0);
+  const PricePoint& last = points_.back();
+  if (budget >= last.price) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const PricePoint& first = points_.front();
+  if (budget <= first.price) {
+    // On the origin segment price = first.price * x / first.x.
+    if (first.price <= 0.0) return std::numeric_limits<double>::infinity();
+    return first.x * budget / first.price;
+  }
+  // Find the last knot with price <= budget and invert its right segment.
+  size_t lo = 0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].price <= budget) lo = i;
+  }
+  const PricePoint& left = points_[lo];
+  const PricePoint& right = points_[lo + 1];
+  const double rise = right.price - left.price;
+  if (rise <= 0.0) return right.x;  // flat segment: whole segment affordable
+  const double t = (budget - left.price) / rise;
+  return left.x + t * (right.x - left.x);
+}
+
+std::vector<double> RelaxedMinorant(const PriceCallable& price,
+                                    const std::vector<double>& xs) {
+  std::vector<double> q(xs.size());
+  double min_ratio = std::numeric_limits<double>::infinity();
+  double prev_x = 0.0;
+  for (size_t j = 0; j < xs.size(); ++j) {
+    MBP_CHECK_GT(xs[j], prev_x) << "grid must be strictly increasing > 0";
+    prev_x = xs[j];
+    min_ratio = std::min(min_ratio, price(xs[j]) / xs[j]);
+    q[j] = xs[j] * min_ratio;
+  }
+  return q;
+}
+
+std::optional<MonotonicityViolation> FindMonotonicityViolation(
+    const PriceCallable& price, double x_max, size_t grid_size,
+    double tolerance) {
+  MBP_CHECK_GT(x_max, 0.0);
+  MBP_CHECK_GE(grid_size, 2u);
+  const double step = x_max / static_cast<double>(grid_size);
+  double prev_x = step;
+  double prev_price = price(prev_x);
+  for (size_t i = 2; i <= grid_size; ++i) {
+    const double x = step * static_cast<double>(i);
+    const double p = price(x);
+    if (p + tolerance < prev_price) {
+      return MonotonicityViolation{prev_x, x, prev_price, p};
+    }
+    prev_x = x;
+    prev_price = p;
+  }
+  return std::nullopt;
+}
+
+std::optional<SubadditivityViolation> FindSubadditivityViolation(
+    const PriceCallable& price, double x_max, size_t grid_size,
+    double tolerance) {
+  MBP_CHECK_GT(x_max, 0.0);
+  MBP_CHECK_GE(grid_size, 2u);
+  const double step = x_max / static_cast<double>(grid_size);
+  // Cache prices at grid points; check all pairs whose sum stays on-grid.
+  std::vector<double> cached(grid_size + 1, 0.0);
+  for (size_t i = 1; i <= grid_size; ++i) {
+    cached[i] = price(step * static_cast<double>(i));
+  }
+  for (size_t i = 1; i <= grid_size; ++i) {
+    for (size_t j = i; i + j <= grid_size; ++j) {
+      const double sum = cached[i] + cached[j];
+      const double combined = cached[i + j];
+      if (combined > sum + tolerance) {
+        return SubadditivityViolation{step * static_cast<double>(i),
+                                      step * static_cast<double>(j), sum,
+                                      combined};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsArbitrageFreeOnGrid(const PriceCallable& price, double x_max,
+                           size_t grid_size, double tolerance) {
+  return !FindMonotonicityViolation(price, x_max, grid_size, tolerance)
+              .has_value() &&
+         !FindSubadditivityViolation(price, x_max, grid_size, tolerance)
+              .has_value();
+}
+
+}  // namespace mbp::core

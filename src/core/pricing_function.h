@@ -1,0 +1,116 @@
+#ifndef MBP_CORE_PRICING_FUNCTION_H_
+#define MBP_CORE_PRICING_FUNCTION_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace mbp::core {
+
+// Pricing functions are represented in x-space, x = 1/δ (the inverse NCP,
+// equal to the Gaussian mechanism's inverse variance). Theorem 5/6: a
+// pricing function is arbitrage-free iff p̄(x) = p(1/x) is monotone
+// non-decreasing and subadditive over x ≥ 0.
+class PricingFunction {
+ public:
+  virtual ~PricingFunction() = default;
+
+  // Price at x = 1/δ. Defined for x >= 0 with PriceAtInverseNcp(0) == 0
+  // conceptually (an infinitely noisy model is free).
+  virtual double PriceAtInverseNcp(double x) const = 0;
+
+  // Price at NCP δ > 0.
+  double PriceAtNcp(double delta) const;
+};
+
+// One knot of a pricing curve: the price charged at x = 1/δ.
+struct PricePoint {
+  double x = 0.0;      // inverse NCP, > 0
+  double price = 0.0;  // >= 0
+};
+
+// The canonical arbitrage-free representation (Proposition 1): linear from
+// the origin to the first knot, linear between knots, constant after the
+// last knot. When the knots satisfy the relaxed feasibility conditions of
+// problem (4) — prices non-decreasing and price/x non-increasing — the
+// extension is monotone and subadditive everywhere (Lemma 8 +
+// Proposition 1), hence arbitrage-free for the Gaussian mechanism.
+class PiecewiseLinearPricing final : public PricingFunction {
+ public:
+  // `points` must have strictly increasing x > 0 and prices >= 0.
+  // Does NOT require the relaxed conditions — deliberately, so tests and
+  // benches can also build broken pricing curves; call
+  // ValidateArbitrageFree() to certify a curve before selling with it.
+  static StatusOr<PiecewiseLinearPricing> Create(
+      std::vector<PricePoint> points);
+
+  double PriceAtInverseNcp(double x) const override;
+
+  // OK iff prices are non-decreasing in x and price/x is non-increasing
+  // (the sufficient-and-exact certificate for this piecewise-linear form).
+  Status ValidateArbitrageFree() const;
+
+  // Largest x whose price does not exceed `budget`, or +infinity when the
+  // budget covers the whole curve (price is constant after the last knot).
+  // Requires a monotone curve (ValidateArbitrageFree() == OK) and
+  // budget >= 0. Used by the broker's price-budget purchase option.
+  double MaxInverseNcpForBudget(double budget) const;
+
+  const std::vector<PricePoint>& points() const { return points_; }
+
+ private:
+  explicit PiecewiseLinearPricing(std::vector<PricePoint> points)
+      : points_(std::move(points)) {}
+
+  std::vector<PricePoint> points_;
+};
+
+// --- Generic sampled property checkers -----------------------------------
+//
+// These operate on arbitrary price callables (not just the canonical form),
+// sampling a uniform grid over (0, x_max]. They are used by tests, by the
+// arbitrage demos, and to sanity-check baseline pricing schemes.
+
+using PriceCallable = std::function<double(double)>;
+
+// A pair x1 < x2 with price(x1) > price(x2) + tolerance.
+struct MonotonicityViolation {
+  double x1, x2;
+  double price1, price2;
+};
+
+// A pair (x, y) with price(x + y) > price(x) + price(y) + tolerance.
+struct SubadditivityViolation {
+  double x, y;
+  double price_sum;       // price(x) + price(y)
+  double price_combined;  // price(x + y)
+};
+
+// The Lemma 9 construction: given any monotone subadditive pricing p̄
+// sampled at the strictly increasing grid points `xs`, returns
+//   q(x) = x * min_{y <= x, y in grid} p̄(y) / y,
+// which is feasible for the relaxed problem (3) (q non-decreasing, q/x
+// non-increasing, q >= 0) and satisfies p̄(x)/2 <= q(x) <= p̄(x) on the
+// grid. This is the bridge the approximation guarantees of Propositions
+// 2/3 are built on, exposed so sellers can convert an arbitrary
+// well-behaved curve into relaxed-feasible knot prices.
+std::vector<double> RelaxedMinorant(const PriceCallable& price,
+                                    const std::vector<double>& xs);
+
+std::optional<MonotonicityViolation> FindMonotonicityViolation(
+    const PriceCallable& price, double x_max, size_t grid_size = 200,
+    double tolerance = 1e-9);
+
+std::optional<SubadditivityViolation> FindSubadditivityViolation(
+    const PriceCallable& price, double x_max, size_t grid_size = 200,
+    double tolerance = 1e-9);
+
+// True iff no violation of either property is found on the grid.
+bool IsArbitrageFreeOnGrid(const PriceCallable& price, double x_max,
+                           size_t grid_size = 200, double tolerance = 1e-9);
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_PRICING_FUNCTION_H_

@@ -1,0 +1,77 @@
+#include "core/privacy.h"
+
+#include <cmath>
+#include <vector>
+
+namespace mbp::core {
+namespace {
+
+Status ValidateCommon(size_t dim, double l2_sensitivity, double delta_dp) {
+  if (dim == 0) return InvalidArgumentError("dim must be positive");
+  if (!(l2_sensitivity > 0.0)) {
+    return InvalidArgumentError("l2_sensitivity must be positive");
+  }
+  if (!(delta_dp > 0.0 && delta_dp < 1.0)) {
+    return InvalidArgumentError("delta_dp must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<DpGuarantee> GaussianMechanismPrivacy(double ncp, size_t dim,
+                                               double l2_sensitivity,
+                                               double delta_dp) {
+  MBP_RETURN_IF_ERROR(ValidateCommon(dim, l2_sensitivity, delta_dp));
+  if (!(ncp > 0.0)) return InvalidArgumentError("ncp must be positive");
+  const double sigma = std::sqrt(ncp / static_cast<double>(dim));
+  DpGuarantee guarantee;
+  guarantee.delta_dp = delta_dp;
+  guarantee.epsilon =
+      l2_sensitivity * std::sqrt(2.0 * std::log(1.25 / delta_dp)) / sigma;
+  return guarantee;
+}
+
+StatusOr<double> NcpForPrivacy(double epsilon, double delta_dp, size_t dim,
+                               double l2_sensitivity) {
+  MBP_RETURN_IF_ERROR(ValidateCommon(dim, l2_sensitivity, delta_dp));
+  if (!(epsilon > 0.0)) {
+    return InvalidArgumentError("epsilon must be positive");
+  }
+  // sigma = sensitivity * sqrt(2 ln(1.25/delta_dp)) / epsilon, and
+  // ncp = d * sigma^2.
+  const double sigma = l2_sensitivity *
+                       std::sqrt(2.0 * std::log(1.25 / delta_dp)) / epsilon;
+  return static_cast<double>(dim) * sigma * sigma;
+}
+
+StatusOr<DpGuarantee> PortfolioPrivacy(const std::vector<double>& ncps,
+                                       size_t dim, double l2_sensitivity,
+                                       double delta_dp) {
+  if (ncps.empty()) {
+    return InvalidArgumentError("portfolio must not be empty");
+  }
+  double total_precision = 0.0;
+  for (double ncp : ncps) {
+    if (!(ncp > 0.0)) {
+      return InvalidArgumentError("every NCP must be positive");
+    }
+    total_precision += 1.0 / ncp;
+  }
+  return GaussianMechanismPrivacy(1.0 / total_precision, dim,
+                                  l2_sensitivity, delta_dp);
+}
+
+StatusOr<double> ErmL2Sensitivity(double lipschitz, double l2, size_t n) {
+  if (!(lipschitz > 0.0)) {
+    return InvalidArgumentError("lipschitz must be positive");
+  }
+  if (!(l2 > 0.0)) {
+    return InvalidArgumentError(
+        "sensitivity bound requires strictly convex (l2 > 0) training");
+  }
+  if (n == 0) return InvalidArgumentError("n must be positive");
+  return lipschitz / (l2 * static_cast<double>(n));
+}
+
+}  // namespace mbp::core

@@ -1,0 +1,71 @@
+#ifndef MBP_CORE_PRIVACY_H_
+#define MBP_CORE_PRIVACY_H_
+
+// The differential-privacy connection the paper sketches in Section 2
+// ("if the Gaussian mechanism is applied, then arbitrage-freeness may
+// imply certain connections of the privacy between different model
+// instances") and leaves to future work. This module makes the
+// correspondence concrete for the Gaussian mechanism K_G:
+//
+// K_G adds N(0, (δ/d) I_d) noise to the optimal model h*(D). If replacing
+// one training example can move h* by at most `l2_sensitivity` in L2 norm,
+// then releasing one instance at NCP δ is the classical Gaussian DP
+// mechanism with per-coordinate stddev σ = sqrt(δ/d), hence
+// (ε, δ_dp)-differentially private with
+//     ε = sensitivity * sqrt(2 ln(1.25/δ_dp)) / σ          (ε <= 1 regime).
+//
+// Because the noise of independent purchases composes exactly like the
+// arbitrage combination of Theorem 5 (precisions 1/δ add), a buyer holding
+// instances at δ_1..δ_k has the privacy of a single instance at
+// 1/δ_eff = Σ 1/δ_i — so an arbitrage-free price in x = 1/δ is also a
+// price that is monotone and subadditive in this privacy loss.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace mbp::core {
+
+// Differential-privacy guarantee of one released instance.
+struct DpGuarantee {
+  double epsilon = 0.0;
+  double delta_dp = 0.0;  // the DP failure probability (not the NCP!)
+};
+
+// ε of the Gaussian mechanism at NCP `ncp` for a model of dimension `dim`,
+// training-stability L2 sensitivity `l2_sensitivity`, and target failure
+// probability `delta_dp`. Classical bound (Dwork & Roth Thm A.1), valid
+// (tight) for the returned ε <= 1; larger values are still reported but
+// flagged by the caller if needed. InvalidArgument on non-positive inputs
+// or delta_dp outside (0, 1).
+StatusOr<DpGuarantee> GaussianMechanismPrivacy(double ncp, size_t dim,
+                                               double l2_sensitivity,
+                                               double delta_dp);
+
+// The NCP required to meet a target (epsilon, delta_dp) guarantee — the
+// inverse of GaussianMechanismPrivacy. InvalidArgument on non-positive
+// inputs.
+StatusOr<double> NcpForPrivacy(double epsilon, double delta_dp, size_t dim,
+                               double l2_sensitivity);
+
+// Effective privacy of a PORTFOLIO of purchased instances at the given
+// NCPs: by the precision-additivity of independent Gaussian noise, the
+// portfolio is equivalent to one instance at δ_eff = 1 / Σ (1/δ_i)
+// (the same quantity Theorem 5's subadditivity prices). Empty portfolios
+// are invalid.
+StatusOr<DpGuarantee> PortfolioPrivacy(const std::vector<double>& ncps,
+                                       size_t dim, double l2_sensitivity,
+                                       double delta_dp);
+
+// Upper bound on the L2 sensitivity of L2-regularized empirical risk
+// minimization with per-example loss Lipschitz constant `lipschitz`,
+// regularization coefficient l2 > 0, and n training examples:
+//     sensitivity <= lipschitz / (l2 * n)
+// (Chaudhuri & Monteleoni-style ERM stability). InvalidArgument if l2 or
+// n is non-positive.
+StatusOr<double> ErmL2Sensitivity(double lipschitz, double l2, size_t n);
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_PRIVACY_H_

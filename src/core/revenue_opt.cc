@@ -1,0 +1,169 @@
+#include "core/revenue_opt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace mbp::core {
+namespace {
+
+constexpr double kPriceTolerance = 1e-9;
+
+Status ValidateCurve(const std::vector<CurvePoint>& curve) {
+  if (curve.empty()) {
+    return InvalidArgumentError("market curve is empty");
+  }
+  double prev_x = 0.0;
+  double prev_value = -1.0;
+  for (const CurvePoint& point : curve) {
+    if (!(point.x > prev_x)) {
+      return InvalidArgumentError("curve x must be strictly increasing > 0");
+    }
+    if (point.value < 0.0 || point.demand < 0.0) {
+      return InvalidArgumentError("values and demands must be non-negative");
+    }
+    if (point.value + kPriceTolerance < prev_value) {
+      return InvalidArgumentError(
+          "valuations must be non-decreasing in x (the paper's monotone "
+          "buyer-valuation assumption)");
+    }
+    prev_x = point.x;
+    prev_value = std::max(prev_value, point.value);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double RevenueOf(const std::vector<CurvePoint>& curve,
+                 const std::vector<double>& prices) {
+  MBP_CHECK_EQ(curve.size(), prices.size());
+  double revenue = 0.0;
+  for (size_t j = 0; j < curve.size(); ++j) {
+    if (prices[j] <= curve[j].value + kPriceTolerance) {
+      revenue += curve[j].demand * prices[j];
+    }
+  }
+  return revenue;
+}
+
+double AffordabilityOf(const std::vector<CurvePoint>& curve,
+                       const std::vector<double>& prices) {
+  MBP_CHECK_EQ(curve.size(), prices.size());
+  double affordable = 0.0;
+  double total = 0.0;
+  for (size_t j = 0; j < curve.size(); ++j) {
+    total += curve[j].demand;
+    if (prices[j] <= curve[j].value + kPriceTolerance) {
+      affordable += curve[j].demand;
+    }
+  }
+  return total > 0.0 ? affordable / total : 0.0;
+}
+
+StatusOr<RevenueOptResult> MaximizeRevenueDp(
+    const std::vector<CurvePoint>& curve) {
+  MBP_RETURN_IF_ERROR(ValidateCurve(curve));
+  const size_t n = curve.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Candidate slope caps Δ: v_j / a_j for each j, plus +infinity
+  // (Theorem 10: the recursion only ever visits these values).
+  std::vector<double> caps(n + 1);
+  for (size_t j = 0; j < n; ++j) caps[j] = curve[j].value / curve[j].x;
+  caps[n] = kInf;
+
+  // opt[k][t]: max revenue from points k..n-1 with prices constrained by
+  // z_j <= caps[t] * a_j for all j >= k. Branch choices are recorded so the
+  // price vector can be reconstructed.
+  enum class Branch : uint8_t { kSlopeCapped, kSellAtValue, kSkip };
+  std::vector<std::vector<double>> opt(n,
+                                       std::vector<double>(n + 1, 0.0));
+  std::vector<std::vector<Branch>> branch(
+      n, std::vector<Branch>(n + 1, Branch::kSlopeCapped));
+
+  for (size_t t = 0; t <= n; ++t) {
+    // Base case k = n-1 (Lemma: s_n = min(v_n, Δ a_n)).
+    const double price = std::min(curve[n - 1].value, caps[t] * curve[n - 1].x);
+    opt[n - 1][t] = curve[n - 1].demand * price;
+    branch[n - 1][t] = (caps[t] * curve[n - 1].x <= curve[n - 1].value)
+                           ? Branch::kSlopeCapped
+                           : Branch::kSellAtValue;
+  }
+
+  for (size_t k = n - 1; k-- > 0;) {
+    for (size_t t = 0; t <= n; ++t) {
+      const double capped_price = caps[t] * curve[k].x;
+      if (capped_price <= curve[k].value) {
+        // Lemma 12: the cap binds below the valuation; charge the cap.
+        opt[k][t] = curve[k].demand * capped_price + opt[k + 1][t];
+        branch[k][t] = Branch::kSlopeCapped;
+      } else {
+        // Lemma 13: either sell at v_k (tightening the cap to v_k/a_k = caps[k])
+        // or price k out of the market and keep the cap.
+        const double sell = curve[k].demand * curve[k].value + opt[k + 1][k];
+        const double skip = opt[k + 1][t];
+        if (sell >= skip) {
+          opt[k][t] = sell;
+          branch[k][t] = Branch::kSellAtValue;
+        } else {
+          opt[k][t] = skip;
+          branch[k][t] = Branch::kSkip;
+        }
+      }
+    }
+  }
+
+  // Reconstruct prices: forward pass to pick branches, then a backward pass
+  // to resolve kSkip prices (z_k = z_{k+1} * a_k / a_{k+1}).
+  std::vector<Branch> chosen(n);
+  std::vector<size_t> cap_at(n);
+  size_t t = n;  // start unconstrained (Δ = +inf)
+  for (size_t k = 0; k < n; ++k) {
+    chosen[k] = branch[k][t];
+    cap_at[k] = t;
+    if (chosen[k] == Branch::kSellAtValue && k + 1 < n) t = k;
+  }
+  std::vector<double> prices(n, 0.0);
+  for (size_t k = n; k-- > 0;) {
+    switch (chosen[k]) {
+      case Branch::kSlopeCapped:
+        prices[k] = caps[cap_at[k]] * curve[k].x;
+        break;
+      case Branch::kSellAtValue:
+        prices[k] = curve[k].value;
+        break;
+      case Branch::kSkip:
+        MBP_CHECK_LT(k + 1, n);
+        prices[k] = prices[k + 1] * curve[k].x / curve[k + 1].x;
+        break;
+    }
+  }
+
+  RevenueOptResult result;
+  result.prices = std::move(prices);
+  result.revenue = RevenueOf(curve, result.prices);
+  result.affordability = AffordabilityOf(curve, result.prices);
+  // The DP value and the realized revenue must agree.
+  MBP_CHECK(std::fabs(result.revenue - opt[0][n]) <=
+            1e-6 * (1.0 + std::fabs(result.revenue)))
+      << "DP value " << opt[0][n] << " != realized " << result.revenue;
+  return result;
+}
+
+StatusOr<PiecewiseLinearPricing> PricingFromKnots(
+    const std::vector<CurvePoint>& curve,
+    const std::vector<double>& prices) {
+  if (curve.size() != prices.size()) {
+    return InvalidArgumentError("curve/prices size mismatch");
+  }
+  std::vector<PricePoint> points(curve.size());
+  for (size_t j = 0; j < curve.size(); ++j) {
+    points[j] = PricePoint{curve[j].x, prices[j]};
+  }
+  return PiecewiseLinearPricing::Create(std::move(points));
+}
+
+}  // namespace mbp::core

@@ -1,0 +1,48 @@
+#ifndef MBP_CORE_REVENUE_OPT_H_
+#define MBP_CORE_REVENUE_OPT_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/curves.h"
+#include "core/pricing_function.h"
+
+namespace mbp::core {
+
+// Result of a revenue optimization: the price z_j assigned to each curve
+// point a_j, the realized revenue sum_j b_j z_j 1[z_j <= v_j], and the
+// demand-weighted affordability ratio sum_j b_j 1[z_j <= v_j].
+struct RevenueOptResult {
+  std::vector<double> prices;
+  double revenue = 0.0;
+  double affordability = 0.0;
+};
+
+// Revenue of arbitrary prices against a market curve (the T_bv objective).
+double RevenueOf(const std::vector<CurvePoint>& curve,
+                 const std::vector<double>& prices);
+
+// Demand-weighted fraction of buyers who can afford their instance.
+double AffordabilityOf(const std::vector<CurvePoint>& curve,
+                       const std::vector<double>& prices);
+
+// The paper's MBP revenue optimizer (Theorem 10): the O(n^2) dynamic
+// program that maximizes T_bv over the relaxed feasible region (4)
+//   z_j / a_j non-increasing,  z_j non-decreasing,  z_j >= 0.
+// Any feasible solution is arbitrage-free (Lemma 8), and the optimum is at
+// least half the true subadditive optimum (Proposition 3).
+//
+// Requirements: curve x strictly increasing, values non-negative and
+// non-decreasing (the paper's monotone-valuations assumption), demands
+// non-negative.
+StatusOr<RevenueOptResult> MaximizeRevenueDp(
+    const std::vector<CurvePoint>& curve);
+
+// Wraps optimized knot prices into the canonical piecewise-linear
+// arbitrage-free pricing function (Proposition 1).
+StatusOr<PiecewiseLinearPricing> PricingFromKnots(
+    const std::vector<CurvePoint>& curve, const std::vector<double>& prices);
+
+}  // namespace mbp::core
+
+#endif  // MBP_CORE_REVENUE_OPT_H_

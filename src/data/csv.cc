@@ -1,0 +1,120 @@
+#include "data/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace mbp::data {
+namespace {
+
+// Parses one CSV line into doubles. Returns false on any non-numeric cell.
+bool ParseLine(const std::string& line, char delimiter,
+               std::vector<double>& out) {
+  out.clear();
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t end = line.find(delimiter, start);
+    if (end == std::string::npos) end = line.size();
+    // Trim surrounding whitespace.
+    size_t lo = start, hi = end;
+    while (lo < hi && (line[lo] == ' ' || line[lo] == '\t')) ++lo;
+    while (hi > lo && (line[hi - 1] == ' ' || line[hi - 1] == '\t' ||
+                       line[hi - 1] == '\r')) {
+      --hi;
+    }
+    if (lo == hi) return false;
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(line.data() + lo, line.data() + hi, value);
+    if (ec != std::errc() || ptr != line.data() + hi) return false;
+    out.push_back(value);
+    if (end == line.size()) break;
+    start = end + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Dataset> ReadCsv(const std::string& path,
+                          const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return NotFoundError("cannot open CSV file: " + path);
+  }
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  size_t line_number = 0;
+  bool skipped_header = !options.has_header;
+  std::vector<double> cells;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line == "\r") continue;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    if (!ParseLine(line, options.delimiter, cells)) {
+      return InvalidArgumentError("malformed CSV row at line " +
+                                  std::to_string(line_number));
+    }
+    if (!rows.empty() && cells.size() != rows.front().size()) {
+      return InvalidArgumentError("ragged CSV row at line " +
+                                  std::to_string(line_number));
+    }
+    rows.push_back(cells);
+  }
+  if (rows.empty()) {
+    return InvalidArgumentError("CSV file has no data rows: " + path);
+  }
+  const int width = static_cast<int>(rows.front().size());
+  if (width < 2) {
+    return InvalidArgumentError("CSV needs at least one feature and a target");
+  }
+  int target = options.target_column;
+  if (target < 0) target += width;
+  if (target < 0 || target >= width) {
+    return InvalidArgumentError("target column out of range");
+  }
+
+  linalg::Matrix features(rows.size(), static_cast<size_t>(width - 1));
+  linalg::Vector targets(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    size_t out_col = 0;
+    for (int j = 0; j < width; ++j) {
+      if (j == target) {
+        targets[i] = rows[i][static_cast<size_t>(j)];
+      } else {
+        features(i, out_col++) = rows[i][static_cast<size_t>(j)];
+      }
+    }
+  }
+  return Dataset::Create(std::move(features), std::move(targets),
+                         options.task);
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return InternalError("cannot open file for writing: " + path);
+  }
+  for (size_t j = 0; j < dataset.num_features(); ++j) {
+    out << "f" << j << ",";
+  }
+  out << "target\n";
+  out.precision(17);
+  for (size_t i = 0; i < dataset.num_examples(); ++i) {
+    const double* row = dataset.ExampleFeatures(i);
+    for (size_t j = 0; j < dataset.num_features(); ++j) {
+      out << row[j] << ",";
+    }
+    out << dataset.Target(i) << "\n";
+  }
+  if (!out.good()) {
+    return InternalError("I/O error while writing: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace mbp::data

@@ -1,0 +1,34 @@
+#ifndef MBP_DATA_CSV_H_
+#define MBP_DATA_CSV_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+
+namespace mbp::data {
+
+// Options for reading a dataset from a CSV file of numeric columns.
+struct CsvReadOptions {
+  // Zero-based column holding the target; all other columns are features.
+  // Negative values index from the right (-1 = last column, the default).
+  int target_column = -1;
+  // Skip the first line (header row).
+  bool has_header = true;
+  char delimiter = ',';
+  TaskType task = TaskType::kRegression;
+};
+
+// Loads a dataset from `path`. Returns InvalidArgument on malformed rows
+// (non-numeric cells, ragged rows) with the offending line number in the
+// message, and NotFound if the file cannot be opened.
+StatusOr<Dataset> ReadCsv(const std::string& path,
+                          const CsvReadOptions& options = {});
+
+// Writes `dataset` to `path` as CSV with feature columns f0..f{d-1}
+// followed by a `target` column. Returns Internal on I/O failure.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace mbp::data
+
+#endif  // MBP_DATA_CSV_H_

@@ -1,0 +1,46 @@
+#include "data/feature_expansion.h"
+
+namespace mbp::data {
+
+Dataset WithBiasColumn(const Dataset& dataset) {
+  const size_t n = dataset.num_examples();
+  const size_t d = dataset.num_features();
+  linalg::Matrix features(n, d + 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = dataset.ExampleFeatures(i);
+    for (size_t j = 0; j < d; ++j) features(i, j) = row[j];
+    features(i, d) = 1.0;
+  }
+  return Dataset::Create(std::move(features), dataset.targets(),
+                         dataset.task())
+      .value();
+}
+
+StatusOr<Dataset> WithQuadraticFeatures(const Dataset& dataset,
+                                        size_t max_output_features) {
+  const size_t n = dataset.num_examples();
+  const size_t d = dataset.num_features();
+  const size_t expanded = d + d + d * (d - 1) / 2;
+  if (expanded > max_output_features) {
+    return InvalidArgumentError(
+        "quadratic expansion would produce " + std::to_string(expanded) +
+        " features (cap " + std::to_string(max_output_features) + ")");
+  }
+  linalg::Matrix features(n, expanded);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = dataset.ExampleFeatures(i);
+    size_t out = 0;
+    for (size_t j = 0; j < d; ++j) features(i, out++) = row[j];
+    for (size_t j = 0; j < d; ++j) features(i, out++) = row[j] * row[j];
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = a + 1; b < d; ++b) {
+        features(i, out++) = row[a] * row[b];
+      }
+    }
+    MBP_CHECK_EQ(out, expanded);
+  }
+  return Dataset::Create(std::move(features), dataset.targets(),
+                         dataset.task());
+}
+
+}  // namespace mbp::data

@@ -1,0 +1,28 @@
+#ifndef MBP_DATA_FEATURE_EXPANSION_H_
+#define MBP_DATA_FEATURE_EXPANSION_H_
+
+// Fixed (listing-time) feature maps. The paper's market fixes the feature
+// set per listing (Section 3.4 explicitly excludes feature selection),
+// but the features themselves may be engineered before listing — e.g.
+// Example 3 embeds tweets before fitting logistic regression. These
+// helpers cover the standard fixed expansions for linear models.
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+
+namespace mbp::data {
+
+// Appends a constant 1.0 column, giving linear models an intercept
+// without special-casing the trainers.
+Dataset WithBiasColumn(const Dataset& dataset);
+
+// Degree-2 polynomial expansion: the original d features, all squares
+// x_j^2, and all d*(d-1)/2 pairwise interaction terms x_i * x_j (i < j).
+// Output dimension d + d + d*(d-1)/2. Returns InvalidArgument when the
+// expanded dimension would exceed `max_output_features`.
+StatusOr<Dataset> WithQuadraticFeatures(const Dataset& dataset,
+                                        size_t max_output_features = 10000);
+
+}  // namespace mbp::data
+
+#endif  // MBP_DATA_FEATURE_EXPANSION_H_

@@ -1,0 +1,47 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+namespace mbp::data {
+
+StandardScaler StandardScaler::Fit(const Dataset& dataset) {
+  const size_t n = dataset.num_examples();
+  const size_t d = dataset.num_features();
+  std::vector<double> means(d, 0.0);
+  std::vector<double> stddevs(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = dataset.ExampleFeatures(i);
+    for (size_t j = 0; j < d; ++j) means[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) means[j] /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = dataset.ExampleFeatures(i);
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = row[j] - means[j];
+      stddevs[j] += diff * diff;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    stddevs[j] = std::sqrt(stddevs[j] / static_cast<double>(n));
+    if (stddevs[j] < 1e-12) stddevs[j] = 1.0;
+  }
+  return StandardScaler(std::move(means), std::move(stddevs));
+}
+
+StatusOr<Dataset> StandardScaler::Transform(const Dataset& dataset) const {
+  if (dataset.num_features() != means_.size()) {
+    return InvalidArgumentError(
+        "scaler was fit with a different feature count");
+  }
+  linalg::Matrix features(dataset.num_examples(), dataset.num_features());
+  for (size_t i = 0; i < dataset.num_examples(); ++i) {
+    const double* row = dataset.ExampleFeatures(i);
+    for (size_t j = 0; j < dataset.num_features(); ++j) {
+      features(i, j) = (row[j] - means_[j]) / stddevs_[j];
+    }
+  }
+  return Dataset::Create(std::move(features), dataset.targets(),
+                         dataset.task());
+}
+
+}  // namespace mbp::data

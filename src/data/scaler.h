@@ -1,0 +1,37 @@
+#ifndef MBP_DATA_SCALER_H_
+#define MBP_DATA_SCALER_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+
+namespace mbp::data {
+
+// Per-feature standardization (zero mean, unit variance), fit on the train
+// set and applied to both sides of a split — the usual preprocessing before
+// gradient-based training so that one learning rate fits all coordinates.
+class StandardScaler {
+ public:
+  // Computes per-column mean and standard deviation from `dataset`.
+  // Constant columns get stddev 1 so they pass through unscaled.
+  static StandardScaler Fit(const Dataset& dataset);
+
+  // Returns a copy of `dataset` with each feature standardized. Requires the
+  // same feature count the scaler was fit with.
+  StatusOr<Dataset> Transform(const Dataset& dataset) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+ private:
+  StandardScaler(std::vector<double> means, std::vector<double> stddevs)
+      : means_(std::move(means)), stddevs_(std::move(stddevs)) {}
+
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+}  // namespace mbp::data
+
+#endif  // MBP_DATA_SCALER_H_

@@ -1,0 +1,153 @@
+#include "data/sparse_dataset.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace mbp::data {
+namespace {
+
+// std::from_chars rejects an explicit '+' sign, which LIBSVM labels
+// ("+1") use routinely; strip it first.
+bool ParseSignedDouble(const std::string& token, double& value) {
+  const size_t start = (!token.empty() && token[0] == '+') ? 1 : 0;
+  const char* begin = token.data() + start;
+  const char* end = token.data() + token.size();
+  if (begin == end) return false;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+StatusOr<SparseDataset> SparseDataset::Create(linalg::SparseMatrix features,
+                                              linalg::Vector targets,
+                                              TaskType task) {
+  if (features.rows() != targets.size()) {
+    return InvalidArgumentError("feature rows must match target count");
+  }
+  if (features.rows() == 0) {
+    return InvalidArgumentError("dataset must be non-empty");
+  }
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (!std::isfinite(targets[i])) {
+      return InvalidArgumentError("non-finite target value");
+    }
+    if (task == TaskType::kBinaryClassification && targets[i] != -1.0 &&
+        targets[i] != 1.0) {
+      return InvalidArgumentError("classification labels must be -1 or +1");
+    }
+  }
+  return SparseDataset(std::move(features), std::move(targets), task);
+}
+
+StatusOr<Dataset> SparseDataset::ToDense(size_t max_cells) const {
+  if (num_examples() * num_features() > max_cells) {
+    return ResourceExhaustedError(
+        "dense copy would need " +
+        std::to_string(num_examples() * num_features()) + " cells (cap " +
+        std::to_string(max_cells) + ")");
+  }
+  return Dataset::Create(features_.ToDense(), targets_, task_);
+}
+
+StatusOr<SparseDataset> ReadLibSvm(const std::string& path, TaskType task,
+                                   size_t num_features) {
+  std::ifstream in(path);
+  if (!in.is_open()) return NotFoundError("cannot open: " + path);
+
+  std::vector<linalg::SparseEntry> entries;
+  std::vector<double> labels;
+  size_t max_index = 0;  // largest 0-based column seen
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // '#' starts a comment (SVMlight extension).
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream row(line);
+    std::string token;
+    if (!(row >> token)) continue;  // blank line
+
+    double label = 0.0;
+    if (!ParseSignedDouble(token, label)) {
+      return InvalidArgumentError("bad label at line " +
+                                  std::to_string(line_number));
+    }
+    if (task == TaskType::kBinaryClassification) {
+      if (label == 0.0) label = -1.0;  // accept the 0/1 convention
+      if (label != -1.0 && label != 1.0) {
+        return InvalidArgumentError("bad class label at line " +
+                                    std::to_string(line_number));
+      }
+    }
+    const size_t row_index = labels.size();
+    labels.push_back(label);
+
+    while (row >> token) {
+      const size_t colon = token.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= token.size()) {
+        return InvalidArgumentError("bad index:value pair at line " +
+                                    std::to_string(line_number));
+      }
+      size_t index = 0;
+      {
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + colon, index);
+        if (ec != std::errc() || ptr != token.data() + colon ||
+            index == 0) {
+          return InvalidArgumentError("bad feature index at line " +
+                                      std::to_string(line_number));
+        }
+      }
+      double value = 0.0;
+      if (!ParseSignedDouble(token.substr(colon + 1), value)) {
+        return InvalidArgumentError("bad feature value at line " +
+                                    std::to_string(line_number));
+      }
+      const size_t col = index - 1;  // to 0-based
+      max_index = std::max(max_index, col);
+      entries.push_back({row_index, col, value});
+    }
+  }
+  if (labels.empty()) {
+    return InvalidArgumentError("LIBSVM file has no examples: " + path);
+  }
+  size_t cols = num_features > 0 ? num_features : max_index + 1;
+  if (num_features > 0 && max_index >= num_features) {
+    return InvalidArgumentError(
+        "feature index exceeds declared num_features");
+  }
+  MBP_ASSIGN_OR_RETURN(
+      linalg::SparseMatrix features,
+      linalg::SparseMatrix::FromTriplets(labels.size(), cols,
+                                         std::move(entries)));
+  return SparseDataset::Create(std::move(features),
+                               linalg::Vector(std::move(labels)), task);
+}
+
+Status WriteLibSvm(const SparseDataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return InternalError("cannot open for writing: " + path);
+  }
+  out.precision(17);
+  for (size_t i = 0; i < data.num_examples(); ++i) {
+    out << data.Target(i);
+    const size_t* indices = data.features().RowIndices(i);
+    const double* values = data.features().RowValues(i);
+    const size_t count = data.features().RowNonzeros(i);
+    for (size_t k = 0; k < count; ++k) {
+      out << " " << (indices[k] + 1) << ":" << values[k];
+    }
+    out << "\n";
+  }
+  if (!out.good()) return InternalError("I/O error writing: " + path);
+  return Status::OK();
+}
+
+}  // namespace mbp::data

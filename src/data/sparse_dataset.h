@@ -1,0 +1,60 @@
+#ifndef MBP_DATA_SPARSE_DATASET_H_
+#define MBP_DATA_SPARSE_DATASET_H_
+
+// Sparse supervised dataset: CSR features plus a target column. The
+// high-dimensional text markets of the paper's Example 3 live here;
+// convert to a dense Dataset only when d is small enough to afford it
+// (e.g. to hand a held-out slice to the broker's error transform).
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "linalg/sparse.h"
+
+namespace mbp::data {
+
+class SparseDataset {
+ public:
+  // Validates shapes and (for classification) -1/+1 labels.
+  static StatusOr<SparseDataset> Create(linalg::SparseMatrix features,
+                                        linalg::Vector targets,
+                                        TaskType task);
+
+  size_t num_examples() const { return features_.rows(); }
+  size_t num_features() const { return features_.cols(); }
+  TaskType task() const { return task_; }
+
+  const linalg::SparseMatrix& features() const { return features_; }
+  double Target(size_t i) const { return targets_[i]; }
+  const linalg::Vector& targets() const { return targets_; }
+
+  // Dense copy; InvalidArgument when rows * cols exceeds `max_cells`
+  // (guard against accidentally materializing a huge matrix).
+  StatusOr<Dataset> ToDense(size_t max_cells = 50'000'000) const;
+
+ private:
+  SparseDataset(linalg::SparseMatrix features, linalg::Vector targets,
+                TaskType task)
+      : features_(std::move(features)),
+        targets_(std::move(targets)),
+        task_(task) {}
+
+  linalg::SparseMatrix features_;
+  linalg::Vector targets_;
+  TaskType task_;
+};
+
+// Reads the LIBSVM/SVMlight text format:
+//   <label> <index>:<value> <index>:<value> ...
+// Indices are 1-based per the format; labels must be -1/+1 (or 0/1,
+// remapped to -1/+1) for classification, arbitrary reals for regression.
+// `num_features` 0 means "infer from the largest index seen".
+StatusOr<SparseDataset> ReadLibSvm(const std::string& path, TaskType task,
+                                   size_t num_features = 0);
+
+// Writes `data` in the LIBSVM format ReadLibSvm consumes (1-based
+// indices, full double precision). Returns Internal on I/O failure.
+Status WriteLibSvm(const SparseDataset& data, const std::string& path);
+
+}  // namespace mbp::data
+
+#endif  // MBP_DATA_SPARSE_DATASET_H_

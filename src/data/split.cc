@@ -1,0 +1,89 @@
+#include "data/split.h"
+
+#include <numeric>
+
+namespace mbp::data {
+namespace {
+
+StatusOr<TrainTestSplit> SplitByIndices(const Dataset& dataset,
+                                        const std::vector<size_t>& order,
+                                        double test_fraction) {
+  if (!(test_fraction > 0.0 && test_fraction < 1.0)) {
+    return InvalidArgumentError("test_fraction must be in (0, 1)");
+  }
+  const size_t n = dataset.num_examples();
+  const auto num_test = static_cast<size_t>(test_fraction * n);
+  if (num_test == 0 || num_test == n) {
+    return InvalidArgumentError(
+        "split would leave an empty train or test set");
+  }
+  const std::vector<size_t> train_idx(order.begin(), order.end() - num_test);
+  const std::vector<size_t> test_idx(order.end() - num_test, order.end());
+  return TrainTestSplit{dataset.Subset(train_idx), dataset.Subset(test_idx)};
+}
+
+}  // namespace
+
+std::vector<size_t> RandomPermutation(size_t n, random::Rng& rng) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = rng.NextBounded(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+StatusOr<TrainTestSplit> RandomSplit(const Dataset& dataset,
+                                     double test_fraction,
+                                     random::Rng& rng) {
+  const std::vector<size_t> order =
+      RandomPermutation(dataset.num_examples(), rng);
+  return SplitByIndices(dataset, order, test_fraction);
+}
+
+StatusOr<TrainTestSplit> SequentialSplit(const Dataset& dataset,
+                                         double test_fraction) {
+  std::vector<size_t> order(dataset.num_examples());
+  std::iota(order.begin(), order.end(), size_t{0});
+  return SplitByIndices(dataset, order, test_fraction);
+}
+
+StatusOr<TrainTestSplit> StratifiedSplit(const Dataset& dataset,
+                                         double test_fraction,
+                                         random::Rng& rng) {
+  if (dataset.task() != TaskType::kBinaryClassification) {
+    return InvalidArgumentError(
+        "stratified split requires a classification dataset");
+  }
+  if (!(test_fraction > 0.0 && test_fraction < 1.0)) {
+    return InvalidArgumentError("test_fraction must be in (0, 1)");
+  }
+  std::vector<size_t> positives, negatives;
+  for (size_t i = 0; i < dataset.num_examples(); ++i) {
+    (dataset.Target(i) == 1.0 ? positives : negatives).push_back(i);
+  }
+  const auto shuffle = [&](std::vector<size_t>& indices) {
+    for (size_t i = indices.size(); i > 1; --i) {
+      std::swap(indices[i - 1], indices[rng.NextBounded(i)]);
+    }
+  };
+  shuffle(positives);
+  shuffle(negatives);
+  std::vector<size_t> train_idx, test_idx;
+  for (const std::vector<size_t>* group : {&positives, &negatives}) {
+    const auto num_test =
+        static_cast<size_t>(test_fraction * group->size());
+    if (group->empty() || num_test == 0 || num_test == group->size()) {
+      return InvalidArgumentError(
+          "stratified split would leave an empty class on one side");
+    }
+    train_idx.insert(train_idx.end(), group->begin(),
+                     group->end() - num_test);
+    test_idx.insert(test_idx.end(), group->end() - num_test, group->end());
+  }
+  return TrainTestSplit{dataset.Subset(train_idx),
+                        dataset.Subset(test_idx)};
+}
+
+}  // namespace mbp::data

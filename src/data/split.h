@@ -1,0 +1,35 @@
+#ifndef MBP_DATA_SPLIT_H_
+#define MBP_DATA_SPLIT_H_
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "random/rng.h"
+
+namespace mbp::data {
+
+// Randomly partitions `dataset` into train/test with the given test
+// fraction (0 < test_fraction < 1; both sides must end up non-empty).
+// The permutation is drawn from `rng`, so splits are reproducible.
+StatusOr<TrainTestSplit> RandomSplit(const Dataset& dataset,
+                                     double test_fraction,
+                                     random::Rng& rng);
+
+// Deterministic split: first (1 - test_fraction) fraction of rows becomes
+// the train set. Useful when the row order is already randomized.
+StatusOr<TrainTestSplit> SequentialSplit(const Dataset& dataset,
+                                         double test_fraction);
+
+// For classification datasets: random split that preserves the class
+// ratio on both sides (each class is split with the same test fraction).
+// Falls back to InvalidArgument for regression tasks or fractions that
+// would empty either side of either class.
+StatusOr<TrainTestSplit> StratifiedSplit(const Dataset& dataset,
+                                         double test_fraction,
+                                         random::Rng& rng);
+
+// Returns a uniformly random permutation of {0, ..., n-1} (Fisher-Yates).
+std::vector<size_t> RandomPermutation(size_t n, random::Rng& rng);
+
+}  // namespace mbp::data
+
+#endif  // MBP_DATA_SPLIT_H_

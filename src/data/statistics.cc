@@ -1,0 +1,65 @@
+#include "data/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mbp::data {
+namespace {
+
+ColumnStats StatsOf(const std::vector<double>& values) {
+  ColumnStats stats;
+  stats.min = values.front();
+  stats.max = values.front();
+  double total = 0.0;
+  for (double v : values) {
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+    total += v;
+  }
+  stats.mean = total / static_cast<double>(values.size());
+  double variance = 0.0;
+  for (double v : values) {
+    variance += (v - stats.mean) * (v - stats.mean);
+  }
+  stats.stddev = std::sqrt(variance / static_cast<double>(values.size()));
+  return stats;
+}
+
+}  // namespace
+
+std::vector<ColumnStats> ComputeFeatureStats(const Dataset& dataset) {
+  const size_t n = dataset.num_examples();
+  const size_t d = dataset.num_features();
+  std::vector<ColumnStats> stats(d);
+  std::vector<double> column(n);
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t i = 0; i < n; ++i) {
+      column[i] = dataset.ExampleFeatures(i)[j];
+    }
+    stats[j] = StatsOf(column);
+  }
+  return stats;
+}
+
+ColumnStats ComputeTargetStats(const Dataset& dataset) {
+  std::vector<double> targets(dataset.num_examples());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    targets[i] = dataset.Target(i);
+  }
+  return StatsOf(targets);
+}
+
+double PositiveLabelFraction(const Dataset& dataset) {
+  MBP_CHECK(dataset.task() == TaskType::kBinaryClassification)
+      << "PositiveLabelFraction requires a classification dataset";
+  size_t positives = 0;
+  for (size_t i = 0; i < dataset.num_examples(); ++i) {
+    if (dataset.Target(i) == 1.0) ++positives;
+  }
+  return static_cast<double>(positives) /
+         static_cast<double>(dataset.num_examples());
+}
+
+}  // namespace mbp::data

@@ -1,0 +1,32 @@
+#ifndef MBP_DATA_STATISTICS_H_
+#define MBP_DATA_STATISTICS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mbp::data {
+
+// Per-column summary statistics — what a seller publishes about a listed
+// dataset (schema-level metadata) and what preprocessing sanity checks
+// consume.
+struct ColumnStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+};
+
+// Stats for every feature column, in column order.
+std::vector<ColumnStats> ComputeFeatureStats(const Dataset& dataset);
+
+// Stats for the target column.
+ColumnStats ComputeTargetStats(const Dataset& dataset);
+
+// For classification datasets: fraction of +1 labels.
+// MBP_CHECKs that the task is classification.
+double PositiveLabelFraction(const Dataset& dataset);
+
+}  // namespace mbp::data
+
+#endif  // MBP_DATA_STATISTICS_H_

@@ -1,0 +1,64 @@
+#include "data/synthetic.h"
+
+#include "linalg/vector_ops.h"
+#include "random/distributions.h"
+
+namespace mbp::data {
+
+StatusOr<Dataset> GenerateSimulated1(const Simulated1Options& options) {
+  if (options.num_examples == 0 || options.num_features == 0) {
+    return InvalidArgumentError("num_examples and num_features must be > 0");
+  }
+  if (options.noise_stddev < 0.0) {
+    return InvalidArgumentError("noise_stddev must be non-negative");
+  }
+  random::Rng rng(options.seed);
+  const linalg::Vector hyperplane =
+      random::SampleUnitSphere(rng, options.num_features);
+
+  linalg::Matrix features(options.num_examples, options.num_features);
+  linalg::Vector targets(options.num_examples);
+  for (size_t i = 0; i < options.num_examples; ++i) {
+    double* row = features.RowData(i);
+    for (size_t j = 0; j < options.num_features; ++j) {
+      row[j] = random::SampleStandardNormal(rng);
+    }
+    targets[i] = linalg::Dot(row, hyperplane.data(), options.num_features) +
+                 random::SampleNormal(rng, 0.0, options.noise_stddev);
+  }
+  return Dataset::Create(std::move(features), std::move(targets),
+                         TaskType::kRegression);
+}
+
+StatusOr<Dataset> GenerateSimulated2(const Simulated2Options& options) {
+  if (options.num_examples == 0 || options.num_features == 0) {
+    return InvalidArgumentError("num_examples and num_features must be > 0");
+  }
+  if (options.label_keep_probability < 0.5 ||
+      options.label_keep_probability > 1.0) {
+    return InvalidArgumentError(
+        "label_keep_probability must be in [0.5, 1]");
+  }
+  random::Rng rng(options.seed);
+  const linalg::Vector hyperplane =
+      random::SampleUnitSphere(rng, options.num_features);
+
+  linalg::Matrix features(options.num_examples, options.num_features);
+  linalg::Vector targets(options.num_examples);
+  for (size_t i = 0; i < options.num_examples; ++i) {
+    double* row = features.RowData(i);
+    for (size_t j = 0; j < options.num_features; ++j) {
+      row[j] = random::SampleStandardNormal(rng);
+    }
+    const bool above =
+        linalg::Dot(row, hyperplane.data(), options.num_features) > 0.0;
+    const bool keep =
+        random::SampleBernoulli(rng, options.label_keep_probability);
+    const bool positive = (above == keep);
+    targets[i] = positive ? 1.0 : -1.0;
+  }
+  return Dataset::Create(std::move(features), std::move(targets),
+                         TaskType::kBinaryClassification);
+}
+
+}  // namespace mbp::data

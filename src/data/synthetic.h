@@ -1,0 +1,49 @@
+#ifndef MBP_DATA_SYNTHETIC_H_
+#define MBP_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "random/rng.h"
+
+namespace mbp::data {
+
+// Generators for the paper's two simulated datasets (Section 6.1):
+//
+//   Simulated1 (regression): feature vectors drawn from a standard normal;
+//   targets are the inner product of the features with a fixed hyperplane
+//   vector, plus optional observation noise.
+//
+//   Simulated2 (classification): feature vectors drawn from a standard
+//   normal; the label is +1 with probability `label_flip_keep` (paper: 0.95)
+//   when the point lies above a fixed hyperplane, and -1 otherwise
+//   (symmetrically noisy below the hyperplane).
+
+struct Simulated1Options {
+  size_t num_examples = 10000;
+  size_t num_features = 20;
+  // Standard deviation of additive Gaussian noise on the target.
+  double noise_stddev = 0.1;
+  uint64_t seed = 1;
+};
+
+struct Simulated2Options {
+  size_t num_examples = 10000;
+  size_t num_features = 20;
+  // Probability that a point above the hyperplane is labeled +1
+  // (paper uses 0.95).
+  double label_keep_probability = 0.95;
+  uint64_t seed = 2;
+};
+
+// Generates Simulated1. The hyperplane is a fixed unit vector derived from
+// the seed, so the same options always produce the same dataset.
+StatusOr<Dataset> GenerateSimulated1(const Simulated1Options& options);
+
+// Generates Simulated2 with labels in {-1, +1}.
+StatusOr<Dataset> GenerateSimulated2(const Simulated2Options& options);
+
+}  // namespace mbp::data
+
+#endif  // MBP_DATA_SYNTHETIC_H_

@@ -1,0 +1,167 @@
+#include "data/table.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <set>
+
+#include "common/check.h"
+
+namespace mbp::data {
+namespace {
+
+// Splits a CSV line on `delimiter`, trimming surrounding whitespace and a
+// trailing '\r'.
+std::vector<std::string> SplitCells(const std::string& line,
+                                    char delimiter) {
+  std::vector<std::string> cells;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t end = line.find(delimiter, start);
+    if (end == std::string::npos) end = line.size();
+    size_t lo = start, hi = end;
+    while (lo < hi && (line[lo] == ' ' || line[lo] == '\t')) ++lo;
+    while (hi > lo && (line[hi - 1] == ' ' || line[hi - 1] == '\t' ||
+                       line[hi - 1] == '\r')) {
+      --hi;
+    }
+    cells.push_back(line.substr(lo, hi - lo));
+    if (end == line.size()) break;
+    start = end + 1;
+  }
+  return cells;
+}
+
+}  // namespace
+
+StatusOr<Table> Table::Create(std::vector<std::string> column_names) {
+  if (column_names.empty()) {
+    return InvalidArgumentError("table needs at least one column");
+  }
+  std::set<std::string> seen;
+  for (const std::string& name : column_names) {
+    if (name.empty()) {
+      return InvalidArgumentError("column names must be non-empty");
+    }
+    if (!seen.insert(name).second) {
+      return InvalidArgumentError("duplicate column name: " + name);
+    }
+  }
+  return Table(std::move(column_names));
+}
+
+StatusOr<Table> Table::FromCsv(const std::string& path, char delimiter) {
+  std::ifstream in(path);
+  if (!in.is_open()) return NotFoundError("cannot open CSV file: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return InvalidArgumentError("CSV file is empty: " + path);
+  }
+  MBP_ASSIGN_OR_RETURN(Table table,
+                       Table::Create(SplitCells(line, delimiter)));
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line == "\r") continue;
+    const std::vector<std::string> cells = SplitCells(line, delimiter);
+    std::vector<double> row(cells.size());
+    for (size_t j = 0; j < cells.size(); ++j) {
+      const std::string& cell = cells[j];
+      const auto [ptr, ec] = std::from_chars(
+          cell.data(), cell.data() + cell.size(), row[j]);
+      if (ec != std::errc() || ptr != cell.data() + cell.size()) {
+        return InvalidArgumentError("non-numeric cell at line " +
+                                    std::to_string(line_number));
+      }
+    }
+    const Status status = table.AppendRow(std::move(row));
+    if (!status.ok()) {
+      return InvalidArgumentError(status.message() + " at line " +
+                                  std::to_string(line_number));
+    }
+  }
+  return table;
+}
+
+Status Table::AppendRow(std::vector<double> row) {
+  if (row.size() != num_columns()) {
+    return InvalidArgumentError("row has " + std::to_string(row.size()) +
+                                " cells; table has " +
+                                std::to_string(num_columns()) + " columns");
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+double Table::At(size_t row, size_t column) const {
+  MBP_CHECK_LT(row, num_rows());
+  MBP_CHECK_LT(column, num_columns());
+  return rows_[row][column];
+}
+
+StatusOr<size_t> Table::ColumnIndex(const std::string& name) const {
+  const auto it =
+      std::find(column_names_.begin(), column_names_.end(), name);
+  if (it == column_names_.end()) {
+    return NotFoundError("no column named '" + name + "'");
+  }
+  return static_cast<size_t>(it - column_names_.begin());
+}
+
+StatusOr<Table> Table::Project(
+    const std::vector<std::string>& columns) const {
+  std::vector<size_t> indices(columns.size());
+  for (size_t j = 0; j < columns.size(); ++j) {
+    MBP_ASSIGN_OR_RETURN(indices[j], ColumnIndex(columns[j]));
+  }
+  MBP_ASSIGN_OR_RETURN(Table projected, Table::Create(columns));
+  for (const std::vector<double>& row : rows_) {
+    std::vector<double> projected_row(indices.size());
+    for (size_t j = 0; j < indices.size(); ++j) {
+      projected_row[j] = row[indices[j]];
+    }
+    MBP_CHECK(projected.AppendRow(std::move(projected_row)).ok());
+  }
+  return projected;
+}
+
+Table Table::Where(
+    const std::function<bool(const std::vector<double>&)>& predicate)
+    const {
+  Table filtered(column_names_);
+  for (const std::vector<double>& row : rows_) {
+    if (predicate(row)) filtered.rows_.push_back(row);
+  }
+  return filtered;
+}
+
+StatusOr<Dataset> Table::ToDataset(
+    const std::vector<std::string>& feature_columns,
+    const std::string& target_column, TaskType task) const {
+  if (feature_columns.empty()) {
+    return InvalidArgumentError("need at least one feature column");
+  }
+  std::vector<size_t> feature_indices(feature_columns.size());
+  for (size_t j = 0; j < feature_columns.size(); ++j) {
+    MBP_ASSIGN_OR_RETURN(feature_indices[j],
+                         ColumnIndex(feature_columns[j]));
+  }
+  MBP_ASSIGN_OR_RETURN(size_t target_index, ColumnIndex(target_column));
+  for (size_t index : feature_indices) {
+    if (index == target_index) {
+      return InvalidArgumentError(
+          "target column may not also be a feature: " + target_column);
+    }
+  }
+  linalg::Matrix features(num_rows(), feature_indices.size());
+  linalg::Vector targets(num_rows());
+  for (size_t i = 0; i < num_rows(); ++i) {
+    for (size_t j = 0; j < feature_indices.size(); ++j) {
+      features(i, j) = rows_[i][feature_indices[j]];
+    }
+    targets[i] = rows_[i][target_index];
+  }
+  return Dataset::Create(std::move(features), std::move(targets), task);
+}
+
+}  // namespace mbp::data

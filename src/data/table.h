@@ -1,0 +1,73 @@
+#ifndef MBP_DATA_TABLE_H_
+#define MBP_DATA_TABLE_H_
+
+// A minimal relational layer. The paper prices "machine learning over
+// relational data": sellers hold relational tables (Bloomberg feeds,
+// census tables), and the broker trains on a projection of columns with
+// one column as the prediction target. Table models that step: named
+// numeric columns, projection/selection, and conversion into the ML
+// substrate's Dataset.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+
+namespace mbp::data {
+
+class Table {
+ public:
+  // Creates a table with the given column names; all rows start empty.
+  // Column names must be unique and non-empty.
+  static StatusOr<Table> Create(std::vector<std::string> column_names);
+
+  // Loads a table from a CSV file with a header row of column names.
+  // All cells must be numeric.
+  static StatusOr<Table> FromCsv(const std::string& path,
+                                 char delimiter = ',');
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return column_names_.size(); }
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+
+  // Appends one row; must have num_columns() values.
+  Status AppendRow(std::vector<double> row);
+
+  // Cell access. Checked programming errors on out-of-range indices.
+  double At(size_t row, size_t column) const;
+
+  // Index of a named column; NotFound if absent.
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  // Relational operators (each returns a new table).
+
+  // Projection onto the named columns, in the given order.
+  StatusOr<Table> Project(const std::vector<std::string>& columns) const;
+
+  // Selection: keeps rows where `predicate` returns true. The callback
+  // receives the full row.
+  Table Where(
+      const std::function<bool(const std::vector<double>&)>& predicate)
+      const;
+
+  // The ML bridge: feature columns + a target column -> Dataset. For
+  // classification the target column must hold -1/+1 labels.
+  StatusOr<Dataset> ToDataset(const std::vector<std::string>& feature_columns,
+                              const std::string& target_column,
+                              TaskType task) const;
+
+ private:
+  explicit Table(std::vector<std::string> column_names)
+      : column_names_(std::move(column_names)) {}
+
+  std::vector<std::string> column_names_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace mbp::data
+
+#endif  // MBP_DATA_TABLE_H_

@@ -1,0 +1,138 @@
+#include "io/model_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace mbp::io {
+namespace {
+
+constexpr char kModelHeader[] = "mbp-model v1";
+constexpr char kPricingHeader[] = "mbp-pricing v1";
+
+StatusOr<ml::ModelKind> ParseModelKind(const std::string& name) {
+  if (name == "linear_regression") return ml::ModelKind::kLinearRegression;
+  if (name == "logistic_regression") {
+    return ml::ModelKind::kLogisticRegression;
+  }
+  if (name == "linear_svm") return ml::ModelKind::kLinearSvm;
+  return InvalidArgumentError("unknown model kind: " + name);
+}
+
+StatusOr<double> ParseDouble(const std::string& token) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return InvalidArgumentError("malformed number: '" + token + "'");
+  }
+  return value;
+}
+
+// Reads one line; strips a trailing '\r'. False at EOF.
+bool GetLine(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+}  // namespace
+
+Status WriteModel(const ml::LinearModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return InternalError("cannot open for writing: " + path);
+  }
+  out.precision(17);
+  out << kModelHeader << "\n";
+  out << "kind " << ml::ModelKindToString(model.kind()) << "\n";
+  out << "dim " << model.num_features() << "\n";
+  for (size_t i = 0; i < model.num_features(); ++i) {
+    out << model.coefficients()[i] << "\n";
+  }
+  if (!out.good()) return InternalError("I/O error writing: " + path);
+  return Status::OK();
+}
+
+StatusOr<ml::LinearModel> ReadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return NotFoundError("cannot open: " + path);
+  std::string line;
+  if (!GetLine(in, line) || line != kModelHeader) {
+    return InvalidArgumentError("missing or wrong header (want '" +
+                                std::string(kModelHeader) + "')");
+  }
+  if (!GetLine(in, line) || line.rfind("kind ", 0) != 0) {
+    return InvalidArgumentError("missing 'kind' line");
+  }
+  MBP_ASSIGN_OR_RETURN(ml::ModelKind kind, ParseModelKind(line.substr(5)));
+  if (!GetLine(in, line) || line.rfind("dim ", 0) != 0) {
+    return InvalidArgumentError("missing 'dim' line");
+  }
+  MBP_ASSIGN_OR_RETURN(double dim_value, ParseDouble(line.substr(4)));
+  if (dim_value < 1 || dim_value != static_cast<size_t>(dim_value)) {
+    return InvalidArgumentError("dim must be a positive integer");
+  }
+  const auto dim = static_cast<size_t>(dim_value);
+  linalg::Vector coefficients(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    if (!GetLine(in, line)) {
+      return InvalidArgumentError("truncated file: expected " +
+                                  std::to_string(dim) + " coefficients");
+    }
+    MBP_ASSIGN_OR_RETURN(coefficients[i], ParseDouble(line));
+  }
+  return ml::LinearModel(kind, std::move(coefficients));
+}
+
+Status WritePricing(const core::PiecewiseLinearPricing& pricing,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return InternalError("cannot open for writing: " + path);
+  }
+  out.precision(17);
+  out << kPricingHeader << "\n";
+  out << "points " << pricing.points().size() << "\n";
+  for (const core::PricePoint& point : pricing.points()) {
+    out << point.x << " " << point.price << "\n";
+  }
+  if (!out.good()) return InternalError("I/O error writing: " + path);
+  return Status::OK();
+}
+
+StatusOr<core::PiecewiseLinearPricing> ReadPricing(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return NotFoundError("cannot open: " + path);
+  std::string line;
+  if (!GetLine(in, line) || line != kPricingHeader) {
+    return InvalidArgumentError("missing or wrong header (want '" +
+                                std::string(kPricingHeader) + "')");
+  }
+  if (!GetLine(in, line) || line.rfind("points ", 0) != 0) {
+    return InvalidArgumentError("missing 'points' line");
+  }
+  MBP_ASSIGN_OR_RETURN(double count_value, ParseDouble(line.substr(7)));
+  if (count_value < 1 || count_value != static_cast<size_t>(count_value)) {
+    return InvalidArgumentError("points must be a positive integer");
+  }
+  const auto count = static_cast<size_t>(count_value);
+  std::vector<core::PricePoint> points(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!GetLine(in, line)) {
+      return InvalidArgumentError("truncated file: expected " +
+                                  std::to_string(count) + " points");
+    }
+    std::istringstream row(line);
+    std::string x_token, price_token, extra;
+    if (!(row >> x_token >> price_token) || (row >> extra)) {
+      return InvalidArgumentError("malformed point line: '" + line + "'");
+    }
+    MBP_ASSIGN_OR_RETURN(points[i].x, ParseDouble(x_token));
+    MBP_ASSIGN_OR_RETURN(points[i].price, ParseDouble(price_token));
+  }
+  return core::PiecewiseLinearPricing::Create(std::move(points));
+}
+
+}  // namespace mbp::io

@@ -1,0 +1,46 @@
+#ifndef MBP_IO_MODEL_IO_H_
+#define MBP_IO_MODEL_IO_H_
+
+// Persistence for the artifacts a marketplace needs to keep or hand over:
+// trained/purchased model instances and posted pricing curves. The format
+// is a small line-oriented text format with full double round-tripping
+// (17 significant digits), versioned via a header line so future formats
+// can evolve.
+
+#include <string>
+
+#include "common/statusor.h"
+#include "core/pricing_function.h"
+#include "ml/model.h"
+
+namespace mbp::io {
+
+// Writes `model` to `path`. Format:
+//   mbp-model v1
+//   kind <linear_regression|logistic_regression|linear_svm>
+//   dim <d>
+//   <coefficient 0>
+//   ...
+// Returns Internal on I/O failure.
+Status WriteModel(const ml::LinearModel& model, const std::string& path);
+
+// Reads a model written by WriteModel. NotFound if the file is missing;
+// InvalidArgument on a malformed or version-mismatched file (message says
+// what was wrong).
+StatusOr<ml::LinearModel> ReadModel(const std::string& path);
+
+// Writes a pricing curve's knots to `path`. Format:
+//   mbp-pricing v1
+//   points <n>
+//   <x> <price>
+//   ...
+Status WritePricing(const core::PiecewiseLinearPricing& pricing,
+                    const std::string& path);
+
+// Reads a pricing curve written by WritePricing. Validation matches
+// PiecewiseLinearPricing::Create (strictly increasing x > 0, prices >= 0).
+StatusOr<core::PiecewiseLinearPricing> ReadPricing(const std::string& path);
+
+}  // namespace mbp::io
+
+#endif  // MBP_IO_MODEL_IO_H_

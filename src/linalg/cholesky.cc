@@ -1,0 +1,84 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace mbp::linalg {
+
+StatusOr<Cholesky> Cholesky::Factorize(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return InvalidArgumentError("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      return FailedPreconditionError(
+          "matrix is not numerically positive definite");
+    }
+    const double l_jj = std::sqrt(diag);
+    l(j, j) = l_jj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / l_jj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  const size_t n = dim();
+  MBP_CHECK_EQ(b.size(), n);
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * x[k];
+    x[ii] = sum / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::Solve(const Matrix& b) const {
+  MBP_CHECK_EQ(b.rows(), dim());
+  Matrix x(b.rows(), b.cols());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    Vector col(b.rows());
+    for (size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    Vector sol = Solve(col);
+    for (size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+double Cholesky::LogDeterminant() const {
+  double log_det = 0.0;
+  for (size_t i = 0; i < dim(); ++i) log_det += 2.0 * std::log(l_(i, i));
+  return log_det;
+}
+
+StatusOr<Vector> SolveSpd(const Matrix& a, const Vector& b, double ridge) {
+  if (a.rows() != a.cols()) {
+    return InvalidArgumentError("SolveSpd requires a square matrix");
+  }
+  if (a.rows() != b.size()) {
+    return InvalidArgumentError("SolveSpd dimension mismatch");
+  }
+  Matrix regularized = a;
+  if (ridge != 0.0) {
+    for (size_t i = 0; i < a.rows(); ++i) regularized(i, i) += ridge;
+  }
+  MBP_ASSIGN_OR_RETURN(Cholesky chol, Cholesky::Factorize(regularized));
+  return chol.Solve(b);
+}
+
+}  // namespace mbp::linalg

@@ -1,0 +1,46 @@
+#ifndef MBP_LINALG_CHOLESKY_H_
+#define MBP_LINALG_CHOLESKY_H_
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace mbp::linalg {
+
+// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+// Used to solve the (regularized) normal equations of least squares and the
+// Newton systems of logistic regression.
+class Cholesky {
+ public:
+  // Factorizes `a` (must be square and symmetric). Returns
+  // FailedPrecondition if `a` is not (numerically) positive definite.
+  static StatusOr<Cholesky> Factorize(const Matrix& a);
+
+  // Solves A x = b using the stored factor. Requires b.size() == dim().
+  Vector Solve(const Vector& b) const;
+
+  // Solves A X = B column-wise; B must have dim() rows.
+  Matrix Solve(const Matrix& b) const;
+
+  // log(det(A)) = 2 * sum_i log(L_ii). Finite because all L_ii > 0.
+  double LogDeterminant() const;
+
+  size_t dim() const { return l_.rows(); }
+
+  // The lower-triangular factor L.
+  const Matrix& lower() const { return l_; }
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+
+  Matrix l_;
+};
+
+// Solves the SPD system A x = b, adding `ridge * I` jitter before
+// factorizing (ridge may be 0). Convenience wrapper for one-shot solves.
+StatusOr<Vector> SolveSpd(const Matrix& a, const Vector& b,
+                          double ridge = 0.0);
+
+}  // namespace mbp::linalg
+
+#endif  // MBP_LINALG_CHOLESKY_H_

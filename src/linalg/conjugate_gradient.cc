@@ -1,0 +1,84 @@
+#include "linalg/conjugate_gradient.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace mbp::linalg {
+
+StatusOr<CgResult> ConjugateGradientSolve(const LinearOperator& apply_a,
+                                          const Vector& b,
+                                          const CgOptions& options) {
+  if (b.empty()) return InvalidArgumentError("empty right-hand side");
+  const double b_norm = Norm2(b);
+  CgResult result{Vector(b.size()), 0, b_norm, false};
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  const double threshold = options.relative_tolerance * b_norm;
+
+  Vector residual = b;  // r = b - A*0
+  Vector direction = residual;
+  double residual_sq = SquaredNorm2(residual);
+  for (; result.iterations < options.max_iterations; ++result.iterations) {
+    if (std::sqrt(residual_sq) <= threshold) {
+      result.converged = true;
+      break;
+    }
+    const Vector a_direction = apply_a(direction);
+    if (a_direction.size() != b.size()) {
+      return InvalidArgumentError("operator changed the dimension");
+    }
+    const double curvature = Dot(direction, a_direction);
+    if (!(curvature > 0.0)) {
+      return FailedPreconditionError(
+          "operator is not positive definite (non-positive curvature)");
+    }
+    const double step = residual_sq / curvature;
+    Axpy(step, direction.data(), result.x.data(), b.size());
+    Axpy(-step, a_direction.data(), residual.data(), b.size());
+    const double next_residual_sq = SquaredNorm2(residual);
+    const double beta = next_residual_sq / residual_sq;
+    for (size_t i = 0; i < b.size(); ++i) {
+      direction[i] = residual[i] + beta * direction[i];
+    }
+    residual_sq = next_residual_sq;
+  }
+  result.residual_norm = std::sqrt(residual_sq);
+  result.converged =
+      result.converged || result.residual_norm <= threshold;
+  return result;
+}
+
+StatusOr<CgResult> ConjugateGradientSolve(const Matrix& a, const Vector& b,
+                                          const CgOptions& options) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return InvalidArgumentError("matrix/vector shape mismatch");
+  }
+  return ConjugateGradientSolve(
+      [&a](const Vector& v) { return MatVec(a, v); }, b, options);
+}
+
+StatusOr<CgResult> SolveRidgeMatrixFree(const Matrix& x, const Vector& y,
+                                        double l2,
+                                        const CgOptions& options) {
+  if (x.rows() != y.size()) {
+    return InvalidArgumentError("rows of X must match length of y");
+  }
+  if (l2 < 0.0) return InvalidArgumentError("l2 must be non-negative");
+  const double n = static_cast<double>(x.rows());
+  Vector rhs = MatTVec(x, y);
+  Scale(1.0 / n, rhs.data(), rhs.size());
+  const LinearOperator normal_operator = [&x, l2, n](const Vector& w) {
+    Vector xw = MatVec(x, w);
+    Vector xtxw = MatTVec(x, xw);
+    for (size_t j = 0; j < xtxw.size(); ++j) {
+      xtxw[j] = xtxw[j] / n + 2.0 * l2 * w[j];
+    }
+    return xtxw;
+  };
+  return ConjugateGradientSolve(normal_operator, rhs, options);
+}
+
+}  // namespace mbp::linalg

@@ -1,0 +1,53 @@
+#ifndef MBP_LINALG_CONJUGATE_GRADIENT_H_
+#define MBP_LINALG_CONJUGATE_GRADIENT_H_
+
+#include <functional>
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace mbp::linalg {
+
+// Conjugate-gradient solver for SPD systems A x = b. Matrix-free: the
+// caller supplies the operator v -> A v, so the normal equations
+// (X^T X + c I) w = X^T y can be solved without ever materializing the
+// Gram matrix — the route to high-dimensional listings where d x d
+// storage hurts.
+struct CgOptions {
+  size_t max_iterations = 1000;
+  // Stop when ||residual|| <= tolerance * ||b||.
+  double relative_tolerance = 1e-10;
+};
+
+struct CgResult {
+  Vector x;
+  size_t iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+// Callable mapping a Vector to A * v (A symmetric positive definite).
+using LinearOperator = std::function<Vector(const Vector&)>;
+
+// Solves A x = b from the zero initial guess. FailedPrecondition when the
+// operator produces a direction of non-positive curvature (A not PD).
+StatusOr<CgResult> ConjugateGradientSolve(const LinearOperator& apply_a,
+                                          const Vector& b,
+                                          const CgOptions& options = {});
+
+// Dense convenience overload.
+StatusOr<CgResult> ConjugateGradientSolve(const Matrix& a, const Vector& b,
+                                          const CgOptions& options = {});
+
+// Matrix-free ridge regression: solves
+//   (X^T X / n + 2*l2*I) w = X^T y / n
+// using only MatVec/MatTVec products with X. Equivalent to
+// TrainLinearRegression's normal equations, without forming X^T X.
+StatusOr<CgResult> SolveRidgeMatrixFree(const Matrix& x, const Vector& y,
+                                        double l2,
+                                        const CgOptions& options = {});
+
+}  // namespace mbp::linalg
+
+#endif  // MBP_LINALG_CONJUGATE_GRADIENT_H_

@@ -1,0 +1,132 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace mbp::linalg {
+namespace {
+
+// Largest |a_ij|, i != j.
+double MaxOffDiagonal(const Matrix& a) {
+  double max_abs = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = i + 1; j < a.cols(); ++j) {
+      max_abs = std::max(max_abs, std::fabs(a(i, j)));
+    }
+  }
+  return max_abs;
+}
+
+double MaxDiagonal(const Matrix& a) {
+  double max_abs = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(a(i, i)));
+  }
+  return max_abs;
+}
+
+}  // namespace
+
+StatusOr<SymmetricEigen> JacobiEigenDecomposition(
+    const Matrix& a, const JacobiOptions& options) {
+  const size_t n = a.rows();
+  if (n == 0 || a.cols() != n) {
+    return InvalidArgumentError("matrix must be square and non-empty");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double scale =
+          std::max({1.0, std::fabs(a(i, j)), std::fabs(a(j, i))});
+      if (std::fabs(a(i, j) - a(j, i)) > 1e-9 * scale) {
+        return InvalidArgumentError("matrix is not symmetric");
+      }
+    }
+  }
+
+  Matrix work = a;
+  Matrix v = Matrix::Identity(n);
+  const double diag_scale = std::max(MaxDiagonal(work), 1e-300);
+
+  bool converged = false;
+  for (size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    if (MaxOffDiagonal(work) <= options.tolerance * diag_scale) {
+      converged = true;
+      break;
+    }
+    // One cyclic sweep of Jacobi rotations.
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = work(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = work(p, p);
+        const double aqq = work(q, q);
+        // Rotation angle zeroing work(p, q).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = work(k, p);
+          const double akq = work(k, q);
+          work(k, p) = c * akp - s * akq;
+          work(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = work(p, k);
+          const double aqk = work(q, k);
+          work(p, k) = c * apk - s * aqk;
+          work(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!converged &&
+      MaxOffDiagonal(work) > options.tolerance * diag_scale) {
+    return FailedPreconditionError(
+        "Jacobi iteration did not converge within the sweep budget");
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns along.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+    return work(i, i) < work(j, j);
+  });
+  SymmetricEigen result{Vector(n), Matrix(n, n)};
+  for (size_t j = 0; j < n; ++j) {
+    result.values[j] = work(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) {
+      result.vectors(i, j) = v(i, order[j]);
+    }
+  }
+  return result;
+}
+
+StatusOr<double> SpectralConditionNumber(const Matrix& a) {
+  MBP_ASSIGN_OR_RETURN(SymmetricEigen eigen, JacobiEigenDecomposition(a));
+  double max_abs = 0.0;
+  double min_abs = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < eigen.values.size(); ++i) {
+    const double abs_value = std::fabs(eigen.values[i]);
+    max_abs = std::max(max_abs, abs_value);
+    min_abs = std::min(min_abs, abs_value);
+  }
+  if (min_abs <= 1e-300 * max_abs) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return max_abs / min_abs;
+}
+
+}  // namespace mbp::linalg

@@ -1,0 +1,38 @@
+#ifndef MBP_LINALG_EIGEN_H_
+#define MBP_LINALG_EIGEN_H_
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace mbp::linalg {
+
+// Eigendecomposition of a symmetric matrix by the cyclic Jacobi rotation
+// method: A = V diag(values) V^T. Used for conditioning diagnostics of
+// Gram matrices (ill-conditioned normal equations explain square-loss
+// error-curve slopes) and exposed as general linear-algebra substrate.
+struct SymmetricEigen {
+  Vector values;   // ascending
+  Matrix vectors;  // column j is the eigenvector of values[j]
+};
+
+struct JacobiOptions {
+  size_t max_sweeps = 50;
+  // Converged when the largest off-diagonal magnitude falls below
+  // tolerance * max diagonal magnitude.
+  double tolerance = 1e-12;
+};
+
+// Requires `a` square and symmetric (checked against `symmetry_tolerance`
+// relative asymmetry). Returns FailedPrecondition if the sweep budget is
+// exhausted before convergence (does not happen for well-scaled inputs).
+StatusOr<SymmetricEigen> JacobiEigenDecomposition(
+    const Matrix& a, const JacobiOptions& options = {});
+
+// Spectral condition number max|lambda| / min|lambda| of a symmetric
+// matrix; +infinity when the smallest eigenvalue is numerically zero.
+StatusOr<double> SpectralConditionNumber(const Matrix& a);
+
+}  // namespace mbp::linalg
+
+#endif  // MBP_LINALG_EIGEN_H_

@@ -1,0 +1,98 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+
+#include "linalg/vector_ops.h"
+
+namespace mbp::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(rows.size() == 0 ? 0 : rows.begin()->size()) {
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    MBP_CHECK_EQ(row.size(), cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix eye(n, n);
+  for (size_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  return eye;
+}
+
+Vector Matrix::Row(size_t i) const {
+  MBP_CHECK_LT(i, rows_);
+  Vector out(cols_);
+  std::copy(RowData(i), RowData(i) + cols_, out.data());
+  return out;
+}
+
+void Matrix::SetRow(size_t i, const Vector& row) {
+  MBP_CHECK_LT(i, rows_);
+  MBP_CHECK_EQ(row.size(), cols_);
+  std::copy(row.data(), row.data() + cols_, RowData(i));
+}
+
+Vector MatVec(const Matrix& a, const Vector& x) {
+  MBP_CHECK_EQ(a.cols(), x.size());
+  Vector y(a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    y[i] = Dot(a.RowData(i), x.data(), a.cols());
+  }
+  return y;
+}
+
+Vector MatTVec(const Matrix& a, const Vector& x) {
+  MBP_CHECK_EQ(a.rows(), x.size());
+  Vector y(a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    Axpy(x[i], a.RowData(i), y.data(), a.cols());
+  }
+  return y;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  MBP_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* c_row = c.RowData(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double a_ik = a(i, k);
+      if (a_ik == 0.0) continue;
+      Axpy(a_ik, b.RowData(k), c_row, b.cols());
+    }
+  }
+  return c;
+}
+
+Matrix GramMatrix(const Matrix& a) {
+  const size_t d = a.cols();
+  Matrix g(d, d);
+  // Accumulate rank-1 updates row by row; fill the lower triangle then
+  // mirror, halving the flops.
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.RowData(r);
+    for (size_t i = 0; i < d; ++i) {
+      const double v = row[i];
+      if (v == 0.0) continue;
+      double* g_row = g.RowData(i);
+      for (size_t j = 0; j <= i; ++j) g_row[j] += v * row[j];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i + 1; j < d; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+}  // namespace mbp::linalg

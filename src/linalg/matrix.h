@@ -1,0 +1,95 @@
+#ifndef MBP_LINALG_MATRIX_H_
+#define MBP_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/vector.h"
+
+namespace mbp::linalg {
+
+// Dense row-major matrix of doubles. Rows are contiguous, so per-example
+// feature vectors (one row per training example) can be handed to the
+// raw-pointer kernels in vector_ops.h without copies.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  // Zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0) {}
+  Matrix(size_t rows, size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  // Constructs from nested initializer lists; all rows must have equal size.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  // The n x n identity.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double operator()(size_t i, size_t j) const {
+    MBP_CHECK_LT(i, rows_);
+    MBP_CHECK_LT(j, cols_);
+    return data_[i * cols_ + j];
+  }
+  double& operator()(size_t i, size_t j) {
+    MBP_CHECK_LT(i, rows_);
+    MBP_CHECK_LT(j, cols_);
+    return data_[i * cols_ + j];
+  }
+
+  // Pointer to the start of row i (length cols()).
+  const double* RowData(size_t i) const {
+    MBP_CHECK_LT(i, rows_);
+    return data_.data() + i * cols_;
+  }
+  double* RowData(size_t i) {
+    MBP_CHECK_LT(i, rows_);
+    return data_.data() + i * cols_;
+  }
+
+  // Copies row i into a Vector.
+  Vector Row(size_t i) const;
+  void SetRow(size_t i, const Vector& row);
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+// y = A x. Requires x.size() == A.cols(); returns a vector of length A.rows().
+Vector MatVec(const Matrix& a, const Vector& x);
+
+// y = A^T x. Requires x.size() == A.rows(); returns a vector of length
+// A.cols().
+Vector MatTVec(const Matrix& a, const Vector& x);
+
+// C = A B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// Returns A^T A (the Gram matrix of the columns), a cols x cols SPD matrix
+// when A has full column rank. The hot kernel behind closed-form least
+// squares and Newton steps.
+Matrix GramMatrix(const Matrix& a);
+
+Matrix Transpose(const Matrix& a);
+
+}  // namespace mbp::linalg
+
+#endif  // MBP_LINALG_MATRIX_H_

@@ -1,0 +1,105 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+namespace mbp::linalg {
+
+StatusOr<QrDecomposition> QrDecomposition::Factorize(const Matrix& a) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (m < n || n == 0) {
+    return InvalidArgumentError("QR requires rows >= cols >= 1");
+  }
+  Matrix h = a;
+  Vector tau(n);
+  for (size_t k = 0; k < n; ++k) {
+    // Householder vector annihilating column k below the diagonal.
+    double norm_sq = 0.0;
+    for (size_t i = k; i < m; ++i) norm_sq += h(i, k) * h(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) {
+      tau[k] = 0.0;  // column already zero; R_kk = 0 (rank deficient)
+      continue;
+    }
+    // alpha chosen with the opposite sign of the pivot for stability.
+    const double alpha = (h(k, k) >= 0.0) ? -norm : norm;
+    const double v0 = h(k, k) - alpha;
+    // v = (v0, h[k+1..m, k]); store normalized v (v0 := 1) below the
+    // diagonal, tau = 2 / ||v||^2 * v0^2-scaled form. Using the standard
+    // LAPACK-style convention: w = v / v0, tau_k = v0^2 * 2/||v||^2...
+    // Here we keep the simpler explicit form: store v_i / v0 and
+    // tau = 2 v0^2 / ||v||^2.
+    double v_norm_sq = v0 * v0;
+    for (size_t i = k + 1; i < m; ++i) v_norm_sq += h(i, k) * h(i, k);
+    const double tau_k = 2.0 * v0 * v0 / v_norm_sq;
+    for (size_t i = k + 1; i < m; ++i) h(i, k) /= v0;
+    h(k, k) = alpha;  // R_kk
+    tau[k] = tau_k;
+
+    // Apply H = I - tau * w w^T (w has implicit leading 1) to the
+    // remaining columns.
+    for (size_t j = k + 1; j < n; ++j) {
+      double dot = h(k, j);
+      for (size_t i = k + 1; i < m; ++i) dot += h(i, k) * h(i, j);
+      const double scale = tau_k * dot;
+      h(k, j) -= scale;
+      for (size_t i = k + 1; i < m; ++i) h(i, j) -= scale * h(i, k);
+    }
+  }
+  return QrDecomposition(std::move(h), std::move(tau));
+}
+
+Vector QrDecomposition::ApplyQTranspose(const Vector& b) const {
+  MBP_CHECK_EQ(b.size(), rows());
+  const size_t m = rows();
+  const size_t n = cols();
+  Vector out = b;
+  for (size_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double dot = out[k];
+    for (size_t i = k + 1; i < m; ++i) dot += householder_(i, k) * out[i];
+    const double scale = tau_[k] * dot;
+    out[k] -= scale;
+    for (size_t i = k + 1; i < m; ++i) {
+      out[i] -= scale * householder_(i, k);
+    }
+  }
+  return out;
+}
+
+StatusOr<Vector> QrDecomposition::SolveLeastSquares(const Vector& b) const {
+  if (b.size() != rows()) {
+    return InvalidArgumentError("rhs length must equal row count");
+  }
+  const size_t n = cols();
+  const Vector qtb = ApplyQTranspose(b);
+  // Back-substitute R x = (Q^T b)[0..n).
+  Vector x(n);
+  for (size_t kk = n; kk-- > 0;) {
+    double sum = qtb[kk];
+    for (size_t j = kk + 1; j < n; ++j) sum -= householder_(kk, j) * x[j];
+    const double diag = householder_(kk, kk);
+    if (std::fabs(diag) < 1e-12) {
+      return FailedPreconditionError(
+          "matrix is numerically rank-deficient");
+    }
+    x[kk] = sum / diag;
+  }
+  return x;
+}
+
+Matrix QrDecomposition::R() const {
+  const size_t n = cols();
+  Matrix r(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) r(i, j) = householder_(i, j);
+  }
+  return r;
+}
+
+StatusOr<Vector> LeastSquaresQr(const Matrix& a, const Vector& b) {
+  MBP_ASSIGN_OR_RETURN(QrDecomposition qr, QrDecomposition::Factorize(a));
+  return qr.SolveLeastSquares(b);
+}
+
+}  // namespace mbp::linalg

@@ -1,0 +1,117 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mbp::linalg {
+
+StatusOr<SparseMatrix> SparseMatrix::FromTriplets(
+    size_t rows, size_t cols, std::vector<SparseEntry> entries) {
+  if (rows == 0 || cols == 0) {
+    return InvalidArgumentError("matrix dimensions must be positive");
+  }
+  for (const SparseEntry& entry : entries) {
+    if (entry.row >= rows || entry.col >= cols) {
+      return InvalidArgumentError("entry out of range: (" +
+                                  std::to_string(entry.row) + ", " +
+                                  std::to_string(entry.col) + ")");
+    }
+    if (!std::isfinite(entry.value)) {
+      return InvalidArgumentError("non-finite entry value");
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix matrix(rows, cols);
+  matrix.row_offsets_.assign(rows + 1, 0);
+  matrix.col_indices_.reserve(entries.size());
+  matrix.values_.reserve(entries.size());
+  size_t i = 0;
+  for (size_t row = 0; row < rows; ++row) {
+    matrix.row_offsets_[row] = matrix.values_.size();
+    while (i < entries.size() && entries[i].row == row) {
+      // Sum duplicates sharing (row, col).
+      double value = entries[i].value;
+      const size_t col = entries[i].col;
+      ++i;
+      while (i < entries.size() && entries[i].row == row &&
+             entries[i].col == col) {
+        value += entries[i].value;
+        ++i;
+      }
+      if (value != 0.0) {
+        matrix.col_indices_.push_back(col);
+        matrix.values_.push_back(value);
+      }
+    }
+  }
+  matrix.row_offsets_[rows] = matrix.values_.size();
+  return matrix;
+}
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense,
+                                     double tolerance) {
+  std::vector<SparseEntry> entries;
+  for (size_t i = 0; i < dense.rows(); ++i) {
+    for (size_t j = 0; j < dense.cols(); ++j) {
+      if (std::fabs(dense(i, j)) > tolerance) {
+        entries.push_back({i, j, dense(i, j)});
+      }
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(entries))
+      .value();
+}
+
+double SparseMatrix::RowDot(size_t i, const Vector& x) const {
+  MBP_CHECK_EQ(x.size(), cols_);
+  const size_t* indices = RowIndices(i);
+  const double* values = RowValues(i);
+  const size_t count = RowNonzeros(i);
+  double total = 0.0;
+  for (size_t k = 0; k < count; ++k) {
+    total += values[k] * x[indices[k]];
+  }
+  return total;
+}
+
+Vector SparseMatrix::Multiply(const Vector& x) const {
+  MBP_CHECK_EQ(x.size(), cols_);
+  Vector y(rows_);
+  for (size_t i = 0; i < rows_; ++i) y[i] = RowDot(i, x);
+  return y;
+}
+
+Vector SparseMatrix::TransposeMultiply(const Vector& x) const {
+  MBP_CHECK_EQ(x.size(), rows_);
+  Vector y(cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double scale = x[i];
+    if (scale == 0.0) continue;
+    const size_t* indices = RowIndices(i);
+    const double* values = RowValues(i);
+    const size_t count = RowNonzeros(i);
+    for (size_t k = 0; k < count; ++k) {
+      y[indices[k]] += scale * values[k];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const size_t* indices = RowIndices(i);
+    const double* values = RowValues(i);
+    const size_t count = RowNonzeros(i);
+    for (size_t k = 0; k < count; ++k) {
+      dense(i, indices[k]) = values[k];
+    }
+  }
+  return dense;
+}
+
+}  // namespace mbp::linalg

@@ -1,0 +1,61 @@
+#ifndef MBP_LINALG_VECTOR_H_
+#define MBP_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mbp::linalg {
+
+// Dense vector of doubles. A thin, value-semantic wrapper over contiguous
+// storage; numerical kernels live in vector_ops.h as free functions so that
+// they can also operate on raw spans of Matrix rows.
+class Vector {
+ public:
+  Vector() = default;
+  // Zero-initialized vector of the given dimension.
+  explicit Vector(size_t size) : data_(size, 0.0) {}
+  Vector(size_t size, double fill) : data_(size, fill) {}
+  Vector(std::initializer_list<double> values) : data_(values) {}
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  Vector(const Vector&) = default;
+  Vector& operator=(const Vector&) = default;
+  Vector(Vector&&) = default;
+  Vector& operator=(Vector&&) = default;
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double operator[](size_t i) const {
+    MBP_CHECK_LT(i, data_.size());
+    return data_[i];
+  }
+  double& operator[](size_t i) {
+    MBP_CHECK_LT(i, data_.size());
+    return data_[i];
+  }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  const std::vector<double>& values() const { return data_; }
+
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+
+  friend bool operator==(const Vector& a, const Vector& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace mbp::linalg
+
+#endif  // MBP_LINALG_VECTOR_H_

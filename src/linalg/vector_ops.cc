@@ -1,0 +1,80 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+namespace mbp::linalg {
+
+double Dot(const double* a, const double* b, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc0 += a[i] * b[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+void Axpy(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  MBP_CHECK_EQ(a.size(), b.size());
+  return Dot(a.data(), b.data(), a.size());
+}
+
+double Norm2(const Vector& v) { return std::sqrt(SquaredNorm2(v)); }
+
+double SquaredNorm2(const Vector& v) { return Dot(v.data(), v.data(), v.size()); }
+
+double NormInf(const Vector& v) {
+  double max_abs = 0.0;
+  for (double x : v) max_abs = std::max(max_abs, std::fabs(x));
+  return max_abs;
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  MBP_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Subtract(const Vector& a, const Vector& b) {
+  MBP_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Scaled(const Vector& v, double alpha) {
+  Vector out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = alpha * v[i];
+  return out;
+}
+
+Vector AddScaled(const Vector& a, double alpha, const Vector& b) {
+  MBP_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + alpha * b[i];
+  return out;
+}
+
+double SquaredDistance(const Vector& a, const Vector& b) {
+  MBP_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace mbp::linalg

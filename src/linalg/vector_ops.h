@@ -1,0 +1,44 @@
+#ifndef MBP_LINALG_VECTOR_OPS_H_
+#define MBP_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+
+#include "linalg/vector.h"
+
+namespace mbp::linalg {
+
+// Raw-pointer kernels. Callers guarantee both arrays have length n.
+
+// Returns sum_i a[i] * b[i].
+double Dot(const double* a, const double* b, size_t n);
+
+// y[i] += alpha * x[i].
+void Axpy(double alpha, const double* x, double* y, size_t n);
+
+// x[i] *= alpha.
+void Scale(double alpha, double* x, size_t n);
+
+// Vector-typed conveniences. Dimension mismatches are programming errors.
+
+double Dot(const Vector& a, const Vector& b);
+
+// Euclidean (L2) norm.
+double Norm2(const Vector& v);
+// Squared Euclidean norm; cheaper and exact where the root is not needed.
+double SquaredNorm2(const Vector& v);
+// Max-abs (L-infinity) norm.
+double NormInf(const Vector& v);
+
+Vector Add(const Vector& a, const Vector& b);
+Vector Subtract(const Vector& a, const Vector& b);
+Vector Scaled(const Vector& v, double alpha);
+
+// result = a + alpha * b.
+Vector AddScaled(const Vector& a, double alpha, const Vector& b);
+
+// Squared Euclidean distance ||a - b||^2.
+double SquaredDistance(const Vector& a, const Vector& b);
+
+}  // namespace mbp::linalg
+
+#endif  // MBP_LINALG_VECTOR_OPS_H_

@@ -1,0 +1,113 @@
+#include "ml/cross_validation.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "data/split.h"
+
+namespace mbp::ml {
+namespace {
+
+// Fold assignment: a permutation chopped into `folds` contiguous ranges.
+struct FoldPlan {
+  std::vector<size_t> order;
+  size_t folds;
+
+  // [begin, end) positions of fold f within `order`.
+  std::pair<size_t, size_t> Range(size_t f) const {
+    const size_t n = order.size();
+    const size_t base = n / folds;
+    const size_t extra = n % folds;
+    // First `extra` folds get one extra example.
+    const size_t begin = f * base + std::min(f, extra);
+    const size_t size = base + (f < extra ? 1 : 0);
+    return {begin, begin + size};
+  }
+};
+
+StatusOr<CrossValidationResult> RunFolds(ModelKind model,
+                                         const data::Dataset& dataset,
+                                         double l2, const Loss& eval_loss,
+                                         const FoldPlan& plan) {
+  CrossValidationResult result;
+  result.fold_errors.reserve(plan.folds);
+  for (size_t f = 0; f < plan.folds; ++f) {
+    const auto [begin, end] = plan.Range(f);
+    std::vector<size_t> train_idx;
+    std::vector<size_t> test_idx;
+    train_idx.reserve(dataset.num_examples() - (end - begin));
+    test_idx.reserve(end - begin);
+    for (size_t pos = 0; pos < plan.order.size(); ++pos) {
+      if (pos >= begin && pos < end) {
+        test_idx.push_back(plan.order[pos]);
+      } else {
+        train_idx.push_back(plan.order[pos]);
+      }
+    }
+    const data::Dataset train = dataset.Subset(train_idx);
+    const data::Dataset test = dataset.Subset(test_idx);
+    MBP_ASSIGN_OR_RETURN(TrainResult trained,
+                         TrainOptimalModel(model, train, l2));
+    result.fold_errors.push_back(
+        eval_loss.Evaluate(trained.model.coefficients(), test));
+  }
+  const double n = static_cast<double>(result.fold_errors.size());
+  result.mean_error =
+      std::accumulate(result.fold_errors.begin(), result.fold_errors.end(),
+                      0.0) /
+      n;
+  double variance = 0.0;
+  for (double error : result.fold_errors) {
+    variance += (error - result.mean_error) * (error - result.mean_error);
+  }
+  result.stddev_error = std::sqrt(variance / n);
+  return result;
+}
+
+Status ValidateFolds(const data::Dataset& dataset, size_t folds) {
+  if (folds < 2) return InvalidArgumentError("need at least 2 folds");
+  if (dataset.num_examples() < folds) {
+    return InvalidArgumentError("need at least one example per fold");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<CrossValidationResult> KFoldCrossValidate(
+    ModelKind model, const data::Dataset& dataset, double l2,
+    const Loss& eval_loss, size_t folds, random::Rng& rng) {
+  MBP_RETURN_IF_ERROR(ValidateFolds(dataset, folds));
+  const FoldPlan plan{
+      data::RandomPermutation(dataset.num_examples(), rng), folds};
+  return RunFolds(model, dataset, l2, eval_loss, plan);
+}
+
+StatusOr<double> SelectL2ByCrossValidation(
+    ModelKind model, const data::Dataset& dataset,
+    const std::vector<double>& candidates, const Loss& eval_loss,
+    size_t folds, random::Rng& rng) {
+  if (candidates.empty()) {
+    return InvalidArgumentError("need at least one l2 candidate");
+  }
+  MBP_RETURN_IF_ERROR(ValidateFolds(dataset, folds));
+  // One shared fold plan so candidates see identical splits.
+  const FoldPlan plan{
+      data::RandomPermutation(dataset.num_examples(), rng), folds};
+  double best_l2 = candidates.front();
+  double best_error = 0.0;
+  bool first = true;
+  for (double l2 : candidates) {
+    if (l2 < 0.0) return InvalidArgumentError("l2 must be non-negative");
+    MBP_ASSIGN_OR_RETURN(CrossValidationResult result,
+                         RunFolds(model, dataset, l2, eval_loss, plan));
+    if (first || result.mean_error < best_error) {
+      best_error = result.mean_error;
+      best_l2 = l2;
+      first = false;
+    }
+  }
+  return best_l2;
+}
+
+}  // namespace mbp::ml

@@ -1,0 +1,42 @@
+#ifndef MBP_ML_CROSS_VALIDATION_H_
+#define MBP_ML_CROSS_VALIDATION_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "ml/loss.h"
+#include "ml/trainer.h"
+#include "random/rng.h"
+
+namespace mbp::ml {
+
+// K-fold cross-validation. The broker uses this to pick the L2 strength of
+// the training objective λ before listing a model: the paper fixes the
+// hypothesis space and objective per listing (Section 3.4), but choosing
+// λ's regularizer is the broker's job and wants a data-driven default.
+
+struct CrossValidationResult {
+  std::vector<double> fold_errors;  // held-out error per fold
+  double mean_error = 0.0;
+  double stddev_error = 0.0;
+};
+
+// Trains `model` with TrainOptimalModel on k-1 folds and scores
+// `eval_loss` on the held-out fold, for each of `folds` folds (>= 2).
+// The fold assignment is a seeded random permutation.
+StatusOr<CrossValidationResult> KFoldCrossValidate(
+    ModelKind model, const data::Dataset& dataset, double l2,
+    const Loss& eval_loss, size_t folds, random::Rng& rng);
+
+// Returns the candidate l2 with the lowest mean cross-validated error.
+// `candidates` must be non-empty; every candidate is evaluated with the
+// same fold assignment so the comparison is paired.
+StatusOr<double> SelectL2ByCrossValidation(
+    ModelKind model, const data::Dataset& dataset,
+    const std::vector<double>& candidates, const Loss& eval_loss,
+    size_t folds, random::Rng& rng);
+
+}  // namespace mbp::ml
+
+#endif  // MBP_ML_CROSS_VALIDATION_H_

@@ -1,0 +1,115 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mbp::ml {
+
+double MeanSquaredError(const LinearModel& model, const data::Dataset& data) {
+  MBP_CHECK_EQ(model.num_features(), data.num_features());
+  const size_t n = data.num_examples();
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double diff =
+        model.Score(data.ExampleFeatures(i)) - data.Target(i);
+    total += diff * diff;
+  }
+  return total / static_cast<double>(n);
+}
+
+double RootMeanSquaredError(const LinearModel& model,
+                            const data::Dataset& data) {
+  return std::sqrt(MeanSquaredError(model, data));
+}
+
+double MisclassificationRate(const LinearModel& model,
+                             const data::Dataset& data) {
+  MBP_CHECK_EQ(model.num_features(), data.num_features());
+  const size_t n = data.num_examples();
+  size_t errors = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (model.PredictLabel(data.ExampleFeatures(i)) != data.Target(i)) {
+      ++errors;
+    }
+  }
+  return static_cast<double>(errors) / static_cast<double>(n);
+}
+
+double Accuracy(const LinearModel& model, const data::Dataset& data) {
+  return 1.0 - MisclassificationRate(model, data);
+}
+
+double MeanAbsoluteError(const LinearModel& model,
+                         const data::Dataset& data) {
+  MBP_CHECK_EQ(model.num_features(), data.num_features());
+  const size_t n = data.num_examples();
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total +=
+        std::fabs(model.Score(data.ExampleFeatures(i)) - data.Target(i));
+  }
+  return total / static_cast<double>(n);
+}
+
+StatusOr<double> AreaUnderRoc(const LinearModel& model,
+                              const data::Dataset& data) {
+  if (data.task() != data::TaskType::kBinaryClassification) {
+    return InvalidArgumentError("AUC requires a classification dataset");
+  }
+  MBP_CHECK_EQ(model.num_features(), data.num_features());
+  const size_t n = data.num_examples();
+  // (score, is_positive), sorted by score ascending.
+  std::vector<std::pair<double, bool>> scored(n);
+  size_t positives = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool positive = data.Target(i) == 1.0;
+    scored[i] = {model.Score(data.ExampleFeatures(i)), positive};
+    if (positive) ++positives;
+  }
+  const size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) {
+    return InvalidArgumentError("AUC requires both classes present");
+  }
+  std::sort(scored.begin(), scored.end());
+  // Rank-sum with average ranks over tied score groups.
+  double positive_rank_sum = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scored[j].first == scored[i].first) ++j;
+    // Ranks are 1-based; ties share the average rank of the group.
+    const double average_rank =
+        (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (scored[k].second) positive_rank_sum += average_rank;
+    }
+    i = j;
+  }
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) *
+                       (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) *
+              static_cast<double>(negatives));
+}
+
+double RSquared(const LinearModel& model, const data::Dataset& data) {
+  const size_t n = data.num_examples();
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) mean += data.Target(i);
+  mean /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double y = data.Target(i);
+    const double pred = model.Score(data.ExampleFeatures(i));
+    ss_res += (y - pred) * (y - pred);
+    ss_tot += (y - mean) * (y - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace mbp::ml

@@ -1,0 +1,43 @@
+#ifndef MBP_ML_METRICS_H_
+#define MBP_ML_METRICS_H_
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "ml/model.h"
+
+namespace mbp::ml {
+
+// Standard hold-out evaluation scores (Section 2, "ML over Relational
+// Data"). All are averages over `data`.
+
+// Mean squared error of the model's raw scores against the targets.
+double MeanSquaredError(const LinearModel& model, const data::Dataset& data);
+
+// Root mean squared error.
+double RootMeanSquaredError(const LinearModel& model,
+                            const data::Dataset& data);
+
+// Fraction of examples where sign(score) != label. Labels must be {-1,+1}.
+double MisclassificationRate(const LinearModel& model,
+                             const data::Dataset& data);
+
+// 1 - MisclassificationRate.
+double Accuracy(const LinearModel& model, const data::Dataset& data);
+
+// Coefficient of determination R^2 of the scores against the targets.
+double RSquared(const LinearModel& model, const data::Dataset& data);
+
+// Mean absolute error of the raw scores against the targets.
+double MeanAbsoluteError(const LinearModel& model,
+                         const data::Dataset& data);
+
+// Area under the ROC curve of the model's raw scores (the Mann-Whitney
+// rank statistic, with tied scores contributing 1/2). Requires a
+// classification dataset containing both classes; InvalidArgument
+// otherwise.
+StatusOr<double> AreaUnderRoc(const LinearModel& model,
+                              const data::Dataset& data);
+
+}  // namespace mbp::ml
+
+#endif  // MBP_ML_METRICS_H_

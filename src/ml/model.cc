@@ -1,0 +1,33 @@
+#include "ml/model.h"
+
+#include "common/check.h"
+#include "linalg/vector_ops.h"
+
+namespace mbp::ml {
+
+std::string ModelKindToString(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLinearRegression:
+      return "linear_regression";
+    case ModelKind::kLogisticRegression:
+      return "logistic_regression";
+    case ModelKind::kLinearSvm:
+      return "linear_svm";
+  }
+  return "unknown";
+}
+
+double LinearModel::Score(const double* x) const {
+  return linalg::Dot(x, coefficients_.data(), coefficients_.size());
+}
+
+linalg::Vector LinearModel::ScoreAll(const data::Dataset& data) const {
+  MBP_CHECK_EQ(data.num_features(), num_features());
+  linalg::Vector scores(data.num_examples());
+  for (size_t i = 0; i < data.num_examples(); ++i) {
+    scores[i] = Score(data.ExampleFeatures(i));
+  }
+  return scores;
+}
+
+}  // namespace mbp::ml

@@ -1,0 +1,52 @@
+#ifndef MBP_ML_MODEL_H_
+#define MBP_ML_MODEL_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "linalg/vector.h"
+
+namespace mbp::ml {
+
+// The ML model families the broker's menu M supports (paper Table 2).
+// All are linear hypotheses h in R^d; they differ in training loss.
+enum class ModelKind {
+  kLinearRegression,  // square loss
+  kLogisticRegression,
+  kLinearSvm,  // smoothed L2 hinge
+};
+
+std::string ModelKindToString(ModelKind kind);
+
+// A trained (or noise-injected) linear model instance: the concrete object
+// the marketplace sells. Value-semantic and cheap to copy, so broker code
+// can freely clone and perturb instances.
+class LinearModel {
+ public:
+  LinearModel(ModelKind kind, linalg::Vector coefficients)
+      : kind_(kind), coefficients_(std::move(coefficients)) {}
+
+  ModelKind kind() const { return kind_; }
+  size_t num_features() const { return coefficients_.size(); }
+  const linalg::Vector& coefficients() const { return coefficients_; }
+  linalg::Vector& coefficients() { return coefficients_; }
+
+  // Raw score h.x for the feature row `x` of length num_features().
+  double Score(const double* x) const;
+
+  // For classification models: sign of the score, in {-1, +1}.
+  double PredictLabel(const double* x) const {
+    return Score(x) > 0.0 ? 1.0 : -1.0;
+  }
+
+  // Scores every example of `data` (length = data.num_examples()).
+  linalg::Vector ScoreAll(const data::Dataset& data) const;
+
+ private:
+  ModelKind kind_;
+  linalg::Vector coefficients_;
+};
+
+}  // namespace mbp::ml
+
+#endif  // MBP_ML_MODEL_H_

@@ -1,0 +1,76 @@
+#include "ml/sgd.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+#include "random/rng.h"
+
+namespace mbp::ml {
+
+StatusOr<TrainResult> TrainSgd(const Loss& loss, const data::Dataset& train,
+                               ModelKind kind, const SgdOptions& options) {
+  if (!loss.differentiable()) {
+    return InvalidArgumentError("SGD requires a differentiable loss");
+  }
+  if (options.batch_size == 0) {
+    return InvalidArgumentError("batch_size must be >= 1");
+  }
+  if (train.num_examples() == 0) {
+    return InvalidArgumentError("empty training set");
+  }
+
+  const size_t n = train.num_examples();
+  const size_t d = train.num_features();
+  const double l2 = loss.l2_regularization();
+  random::Rng rng(options.seed);
+
+  linalg::Vector h(d);
+  linalg::Vector batch_grad(d);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+
+  size_t epoch = 0;
+  bool converged = false;
+  for (; epoch < options.max_epochs; ++epoch) {
+    // Fisher-Yates reshuffle per epoch.
+    for (size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    const double step =
+        options.initial_step /
+        (1.0 + options.step_decay * static_cast<double>(epoch));
+
+    for (size_t start = 0; start < n; start += options.batch_size) {
+      const size_t end = std::min(start + options.batch_size, n);
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      std::fill(batch_grad.begin(), batch_grad.end(), 0.0);
+      for (size_t i = start; i < end; ++i) {
+        const size_t row = order[i];
+        loss.AccumulateExampleGradient(h, train.ExampleFeatures(row),
+                                       train.Target(row), inv_batch,
+                                       batch_grad);
+      }
+      // The L2 term's gradient is deterministic; apply it per batch.
+      linalg::Axpy(2.0 * l2, h.data(), batch_grad.data(), d);
+      linalg::Axpy(-step, batch_grad.data(), h.data(), d);
+    }
+
+    if (options.gradient_tolerance > 0.0) {
+      const linalg::Vector full_gradient = loss.Gradient(h, train);
+      if (linalg::NormInf(full_gradient) < options.gradient_tolerance) {
+        converged = true;
+        break;
+      }
+    }
+  }
+
+  const double final_loss = loss.Evaluate(h, train);
+  return TrainResult{.model = LinearModel(kind, std::move(h)),
+                     .final_loss = final_loss,
+                     .iterations = epoch,
+                     .converged = converged};
+}
+
+}  // namespace mbp::ml

@@ -1,0 +1,37 @@
+#ifndef MBP_ML_SGD_H_
+#define MBP_ML_SGD_H_
+
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "ml/loss.h"
+#include "ml/trainer.h"
+
+namespace mbp::ml {
+
+// Mini-batch stochastic gradient descent — the trainer for paper-scale
+// datasets (millions of rows) where full-batch Newton/GD passes are too
+// expensive per step. Uses a 1/(1 + decay * epoch) step schedule and
+// reshuffles every epoch with an explicit seed for reproducibility.
+struct SgdOptions {
+  size_t batch_size = 64;
+  size_t max_epochs = 30;
+  double initial_step = 0.1;
+  // Step at epoch e is initial_step / (1 + step_decay * e).
+  double step_decay = 0.1;
+  // Stop early when the full-dataset gradient infinity-norm drops below
+  // this at an epoch boundary (0 disables the check and its extra pass).
+  double gradient_tolerance = 1e-4;
+  uint64_t seed = 1;
+};
+
+// Minimizes `loss` over `train` with mini-batch SGD. Requires a
+// differentiable loss and batch_size >= 1. TrainResult::converged reports
+// whether the gradient tolerance was met before max_epochs.
+StatusOr<TrainResult> TrainSgd(const Loss& loss, const data::Dataset& train,
+                               ModelKind kind, const SgdOptions& options = {});
+
+}  // namespace mbp::ml
+
+#endif  // MBP_ML_SGD_H_

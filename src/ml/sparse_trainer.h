@@ -1,0 +1,36 @@
+#ifndef MBP_ML_SPARSE_TRAINER_H_
+#define MBP_ML_SPARSE_TRAINER_H_
+
+// Trainers over sparse feature matrices (Example 3's text markets). The
+// coefficient vector stays dense — it is the object the marketplace sells
+// and perturbs — but all data passes are sparse: each gradient costs
+// O(nnz) instead of O(n * d).
+
+#include "common/statusor.h"
+#include "data/sparse_dataset.h"
+#include "ml/trainer.h"
+
+namespace mbp::ml {
+
+// Full-batch gradient descent with Armijo backtracking on the sparse
+// logistic objective (1/n) sum log(1 + exp(-y_i h.x_i)) + l2 ||h||^2.
+StatusOr<TrainResult> TrainLogisticSparse(const data::SparseDataset& train,
+                                          double l2,
+                                          const TrainOptions& options = {});
+
+// Same driver for the smoothed-hinge SVM objective.
+StatusOr<TrainResult> TrainSvmSparse(const data::SparseDataset& train,
+                                     double l2,
+                                     const TrainOptions& options = {});
+
+// Average logistic loss of h on sparse data (with l2 penalty).
+double SparseLogisticLoss(const linalg::Vector& h,
+                          const data::SparseDataset& data, double l2);
+
+// Misclassification rate of sign(h.x) on sparse data.
+double SparseMisclassificationRate(const linalg::Vector& h,
+                                   const data::SparseDataset& data);
+
+}  // namespace mbp::ml
+
+#endif  // MBP_ML_SPARSE_TRAINER_H_

@@ -1,0 +1,67 @@
+#include "optim/pava.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mbp::optim {
+namespace {
+
+// Blocks of pooled values: each holds the weighted mean of a maximal run.
+struct Block {
+  double weighted_sum;
+  double weight;
+  size_t count;
+
+  double mean() const { return weighted_sum / weight; }
+};
+
+}  // namespace
+
+std::vector<double> IsotonicNonDecreasing(const std::vector<double>& values,
+                                          const std::vector<double>& weights) {
+  MBP_CHECK_EQ(values.size(), weights.size());
+  std::vector<Block> stack;
+  stack.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    MBP_CHECK_GT(weights[i], 0.0);
+    Block block{values[i] * weights[i], weights[i], 1};
+    // Merge backwards while the new block's mean violates monotonicity.
+    while (!stack.empty() && stack.back().mean() > block.mean()) {
+      block.weighted_sum += stack.back().weighted_sum;
+      block.weight += stack.back().weight;
+      block.count += stack.back().count;
+      stack.pop_back();
+    }
+    stack.push_back(block);
+  }
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const Block& block : stack) {
+    out.insert(out.end(), block.count, block.mean());
+  }
+  return out;
+}
+
+std::vector<double> IsotonicNonIncreasing(const std::vector<double>& values,
+                                          const std::vector<double>& weights) {
+  // Reverse, solve non-decreasing, reverse back.
+  std::vector<double> reversed_values(values.rbegin(), values.rend());
+  std::vector<double> reversed_weights(weights.rbegin(), weights.rend());
+  std::vector<double> fit =
+      IsotonicNonDecreasing(reversed_values, reversed_weights);
+  std::reverse(fit.begin(), fit.end());
+  return fit;
+}
+
+std::vector<double> IsotonicNonDecreasing(const std::vector<double>& values) {
+  return IsotonicNonDecreasing(values,
+                               std::vector<double>(values.size(), 1.0));
+}
+
+std::vector<double> IsotonicNonIncreasing(const std::vector<double>& values) {
+  return IsotonicNonIncreasing(values,
+                               std::vector<double>(values.size(), 1.0));
+}
+
+}  // namespace mbp::optim

@@ -1,0 +1,26 @@
+#ifndef MBP_OPTIM_PAVA_H_
+#define MBP_OPTIM_PAVA_H_
+
+#include <vector>
+
+namespace mbp::optim {
+
+// Weighted isotonic regression by the Pool-Adjacent-Violators Algorithm.
+//
+// Returns the x that minimizes sum_i weights[i] * (x[i] - values[i])^2
+// subject to x[0] <= x[1] <= ... <= x[n-1]. All weights must be > 0.
+// Runs in O(n).
+std::vector<double> IsotonicNonDecreasing(const std::vector<double>& values,
+                                          const std::vector<double>& weights);
+
+// Same but subject to x[0] >= x[1] >= ... >= x[n-1].
+std::vector<double> IsotonicNonIncreasing(const std::vector<double>& values,
+                                          const std::vector<double>& weights);
+
+// Unweighted conveniences (all weights 1).
+std::vector<double> IsotonicNonDecreasing(const std::vector<double>& values);
+std::vector<double> IsotonicNonIncreasing(const std::vector<double>& values);
+
+}  // namespace mbp::optim
+
+#endif  // MBP_OPTIM_PAVA_H_

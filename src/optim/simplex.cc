@@ -1,0 +1,222 @@
+#include "optim/simplex.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mbp::optim {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense simplex tableau over variables
+//   [ structural (n) | slack (m) | artificial (<= m) ],
+// one row per constraint plus an objective row. We minimize internally.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp)
+      : m_(lp.constraints.rows()), n_(lp.constraints.cols()) {
+    num_artificial_ = 0;
+    // Rows with negative rhs are flipped so rhs >= 0; their slack then
+    // enters with coefficient -1 and cannot seed the basis, so they get an
+    // artificial variable instead.
+    std::vector<bool> flipped(m_);
+    for (size_t i = 0; i < m_; ++i) {
+      flipped[i] = lp.rhs[i] < 0.0;
+      if (flipped[i]) ++num_artificial_;
+    }
+    total_vars_ = n_ + m_ + num_artificial_;
+    rows_.assign(m_, std::vector<double>(total_vars_ + 1, 0.0));
+    basis_.assign(m_, 0);
+
+    size_t artificial = n_ + m_;
+    for (size_t i = 0; i < m_; ++i) {
+      const double sign = flipped[i] ? -1.0 : 1.0;
+      for (size_t j = 0; j < n_; ++j) {
+        rows_[i][j] = sign * lp.constraints(i, j);
+      }
+      rows_[i][n_ + i] = sign;  // slack
+      rows_[i][total_vars_] = sign * lp.rhs[i];
+      if (flipped[i]) {
+        rows_[i][artificial] = 1.0;
+        basis_[i] = artificial++;
+      } else {
+        basis_[i] = n_ + i;
+      }
+    }
+  }
+
+  size_t num_structural() const { return n_; }
+  size_t num_artificial() const { return num_artificial_; }
+  size_t first_artificial() const { return n_ + m_; }
+
+  // Runs simplex minimizing `cost` (length total_vars_). `allowed` marks
+  // columns eligible to enter the basis. Returns false if unbounded.
+  bool Minimize(const std::vector<double>& cost,
+                const std::vector<bool>& allowed) {
+    // Reduced-cost row: z_j = c_j - c_B^T B^{-1} A_j, maintained explicitly.
+    std::vector<double> reduced(total_vars_ + 1, 0.0);
+    for (size_t j = 0; j < total_vars_; ++j) reduced[j] = cost[j];
+    for (size_t i = 0; i < m_; ++i) {
+      const double cb = cost[basis_[i]];
+      if (cb == 0.0) continue;
+      for (size_t j = 0; j <= total_vars_; ++j) {
+        reduced[j] -= cb * rows_[i][j];
+      }
+    }
+
+    for (;;) {
+      // Bland's rule: smallest-index column with negative reduced cost.
+      size_t pivot_col = total_vars_;
+      for (size_t j = 0; j < total_vars_; ++j) {
+        if (allowed[j] && reduced[j] < -kEps) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col == total_vars_) return true;  // optimal
+
+      // Ratio test, Bland tie-break on smallest basis index.
+      size_t pivot_row = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < m_; ++i) {
+        const double a = rows_[i][pivot_col];
+        if (a > kEps) {
+          const double ratio = rows_[i][total_vars_] / a;
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (pivot_row == m_ || basis_[i] < basis_[pivot_row]))) {
+            best_ratio = ratio;
+            pivot_row = i;
+          }
+        }
+      }
+      if (pivot_row == m_) return false;  // unbounded direction
+
+      Pivot(pivot_row, pivot_col, reduced);
+    }
+  }
+
+  // Current value of basic variable in row i.
+  double BasicValue(size_t i) const { return rows_[i][total_vars_]; }
+  size_t BasisVar(size_t i) const { return basis_[i]; }
+  size_t num_rows() const { return m_; }
+
+  // After phase 1: pivot remaining artificial variables out of the basis
+  // where possible (degenerate rows); rows that cannot be pivoted are
+  // redundant constraints and harmless since their artificial is 0.
+  void DriveOutArtificials(const std::vector<bool>& allowed) {
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < first_artificial()) continue;
+      for (size_t j = 0; j < first_artificial(); ++j) {
+        if (allowed[j] && std::fabs(rows_[i][j]) > kEps) {
+          std::vector<double> dummy(total_vars_ + 1, 0.0);
+          Pivot(i, j, dummy);
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  void Pivot(size_t pivot_row, size_t pivot_col,
+             std::vector<double>& reduced) {
+    const double pivot = rows_[pivot_row][pivot_col];
+    MBP_CHECK(std::fabs(pivot) > 0.0);
+    for (size_t j = 0; j <= total_vars_; ++j) {
+      rows_[pivot_row][j] /= pivot;
+    }
+    for (size_t i = 0; i < m_; ++i) {
+      if (i == pivot_row) continue;
+      const double factor = rows_[i][pivot_col];
+      if (factor == 0.0) continue;
+      for (size_t j = 0; j <= total_vars_; ++j) {
+        rows_[i][j] -= factor * rows_[pivot_row][j];
+      }
+    }
+    const double reduced_factor = reduced[pivot_col];
+    if (reduced_factor != 0.0) {
+      for (size_t j = 0; j <= total_vars_; ++j) {
+        reduced[j] -= reduced_factor * rows_[pivot_row][j];
+      }
+    }
+    basis_[pivot_row] = pivot_col;
+  }
+
+  size_t m_;
+  size_t n_;
+  size_t num_artificial_;
+  size_t total_vars_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<size_t> basis_;
+};
+
+}  // namespace
+
+StatusOr<LpSolution> SolveLinearProgram(const LinearProgram& lp) {
+  const size_t m = lp.constraints.rows();
+  const size_t n = lp.constraints.cols();
+  if (lp.objective.size() != n) {
+    return InvalidArgumentError("objective length must match column count");
+  }
+  if (lp.rhs.size() != m) {
+    return InvalidArgumentError("rhs length must match row count");
+  }
+  if (n == 0) {
+    return InvalidArgumentError("LP must have at least one variable");
+  }
+
+  Tableau tableau(lp);
+  const size_t total = n + m + tableau.num_artificial();
+
+  if (tableau.num_artificial() > 0) {
+    // Phase 1: minimize the sum of artificials over all columns.
+    std::vector<double> phase1_cost(total, 0.0);
+    for (size_t j = tableau.first_artificial(); j < total; ++j) {
+      phase1_cost[j] = 1.0;
+    }
+    std::vector<bool> allow_all(total, true);
+    const bool bounded = tableau.Minimize(phase1_cost, allow_all);
+    MBP_CHECK(bounded) << "phase-1 objective is bounded below by 0";
+    double infeasibility = 0.0;
+    for (size_t i = 0; i < tableau.num_rows(); ++i) {
+      if (tableau.BasisVar(i) >= tableau.first_artificial()) {
+        infeasibility += tableau.BasicValue(i);
+      }
+    }
+    if (infeasibility > 1e-6) {
+      return InfeasibleError("LP is infeasible");
+    }
+    std::vector<bool> allow_original(total, true);
+    for (size_t j = tableau.first_artificial(); j < total; ++j) {
+      allow_original[j] = false;
+    }
+    tableau.DriveOutArtificials(allow_original);
+  }
+
+  // Phase 2: minimize -c over structural+slack columns only.
+  std::vector<double> phase2_cost(total, 0.0);
+  for (size_t j = 0; j < n; ++j) phase2_cost[j] = -lp.objective[j];
+  std::vector<bool> allowed(total, true);
+  for (size_t j = tableau.first_artificial(); j < total; ++j) {
+    allowed[j] = false;
+  }
+  if (!tableau.Minimize(phase2_cost, allowed)) {
+    return OutOfRangeError("LP objective is unbounded above");
+  }
+
+  LpSolution solution;
+  solution.x = linalg::Vector(n);
+  for (size_t i = 0; i < tableau.num_rows(); ++i) {
+    const size_t var = tableau.BasisVar(i);
+    if (var < n) solution.x[var] = tableau.BasicValue(i);
+  }
+  double value = 0.0;
+  for (size_t j = 0; j < n; ++j) value += lp.objective[j] * solution.x[j];
+  solution.objective_value = value;
+  return solution;
+}
+
+}  // namespace mbp::optim

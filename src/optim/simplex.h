@@ -1,0 +1,41 @@
+#ifndef MBP_OPTIM_SIMPLEX_H_
+#define MBP_OPTIM_SIMPLEX_H_
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace mbp::optim {
+
+// A linear program in inequality form:
+//
+//   maximize    c^T x
+//   subject to  A x <= b
+//               x >= 0
+//
+// b entries may be negative (the solver introduces artificial variables and
+// runs phase 1 as needed). Equality rows can be encoded as a pair of
+// opposing inequalities.
+struct LinearProgram {
+  linalg::Vector objective;    // c, length n
+  linalg::Matrix constraints;  // A, m x n
+  linalg::Vector rhs;          // b, length m
+};
+
+struct LpSolution {
+  linalg::Vector x;
+  double objective_value = 0.0;
+};
+
+// Dense two-phase primal simplex with Bland's anti-cycling rule.
+// Returns:
+//   Infeasible           - the feasible region is empty,
+//   OutOfRange           - the objective is unbounded above,
+//   InvalidArgument      - dimension mismatches.
+// Intended for the small/medium LPs of the pricing optimizer (tens to a few
+// hundred variables), not industrial-scale problems.
+StatusOr<LpSolution> SolveLinearProgram(const LinearProgram& lp);
+
+}  // namespace mbp::optim
+
+#endif  // MBP_OPTIM_SIMPLEX_H_

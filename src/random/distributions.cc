@@ -1,0 +1,73 @@
+#include "random/distributions.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "linalg/vector_ops.h"
+
+namespace mbp::random {
+
+double SampleStandardNormal(Rng& rng) {
+  // Box-Muller; u1 is bounded away from zero so the log is finite.
+  double u1 = rng.NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double SampleNormal(Rng& rng, double mean, double stddev) {
+  MBP_CHECK_GE(stddev, 0.0);
+  return mean + stddev * SampleStandardNormal(rng);
+}
+
+double SampleLaplace(Rng& rng, double mean, double scale) {
+  MBP_CHECK_GT(scale, 0.0);
+  // Inverse CDF: u in [-1/2, 1/2), x = mean - b * sign(u) * ln(1 - 2|u|).
+  const double u = rng.NextDouble() - 0.5;
+  const double sign = (u >= 0.0) ? 1.0 : -1.0;
+  double tail = 1.0 - 2.0 * std::fabs(u);
+  if (tail < 1e-300) tail = 1e-300;
+  return mean - scale * sign * std::log(tail);
+}
+
+double SampleUniform(Rng& rng, double lo, double hi) {
+  return rng.NextDouble(lo, hi);
+}
+
+bool SampleBernoulli(Rng& rng, double p) {
+  MBP_CHECK(p >= 0.0 && p <= 1.0);
+  return rng.NextDouble() < p;
+}
+
+linalg::Vector SampleNormalVector(Rng& rng, size_t d, double mean,
+                                  double stddev) {
+  linalg::Vector v(d);
+  for (size_t i = 0; i < d; ++i) v[i] = SampleNormal(rng, mean, stddev);
+  return v;
+}
+
+linalg::Vector SampleLaplaceVector(Rng& rng, size_t d, double mean,
+                                   double scale) {
+  linalg::Vector v(d);
+  for (size_t i = 0; i < d; ++i) v[i] = SampleLaplace(rng, mean, scale);
+  return v;
+}
+
+linalg::Vector SampleUniformVector(Rng& rng, size_t d, double lo, double hi) {
+  linalg::Vector v(d);
+  for (size_t i = 0; i < d; ++i) v[i] = SampleUniform(rng, lo, hi);
+  return v;
+}
+
+linalg::Vector SampleUnitSphere(Rng& rng, size_t d) {
+  MBP_CHECK_GE(d, 1u);
+  for (;;) {
+    linalg::Vector v = SampleNormalVector(rng, d, 0.0, 1.0);
+    const double norm = linalg::Norm2(v);
+    if (norm > 1e-12) return linalg::Scaled(v, 1.0 / norm);
+  }
+}
+
+}  // namespace mbp::random

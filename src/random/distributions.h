@@ -1,0 +1,47 @@
+#ifndef MBP_RANDOM_DISTRIBUTIONS_H_
+#define MBP_RANDOM_DISTRIBUTIONS_H_
+
+#include <cstddef>
+
+#include "linalg/vector.h"
+#include "random/rng.h"
+
+namespace mbp::random {
+
+// Scalar samplers. All take the Rng explicitly; none keep state beyond it.
+
+// Standard normal N(0, 1) via Box-Muller (the spare value is discarded so
+// the call sequence stays independent of how many samples were drawn).
+double SampleStandardNormal(Rng& rng);
+
+// Normal with the given mean and standard deviation (stddev >= 0).
+double SampleNormal(Rng& rng, double mean, double stddev);
+
+// Laplace(mean, scale) with density (1/2b) exp(-|x - mean|/b), scale b > 0.
+double SampleLaplace(Rng& rng, double mean, double scale);
+
+// Uniform over [lo, hi).
+double SampleUniform(Rng& rng, double lo, double hi);
+
+// Bernoulli with success probability p in [0, 1].
+bool SampleBernoulli(Rng& rng, double p);
+
+// Vector samplers.
+
+// Vector of d i.i.d. N(mean, stddev^2) entries.
+linalg::Vector SampleNormalVector(Rng& rng, size_t d, double mean,
+                                  double stddev);
+
+// Vector of d i.i.d. Laplace(mean, scale) entries.
+linalg::Vector SampleLaplaceVector(Rng& rng, size_t d, double mean,
+                                   double scale);
+
+// Vector of d i.i.d. Uniform[lo, hi) entries.
+linalg::Vector SampleUniformVector(Rng& rng, size_t d, double lo, double hi);
+
+// Uniformly random point on the unit sphere in R^d (d >= 1).
+linalg::Vector SampleUnitSphere(Rng& rng, size_t d);
+
+}  // namespace mbp::random
+
+#endif  // MBP_RANDOM_DISTRIBUTIONS_H_

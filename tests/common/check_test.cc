@@ -1,0 +1,39 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace mbp {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  MBP_CHECK(true);
+  MBP_CHECK_EQ(1, 1);
+  MBP_CHECK_NE(1, 2);
+  MBP_CHECK_LT(1, 2);
+  MBP_CHECK_LE(2, 2);
+  MBP_CHECK_GT(2, 1);
+  MBP_CHECK_GE(2, 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ MBP_CHECK(1 == 2); }, "MBP_CHECK failed");
+}
+
+TEST(CheckDeathTest, FailureMessageIncludesStreamedDetail) {
+  EXPECT_DEATH({ MBP_CHECK(false) << "extra context " << 42; },
+               "extra context 42");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosAbort) {
+  EXPECT_DEATH({ MBP_CHECK_EQ(1, 2); }, "MBP_CHECK failed");
+  EXPECT_DEATH({ MBP_CHECK_LT(2, 1); }, "MBP_CHECK failed");
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  MBP_CHECK([&] { return ++calls > 0; }());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace mbp

@@ -1,0 +1,75 @@
+#include "common/statusor.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbp {
+namespace {
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = NotFoundError("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> result = std::string("hello");
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(StatusOrTest, MutableAccess) {
+  StatusOr<std::vector<int>> result = std::vector<int>{1, 2};
+  result->push_back(3);
+  EXPECT_EQ(result.value().size(), 3u);
+}
+
+StatusOr<int> MakePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+StatusOr<int> DoubleOf(int x) {
+  MBP_ASSIGN_OR_RETURN(int value, MakePositive(x));
+  return value * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnHappyPath) {
+  StatusOr<int> result = DoubleOf(21);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagatesError) {
+  StatusOr<int> result = DoubleOf(-1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> result = InternalError("boom");
+  EXPECT_DEATH({ (void)result.value(); }, "StatusOr::value");
+}
+
+TEST(StatusOrDeathTest, OkStatusWithoutValueAborts) {
+  EXPECT_DEATH({ StatusOr<int> bad{Status::OK()}; }, "MBP_CHECK");
+}
+
+}  // namespace
+}  // namespace mbp

@@ -1,0 +1,146 @@
+#include "core/arbitrage.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/mechanism.h"
+#include "core/pricing_function.h"
+#include "linalg/vector_ops.h"
+#include "random/rng.h"
+
+namespace mbp::core {
+namespace {
+
+TEST(CombinedDeltaTest, MatchesInverseVarianceFormula) {
+  // 1 / (1/2 + 1/2) = 1.
+  EXPECT_DOUBLE_EQ(CombinedDelta({2.0, 2.0}), 1.0);
+  // Single instance: unchanged.
+  EXPECT_DOUBLE_EQ(CombinedDelta({0.7}), 0.7);
+  // m equal copies divide delta by m.
+  EXPECT_NEAR(CombinedDelta({3.0, 3.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(CombineInstancesTest, EqualDeltasAverage) {
+  const linalg::Vector a{1.0, 2.0};
+  const linalg::Vector b{3.0, 6.0};
+  const linalg::Vector combined = CombineInstances({a, b}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(combined[0], 2.0);
+  EXPECT_DOUBLE_EQ(combined[1], 4.0);
+}
+
+TEST(CombineInstancesTest, PrecisionWeighting) {
+  // delta 1 gets weight 2/3, delta 2 gets 1/3.
+  const linalg::Vector a{3.0};
+  const linalg::Vector b{6.0};
+  const linalg::Vector combined = CombineInstances({a, b}, {1.0, 2.0});
+  EXPECT_NEAR(combined[0], 4.0, 1e-12);
+}
+
+TEST(CombineInstancesTest, GaussianCombinationAchievesCombinedDelta) {
+  // The heart of the Theorem 5 arbitrage argument: combining two
+  // Gaussian-mechanism instances with inverse-variance weights yields an
+  // unbiased instance whose expected squared error is CombinedDelta.
+  GaussianMechanism mechanism;
+  random::Rng rng(17);
+  const linalg::Vector optimal{1.0, -2.0, 0.5, 3.0};
+  const std::vector<double> deltas{1.0, 3.0};
+  const double expected = CombinedDelta(deltas);  // 0.75
+  const int trials = 20000;
+  double total_sq = 0.0;
+  linalg::Vector mean(optimal.size());
+  for (int t = 0; t < trials; ++t) {
+    std::vector<linalg::Vector> purchased;
+    for (double delta : deltas) {
+      purchased.push_back(mechanism.Perturb(optimal, delta, rng));
+    }
+    const linalg::Vector combined = CombineInstances(purchased, deltas);
+    total_sq += linalg::SquaredDistance(combined, optimal);
+    for (size_t j = 0; j < mean.size(); ++j) {
+      mean[j] += combined[j] / trials;
+    }
+  }
+  EXPECT_NEAR(total_sq / trials, expected, 0.05 * expected);
+  for (size_t j = 0; j < mean.size(); ++j) {
+    EXPECT_NEAR(mean[j], optimal[j], 0.02);  // unbiased
+  }
+}
+
+TEST(FindArbitrageAttackTest, SubadditivePricingIsSafe) {
+  // sqrt is monotone + subadditive: no attack exists.
+  const auto price = [](double x) { return 10.0 * std::sqrt(x); };
+  EXPECT_FALSE(FindArbitrageAttack(price, 10.0, 100).has_value());
+}
+
+TEST(FindArbitrageAttackTest, LinearPricingIsSafe) {
+  const auto price = [](double x) { return 3.0 * x; };
+  EXPECT_FALSE(FindArbitrageAttack(price, 10.0, 100).has_value());
+}
+
+TEST(FindArbitrageAttackTest, ConvexPricingIsAttacked) {
+  // Quadratic pricing: two cheap halves beat one expensive whole.
+  const auto price = [](double x) { return x * x; };
+  auto attack = FindArbitrageAttack(price, 10.0, 100);
+  ASSERT_TRUE(attack.has_value());
+  EXPECT_LT(attack->total_price, attack->target_price);
+  EXPECT_GE(attack->purchase_deltas.size(), 2u);
+  // The combined instance is at least as good as the target.
+  EXPECT_LE(attack->combined_delta, attack->target_delta + 1e-9);
+}
+
+TEST(FindArbitrageAttackTest, NonMonotonePricingIsAttacked) {
+  // Price drops at high accuracy: buy the better-and-cheaper instance.
+  const auto price = [](double x) { return x < 5.0 ? 10.0 * x : 1.0; };
+  auto attack = FindArbitrageAttack(price, 10.0, 100);
+  ASSERT_TRUE(attack.has_value());
+}
+
+TEST(FindArbitrageAttackTest, AttackReportsConsistentArithmetic) {
+  const auto price = [](double x) { return 0.5 * x * x; };
+  auto attack = FindArbitrageAttack(price, 8.0, 80);
+  ASSERT_TRUE(attack.has_value());
+  // combined_delta = 1 / sum(1/delta_i) recomputed from the parts.
+  double precision = 0.0;
+  for (double delta : attack->purchase_deltas) precision += 1.0 / delta;
+  EXPECT_NEAR(attack->combined_delta, 1.0 / precision, 1e-9);
+  // Total price equals the sum of part prices.
+  double total = 0.0;
+  for (double delta : attack->purchase_deltas) total += price(1.0 / delta);
+  EXPECT_NEAR(attack->total_price, total, 1e-6);
+}
+
+TEST(FindArbitrageAttackTest, DpOptimizedPricingIsSafe) {
+  // End-to-end consistency: the canonical pricing built from the DP is
+  // immune to the attacker.
+  const PiecewiseLinearPricing pricing =
+      PiecewiseLinearPricing::Create(
+          {{1.0, 100.0}, {2.0, 150.0}, {3.0, 225.0}, {4.0, 300.0}})
+          .value();
+  ASSERT_TRUE(pricing.ValidateArbitrageFree().ok());
+  const auto price = [&](double x) { return pricing.PriceAtInverseNcp(x); };
+  EXPECT_FALSE(FindArbitrageAttack(price, 8.0, 160).has_value());
+}
+
+TEST(FindArbitrageAttackTest, PaperFigure5ValuationsAreAttackable) {
+  // Charging all valuations directly (Figure 5(a)) admits arbitrage:
+  // 280 > 100 + 150.
+  const PiecewiseLinearPricing pricing =
+      PiecewiseLinearPricing::Create(
+          {{1.0, 100.0}, {2.0, 150.0}, {3.0, 280.0}, {4.0, 350.0}})
+          .value();
+  const auto price = [&](double x) { return pricing.PriceAtInverseNcp(x); };
+  auto attack = FindArbitrageAttack(price, 4.0, 4);
+  ASSERT_TRUE(attack.has_value());
+  EXPECT_LT(attack->total_price, attack->target_price);
+}
+
+TEST(CombineInstancesDeathTest, MismatchedSizesAbort) {
+  EXPECT_DEATH(
+      { CombineInstances({linalg::Vector{1.0}}, {1.0, 2.0}); },
+      "MBP_CHECK failed");
+  EXPECT_DEATH({ CombinedDelta({}); }, "MBP_CHECK failed");
+  EXPECT_DEATH({ CombinedDelta({0.0}); }, "MBP_CHECK failed");
+}
+
+}  // namespace
+}  // namespace mbp::core

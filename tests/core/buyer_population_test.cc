@@ -1,0 +1,138 @@
+#include "core/buyer_population.h"
+
+#include <gtest/gtest.h>
+
+#include "core/curves.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace mbp::core {
+namespace {
+
+class BuyerPopulationTest : public ::testing::Test {
+ protected:
+  static Broker MakeBroker() {
+    data::Simulated1Options data_options;
+    data_options.num_examples = 400;
+    data_options.num_features = 4;
+    data_options.seed = 21;
+    data::Dataset dataset = data::GenerateSimulated1(data_options).value();
+    random::Rng rng(22);
+    data::TrainTestSplit split =
+        data::RandomSplit(dataset, 0.25, rng).value();
+    MarketCurveOptions curve_options;
+    curve_options.num_points = 8;
+    curve_options.value_shape = ValueShape::kConcave;
+    curve_options.demand_shape = DemandShape::kMidPeaked;
+    Seller seller = Seller::Create("s", std::move(split),
+                                   MakeMarketCurve(curve_options).value())
+                        .value();
+    ModelListing listing;
+    listing.model = ml::ModelKind::kLinearRegression;
+    listing.l2 = 1e-3;
+    Broker::Options options;
+    options.transform.grid_size = 6;
+    options.transform.trials_per_delta = 40;
+    return Broker::Create(std::move(seller), listing, options).value();
+  }
+};
+
+TEST_F(BuyerPopulationTest, CountsAddUpAndRevenueMatchesBroker) {
+  Broker broker = MakeBroker();
+  random::Rng rng(1);
+  PopulationOptions options;
+  options.num_buyers = 500;
+  auto outcome = SimulateBuyerPopulation(
+      broker, broker.seller().market_research(), options, rng);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->buyers, 500u);
+  EXPECT_EQ(outcome->sales + outcome->priced_out, 500u);
+  EXPECT_NEAR(outcome->revenue, broker.total_revenue(), 1e-9);
+  EXPECT_EQ(broker.transactions().size(), outcome->sales);
+  EXPECT_NEAR(outcome->affordability,
+              static_cast<double>(outcome->sales) / 500.0, 1e-12);
+}
+
+TEST_F(BuyerPopulationTest, RealizedMatchesExpectationForLargePopulations) {
+  Broker broker = MakeBroker();
+  random::Rng rng(2);
+  PopulationOptions options;
+  options.num_buyers = 4000;
+  auto outcome = SimulateBuyerPopulation(
+      broker, broker.seller().market_research(), options, rng);
+  ASSERT_TRUE(outcome.ok());
+  // Realized per-buyer revenue and affordability concentrate around the
+  // curve-implied expectations (law of large numbers).
+  EXPECT_NEAR(outcome->revenue / 4000.0,
+              outcome->expected_revenue_per_buyer,
+              0.05 * (1.0 + outcome->expected_revenue_per_buyer));
+  EXPECT_NEAR(outcome->affordability, outcome->expected_affordability,
+              0.05);
+}
+
+TEST_F(BuyerPopulationTest, OptimizedPricingSellsToAlmostEveryone) {
+  // The DP nearly matches a concave value curve; only the lowest-quality
+  // bucket (whose value-floor breaks the ratio constraint) may be priced
+  // out, and it carries ~1% of demand.
+  Broker broker = MakeBroker();
+  random::Rng rng(3);
+  PopulationOptions options;
+  options.num_buyers = 300;
+  auto outcome = SimulateBuyerPopulation(
+      broker, broker.seller().market_research(), options, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LT(outcome->priced_out, 15u);  // < 5% of 300 buyers
+  EXPECT_GT(outcome->expected_affordability, 0.95);
+  EXPECT_GT(outcome->affordability, 0.95);
+}
+
+TEST_F(BuyerPopulationTest, JitterPricesSomeBuyersOut) {
+  // With the DP charging exactly the valuations, negative jitter makes
+  // some buyers unable to afford their level.
+  Broker broker = MakeBroker();
+  random::Rng rng(4);
+  PopulationOptions options;
+  options.num_buyers = 1000;
+  options.valuation_jitter = 0.3;
+  auto outcome = SimulateBuyerPopulation(
+      broker, broker.seller().market_research(), options, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->priced_out, 0u);
+  EXPECT_LT(outcome->affordability, 1.0);
+  // Roughly half the jittered valuations fall below the posted price.
+  EXPECT_NEAR(outcome->affordability, 0.5, 0.15);
+}
+
+TEST_F(BuyerPopulationTest, DeterministicForSeed) {
+  Broker broker1 = MakeBroker();
+  Broker broker2 = MakeBroker();
+  PopulationOptions options;
+  options.num_buyers = 200;
+  random::Rng rng1(5), rng2(5);
+  auto a = SimulateBuyerPopulation(
+      broker1, broker1.seller().market_research(), options, rng1);
+  auto b = SimulateBuyerPopulation(
+      broker2, broker2.seller().market_research(), options, rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->sales, b->sales);
+  EXPECT_DOUBLE_EQ(a->revenue, b->revenue);
+}
+
+TEST_F(BuyerPopulationTest, RejectsBadInputs) {
+  Broker broker = MakeBroker();
+  random::Rng rng(6);
+  PopulationOptions options;
+  EXPECT_FALSE(SimulateBuyerPopulation(broker, {}, options, rng).ok());
+  options.num_buyers = 0;
+  EXPECT_FALSE(SimulateBuyerPopulation(
+                   broker, broker.seller().market_research(), options, rng)
+                   .ok());
+  options.num_buyers = 10;
+  options.valuation_jitter = 1.0;
+  EXPECT_FALSE(SimulateBuyerPopulation(
+                   broker, broker.seller().market_research(), options, rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace mbp::core

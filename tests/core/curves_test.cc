@@ -1,0 +1,125 @@
+#include "core/curves.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mbp::core {
+namespace {
+
+MarketCurveOptions BaseOptions() {
+  MarketCurveOptions options;
+  options.num_points = 10;
+  options.x_min = 10.0;
+  options.x_max = 100.0;
+  options.max_value = 100.0;
+  return options;
+}
+
+TEST(MakeMarketCurveTest, GridIsEquallySpaced) {
+  auto curve = MakeMarketCurve(BaseOptions());
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 10u);
+  EXPECT_DOUBLE_EQ(curve->front().x, 10.0);
+  EXPECT_DOUBLE_EQ(curve->back().x, 100.0);
+  EXPECT_NEAR((*curve)[1].x - (*curve)[0].x, 10.0, 1e-12);
+}
+
+TEST(MakeMarketCurveTest, DemandSumsToOne) {
+  for (DemandShape shape :
+       {DemandShape::kUniform, DemandShape::kMidPeaked,
+        DemandShape::kExtremes, DemandShape::kHighAccuracy,
+        DemandShape::kLowAccuracy}) {
+    MarketCurveOptions options = BaseOptions();
+    options.demand_shape = shape;
+    auto curve = MakeMarketCurve(options);
+    ASSERT_TRUE(curve.ok());
+    double total = 0.0;
+    for (const CurvePoint& point : *curve) {
+      EXPECT_GE(point.demand, 0.0);
+      total += point.demand;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << DemandShapeToString(shape);
+  }
+}
+
+TEST(MakeMarketCurveTest, ValuesAreNonDecreasingForEveryShape) {
+  for (ValueShape shape : {ValueShape::kLinear, ValueShape::kConvex,
+                           ValueShape::kConcave, ValueShape::kSigmoid}) {
+    MarketCurveOptions options = BaseOptions();
+    options.value_shape = shape;
+    auto curve = MakeMarketCurve(options);
+    ASSERT_TRUE(curve.ok());
+    for (size_t j = 1; j < curve->size(); ++j) {
+      EXPECT_LE((*curve)[j - 1].value, (*curve)[j].value + 1e-12)
+          << ValueShapeToString(shape);
+    }
+    EXPECT_NEAR(curve->back().value, 100.0, 1e-9);
+    EXPECT_GT(curve->front().value, 0.0);
+  }
+}
+
+TEST(MakeMarketCurveTest, ConvexIsBelowLinearInTheMiddle) {
+  MarketCurveOptions linear = BaseOptions();
+  MarketCurveOptions convex = BaseOptions();
+  convex.value_shape = ValueShape::kConvex;
+  auto linear_curve = MakeMarketCurve(linear);
+  auto convex_curve = MakeMarketCurve(convex);
+  ASSERT_TRUE(linear_curve.ok() && convex_curve.ok());
+  const size_t mid = 5;
+  EXPECT_LT((*convex_curve)[mid].value, (*linear_curve)[mid].value);
+}
+
+TEST(MakeMarketCurveTest, ConcaveIsAboveLinearInTheMiddle) {
+  MarketCurveOptions linear = BaseOptions();
+  MarketCurveOptions concave = BaseOptions();
+  concave.value_shape = ValueShape::kConcave;
+  auto linear_curve = MakeMarketCurve(linear);
+  auto concave_curve = MakeMarketCurve(concave);
+  ASSERT_TRUE(linear_curve.ok() && concave_curve.ok());
+  const size_t mid = 5;
+  EXPECT_GT((*concave_curve)[mid].value, (*linear_curve)[mid].value);
+}
+
+TEST(MakeMarketCurveTest, MidPeakedDemandPeaksInMiddle) {
+  MarketCurveOptions options = BaseOptions();
+  options.demand_shape = DemandShape::kMidPeaked;
+  auto curve = MakeMarketCurve(options);
+  ASSERT_TRUE(curve.ok());
+  const double middle = (*curve)[4].demand + (*curve)[5].demand;
+  const double ends = curve->front().demand + curve->back().demand;
+  EXPECT_GT(middle, 3.0 * ends);
+}
+
+TEST(MakeMarketCurveTest, ExtremesDemandIsBimodal) {
+  MarketCurveOptions options = BaseOptions();
+  options.demand_shape = DemandShape::kExtremes;
+  auto curve = MakeMarketCurve(options);
+  ASSERT_TRUE(curve.ok());
+  const double ends = curve->front().demand + curve->back().demand;
+  const double middle = (*curve)[4].demand + (*curve)[5].demand;
+  EXPECT_GT(ends, 3.0 * middle);
+}
+
+TEST(MakeMarketCurveTest, RejectsBadOptions) {
+  MarketCurveOptions options = BaseOptions();
+  options.num_points = 1;
+  EXPECT_FALSE(MakeMarketCurve(options).ok());
+  options = BaseOptions();
+  options.x_min = 0.0;
+  EXPECT_FALSE(MakeMarketCurve(options).ok());
+  options = BaseOptions();
+  options.x_max = options.x_min;
+  EXPECT_FALSE(MakeMarketCurve(options).ok());
+  options = BaseOptions();
+  options.max_value = 0.0;
+  EXPECT_FALSE(MakeMarketCurve(options).ok());
+}
+
+TEST(ShapeNamesTest, AreStable) {
+  EXPECT_EQ(ValueShapeToString(ValueShape::kConvex), "convex");
+  EXPECT_EQ(DemandShapeToString(DemandShape::kExtremes), "extremes");
+}
+
+}  // namespace
+}  // namespace mbp::core

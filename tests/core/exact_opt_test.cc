@@ -1,0 +1,254 @@
+#include "core/exact_opt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/revenue_opt.h"
+#include "random/rng.h"
+
+namespace mbp::core {
+namespace {
+
+std::vector<CurvePoint> Figure5Curve() {
+  return {{1.0, 100.0, 0.25},
+          {2.0, 150.0, 0.25},
+          {3.0, 280.0, 0.25},
+          {4.0, 350.0, 0.25}};
+}
+
+TEST(MaximizeRevenueExactTest, Figure5OptimumPricesMatchPaper) {
+  // Figure 5(d): charging every valuation (100, 150, 280, 350) has
+  // arbitrage (280 > 100 + 150 and 350 > 150 + 150). The revenue-optimal
+  // subadditive pricing caps a3 at 100+150 = 250 and a4 at 150+150 = 300
+  // — exactly the 250/300 price callouts in the figure — for revenue
+  // 0.25 * (100 + 150 + 250 + 300) = 200.
+  auto result = MaximizeRevenueExact(Figure5Curve());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->prices.size(), 4u);
+  EXPECT_NEAR(result->prices[0], 100.0, 1e-6);
+  EXPECT_NEAR(result->prices[1], 150.0, 1e-6);
+  EXPECT_NEAR(result->prices[2], 250.0, 1e-6);
+  EXPECT_NEAR(result->prices[3], 300.0, 1e-6);
+  EXPECT_NEAR(result->revenue, 200.0, 1e-6);
+  EXPECT_NEAR(result->affordability, 1.0, 1e-9);
+}
+
+TEST(MaximizeRevenueExactTest, ExactBeatsOrMatchesDp) {
+  random::Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 2 + rng.NextBounded(5);
+    std::vector<CurvePoint> curve(n);
+    double v = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      v += 1.0 + static_cast<double>(rng.NextBounded(30));
+      curve[j] = {static_cast<double>(j + 1), v,
+                  0.05 + 0.05 * static_cast<double>(rng.NextBounded(6))};
+    }
+    auto exact = MaximizeRevenueExact(curve);
+    auto dp = MaximizeRevenueDp(curve);
+    ASSERT_TRUE(exact.ok() && dp.ok());
+    // Relaxed-feasible solutions are a subset of truly subadditive ones
+    // (Lemma 8), so the exact optimum dominates...
+    EXPECT_GE(exact->revenue + 1e-6, dp->revenue) << "trial " << trial;
+    // ...and Proposition 3 bounds the gap: C_SA / 2 <= C_MBP.
+    EXPECT_GE(dp->revenue + 1e-6, exact->revenue / 2.0)
+        << "trial " << trial;
+  }
+}
+
+TEST(MaximizeRevenueExactTest, ExactPricesAdmitSubadditiveExtension) {
+  // The returned prices must themselves pass the covering feasibility
+  // test, i.e. be consistent with SOME monotone subadditive function.
+  auto result = MaximizeRevenueExact(Figure5Curve());
+  ASSERT_TRUE(result.ok());
+  std::vector<InterpolationPoint> points;
+  const std::vector<CurvePoint> curve = Figure5Curve();
+  for (size_t j = 0; j < curve.size(); ++j) {
+    // Guard: zero prices would trip Definition 6's positivity, skip those.
+    if (result->prices[j] <= 0.0) return;
+    points.push_back({curve[j].x, result->prices[j]});
+  }
+  auto feasible = SubadditiveInterpolationFeasible(points);
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_TRUE(feasible.value());
+}
+
+TEST(MaximizeRevenueExactTest, ConcaveValuationsAreFullyExtracted) {
+  // Concave (subadditive) valuations can be charged exactly.
+  const std::vector<CurvePoint> curve{{1.0, 10.0, 0.25},
+                                      {2.0, 18.0, 0.25},
+                                      {3.0, 24.0, 0.25},
+                                      {4.0, 28.0, 0.25}};
+  auto result = MaximizeRevenueExact(curve);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->revenue, 0.25 * (10.0 + 18.0 + 24.0 + 28.0), 1e-6);
+  EXPECT_NEAR(result->affordability, 1.0, 1e-9);
+}
+
+TEST(MaximizeRevenueExactTest, RejectsOffGridX) {
+  const std::vector<CurvePoint> curve{{1.0, 10.0, 0.5},
+                                      {std::sqrt(2.0), 20.0, 0.5}};
+  EXPECT_EQ(MaximizeRevenueExact(curve).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MaximizeRevenueExactTest, HandlesScaledGrids) {
+  // x = 10, 20, 30, 40 shares base 10; behaves like a = 1..4.
+  std::vector<CurvePoint> curve = Figure5Curve();
+  for (CurvePoint& point : curve) point.x *= 10.0;
+  auto result = MaximizeRevenueExact(curve);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->revenue, 200.0, 1e-6);
+}
+
+TEST(MaximizeRevenueExactTest, RejectsDecreasingValuations) {
+  EXPECT_FALSE(
+      MaximizeRevenueExact({{1.0, 10.0, 0.5}, {2.0, 5.0, 0.5}}).ok());
+}
+
+// Independent verification of the anchor-closure argument: enumerate ALL
+// integer price assignments (not just anchor closures) with monotonicity
+// and covering feasibility, and confirm the anchor-based solver finds the
+// same optimum. Covering feasibility here is checked from first
+// principles with its own unbounded-knapsack DP.
+namespace brute {
+
+double MinCover(const std::vector<size_t>& units,
+                const std::vector<double>& prices, size_t target) {
+  std::vector<double> cover(target + 1, 1e18);
+  cover[0] = 0.0;
+  for (size_t t = 1; t <= target; ++t) {
+    for (size_t j = 0; j < units.size(); ++j) {
+      const size_t rest = t > units[j] ? t - units[j] : 0;
+      cover[t] = std::min(cover[t], prices[j] + cover[rest]);
+    }
+  }
+  return cover[target];
+}
+
+bool Feasible(const std::vector<size_t>& units,
+              const std::vector<double>& prices) {
+  for (size_t j = 1; j < prices.size(); ++j) {
+    if (prices[j] + 1e-9 < prices[j - 1]) return false;
+  }
+  for (size_t j = 0; j < units.size(); ++j) {
+    if (MinCover(units, prices, units[j]) + 1e-9 < prices[j]) return false;
+  }
+  return true;
+}
+
+double Optimum(const std::vector<CurvePoint>& curve,
+               const std::vector<size_t>& units, int max_price) {
+  const size_t n = curve.size();
+  std::vector<double> prices(n, 0.0);
+  double best = 0.0;
+  const std::function<void(size_t)> dfs = [&](size_t j) {
+    if (j == n) {
+      if (Feasible(units, prices)) {
+        best = std::max(best, RevenueOf(curve, prices));
+      }
+      return;
+    }
+    for (int p = 0; p <= max_price; ++p) {
+      prices[j] = static_cast<double>(p);
+      dfs(j + 1);
+    }
+  };
+  dfs(0);
+  return best;
+}
+
+}  // namespace brute
+
+TEST(MaximizeRevenueExactTest, AnchorClosureMatchesFullEnumeration) {
+  // Tiny instances with integer valuations <= 12 so the 13^3 full
+  // enumeration is tractable; the anchor-based solver must match it.
+  random::Rng rng(2024);
+  for (int trial = 0; trial < 8; ++trial) {
+    const size_t n = 2 + rng.NextBounded(2);  // 2 or 3 points
+    std::vector<CurvePoint> curve(n);
+    std::vector<size_t> units(n);
+    double v = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      v += 1.0 + static_cast<double>(rng.NextBounded(5));
+      v = std::min(v, 12.0);
+      curve[j] = {static_cast<double>(j + 1), v,
+                  0.2 + 0.1 * static_cast<double>(rng.NextBounded(4))};
+      units[j] = j + 1;
+    }
+    auto exact = MaximizeRevenueExact(curve);
+    ASSERT_TRUE(exact.ok());
+    const double reference = brute::Optimum(curve, units, 12);
+    EXPECT_NEAR(exact->revenue, reference, 1e-6) << "trial " << trial;
+  }
+}
+
+// ----------------------------- subadditive interpolation (Definition 6)
+
+TEST(SubadditiveInterpolationTest, ConcavePointsAreFeasible) {
+  auto feasible = SubadditiveInterpolationFeasible(
+      {{1.0, 10.0}, {2.0, 18.0}, {3.0, 24.0}});
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_TRUE(feasible.value());
+}
+
+TEST(SubadditiveInterpolationTest, CoverableTargetIsInfeasible) {
+  // P(2) = 25 > 2 * P(1) = 20: two copies of a_1 cover a_2 cheaper.
+  auto feasible =
+      SubadditiveInterpolationFeasible({{1.0, 10.0}, {2.0, 25.0}});
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_FALSE(feasible.value());
+}
+
+TEST(SubadditiveInterpolationTest, ExactDoublingIsFeasible) {
+  auto feasible =
+      SubadditiveInterpolationFeasible({{1.0, 10.0}, {2.0, 20.0}});
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_TRUE(feasible.value());
+}
+
+TEST(SubadditiveInterpolationTest, TheoremSevenReductionInstance) {
+  // The unbounded-subset-sum reduction from Theorem 7: points
+  // (w_j, w_j) for weights {2, 3} plus (K, K + 1/2). Feasible iff no
+  // subset sum hits K. K = 7 = 2+2+3 is a sum -> infeasible;
+  // K = 1 is not (weights exceed it... use K below min weight is trivially
+  // sum-free) -> with weights {2,3}, K=7 covered exactly.
+  auto infeasible = SubadditiveInterpolationFeasible(
+      {{2.0, 2.0}, {3.0, 3.0}, {7.0, 7.5}});
+  ASSERT_TRUE(infeasible.ok());
+  EXPECT_FALSE(infeasible.value());
+
+  // With weights {2, 6}, K = 5 is not an unbounded subset sum, but any
+  // multiset covering 5 costs at least 6 (e.g. 2+2+2 or 6), and
+  // P(5) = 5.5 < 6 -> feasible.
+  auto feasible = SubadditiveInterpolationFeasible(
+      {{2.0, 2.0}, {5.0, 5.5}, {6.0, 6.0}});
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_TRUE(feasible.value());
+}
+
+TEST(SubadditiveInterpolationTest, NonMonotonePointsAreInfeasible) {
+  auto feasible =
+      SubadditiveInterpolationFeasible({{1.0, 10.0}, {2.0, 8.0}});
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_FALSE(feasible.value());
+}
+
+TEST(SubadditiveInterpolationTest, ZeroPriceViolatesPositivity) {
+  auto feasible = SubadditiveInterpolationFeasible({{1.0, 0.0}});
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_FALSE(feasible.value());
+}
+
+TEST(SubadditiveInterpolationTest, RejectsBadInputs) {
+  EXPECT_FALSE(SubadditiveInterpolationFeasible({}).ok());
+  EXPECT_FALSE(
+      SubadditiveInterpolationFeasible({{1.0, 1.0}, {1.0, 2.0}}).ok());
+}
+
+}  // namespace
+}  // namespace mbp::core

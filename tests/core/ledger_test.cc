@@ -1,0 +1,98 @@
+#include "core/ledger.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace mbp::core {
+namespace {
+
+LedgerRecord MakeRecord(const std::string& listing, uint64_t id,
+                        double price) {
+  return LedgerRecord{listing, id, 0.1, price, 0.02};
+}
+
+TEST(LedgerTest, AppendsAndTotals) {
+  TransactionLedger ledger;
+  ASSERT_TRUE(ledger.Append(MakeRecord("a", 1, 10.0)).ok());
+  ASSERT_TRUE(ledger.Append(MakeRecord("b", 2, 25.5)).ok());
+  ASSERT_TRUE(ledger.Append(MakeRecord("a", 3, 4.5)).ok());
+  EXPECT_EQ(ledger.size(), 3u);
+  EXPECT_NEAR(ledger.TotalRevenue(), 40.0, 1e-12);
+  EXPECT_NEAR(ledger.RevenueForListing("a"), 14.5, 1e-12);
+  EXPECT_NEAR(ledger.RevenueForListing("b"), 25.5, 1e-12);
+  EXPECT_NEAR(ledger.RevenueForListing("ghost"), 0.0, 1e-12);
+}
+
+TEST(LedgerTest, BrokerCut) {
+  TransactionLedger ledger;
+  ASSERT_TRUE(ledger.Append(MakeRecord("a", 1, 100.0)).ok());
+  EXPECT_NEAR(ledger.BrokerCut(0.15), 15.0, 1e-12);
+  EXPECT_NEAR(ledger.BrokerCut(0.0), 0.0, 1e-12);
+}
+
+TEST(LedgerDeathTest, BadCutRateAborts) {
+  TransactionLedger ledger;
+  EXPECT_DEATH({ (void)ledger.BrokerCut(1.5); }, "rate");
+}
+
+TEST(LedgerTest, RejectsBadRecords) {
+  TransactionLedger ledger;
+  EXPECT_FALSE(ledger.Append(MakeRecord("", 1, 1.0)).ok());
+  EXPECT_FALSE(ledger.Append(MakeRecord("has space", 1, 1.0)).ok());
+  EXPECT_FALSE(ledger.Append(MakeRecord("a", 1, -1.0)).ok());
+  LedgerRecord negative_ncp = MakeRecord("a", 1, 1.0);
+  negative_ncp.ncp = -0.1;
+  EXPECT_FALSE(ledger.Append(negative_ncp).ok());
+  EXPECT_EQ(ledger.size(), 0u);
+}
+
+TEST(LedgerTest, SaveLoadRoundTrip) {
+  TransactionLedger ledger;
+  ASSERT_TRUE(ledger.Append(MakeRecord("income-linreg", 7, 12.25)).ok());
+  ASSERT_TRUE(ledger.Append(MakeRecord("tweets", 8, 0.0)).ok());
+  const std::string path = testing::TempDir() + "/ledger.mbp";
+  ASSERT_TRUE(ledger.SaveTo(path).ok());
+  auto loaded = TransactionLedger::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->records()[0].listing_id, "income-linreg");
+  EXPECT_EQ(loaded->records()[0].transaction_id, 7u);
+  EXPECT_DOUBLE_EQ(loaded->records()[0].price, 12.25);
+  EXPECT_DOUBLE_EQ(loaded->records()[1].price, 0.0);
+  EXPECT_NEAR(loaded->TotalRevenue(), ledger.TotalRevenue(), 1e-12);
+}
+
+TEST(LedgerTest, EmptyLedgerRoundTrips) {
+  TransactionLedger ledger;
+  const std::string path = testing::TempDir() + "/empty_ledger.mbp";
+  ASSERT_TRUE(ledger.SaveTo(path).ok());
+  auto loaded = TransactionLedger::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+TEST(LedgerTest, LoadRejectsCorruptFiles) {
+  const std::string path = testing::TempDir() + "/corrupt_ledger.mbp";
+  {
+    std::ofstream out(path);
+    out << "not a ledger\n";
+  }
+  EXPECT_EQ(TransactionLedger::LoadFrom(path).status().code(),
+            StatusCode::kInvalidArgument);
+  {
+    std::ofstream out(path);
+    out << "mbp-ledger v1\nlisting 1 0.1 abc 0.2\n";
+  }
+  EXPECT_FALSE(TransactionLedger::LoadFrom(path).ok());
+  {
+    std::ofstream out(path);
+    out << "mbp-ledger v1\nlisting 1 0.1 5.0\n";  // missing field
+  }
+  EXPECT_FALSE(TransactionLedger::LoadFrom(path).ok());
+  EXPECT_EQ(TransactionLedger::LoadFrom("/no/such/ledger").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mbp::core

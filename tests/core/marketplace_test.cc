@@ -1,0 +1,188 @@
+#include "core/marketplace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/curves.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace mbp::core {
+namespace {
+
+Seller MakeSeller(const std::string& name, bool classification,
+                  uint64_t seed) {
+  data::Dataset dataset = [&] {
+    if (classification) {
+      data::Simulated2Options options;
+      options.num_examples = 400;
+      options.num_features = 4;
+      options.seed = seed;
+      return data::GenerateSimulated2(options).value();
+    }
+    data::Simulated1Options options;
+    options.num_examples = 400;
+    options.num_features = 4;
+    options.seed = seed;
+    return data::GenerateSimulated1(options).value();
+  }();
+  random::Rng rng(seed + 1);
+  data::TrainTestSplit split = data::RandomSplit(dataset, 0.25, rng).value();
+  MarketCurveOptions curve_options;
+  curve_options.num_points = 6;
+  return Seller::Create(name, std::move(split),
+                        MakeMarketCurve(curve_options).value())
+      .value();
+}
+
+Broker::Options FastOptions() {
+  Broker::Options options;
+  options.transform.grid_size = 6;
+  options.transform.trials_per_delta = 50;
+  return options;
+}
+
+ModelListing RegressionListing() {
+  ModelListing listing;
+  listing.model = ml::ModelKind::kLinearRegression;
+  listing.l2 = 1e-3;
+  listing.test_error = ml::LossKind::kSquare;
+  return listing;
+}
+
+ModelListing ClassificationListing() {
+  ModelListing listing;
+  listing.model = ml::ModelKind::kLogisticRegression;
+  listing.l2 = 0.01;
+  listing.test_error = ml::LossKind::kZeroOne;
+  return listing;
+}
+
+TEST(MarketplaceTest, ListsMultipleModelFamilies) {
+  Marketplace market;
+  ASSERT_TRUE(market
+                  .List("income-linreg", MakeSeller("census", false, 1),
+                        RegressionListing(), FastOptions())
+                  .ok());
+  ASSERT_TRUE(market
+                  .List("tweets-logreg", MakeSeller("twitter", true, 2),
+                        ClassificationListing(), FastOptions())
+                  .ok());
+  EXPECT_EQ(market.num_listings(), 2u);
+
+  const std::vector<CatalogEntry> catalog = market.Catalog();
+  ASSERT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog[0].id, "income-linreg");
+  EXPECT_EQ(catalog[0].model, ml::ModelKind::kLinearRegression);
+  EXPECT_EQ(catalog[1].seller_name, "twitter");
+}
+
+TEST(MarketplaceTest, RejectsDuplicateIds) {
+  Marketplace market;
+  ASSERT_TRUE(market
+                  .List("dup", MakeSeller("a", false, 3),
+                        RegressionListing(), FastOptions())
+                  .ok());
+  EXPECT_EQ(market
+                .List("dup", MakeSeller("b", false, 4),
+                      RegressionListing(), FastOptions())
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(market.num_listings(), 1u);
+}
+
+TEST(MarketplaceTest, RejectsEmptyId) {
+  Marketplace market;
+  EXPECT_FALSE(market
+                   .List("", MakeSeller("a", false, 5),
+                         RegressionListing(), FastOptions())
+                   .ok());
+}
+
+TEST(MarketplaceTest, ListPropagatesBrokerFailures) {
+  Marketplace market;
+  // Classification listing on regression data fails inside Broker::Create.
+  EXPECT_FALSE(market
+                   .List("bad", MakeSeller("a", false, 6),
+                         ClassificationListing(), FastOptions())
+                   .ok());
+  EXPECT_EQ(market.num_listings(), 0u);
+}
+
+TEST(MarketplaceTest, LookupAndPurchase) {
+  Marketplace market;
+  ASSERT_TRUE(market
+                  .List("m1", MakeSeller("a", false, 7),
+                        RegressionListing(), FastOptions())
+                  .ok());
+  auto broker = market.Lookup("m1");
+  ASSERT_TRUE(broker.ok());
+  auto txn = (*broker)->BuyWithPriceBudget(20.0);
+  ASSERT_TRUE(txn.ok());
+  EXPECT_NEAR(market.TotalRevenue(), txn->price, 1e-9);
+}
+
+TEST(MarketplaceTest, LookupMissingIsNotFound) {
+  Marketplace market;
+  EXPECT_EQ(market.Lookup("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(MarketplaceTest, TotalRevenueAggregatesAcrossListings) {
+  Marketplace market;
+  ASSERT_TRUE(market
+                  .List("m1", MakeSeller("a", false, 8),
+                        RegressionListing(), FastOptions())
+                  .ok());
+  ASSERT_TRUE(market
+                  .List("m2", MakeSeller("b", true, 9),
+                        ClassificationListing(), FastOptions())
+                  .ok());
+  auto b1 = market.Lookup("m1");
+  auto b2 = market.Lookup("m2");
+  ASSERT_TRUE(b1.ok() && b2.ok());
+  auto t1 = (*b1)->BuyWithPriceBudget(15.0);
+  auto t2 = (*b2)->BuyWithPriceBudget(25.0);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_NEAR(market.TotalRevenue(), t1->price + t2->price, 1e-9);
+}
+
+TEST(MarketplaceTest, BuildLedgerSnapshotsAllSales) {
+  Marketplace market;
+  ASSERT_TRUE(market
+                  .List("m1", MakeSeller("a", false, 14),
+                        RegressionListing(), FastOptions())
+                  .ok());
+  ASSERT_TRUE(market
+                  .List("m2", MakeSeller("b", true, 15),
+                        ClassificationListing(), FastOptions())
+                  .ok());
+  auto b1 = market.Lookup("m1");
+  auto b2 = market.Lookup("m2");
+  ASSERT_TRUE(b1.ok() && b2.ok());
+  ASSERT_TRUE((*b1)->BuyWithPriceBudget(10.0).ok());
+  ASSERT_TRUE((*b1)->BuyWithPriceBudget(20.0).ok());
+  ASSERT_TRUE((*b2)->BuyWithPriceBudget(30.0).ok());
+
+  const TransactionLedger ledger = market.BuildLedger();
+  EXPECT_EQ(ledger.size(), 3u);
+  EXPECT_NEAR(ledger.TotalRevenue(), market.TotalRevenue(), 1e-9);
+  EXPECT_NEAR(ledger.RevenueForListing("m1") +
+                  ledger.RevenueForListing("m2"),
+              ledger.TotalRevenue(), 1e-9);
+  EXPECT_EQ(ledger.records()[0].listing_id, "m1");
+  EXPECT_EQ(ledger.records()[2].listing_id, "m2");
+}
+
+TEST(MarketplaceTest, DelistRemovesListing) {
+  Marketplace market;
+  ASSERT_TRUE(market
+                  .List("m1", MakeSeller("a", false, 10),
+                        RegressionListing(), FastOptions())
+                  .ok());
+  ASSERT_TRUE(market.Delist("m1").ok());
+  EXPECT_EQ(market.num_listings(), 0u);
+  EXPECT_EQ(market.Lookup("m1").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(market.Delist("m1").code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mbp::core

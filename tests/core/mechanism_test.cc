@@ -1,0 +1,155 @@
+#include "core/mechanism.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+
+namespace mbp::core {
+namespace {
+
+class MechanismTest : public ::testing::TestWithParam<MechanismKind> {
+ protected:
+  std::unique_ptr<RandomizedMechanism> mechanism_ =
+      MakeMechanism(GetParam());
+};
+
+TEST_P(MechanismTest, ZeroDeltaReturnsOptimalUnchanged) {
+  random::Rng rng(1);
+  const linalg::Vector optimal{1.0, -2.0, 3.5};
+  EXPECT_EQ(mechanism_->Perturb(optimal, 0.0, rng), optimal);
+}
+
+TEST_P(MechanismTest, PerturbPreservesDimension) {
+  random::Rng rng(2);
+  const linalg::Vector optimal(7, 1.0);
+  EXPECT_EQ(mechanism_->Perturb(optimal, 0.5, rng).size(), 7u);
+}
+
+TEST_P(MechanismTest, IsUnbiased) {
+  // Restriction 1 (Section 3.2): E[K(h*, w)] = h*.
+  random::Rng rng(3);
+  const linalg::Vector optimal{2.0, -1.0, 0.5, 4.0};
+  const int trials = 40000;
+  linalg::Vector mean(optimal.size());
+  for (int t = 0; t < trials; ++t) {
+    const linalg::Vector noisy = mechanism_->Perturb(optimal, 1.0, rng);
+    for (size_t j = 0; j < mean.size(); ++j) mean[j] += noisy[j] / trials;
+  }
+  for (size_t j = 0; j < mean.size(); ++j) {
+    EXPECT_NEAR(mean[j], optimal[j], 0.02) << mechanism_->name();
+  }
+}
+
+TEST_P(MechanismTest, ExpectedSquaredNoiseEqualsDelta) {
+  // Lemma 3 normalization: E||K(h*,w) - h*||^2 = delta for every mechanism.
+  random::Rng rng(4);
+  const linalg::Vector optimal(10, 0.7);
+  for (double delta : {0.1, 1.0, 5.0}) {
+    const int trials = 20000;
+    double total = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      const linalg::Vector noisy = mechanism_->Perturb(optimal, delta, rng);
+      total += linalg::SquaredDistance(noisy, optimal);
+    }
+    const double measured = total / trials;
+    EXPECT_NEAR(measured, delta, 0.05 * delta)
+        << mechanism_->name() << " at delta " << delta;
+    EXPECT_DOUBLE_EQ(mechanism_->ExpectedSquaredNoise(delta, 10), delta);
+  }
+}
+
+TEST_P(MechanismTest, DeterministicGivenRngState) {
+  random::Rng rng1(55), rng2(55);
+  const linalg::Vector optimal{1.0, 2.0};
+  EXPECT_EQ(mechanism_->Perturb(optimal, 0.7, rng1),
+            mechanism_->Perturb(optimal, 0.7, rng2));
+}
+
+TEST_P(MechanismTest, LargerDeltaMeansLargerTypicalNoise) {
+  random::Rng rng(6);
+  const linalg::Vector optimal(5, 1.0);
+  double small_noise = 0.0, large_noise = 0.0;
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    small_noise += linalg::SquaredDistance(
+        mechanism_->Perturb(optimal, 0.1, rng), optimal);
+    large_noise += linalg::SquaredDistance(
+        mechanism_->Perturb(optimal, 2.0, rng), optimal);
+  }
+  EXPECT_LT(small_noise, large_noise);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanisms, MechanismTest,
+    ::testing::Values(MechanismKind::kGaussian, MechanismKind::kLaplace,
+                      MechanismKind::kUniformAdditive,
+                      MechanismKind::kUniformMultiplicative),
+    [](const auto& info) { return MakeMechanism(info.param)->name(); });
+
+TEST(UniformMultiplicativeMechanismDeathTest, ZeroModelAborts) {
+  UniformMultiplicativeMechanism mechanism;
+  random::Rng rng(1);
+  EXPECT_DEATH({ mechanism.Perturb(linalg::Vector(3, 0.0), 1.0, rng); },
+               "non-zero model");
+}
+
+TEST(UniformMultiplicativeMechanismTest, NoiseScalesWithCoordinates) {
+  // A zero coordinate stays exactly zero under multiplicative noise.
+  UniformMultiplicativeMechanism mechanism;
+  random::Rng rng(2);
+  const linalg::Vector optimal{5.0, 0.0};
+  for (int t = 0; t < 100; ++t) {
+    const linalg::Vector noisy = mechanism.Perturb(optimal, 0.5, rng);
+    EXPECT_DOUBLE_EQ(noisy[1], 0.0);
+    EXPECT_NE(noisy[0], 5.0);
+  }
+}
+
+TEST(GaussianMechanismTest, PerCoordinateVarianceIsDeltaOverD) {
+  // Equation 1: W_delta = N(0, (delta/d) I_d).
+  GaussianMechanism mechanism;
+  random::Rng rng(7);
+  const size_t d = 4;
+  const double delta = 2.0;
+  const linalg::Vector optimal(d, 0.0);
+  const int trials = 40000;
+  linalg::Vector second_moment(d);
+  for (int t = 0; t < trials; ++t) {
+    const linalg::Vector noisy = mechanism.Perturb(optimal, delta, rng);
+    for (size_t j = 0; j < d; ++j) {
+      second_moment[j] += noisy[j] * noisy[j] / trials;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(second_moment[j], delta / d, 0.05 * delta / d);
+  }
+}
+
+TEST(MechanismDeathTest, NegativeDeltaAborts) {
+  GaussianMechanism mechanism;
+  random::Rng rng(1);
+  EXPECT_DEATH({ mechanism.Perturb(linalg::Vector(2), -1.0, rng); },
+               "MBP_CHECK failed");
+}
+
+TEST(MechanismDeathTest, EmptyModelAborts) {
+  GaussianMechanism mechanism;
+  random::Rng rng(1);
+  EXPECT_DEATH({ mechanism.Perturb(linalg::Vector(), 1.0, rng); },
+               "MBP_CHECK failed");
+}
+
+TEST(MechanismFactoryTest, NamesAreDistinct) {
+  EXPECT_EQ(MakeMechanism(MechanismKind::kGaussian)->name(), "gaussian");
+  EXPECT_EQ(MakeMechanism(MechanismKind::kLaplace)->name(), "laplace");
+  EXPECT_EQ(MakeMechanism(MechanismKind::kUniformAdditive)->name(),
+            "uniform_additive");
+  EXPECT_EQ(MakeMechanism(MechanismKind::kUniformMultiplicative)->name(),
+            "uniform_multiplicative");
+}
+
+}  // namespace
+}  // namespace mbp::core

@@ -1,0 +1,139 @@
+#include "core/pricing_function.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mbp::core {
+namespace {
+
+PiecewiseLinearPricing MakeValidPricing() {
+  // Non-decreasing prices, price/x non-increasing: arbitrage-free.
+  return PiecewiseLinearPricing::Create(
+             {{1.0, 10.0}, {2.0, 18.0}, {4.0, 30.0}, {8.0, 40.0}})
+      .value();
+}
+
+TEST(PiecewiseLinearPricingTest, CreateValidatesInput) {
+  EXPECT_FALSE(PiecewiseLinearPricing::Create({}).ok());
+  EXPECT_FALSE(
+      PiecewiseLinearPricing::Create({{0.0, 1.0}}).ok());  // x must be > 0
+  EXPECT_FALSE(
+      PiecewiseLinearPricing::Create({{2.0, 1.0}, {1.0, 2.0}}).ok());
+  EXPECT_FALSE(
+      PiecewiseLinearPricing::Create({{1.0, 1.0}, {1.0, 2.0}}).ok());
+  EXPECT_FALSE(PiecewiseLinearPricing::Create({{1.0, -1.0}}).ok());
+}
+
+TEST(PiecewiseLinearPricingTest, OriginSegmentIsLinear) {
+  const PiecewiseLinearPricing pricing = MakeValidPricing();
+  EXPECT_DOUBLE_EQ(pricing.PriceAtInverseNcp(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pricing.PriceAtInverseNcp(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(pricing.PriceAtInverseNcp(1.0), 10.0);
+}
+
+TEST(PiecewiseLinearPricingTest, InteriorInterpolation) {
+  const PiecewiseLinearPricing pricing = MakeValidPricing();
+  EXPECT_DOUBLE_EQ(pricing.PriceAtInverseNcp(1.5), 14.0);
+  EXPECT_DOUBLE_EQ(pricing.PriceAtInverseNcp(3.0), 24.0);
+}
+
+TEST(PiecewiseLinearPricingTest, ConstantPastLastKnot) {
+  const PiecewiseLinearPricing pricing = MakeValidPricing();
+  EXPECT_DOUBLE_EQ(pricing.PriceAtInverseNcp(8.0), 40.0);
+  EXPECT_DOUBLE_EQ(pricing.PriceAtInverseNcp(100.0), 40.0);
+}
+
+TEST(PiecewiseLinearPricingTest, PriceAtNcpIsInverse) {
+  const PiecewiseLinearPricing pricing = MakeValidPricing();
+  EXPECT_DOUBLE_EQ(pricing.PriceAtNcp(1.0), pricing.PriceAtInverseNcp(1.0));
+  EXPECT_DOUBLE_EQ(pricing.PriceAtNcp(0.25),
+                   pricing.PriceAtInverseNcp(4.0));
+}
+
+TEST(PiecewiseLinearPricingTest, ValidatesArbitrageFreeCurve) {
+  EXPECT_TRUE(MakeValidPricing().ValidateArbitrageFree().ok());
+}
+
+TEST(PiecewiseLinearPricingTest, DetectsNonMonotonePrices) {
+  auto pricing =
+      PiecewiseLinearPricing::Create({{1.0, 10.0}, {2.0, 5.0}}).value();
+  const Status status = pricing.ValidateArbitrageFree();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("monotone"), std::string::npos);
+}
+
+TEST(PiecewiseLinearPricingTest, DetectsSuperadditiveRatio) {
+  // price/x increasing (convex curve) => subadditivity fails.
+  auto pricing =
+      PiecewiseLinearPricing::Create({{1.0, 1.0}, {2.0, 4.0}}).value();
+  EXPECT_EQ(pricing.ValidateArbitrageFree().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PiecewiseLinearPricingTest, CanonicalFormIsSubadditiveEverywhere) {
+  // Proposition 1 + Lemma 8: the canonical extension of relaxed-feasible
+  // knots passes the dense sampled subadditivity check.
+  const PiecewiseLinearPricing pricing = MakeValidPricing();
+  const auto price = [&](double x) { return pricing.PriceAtInverseNcp(x); };
+  EXPECT_FALSE(FindSubadditivityViolation(price, 20.0, 400).has_value());
+  EXPECT_FALSE(FindMonotonicityViolation(price, 20.0, 400).has_value());
+  EXPECT_TRUE(IsArbitrageFreeOnGrid(price, 20.0, 400));
+}
+
+TEST(CheckersTest, FindMonotonicityViolation) {
+  const auto decreasing = [](double x) { return 10.0 - x; };
+  auto violation = FindMonotonicityViolation(decreasing, 5.0, 50);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_LT(violation->x1, violation->x2);
+  EXPECT_GT(violation->price1, violation->price2);
+}
+
+TEST(CheckersTest, FindSubadditivityViolationOnConvexCurve) {
+  const auto convex = [](double x) { return x * x; };
+  auto violation = FindSubadditivityViolation(convex, 4.0, 40);
+  ASSERT_TRUE(violation.has_value());
+  // (x + y)^2 > x^2 + y^2 for positive x, y.
+  EXPECT_GT(violation->price_combined, violation->price_sum);
+}
+
+TEST(CheckersTest, LinearIsExactlyAdditive) {
+  const auto linear = [](double x) { return 3.0 * x; };
+  EXPECT_TRUE(IsArbitrageFreeOnGrid(linear, 10.0, 100));
+}
+
+TEST(CheckersTest, ConcaveIsSubadditive) {
+  const auto sqrt_curve = [](double x) { return std::sqrt(x); };
+  EXPECT_TRUE(IsArbitrageFreeOnGrid(sqrt_curve, 10.0, 100));
+}
+
+TEST(CheckersTest, ConstantWithPositiveValueIsSubadditive) {
+  const auto constant = [](double) { return 5.0; };
+  EXPECT_TRUE(IsArbitrageFreeOnGrid(constant, 10.0, 100));
+}
+
+TEST(MaxInverseNcpForBudgetTest, InvertsThePriceCurve) {
+  const PiecewiseLinearPricing pricing = MakeValidPricing();
+  // Budget below the first knot price: on the origin segment.
+  EXPECT_NEAR(pricing.MaxInverseNcpForBudget(5.0), 0.5, 1e-12);
+  // Interior budget.
+  const double x = pricing.MaxInverseNcpForBudget(24.0);
+  EXPECT_NEAR(x, 3.0, 1e-12);
+  EXPECT_NEAR(pricing.PriceAtInverseNcp(x), 24.0, 1e-12);
+  // Budget above the cap: infinite.
+  EXPECT_TRUE(std::isinf(pricing.MaxInverseNcpForBudget(50.0)));
+  EXPECT_TRUE(std::isinf(pricing.MaxInverseNcpForBudget(40.0)));
+}
+
+TEST(MaxInverseNcpForBudgetTest, ZeroBudgetGivesZeroX) {
+  const PiecewiseLinearPricing pricing = MakeValidPricing();
+  EXPECT_DOUBLE_EQ(pricing.MaxInverseNcpForBudget(0.0), 0.0);
+}
+
+TEST(MaxInverseNcpForBudgetTest, BudgetEqualsKnotPrice) {
+  const PiecewiseLinearPricing pricing = MakeValidPricing();
+  EXPECT_NEAR(pricing.MaxInverseNcpForBudget(18.0), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mbp::core

@@ -1,0 +1,126 @@
+#include "core/privacy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mbp::core {
+namespace {
+
+constexpr double kDeltaDp = 1e-5;
+
+TEST(GaussianMechanismPrivacyTest, MatchesClassicalFormula) {
+  const double ncp = 0.4;
+  const size_t dim = 10;
+  const double sensitivity = 0.05;
+  auto guarantee =
+      GaussianMechanismPrivacy(ncp, dim, sensitivity, kDeltaDp);
+  ASSERT_TRUE(guarantee.ok());
+  const double sigma = std::sqrt(ncp / dim);
+  const double expected =
+      sensitivity * std::sqrt(2.0 * std::log(1.25 / kDeltaDp)) / sigma;
+  EXPECT_NEAR(guarantee->epsilon, expected, 1e-12);
+  EXPECT_DOUBLE_EQ(guarantee->delta_dp, kDeltaDp);
+}
+
+TEST(GaussianMechanismPrivacyTest, MoreNoiseMeansMorePrivacy) {
+  auto low_noise = GaussianMechanismPrivacy(0.1, 5, 0.1, kDeltaDp);
+  auto high_noise = GaussianMechanismPrivacy(1.0, 5, 0.1, kDeltaDp);
+  ASSERT_TRUE(low_noise.ok() && high_noise.ok());
+  EXPECT_GT(low_noise->epsilon, high_noise->epsilon);
+}
+
+TEST(GaussianMechanismPrivacyTest, RejectsBadInputs) {
+  EXPECT_FALSE(GaussianMechanismPrivacy(0.0, 5, 0.1, kDeltaDp).ok());
+  EXPECT_FALSE(GaussianMechanismPrivacy(1.0, 0, 0.1, kDeltaDp).ok());
+  EXPECT_FALSE(GaussianMechanismPrivacy(1.0, 5, 0.0, kDeltaDp).ok());
+  EXPECT_FALSE(GaussianMechanismPrivacy(1.0, 5, 0.1, 0.0).ok());
+  EXPECT_FALSE(GaussianMechanismPrivacy(1.0, 5, 0.1, 1.0).ok());
+}
+
+TEST(NcpForPrivacyTest, IsTheInverseOfPrivacyAccounting) {
+  const double epsilon = 0.5;
+  const size_t dim = 8;
+  const double sensitivity = 0.02;
+  auto ncp = NcpForPrivacy(epsilon, kDeltaDp, dim, sensitivity);
+  ASSERT_TRUE(ncp.ok());
+  auto roundtrip =
+      GaussianMechanismPrivacy(*ncp, dim, sensitivity, kDeltaDp);
+  ASSERT_TRUE(roundtrip.ok());
+  EXPECT_NEAR(roundtrip->epsilon, epsilon, 1e-10);
+}
+
+TEST(NcpForPrivacyTest, TighterEpsilonNeedsMoreNoise) {
+  auto strict = NcpForPrivacy(0.1, kDeltaDp, 8, 0.02);
+  auto loose = NcpForPrivacy(1.0, kDeltaDp, 8, 0.02);
+  ASSERT_TRUE(strict.ok() && loose.ok());
+  EXPECT_GT(*strict, *loose);
+}
+
+TEST(PortfolioPrivacyTest, PrecisionsAddLikeArbitrageCombination) {
+  // Two instances at delta=2 compose to one at delta=1 — exactly the
+  // Theorem 5 combination — so the portfolio epsilon equals the single
+  // instance's at delta=1.
+  const size_t dim = 6;
+  const double sensitivity = 0.03;
+  auto portfolio =
+      PortfolioPrivacy({2.0, 2.0}, dim, sensitivity, kDeltaDp);
+  auto single = GaussianMechanismPrivacy(1.0, dim, sensitivity, kDeltaDp);
+  ASSERT_TRUE(portfolio.ok() && single.ok());
+  EXPECT_NEAR(portfolio->epsilon, single->epsilon, 1e-12);
+}
+
+TEST(PortfolioPrivacyTest, BuyingMoreLeaksMore) {
+  const size_t dim = 6;
+  auto one = PortfolioPrivacy({1.0}, dim, 0.05, kDeltaDp);
+  auto three = PortfolioPrivacy({1.0, 1.0, 1.0}, dim, 0.05, kDeltaDp);
+  ASSERT_TRUE(one.ok() && three.ok());
+  EXPECT_GT(three->epsilon, one->epsilon);
+  // Effective delta divides by 3 -> epsilon scales by sqrt(3).
+  EXPECT_NEAR(three->epsilon, one->epsilon * std::sqrt(3.0), 1e-10);
+}
+
+TEST(PortfolioPrivacyTest, RejectsBadPortfolios) {
+  EXPECT_FALSE(PortfolioPrivacy({}, 5, 0.1, kDeltaDp).ok());
+  EXPECT_FALSE(PortfolioPrivacy({1.0, 0.0}, 5, 0.1, kDeltaDp).ok());
+}
+
+TEST(ErmL2SensitivityTest, MatchesStabilityBound) {
+  auto sensitivity = ErmL2Sensitivity(1.0, 0.01, 1000);
+  ASSERT_TRUE(sensitivity.ok());
+  EXPECT_NEAR(*sensitivity, 1.0 / (0.01 * 1000), 1e-12);
+}
+
+TEST(ErmL2SensitivityTest, MoreDataMeansMoreStability) {
+  auto small = ErmL2Sensitivity(1.0, 0.01, 100);
+  auto large = ErmL2Sensitivity(1.0, 0.01, 10000);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(*small, *large);
+}
+
+TEST(ErmL2SensitivityTest, RequiresStrictConvexity) {
+  EXPECT_FALSE(ErmL2Sensitivity(1.0, 0.0, 100).ok());
+  EXPECT_FALSE(ErmL2Sensitivity(0.0, 0.1, 100).ok());
+  EXPECT_FALSE(ErmL2Sensitivity(1.0, 0.1, 0).ok());
+}
+
+TEST(PrivacyPricingTest, ArbitrageFreePriceIsSubadditiveInEpsilonSquared) {
+  // epsilon^2 is proportional to 1/delta = x, so a subadditive monotone
+  // price in x is automatically subadditive monotone in the squared
+  // privacy loss — the concrete form of the paper's Section 2 remark.
+  const size_t dim = 4;
+  const double sensitivity = 0.1;
+  const auto epsilon_at = [&](double x) {
+    return GaussianMechanismPrivacy(1.0 / x, dim, sensitivity, kDeltaDp)
+        ->epsilon;
+  };
+  const double e1 = epsilon_at(1.0);
+  const double e2 = epsilon_at(2.0);
+  const double e3 = epsilon_at(3.0);
+  // eps(x)^2 scales linearly in x.
+  EXPECT_NEAR(e2 * e2, 2.0 * e1 * e1, 1e-9);
+  EXPECT_NEAR(e3 * e3, 3.0 * e1 * e1, 1e-8);
+}
+
+}  // namespace
+}  // namespace mbp::core

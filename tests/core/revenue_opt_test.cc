@@ -1,0 +1,217 @@
+#include "core/revenue_opt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/curves.h"
+#include "random/rng.h"
+
+namespace mbp::core {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// The Figure 5 worked example: a=(1,2,3,4), b=0.25 each,
+// v=(100,150,280,350).
+std::vector<CurvePoint> Figure5Curve() {
+  return {{1.0, 100.0, 0.25},
+          {2.0, 150.0, 0.25},
+          {3.0, 280.0, 0.25},
+          {4.0, 350.0, 0.25}};
+}
+
+bool SatisfiesRelaxedConstraints(const std::vector<CurvePoint>& curve,
+                                 const std::vector<double>& prices) {
+  for (size_t j = 0; j < prices.size(); ++j) {
+    if (prices[j] < -kTol) return false;
+    if (j > 0) {
+      if (prices[j] + kTol < prices[j - 1]) return false;
+      const double r_prev = prices[j - 1] / curve[j - 1].x;
+      const double r_here = prices[j] / curve[j].x;
+      if (r_here > r_prev + kTol) return false;
+    }
+  }
+  return true;
+}
+
+// Exhaustive search over relaxed-feasible assignments with prices drawn
+// from the valuation set — a slow reference optimum for tiny instances.
+double BruteForceRelaxedOptimum(const std::vector<CurvePoint>& curve) {
+  const size_t n = curve.size();
+  std::vector<double> candidates;
+  for (const CurvePoint& point : curve) candidates.push_back(point.value);
+  std::vector<double> assignment(n, 0.0);
+  double best = 0.0;
+  // Assignments also include slope-capped prices z_j = Delta * a_j, so a
+  // pure valuation-grid brute force would under-count; instead sample the
+  // DP's candidate caps too: for each pair (j, cap v_k/a_k) price
+  // z_j = min(v_j-ish...). Simplest faithful reference: enumerate price
+  // vectors from {v_i} plus {v_i * a_j / a_i} projected to feasibility.
+  for (const CurvePoint& point : curve) {
+    for (const CurvePoint& other : curve) {
+      candidates.push_back(point.value * other.x / point.x);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  // Depth-first enumeration (tiny n only).
+  const std::function<void(size_t)> dfs = [&](size_t j) {
+    if (j == n) {
+      if (SatisfiesRelaxedConstraints(curve, assignment)) {
+        best = std::max(best, RevenueOf(curve, assignment));
+      }
+      return;
+    }
+    for (double candidate : candidates) {
+      assignment[j] = candidate;
+      dfs(j + 1);
+    }
+  };
+  dfs(0);
+  return best;
+}
+
+TEST(RevenueOfTest, CountsOnlyAffordableBuyers) {
+  const std::vector<CurvePoint> curve = Figure5Curve();
+  // Price everyone at 200: only points 3 and 4 (v=280, 350) can afford.
+  const std::vector<double> prices(4, 200.0);
+  EXPECT_NEAR(RevenueOf(curve, prices), 0.25 * 200.0 * 2, kTol);
+  EXPECT_NEAR(AffordabilityOf(curve, prices), 0.5, kTol);
+}
+
+TEST(RevenueOfTest, PriceEqualToValueStillSells) {
+  const std::vector<CurvePoint> curve = Figure5Curve();
+  const std::vector<double> prices{100.0, 150.0, 280.0, 350.0};
+  EXPECT_NEAR(RevenueOf(curve, prices), 0.25 * 880.0, kTol);
+  EXPECT_NEAR(AffordabilityOf(curve, prices), 1.0, kTol);
+}
+
+TEST(MaximizeRevenueDpTest, Figure5ExampleMatchesPaper) {
+  // Figure 5(e), the proposed polynomial-time pricing: sell a1 at 100 and
+  // a2 at 150; the ratio constraint then caps the slope at 150/2 = 75 per
+  // unit, giving the figure's 225 at a3 and 300 at a4. Revenue
+  // 0.25 * (100 + 150 + 225 + 300) = 193.75, within the Proposition-3
+  // factor 2 of the exact optimum (200).
+  auto result = MaximizeRevenueDp(Figure5Curve());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(SatisfiesRelaxedConstraints(Figure5Curve(), result->prices));
+  ASSERT_EQ(result->prices.size(), 4u);
+  EXPECT_NEAR(result->prices[0], 100.0, kTol);
+  EXPECT_NEAR(result->prices[1], 150.0, kTol);
+  EXPECT_NEAR(result->prices[2], 225.0, kTol);
+  EXPECT_NEAR(result->prices[3], 300.0, kTol);
+  EXPECT_NEAR(result->revenue, 193.75, 1e-9);
+}
+
+TEST(MaximizeRevenueDpTest, OutputIsAlwaysRelaxedFeasible) {
+  random::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 2 + rng.NextBounded(8);
+    std::vector<CurvePoint> curve(n);
+    double v = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      v += rng.NextDouble(0.0, 50.0);
+      curve[j] = {static_cast<double>(j + 1), v, rng.NextDouble(0.0, 1.0)};
+    }
+    auto result = MaximizeRevenueDp(curve);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(SatisfiesRelaxedConstraints(curve, result->prices))
+        << "trial " << trial;
+    EXPECT_NEAR(result->revenue, RevenueOf(curve, result->prices), 1e-9);
+  }
+}
+
+TEST(MaximizeRevenueDpTest, MatchesBruteForceOnTinyInstances) {
+  random::Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 2 + rng.NextBounded(2);  // n in {2, 3}
+    std::vector<CurvePoint> curve(n);
+    double v = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      v += 1.0 + rng.NextBounded(20);
+      curve[j] = {static_cast<double>(j + 1), v,
+                  0.1 + 0.1 * static_cast<double>(rng.NextBounded(5))};
+    }
+    auto dp = MaximizeRevenueDp(curve);
+    ASSERT_TRUE(dp.ok());
+    const double brute = BruteForceRelaxedOptimum(curve);
+    EXPECT_NEAR(dp->revenue, brute, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(MaximizeRevenueDpTest, SinglePointChargesTheValuation) {
+  const std::vector<CurvePoint> curve{{5.0, 42.0, 1.0}};
+  auto result = MaximizeRevenueDp(curve);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->prices[0], 42.0, kTol);
+  EXPECT_NEAR(result->revenue, 42.0, kTol);
+  EXPECT_NEAR(result->affordability, 1.0, kTol);
+}
+
+TEST(MaximizeRevenueDpTest, ConcaveValueCurveIsMatchedExactly) {
+  // A concave value curve is itself relaxed-feasible (v/x decreasing), so
+  // the DP can charge every buyer their full valuation.
+  MarketCurveOptions options;
+  options.num_points = 8;
+  options.value_shape = ValueShape::kConcave;
+  auto curve = MakeMarketCurve(options);
+  ASSERT_TRUE(curve.ok());
+  auto result = MaximizeRevenueDp(*curve);
+  ASSERT_TRUE(result.ok());
+  double full_surplus = 0.0;
+  for (const CurvePoint& point : *curve) {
+    full_surplus += point.demand * point.value;
+  }
+  // v/x decreasing must hold for this to be exact; verify and compare.
+  bool ratio_decreasing = true;
+  for (size_t j = 1; j < curve->size(); ++j) {
+    if ((*curve)[j].value / (*curve)[j].x >
+        (*curve)[j - 1].value / (*curve)[j - 1].x + kTol) {
+      ratio_decreasing = false;
+    }
+  }
+  if (ratio_decreasing) {
+    EXPECT_NEAR(result->revenue, full_surplus, 1e-6);
+    EXPECT_NEAR(result->affordability, 1.0, kTol);
+  } else {
+    EXPECT_LE(result->revenue, full_surplus + kTol);
+  }
+}
+
+TEST(MaximizeRevenueDpTest, RejectsInvalidCurves) {
+  EXPECT_FALSE(MaximizeRevenueDp({}).ok());
+  // Non-increasing x.
+  EXPECT_FALSE(
+      MaximizeRevenueDp({{2.0, 1.0, 0.5}, {1.0, 2.0, 0.5}}).ok());
+  // Decreasing valuations violate the monotone-buyer assumption.
+  EXPECT_FALSE(
+      MaximizeRevenueDp({{1.0, 10.0, 0.5}, {2.0, 5.0, 0.5}}).ok());
+  // Negative demand.
+  EXPECT_FALSE(MaximizeRevenueDp({{1.0, 10.0, -0.5}}).ok());
+}
+
+TEST(PricingFromKnotsTest, BuildsValidatedPricing) {
+  const std::vector<CurvePoint> curve = Figure5Curve();
+  auto dp = MaximizeRevenueDp(curve);
+  ASSERT_TRUE(dp.ok());
+  auto pricing = PricingFromKnots(curve, dp->prices);
+  ASSERT_TRUE(pricing.ok());
+  EXPECT_TRUE(pricing->ValidateArbitrageFree().ok());
+  // Knot prices are reproduced exactly.
+  for (size_t j = 0; j < curve.size(); ++j) {
+    EXPECT_NEAR(pricing->PriceAtInverseNcp(curve[j].x), dp->prices[j],
+                1e-9);
+  }
+}
+
+TEST(PricingFromKnotsTest, RejectsSizeMismatch) {
+  EXPECT_FALSE(PricingFromKnots(Figure5Curve(), {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace mbp::core

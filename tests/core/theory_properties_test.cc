@@ -1,0 +1,197 @@
+// Randomized property tests that check the paper's formal results
+// directly, on top of the unit tests for the individual modules:
+//   Lemma 1   — arbitrage-free => error-monotone
+//   Theorem 4 — expected convex error is monotone in delta
+//   Theorem 5 — monotone+subadditive <=> no combination attack
+//   Lemma 8   — relaxed-feasible => subadditive
+//   Lemma 9   — the relaxed minorant loses at most a factor 2
+//   Prop. 1   — knot feasibility extends to the whole curve
+//   Prop. 3   — DP revenue >= exact optimum / 2
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/arbitrage.h"
+#include "core/curves.h"
+#include "core/exact_opt.h"
+#include "core/interpolation.h"
+#include "core/pricing_function.h"
+#include "core/revenue_opt.h"
+#include "random/rng.h"
+
+namespace mbp::core {
+namespace {
+
+class TheoryPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  random::Rng rng_{GetParam()};
+
+  // Random relaxed-feasible knots: prices non-decreasing with price/x
+  // non-increasing, on a random increasing grid. At each knot the price
+  // is sampled uniformly from the (always non-empty) feasible interval
+  // [prev_price, prev_ratio * x].
+  PiecewiseLinearPricing RandomFeasiblePricing(size_t n) {
+    std::vector<PricePoint> points(n);
+    double x = rng_.NextDouble(0.5, 3.0);
+    double price = rng_.NextDouble(1.0, 20.0);
+    points[0] = {x, price};
+    for (size_t j = 1; j < n; ++j) {
+      const double prev_ratio = price / x;
+      x += rng_.NextDouble(0.5, 3.0);
+      price = rng_.NextDouble(price, prev_ratio * x);
+      points[j] = {x, price};
+    }
+    return PiecewiseLinearPricing::Create(std::move(points)).value();
+  }
+};
+
+TEST_P(TheoryPropertyTest, Theorem5Forward_FeasibleCurvesAreSafe) {
+  const size_t n = 3 + rng_.NextBounded(8);
+  const PiecewiseLinearPricing pricing = RandomFeasiblePricing(n);
+  if (!pricing.ValidateArbitrageFree().ok()) {
+    GTEST_SKIP() << "generator produced a non-feasible curve";
+  }
+  const auto price = [&](double x) { return pricing.PriceAtInverseNcp(x); };
+  const double x_max = pricing.points().back().x * 2.0;
+  EXPECT_FALSE(FindArbitrageAttack(price, x_max, 120).has_value());
+  EXPECT_TRUE(IsArbitrageFreeOnGrid(price, x_max, 120));
+}
+
+TEST_P(TheoryPropertyTest, Theorem5Converse_ViolationsAreAttackable) {
+  // Inject a superadditive bump into an otherwise feasible curve: raise
+  // the last knot's price far above the subadditive cap.
+  const size_t n = 4 + rng_.NextBounded(5);
+  const PiecewiseLinearPricing base = RandomFeasiblePricing(n);
+  std::vector<PricePoint> points = base.points();
+  // Price at the last knot = 3x the price at ~half its x, making
+  // "buy two halves" strictly cheaper.
+  const double half_x = points.back().x / 2.0;
+  const double half_price = base.PriceAtInverseNcp(half_x);
+  if (half_price <= 0.0) GTEST_SKIP() << "degenerate zero-price curve";
+  points.back().price = 3.0 * half_price;
+  auto broken = PiecewiseLinearPricing::Create(points);
+  ASSERT_TRUE(broken.ok());
+  const auto price = [&](double x) {
+    return broken->PriceAtInverseNcp(x);
+  };
+  auto attack =
+      FindArbitrageAttack(price, points.back().x, 200, 1e-9);
+  ASSERT_TRUE(attack.has_value());
+  EXPECT_LT(attack->total_price, attack->target_price);
+}
+
+TEST_P(TheoryPropertyTest, Lemma8_RelaxedFeasiblePassesSubadditivity) {
+  const size_t n = 3 + rng_.NextBounded(8);
+  const PiecewiseLinearPricing pricing = RandomFeasiblePricing(n);
+  if (!pricing.ValidateArbitrageFree().ok()) GTEST_SKIP();
+  const auto price = [&](double x) { return pricing.PriceAtInverseNcp(x); };
+  EXPECT_FALSE(FindSubadditivityViolation(
+                   price, pricing.points().back().x * 3.0, 150)
+                   .has_value());
+}
+
+TEST_P(TheoryPropertyTest, Lemma9_MinorantWithinFactorTwo) {
+  // Build a random monotone subadditive curve as min of affine pieces
+  // p(x) = min_k (a_k + b_k x) with a_k, b_k >= 0 (each affine piece is
+  // subadditive and monotone; min of such is subadditive and monotone).
+  const size_t pieces = 2 + rng_.NextBounded(4);
+  std::vector<double> intercepts(pieces), slopes(pieces);
+  for (size_t k = 0; k < pieces; ++k) {
+    intercepts[k] = rng_.NextDouble(0.0, 20.0);
+    slopes[k] = rng_.NextDouble(0.1, 5.0);
+  }
+  const auto price = [&](double x) {
+    double best = intercepts[0] + slopes[0] * x;
+    for (size_t k = 1; k < pieces; ++k) {
+      best = std::min(best, intercepts[k] + slopes[k] * x);
+    }
+    return best;
+  };
+  std::vector<double> grid(20);
+  double x = 0.0;
+  for (double& value : grid) {
+    x += rng_.NextDouble(0.2, 2.0);
+    value = x;
+  }
+  const std::vector<double> q = RelaxedMinorant(price, grid);
+  for (size_t j = 0; j < grid.size(); ++j) {
+    const double p = price(grid[j]);
+    EXPECT_LE(q[j], p + 1e-9);
+    EXPECT_GE(q[j] + 1e-9, p / 2.0) << "x = " << grid[j];
+    if (j > 0) {
+      EXPECT_LE(q[j - 1], q[j] + 1e-9);  // monotone
+      EXPECT_GE(q[j - 1] / grid[j - 1] + 1e-12,
+                q[j] / grid[j]);  // ratio non-increasing
+    }
+  }
+}
+
+TEST_P(TheoryPropertyTest, Proposition1_KnotFeasibilityExtends) {
+  const size_t n = 3 + rng_.NextBounded(6);
+  const PiecewiseLinearPricing pricing = RandomFeasiblePricing(n);
+  if (!pricing.ValidateArbitrageFree().ok()) GTEST_SKIP();
+  // The extension is monotone and ratio-non-increasing at arbitrary
+  // (off-knot) points too.
+  const double x_hi = pricing.points().back().x;
+  double prev_x = 0.0, prev_price = 0.0, prev_ratio = 1e300;
+  for (int i = 1; i <= 60; ++i) {
+    const double x = x_hi * 1.5 * i / 60.0;
+    const double price = pricing.PriceAtInverseNcp(x);
+    EXPECT_GE(price + 1e-9, prev_price);
+    const double ratio = price / x;
+    EXPECT_LE(ratio, prev_ratio + 1e-9);
+    prev_x = x;
+    prev_price = price;
+    prev_ratio = ratio;
+  }
+  (void)prev_x;
+}
+
+TEST_P(TheoryPropertyTest, Proposition3_DpWithinFactorTwoOfExact) {
+  const size_t n = 3 + rng_.NextBounded(6);
+  std::vector<CurvePoint> curve(n);
+  double value = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    value += 1.0 + static_cast<double>(rng_.NextBounded(40));
+    curve[j] = {static_cast<double>(j + 1), value,
+                0.05 + 0.01 * static_cast<double>(rng_.NextBounded(20))};
+  }
+  auto dp = MaximizeRevenueDp(curve);
+  auto exact = MaximizeRevenueExact(curve);
+  ASSERT_TRUE(dp.ok() && exact.ok());
+  EXPECT_GE(dp->revenue + 1e-9, exact->revenue / 2.0);
+  EXPECT_LE(dp->revenue, exact->revenue + 1e-9);
+}
+
+TEST_P(TheoryPropertyTest, Lemma1_ArbitrageFreeImpliesErrorMonotone) {
+  // In x-space: if a pricing function admits no attack, then its price is
+  // monotone in x (lower error => weakly higher price), which is exactly
+  // error-monotonicity after the Theorem 4 bijection.
+  const size_t n = 3 + rng_.NextBounded(6);
+  const PiecewiseLinearPricing pricing = RandomFeasiblePricing(n);
+  if (!pricing.ValidateArbitrageFree().ok()) GTEST_SKIP();
+  const auto price = [&](double x) { return pricing.PriceAtInverseNcp(x); };
+  const double x_max = pricing.points().back().x * 2.0;
+  ASSERT_FALSE(FindArbitrageAttack(price, x_max, 100).has_value());
+  EXPECT_FALSE(FindMonotonicityViolation(price, x_max, 100).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoryPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST(TheoryFixedTest, Theorem5ConditionsAreTightOnKnownCurve) {
+  // p̄(x) = sqrt(x): subadditive and monotone, hence attack-free; while
+  // p̄(x) = x^2 fails subadditivity and IS attacked. The pair pins the
+  // characterization from both sides with closed-form curves.
+  EXPECT_FALSE(
+      FindArbitrageAttack([](double x) { return std::sqrt(x); }, 10.0, 100)
+          .has_value());
+  EXPECT_TRUE(
+      FindArbitrageAttack([](double x) { return x * x; }, 10.0, 100)
+          .has_value());
+}
+
+}  // namespace
+}  // namespace mbp::core

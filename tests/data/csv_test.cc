@@ -1,0 +1,144 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace mbp::data {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, ReadsSimpleFile) {
+  const std::string path = TempPath("simple.csv");
+  WriteFile(path, "a,b,target\n1,2,3\n4,5,6\n");
+  auto dataset = ReadCsv(path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(dataset->num_examples(), 2u);
+  EXPECT_EQ(dataset->num_features(), 2u);
+  EXPECT_DOUBLE_EQ(dataset->Target(0), 3.0);
+  EXPECT_DOUBLE_EQ(dataset->ExampleFeatures(1)[0], 4.0);
+}
+
+TEST_F(CsvTest, TargetColumnSelection) {
+  const std::string path = TempPath("target_first.csv");
+  WriteFile(path, "y,a,b\n9,1,2\n8,3,4\n");
+  CsvReadOptions options;
+  options.target_column = 0;
+  auto dataset = ReadCsv(path, options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_DOUBLE_EQ(dataset->Target(0), 9.0);
+  EXPECT_DOUBLE_EQ(dataset->ExampleFeatures(0)[0], 1.0);
+}
+
+TEST_F(CsvTest, NoHeaderOption) {
+  const std::string path = TempPath("no_header.csv");
+  WriteFile(path, "1,2,3\n4,5,6\n");
+  CsvReadOptions options;
+  options.has_header = false;
+  auto dataset = ReadCsv(path, options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_examples(), 2u);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  const std::string path = TempPath("blanks.csv");
+  WriteFile(path, "a,y\n\n1,2\n\n3,4\n");
+  auto dataset = ReadCsv(path);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_examples(), 2u);
+}
+
+TEST_F(CsvTest, HandlesWhitespaceAndCrlf) {
+  const std::string path = TempPath("crlf.csv");
+  WriteFile(path, "a,y\r\n 1 , 2 \r\n");
+  auto dataset = ReadCsv(path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_DOUBLE_EQ(dataset->Target(0), 2.0);
+}
+
+TEST_F(CsvTest, RejectsMissingFile) {
+  EXPECT_EQ(ReadCsv("/nonexistent/file.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CsvTest, RejectsMalformedCell) {
+  const std::string path = TempPath("bad_cell.csv");
+  WriteFile(path, "a,y\n1,abc\n");
+  auto dataset = ReadCsv(path);
+  EXPECT_EQ(dataset.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dataset.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(CsvTest, RejectsRaggedRows) {
+  const std::string path = TempPath("ragged.csv");
+  WriteFile(path, "a,b,y\n1,2,3\n4,5\n");
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, RejectsSingleColumn) {
+  const std::string path = TempPath("single.csv");
+  WriteFile(path, "y\n1\n");
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, RejectsHeaderOnly) {
+  const std::string path = TempPath("empty.csv");
+  WriteFile(path, "a,y\n");
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, RejectsOutOfRangeTargetColumn) {
+  const std::string path = TempPath("range.csv");
+  WriteFile(path, "a,y\n1,2\n");
+  CsvReadOptions options;
+  options.target_column = 5;
+  EXPECT_EQ(ReadCsv(path, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, RoundTripPreservesData) {
+  linalg::Matrix features{{1.5, -2.25}, {3.0, 4.125}};
+  const Dataset original =
+      Dataset::Create(std::move(features), linalg::Vector{0.5, -0.75},
+                      TaskType::kRegression)
+          .value();
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_examples(), 2u);
+  ASSERT_EQ(loaded->num_features(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(loaded->Target(i), original.Target(i));
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(loaded->ExampleFeatures(i)[j],
+                       original.ExampleFeatures(i)[j]);
+    }
+  }
+}
+
+TEST_F(CsvTest, ClassificationTaskOption) {
+  const std::string path = TempPath("class.csv");
+  WriteFile(path, "a,y\n1,1\n2,-1\n");
+  CsvReadOptions options;
+  options.task = TaskType::kBinaryClassification;
+  auto dataset = ReadCsv(path, options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->task(), TaskType::kBinaryClassification);
+}
+
+}  // namespace
+}  // namespace mbp::data

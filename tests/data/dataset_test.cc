@@ -1,0 +1,76 @@
+#include "data/dataset.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace mbp::data {
+namespace {
+
+linalg::Matrix SmallFeatures() {
+  return linalg::Matrix{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+}
+
+TEST(DatasetTest, CreateRegression) {
+  auto dataset = Dataset::Create(SmallFeatures(),
+                                 linalg::Vector{1.0, 2.0, 3.0},
+                                 TaskType::kRegression);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_examples(), 3u);
+  EXPECT_EQ(dataset->num_features(), 2u);
+  EXPECT_EQ(dataset->task(), TaskType::kRegression);
+  EXPECT_DOUBLE_EQ(dataset->Target(1), 2.0);
+  EXPECT_DOUBLE_EQ(dataset->ExampleFeatures(2)[1], 6.0);
+}
+
+TEST(DatasetTest, RejectsShapeMismatch) {
+  auto dataset = Dataset::Create(SmallFeatures(), linalg::Vector{1.0, 2.0},
+                                 TaskType::kRegression);
+  EXPECT_EQ(dataset.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, RejectsEmpty) {
+  EXPECT_FALSE(Dataset::Create(linalg::Matrix(), linalg::Vector(),
+                               TaskType::kRegression)
+                   .ok());
+}
+
+TEST(DatasetTest, ClassificationRequiresPlusMinusOne) {
+  auto bad = Dataset::Create(SmallFeatures(), linalg::Vector{1.0, 0.0, -1.0},
+                             TaskType::kBinaryClassification);
+  EXPECT_FALSE(bad.ok());
+  auto good = Dataset::Create(SmallFeatures(),
+                              linalg::Vector{1.0, -1.0, -1.0},
+                              TaskType::kBinaryClassification);
+  EXPECT_TRUE(good.ok());
+}
+
+TEST(DatasetTest, RejectsNonFiniteTargets) {
+  auto dataset = Dataset::Create(
+      SmallFeatures(),
+      linalg::Vector{1.0, std::numeric_limits<double>::quiet_NaN(), 3.0},
+      TaskType::kRegression);
+  EXPECT_FALSE(dataset.ok());
+}
+
+TEST(DatasetTest, SubsetPreservesOrderAndTask) {
+  auto dataset = Dataset::Create(SmallFeatures(),
+                                 linalg::Vector{1.0, 2.0, 3.0},
+                                 TaskType::kRegression);
+  ASSERT_TRUE(dataset.ok());
+  Dataset subset = dataset->Subset({2, 0});
+  EXPECT_EQ(subset.num_examples(), 2u);
+  EXPECT_DOUBLE_EQ(subset.Target(0), 3.0);
+  EXPECT_DOUBLE_EQ(subset.Target(1), 1.0);
+  EXPECT_DOUBLE_EQ(subset.ExampleFeatures(0)[0], 5.0);
+  EXPECT_EQ(subset.task(), TaskType::kRegression);
+}
+
+TEST(DatasetTest, TaskTypeNames) {
+  EXPECT_EQ(TaskTypeToString(TaskType::kRegression), "regression");
+  EXPECT_EQ(TaskTypeToString(TaskType::kBinaryClassification),
+            "classification");
+}
+
+}  // namespace
+}  // namespace mbp::data

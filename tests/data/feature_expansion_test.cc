@@ -1,0 +1,94 @@
+#include "data/feature_expansion.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "ml/trainer.h"
+
+namespace mbp::data {
+namespace {
+
+Dataset TwoFeatureData() {
+  linalg::Matrix features{{1.0, 2.0}, {3.0, -1.0}};
+  linalg::Vector targets{1.0, 2.0};
+  return Dataset::Create(std::move(features), std::move(targets),
+                         TaskType::kRegression)
+      .value();
+}
+
+TEST(WithBiasColumnTest, AppendsConstantOne) {
+  const Dataset expanded = WithBiasColumn(TwoFeatureData());
+  EXPECT_EQ(expanded.num_features(), 3u);
+  EXPECT_DOUBLE_EQ(expanded.ExampleFeatures(0)[2], 1.0);
+  EXPECT_DOUBLE_EQ(expanded.ExampleFeatures(1)[2], 1.0);
+  // Original features and targets are untouched.
+  EXPECT_DOUBLE_EQ(expanded.ExampleFeatures(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(expanded.Target(1), 2.0);
+}
+
+TEST(WithBiasColumnTest, EnablesInterceptFitting) {
+  // y = 5 exactly: without a bias column a through-origin linear model
+  // cannot represent it on a constant-free feature; with it, it can.
+  linalg::Matrix features{{1.0}, {2.0}, {3.0}, {4.0}};
+  const Dataset data =
+      Dataset::Create(std::move(features),
+                      linalg::Vector{5.0, 5.0, 5.0, 5.0},
+                      TaskType::kRegression)
+          .value();
+  const Dataset with_bias = WithBiasColumn(data);
+  auto trained = ml::TrainLinearRegression(with_bias, 0.0);
+  ASSERT_TRUE(trained.ok());
+  EXPECT_NEAR(ml::MeanSquaredError(trained->model, with_bias), 0.0, 1e-12);
+  EXPECT_NEAR(trained->model.coefficients()[1], 5.0, 1e-9);  // intercept
+}
+
+TEST(WithQuadraticFeaturesTest, LayoutAndValues) {
+  auto expanded = WithQuadraticFeatures(TwoFeatureData());
+  ASSERT_TRUE(expanded.ok());
+  // d=2 -> 2 linear + 2 squares + 1 interaction = 5.
+  EXPECT_EQ(expanded->num_features(), 5u);
+  const double* row = expanded->ExampleFeatures(0);  // (1, 2)
+  EXPECT_DOUBLE_EQ(row[0], 1.0);   // x0
+  EXPECT_DOUBLE_EQ(row[1], 2.0);   // x1
+  EXPECT_DOUBLE_EQ(row[2], 1.0);   // x0^2
+  EXPECT_DOUBLE_EQ(row[3], 4.0);   // x1^2
+  EXPECT_DOUBLE_EQ(row[4], 2.0);   // x0*x1
+}
+
+TEST(WithQuadraticFeaturesTest, CapIsEnforced) {
+  auto expanded = WithQuadraticFeatures(TwoFeatureData(), 4);
+  EXPECT_EQ(expanded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WithQuadraticFeaturesTest, FitsAQuadraticTarget) {
+  // y = x^2 is linear in the expanded space.
+  linalg::Matrix features{{1.0}, {2.0}, {3.0}, {-1.0}, {0.5}};
+  linalg::Vector targets(5);
+  for (size_t i = 0; i < 5; ++i) {
+    targets[i] = features(i, 0) * features(i, 0);
+  }
+  const Dataset data = Dataset::Create(std::move(features),
+                                       std::move(targets),
+                                       TaskType::kRegression)
+                           .value();
+  auto expanded = WithQuadraticFeatures(data);
+  ASSERT_TRUE(expanded.ok());
+  auto trained = ml::TrainLinearRegression(*expanded, 0.0);
+  ASSERT_TRUE(trained.ok());
+  EXPECT_NEAR(ml::MeanSquaredError(trained->model, *expanded), 0.0, 1e-10);
+}
+
+TEST(WithQuadraticFeaturesTest, PreservesTaskAndLabels) {
+  linalg::Matrix features{{1.0, 2.0}, {3.0, 4.0}};
+  const Dataset data =
+      Dataset::Create(std::move(features), linalg::Vector{1.0, -1.0},
+                      TaskType::kBinaryClassification)
+          .value();
+  auto expanded = WithQuadraticFeatures(data);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded->task(), TaskType::kBinaryClassification);
+  EXPECT_DOUBLE_EQ(expanded->Target(1), -1.0);
+}
+
+}  // namespace
+}  // namespace mbp::data

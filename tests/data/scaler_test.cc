@@ -1,0 +1,86 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mbp::data {
+namespace {
+
+Dataset MakeDataset() {
+  linalg::Matrix features{{1.0, 10.0}, {2.0, 10.0}, {3.0, 10.0},
+                          {4.0, 10.0}};
+  linalg::Vector targets{1.0, 2.0, 3.0, 4.0};
+  return Dataset::Create(std::move(features), std::move(targets),
+                         TaskType::kRegression)
+      .value();
+}
+
+TEST(StandardScalerTest, ComputesMeansAndStddevs) {
+  const StandardScaler scaler = StandardScaler::Fit(MakeDataset());
+  EXPECT_NEAR(scaler.means()[0], 2.5, 1e-12);
+  EXPECT_NEAR(scaler.means()[1], 10.0, 1e-12);
+  // Population stddev of {1,2,3,4} = sqrt(1.25).
+  EXPECT_NEAR(scaler.stddevs()[0], std::sqrt(1.25), 1e-12);
+}
+
+TEST(StandardScalerTest, ConstantColumnGetsUnitStddev) {
+  const StandardScaler scaler = StandardScaler::Fit(MakeDataset());
+  EXPECT_DOUBLE_EQ(scaler.stddevs()[1], 1.0);
+}
+
+TEST(StandardScalerTest, TransformedDataIsStandardized) {
+  const Dataset dataset = MakeDataset();
+  const StandardScaler scaler = StandardScaler::Fit(dataset);
+  auto transformed = scaler.Transform(dataset);
+  ASSERT_TRUE(transformed.ok());
+  double mean = 0.0, var = 0.0;
+  for (size_t i = 0; i < transformed->num_examples(); ++i) {
+    mean += transformed->ExampleFeatures(i)[0];
+  }
+  mean /= 4.0;
+  for (size_t i = 0; i < transformed->num_examples(); ++i) {
+    const double v = transformed->ExampleFeatures(i)[0] - mean;
+    var += v * v;
+  }
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var / 4.0, 1.0, 1e-12);
+}
+
+TEST(StandardScalerTest, TransformPreservesTargetsAndTask) {
+  const Dataset dataset = MakeDataset();
+  const StandardScaler scaler = StandardScaler::Fit(dataset);
+  auto transformed = scaler.Transform(dataset);
+  ASSERT_TRUE(transformed.ok());
+  EXPECT_DOUBLE_EQ(transformed->Target(2), 3.0);
+  EXPECT_EQ(transformed->task(), TaskType::kRegression);
+}
+
+TEST(StandardScalerTest, RejectsFeatureCountMismatch) {
+  const StandardScaler scaler = StandardScaler::Fit(MakeDataset());
+  linalg::Matrix other(2, 3, 1.0);
+  const Dataset other_dataset =
+      Dataset::Create(std::move(other), linalg::Vector{1.0, 2.0},
+                      TaskType::kRegression)
+          .value();
+  EXPECT_EQ(scaler.Transform(other_dataset).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StandardScalerTest, TrainFitAppliesToTest) {
+  // The canonical usage: fit on train, transform test with train statistics.
+  const Dataset train = MakeDataset();
+  linalg::Matrix test_features{{10.0, 10.0}};
+  const Dataset test =
+      Dataset::Create(std::move(test_features), linalg::Vector{0.0},
+                      TaskType::kRegression)
+          .value();
+  const StandardScaler scaler = StandardScaler::Fit(train);
+  auto transformed = scaler.Transform(test);
+  ASSERT_TRUE(transformed.ok());
+  EXPECT_NEAR(transformed->ExampleFeatures(0)[0],
+              (10.0 - 2.5) / std::sqrt(1.25), 1e-12);
+}
+
+}  // namespace
+}  // namespace mbp::data

@@ -1,0 +1,164 @@
+#include "data/sparse_dataset.h"
+
+#include <fstream>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace mbp::data {
+namespace {
+
+linalg::SparseMatrix TinyFeatures() {
+  return linalg::SparseMatrix::FromTriplets(
+             3, 4, {{0, 0, 1.0}, {1, 2, 2.0}, {2, 3, -1.0}})
+      .value();
+}
+
+TEST(SparseDatasetTest, CreateValidates) {
+  auto good = SparseDataset::Create(TinyFeatures(),
+                                    linalg::Vector{1.0, -1.0, 1.0},
+                                    TaskType::kBinaryClassification);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->num_examples(), 3u);
+  EXPECT_EQ(good->num_features(), 4u);
+
+  EXPECT_FALSE(SparseDataset::Create(TinyFeatures(),
+                                     linalg::Vector{1.0, 2.0},
+                                     TaskType::kRegression)
+                   .ok());
+  EXPECT_FALSE(SparseDataset::Create(TinyFeatures(),
+                                     linalg::Vector{1.0, 0.5, -1.0},
+                                     TaskType::kBinaryClassification)
+                   .ok());
+}
+
+TEST(SparseDatasetTest, ToDenseMatches) {
+  const SparseDataset sparse =
+      SparseDataset::Create(TinyFeatures(), linalg::Vector{1.0, 2.0, 3.0},
+                            TaskType::kRegression)
+          .value();
+  auto dense = sparse.ToDense();
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(dense->num_examples(), 3u);
+  EXPECT_EQ(dense->num_features(), 4u);
+  EXPECT_DOUBLE_EQ(dense->ExampleFeatures(1)[2], 2.0);
+  EXPECT_DOUBLE_EQ(dense->ExampleFeatures(0)[1], 0.0);
+  EXPECT_DOUBLE_EQ(dense->Target(2), 3.0);
+}
+
+TEST(SparseDatasetTest, ToDenseCapGuards) {
+  const SparseDataset sparse =
+      SparseDataset::Create(TinyFeatures(), linalg::Vector{1.0, 2.0, 3.0},
+                            TaskType::kRegression)
+          .value();
+  EXPECT_EQ(sparse.ToDense(5).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+class LibSvmTest : public ::testing::Test {
+ protected:
+  std::string WriteFile(const std::string& name,
+                        const std::string& content) {
+    const std::string path = testing::TempDir() + "/" + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+};
+
+TEST_F(LibSvmTest, ParsesClassificationFile) {
+  const std::string path = WriteFile(
+      "tiny.libsvm",
+      "+1 1:0.5 3:1.5\n-1 2:2.0\n+1 1:1.0 2:-0.5 3:0.25\n");
+  auto data = ReadLibSvm(path, TaskType::kBinaryClassification);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data->num_examples(), 3u);
+  EXPECT_EQ(data->num_features(), 3u);  // inferred from max index
+  EXPECT_DOUBLE_EQ(data->Target(0), 1.0);
+  EXPECT_DOUBLE_EQ(data->Target(1), -1.0);
+  // 1-based index 3 -> column 2.
+  EXPECT_DOUBLE_EQ(data->features().ToDense()(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(data->features().ToDense()(1, 1), 2.0);
+}
+
+TEST_F(LibSvmTest, ZeroOneLabelsRemapToMinusPlusOne) {
+  const std::string path = WriteFile("zeroone.libsvm", "1 1:1\n0 1:2\n");
+  auto data = ReadLibSvm(path, TaskType::kBinaryClassification);
+  ASSERT_TRUE(data.ok());
+  EXPECT_DOUBLE_EQ(data->Target(0), 1.0);
+  EXPECT_DOUBLE_EQ(data->Target(1), -1.0);
+}
+
+TEST_F(LibSvmTest, RegressionLabelsAreArbitrary) {
+  const std::string path = WriteFile("reg.libsvm", "3.75 1:1\n-0.5 2:1\n");
+  auto data = ReadLibSvm(path, TaskType::kRegression);
+  ASSERT_TRUE(data.ok());
+  EXPECT_DOUBLE_EQ(data->Target(0), 3.75);
+  EXPECT_DOUBLE_EQ(data->Target(1), -0.5);
+}
+
+TEST_F(LibSvmTest, CommentsAndBlankLinesAreSkipped) {
+  const std::string path = WriteFile(
+      "comments.libsvm", "# header comment\n+1 1:1 # trailing\n\n-1 2:1\n");
+  auto data = ReadLibSvm(path, TaskType::kBinaryClassification);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data->num_examples(), 2u);
+}
+
+TEST_F(LibSvmTest, ExplicitNumFeaturesPadsAndValidates) {
+  const std::string path = WriteFile("wide.libsvm", "+1 1:1\n");
+  auto padded = ReadLibSvm(path, TaskType::kBinaryClassification, 10);
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded->num_features(), 10u);
+  auto too_narrow = ReadLibSvm(path, TaskType::kBinaryClassification, 0);
+  ASSERT_TRUE(too_narrow.ok());
+  const std::string wide = WriteFile("wide2.libsvm", "+1 5:1\n");
+  EXPECT_FALSE(ReadLibSvm(wide, TaskType::kBinaryClassification, 3).ok());
+}
+
+TEST_F(LibSvmTest, WriteReadRoundTrip) {
+  const SparseDataset original =
+      SparseDataset::Create(TinyFeatures(), linalg::Vector{1.0, -1.0, 1.0},
+                            TaskType::kBinaryClassification)
+          .value();
+  const std::string path = testing::TempDir() + "/roundtrip.libsvm";
+  ASSERT_TRUE(WriteLibSvm(original, path).ok());
+  auto loaded = ReadLibSvm(path, TaskType::kBinaryClassification,
+                           original.num_features());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_examples(), original.num_examples());
+  EXPECT_EQ(loaded->num_features(), original.num_features());
+  EXPECT_EQ(loaded->features().ToDense(),
+            original.features().ToDense());
+  for (size_t i = 0; i < original.num_examples(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded->Target(i), original.Target(i));
+  }
+}
+
+TEST_F(LibSvmTest, RejectsMalformedInput) {
+  EXPECT_EQ(ReadLibSvm("/no/such/file", TaskType::kRegression)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(ReadLibSvm(WriteFile("bad1.libsvm", "abc 1:1\n"),
+                          TaskType::kRegression)
+                   .ok());
+  EXPECT_FALSE(ReadLibSvm(WriteFile("bad2.libsvm", "+1 0:1\n"),
+                          TaskType::kBinaryClassification)
+                   .ok());  // 1-based indices: 0 invalid
+  EXPECT_FALSE(ReadLibSvm(WriteFile("bad3.libsvm", "+1 1:xyz\n"),
+                          TaskType::kBinaryClassification)
+                   .ok());
+  EXPECT_FALSE(ReadLibSvm(WriteFile("bad4.libsvm", "+1 1\n"),
+                          TaskType::kBinaryClassification)
+                   .ok());
+  EXPECT_FALSE(ReadLibSvm(WriteFile("bad5.libsvm", "2 1:1\n"),
+                          TaskType::kBinaryClassification)
+                   .ok());  // label 2 invalid for classification
+  EXPECT_FALSE(ReadLibSvm(WriteFile("empty.libsvm", "\n\n"),
+                          TaskType::kRegression)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace mbp::data

@@ -1,0 +1,169 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mbp::data {
+namespace {
+
+Dataset MakeSequentialDataset(size_t n) {
+  linalg::Matrix features(n, 1);
+  linalg::Vector targets(n);
+  for (size_t i = 0; i < n; ++i) {
+    features(i, 0) = static_cast<double>(i);
+    targets[i] = static_cast<double>(i);
+  }
+  return Dataset::Create(std::move(features), std::move(targets),
+                         TaskType::kRegression)
+      .value();
+}
+
+TEST(RandomPermutationTest, IsAPermutation) {
+  random::Rng rng(1);
+  const std::vector<size_t> perm = RandomPermutation(100, rng);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RandomPermutationTest, ShufflesSomething) {
+  random::Rng rng(2);
+  const std::vector<size_t> perm = RandomPermutation(50, rng);
+  size_t fixed_points = 0;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] == i) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 10u);
+}
+
+TEST(RandomSplitTest, SizesMatchFraction) {
+  random::Rng rng(3);
+  auto split = RandomSplit(MakeSequentialDataset(100), 0.25, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_examples(), 75u);
+  EXPECT_EQ(split->test.num_examples(), 25u);
+}
+
+TEST(RandomSplitTest, PartitionIsDisjointAndComplete) {
+  random::Rng rng(4);
+  auto split = RandomSplit(MakeSequentialDataset(40), 0.5, rng);
+  ASSERT_TRUE(split.ok());
+  std::set<double> seen;
+  for (size_t i = 0; i < split->train.num_examples(); ++i) {
+    seen.insert(split->train.Target(i));
+  }
+  for (size_t i = 0; i < split->test.num_examples(); ++i) {
+    EXPECT_TRUE(seen.insert(split->test.Target(i)).second)
+        << "row appeared in both sides";
+  }
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(RandomSplitTest, RejectsBadFraction) {
+  random::Rng rng(5);
+  const Dataset dataset = MakeSequentialDataset(10);
+  EXPECT_FALSE(RandomSplit(dataset, 0.0, rng).ok());
+  EXPECT_FALSE(RandomSplit(dataset, 1.0, rng).ok());
+  EXPECT_FALSE(RandomSplit(dataset, -0.1, rng).ok());
+}
+
+TEST(RandomSplitTest, RejectsDegenerateSplit) {
+  random::Rng rng(6);
+  // 2 rows with fraction 0.01 -> zero test rows.
+  EXPECT_FALSE(RandomSplit(MakeSequentialDataset(2), 0.01, rng).ok());
+}
+
+TEST(SequentialSplitTest, TakesPrefixAsTrain) {
+  auto split = SequentialSplit(MakeSequentialDataset(10), 0.3);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_examples(), 7u);
+  EXPECT_DOUBLE_EQ(split->train.Target(0), 0.0);
+  EXPECT_DOUBLE_EQ(split->test.Target(0), 7.0);
+}
+
+Dataset MakeImbalancedClassification(size_t positives, size_t negatives) {
+  const size_t n = positives + negatives;
+  linalg::Matrix features(n, 1);
+  linalg::Vector targets(n);
+  for (size_t i = 0; i < n; ++i) {
+    features(i, 0) = static_cast<double>(i);
+    targets[i] = i < positives ? 1.0 : -1.0;
+  }
+  return Dataset::Create(std::move(features), std::move(targets),
+                         TaskType::kBinaryClassification)
+      .value();
+}
+
+TEST(StratifiedSplitTest, PreservesClassRatio) {
+  // 20% positives; both sides must keep exactly that ratio.
+  const Dataset data = MakeImbalancedClassification(20, 80);
+  random::Rng rng(9);
+  auto split = StratifiedSplit(data, 0.25, rng);
+  ASSERT_TRUE(split.ok()) << split.status();
+  const auto count_positives = [](const Dataset& side) {
+    size_t count = 0;
+    for (size_t i = 0; i < side.num_examples(); ++i) {
+      if (side.Target(i) == 1.0) ++count;
+    }
+    return count;
+  };
+  EXPECT_EQ(split->test.num_examples(), 25u);
+  EXPECT_EQ(count_positives(split->test), 5u);
+  EXPECT_EQ(split->train.num_examples(), 75u);
+  EXPECT_EQ(count_positives(split->train), 15u);
+}
+
+TEST(StratifiedSplitTest, PartitionIsDisjointAndComplete) {
+  const Dataset data = MakeImbalancedClassification(10, 30);
+  random::Rng rng(10);
+  auto split = StratifiedSplit(data, 0.5, rng);
+  ASSERT_TRUE(split.ok());
+  std::set<double> seen;
+  for (size_t i = 0; i < split->train.num_examples(); ++i) {
+    seen.insert(split->train.ExampleFeatures(i)[0]);
+  }
+  for (size_t i = 0; i < split->test.num_examples(); ++i) {
+    EXPECT_TRUE(seen.insert(split->test.ExampleFeatures(i)[0]).second);
+  }
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(StratifiedSplitTest, RejectsRegressionData) {
+  random::Rng rng(11);
+  EXPECT_FALSE(StratifiedSplit(MakeSequentialDataset(20), 0.5, rng).ok());
+}
+
+TEST(StratifiedSplitTest, RejectsSplitsThatEmptyAClass) {
+  // Only 2 positives: a 10% test fraction would take 0 of them.
+  const Dataset data = MakeImbalancedClassification(2, 98);
+  random::Rng rng(12);
+  EXPECT_FALSE(StratifiedSplit(data, 0.1, rng).ok());
+}
+
+TEST(StratifiedSplitTest, RejectsSingleClassDataset) {
+  linalg::Matrix features{{1.0}, {2.0}, {3.0}, {4.0}};
+  const Dataset data =
+      Dataset::Create(std::move(features),
+                      linalg::Vector{1.0, 1.0, 1.0, 1.0},
+                      TaskType::kBinaryClassification)
+          .value();
+  random::Rng rng(13);
+  EXPECT_FALSE(StratifiedSplit(data, 0.5, rng).ok());
+}
+
+TEST(RandomSplitTest, DeterministicForSameSeed) {
+  const Dataset dataset = MakeSequentialDataset(30);
+  random::Rng rng1(7), rng2(7);
+  auto a = RandomSplit(dataset, 0.5, rng1);
+  auto b = RandomSplit(dataset, 0.5, rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->train.num_examples(); ++i) {
+    EXPECT_DOUBLE_EQ(a->train.Target(i), b->train.Target(i));
+  }
+}
+
+}  // namespace
+}  // namespace mbp::data

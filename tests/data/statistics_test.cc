@@ -1,0 +1,68 @@
+#include "data/statistics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mbp::data {
+namespace {
+
+Dataset MakeRegression() {
+  linalg::Matrix features{{1.0, -5.0}, {2.0, 0.0}, {3.0, 5.0},
+                          {4.0, 10.0}};
+  linalg::Vector targets{10.0, 20.0, 30.0, 40.0};
+  return Dataset::Create(std::move(features), std::move(targets),
+                         TaskType::kRegression)
+      .value();
+}
+
+Dataset MakeClassification() {
+  linalg::Matrix features{{1.0}, {2.0}, {3.0}, {4.0}, {5.0}};
+  linalg::Vector targets{1.0, 1.0, -1.0, 1.0, -1.0};
+  return Dataset::Create(std::move(features), std::move(targets),
+                         TaskType::kBinaryClassification)
+      .value();
+}
+
+TEST(FeatureStatsTest, ComputesPerColumn) {
+  const std::vector<ColumnStats> stats = ComputeFeatureStats(MakeRegression());
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(stats[0].max, 4.0);
+  EXPECT_DOUBLE_EQ(stats[0].mean, 2.5);
+  EXPECT_NEAR(stats[0].stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(stats[1].min, -5.0);
+  EXPECT_DOUBLE_EQ(stats[1].max, 10.0);
+  EXPECT_DOUBLE_EQ(stats[1].mean, 2.5);
+}
+
+TEST(TargetStatsTest, ComputesTargetColumn) {
+  const ColumnStats stats = ComputeTargetStats(MakeRegression());
+  EXPECT_DOUBLE_EQ(stats.min, 10.0);
+  EXPECT_DOUBLE_EQ(stats.max, 40.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 25.0);
+}
+
+TEST(TargetStatsTest, ConstantColumnHasZeroStddev) {
+  linalg::Matrix features{{1.0}, {2.0}};
+  const Dataset data =
+      Dataset::Create(std::move(features), linalg::Vector{7.0, 7.0},
+                      TaskType::kRegression)
+          .value();
+  const ColumnStats stats = ComputeTargetStats(data);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats.min, 7.0);
+  EXPECT_DOUBLE_EQ(stats.max, 7.0);
+}
+
+TEST(PositiveLabelFractionTest, CountsPositives) {
+  EXPECT_DOUBLE_EQ(PositiveLabelFraction(MakeClassification()), 0.6);
+}
+
+TEST(PositiveLabelFractionDeathTest, RequiresClassification) {
+  EXPECT_DEATH({ (void)PositiveLabelFraction(MakeRegression()); },
+               "classification");
+}
+
+}  // namespace
+}  // namespace mbp::data

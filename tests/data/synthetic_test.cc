@@ -1,0 +1,127 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+
+namespace mbp::data {
+namespace {
+
+TEST(Simulated1Test, ShapesAndTask) {
+  Simulated1Options options;
+  options.num_examples = 500;
+  options.num_features = 8;
+  auto dataset = GenerateSimulated1(options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_examples(), 500u);
+  EXPECT_EQ(dataset->num_features(), 8u);
+  EXPECT_EQ(dataset->task(), TaskType::kRegression);
+}
+
+TEST(Simulated1Test, DeterministicForSeed) {
+  Simulated1Options options;
+  options.num_examples = 50;
+  options.seed = 77;
+  auto a = GenerateSimulated1(options);
+  auto b = GenerateSimulated1(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->features(), b->features());
+  EXPECT_EQ(a->targets(), b->targets());
+}
+
+TEST(Simulated1Test, DifferentSeedsDiffer) {
+  Simulated1Options a_options, b_options;
+  a_options.num_examples = b_options.num_examples = 50;
+  a_options.seed = 1;
+  b_options.seed = 2;
+  auto a = GenerateSimulated1(a_options);
+  auto b = GenerateSimulated1(b_options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(a->features() == b->features());
+}
+
+TEST(Simulated1Test, NoiselessTargetsAreLinear) {
+  // With zero noise the dataset is exactly linear, so a perfect linear fit
+  // exists: targets equal the inner product with one fixed vector. Check
+  // consistency across examples via pairwise ratios in a 1-d case.
+  Simulated1Options options;
+  options.num_examples = 20;
+  options.num_features = 1;
+  options.noise_stddev = 0.0;
+  auto dataset = GenerateSimulated1(options);
+  ASSERT_TRUE(dataset.ok());
+  for (size_t i = 0; i < dataset->num_examples(); ++i) {
+    const double x = dataset->ExampleFeatures(i)[0];
+    const double y = dataset->Target(i);
+    // y = w*x with |w| = 1 in 1-d (unit sphere), so |y| == |x|.
+    EXPECT_NEAR(std::fabs(y), std::fabs(x), 1e-12);
+  }
+}
+
+TEST(Simulated1Test, RejectsBadOptions) {
+  Simulated1Options options;
+  options.num_examples = 0;
+  EXPECT_FALSE(GenerateSimulated1(options).ok());
+  options.num_examples = 10;
+  options.noise_stddev = -1.0;
+  EXPECT_FALSE(GenerateSimulated1(options).ok());
+}
+
+TEST(Simulated2Test, ShapesAndLabels) {
+  Simulated2Options options;
+  options.num_examples = 500;
+  options.num_features = 6;
+  auto dataset = GenerateSimulated2(options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->task(), TaskType::kBinaryClassification);
+  size_t positives = 0;
+  for (size_t i = 0; i < dataset->num_examples(); ++i) {
+    const double y = dataset->Target(i);
+    EXPECT_TRUE(y == 1.0 || y == -1.0);
+    if (y == 1.0) ++positives;
+  }
+  // Classes are roughly balanced (the hyperplane passes through the
+  // origin of a symmetric distribution).
+  EXPECT_GT(positives, 150u);
+  EXPECT_LT(positives, 350u);
+}
+
+TEST(Simulated2Test, LabelNoiseRateMatchesOption) {
+  // With keep probability 1.0, labels are exactly sign(w.x); compare the
+  // label agreement under keep = 1.0 and keep = 0.9 using the same seed
+  // (same features and hyperplane).
+  Simulated2Options clean;
+  clean.num_examples = 5000;
+  clean.label_keep_probability = 1.0;
+  clean.seed = 11;
+  Simulated2Options noisy = clean;
+  noisy.label_keep_probability = 0.9;
+  auto a = GenerateSimulated2(clean);
+  auto b = GenerateSimulated2(noisy);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Feature draws consume identical RNG streams interleaved with the
+  // Bernoulli draw, so features coincide only when the generator consumes
+  // the same number of samples per row — which it does (one Bernoulli per
+  // row in both cases).
+  EXPECT_EQ(a->features(), b->features());
+  size_t disagreements = 0;
+  for (size_t i = 0; i < a->num_examples(); ++i) {
+    if (a->Target(i) != b->Target(i)) ++disagreements;
+  }
+  const double rate =
+      static_cast<double>(disagreements) / static_cast<double>(5000);
+  EXPECT_NEAR(rate, 0.1, 0.02);
+}
+
+TEST(Simulated2Test, RejectsBadKeepProbability) {
+  Simulated2Options options;
+  options.label_keep_probability = 0.3;
+  EXPECT_FALSE(GenerateSimulated2(options).ok());
+  options.label_keep_probability = 1.5;
+  EXPECT_FALSE(GenerateSimulated2(options).ok());
+}
+
+}  // namespace
+}  // namespace mbp::data

@@ -1,0 +1,147 @@
+#include "data/table.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace mbp::data {
+namespace {
+
+Table MakeIncomeTable() {
+  Table table =
+      Table::Create({"age", "sex", "height", "income"}).value();
+  MBP_CHECK(table.AppendRow({30.0, 0.0, 170.0, 55.0}).ok());
+  MBP_CHECK(table.AppendRow({45.0, 1.0, 165.0, 72.0}).ok());
+  MBP_CHECK(table.AppendRow({22.0, 0.0, 180.0, 31.0}).ok());
+  MBP_CHECK(table.AppendRow({60.0, 1.0, 158.0, 80.0}).ok());
+  return table;
+}
+
+TEST(TableTest, CreateValidatesColumnNames) {
+  EXPECT_FALSE(Table::Create({}).ok());
+  EXPECT_FALSE(Table::Create({"a", ""}).ok());
+  EXPECT_FALSE(Table::Create({"a", "a"}).ok());
+  EXPECT_TRUE(Table::Create({"a", "b"}).ok());
+}
+
+TEST(TableTest, AppendRowValidatesWidth) {
+  Table table = Table::Create({"a", "b"}).value();
+  EXPECT_TRUE(table.AppendRow({1.0, 2.0}).ok());
+  EXPECT_FALSE(table.AppendRow({1.0}).ok());
+  EXPECT_FALSE(table.AppendRow({1.0, 2.0, 3.0}).ok());
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TableTest, CellAccessAndColumnIndex) {
+  const Table table = MakeIncomeTable();
+  EXPECT_DOUBLE_EQ(table.At(1, 3), 72.0);
+  auto index = table.ColumnIndex("height");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(*index, 2u);
+  EXPECT_EQ(table.ColumnIndex("ghost").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TableTest, ProjectReordersColumns) {
+  const Table table = MakeIncomeTable();
+  auto projected = table.Project({"income", "age"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->num_columns(), 2u);
+  EXPECT_EQ(projected->num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(projected->At(0, 0), 55.0);
+  EXPECT_DOUBLE_EQ(projected->At(0, 1), 30.0);
+}
+
+TEST(TableTest, ProjectRejectsUnknownColumn) {
+  EXPECT_FALSE(MakeIncomeTable().Project({"age", "ghost"}).ok());
+}
+
+TEST(TableTest, WhereFiltersRows) {
+  const Table table = MakeIncomeTable();
+  const Table adults_over_40 =
+      table.Where([](const std::vector<double>& row) {
+        return row[0] > 40.0;
+      });
+  EXPECT_EQ(adults_over_40.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(adults_over_40.At(0, 0), 45.0);
+  EXPECT_DOUBLE_EQ(adults_over_40.At(1, 0), 60.0);
+}
+
+TEST(TableTest, ToDatasetBuildsFeatureMatrixAndTarget) {
+  const Table table = MakeIncomeTable();
+  auto dataset = table.ToDataset({"age", "sex", "height"}, "income",
+                                 TaskType::kRegression);
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(dataset->num_examples(), 4u);
+  EXPECT_EQ(dataset->num_features(), 3u);
+  EXPECT_DOUBLE_EQ(dataset->Target(2), 31.0);
+  EXPECT_DOUBLE_EQ(dataset->ExampleFeatures(3)[0], 60.0);
+}
+
+TEST(TableTest, ToDatasetRejectsTargetAsFeature) {
+  const Table table = MakeIncomeTable();
+  EXPECT_FALSE(table.ToDataset({"age", "income"}, "income",
+                               TaskType::kRegression)
+                   .ok());
+}
+
+TEST(TableTest, ToDatasetValidatesClassificationLabels) {
+  Table table = Table::Create({"x", "label"}).value();
+  MBP_CHECK(table.AppendRow({1.0, 1.0}).ok());
+  MBP_CHECK(table.AppendRow({2.0, 0.0}).ok());  // bad label
+  EXPECT_FALSE(table.ToDataset({"x"}, "label",
+                               TaskType::kBinaryClassification)
+                   .ok());
+}
+
+TEST(TableTest, FromCsvRoundTrip) {
+  const std::string path = testing::TempDir() + "/table.csv";
+  {
+    std::ofstream out(path);
+    out << "age,income\n30,55\n45,72\n";
+  }
+  auto table = Table::FromCsv(path);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->column_names()[1], "income");
+  EXPECT_DOUBLE_EQ(table->At(1, 0), 45.0);
+}
+
+TEST(TableTest, FromCsvRejectsBadFiles) {
+  EXPECT_EQ(Table::FromCsv("/no/such/file.csv").status().code(),
+            StatusCode::kNotFound);
+  const std::string path = testing::TempDir() + "/bad_table.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,x\n";
+  }
+  EXPECT_FALSE(Table::FromCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "a,b\n1\n";
+  }
+  EXPECT_FALSE(Table::FromCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "";
+  }
+  EXPECT_FALSE(Table::FromCsv(path).ok());
+}
+
+TEST(TableTest, RelationalPipelineEndToEnd) {
+  // The Alice workflow: filter a region, project features, train-ready.
+  Table table = Table::Create({"region", "age", "income"}).value();
+  MBP_CHECK(table.AppendRow({1.0, 30.0, 50.0}).ok());
+  MBP_CHECK(table.AppendRow({2.0, 40.0, 60.0}).ok());
+  MBP_CHECK(table.AppendRow({1.0, 50.0, 70.0}).ok());
+  const Table region1 = table.Where(
+      [](const std::vector<double>& row) { return row[0] == 1.0; });
+  auto dataset =
+      region1.ToDataset({"age"}, "income", TaskType::kRegression);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_examples(), 2u);
+  EXPECT_DOUBLE_EQ(dataset->Target(1), 70.0);
+}
+
+}  // namespace
+}  // namespace mbp::data

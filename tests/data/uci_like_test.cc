@@ -1,0 +1,107 @@
+#include "data/uci_like.h"
+
+#include <gtest/gtest.h>
+
+namespace mbp::data {
+namespace {
+
+TEST(PaperTable3SpecsTest, HasAllSixDatasets) {
+  const std::vector<DatasetSpec> specs = PaperTable3Specs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "Simulated1");
+  EXPECT_EQ(specs[1].name, "YearMSD");
+  EXPECT_EQ(specs[2].name, "CASP");
+  EXPECT_EQ(specs[3].name, "Simulated2");
+  EXPECT_EQ(specs[4].name, "CovType");
+  EXPECT_EQ(specs[5].name, "SUSY");
+}
+
+TEST(PaperTable3SpecsTest, SizesMatchPaperTable3) {
+  const std::vector<DatasetSpec> specs = PaperTable3Specs();
+  EXPECT_EQ(specs[1].paper_train_examples, 386509u);  // YearMSD n1
+  EXPECT_EQ(specs[1].paper_test_examples, 128836u);   // YearMSD n2
+  EXPECT_EQ(specs[1].num_features, 90u);
+  EXPECT_EQ(specs[2].paper_train_examples, 34298u);   // CASP
+  EXPECT_EQ(specs[2].num_features, 9u);
+  EXPECT_EQ(specs[4].paper_train_examples, 435759u);  // CovType
+  EXPECT_EQ(specs[4].num_features, 54u);
+  EXPECT_EQ(specs[5].paper_train_examples, 3750000u); // SUSY
+  EXPECT_EQ(specs[5].num_features, 18u);
+}
+
+TEST(PaperTable3SpecsTest, TaskTypesMatchPaper) {
+  const std::vector<DatasetSpec> specs = PaperTable3Specs();
+  EXPECT_EQ(specs[0].task, TaskType::kRegression);
+  EXPECT_EQ(specs[1].task, TaskType::kRegression);
+  EXPECT_EQ(specs[2].task, TaskType::kRegression);
+  EXPECT_EQ(specs[3].task, TaskType::kBinaryClassification);
+  EXPECT_EQ(specs[4].task, TaskType::kBinaryClassification);
+  EXPECT_EQ(specs[5].task, TaskType::kBinaryClassification);
+}
+
+TEST(GenerateUciLikeTest, ScaledSizes) {
+  const DatasetSpec spec = PaperTable3Specs()[2];  // CASP: 34298 / 11433
+  auto split = GenerateUciLike(spec, 0.01, 1);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_examples(), 343u);
+  EXPECT_EQ(split->test.num_examples(), 200u);  // min_examples floor
+  EXPECT_EQ(split->train.num_features(), 9u);
+}
+
+TEST(GenerateUciLikeTest, MinExamplesFloor) {
+  const DatasetSpec spec = PaperTable3Specs()[2];
+  auto split = GenerateUciLike(spec, 0.0001, 1, 150);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_examples(), 150u);
+  EXPECT_EQ(split->test.num_examples(), 150u);
+}
+
+TEST(GenerateUciLikeTest, ClassificationLabelsValid) {
+  const DatasetSpec spec = PaperTable3Specs()[4];  // CovType
+  auto split = GenerateUciLike(spec, 0.001, 9);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.task(), TaskType::kBinaryClassification);
+  for (size_t i = 0; i < split->train.num_examples(); ++i) {
+    const double y = split->train.Target(i);
+    EXPECT_TRUE(y == 1.0 || y == -1.0);
+  }
+}
+
+TEST(GenerateUciLikeTest, TrainAndTestShareTheSignal) {
+  // Both sides are drawn around the same hyperplane, so the train-side
+  // least-squares fit should generalize to test far better than chance.
+  DatasetSpec spec = PaperTable3Specs()[2];  // CASP-like regression
+  spec.noise_stddev = 0.1;
+  auto split = GenerateUciLike(spec, 0.01, 5);
+  ASSERT_TRUE(split.ok());
+  // Compare variance of targets vs variance of a residual against the
+  // train-fit direction: implicitly exercised by downstream ML tests; here
+  // just sanity-check target dispersion is nontrivial on both sides.
+  double train_var = 0.0, test_var = 0.0;
+  for (size_t i = 0; i < split->train.num_examples(); ++i) {
+    train_var += split->train.Target(i) * split->train.Target(i);
+  }
+  for (size_t i = 0; i < split->test.num_examples(); ++i) {
+    test_var += split->test.Target(i) * split->test.Target(i);
+  }
+  EXPECT_GT(train_var / split->train.num_examples(), 0.1);
+  EXPECT_GT(test_var / split->test.num_examples(), 0.1);
+}
+
+TEST(GenerateUciLikeTest, RejectsBadScale) {
+  const DatasetSpec spec = PaperTable3Specs()[0];
+  EXPECT_FALSE(GenerateUciLike(spec, 0.0, 1).ok());
+  EXPECT_FALSE(GenerateUciLike(spec, 1.5, 1).ok());
+}
+
+TEST(GenerateUciLikeTest, DeterministicForSeed) {
+  const DatasetSpec spec = PaperTable3Specs()[2];
+  auto a = GenerateUciLike(spec, 0.005, 3);
+  auto b = GenerateUciLike(spec, 0.005, 3);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->train.features(), b->train.features());
+  EXPECT_EQ(a->test.targets(), b->test.targets());
+}
+
+}  // namespace
+}  // namespace mbp::data

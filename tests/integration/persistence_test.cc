@@ -1,0 +1,98 @@
+// Integration test for the persistence workflow a real deployment runs:
+// stand up a broker, save its pricing curve and optimal model, then in a
+// "new process" (fresh objects) reload both and continue selling with
+// identical behavior.
+
+#include <gtest/gtest.h>
+
+#include "core/curves.h"
+#include "core/market.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "io/model_io.h"
+
+namespace mbp {
+namespace {
+
+core::Seller MakeSeller(uint64_t seed) {
+  data::Simulated1Options options;
+  options.num_examples = 400;
+  options.num_features = 4;
+  options.seed = seed;
+  data::Dataset dataset = data::GenerateSimulated1(options).value();
+  random::Rng rng(seed + 1);
+  core::MarketCurveOptions curve;
+  curve.num_points = 6;
+  return core::Seller::Create("s",
+                              data::RandomSplit(dataset, 0.25, rng).value(),
+                              core::MakeMarketCurve(curve).value())
+      .value();
+}
+
+TEST(PersistenceIntegrationTest, PricingSurvivesRestart) {
+  core::ModelListing listing;
+  listing.model = ml::ModelKind::kLinearRegression;
+  listing.l2 = 1e-3;
+  core::Broker::Options options;
+  options.transform.grid_size = 6;
+  options.transform.trials_per_delta = 40;
+
+  const std::string pricing_path = testing::TempDir() + "/restart_pricing.mbp";
+  const std::string model_path = testing::TempDir() + "/restart_model.mbp";
+  double original_price_at_5 = 0.0;
+  linalg::Vector original_coefficients;
+  {
+    auto broker = core::Broker::Create(MakeSeller(50), listing, options);
+    ASSERT_TRUE(broker.ok());
+    ASSERT_TRUE(io::WritePricing(broker->pricing(), pricing_path).ok());
+    ASSERT_TRUE(
+        io::WriteModel(broker->optimal_model(), model_path).ok());
+    original_price_at_5 = broker->pricing().PriceAtInverseNcp(5.0);
+    original_coefficients = broker->optimal_model().coefficients();
+  }
+
+  // "New process": rebuild the broker around the persisted pricing.
+  auto pricing = io::ReadPricing(pricing_path);
+  ASSERT_TRUE(pricing.ok());
+  EXPECT_DOUBLE_EQ(pricing->PriceAtInverseNcp(5.0), original_price_at_5);
+  auto model = io::ReadModel(model_path);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->coefficients(), original_coefficients);
+
+  auto restarted = core::Broker::CreateWithPricing(
+      MakeSeller(50), listing, std::move(pricing).value(), options);
+  ASSERT_TRUE(restarted.ok()) << restarted.status();
+  // Same data + same listing => the retrained optimal model matches the
+  // persisted one exactly (training is deterministic).
+  EXPECT_EQ(restarted->optimal_model().coefficients(),
+            original_coefficients);
+  // Sales continue at the persisted prices.
+  auto txn = restarted->BuyAtNcp(0.2);
+  ASSERT_TRUE(txn.ok());
+  EXPECT_DOUBLE_EQ(txn->price,
+                   restarted->pricing().PriceAtInverseNcp(5.0));
+  EXPECT_DOUBLE_EQ(txn->price, original_price_at_5);
+}
+
+TEST(PersistenceIntegrationTest, PurchasedInstanceSurvivesHandoff) {
+  // A buyer stores the purchased instance and reloads it elsewhere.
+  core::ModelListing listing;
+  listing.model = ml::ModelKind::kLinearRegression;
+  listing.l2 = 1e-3;
+  core::Broker::Options options;
+  options.transform.grid_size = 6;
+  options.transform.trials_per_delta = 40;
+  auto broker = core::Broker::Create(MakeSeller(51), listing, options);
+  ASSERT_TRUE(broker.ok());
+  auto txn = broker->BuyWithPriceBudget(30.0);
+  ASSERT_TRUE(txn.ok());
+  const std::string path = testing::TempDir() + "/instance_handoff.mbp";
+  ASSERT_TRUE(io::WriteModel(txn->instance, path).ok());
+  auto reloaded = io::ReadModel(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->coefficients(), txn->instance.coefficients());
+  EXPECT_EQ(reloaded->kind(), txn->instance.kind());
+}
+
+}  // namespace
+}  // namespace mbp

@@ -1,0 +1,108 @@
+// Soak test: thousands of mixed purchases against one broker, checking
+// the global invariants that must survive any interleaving of the three
+// purchase options — exact revenue accounting, monotonically increasing
+// transaction ids, budget/error constraints honored on every sale, and
+// deterministic replay under the same seed.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/curves.h"
+#include "core/market.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace mbp::core {
+namespace {
+
+Broker MakeBroker(uint64_t seed) {
+  data::Simulated1Options data_options;
+  data_options.num_examples = 400;
+  data_options.num_features = 5;
+  data_options.seed = 71;
+  data::Dataset dataset = data::GenerateSimulated1(data_options).value();
+  random::Rng rng(72);
+  MarketCurveOptions curve_options;
+  curve_options.num_points = 8;
+  curve_options.value_shape = ValueShape::kConcave;
+  Seller seller = Seller::Create(
+                      "soak", data::RandomSplit(dataset, 0.25, rng).value(),
+                      MakeMarketCurve(curve_options).value())
+                      .value();
+  ModelListing listing;
+  listing.model = ml::ModelKind::kLinearRegression;
+  listing.l2 = 1e-4;
+  Broker::Options options;
+  options.seed = seed;
+  options.transform.grid_size = 6;
+  options.transform.trials_per_delta = 40;
+  return Broker::Create(std::move(seller), listing, options).value();
+}
+
+TEST(SoakTest, ThousandsOfMixedPurchasesKeepInvariants) {
+  Broker broker = MakeBroker(1);
+  random::Rng rng(2);
+  const double min_error = broker.error_transform().MinError();
+  const double max_error = broker.error_transform().ExpectedError(1.0);
+
+  double expected_revenue = 0.0;
+  uint64_t last_id = 0;
+  const int kPurchases = 3000;
+  for (int i = 0; i < kPurchases; ++i) {
+    StatusOr<Transaction> txn = [&]() -> StatusOr<Transaction> {
+      switch (rng.NextBounded(3)) {
+        case 0:
+          return broker.BuyAtNcp(rng.NextDouble(0.01, 1.0));
+        case 1: {
+          const double budget =
+              rng.NextDouble(min_error, min_error + (max_error - min_error));
+          auto result = broker.BuyWithErrorBudget(budget);
+          if (result.ok()) {
+            EXPECT_LE(result->quoted_expected_error, budget + 1e-6);
+          }
+          return result;
+        }
+        default: {
+          const double budget = rng.NextDouble(0.0, 120.0);
+          auto result = broker.BuyWithPriceBudget(budget);
+          if (result.ok()) {
+            EXPECT_LE(result->price, budget + 1e-9);
+          }
+          return result;
+        }
+      }
+    }();
+    ASSERT_TRUE(txn.ok()) << "purchase " << i << ": " << txn.status();
+    EXPECT_GT(txn->id, last_id);
+    last_id = txn->id;
+    EXPECT_GE(txn->price, 0.0);
+    EXPECT_TRUE(std::isfinite(txn->price));
+    EXPECT_EQ(txn->instance.num_features(), 5u);
+    expected_revenue += txn->price;
+  }
+  EXPECT_EQ(broker.transactions().size(),
+            static_cast<size_t>(kPurchases));
+  EXPECT_NEAR(broker.total_revenue(), expected_revenue,
+              1e-6 * (1.0 + expected_revenue));
+}
+
+TEST(SoakTest, IdenticalSeedsReplayIdentically) {
+  Broker a = MakeBroker(9);
+  Broker b = MakeBroker(9);
+  random::Rng rng_a(3), rng_b(3);
+  for (int i = 0; i < 200; ++i) {
+    const double delta_a = rng_a.NextDouble(0.01, 1.0);
+    const double delta_b = rng_b.NextDouble(0.01, 1.0);
+    auto txn_a = a.BuyAtNcp(delta_a);
+    auto txn_b = b.BuyAtNcp(delta_b);
+    ASSERT_TRUE(txn_a.ok() && txn_b.ok());
+    EXPECT_DOUBLE_EQ(txn_a->price, txn_b->price);
+    EXPECT_EQ(txn_a->instance.coefficients(),
+              txn_b->instance.coefficients());
+  }
+  EXPECT_DOUBLE_EQ(a.total_revenue(), b.total_revenue());
+}
+
+}  // namespace
+}  // namespace mbp::core

@@ -1,0 +1,147 @@
+#include "io/model_io.h"
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace mbp::io {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+
+  void WriteRaw(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(ModelIoTest, ModelRoundTripIsExact) {
+  const ml::LinearModel model(
+      ml::ModelKind::kLogisticRegression,
+      linalg::Vector{0.1, -2.5e-7, 3.14159265358979311599796346854,
+                     1e300});
+  const std::string path = TempPath("model.mbp");
+  ASSERT_TRUE(WriteModel(model, path).ok());
+  auto loaded = ReadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->kind(), ml::ModelKind::kLogisticRegression);
+  ASSERT_EQ(loaded->num_features(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(loaded->coefficients()[i], model.coefficients()[i])
+        << "coefficient " << i;
+  }
+}
+
+TEST_F(ModelIoTest, AllModelKindsRoundTrip) {
+  for (ml::ModelKind kind :
+       {ml::ModelKind::kLinearRegression, ml::ModelKind::kLogisticRegression,
+        ml::ModelKind::kLinearSvm}) {
+    const ml::LinearModel model(kind, linalg::Vector{1.0, 2.0});
+    const std::string path = TempPath("kind.mbp");
+    ASSERT_TRUE(WriteModel(model, path).ok());
+    auto loaded = ReadModel(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded->kind(), kind);
+  }
+}
+
+TEST_F(ModelIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadModel("/nonexistent/model.mbp").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ModelIoTest, WrongHeaderIsRejected) {
+  const std::string path = TempPath("wrong_header.mbp");
+  WriteRaw(path, "mbp-model v99\nkind linear_svm\ndim 1\n1.0\n");
+  EXPECT_EQ(ReadModel(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelIoTest, UnknownKindIsRejected) {
+  const std::string path = TempPath("bad_kind.mbp");
+  WriteRaw(path, "mbp-model v1\nkind neural_net\ndim 1\n1.0\n");
+  auto loaded = ReadModel(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("neural_net"),
+            std::string::npos);
+}
+
+TEST_F(ModelIoTest, TruncatedFileIsRejected) {
+  const std::string path = TempPath("truncated.mbp");
+  WriteRaw(path, "mbp-model v1\nkind linear_svm\ndim 3\n1.0\n2.0\n");
+  auto loaded = ReadModel(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("truncated"),
+            std::string::npos);
+}
+
+TEST_F(ModelIoTest, MalformedCoefficientIsRejected) {
+  const std::string path = TempPath("garbage.mbp");
+  WriteRaw(path, "mbp-model v1\nkind linear_svm\ndim 1\nnot_a_number\n");
+  EXPECT_EQ(ReadModel(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelIoTest, BadDimIsRejected) {
+  const std::string path = TempPath("bad_dim.mbp");
+  WriteRaw(path, "mbp-model v1\nkind linear_svm\ndim 0\n");
+  EXPECT_FALSE(ReadModel(path).ok());
+  WriteRaw(path, "mbp-model v1\nkind linear_svm\ndim 2.5\n1.0\n2.0\n");
+  EXPECT_FALSE(ReadModel(path).ok());
+}
+
+TEST_F(ModelIoTest, CrlfFilesAreAccepted) {
+  const std::string path = TempPath("crlf.mbp");
+  WriteRaw(path, "mbp-model v1\r\nkind linear_svm\r\ndim 1\r\n1.5\r\n");
+  auto loaded = ReadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_DOUBLE_EQ(loaded->coefficients()[0], 1.5);
+}
+
+TEST_F(ModelIoTest, PricingRoundTripIsExact) {
+  auto pricing = core::PiecewiseLinearPricing::Create(
+      {{1.0, 10.0}, {2.5, 17.25}, {40.0, 99.999}});
+  ASSERT_TRUE(pricing.ok());
+  const std::string path = TempPath("pricing.mbp");
+  ASSERT_TRUE(WritePricing(*pricing, path).ok());
+  auto loaded = ReadPricing(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->points().size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(loaded->points()[i].x, pricing->points()[i].x);
+    EXPECT_DOUBLE_EQ(loaded->points()[i].price,
+                     pricing->points()[i].price);
+  }
+  // Behavioral equality, not just structural.
+  for (double x : {0.5, 1.7, 30.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(loaded->PriceAtInverseNcp(x),
+                     pricing->PriceAtInverseNcp(x));
+  }
+}
+
+TEST_F(ModelIoTest, PricingValidationAppliesOnLoad) {
+  // Decreasing x is structurally valid text but semantically invalid.
+  const std::string path = TempPath("bad_pricing.mbp");
+  WriteRaw(path, "mbp-pricing v1\npoints 2\n2.0 10.0\n1.0 20.0\n");
+  EXPECT_EQ(ReadPricing(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelIoTest, PricingMalformedRowIsRejected) {
+  const std::string path = TempPath("bad_row.mbp");
+  WriteRaw(path, "mbp-pricing v1\npoints 1\n1.0 2.0 3.0\n");
+  EXPECT_FALSE(ReadPricing(path).ok());
+  WriteRaw(path, "mbp-pricing v1\npoints 1\n1.0\n");
+  EXPECT_FALSE(ReadPricing(path).ok());
+}
+
+TEST_F(ModelIoTest, PricingMissingFileIsNotFound) {
+  EXPECT_EQ(ReadPricing("/nonexistent/pricing.mbp").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mbp::io

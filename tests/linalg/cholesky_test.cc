@@ -1,0 +1,111 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+#include "random/distributions.h"
+#include "random/rng.h"
+
+namespace mbp::linalg {
+namespace {
+
+TEST(CholeskyTest, FactorizesKnownSpdMatrix) {
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix& l = chol->lower();
+  EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  Vector expected{1.0, -2.0};
+  Vector b = MatVec(a, expected);
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  Vector x = chol->Solve(b);
+  EXPECT_NEAR(x[0], expected[0], 1e-12);
+  EXPECT_NEAR(x[1], expected[1], 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_EQ(Cholesky::Factorize(a).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3 and -1
+  EXPECT_EQ(Cholesky::Factorize(a).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskyTest, RejectsSingular) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(Cholesky::Factorize(a).ok());
+}
+
+TEST(CholeskyTest, LogDeterminant) {
+  Matrix a{{4.0, 0.0}, {0.0, 9.0}};
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->LogDeterminant(), std::log(36.0), 1e-12);
+}
+
+TEST(CholeskyTest, MatrixSolve) {
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix inverse = chol->Solve(Matrix::Identity(2));
+  Matrix product = MatMul(a, inverse);
+  EXPECT_NEAR(product(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(product(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(product(1, 1), 1.0, 1e-12);
+}
+
+// Property: for random SPD systems A = B^T B + I, the solve residual is
+// tiny across dimensions.
+class CholeskyRandomTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CholeskyRandomTest, RandomSpdSolveHasTinyResidual) {
+  const size_t d = GetParam();
+  random::Rng rng(1234 + d);
+  Matrix b(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      b(i, j) = random::SampleStandardNormal(rng);
+    }
+  }
+  Matrix a = GramMatrix(b);
+  for (size_t i = 0; i < d; ++i) a(i, i) += 1.0;
+  Vector rhs = random::SampleNormalVector(rng, d, 0.0, 1.0);
+  auto solved = SolveSpd(a, rhs);
+  ASSERT_TRUE(solved.ok());
+  Vector residual = Subtract(MatVec(a, solved.value()), rhs);
+  EXPECT_LT(Norm2(residual), 1e-8 * (1.0 + Norm2(rhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CholeskyRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+TEST(SolveSpdTest, RidgeRescuesSingularSystem) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  Vector b{1.0, 1.0};
+  EXPECT_FALSE(SolveSpd(a, b, 0.0).ok());
+  auto solved = SolveSpd(a, b, 0.1);
+  ASSERT_TRUE(solved.ok());
+}
+
+TEST(SolveSpdTest, DimensionMismatch) {
+  Matrix a = Matrix::Identity(2);
+  Vector b(3);
+  EXPECT_EQ(SolveSpd(a, b).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mbp::linalg

@@ -1,0 +1,136 @@
+#include "linalg/conjugate_gradient.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.h"
+#include "linalg/vector_ops.h"
+#include "random/distributions.h"
+#include "random/rng.h"
+
+namespace mbp::linalg {
+namespace {
+
+TEST(ConjugateGradientTest, SolvesSmallSpdSystem) {
+  Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  const Vector expected{1.0, 2.0};
+  const Vector b = MatVec(a, expected);
+  auto result = ConjugateGradientSolve(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->x[0], 1.0, 1e-9);
+  EXPECT_NEAR(result->x[1], 2.0, 1e-9);
+}
+
+TEST(ConjugateGradientTest, ConvergesInAtMostDimIterationsExactly) {
+  // CG is a direct method in exact arithmetic: n iterations suffice.
+  random::Rng rng(1);
+  const size_t n = 12;
+  Matrix b_mat(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      b_mat(i, j) = random::SampleStandardNormal(rng);
+    }
+  }
+  Matrix a = GramMatrix(b_mat);
+  for (size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  const Vector rhs = random::SampleNormalVector(rng, n, 0.0, 1.0);
+  auto result = ConjugateGradientSolve(a, rhs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_LE(result->iterations, n + 2);
+}
+
+TEST(ConjugateGradientTest, MatchesCholeskyOnRandomSystems) {
+  random::Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 3 + rng.NextBounded(20);
+    Matrix b_mat(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        b_mat(i, j) = random::SampleStandardNormal(rng);
+      }
+    }
+    Matrix a = GramMatrix(b_mat);
+    for (size_t i = 0; i < n; ++i) a(i, i) += 0.5;
+    const Vector rhs = random::SampleNormalVector(rng, n, 0.0, 1.0);
+    auto cg = ConjugateGradientSolve(a, rhs);
+    auto chol = SolveSpd(a, rhs);
+    ASSERT_TRUE(cg.ok() && chol.ok());
+    EXPECT_LT(Norm2(Subtract(cg->x, *chol)), 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(ConjugateGradientTest, ZeroRhsIsZeroSolution) {
+  auto result = ConjugateGradientSolve(Matrix::Identity(3), Vector(3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->iterations, 0u);
+  EXPECT_DOUBLE_EQ(Norm2(result->x), 0.0);
+}
+
+TEST(ConjugateGradientTest, DetectsIndefiniteOperator) {
+  Matrix a{{1.0, 0.0}, {0.0, -1.0}};
+  const Vector b{0.0, 1.0};  // pushes along the negative direction
+  EXPECT_EQ(ConjugateGradientSolve(a, b).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ConjugateGradientTest, RejectsBadShapes) {
+  EXPECT_FALSE(ConjugateGradientSolve(Matrix(2, 3), Vector(2)).ok());
+  EXPECT_FALSE(ConjugateGradientSolve(Matrix::Identity(2), Vector(3)).ok());
+  EXPECT_FALSE(
+      ConjugateGradientSolve(Matrix::Identity(0), Vector()).ok());
+}
+
+TEST(ConjugateGradientTest, MatrixFreeOperatorWorks) {
+  // Diagonal operator without a materialized matrix.
+  const LinearOperator diag = [](const Vector& v) {
+    Vector out(v.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+      out[i] = (static_cast<double>(i) + 1.0) * v[i];
+    }
+    return out;
+  };
+  const Vector b{1.0, 4.0, 9.0};
+  auto result = ConjugateGradientSolve(diag, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->x[0], 1.0, 1e-9);
+  EXPECT_NEAR(result->x[1], 2.0, 1e-9);
+  EXPECT_NEAR(result->x[2], 3.0, 1e-9);
+}
+
+TEST(SolveRidgeMatrixFreeTest, MatchesNormalEquations) {
+  random::Rng rng(3);
+  const size_t n = 80, d = 7;
+  Matrix x(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      x(i, j) = random::SampleStandardNormal(rng);
+    }
+  }
+  const Vector y = random::SampleNormalVector(rng, n, 0.0, 1.0);
+  const double l2 = 0.05;
+  auto cg = SolveRidgeMatrixFree(x, y, l2);
+  ASSERT_TRUE(cg.ok());
+  // Dense reference.
+  Matrix normal = GramMatrix(x);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) normal(i, j) /= n;
+    normal(i, i) += 2.0 * l2;
+  }
+  Vector rhs = MatTVec(x, y);
+  Scale(1.0 / static_cast<double>(n), rhs.data(), rhs.size());
+  auto dense = SolveSpd(normal, rhs);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_LT(Norm2(Subtract(cg->x, *dense)), 1e-7);
+}
+
+TEST(SolveRidgeMatrixFreeTest, RejectsBadInputs) {
+  EXPECT_FALSE(SolveRidgeMatrixFree(Matrix(3, 2), Vector(2), 0.1).ok());
+  EXPECT_FALSE(SolveRidgeMatrixFree(Matrix(3, 2), Vector(3), -0.1).ok());
+}
+
+}  // namespace
+}  // namespace mbp::linalg

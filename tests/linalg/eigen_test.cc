@@ -1,0 +1,121 @@
+#include "linalg/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+#include "random/distributions.h"
+#include "random/rng.h"
+
+namespace mbp::linalg {
+namespace {
+
+TEST(JacobiEigenTest, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix a{{3.0, 0.0}, {0.0, 1.0}};
+  auto eigen = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eigen->values[1], 3.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  auto eigen = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eigen->values[1], 3.0, 1e-10);
+  // Eigenvector for lambda=3 is (1,1)/sqrt(2) up to sign.
+  const double v0 = eigen->vectors(0, 1);
+  const double v1 = eigen->vectors(1, 1);
+  EXPECT_NEAR(std::fabs(v0), 1.0 / std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(v0, v1, 1e-10);
+}
+
+TEST(JacobiEigenTest, RejectsAsymmetric) {
+  Matrix a{{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_EQ(JacobiEigenDecomposition(a).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(JacobiEigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(JacobiEigenDecomposition(Matrix(2, 3)).ok());
+  EXPECT_FALSE(JacobiEigenDecomposition(Matrix()).ok());
+}
+
+class JacobiRandomTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(JacobiRandomTest, ReconstructsTheMatrix) {
+  const size_t n = GetParam();
+  random::Rng rng(100 + n);
+  Matrix b(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      b(i, j) = random::SampleStandardNormal(rng);
+    }
+  }
+  const Matrix a = GramMatrix(b);  // symmetric PSD
+  auto eigen = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(eigen.ok());
+
+  // A v_j = lambda_j v_j for every eigenpair.
+  for (size_t j = 0; j < n; ++j) {
+    Vector v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = eigen->vectors(i, j);
+    const Vector av = MatVec(a, v);
+    const Vector lv = Scaled(v, eigen->values[j]);
+    EXPECT_LT(Norm2(Subtract(av, lv)), 1e-8 * (1.0 + eigen->values[j]))
+        << "eigenpair " << j;
+  }
+  // Eigenvalues ascending, all >= 0 for PSD.
+  for (size_t j = 0; j < n; ++j) {
+    EXPECT_GE(eigen->values[j], -1e-9);
+    if (j > 0) {
+      EXPECT_LE(eigen->values[j - 1], eigen->values[j] + 1e-12);
+    }
+  }
+  // Eigenvectors orthonormal.
+  for (size_t p = 0; p < n; ++p) {
+    for (size_t q = p; q < n; ++q) {
+      double dot = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        dot += eigen->vectors(i, p) * eigen->vectors(i, q);
+      }
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-9) << p << "," << q;
+    }
+  }
+  // Trace preservation.
+  double trace_a = 0.0, trace_lambda = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    trace_a += a(i, i);
+    trace_lambda += eigen->values[i];
+  }
+  EXPECT_NEAR(trace_a, trace_lambda, 1e-8 * (1.0 + std::fabs(trace_a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, JacobiRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 15, 30));
+
+TEST(SpectralConditionNumberTest, IdentityIsPerfectlyConditioned) {
+  auto cond = SpectralConditionNumber(Matrix::Identity(4));
+  ASSERT_TRUE(cond.ok());
+  EXPECT_NEAR(*cond, 1.0, 1e-10);
+}
+
+TEST(SpectralConditionNumberTest, KnownRatio) {
+  Matrix a{{10.0, 0.0}, {0.0, 0.1}};
+  auto cond = SpectralConditionNumber(a);
+  ASSERT_TRUE(cond.ok());
+  EXPECT_NEAR(*cond, 100.0, 1e-8);
+}
+
+TEST(SpectralConditionNumberTest, SingularIsInfinite) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  auto cond = SpectralConditionNumber(a);
+  ASSERT_TRUE(cond.ok());
+  EXPECT_TRUE(std::isinf(*cond));
+}
+
+}  // namespace
+}  // namespace mbp::linalg

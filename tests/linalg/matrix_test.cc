@@ -1,0 +1,111 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector.h"
+
+namespace mbp::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 4.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixDeathTest, RaggedInitializerAborts) {
+  EXPECT_DEATH({ Matrix m({{1.0, 2.0}, {3.0}}); }, "ragged");
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  Vector row = m.Row(1);
+  EXPECT_EQ(row, (Vector{3.0, 4.0}));
+  m.SetRow(0, Vector{9.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 9.0);
+}
+
+TEST(MatVecTest, MultipliesCorrectly) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Vector x{1.0, -1.0};
+  Vector y = MatVec(m, x);
+  EXPECT_EQ(y, (Vector{-1.0, -1.0, -1.0}));
+}
+
+TEST(MatVecTest, TransposeMultiply) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Vector x{1.0, 1.0, 1.0};
+  Vector y = MatTVec(m, x);
+  EXPECT_EQ(y, (Vector{9.0, 12.0}));
+}
+
+TEST(MatMulTest, MatchesHandComputation) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(MatMul(a, Matrix::Identity(2)), a);
+  EXPECT_EQ(MatMul(Matrix::Identity(2), a), a);
+}
+
+TEST(GramMatrixTest, EqualsTransposeTimesSelf) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Matrix g = GramMatrix(a);
+  Matrix expected = MatMul(Transpose(a), a);
+  ASSERT_EQ(g.rows(), expected.rows());
+  for (size_t i = 0; i < g.rows(); ++i) {
+    for (size_t j = 0; j < g.cols(); ++j) {
+      EXPECT_NEAR(g(i, j), expected(i, j), 1e-12) << i << "," << j;
+    }
+  }
+}
+
+TEST(GramMatrixTest, IsSymmetric) {
+  Matrix a{{1.0, -2.0, 0.5}, {0.0, 3.0, 1.0}};
+  Matrix g = GramMatrix(a);
+  for (size_t i = 0; i < g.rows(); ++i) {
+    for (size_t j = 0; j < g.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+TEST(TransposeTest, SwapsDimensions) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = Transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatVecDeathTest, DimensionMismatchAborts) {
+  Matrix a(2, 3);
+  Vector x(2);
+  EXPECT_DEATH({ (void)MatVec(a, x); }, "MBP_CHECK failed");
+}
+
+}  // namespace
+}  // namespace mbp::linalg

@@ -1,0 +1,132 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.h"
+#include "linalg/vector_ops.h"
+#include "random/distributions.h"
+#include "random/rng.h"
+
+namespace mbp::linalg {
+namespace {
+
+TEST(QrTest, FactorizesSquareMatrix) {
+  Matrix a{{4.0, 1.0}, {0.0, 3.0}};
+  auto qr = QrDecomposition::Factorize(a);
+  ASSERT_TRUE(qr.ok());
+  // R should be upper-triangular with |diagonal| = column norms pattern.
+  Matrix r = qr->R();
+  EXPECT_NEAR(std::fabs(r(0, 0)), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r(1, 0), 0.0);
+}
+
+TEST(QrTest, RejectsWideMatrix) {
+  Matrix a(2, 3);
+  EXPECT_EQ(QrDecomposition::Factorize(a).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QrTest, SolvesExactSquareSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector expected{1.5, -0.5};
+  const Vector b = MatVec(a, expected);
+  auto x = LeastSquaresQr(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], expected[0], 1e-12);
+  EXPECT_NEAR((*x)[1], expected[1], 1e-12);
+}
+
+TEST(QrTest, OverdeterminedLeastSquaresMatchesNormalEquations) {
+  random::Rng rng(7);
+  const size_t m = 50, n = 6;
+  Matrix a(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) = random::SampleStandardNormal(rng);
+    }
+  }
+  const Vector b = random::SampleNormalVector(rng, m, 0.0, 1.0);
+  auto qr_solution = LeastSquaresQr(a, b);
+  ASSERT_TRUE(qr_solution.ok());
+  // Normal equations route.
+  auto normal_solution = SolveSpd(GramMatrix(a), MatTVec(a, b));
+  ASSERT_TRUE(normal_solution.ok());
+  EXPECT_LT(Norm2(Subtract(*qr_solution, *normal_solution)), 1e-9);
+}
+
+TEST(QrTest, ResidualIsOrthogonalToColumnSpace) {
+  random::Rng rng(8);
+  const size_t m = 30, n = 4;
+  Matrix a(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) = random::SampleStandardNormal(rng);
+    }
+  }
+  const Vector b = random::SampleNormalVector(rng, m, 0.0, 1.0);
+  auto x = LeastSquaresQr(a, b);
+  ASSERT_TRUE(x.ok());
+  const Vector residual = Subtract(MatVec(a, *x), b);
+  const Vector gradient = MatTVec(a, residual);
+  EXPECT_LT(NormInf(gradient), 1e-10);
+}
+
+TEST(QrTest, DetectsRankDeficiency) {
+  // Two identical columns.
+  Matrix a{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  auto qr = QrDecomposition::Factorize(a);
+  ASSERT_TRUE(qr.ok());
+  const Vector b{1.0, 2.0, 3.0};
+  EXPECT_EQ(qr->SolveLeastSquares(b).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QrTest, ApplyQTransposePreservesNorm) {
+  random::Rng rng(9);
+  Matrix a(10, 3);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      a(i, j) = random::SampleStandardNormal(rng);
+    }
+  }
+  auto qr = QrDecomposition::Factorize(a);
+  ASSERT_TRUE(qr.ok());
+  const Vector b = random::SampleNormalVector(rng, 10, 0.0, 1.0);
+  const Vector qtb = qr->ApplyQTranspose(b);
+  EXPECT_NEAR(Norm2(qtb), Norm2(b), 1e-10);  // Q is orthogonal
+}
+
+TEST(QrTest, RhsDimensionMismatch) {
+  Matrix a(3, 2, 1.0);
+  a(1, 1) = 2.0;
+  auto qr = QrDecomposition::Factorize(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr->SolveLeastSquares(Vector(2)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Ill-conditioned comparison: QR stays accurate where the normal
+// equations lose digits.
+TEST(QrTest, BeatsNormalEquationsOnIllConditionedSystem) {
+  // Vandermonde-ish columns, condition number ~1e7 when squared ~1e14.
+  const size_t m = 20, n = 5;
+  Matrix a(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const double t = static_cast<double>(i) / (m - 1);
+    double power = 1.0;
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) = power;
+      power *= t;
+    }
+  }
+  const Vector truth{1.0, -2.0, 3.0, -4.0, 5.0};
+  const Vector b = MatVec(a, truth);
+  auto qr_solution = LeastSquaresQr(a, b);
+  ASSERT_TRUE(qr_solution.ok());
+  EXPECT_LT(Norm2(Subtract(*qr_solution, truth)), 1e-7);
+}
+
+}  // namespace
+}  // namespace mbp::linalg

@@ -1,0 +1,124 @@
+#include "linalg/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+#include "random/distributions.h"
+#include "random/rng.h"
+
+namespace mbp::linalg {
+namespace {
+
+SparseMatrix SmallSparse() {
+  // [[1, 0, 2],
+  //  [0, 0, 0],
+  //  [0, 3, 4]]
+  return SparseMatrix::FromTriplets(
+             3, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {2, 1, 3.0}, {2, 2, 4.0}})
+      .value();
+}
+
+TEST(SparseMatrixTest, FromTripletsBuildsCsr) {
+  const SparseMatrix m = SmallSparse();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.num_nonzeros(), 4u);
+  EXPECT_EQ(m.RowNonzeros(0), 2u);
+  EXPECT_EQ(m.RowNonzeros(1), 0u);
+  EXPECT_EQ(m.RowNonzeros(2), 2u);
+  EXPECT_EQ(m.RowIndices(0)[1], 2u);
+  EXPECT_DOUBLE_EQ(m.RowValues(2)[0], 3.0);
+}
+
+TEST(SparseMatrixTest, UnsortedTripletsAreSorted) {
+  auto m = SparseMatrix::FromTriplets(
+      2, 2, {{1, 1, 4.0}, {0, 1, 2.0}, {1, 0, 3.0}, {0, 0, 1.0}});
+  ASSERT_TRUE(m.ok());
+  const Matrix dense = m->ToDense();
+  EXPECT_DOUBLE_EQ(dense(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(dense(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(dense(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(dense(1, 1), 4.0);
+}
+
+TEST(SparseMatrixTest, DuplicatesSumAndZerosDrop) {
+  auto m = SparseMatrix::FromTriplets(
+      1, 2, {{0, 0, 1.5}, {0, 0, 2.5}, {0, 1, 3.0}, {0, 1, -3.0}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_nonzeros(), 1u);  // the (0,1) pair cancels to zero
+  EXPECT_DOUBLE_EQ(m->ToDense()(0, 0), 4.0);
+}
+
+TEST(SparseMatrixTest, RejectsBadEntries) {
+  EXPECT_FALSE(SparseMatrix::FromTriplets(2, 2, {{2, 0, 1.0}}).ok());
+  EXPECT_FALSE(SparseMatrix::FromTriplets(2, 2, {{0, 2, 1.0}}).ok());
+  EXPECT_FALSE(SparseMatrix::FromTriplets(0, 2, {}).ok());
+  EXPECT_FALSE(
+      SparseMatrix::FromTriplets(
+          1, 1, {{0, 0, std::numeric_limits<double>::quiet_NaN()}})
+          .ok());
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense) {
+  const SparseMatrix m = SmallSparse();
+  const Vector x{1.0, 2.0, 3.0};
+  const Vector y = m.Multiply(x);
+  const Vector dense_y = MatVec(m.ToDense(), x);
+  ASSERT_EQ(y.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y[i], dense_y[i]);
+}
+
+TEST(SparseMatrixTest, TransposeMultiplyMatchesDense) {
+  const SparseMatrix m = SmallSparse();
+  const Vector x{1.0, -1.0, 2.0};
+  const Vector y = m.TransposeMultiply(x);
+  const Vector dense_y = MatTVec(m.ToDense(), x);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y[i], dense_y[i]);
+}
+
+TEST(SparseMatrixTest, FromDenseRoundTrips) {
+  Matrix dense{{0.0, 1.5, 0.0}, {2.5, 0.0, 0.0}};
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  EXPECT_EQ(sparse.num_nonzeros(), 2u);
+  EXPECT_EQ(sparse.ToDense(), dense);
+}
+
+TEST(SparseMatrixTest, FromDenseToleranceDropsSmallEntries) {
+  Matrix dense{{1e-9, 1.0}};
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense, 1e-6);
+  EXPECT_EQ(sparse.num_nonzeros(), 1u);
+}
+
+TEST(SparseMatrixTest, RandomMatricesAgreeWithDenseKernels) {
+  random::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t rows = 2 + rng.NextBounded(30);
+    const size_t cols = 2 + rng.NextBounded(30);
+    Matrix dense(rows, cols);
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        if (rng.NextDouble() < 0.15) {
+          dense(i, j) = random::SampleStandardNormal(rng);
+        }
+      }
+    }
+    const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+    const Vector x = random::SampleNormalVector(rng, cols, 0.0, 1.0);
+    const Vector z = random::SampleNormalVector(rng, rows, 0.0, 1.0);
+    EXPECT_LT(Norm2(Subtract(sparse.Multiply(x), MatVec(dense, x))),
+              1e-12);
+    EXPECT_LT(
+        Norm2(Subtract(sparse.TransposeMultiply(z), MatTVec(dense, z))),
+        1e-12);
+  }
+}
+
+TEST(SparseMatrixTest, RowDotSkipsZeros) {
+  const SparseMatrix m = SmallSparse();
+  const Vector x{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(m.RowDot(0, x), 10.0 + 60.0);
+  EXPECT_DOUBLE_EQ(m.RowDot(1, x), 0.0);
+}
+
+}  // namespace
+}  // namespace mbp::linalg

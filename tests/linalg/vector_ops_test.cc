@@ -1,0 +1,107 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector.h"
+
+namespace mbp::linalg {
+namespace {
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  v[1] = 5.0;
+  EXPECT_DOUBLE_EQ(v[1], 5.0);
+}
+
+TEST(VectorTest, ZeroInitialized) {
+  Vector v(4);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(VectorTest, FillConstructor) {
+  Vector v(3, 2.5);
+  EXPECT_DOUBLE_EQ(v[2], 2.5);
+}
+
+TEST(VectorDeathTest, OutOfBoundsAborts) {
+  Vector v(2);
+  EXPECT_DEATH({ (void)v[2]; }, "MBP_CHECK failed");
+}
+
+TEST(DotTest, BasicDotProduct) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+}
+
+TEST(DotTest, UnrolledKernelMatchesNaive) {
+  // Length not divisible by 4 exercises the scalar tail.
+  const size_t n = 11;
+  Vector a(n), b(n);
+  double expected = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = 0.5 * static_cast<double>(i) - 2.0;
+    b[i] = 1.0 / (static_cast<double>(i) + 1.0);
+    expected += a[i] * b[i];
+  }
+  EXPECT_NEAR(Dot(a, b), expected, 1e-12);
+}
+
+TEST(NormTest, Norm2AndSquared) {
+  Vector v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredNorm2(v), 25.0);
+  EXPECT_DOUBLE_EQ(Norm2(v), 5.0);
+}
+
+TEST(NormTest, NormInf) {
+  Vector v{-7.0, 2.0, 6.5};
+  EXPECT_DOUBLE_EQ(NormInf(v), 7.0);
+}
+
+TEST(ArithmeticTest, AddSubtractScale) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  EXPECT_EQ(Add(a, b), (Vector{4.0, 1.0}));
+  EXPECT_EQ(Subtract(a, b), (Vector{-2.0, 3.0}));
+  EXPECT_EQ(Scaled(a, 2.0), (Vector{2.0, 4.0}));
+}
+
+TEST(ArithmeticTest, AddScaled) {
+  Vector a{1.0, 1.0};
+  Vector b{2.0, 4.0};
+  EXPECT_EQ(AddScaled(a, 0.5, b), (Vector{2.0, 3.0}));
+}
+
+TEST(ArithmeticTest, SquaredDistance) {
+  Vector a{0.0, 0.0};
+  Vector b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+}
+
+TEST(ArithmeticDeathTest, DimensionMismatchAborts) {
+  Vector a(2), b(3);
+  EXPECT_DEATH({ (void)Dot(a, b); }, "MBP_CHECK failed");
+  EXPECT_DEATH({ (void)Add(a, b); }, "MBP_CHECK failed");
+}
+
+TEST(RawKernelTest, AxpyAccumulates) {
+  double x[3] = {1.0, 2.0, 3.0};
+  double y[3] = {10.0, 10.0, 10.0};
+  Axpy(2.0, x, y, 3);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 16.0);
+}
+
+TEST(RawKernelTest, ScaleInPlace) {
+  double x[2] = {2.0, -4.0};
+  Scale(0.5, x, 2);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+}
+
+}  // namespace
+}  // namespace mbp::linalg

@@ -1,0 +1,138 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace mbp::ml {
+namespace {
+
+data::Dataset SmallRegression(size_t n = 300, uint64_t seed = 5) {
+  data::Simulated1Options options;
+  options.num_examples = n;
+  options.num_features = 5;
+  options.noise_stddev = 0.2;
+  options.seed = seed;
+  return data::GenerateSimulated1(options).value();
+}
+
+data::Dataset NoisyClassification(size_t n = 300) {
+  data::Simulated2Options options;
+  options.num_examples = n;
+  options.num_features = 5;
+  options.label_keep_probability = 0.85;
+  options.seed = 6;
+  return data::GenerateSimulated2(options).value();
+}
+
+TEST(KFoldCrossValidateTest, ProducesOneErrorPerFold) {
+  random::Rng rng(1);
+  const SquareLoss loss(0.0);
+  auto result = KFoldCrossValidate(ModelKind::kLinearRegression,
+                                   SmallRegression(), 1e-3, loss, 5, rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->fold_errors.size(), 5u);
+  for (double error : result->fold_errors) EXPECT_GT(error, 0.0);
+  EXPECT_GT(result->mean_error, 0.0);
+  EXPECT_GE(result->stddev_error, 0.0);
+}
+
+TEST(KFoldCrossValidateTest, MeanMatchesFoldAverage) {
+  random::Rng rng(2);
+  const SquareLoss loss(0.0);
+  auto result = KFoldCrossValidate(ModelKind::kLinearRegression,
+                                   SmallRegression(), 1e-3, loss, 4, rng);
+  ASSERT_TRUE(result.ok());
+  double total = 0.0;
+  for (double error : result->fold_errors) total += error;
+  EXPECT_NEAR(result->mean_error, total / 4.0, 1e-12);
+}
+
+TEST(KFoldCrossValidateTest, HeldOutErrorNearNoiseFloor) {
+  // Simulated1 with noise 0.2: the held-out square loss should sit near
+  // the irreducible 0.5 * 0.2^2 = 0.02, far below the variance of y.
+  random::Rng rng(3);
+  const SquareLoss loss(0.0);
+  auto result = KFoldCrossValidate(ModelKind::kLinearRegression,
+                                   SmallRegression(600), 1e-4, loss, 5,
+                                   rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->mean_error, 0.05);
+  EXPECT_GT(result->mean_error, 0.01);
+}
+
+TEST(KFoldCrossValidateTest, RejectsBadFoldCounts) {
+  random::Rng rng(4);
+  const SquareLoss loss(0.0);
+  const data::Dataset data = SmallRegression(10);
+  EXPECT_FALSE(KFoldCrossValidate(ModelKind::kLinearRegression, data, 0.0,
+                                  loss, 1, rng)
+                   .ok());
+  EXPECT_FALSE(KFoldCrossValidate(ModelKind::kLinearRegression, data, 0.0,
+                                  loss, 11, rng)
+                   .ok());
+}
+
+TEST(KFoldCrossValidateTest, UnevenFoldsCoverEveryExample) {
+  // 10 examples, 3 folds: folds of size 4/3/3; must not crash and must
+  // produce 3 errors.
+  random::Rng rng(5);
+  const SquareLoss loss(0.0);
+  auto result = KFoldCrossValidate(ModelKind::kLinearRegression,
+                                   SmallRegression(10), 0.1, loss, 3, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fold_errors.size(), 3u);
+}
+
+TEST(SelectL2Test, PicksFromTheCandidates) {
+  random::Rng rng(6);
+  const ZeroOneLoss eval;
+  const std::vector<double> candidates{1e-4, 1e-2, 1.0};
+  auto best = SelectL2ByCrossValidation(ModelKind::kLogisticRegression,
+                                        NoisyClassification(), candidates,
+                                        eval, 4, rng);
+  ASSERT_TRUE(best.ok()) << best.status();
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), *best),
+            candidates.end());
+}
+
+TEST(SelectL2Test, HugeRegularizationLosesOnCleanData) {
+  // On near-noiseless linear data, l2 = 100 (coefficients crushed to ~0)
+  // must never beat l2 = 1e-4.
+  random::Rng rng(7);
+  const SquareLoss eval(0.0);
+  auto best = SelectL2ByCrossValidation(ModelKind::kLinearRegression,
+                                        SmallRegression(400),
+                                        {1e-4, 100.0}, eval, 4, rng);
+  ASSERT_TRUE(best.ok());
+  EXPECT_DOUBLE_EQ(*best, 1e-4);
+}
+
+TEST(SelectL2Test, RejectsBadInputs) {
+  random::Rng rng(8);
+  const SquareLoss eval(0.0);
+  const data::Dataset data = SmallRegression(50);
+  EXPECT_FALSE(SelectL2ByCrossValidation(ModelKind::kLinearRegression,
+                                         data, {}, eval, 4, rng)
+                   .ok());
+  EXPECT_FALSE(SelectL2ByCrossValidation(ModelKind::kLinearRegression,
+                                         data, {-1.0}, eval, 4, rng)
+                   .ok());
+}
+
+TEST(SelectL2Test, DeterministicForSameRngSeed) {
+  const ZeroOneLoss eval;
+  const data::Dataset data = NoisyClassification();
+  random::Rng rng1(9), rng2(9);
+  auto a = SelectL2ByCrossValidation(ModelKind::kLogisticRegression, data,
+                                     {1e-3, 1e-1}, eval, 3, rng1);
+  auto b = SelectL2ByCrossValidation(ModelKind::kLogisticRegression, data,
+                                     {1e-3, 1e-1}, eval, 3, rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace mbp::ml

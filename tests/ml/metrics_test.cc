@@ -1,0 +1,188 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mbp::ml {
+namespace {
+
+data::Dataset RegressionData() {
+  linalg::Matrix features{{1.0}, {2.0}, {3.0}};
+  linalg::Vector targets{2.0, 4.0, 7.0};
+  return data::Dataset::Create(std::move(features), std::move(targets),
+                               data::TaskType::kRegression)
+      .value();
+}
+
+data::Dataset ClassificationData() {
+  linalg::Matrix features{{1.0}, {-2.0}, {3.0}, {-0.5}};
+  linalg::Vector targets{1.0, -1.0, -1.0, 1.0};
+  return data::Dataset::Create(std::move(features), std::move(targets),
+                               data::TaskType::kBinaryClassification)
+      .value();
+}
+
+TEST(MetricsTest, MeanSquaredError) {
+  const LinearModel model(ModelKind::kLinearRegression,
+                          linalg::Vector{2.0});
+  // Predictions 2, 4, 6 vs targets 2, 4, 7: MSE = 1/3.
+  EXPECT_NEAR(MeanSquaredError(model, RegressionData()), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(RootMeanSquaredError(model, RegressionData()),
+              std::sqrt(1.0 / 3.0), 1e-12);
+}
+
+TEST(MetricsTest, MisclassificationRateAndAccuracy) {
+  const LinearModel model(ModelKind::kLogisticRegression,
+                          linalg::Vector{1.0});
+  // sign(x): +, -, +, - vs labels +, -, -, +: 2 of 4 wrong.
+  EXPECT_DOUBLE_EQ(MisclassificationRate(model, ClassificationData()), 0.5);
+  EXPECT_DOUBLE_EQ(Accuracy(model, ClassificationData()), 0.5);
+}
+
+TEST(MetricsTest, PerfectClassifier) {
+  linalg::Matrix features{{1.0}, {-1.0}};
+  const data::Dataset data =
+      data::Dataset::Create(std::move(features), linalg::Vector{1.0, -1.0},
+                            data::TaskType::kBinaryClassification)
+          .value();
+  const LinearModel model(ModelKind::kLinearSvm, linalg::Vector{3.0});
+  EXPECT_DOUBLE_EQ(MisclassificationRate(model, data), 0.0);
+}
+
+TEST(MetricsTest, RSquaredPerfectFitIsOne) {
+  linalg::Matrix features{{1.0}, {2.0}, {3.0}};
+  const data::Dataset data =
+      data::Dataset::Create(std::move(features),
+                            linalg::Vector{2.0, 4.0, 6.0},
+                            data::TaskType::kRegression)
+          .value();
+  const LinearModel model(ModelKind::kLinearRegression,
+                          linalg::Vector{2.0});
+  EXPECT_NEAR(RSquared(model, data), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, RSquaredMeanPredictorIsZero) {
+  // A model predicting the target mean everywhere has R^2 = 0; a constant
+  // feature makes that expressible.
+  linalg::Matrix features{{1.0}, {1.0}, {1.0}};
+  const data::Dataset data =
+      data::Dataset::Create(std::move(features),
+                            linalg::Vector{1.0, 2.0, 3.0},
+                            data::TaskType::kRegression)
+          .value();
+  const LinearModel model(ModelKind::kLinearRegression,
+                          linalg::Vector{2.0});
+  EXPECT_NEAR(RSquared(model, data), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, MeanAbsoluteError) {
+  const LinearModel model(ModelKind::kLinearRegression,
+                          linalg::Vector{2.0});
+  // Predictions 2, 4, 6 vs targets 2, 4, 7 -> MAE = 1/3.
+  EXPECT_NEAR(MeanAbsoluteError(model, RegressionData()), 1.0 / 3.0,
+              1e-12);
+}
+
+TEST(AucTest, PerfectRankingIsOne) {
+  // Positive scores strictly above negative scores.
+  linalg::Matrix features{{3.0}, {2.0}, {-1.0}, {-2.0}};
+  const data::Dataset data =
+      data::Dataset::Create(std::move(features),
+                            linalg::Vector{1.0, 1.0, -1.0, -1.0},
+                            data::TaskType::kBinaryClassification)
+          .value();
+  const LinearModel model(ModelKind::kLogisticRegression,
+                          linalg::Vector{1.0});
+  auto auc = AreaUnderRoc(model, data);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 1.0);
+}
+
+TEST(AucTest, ReversedRankingIsZero) {
+  linalg::Matrix features{{3.0}, {2.0}, {-1.0}, {-2.0}};
+  const data::Dataset data =
+      data::Dataset::Create(std::move(features),
+                            linalg::Vector{-1.0, -1.0, 1.0, 1.0},
+                            data::TaskType::kBinaryClassification)
+          .value();
+  const LinearModel model(ModelKind::kLogisticRegression,
+                          linalg::Vector{1.0});
+  auto auc = AreaUnderRoc(model, data);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.0);
+}
+
+TEST(AucTest, TiedScoresContributeHalf) {
+  // All scores identical: AUC must be exactly 0.5.
+  linalg::Matrix features{{1.0}, {1.0}, {1.0}, {1.0}};
+  const data::Dataset data =
+      data::Dataset::Create(std::move(features),
+                            linalg::Vector{1.0, -1.0, 1.0, -1.0},
+                            data::TaskType::kBinaryClassification)
+          .value();
+  const LinearModel model(ModelKind::kLogisticRegression,
+                          linalg::Vector{1.0});
+  auto auc = AreaUnderRoc(model, data);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.5);
+}
+
+TEST(AucTest, PartialOverlapKnownValue) {
+  // Scores: pos {3, 1}, neg {2, 0}. Pairs: (3>2),(3>0),(1<2),(1>0)
+  // -> 3 of 4 -> AUC = 0.75.
+  linalg::Matrix features{{3.0}, {1.0}, {2.0}, {0.0}};
+  const data::Dataset data =
+      data::Dataset::Create(std::move(features),
+                            linalg::Vector{1.0, 1.0, -1.0, -1.0},
+                            data::TaskType::kBinaryClassification)
+          .value();
+  const LinearModel model(ModelKind::kLogisticRegression,
+                          linalg::Vector{1.0});
+  auto auc = AreaUnderRoc(model, data);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.75);
+}
+
+TEST(AucTest, RejectsDegenerateInputs) {
+  const LinearModel model(ModelKind::kLogisticRegression,
+                          linalg::Vector{1.0});
+  EXPECT_FALSE(AreaUnderRoc(model, RegressionData()).ok());
+  linalg::Matrix features{{1.0}, {2.0}};
+  const data::Dataset one_class =
+      data::Dataset::Create(std::move(features),
+                            linalg::Vector{1.0, 1.0},
+                            data::TaskType::kBinaryClassification)
+          .value();
+  EXPECT_FALSE(AreaUnderRoc(model, one_class).ok());
+}
+
+TEST(ModelTest, ScoreAndPredictLabel) {
+  const LinearModel model(ModelKind::kLogisticRegression,
+                          linalg::Vector{1.0, -2.0});
+  const double x[2] = {3.0, 1.0};
+  EXPECT_DOUBLE_EQ(model.Score(x), 1.0);
+  EXPECT_DOUBLE_EQ(model.PredictLabel(x), 1.0);
+  const double y[2] = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(model.PredictLabel(y), -1.0);
+}
+
+TEST(ModelTest, ScoreAllMatchesPerExampleScores) {
+  const LinearModel model(ModelKind::kLinearRegression,
+                          linalg::Vector{2.0});
+  const linalg::Vector scores = model.ScoreAll(RegressionData());
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_DOUBLE_EQ(scores[0], 2.0);
+  EXPECT_DOUBLE_EQ(scores[2], 6.0);
+}
+
+TEST(ModelTest, KindNames) {
+  EXPECT_EQ(ModelKindToString(ModelKind::kLinearRegression),
+            "linear_regression");
+  EXPECT_EQ(ModelKindToString(ModelKind::kLogisticRegression),
+            "logistic_regression");
+  EXPECT_EQ(ModelKindToString(ModelKind::kLinearSvm), "linear_svm");
+}
+
+}  // namespace
+}  // namespace mbp::ml

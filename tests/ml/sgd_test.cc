@@ -1,0 +1,175 @@
+#include "ml/sgd.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "linalg/vector_ops.h"
+#include "ml/metrics.h"
+#include "ml/trainer.h"
+
+namespace mbp::ml {
+namespace {
+
+data::Dataset RegressionData(size_t n = 800) {
+  data::Simulated1Options options;
+  options.num_examples = n;
+  options.num_features = 6;
+  options.noise_stddev = 0.05;
+  options.seed = 12;
+  return data::GenerateSimulated1(options).value();
+}
+
+data::Dataset ClassificationData(size_t n = 800) {
+  data::Simulated2Options options;
+  options.num_examples = n;
+  options.num_features = 6;
+  options.seed = 13;
+  return data::GenerateSimulated2(options).value();
+}
+
+TEST(TrainSgdTest, ApproachesClosedFormLeastSquares) {
+  const data::Dataset data = RegressionData();
+  const SquareLoss loss(1e-3);
+  SgdOptions options;
+  options.max_epochs = 60;
+  options.initial_step = 0.05;
+  options.gradient_tolerance = 1e-4;
+  auto sgd = TrainSgd(loss, data, ModelKind::kLinearRegression, options);
+  auto exact = TrainLinearRegression(data, 1e-3);
+  ASSERT_TRUE(sgd.ok() && exact.ok());
+  // The SGD solution is close to the exact minimizer in loss value.
+  EXPECT_NEAR(sgd->final_loss, exact->final_loss,
+              0.05 * (1.0 + exact->final_loss));
+  EXPECT_LT(linalg::Norm2(linalg::Subtract(
+                sgd->model.coefficients(), exact->model.coefficients())),
+            0.1);
+}
+
+TEST(TrainSgdTest, LogisticMatchesNewtonLoss) {
+  const data::Dataset data = ClassificationData();
+  const LogisticLoss loss(0.01);
+  SgdOptions options;
+  options.max_epochs = 80;
+  options.initial_step = 0.5;
+  options.gradient_tolerance = 1e-3;
+  auto sgd = TrainSgd(loss, data, ModelKind::kLogisticRegression, options);
+  auto newton = TrainNewton(loss, data, ModelKind::kLogisticRegression);
+  ASSERT_TRUE(sgd.ok() && newton.ok());
+  EXPECT_NEAR(sgd->final_loss, newton->final_loss, 0.02);
+}
+
+TEST(TrainSgdTest, SvmLearnsSeparableData) {
+  const data::Dataset data = ClassificationData();
+  const SmoothedHingeLoss loss(0.01);
+  SgdOptions options;
+  options.max_epochs = 50;
+  options.initial_step = 0.2;
+  auto sgd = TrainSgd(loss, data, ModelKind::kLinearSvm, options);
+  ASSERT_TRUE(sgd.ok());
+  // Simulated2 has 5% label noise; a good separator gets below 10%.
+  EXPECT_LT(MisclassificationRate(sgd->model, data), 0.10);
+}
+
+TEST(TrainSgdTest, DeterministicForSeed) {
+  const data::Dataset data = RegressionData(200);
+  const SquareLoss loss(1e-3);
+  SgdOptions options;
+  options.max_epochs = 5;
+  options.gradient_tolerance = 0.0;  // fixed epoch count
+  auto a = TrainSgd(loss, data, ModelKind::kLinearRegression, options);
+  auto b = TrainSgd(loss, data, ModelKind::kLinearRegression, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->model.coefficients(), b->model.coefficients());
+}
+
+TEST(TrainSgdTest, DifferentSeedsDiffer) {
+  const data::Dataset data = RegressionData(200);
+  const SquareLoss loss(1e-3);
+  SgdOptions a_options, b_options;
+  a_options.max_epochs = b_options.max_epochs = 2;
+  a_options.gradient_tolerance = b_options.gradient_tolerance = 0.0;
+  a_options.seed = 1;
+  b_options.seed = 2;
+  auto a = TrainSgd(loss, data, ModelKind::kLinearRegression, a_options);
+  auto b = TrainSgd(loss, data, ModelKind::kLinearRegression, b_options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(a->model.coefficients() == b->model.coefficients());
+}
+
+TEST(TrainSgdTest, BatchSizeOneWorks) {
+  const data::Dataset data = RegressionData(200);
+  const SquareLoss loss(1e-3);
+  SgdOptions options;
+  options.batch_size = 1;
+  options.max_epochs = 20;
+  options.initial_step = 0.02;
+  auto result = TrainSgd(loss, data, ModelKind::kLinearRegression, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->final_loss, 0.1);
+}
+
+TEST(TrainSgdTest, BatchLargerThanDatasetIsFullBatch) {
+  const data::Dataset data = RegressionData(100);
+  const SquareLoss loss(1e-3);
+  SgdOptions options;
+  options.batch_size = 10000;
+  options.max_epochs = 100;
+  options.initial_step = 0.2;
+  auto result = TrainSgd(loss, data, ModelKind::kLinearRegression, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->final_loss, 0.05);
+}
+
+TEST(TrainSgdTest, RejectsBadInputs) {
+  const data::Dataset data = RegressionData(50);
+  const ZeroOneLoss zero_one;
+  EXPECT_FALSE(TrainSgd(zero_one, data, ModelKind::kLinearSvm).ok());
+  const SquareLoss loss;
+  SgdOptions options;
+  options.batch_size = 0;
+  EXPECT_FALSE(
+      TrainSgd(loss, data, ModelKind::kLinearRegression, options).ok());
+}
+
+TEST(TrainSgdTest, ConvergedFlagReflectsTolerance) {
+  const data::Dataset data = RegressionData(400);
+  const SquareLoss loss(1e-3);
+  SgdOptions options;
+  options.max_epochs = 200;
+  options.initial_step = 0.1;
+  options.gradient_tolerance = 1e-3;
+  auto result = TrainSgd(loss, data, ModelKind::kLinearRegression, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_LT(result->iterations, 200u);
+}
+
+// Per-example gradient accumulation matches the full-batch gradient.
+class ExampleGradientTest : public ::testing::TestWithParam<LossKind> {};
+
+TEST_P(ExampleGradientTest, SumOfExampleGradientsIsFullGradient) {
+  const data::Dataset data = ClassificationData(60);
+  const std::unique_ptr<Loss> loss = MakeLoss(GetParam(), 0.0);
+  linalg::Vector h(data.num_features());
+  for (size_t j = 0; j < h.size(); ++j) {
+    h[j] = 0.3 * static_cast<double>(j) - 0.7;
+  }
+  linalg::Vector accumulated(data.num_features());
+  const double weight = 1.0 / static_cast<double>(data.num_examples());
+  for (size_t i = 0; i < data.num_examples(); ++i) {
+    loss->AccumulateExampleGradient(h, data.ExampleFeatures(i),
+                                    data.Target(i), weight, accumulated);
+  }
+  const linalg::Vector full = loss->Gradient(h, data);
+  for (size_t j = 0; j < h.size(); ++j) {
+    EXPECT_NEAR(accumulated[j], full[j], 1e-10) << loss->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DifferentiableLosses, ExampleGradientTest,
+                         ::testing::Values(LossKind::kSquare,
+                                           LossKind::kLogistic,
+                                           LossKind::kSmoothedHinge));
+
+}  // namespace
+}  // namespace mbp::ml

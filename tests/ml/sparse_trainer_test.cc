@@ -1,0 +1,121 @@
+#include "ml/sparse_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+#include "ml/loss.h"
+#include "ml/metrics.h"
+#include "ml/trainer.h"
+#include "random/distributions.h"
+#include "random/rng.h"
+
+namespace mbp::ml {
+namespace {
+
+// Sparse classification data: bag-of-words-ish features where each
+// example activates a few of d coordinates; labels follow a planted
+// hyperplane with optional flip noise.
+data::SparseDataset MakeSparseData(size_t n, size_t d, double density,
+                                   double flip, uint64_t seed) {
+  random::Rng rng(seed);
+  const linalg::Vector hyperplane = random::SampleUnitSphere(rng, d);
+  std::vector<linalg::SparseEntry> entries;
+  linalg::Vector labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    double score = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      if (rng.NextDouble() < density) {
+        const double value = random::SampleStandardNormal(rng);
+        entries.push_back({i, j, value});
+        score += value * hyperplane[j];
+      }
+    }
+    const bool flipped = rng.NextDouble() < flip;
+    labels[i] = ((score > 0.0) != flipped) ? 1.0 : -1.0;
+  }
+  return data::SparseDataset::Create(
+             linalg::SparseMatrix::FromTriplets(n, d, std::move(entries))
+                 .value(),
+             std::move(labels), data::TaskType::kBinaryClassification)
+      .value();
+}
+
+TEST(SparseLogisticTest, LearnsSeparableSparseData) {
+  const data::SparseDataset data = MakeSparseData(400, 50, 0.1, 0.0, 1);
+  TrainOptions options;
+  options.max_iterations = 300;
+  auto result = TrainLogisticSparse(data, 0.001, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(SparseMisclassificationRate(result->model.coefficients(), data),
+            0.05);
+}
+
+TEST(SparseLogisticTest, MatchesDenseTrainerOnDensifiedData) {
+  // Same objective, sparse vs dense representation: the optima coincide.
+  const data::SparseDataset sparse = MakeSparseData(200, 15, 0.3, 0.05, 2);
+  const data::Dataset dense = sparse.ToDense().value();
+  TrainOptions options;
+  options.max_iterations = 2000;
+  options.gradient_tolerance = 1e-8;
+  auto sparse_result = TrainLogisticSparse(sparse, 0.05, options);
+  const LogisticLoss loss(0.05);
+  auto dense_result =
+      TrainNewton(loss, dense, ModelKind::kLogisticRegression);
+  ASSERT_TRUE(sparse_result.ok() && dense_result.ok());
+  EXPECT_NEAR(sparse_result->final_loss, dense_result->final_loss, 1e-4);
+  EXPECT_LT(
+      linalg::Norm2(linalg::Subtract(sparse_result->model.coefficients(),
+                                     dense_result->model.coefficients())),
+      0.05);
+}
+
+TEST(SparseLogisticTest, SparseLossMatchesDenseLoss) {
+  const data::SparseDataset sparse = MakeSparseData(100, 10, 0.4, 0.0, 3);
+  const data::Dataset dense = sparse.ToDense().value();
+  random::Rng rng(4);
+  const LogisticLoss dense_loss(0.1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const linalg::Vector h = random::SampleNormalVector(rng, 10, 0.0, 1.0);
+    EXPECT_NEAR(SparseLogisticLoss(h, sparse, 0.1),
+                dense_loss.Evaluate(h, dense), 1e-12);
+  }
+}
+
+TEST(SparseSvmTest, LearnsSeparableSparseData) {
+  const data::SparseDataset data = MakeSparseData(300, 40, 0.15, 0.0, 5);
+  TrainOptions options;
+  options.max_iterations = 500;
+  auto result = TrainSvmSparse(data, 0.001, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->model.kind(), ModelKind::kLinearSvm);
+  EXPECT_LT(SparseMisclassificationRate(result->model.coefficients(), data),
+            0.08);
+}
+
+TEST(SparseTrainerTest, RejectsRegressionData) {
+  auto features =
+      linalg::SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  ASSERT_TRUE(features.ok());
+  const data::SparseDataset data =
+      data::SparseDataset::Create(std::move(features).value(),
+                                  linalg::Vector{0.5, 1.5},
+                                  data::TaskType::kRegression)
+          .value();
+  EXPECT_FALSE(TrainLogisticSparse(data, 0.1).ok());
+  EXPECT_FALSE(TrainSvmSparse(data, 0.1).ok());
+}
+
+TEST(SparseTrainerTest, HighDimensionalTrainingIsTractable) {
+  // d = 5000 with ~0.2% density: a dense pass would touch 5000 columns
+  // per row; the sparse trainer only touches ~10.
+  const data::SparseDataset data = MakeSparseData(500, 5000, 0.002, 0.0, 6);
+  TrainOptions options;
+  options.max_iterations = 150;
+  auto result = TrainLogisticSparse(data, 0.001, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(SparseMisclassificationRate(result->model.coefficients(), data),
+            0.25);
+}
+
+}  // namespace
+}  // namespace mbp::ml

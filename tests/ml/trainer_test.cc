@@ -1,0 +1,248 @@
+#include "ml/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "linalg/vector_ops.h"
+#include "ml/metrics.h"
+
+namespace mbp::ml {
+namespace {
+
+data::Dataset ExactLinearData() {
+  // y = 2*x0 - 3*x1, noiseless, well-conditioned.
+  linalg::Matrix features{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {2.0, -1.0},
+                          {0.5, 0.25}};
+  linalg::Vector targets(5);
+  for (size_t i = 0; i < 5; ++i) {
+    targets[i] = 2.0 * features(i, 0) - 3.0 * features(i, 1);
+  }
+  return data::Dataset::Create(std::move(features), std::move(targets),
+                               data::TaskType::kRegression)
+      .value();
+}
+
+data::Dataset SeparableClassification() {
+  linalg::Matrix features{{2.0, 0.1},  {1.5, -0.2}, {3.0, 0.5},
+                          {-2.0, 0.3}, {-1.0, -0.4}, {-2.5, 0.2}};
+  linalg::Vector targets{1.0, 1.0, 1.0, -1.0, -1.0, -1.0};
+  return data::Dataset::Create(std::move(features), std::move(targets),
+                               data::TaskType::kBinaryClassification)
+      .value();
+}
+
+TEST(TrainLinearRegressionTest, RecoversExactCoefficients) {
+  auto result = TrainLinearRegression(ExactLinearData(), 0.0);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->model.coefficients()[0], 2.0, 1e-9);
+  EXPECT_NEAR(result->model.coefficients()[1], -3.0, 1e-9);
+  EXPECT_NEAR(result->final_loss, 0.0, 1e-12);
+  EXPECT_TRUE(result->converged);
+}
+
+TEST(TrainLinearRegressionTest, RegularizationShrinksCoefficients) {
+  auto plain = TrainLinearRegression(ExactLinearData(), 0.0);
+  auto ridge = TrainLinearRegression(ExactLinearData(), 1.0);
+  ASSERT_TRUE(plain.ok() && ridge.ok());
+  EXPECT_LT(linalg::Norm2(ridge->model.coefficients()),
+            linalg::Norm2(plain->model.coefficients()));
+}
+
+TEST(TrainLinearRegressionTest, SingularWithoutRegularization) {
+  // Duplicate feature columns -> singular normal equations. Entries are
+  // chosen so the Gram matrix is exactly representable, making the
+  // factorization failure deterministic rather than rounding-dependent.
+  // Power-of-two entries keep every Cholesky intermediate exact, so the
+  // zero pivot is hit exactly.
+  linalg::Matrix features{{2.0, 2.0}, {2.0, 2.0}};
+  const data::Dataset data =
+      data::Dataset::Create(std::move(features), linalg::Vector{1.0, 2.0},
+                            data::TaskType::kRegression)
+          .value();
+  EXPECT_EQ(TrainLinearRegression(data, 0.0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(TrainLinearRegression(data, 0.01).ok());
+}
+
+TEST(TrainLinearRegressionTest, RejectsClassificationData) {
+  EXPECT_EQ(TrainLinearRegression(SeparableClassification(), 0.0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TrainNewtonTest, LogisticSeparatesSeparableData) {
+  const LogisticLoss loss(0.01);
+  auto result = TrainNewton(loss, SeparableClassification(),
+                            ModelKind::kLogisticRegression);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_DOUBLE_EQ(
+      MisclassificationRate(result->model, SeparableClassification()), 0.0);
+}
+
+TEST(TrainNewtonTest, MatchesGradientDescentOptimum) {
+  const LogisticLoss loss(0.1);
+  const data::Dataset data = SeparableClassification();
+  auto newton =
+      TrainNewton(loss, data, ModelKind::kLogisticRegression);
+  TrainOptions slow;
+  slow.max_iterations = 5000;
+  slow.gradient_tolerance = 1e-10;
+  auto gd = TrainGradientDescent(loss, data,
+                                 ModelKind::kLogisticRegression, slow);
+  ASSERT_TRUE(newton.ok() && gd.ok());
+  EXPECT_NEAR(newton->final_loss, gd->final_loss, 1e-6);
+  // Strictly convex objective: the optima coincide.
+  EXPECT_LT(linalg::Norm2(linalg::Subtract(newton->model.coefficients(),
+                                           gd->model.coefficients())),
+            1e-3);
+}
+
+TEST(TrainNewtonTest, NewtonUsesFarFewerIterations) {
+  const LogisticLoss loss(0.1);
+  auto newton = TrainNewton(loss, SeparableClassification(),
+                            ModelKind::kLogisticRegression);
+  TrainOptions slow;
+  slow.max_iterations = 5000;
+  slow.gradient_tolerance = 1e-10;
+  auto gd = TrainGradientDescent(loss, SeparableClassification(),
+                                 ModelKind::kLogisticRegression, slow);
+  ASSERT_TRUE(newton.ok() && gd.ok());
+  EXPECT_LT(newton->iterations, gd->iterations);
+}
+
+TEST(TrainGradientDescentTest, SvmSeparatesSeparableData) {
+  const SmoothedHingeLoss loss(0.01);
+  TrainOptions options;
+  options.max_iterations = 2000;
+  auto result = TrainGradientDescent(loss, SeparableClassification(),
+                                     ModelKind::kLinearSvm, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(
+      MisclassificationRate(result->model, SeparableClassification()), 0.0);
+}
+
+TEST(TrainGradientDescentTest, RejectsNonDifferentiableLoss) {
+  const ZeroOneLoss loss;
+  EXPECT_EQ(TrainGradientDescent(loss, SeparableClassification(),
+                                 ModelKind::kLinearSvm)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TrainOptimalModelTest, DispatchesAllModelKinds) {
+  auto linreg = TrainOptimalModel(ModelKind::kLinearRegression,
+                                  ExactLinearData(), 0.0);
+  ASSERT_TRUE(linreg.ok());
+  EXPECT_EQ(linreg->model.kind(), ModelKind::kLinearRegression);
+
+  auto logreg = TrainOptimalModel(ModelKind::kLogisticRegression,
+                                  SeparableClassification(), 0.05);
+  ASSERT_TRUE(logreg.ok());
+  EXPECT_EQ(logreg->model.kind(), ModelKind::kLogisticRegression);
+
+  auto svm = TrainOptimalModel(ModelKind::kLinearSvm,
+                               SeparableClassification(), 0.05);
+  ASSERT_TRUE(svm.ok());
+  EXPECT_EQ(svm->model.kind(), ModelKind::kLinearSvm);
+}
+
+TEST(TrainOptimalModelTest, MismatchedTaskRejected) {
+  EXPECT_FALSE(TrainOptimalModel(ModelKind::kLogisticRegression,
+                                 ExactLinearData(), 0.1)
+                   .ok());
+}
+
+TEST(TrainOptimalModelTest, GradientNormIsSmallAtOptimum) {
+  // The returned model is a true stationary point of λ.
+  const data::Dataset data =
+      data::GenerateSimulated2(
+          {.num_examples = 400, .num_features = 5, .seed = 10})
+          .value();
+  auto result =
+      TrainOptimalModel(ModelKind::kLogisticRegression, data, 0.05);
+  ASSERT_TRUE(result.ok());
+  const LogisticLoss loss(0.05);
+  EXPECT_LT(linalg::NormInf(loss.Gradient(result->model.coefficients(),
+                                          data)),
+            1e-6);
+}
+
+TEST(TrainOptimalModelTest, Simulated1RecoveryEndToEnd) {
+  // Closed-form least squares on Simulated1 recovers the planted
+  // hyperplane up to noise.
+  const data::Dataset data =
+      data::GenerateSimulated1(
+          {.num_examples = 2000, .num_features = 10, .noise_stddev = 0.01,
+           .seed = 3})
+          .value();
+  auto result =
+      TrainOptimalModel(ModelKind::kLinearRegression, data, 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(MeanSquaredError(result->model, data), 0.001);
+  // Planted hyperplane is unit-norm.
+  EXPECT_NEAR(linalg::Norm2(result->model.coefficients()), 1.0, 0.05);
+}
+
+TEST(TrainOptionsTest, MaxIterationsCapsWork) {
+  const LogisticLoss loss(0.1);
+  TrainOptions one_step;
+  one_step.max_iterations = 1;
+  auto result = TrainGradientDescent(loss, SeparableClassification(),
+                                     ModelKind::kLogisticRegression,
+                                     one_step);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations, 1u);
+  EXPECT_FALSE(result->converged);
+}
+
+TEST(TrainOptionsTest, LooseToleranceConvergesImmediately) {
+  const LogisticLoss loss(0.1);
+  TrainOptions loose;
+  loose.gradient_tolerance = 1e6;  // any gradient passes
+  auto result = TrainGradientDescent(loss, SeparableClassification(),
+                                     ModelKind::kLogisticRegression,
+                                     loose);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->iterations, 0u);
+}
+
+TEST(TrainOptionsTest, ZeroMaxIterationsReturnsOrigin) {
+  const LogisticLoss loss(0.1);
+  TrainOptions none;
+  none.max_iterations = 0;
+  auto result = TrainGradientDescent(loss, SeparableClassification(),
+                                     ModelKind::kLogisticRegression, none);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(linalg::Norm2(result->model.coefficients()), 0.0);
+}
+
+TEST(TrainGradientDescentTest, TinyInitialStepStillDescends) {
+  const LogisticLoss loss(0.1);
+  TrainOptions tiny;
+  tiny.initial_step = 1e-6;
+  tiny.max_iterations = 10;
+  auto result = TrainGradientDescent(loss, SeparableClassification(),
+                                     ModelKind::kLogisticRegression, tiny);
+  ASSERT_TRUE(result.ok());
+  const LogisticLoss eval(0.1);
+  EXPECT_LT(result->final_loss,
+            eval.Evaluate(linalg::Vector(2), SeparableClassification()));
+}
+
+TEST(TrainingLossKindTest, MatchesTable2) {
+  EXPECT_EQ(TrainingLossKind(ModelKind::kLinearRegression),
+            LossKind::kSquare);
+  EXPECT_EQ(TrainingLossKind(ModelKind::kLogisticRegression),
+            LossKind::kLogistic);
+  EXPECT_EQ(TrainingLossKind(ModelKind::kLinearSvm),
+            LossKind::kSmoothedHinge);
+}
+
+}  // namespace
+}  // namespace mbp::ml

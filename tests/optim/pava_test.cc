@@ -1,0 +1,133 @@
+#include "optim/pava.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace mbp::optim {
+namespace {
+
+TEST(PavaTest, AlreadyMonotoneIsUnchanged) {
+  std::vector<double> values{1.0, 2.0, 3.0};
+  EXPECT_EQ(IsotonicNonDecreasing(values), values);
+}
+
+TEST(PavaTest, SingleViolationPools) {
+  std::vector<double> fit = IsotonicNonDecreasing({1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(fit[0], 1.0);
+  EXPECT_DOUBLE_EQ(fit[1], 2.5);
+  EXPECT_DOUBLE_EQ(fit[2], 2.5);
+}
+
+TEST(PavaTest, FullyReversedPoolsToMean) {
+  std::vector<double> fit = IsotonicNonDecreasing({3.0, 2.0, 1.0});
+  for (double x : fit) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+TEST(PavaTest, WeightsShiftPooledMean) {
+  // Pooling {4 (w=3), 0 (w=1)} gives weighted mean 3.
+  std::vector<double> fit =
+      IsotonicNonDecreasing({4.0, 0.0}, {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(fit[0], 3.0);
+  EXPECT_DOUBLE_EQ(fit[1], 3.0);
+}
+
+TEST(PavaTest, NonIncreasingMirrorsNonDecreasing) {
+  std::vector<double> fit = IsotonicNonIncreasing({1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(fit[0], 2.0);
+  EXPECT_DOUBLE_EQ(fit[1], 2.0);
+  EXPECT_DOUBLE_EQ(fit[2], 2.0);
+}
+
+TEST(PavaTest, NonIncreasingKeepsSortedInput) {
+  std::vector<double> values{5.0, 4.0, 1.0};
+  EXPECT_EQ(IsotonicNonIncreasing(values), values);
+}
+
+TEST(PavaTest, EmptyAndSingleton) {
+  EXPECT_TRUE(IsotonicNonDecreasing(std::vector<double>{}).empty());
+  EXPECT_EQ(IsotonicNonDecreasing({7.0}), std::vector<double>{7.0});
+}
+
+TEST(PavaDeathTest, NonPositiveWeightAborts) {
+  EXPECT_DEATH({ IsotonicNonDecreasing({1.0}, {0.0}); }, "MBP_CHECK failed");
+}
+
+// Property tests on random inputs.
+class PavaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+double Objective(const std::vector<double>& fit,
+                 const std::vector<double>& values,
+                 const std::vector<double>& weights) {
+  double total = 0.0;
+  for (size_t i = 0; i < fit.size(); ++i) {
+    total += weights[i] * (fit[i] - values[i]) * (fit[i] - values[i]);
+  }
+  return total;
+}
+
+TEST_P(PavaPropertyTest, OutputIsMonotoneAndIdempotent) {
+  random::Rng rng(GetParam());
+  const size_t n = 2 + rng.NextBounded(40);
+  std::vector<double> values(n), weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = rng.NextDouble(-10.0, 10.0);
+    weights[i] = rng.NextDouble(0.1, 5.0);
+  }
+  const std::vector<double> fit = IsotonicNonDecreasing(values, weights);
+  for (size_t i = 1; i < n; ++i) {
+    EXPECT_LE(fit[i - 1], fit[i] + 1e-12);
+  }
+  // Projection is idempotent.
+  const std::vector<double> refit = IsotonicNonDecreasing(fit, weights);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(refit[i], fit[i], 1e-12);
+}
+
+TEST_P(PavaPropertyTest, NoFeasiblePerturbationImproves) {
+  // First-order optimality of the projection: nudging any pooled block up
+  // or down (keeping feasibility) cannot reduce the objective.
+  random::Rng rng(GetParam() ^ 0xABCD);
+  const size_t n = 2 + rng.NextBounded(12);
+  std::vector<double> values(n), weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = rng.NextDouble(-5.0, 5.0);
+    weights[i] = rng.NextDouble(0.5, 2.0);
+  }
+  std::vector<double> fit = IsotonicNonDecreasing(values, weights);
+  const double base = Objective(fit, values, weights);
+  // Random small monotone-preserving perturbations.
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> candidate = fit;
+    const size_t i = rng.NextBounded(n);
+    candidate[i] += rng.NextDouble(-0.05, 0.05);
+    const bool monotone = std::is_sorted(candidate.begin(), candidate.end());
+    if (!monotone) continue;
+    EXPECT_GE(Objective(candidate, values, weights) + 1e-9, base);
+  }
+}
+
+TEST_P(PavaPropertyTest, MeanIsPreservedForUnitWeights) {
+  // With unit weights, pooling preserves the total sum.
+  random::Rng rng(GetParam() ^ 0x1234);
+  const size_t n = 2 + rng.NextBounded(30);
+  std::vector<double> values(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = rng.NextDouble(-3.0, 3.0);
+    sum += values[i];
+  }
+  const std::vector<double> fit = IsotonicNonDecreasing(values);
+  double fit_sum = 0.0;
+  for (double x : fit) fit_sum += x;
+  EXPECT_NEAR(fit_sum, sum, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PavaPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace mbp::optim

@@ -1,0 +1,207 @@
+#include "optim/simplex.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace mbp::optim {
+namespace {
+
+TEST(SimplexTest, SolvesTextbookLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18. Optimum 36 at (2, 6).
+  LinearProgram lp;
+  lp.objective = linalg::Vector{3.0, 5.0};
+  lp.constraints = linalg::Matrix{{1.0, 0.0}, {0.0, 2.0}, {3.0, 2.0}};
+  lp.rhs = linalg::Vector{4.0, 12.0, 18.0};
+  auto solution = SolveLinearProgram(lp);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_NEAR(solution->objective_value, 36.0, 1e-8);
+  EXPECT_NEAR(solution->x[0], 2.0, 1e-8);
+  EXPECT_NEAR(solution->x[1], 6.0, 1e-8);
+}
+
+TEST(SimplexTest, SolvesSingleVariable) {
+  LinearProgram lp;
+  lp.objective = linalg::Vector{2.0};
+  lp.constraints = linalg::Matrix{{1.0}};
+  lp.rhs = linalg::Vector{5.0};
+  auto solution = SolveLinearProgram(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective_value, 10.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // max x with only x >= 0 and a vacuous constraint.
+  LinearProgram lp;
+  lp.objective = linalg::Vector{1.0};
+  lp.constraints = linalg::Matrix{{-1.0}};
+  lp.rhs = linalg::Vector{1.0};
+  EXPECT_EQ(SolveLinearProgram(lp).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= -1 with x >= 0.
+  LinearProgram lp;
+  lp.objective = linalg::Vector{1.0};
+  lp.constraints = linalg::Matrix{{1.0}};
+  lp.rhs = linalg::Vector{-1.0};
+  EXPECT_EQ(SolveLinearProgram(lp).status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, HandlesNegativeRhsFeasible) {
+  // max -x s.t. -x <= -3  (i.e. x >= 3): optimum at x = 3.
+  LinearProgram lp;
+  lp.objective = linalg::Vector{-1.0};
+  lp.constraints = linalg::Matrix{{-1.0}};
+  lp.rhs = linalg::Vector{-3.0};
+  auto solution = SolveLinearProgram(lp);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_NEAR(solution->x[0], 3.0, 1e-8);
+  EXPECT_NEAR(solution->objective_value, -3.0, 1e-8);
+}
+
+TEST(SimplexTest, EqualityViaOpposingInequalities) {
+  // max x + y s.t. x + y = 5 (as <= and >=), x <= 3.
+  LinearProgram lp;
+  lp.objective = linalg::Vector{1.0, 1.0};
+  lp.constraints =
+      linalg::Matrix{{1.0, 1.0}, {-1.0, -1.0}, {1.0, 0.0}};
+  lp.rhs = linalg::Vector{5.0, -5.0, 3.0};
+  auto solution = SolveLinearProgram(lp);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_NEAR(solution->objective_value, 5.0, 1e-8);
+}
+
+TEST(SimplexTest, DegenerateVertexTerminates) {
+  // Multiple constraints active at the optimum (degeneracy); Bland's rule
+  // must still terminate.
+  LinearProgram lp;
+  lp.objective = linalg::Vector{1.0, 1.0};
+  lp.constraints =
+      linalg::Matrix{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}};
+  lp.rhs = linalg::Vector{1.0, 1.0, 2.0, 4.0};
+  auto solution = SolveLinearProgram(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective_value, 2.0, 1e-8);
+}
+
+TEST(SimplexTest, RejectsDimensionMismatch) {
+  LinearProgram lp;
+  lp.objective = linalg::Vector{1.0, 2.0};
+  lp.constraints = linalg::Matrix{{1.0}};
+  lp.rhs = linalg::Vector{1.0};
+  EXPECT_EQ(SolveLinearProgram(lp).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SimplexTest, ZeroObjectiveReturnsFeasiblePoint) {
+  LinearProgram lp;
+  lp.objective = linalg::Vector{0.0, 0.0};
+  lp.constraints = linalg::Matrix{{1.0, 1.0}};
+  lp.rhs = linalg::Vector{1.0};
+  auto solution = SolveLinearProgram(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective_value, 0.0, 1e-12);
+}
+
+TEST(SimplexTest, BealeCyclingExampleTerminates) {
+  // Beale's classic cycling example; Bland's rule must terminate.
+  // min -0.75 x1 + 150 x2 - 0.02 x3 + 6 x4  (as max of the negation)
+  // s.t. 0.25 x1 - 60 x2 - 0.04 x3 + 9 x4 <= 0
+  //      0.5  x1 - 90 x2 - 0.02 x3 + 3 x4 <= 0
+  //      x3 <= 1
+  LinearProgram lp;
+  lp.objective = linalg::Vector{0.75, -150.0, 0.02, -6.0};
+  lp.constraints = linalg::Matrix{{0.25, -60.0, -0.04, 9.0},
+                                  {0.5, -90.0, -0.02, 3.0},
+                                  {0.0, 0.0, 1.0, 0.0}};
+  lp.rhs = linalg::Vector{0.0, 0.0, 1.0};
+  auto solution = SolveLinearProgram(lp);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_NEAR(solution->objective_value, 0.05, 1e-8);
+}
+
+TEST(SimplexTest, RedundantConstraintsAreHarmless) {
+  // Same constraint three times.
+  LinearProgram lp;
+  lp.objective = linalg::Vector{1.0};
+  lp.constraints = linalg::Matrix{{1.0}, {1.0}, {1.0}};
+  lp.rhs = linalg::Vector{2.0, 2.0, 2.0};
+  auto solution = SolveLinearProgram(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective_value, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, NegativeRhsEqualityPairIsFeasible) {
+  // x = 4 encoded with a negative-rhs pair exercises phase 1 +
+  // DriveOutArtificials.
+  LinearProgram lp;
+  lp.objective = linalg::Vector{-1.0};
+  lp.constraints = linalg::Matrix{{1.0}, {-1.0}};
+  lp.rhs = linalg::Vector{4.0, -4.0};
+  auto solution = SolveLinearProgram(lp);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_NEAR(solution->x[0], 4.0, 1e-9);
+}
+
+// Property: solutions are feasible, and no random feasible point beats the
+// reported optimum.
+class SimplexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexPropertyTest, OptimumDominatesRandomFeasiblePoints) {
+  random::Rng rng(GetParam());
+  const size_t n = 2 + rng.NextBounded(4);
+  const size_t m = 2 + rng.NextBounded(5);
+  LinearProgram lp;
+  lp.objective = linalg::Vector(n);
+  for (size_t j = 0; j < n; ++j) lp.objective[j] = rng.NextDouble(-1.0, 2.0);
+  lp.constraints = linalg::Matrix(m, n);
+  lp.rhs = linalg::Vector(m);
+  for (size_t i = 0; i < m; ++i) {
+    // Positive row coefficients + positive rhs keep the LP bounded and
+    // feasible (origin is feasible).
+    for (size_t j = 0; j < n; ++j) {
+      lp.constraints(i, j) = rng.NextDouble(0.1, 2.0);
+    }
+    lp.rhs[i] = rng.NextDouble(1.0, 10.0);
+  }
+  auto solution = SolveLinearProgram(lp);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+
+  // Feasibility of the reported solution.
+  for (size_t i = 0; i < m; ++i) {
+    double lhs = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_GE(solution->x[j], -1e-9);
+      lhs += lp.constraints(i, j) * solution->x[j];
+    }
+    EXPECT_LE(lhs, lp.rhs[i] + 1e-7);
+  }
+
+  // Sample random feasible points by scaling random directions to the
+  // feasible boundary; none may beat the optimum.
+  for (int trial = 0; trial < 200; ++trial) {
+    linalg::Vector x(n);
+    for (size_t j = 0; j < n; ++j) x[j] = rng.NextDouble(0.0, 1.0);
+    double worst_ratio = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      double lhs = 0.0;
+      for (size_t j = 0; j < n; ++j) lhs += lp.constraints(i, j) * x[j];
+      worst_ratio = std::max(worst_ratio, lhs / lp.rhs[i]);
+    }
+    if (worst_ratio > 0.0) {
+      for (size_t j = 0; j < n; ++j) x[j] /= worst_ratio;
+    }
+    double value = 0.0;
+    for (size_t j = 0; j < n; ++j) value += lp.objective[j] * x[j];
+    EXPECT_LE(value, solution->objective_value + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace mbp::optim

@@ -1,0 +1,150 @@
+#include "random/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+
+namespace mbp::random {
+namespace {
+
+constexpr int kSamples = 200000;
+
+struct Moments {
+  double mean;
+  double variance;
+};
+
+template <typename Sampler>
+Moments EstimateMoments(Sampler&& sample, int n = kSamples) {
+  double total = 0.0, total_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample();
+    total += x;
+    total_sq += x * x;
+  }
+  const double mean = total / n;
+  return {mean, total_sq / n - mean * mean};
+}
+
+TEST(NormalTest, StandardNormalMoments) {
+  Rng rng(1);
+  const Moments m = EstimateMoments([&] { return SampleStandardNormal(rng); });
+  EXPECT_NEAR(m.mean, 0.0, 0.01);
+  EXPECT_NEAR(m.variance, 1.0, 0.02);
+}
+
+TEST(NormalTest, ShiftedScaledMoments) {
+  Rng rng(2);
+  const Moments m =
+      EstimateMoments([&] { return SampleNormal(rng, 3.0, 2.0); });
+  EXPECT_NEAR(m.mean, 3.0, 0.02);
+  EXPECT_NEAR(m.variance, 4.0, 0.08);
+}
+
+TEST(NormalTest, ZeroStddevIsDeterministic) {
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(SampleNormal(rng, 5.0, 0.0), 5.0);
+}
+
+TEST(NormalTest, TailProbabilityRoughlyGaussian) {
+  Rng rng(4);
+  int beyond_two_sigma = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (std::fabs(SampleStandardNormal(rng)) > 2.0) ++beyond_two_sigma;
+  }
+  // P(|Z| > 2) ~ 0.0455.
+  EXPECT_NEAR(static_cast<double>(beyond_two_sigma) / kSamples, 0.0455,
+              0.005);
+}
+
+TEST(LaplaceTest, MomentsMatchTheory) {
+  Rng rng(5);
+  const double scale = 1.5;
+  const Moments m =
+      EstimateMoments([&] { return SampleLaplace(rng, -1.0, scale); });
+  EXPECT_NEAR(m.mean, -1.0, 0.03);
+  EXPECT_NEAR(m.variance, 2.0 * scale * scale, 0.1);
+}
+
+TEST(LaplaceTest, SymmetricAroundMean) {
+  Rng rng(6);
+  int above = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (SampleLaplace(rng, 2.0, 1.0) > 2.0) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / kSamples, 0.5, 0.01);
+}
+
+TEST(UniformTest, MomentsMatchTheory) {
+  Rng rng(7);
+  const Moments m =
+      EstimateMoments([&] { return SampleUniform(rng, 2.0, 6.0); });
+  EXPECT_NEAR(m.mean, 4.0, 0.02);
+  EXPECT_NEAR(m.variance, 16.0 / 12.0, 0.03);
+}
+
+TEST(BernoulliTest, FrequencyMatchesP) {
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (SampleBernoulli(rng, 0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(BernoulliTest, DegenerateProbabilities) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(SampleBernoulli(rng, 0.0));
+    EXPECT_TRUE(SampleBernoulli(rng, 1.0));
+  }
+}
+
+TEST(VectorSamplersTest, DimensionsAndMoments) {
+  Rng rng(10);
+  const linalg::Vector v = SampleNormalVector(rng, 1000, 0.0, 2.0);
+  EXPECT_EQ(v.size(), 1000u);
+  // E||v||^2 = d * stddev^2 = 4000.
+  EXPECT_NEAR(linalg::SquaredNorm2(v), 4000.0, 600.0);
+}
+
+TEST(VectorSamplersTest, LaplaceVectorSecondMoment) {
+  Rng rng(11);
+  const linalg::Vector v = SampleLaplaceVector(rng, 2000, 0.0, 1.0);
+  // Var per coordinate = 2, so E||v||^2 = 4000.
+  EXPECT_NEAR(linalg::SquaredNorm2(v), 4000.0, 800.0);
+}
+
+TEST(VectorSamplersTest, UniformVectorBounds) {
+  Rng rng(12);
+  const linalg::Vector v = SampleUniformVector(rng, 500, -1.0, 1.0);
+  for (double x : v) {
+    EXPECT_GE(x, -1.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(UnitSphereTest, HasUnitNorm) {
+  Rng rng(13);
+  for (size_t d : {1u, 2u, 5u, 50u}) {
+    const linalg::Vector v = SampleUnitSphere(rng, d);
+    EXPECT_EQ(v.size(), d);
+    EXPECT_NEAR(linalg::Norm2(v), 1.0, 1e-12);
+  }
+}
+
+TEST(UnitSphereTest, DirectionIsUnbiased) {
+  Rng rng(14);
+  linalg::Vector mean(3);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const linalg::Vector v = SampleUnitSphere(rng, 3);
+    for (size_t j = 0; j < 3; ++j) mean[j] += v[j] / n;
+  }
+  EXPECT_LT(linalg::Norm2(mean), 0.02);
+}
+
+}  // namespace
+}  // namespace mbp::random

@@ -1,0 +1,151 @@
+// Subprocess tests of the mbp_market_cli operator tool: every subcommand
+// is exercised end to end against a generated CSV, including the
+// error paths (bad flags, corrupt files) and the exit-code contract.
+// The binary path is injected by CMake via MBP_CLI_PATH.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "random/distributions.h"
+#include "random/rng.h"
+
+#ifndef MBP_CLI_PATH
+#error "MBP_CLI_PATH must be defined by the build"
+#endif
+
+namespace mbp {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunCli(const std::string& args) {
+  const std::string command =
+      std::string(MBP_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return {};
+  CommandResult result;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    csv_path_ = new std::string(testing::TempDir() + "/cli_data.csv");
+    std::ofstream out(*csv_path_);
+    out << "a,b,y\n";
+    random::Rng rng(7);
+    for (int i = 0; i < 500; ++i) {
+      const double a = random::SampleStandardNormal(rng);
+      const double b = random::SampleStandardNormal(rng);
+      const double y =
+          2.0 * a - b + random::SampleNormal(rng, 0.0, 0.05);
+      out << a << "," << b << "," << y << "\n";
+    }
+  }
+  static void TearDownTestSuite() {
+    delete csv_path_;
+    csv_path_ = nullptr;
+  }
+
+  static std::string* csv_path_;
+};
+
+std::string* CliTest::csv_path_ = nullptr;
+
+TEST_F(CliTest, NoArgumentsPrintsUsageAndFails) {
+  const CommandResult result = RunCli("");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  const CommandResult result = RunCli("frobnicate");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, TrainReportsMetricsAndWritesModel) {
+  const std::string model_path = testing::TempDir() + "/cli_model.mbp";
+  const CommandResult result = RunCli(
+      "train --csv=" + *csv_path_ +
+      " --task=regression --out-model=" + model_path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("test MSE"), std::string::npos);
+  std::ifstream model(model_path);
+  EXPECT_TRUE(model.good());
+}
+
+TEST_F(CliTest, TrainRequiresFlags) {
+  EXPECT_NE(RunCli("train --task=regression").exit_code, 0);
+  EXPECT_NE(RunCli("train --csv=" + *csv_path_).exit_code, 0);
+  EXPECT_NE(
+      RunCli("train --csv=" + *csv_path_ + " --task=clustering").exit_code,
+      0);
+  EXPECT_NE(RunCli("train --csv=/no/such.csv --task=regression").exit_code,
+            0);
+}
+
+TEST_F(CliTest, PriceSellCheckRoundTrip) {
+  const std::string pricing_path = testing::TempDir() + "/cli_pricing.mbp";
+  const CommandResult price = RunCli(
+      "price --csv=" + *csv_path_ +
+      " --task=regression --out-pricing=" + pricing_path);
+  ASSERT_EQ(price.exit_code, 0) << price.output;
+  EXPECT_NE(price.output.find("E[error]"), std::string::npos);
+
+  const CommandResult check =
+      RunCli("check-pricing --pricing=" + pricing_path);
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+  EXPECT_NE(check.output.find("no arbitrage"), std::string::npos);
+
+  const std::string instance_path =
+      testing::TempDir() + "/cli_instance.mbp";
+  const CommandResult sell = RunCli(
+      "sell --csv=" + *csv_path_ + " --task=regression --pricing=" +
+      pricing_path + " --budget=25 --out-model=" + instance_path);
+  EXPECT_EQ(sell.exit_code, 0) << sell.output;
+  EXPECT_NE(sell.output.find("sold instance"), std::string::npos);
+  std::ifstream instance(instance_path);
+  EXPECT_TRUE(instance.good());
+}
+
+TEST_F(CliTest, CheckPricingFlagsBrokenCurves) {
+  const std::string bad_path = testing::TempDir() + "/cli_bad_pricing.mbp";
+  {
+    std::ofstream out(bad_path);
+    // Convex (superadditive) prices.
+    out << "mbp-pricing v1\npoints 2\n1 1\n2 4\n";
+  }
+  const CommandResult result = RunCli("check-pricing --pricing=" + bad_path);
+  EXPECT_NE(result.exit_code, 0);
+}
+
+TEST_F(CliTest, SimulateRunsAndWritesLedger) {
+  const std::string ledger_path = testing::TempDir() + "/cli_ledger.mbp";
+  const CommandResult result = RunCli(
+      "simulate --csv=" + *csv_path_ +
+      " --task=regression --buyers=200 --out-ledger=" + ledger_path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("SLA audit: OK"), std::string::npos);
+  EXPECT_NE(result.output.find("sales"), std::string::npos);
+  std::ifstream ledger(ledger_path);
+  std::string header;
+  std::getline(ledger, header);
+  EXPECT_EQ(header, "mbp-ledger v1");
+}
+
+}  // namespace
+}  // namespace mbp

@@ -1,0 +1,408 @@
+// mbp_market_cli — command-line front end for the MBP library, so a data
+// seller can run the full model-based-pricing workflow on a CSV dataset
+// without writing C++:
+//
+//   mbp_market_cli train  --csv=data.csv --task=regression
+//                         [--model=linear_regression] [--l2=0.001]
+//                         [--out-model=model.mbp]
+//     Trains the optimal model instance and reports train/test error.
+//     Every subcommand also accepts --libsvm=data.libsvm instead of
+//     --csv (sparse input, densified for the dense pipeline).
+//
+//   mbp_market_cli price  --csv=data.csv --task=classification
+//                         [--model=logistic_regression] [--l2=0.01]
+//                         [--points=10] [--x-min=10] [--x-max=100]
+//                         [--max-value=100] [--value-shape=concave]
+//                         [--demand-shape=uniform]
+//                         [--out-pricing=pricing.mbp]
+//     Runs market research -> revenue optimization and writes the
+//     arbitrage-free pricing curve.
+//
+//   mbp_market_cli sell   --csv=data.csv --task=regression
+//                         --pricing=pricing.mbp --budget=40
+//                         [--out-model=instance.mbp] [--seed=42]
+//     Stands up a broker with the stored pricing curve and buys the most
+//     accurate instance the budget affords.
+//
+//   mbp_market_cli check-pricing --pricing=pricing.mbp
+//     Verifies the arbitrage-freeness certificate and runs the attacker.
+//
+//   mbp_market_cli simulate --csv=data.csv --task=regression
+//                           [--buyers=1000] [--jitter=0.1]
+//                           [--out-ledger=books.mbp] [curve flags as in
+//                           `price`]
+//     Prices the market, simulates a buyer population against it, audits
+//     the SLA, and optionally writes the transaction ledger.
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/arbitrage.h"
+#include "core/buyer_population.h"
+#include "core/curves.h"
+#include "core/ledger.h"
+#include "core/market.h"
+#include "data/csv.h"
+#include "data/sparse_dataset.h"
+#include "data/split.h"
+#include "io/model_io.h"
+#include "ml/metrics.h"
+#include "ml/trainer.h"
+
+namespace mbp {
+namespace {
+
+// ------------------------------------------------------------- flag utils
+
+std::optional<std::string> StringFlag(int argc, char** argv,
+                                      const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
+double DoubleFlag(int argc, char** argv, const char* name, double fallback) {
+  const auto value = StringFlag(argc, argv, name);
+  return value ? std::atof(value->c_str()) : fallback;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+// --------------------------------------------------------- shared parsing
+
+StatusOr<data::TaskType> ParseTask(const std::string& name) {
+  if (name == "regression") return data::TaskType::kRegression;
+  if (name == "classification") {
+    return data::TaskType::kBinaryClassification;
+  }
+  return InvalidArgumentError("unknown task '" + name +
+                              "' (want regression|classification)");
+}
+
+StatusOr<ml::ModelKind> ParseModel(const std::string& name) {
+  if (name == "linear_regression") return ml::ModelKind::kLinearRegression;
+  if (name == "logistic_regression") {
+    return ml::ModelKind::kLogisticRegression;
+  }
+  if (name == "linear_svm") return ml::ModelKind::kLinearSvm;
+  return InvalidArgumentError("unknown model '" + name + "'");
+}
+
+StatusOr<core::ValueShape> ParseValueShape(const std::string& name) {
+  if (name == "linear") return core::ValueShape::kLinear;
+  if (name == "convex") return core::ValueShape::kConvex;
+  if (name == "concave") return core::ValueShape::kConcave;
+  if (name == "sigmoid") return core::ValueShape::kSigmoid;
+  return InvalidArgumentError("unknown value shape '" + name + "'");
+}
+
+StatusOr<core::DemandShape> ParseDemandShape(const std::string& name) {
+  if (name == "uniform") return core::DemandShape::kUniform;
+  if (name == "mid_peaked") return core::DemandShape::kMidPeaked;
+  if (name == "extremes") return core::DemandShape::kExtremes;
+  if (name == "high_accuracy") return core::DemandShape::kHighAccuracy;
+  if (name == "low_accuracy") return core::DemandShape::kLowAccuracy;
+  return InvalidArgumentError("unknown demand shape '" + name + "'");
+}
+
+ml::ModelKind DefaultModel(data::TaskType task) {
+  return task == data::TaskType::kRegression
+             ? ml::ModelKind::kLinearRegression
+             : ml::ModelKind::kLogisticRegression;
+}
+
+struct LoadedData {
+  data::TrainTestSplit split;
+  ml::ModelKind model;
+  double l2;
+};
+
+StatusOr<LoadedData> LoadCommon(int argc, char** argv) {
+  const auto csv = StringFlag(argc, argv, "csv");
+  const auto libsvm = StringFlag(argc, argv, "libsvm");
+  if (!csv && !libsvm) {
+    return InvalidArgumentError("--csv or --libsvm is required");
+  }
+  const auto task_name = StringFlag(argc, argv, "task");
+  if (!task_name) return InvalidArgumentError("--task is required");
+  MBP_ASSIGN_OR_RETURN(data::TaskType task, ParseTask(*task_name));
+
+  StatusOr<data::Dataset> loaded_dataset = [&]() -> StatusOr<data::Dataset> {
+    if (csv) {
+      data::CsvReadOptions read_options;
+      read_options.task = task;
+      return data::ReadCsv(*csv, read_options);
+    }
+    MBP_ASSIGN_OR_RETURN(data::SparseDataset sparse,
+                         data::ReadLibSvm(*libsvm, task));
+    return sparse.ToDense();
+  }();
+  MBP_ASSIGN_OR_RETURN(data::Dataset dataset, std::move(loaded_dataset));
+  random::Rng rng(
+      static_cast<uint64_t>(DoubleFlag(argc, argv, "seed", 42)));
+  MBP_ASSIGN_OR_RETURN(data::TrainTestSplit split,
+                       data::RandomSplit(dataset, 0.25, rng));
+
+  ml::ModelKind model = DefaultModel(task);
+  if (const auto model_name = StringFlag(argc, argv, "model")) {
+    MBP_ASSIGN_OR_RETURN(model, ParseModel(*model_name));
+  }
+  return LoadedData{std::move(split), model,
+                    DoubleFlag(argc, argv, "l2", 1e-3)};
+}
+
+StatusOr<std::vector<core::CurvePoint>> ResearchFromFlags(int argc,
+                                                          char** argv) {
+  core::MarketCurveOptions options;
+  options.num_points =
+      static_cast<size_t>(DoubleFlag(argc, argv, "points", 10));
+  options.x_min = DoubleFlag(argc, argv, "x-min", 10.0);
+  options.x_max = DoubleFlag(argc, argv, "x-max", 100.0);
+  options.max_value = DoubleFlag(argc, argv, "max-value", 100.0);
+  if (const auto shape = StringFlag(argc, argv, "value-shape")) {
+    MBP_ASSIGN_OR_RETURN(options.value_shape, ParseValueShape(*shape));
+  } else {
+    options.value_shape = core::ValueShape::kConcave;
+  }
+  if (const auto shape = StringFlag(argc, argv, "demand-shape")) {
+    MBP_ASSIGN_OR_RETURN(options.demand_shape, ParseDemandShape(*shape));
+  }
+  return core::MakeMarketCurve(options);
+}
+
+// ---------------------------------------------------------- subcommands
+
+int RunTrain(int argc, char** argv) {
+  auto loaded = LoadCommon(argc, argv);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  auto trained = ml::TrainOptimalModel(loaded->model, loaded->split.train,
+                                       loaded->l2);
+  if (!trained.ok()) return Fail(trained.status().ToString());
+
+  std::printf("model: %s  (d=%zu, n_train=%zu, n_test=%zu, l2=%g)\n",
+              ml::ModelKindToString(loaded->model).c_str(),
+              loaded->split.train.num_features(),
+              loaded->split.train.num_examples(),
+              loaded->split.test.num_examples(), loaded->l2);
+  std::printf("training objective: %.6f  (converged: %s, iterations: %zu)\n",
+              trained->final_loss, trained->converged ? "yes" : "no",
+              trained->iterations);
+  if (loaded->split.train.task() == data::TaskType::kRegression) {
+    std::printf("test MSE: %.6f   test R^2: %.4f\n",
+                ml::MeanSquaredError(trained->model, loaded->split.test),
+                ml::RSquared(trained->model, loaded->split.test));
+  } else {
+    std::printf("test 0/1 error: %.4f   accuracy: %.4f\n",
+                ml::MisclassificationRate(trained->model,
+                                          loaded->split.test),
+                ml::Accuracy(trained->model, loaded->split.test));
+  }
+  if (const auto out = StringFlag(argc, argv, "out-model")) {
+    const Status status = io::WriteModel(trained->model, *out);
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("wrote model to %s\n", out->c_str());
+  }
+  return 0;
+}
+
+int RunPrice(int argc, char** argv) {
+  auto loaded = LoadCommon(argc, argv);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  auto research = ResearchFromFlags(argc, argv);
+  if (!research.ok()) return Fail(research.status().ToString());
+
+  auto seller = core::Seller::Create("cli-seller", std::move(loaded->split),
+                                     *research);
+  if (!seller.ok()) return Fail(seller.status().ToString());
+  core::ModelListing listing;
+  listing.model = loaded->model;
+  listing.l2 = loaded->l2;
+  listing.test_error =
+      seller->train().task() == data::TaskType::kRegression
+          ? ml::LossKind::kSquare
+          : ml::LossKind::kZeroOne;
+  core::Broker::Options options;
+  options.seed = static_cast<uint64_t>(DoubleFlag(argc, argv, "seed", 42));
+  auto broker = core::Broker::Create(std::move(seller).value(), listing,
+                                     options);
+  if (!broker.ok()) return Fail(broker.status().ToString());
+
+  std::printf("%10s %12s %10s\n", "1/NCP", "E[error]", "price");
+  for (const core::QuotePoint& quote : broker->QuoteCurve(10)) {
+    std::printf("%10.2f %12.5f %10.2f\n", quote.x, quote.expected_error,
+                quote.price);
+  }
+  if (const auto out = StringFlag(argc, argv, "out-pricing")) {
+    const Status status = io::WritePricing(broker->pricing(), *out);
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("wrote pricing curve to %s\n", out->c_str());
+  }
+  return 0;
+}
+
+int RunSell(int argc, char** argv) {
+  auto loaded = LoadCommon(argc, argv);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const auto pricing_path = StringFlag(argc, argv, "pricing");
+  if (!pricing_path) return Fail("--pricing is required");
+  auto pricing = io::ReadPricing(*pricing_path);
+  if (!pricing.ok()) return Fail(pricing.status().ToString());
+  const double budget = DoubleFlag(argc, argv, "budget", -1.0);
+  if (budget < 0.0) return Fail("--budget is required (>= 0)");
+
+  core::MarketCurveOptions placeholder;  // research unused with fixed pricing
+  placeholder.x_min = pricing->points().front().x;
+  placeholder.x_max = pricing->points().back().x * 1.001;
+  auto research = core::MakeMarketCurve(placeholder);
+  if (!research.ok()) return Fail(research.status().ToString());
+  auto seller = core::Seller::Create("cli-seller", std::move(loaded->split),
+                                     std::move(research).value());
+  if (!seller.ok()) return Fail(seller.status().ToString());
+
+  core::ModelListing listing;
+  listing.model = loaded->model;
+  listing.l2 = loaded->l2;
+  listing.test_error =
+      seller->train().task() == data::TaskType::kRegression
+          ? ml::LossKind::kSquare
+          : ml::LossKind::kZeroOne;
+  core::Broker::Options options;
+  options.seed = static_cast<uint64_t>(DoubleFlag(argc, argv, "seed", 42));
+  auto broker = core::Broker::CreateWithPricing(
+      std::move(seller).value(), listing, std::move(pricing).value(),
+      options);
+  if (!broker.ok()) return Fail(broker.status().ToString());
+
+  auto txn = broker->BuyWithPriceBudget(budget);
+  if (!txn.ok()) return Fail(txn.status().ToString());
+  std::printf(
+      "sold instance #%llu: price %.2f (budget %.2f), NCP %.5f, quoted "
+      "E[error] %.5f\n",
+      static_cast<unsigned long long>(txn->id), txn->price, budget,
+      txn->delta, txn->quoted_expected_error);
+  if (const auto out = StringFlag(argc, argv, "out-model")) {
+    const Status status = io::WriteModel(txn->instance, *out);
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("wrote purchased instance to %s\n", out->c_str());
+  }
+  return 0;
+}
+
+int RunCheckPricing(int argc, char** argv) {
+  const auto pricing_path = StringFlag(argc, argv, "pricing");
+  if (!pricing_path) return Fail("--pricing is required");
+  auto pricing = io::ReadPricing(*pricing_path);
+  if (!pricing.ok()) return Fail(pricing.status().ToString());
+
+  const Status certificate = pricing->ValidateArbitrageFree();
+  std::printf("certificate (monotone + ratio non-increasing): %s\n",
+              certificate.ok() ? "OK" : certificate.ToString().c_str());
+  const auto price = [&](double x) { return pricing->PriceAtInverseNcp(x); };
+  const double x_max = pricing->points().back().x * 2.0;
+  auto attack = core::FindArbitrageAttack(price, x_max, 200);
+  if (attack.has_value()) {
+    std::printf(
+        "attacker FOUND arbitrage: combine %zu instances, pay %.4f "
+        "instead of %.4f at 1/NCP=%.2f\n",
+        attack->purchase_deltas.size(), attack->total_price,
+        attack->target_price, 1.0 / attack->target_delta);
+    return 2;
+  }
+  std::printf("attacker found no arbitrage on a %d-point grid up to "
+              "1/NCP=%.1f\n",
+              200, x_max);
+  return certificate.ok() ? 0 : 2;
+}
+
+int RunSimulate(int argc, char** argv) {
+  auto loaded = LoadCommon(argc, argv);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  auto research = ResearchFromFlags(argc, argv);
+  if (!research.ok()) return Fail(research.status().ToString());
+  const std::vector<core::CurvePoint> curve = research.value();
+
+  auto seller = core::Seller::Create("cli-seller", std::move(loaded->split),
+                                     curve);
+  if (!seller.ok()) return Fail(seller.status().ToString());
+  core::ModelListing listing;
+  listing.model = loaded->model;
+  listing.l2 = loaded->l2;
+  listing.test_error =
+      seller->train().task() == data::TaskType::kRegression
+          ? ml::LossKind::kSquare
+          : ml::LossKind::kZeroOne;
+  core::Broker::Options broker_options;
+  broker_options.seed =
+      static_cast<uint64_t>(DoubleFlag(argc, argv, "seed", 42));
+  auto broker = core::Broker::Create(std::move(seller).value(), listing,
+                                     broker_options);
+  if (!broker.ok()) return Fail(broker.status().ToString());
+
+  const Status sla = broker->VerifySla();
+  std::printf("SLA audit: %s\n", sla.ok() ? "OK" : sla.ToString().c_str());
+
+  core::PopulationOptions population;
+  population.num_buyers =
+      static_cast<size_t>(DoubleFlag(argc, argv, "buyers", 1000));
+  population.valuation_jitter = DoubleFlag(argc, argv, "jitter", 0.0);
+  random::Rng rng(
+      static_cast<uint64_t>(DoubleFlag(argc, argv, "seed", 42)) + 1);
+  auto outcome =
+      core::SimulateBuyerPopulation(*broker, curve, population, rng);
+  if (!outcome.ok()) return Fail(outcome.status().ToString());
+
+  std::printf(
+      "buyers %zu: %zu sales, %zu priced out (affordability %.3f)\n"
+      "revenue %.2f (expected per-buyer %.4f, realized %.4f)\n",
+      outcome->buyers, outcome->sales, outcome->priced_out,
+      outcome->affordability, outcome->revenue,
+      outcome->expected_revenue_per_buyer,
+      outcome->revenue / static_cast<double>(outcome->buyers));
+
+  if (const auto out = StringFlag(argc, argv, "out-ledger")) {
+    core::TransactionLedger ledger;
+    for (const core::Transaction& txn : broker->transactions()) {
+      const Status status = ledger.Append(core::LedgerRecord{
+          "cli-listing", txn.id, txn.delta, txn.price,
+          txn.quoted_expected_error});
+      if (!status.ok()) return Fail(status.ToString());
+    }
+    const Status status = ledger.SaveTo(*out);
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("wrote %zu ledger records to %s\n", ledger.size(),
+                out->c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: mbp_market_cli "
+                 "<train|price|sell|check-pricing|simulate> [flags]\n(see "
+                 "the header comment of tools/mbp_market_cli.cc for flag "
+                 "documentation)\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "train") return RunTrain(argc, argv);
+  if (command == "price") return RunPrice(argc, argv);
+  if (command == "sell") return RunSell(argc, argv);
+  if (command == "check-pricing") return RunCheckPricing(argc, argv);
+  if (command == "simulate") return RunSimulate(argc, argv);
+  return Fail("unknown command '" + command + "'");
+}
+
+}  // namespace
+}  // namespace mbp
+
+int main(int argc, char** argv) { return mbp::Main(argc, argv); }
