@@ -1,0 +1,275 @@
+// Thread-count sweep over the four parallelized hot paths (see DESIGN.md
+// "Concurrency model"): the Monte-Carlo error-curve build, the GramMatrix
+// kernel, k-fold cross-validation, and the exact (2^n) revenue optimizer.
+//
+// For each path the harness times every thread count in {1, 2, 4,
+// hardware_concurrency}, checks the result is bit-identical to the
+// 1-thread run (the pool's determinism contract), and emits a
+// machine-readable JSON document so future PRs can track a BENCH_*.json
+// trajectory. Flags:
+//   --out=FILE     write the JSON there instead of stdout
+//   --scale=S      multiply workload sizes by S (default 1.0)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "core/curves.h"
+#include "core/error_transform.h"
+#include "core/exact_opt.h"
+#include "core/mechanism.h"
+#include "data/synthetic.h"
+#include "linalg/matrix.h"
+#include "ml/cross_validation.h"
+#include "ml/loss.h"
+#include "ml/trainer.h"
+#include "random/rng.h"
+
+namespace mbp {
+namespace {
+
+struct SweepResult {
+  size_t threads = 1;
+  double millis = 0.0;
+  double speedup = 1.0;            // serial time / this time
+  bool identical_to_serial = true;  // bitwise, vs the 1-thread run
+};
+
+struct PathReport {
+  std::string name;
+  std::string workload;
+  std::vector<SweepResult> results;
+};
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+std::vector<size_t> ThreadCounts() {
+  std::vector<size_t> counts{1, 2, 4,
+                             ParallelConfig{/*num_threads=*/0}
+                                 .ResolvedThreads()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+// Runs `body` once per thread count. `body` returns an opaque fingerprint
+// (every double of the path's result, in a fixed order); runs are flagged
+// identical only when fingerprints match bitwise.
+PathReport SweepPath(
+    const std::string& name, const std::string& workload,
+    const std::function<std::vector<double>(const ParallelConfig&)>& body) {
+  PathReport report;
+  report.name = name;
+  report.workload = workload;
+  std::vector<double> serial_fingerprint;
+  double serial_millis = 0.0;
+  for (size_t threads : ThreadCounts()) {
+    ParallelConfig parallel;
+    parallel.num_threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<double> fingerprint = body(parallel);
+    SweepResult result;
+    result.threads = threads;
+    result.millis = MillisSince(start);
+    if (threads == 1) {
+      serial_fingerprint = fingerprint;
+      serial_millis = result.millis;
+    }
+    result.speedup = result.millis > 0.0 ? serial_millis / result.millis
+                                         : 1.0;
+    result.identical_to_serial = fingerprint == serial_fingerprint;
+    report.results.push_back(result);
+    std::printf("  %-18s threads=%2zu  %9.2f ms  speedup=%.2fx  %s\n",
+                name.c_str(), threads, result.millis, result.speedup,
+                result.identical_to_serial ? "bit-identical" : "MISMATCH");
+  }
+  return report;
+}
+
+PathReport SweepErrorTransform(double scale) {
+  data::Simulated1Options data_options;
+  data_options.num_examples = static_cast<size_t>(2000 * scale);
+  data_options.num_features = 20;
+  data_options.seed = 11;
+  const data::Dataset dataset =
+      data::GenerateSimulated1(data_options).value();
+  const linalg::Vector optimal =
+      ml::TrainLinearRegression(dataset, 1e-3).value().model.coefficients();
+  const core::GaussianMechanism mechanism;
+  const ml::SquareLoss loss(0.0);
+  return SweepPath(
+      "error_transform",
+      "Simulated1 n=" + std::to_string(data_options.num_examples) +
+          " d=20, grid=16, trials=400",
+      [&](const ParallelConfig& parallel) {
+        core::EmpiricalErrorTransform::BuildOptions build;
+        build.grid_size = 16;
+        build.trials_per_delta = 400;
+        build.parallel = parallel;
+        const auto transform =
+            core::EmpiricalErrorTransform::Build(mechanism, optimal, loss,
+                                                 dataset, build)
+                .value();
+        std::vector<double> fingerprint = transform.error_grid();
+        fingerprint.push_back(transform.MinError());
+        return fingerprint;
+      });
+}
+
+PathReport SweepGramMatrix(double scale) {
+  const size_t n = static_cast<size_t>(6000 * scale);
+  const size_t d = 60;
+  random::Rng rng(13);
+  linalg::Matrix a(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) a(i, j) = rng.NextDouble(-1, 1);
+  }
+  return SweepPath(
+      "gram_matrix",
+      std::to_string(n) + "x" + std::to_string(d),
+      [&](const ParallelConfig& parallel) {
+        const linalg::Matrix g = linalg::GramMatrix(a, parallel);
+        std::vector<double> fingerprint;
+        fingerprint.reserve(g.rows() * g.cols());
+        for (size_t i = 0; i < g.rows(); ++i) {
+          for (size_t j = 0; j < g.cols(); ++j) {
+            fingerprint.push_back(g(i, j));
+          }
+        }
+        return fingerprint;
+      });
+}
+
+PathReport SweepCrossValidation(double scale) {
+  data::Simulated1Options data_options;
+  data_options.num_examples = static_cast<size_t>(3000 * scale);
+  data_options.num_features = 20;
+  data_options.seed = 17;
+  const data::Dataset dataset =
+      data::GenerateSimulated1(data_options).value();
+  const ml::SquareLoss loss(0.0);
+  return SweepPath(
+      "cross_validation",
+      "8 folds, linear regression, n=" +
+          std::to_string(data_options.num_examples) + " d=20",
+      [&](const ParallelConfig& parallel) {
+        random::Rng rng(19);  // fresh RNG: identical fold permutation
+        const auto cv =
+            ml::KFoldCrossValidate(ml::ModelKind::kLinearRegression,
+                                   dataset, 1e-3, loss, 8, rng, parallel)
+                .value();
+        std::vector<double> fingerprint = cv.fold_errors;
+        fingerprint.push_back(cv.mean_error);
+        return fingerprint;
+      });
+}
+
+PathReport SweepExactOptimizer(double scale) {
+  core::MarketCurveOptions options;
+  options.num_points = scale < 1.0 ? 16 : 20;  // 2^20 masks at scale 1
+  options.x_min = 10.0;
+  options.x_max = 10.0 * static_cast<double>(options.num_points);
+  options.value_shape = core::ValueShape::kConvex;
+  options.demand_shape = core::DemandShape::kMidPeaked;
+  const std::vector<core::CurvePoint> curve =
+      core::MakeMarketCurve(options).value();
+  return SweepPath(
+      "exact_optimizer",
+      std::to_string(options.num_points) + "-point curve (2^" +
+          std::to_string(options.num_points) + " subsets)",
+      [&](const ParallelConfig& parallel) {
+        const auto result =
+            core::MaximizeRevenueExact(curve, /*max_grid_units=*/100000,
+                                       parallel)
+                .value();
+        std::vector<double> fingerprint = result.prices;
+        fingerprint.push_back(result.revenue);
+        return fingerprint;
+      });
+}
+
+void EmitJson(FILE* out, const std::vector<PathReport>& reports) {
+  bench::JsonWriter json(out);
+  json.BeginObject();
+  json.Field("bench", "bench_parallel");
+  json.Field("hardware_concurrency",
+             static_cast<size_t>(std::thread::hardware_concurrency()));
+  json.Field("pool_workers", ThreadPool::Shared().num_workers());
+  json.Key("paths");
+  json.BeginArray();
+  for (const PathReport& report : reports) {
+    json.BeginObject();
+    json.Field("name", report.name);
+    json.Field("workload", report.workload);
+    json.Key("results");
+    json.BeginArray();
+    for (const SweepResult& result : report.results) {
+      json.BeginObject();
+      json.Field("threads", result.threads);
+      json.Field("ms", result.millis);
+      json.Field("speedup", result.speedup);
+      json.Field("identical_to_serial", result.identical_to_serial);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  json.Finish();
+}
+
+}  // namespace
+}  // namespace mbp
+
+int main(int argc, char** argv) {
+  using namespace mbp;  // NOLINT
+  const double scale = bench::FlagValue(argc, argv, "scale", 1.0);
+  const std::string out_path = bench::FlagString(argc, argv, "out", "");
+
+  bench::PrintHeader("Parallel hot-path sweep");
+  std::printf("hardware_concurrency=%u  pool_workers=%zu\n",
+              std::thread::hardware_concurrency(),
+              ThreadPool::Shared().num_workers());
+  bench::PrintRule();
+
+  std::vector<PathReport> reports;
+  reports.push_back(SweepErrorTransform(scale));
+  reports.push_back(SweepGramMatrix(scale));
+  reports.push_back(SweepCrossValidation(scale));
+  reports.push_back(SweepExactOptimizer(scale));
+
+  bool all_identical = true;
+  for (const PathReport& report : reports) {
+    for (const SweepResult& result : report.results) {
+      all_identical = all_identical && result.identical_to_serial;
+    }
+  }
+  bench::PrintRule();
+  std::printf("determinism: %s\n",
+              all_identical ? "all paths bit-identical across thread counts"
+                            : "MISMATCH detected (bug)");
+
+  if (out_path.empty()) {
+    EmitJson(stdout, reports);
+  } else {
+    FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open --out=%s\n", out_path.c_str());
+      return 1;
+    }
+    EmitJson(out, reports);
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return all_identical ? 0 : 2;
+}

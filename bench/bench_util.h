@@ -34,6 +34,18 @@ inline bool FlagPresent(int argc, char** argv, const char* name) {
   return false;
 }
 
+// Returns the value of a "--name=value" string flag, or fallback.
+inline std::string FlagString(int argc, char** argv, const char* name,
+                              const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
 // Prints a section header in the style used across all harnesses.
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
@@ -43,6 +55,106 @@ inline void PrintRule(size_t width = 78) {
   for (size_t i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+// Minimal streaming JSON writer for machine-readable bench output
+// (BENCH_*.json trajectories consumed by later PRs). Handles comma
+// placement; the caller is responsible for balanced Begin/End calls.
+class JsonWriter {
+ public:
+  explicit JsonWriter(FILE* out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  // Starts `"key": ` inside an object; follow with a value or container.
+  void Key(const std::string& key) {
+    Separate();
+    WriteEscaped(key);
+    std::fprintf(out_, ": ");
+    pending_value_ = true;
+  }
+
+  void Value(const std::string& value) {
+    Separate();
+    WriteEscaped(value);
+  }
+  void Value(const char* value) { Value(std::string(value)); }
+  void Value(double value) {
+    Separate();
+    std::fprintf(out_, "%.17g", value);
+  }
+  void Value(size_t value) {
+    Separate();
+    std::fprintf(out_, "%zu", value);
+  }
+  void Value(bool value) {
+    Separate();
+    std::fprintf(out_, value ? "true" : "false");
+  }
+
+  // Convenience: Key + Value.
+  template <typename T>
+  void Field(const std::string& key, const T& value) {
+    Key(key);
+    Value(value);
+  }
+
+  // Terminates the document with a newline.
+  void Finish() { std::fputc('\n', out_); }
+
+ private:
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // the value completes a "key: " pair; no comma, no indent
+    }
+    if (!first_.empty() && !first_.back()) std::fprintf(out_, ",");
+    if (!first_.empty()) {
+      std::fprintf(out_, "\n");
+      for (size_t i = 0; i < first_.size(); ++i) std::fprintf(out_, "  ");
+      first_.back() = false;
+    }
+  }
+
+  void Open(char bracket) {
+    Separate();
+    std::fputc(bracket, out_);
+    first_.push_back(true);
+  }
+
+  void Close(char bracket) {
+    const bool was_empty = !first_.empty() && first_.back();
+    first_.pop_back();
+    if (!was_empty) {
+      std::fprintf(out_, "\n");
+      for (size_t i = 0; i < first_.size(); ++i) std::fprintf(out_, "  ");
+    }
+    std::fputc(bracket, out_);
+  }
+
+  void WriteEscaped(const std::string& text) {
+    std::fputc('"', out_);
+    for (char c : text) {
+      switch (c) {
+        case '"': std::fprintf(out_, "\\\""); break;
+        case '\\': std::fprintf(out_, "\\\\"); break;
+        case '\n': std::fprintf(out_, "\\n"); break;
+        case '\t': std::fprintf(out_, "\\t"); break;
+        default: std::fputc(c, out_);
+      }
+    }
+    std::fputc('"', out_);
+  }
+
+  FILE* out_;
+  std::vector<bool> first_;   // per open container: no element emitted yet
+  bool pending_value_ = false;
+};
 
 }  // namespace mbp::bench
 

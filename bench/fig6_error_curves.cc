@@ -69,7 +69,7 @@ void Run(double scale, size_t trials) {
   build.grid_size = 20;
   build.trials_per_delta = trials;
   build.seed = 99;
-  build.num_threads = 4;  // deterministic regardless of thread count
+  build.parallel.num_threads = 4;  // deterministic regardless of thread count
 
   for (const data::DatasetSpec& spec : data::PaperTable3Specs()) {
     auto split = data::GenerateUciLike(spec, scale, /*seed=*/7, 300);

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "core/baselines.h"
 #include "core/curves.h"
 #include "core/exact_opt.h"
@@ -14,6 +15,7 @@
 #include "core/error_transform.h"
 #include "data/synthetic.h"
 #include "linalg/eigen.h"
+#include "linalg/matrix.h"
 #include "linalg/qr.h"
 #include "ml/trainer.h"
 #include "optim/pava.h"
@@ -110,6 +112,35 @@ void BM_SimplexLp(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexLp)->Arg(4)->Arg(16)->Arg(32);
 
+// Serial vs parallel GramMatrix at Table 3 dataset shapes: X^T X is the
+// dominant cost of closed-form ridge training, so this is the kernel the
+// thread pool must win on. Args: (rows, threads); d = 90 matches the
+// YearPredictionMSD feature count, the widest Table 3 dataset.
+void BM_GramMatrix(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto threads = static_cast<size_t>(state.range(1));
+  const size_t d = 90;
+  random::Rng rng(8);
+  linalg::Matrix a(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      a(i, j) = random::SampleStandardNormal(rng);
+    }
+  }
+  ParallelConfig parallel;
+  parallel.num_threads = threads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::GramMatrix(a, parallel));
+  }
+  state.SetItemsProcessed(state.iterations() * n * d * d / 2);
+}
+BENCHMARK(BM_GramMatrix)
+    ->Args({2000, 1})
+    ->Args({2000, 4})
+    ->Args({20000, 1})
+    ->Args({20000, 4})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_QrLeastSquares(benchmark::State& state) {
   const auto n = static_cast<size_t>(state.range(0));
   random::Rng rng(6);
@@ -157,7 +188,7 @@ void BM_ErrorTransformBuild(benchmark::State& state) {
   core::EmpiricalErrorTransform::BuildOptions build;
   build.grid_size = 12;
   build.trials_per_delta = 100;
-  build.num_threads = threads;
+  build.parallel.num_threads = threads;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         core::EmpiricalErrorTransform::Build(mechanism, optimal, loss,

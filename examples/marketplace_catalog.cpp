@@ -40,7 +40,7 @@ int main() {
   core::Broker::Options fast;
   fast.transform.grid_size = 8;
   fast.transform.trials_per_delta = 150;
-  fast.transform.num_threads = 4;
+  fast.transform.parallel.num_threads = 4;
 
   core::Marketplace market;
   {

@@ -1,0 +1,181 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace mbp {
+
+size_t ParallelConfig::ResolvedThreads() const {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(
+      std::max<size_t>(std::thread::hardware_concurrency(), 4));
+  return pool;
+}
+
+namespace {
+
+// Shared state of one ParallelFor call. Chunks are claimed off an atomic
+// counter; the caller waits until every claimed chunk has finished.
+struct ParallelForState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<Status(size_t, size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> chunks_done{0};
+
+  std::mutex mutex;
+  std::condition_variable all_done;
+  size_t first_error_chunk = ~size_t{0};
+  Status error;
+
+  void RecordError(size_t chunk, Status status) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (chunk < first_error_chunk) {
+      first_error_chunk = chunk;
+      error = std::move(status);
+    }
+  }
+
+  // Claims and runs chunks until the counter is exhausted.
+  void RunChunks() {
+    for (;;) {
+      const size_t chunk = next_chunk.fetch_add(1);
+      if (chunk >= num_chunks) return;
+      const size_t chunk_begin = begin + chunk * grain;
+      const size_t chunk_end = std::min(end, chunk_begin + grain);
+      Status status;
+      try {
+        status = (*fn)(chunk_begin, chunk_end);
+      } catch (const std::exception& e) {
+        status = InternalError(std::string("ParallelFor task threw: ") +
+                               e.what());
+      } catch (...) {
+        status = InternalError("ParallelFor task threw a non-exception");
+      }
+      if (!status.ok()) RecordError(chunk, std::move(status));
+      if (chunks_done.fetch_add(1) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(mutex);
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Status ParallelFor(const ParallelConfig& config, size_t begin, size_t end,
+                   size_t grain,
+                   const std::function<Status(size_t, size_t)>& fn) {
+  if (end <= begin) return Status::OK();
+  if (grain == 0) grain = 1;
+  const size_t total = end - begin;
+  const size_t num_chunks = (total + grain - 1) / grain;
+
+  ThreadPool& pool = config.pool != nullptr ? *config.pool
+                                            : ThreadPool::Shared();
+  // Caller + helpers; never more threads than chunks or pool capacity + 1.
+  const size_t threads = std::min(
+      {config.ResolvedThreads(), num_chunks, pool.num_workers() + 1});
+
+  if (threads <= 1) {
+    // Serial fallback: same chunk decomposition and error semantics as the
+    // parallel path (all chunks run; lowest failing chunk wins).
+    size_t first_error_chunk = ~size_t{0};
+    Status error;
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const size_t chunk_begin = begin + chunk * grain;
+      const size_t chunk_end = std::min(end, chunk_begin + grain);
+      Status status;
+      try {
+        status = fn(chunk_begin, chunk_end);
+      } catch (const std::exception& e) {
+        status = InternalError(std::string("ParallelFor task threw: ") +
+                               e.what());
+      } catch (...) {
+        status = InternalError("ParallelFor task threw a non-exception");
+      }
+      if (!status.ok() && chunk < first_error_chunk) {
+        first_error_chunk = chunk;
+        error = std::move(status);
+      }
+    }
+    return first_error_chunk == ~size_t{0} ? Status::OK() : error;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->fn = &fn;
+
+  // Helper tasks hold a shared_ptr so the state outlives the caller even
+  // if a helper is dequeued after the loop below already finished all
+  // chunks (it then exits immediately off the exhausted counter).
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    pool.Submit([state] { state->RunChunks(); });
+  }
+  state->RunChunks();
+
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->all_done.wait(lock, [&] {
+      return state->chunks_done.load() == state->num_chunks;
+    });
+  }
+  return state->first_error_chunk == ~size_t{0} ? Status::OK()
+                                                : state->error;
+}
+
+}  // namespace mbp

@@ -1,0 +1,105 @@
+#ifndef MBP_COMMON_THREAD_POOL_H_
+#define MBP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mbp {
+
+class ThreadPool;
+
+// How much concurrency a parallel kernel may use. Threaded through the
+// option structs of every parallelizable path (error-curve estimation,
+// linalg kernels, cross-validation, the brute-force optimizer) so callers
+// control threading per call site without global state.
+//
+// Determinism contract: every kernel taking a ParallelConfig produces
+// bit-identical results for EVERY thread count, including 1. Kernels
+// guarantee this by (a) writing disjoint output slots per task, (b)
+// reducing per-task partial results in task-index order, and (c) deriving
+// any RNG stream from the task index, never from the executing thread.
+// Thread count only changes wall-clock time.
+struct ParallelConfig {
+  // 0 = one thread per hardware core; 1 = serial (run inline on the
+  // calling thread); N = at most N threads.
+  size_t num_threads = 0;
+
+  // The pool to run on; nullptr means the process-wide shared pool
+  // (ThreadPool::Shared()). Parallel calls never spawn threads directly.
+  ThreadPool* pool = nullptr;
+
+  static ParallelConfig Serial() { return ParallelConfig{1, nullptr}; }
+
+  // num_threads with 0 resolved to std::thread::hardware_concurrency()
+  // (at least 1).
+  size_t ResolvedThreads() const;
+};
+
+// Fixed-size worker pool with a FIFO task queue. Workers are started in
+// the constructor and joined in the destructor; tasks submitted after
+// destruction begins are dropped. Tasks must not throw — ParallelFor is
+// the supported entry point and converts stray exceptions into Status
+// (the library is otherwise exception-free, see DESIGN.md §5).
+//
+// Ownership model: library code never owns a pool. Kernels run on the
+// lazily-created process-wide pool (Shared()) unless the caller passes
+// its own pool via ParallelConfig, e.g. to isolate a latency-sensitive
+// broker from batch re-pricing work.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  // Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  // The process-wide pool, created on first use. Sized
+  // max(hardware_concurrency, 4) so that explicitly requested parallelism
+  // still executes on real threads (and is exercisable under TSan) even
+  // on single-core machines.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn over [begin, end) split into contiguous chunks of `grain`
+// indices (the final chunk may be smaller). fn is called as
+// fn(chunk_begin, chunk_end) and returns Status.
+//
+// - Chunk boundaries depend only on (begin, end, grain) — never on the
+//   thread count — so per-chunk state (RNG substreams, partial sums
+//   reduced in chunk order) is deterministic. See ParallelConfig.
+// - The calling thread participates in executing chunks; worker threads
+//   from the pool join in up to config.ResolvedThreads() total. Because
+//   the caller can always execute every chunk itself, nested ParallelFor
+//   calls cannot deadlock even when the pool is saturated.
+// - All chunks run even if one fails; the returned Status is OK iff every
+//   chunk succeeded, else the error of the lowest-indexed failing chunk
+//   (deterministic error propagation). An exception escaping fn is
+//   reported as InternalError.
+Status ParallelFor(const ParallelConfig& config, size_t begin, size_t end,
+                   size_t grain,
+                   const std::function<Status(size_t, size_t)>& fn);
+
+}  // namespace mbp
+
+#endif  // MBP_COMMON_THREAD_POOL_H_

@@ -1,14 +1,17 @@
 #include "core/error_transform.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <thread>
 
 #include "optim/pava.h"
 
 namespace mbp::core {
 namespace {
+
+// Trials per Monte-Carlo task. Fixed (never derived from the thread
+// count) so the task decomposition — and therefore every RNG substream —
+// is identical at any concurrency level.
+constexpr size_t kTrialsPerChunk = 64;
 
 // Piecewise-linear interpolation of ys over ascending xs, clamped to the
 // table's range at both ends.
@@ -82,39 +85,45 @@ StatusOr<EmpiricalErrorTransform> EmpiricalErrorTransform::Build(
   }
   deltas.back() = options.delta_max;  // exact endpoint despite rounding
 
-  // Each grid point gets its own RNG stream derived from (seed, g), so
-  // the result is independent of how grid points are assigned to threads.
+  // The sweep is a flat list of (grid point g, trial chunk c) tasks so
+  // parallelism is available even when the grid is smaller than the
+  // thread count. Task (g, c) owns the trials [c*K, min((c+1)*K, T)) of
+  // grid point g and an RNG substream derived from (seed, g, c*K); its
+  // partial sum lands in a dedicated slot, and slots are reduced in chunk
+  // order below — deterministic at every thread count.
+  const size_t chunks_per_point =
+      (options.trials_per_delta + kTrialsPerChunk - 1) / kTrialsPerChunk;
+  std::vector<double> partial_sums(options.grid_size * chunks_per_point);
+  MBP_RETURN_IF_ERROR(ParallelFor(
+      options.parallel, 0, partial_sums.size(), 1,
+      [&](size_t task_begin, size_t task_end) {
+        for (size_t task = task_begin; task < task_end; ++task) {
+          const size_t g = task / chunks_per_point;
+          const size_t c = task % chunks_per_point;
+          const size_t trial_begin = c * kTrialsPerChunk;
+          const size_t trial_end = std::min(trial_begin + kTrialsPerChunk,
+                                            options.trials_per_delta);
+          random::Rng rng(options.seed ^
+                          (0x9E3779B97F4A7C15ULL * (g + 1)) ^
+                          (0xBF58476D1CE4E5B9ULL * (trial_begin + 1)));
+          double total = 0.0;
+          for (size_t t = trial_begin; t < trial_end; ++t) {
+            const linalg::Vector noisy =
+                mechanism.Perturb(optimal, deltas[g], rng);
+            total += error_function.Evaluate(noisy, eval);
+          }
+          partial_sums[task] = total;
+        }
+        return Status::OK();
+      }));
+
   std::vector<double> errors(options.grid_size);
-  const auto estimate_point = [&](size_t g) {
-    random::Rng rng(options.seed ^
-                    (0x9E3779B97F4A7C15ULL * (g + 1)));
+  for (size_t g = 0; g < options.grid_size; ++g) {
     double total = 0.0;
-    for (size_t t = 0; t < options.trials_per_delta; ++t) {
-      const linalg::Vector noisy =
-          mechanism.Perturb(optimal, deltas[g], rng);
-      total += error_function.Evaluate(noisy, eval);
+    for (size_t c = 0; c < chunks_per_point; ++c) {
+      total += partial_sums[g * chunks_per_point + c];
     }
     errors[g] = total / static_cast<double>(options.trials_per_delta);
-  };
-
-  const size_t num_threads =
-      std::max<size_t>(1, std::min(options.num_threads, options.grid_size));
-  if (num_threads == 1) {
-    for (size_t g = 0; g < options.grid_size; ++g) estimate_point(g);
-  } else {
-    std::atomic<size_t> next_point{0};
-    std::vector<std::thread> workers;
-    workers.reserve(num_threads);
-    for (size_t w = 0; w < num_threads; ++w) {
-      workers.emplace_back([&] {
-        for (;;) {
-          const size_t g = next_point.fetch_add(1);
-          if (g >= options.grid_size) return;
-          estimate_point(g);
-        }
-      });
-    }
-    for (std::thread& worker : workers) worker.join();
   }
 
   // Theorem 4 guarantees monotonicity in expectation for strictly convex ε;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "common/thread_pool.h"
 #include "core/mechanism.h"
 #include "data/dataset.h"
 #include "linalg/vector.h"
@@ -96,10 +97,12 @@ class EmpiricalErrorTransform final : public ErrorTransform {
     // Noisy models drawn per grid point (paper uses 2000).
     size_t trials_per_delta = 2000;
     uint64_t seed = 7;
-    // Worker threads for the Monte-Carlo sweep. Each grid point owns an
-    // RNG stream derived from (seed, grid index), so the fitted table is
-    // bit-identical for ANY thread count; threads only change wall time.
-    size_t num_threads = 1;
+    // Concurrency of the Monte-Carlo sweep. The sweep is decomposed into
+    // (grid point, trial chunk) tasks, each owning an RNG substream
+    // derived from (seed, grid index, first trial index); per-chunk
+    // partial sums are reduced in chunk order, so the fitted table is
+    // bit-identical for ANY thread count — threads only change wall time.
+    ParallelConfig parallel;
   };
 
   // `optimal` is h*_λ(D); `eval` is the dataset ε operates on (test or

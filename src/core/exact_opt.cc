@@ -89,13 +89,23 @@ bool CoveringFeasible(const std::vector<size_t>& units,
 // monotone and subadditive by construction, and dominates any feasible
 // pricing whose earner set is A (see header comment). The empty set means
 // "price everyone out" (revenue 0) and is skipped.
+//
+// The 2^n - 1 masks are scanned in contiguous chunks that run
+// concurrently; each chunk keeps its own running best under the serial
+// comparison rule, and chunk winners are folded in ascending chunk order,
+// so the result is identical at any thread count.
 class ExactSearch {
  public:
   ExactSearch(const std::vector<CurvePoint>& curve,
               std::vector<size_t> units)
       : curve_(curve), units_(std::move(units)), n_(curve.size()) {}
 
-  RevenueOptResult Run() {
+  struct ChunkBest {
+    double revenue = 0.0;
+    std::vector<double> prices;  // empty: nothing beat the no-sale base
+  };
+
+  RevenueOptResult Run(const ParallelConfig& parallel) {
     const double max_value =
         std::max_element(curve_.begin(), curve_.end(),
                          [](const CurvePoint& a, const CurvePoint& b) {
@@ -107,10 +117,45 @@ class ExactSearch {
     best.prices.assign(n_, 2.0 * max_value + 1.0);
     best.revenue = 0.0;
 
+    const uint64_t num_masks = (uint64_t{1} << n_) - 1;  // masks 1..2^n-1
+    constexpr size_t kMasksPerChunk = size_t{1} << 12;
+    const size_t num_chunks =
+        static_cast<size_t>((num_masks + kMasksPerChunk - 1) /
+                            kMasksPerChunk);
+    std::vector<ChunkBest> chunk_best(num_chunks);
+    MBP_CHECK(ParallelFor(
+                  parallel, 0, num_chunks, 1,
+                  [&](size_t chunk_begin, size_t chunk_end) {
+                    for (size_t c = chunk_begin; c < chunk_end; ++c) {
+                      ScanMasks(1 + uint64_t{c} * kMasksPerChunk,
+                                std::min(num_masks + 1,
+                                         1 + uint64_t{c + 1} *
+                                                 kMasksPerChunk),
+                                chunk_best[c]);
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+    for (const ChunkBest& candidate : chunk_best) {
+      if (!candidate.prices.empty() &&
+          candidate.revenue > best.revenue + kTol) {
+        best.revenue = candidate.revenue;
+        best.prices = candidate.prices;
+      }
+    }
+    best.revenue = RevenueOf(curve_, best.prices);
+    best.affordability = AffordabilityOf(curve_, best.prices);
+    return best;
+  }
+
+ private:
+  // Scans masks in [mask_begin, mask_end), recording the chunk's winner.
+  void ScanMasks(uint64_t mask_begin, uint64_t mask_end,
+                 ChunkBest& out) const {
     std::vector<size_t> anchor_units;
     std::vector<double> anchor_costs;
     std::vector<double> prices(n_);
-    for (uint64_t mask = 1; mask < (uint64_t{1} << n_); ++mask) {
+    for (uint64_t mask = mask_begin; mask < mask_end; ++mask) {
       anchor_units.clear();
       anchor_costs.clear();
       for (size_t j = 0; j < n_; ++j) {
@@ -123,17 +168,13 @@ class ExactSearch {
           MinCoverCosts(units_, anchor_units, anchor_costs);
       for (size_t j = 0; j < n_; ++j) prices[j] = cover[units_[j]];
       const double revenue = RevenueOf(curve_, prices);
-      if (revenue > best.revenue + kTol) {
-        best.revenue = revenue;
-        best.prices = prices;
+      if (revenue > out.revenue + kTol) {
+        out.revenue = revenue;
+        out.prices = prices;
       }
     }
-    best.revenue = RevenueOf(curve_, best.prices);
-    best.affordability = AffordabilityOf(curve_, best.prices);
-    return best;
   }
 
- private:
   const std::vector<CurvePoint>& curve_;
   std::vector<size_t> units_;
   size_t n_;
@@ -162,7 +203,8 @@ Status ValidateExactInputs(const std::vector<CurvePoint>& curve) {
 }  // namespace
 
 StatusOr<RevenueOptResult> MaximizeRevenueExact(
-    const std::vector<CurvePoint>& curve, size_t max_grid_units) {
+    const std::vector<CurvePoint>& curve, size_t max_grid_units,
+    const ParallelConfig& parallel) {
   MBP_RETURN_IF_ERROR(ValidateExactInputs(curve));
   std::vector<double> xs(curve.size());
   for (size_t j = 0; j < curve.size(); ++j) xs[j] = curve[j].x;
@@ -177,7 +219,7 @@ StatusOr<RevenueOptResult> MaximizeRevenueExact(
         "exceeds max_grid_units); the exact solver requires one");
   }
   ExactSearch search(curve, std::move(units));
-  return search.Run();
+  return search.Run(parallel);
 }
 
 StatusOr<bool> SubadditiveInterpolationFeasible(

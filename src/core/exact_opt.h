@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "common/thread_pool.h"
 #include "core/curves.h"
 #include "core/interpolation.h"
 #include "core/revenue_opt.h"
@@ -33,9 +34,12 @@ namespace mbp::core {
 //
 // Returns InvalidArgument if the x values do not share a common base step
 // (or the grid exceeds max_grid_units), ResourceExhausted when
-// curve.size() > 24.
+// curve.size() > 24. The 2^n enumeration runs in parallel mask chunks per
+// `parallel`, with a chunk-ordered reduction: the result is identical at
+// any thread count.
 StatusOr<RevenueOptResult> MaximizeRevenueExact(
-    const std::vector<CurvePoint>& curve, size_t max_grid_units = 100000);
+    const std::vector<CurvePoint>& curve, size_t max_grid_units = 100000,
+    const ParallelConfig& parallel = {});
 
 // Decision procedure for the paper's SUBADDITIVE INTERPOLATION problem
 // (Definition 6) on integer-grid inputs: does a positive, monotone,

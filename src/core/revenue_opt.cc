@@ -75,42 +75,51 @@ StatusOr<RevenueOptResult> MaximizeRevenueDp(
   for (size_t j = 0; j < n; ++j) caps[j] = curve[j].value / curve[j].x;
   caps[n] = kInf;
 
-  // opt[k][t]: max revenue from points k..n-1 with prices constrained by
+  // opt[k, t]: max revenue from points k..n-1 with prices constrained by
   // z_j <= caps[t] * a_j for all j >= k. Branch choices are recorded so the
-  // price vector can be reconstructed.
+  // price vector can be reconstructed. Both tables are single contiguous
+  // n x (n+1) buffers (row k holds all caps t), keeping the O(n^2) inner
+  // loop on one allocation and one cache stream.
   enum class Branch : uint8_t { kSlopeCapped, kSellAtValue, kSkip };
-  std::vector<std::vector<double>> opt(n,
-                                       std::vector<double>(n + 1, 0.0));
-  std::vector<std::vector<Branch>> branch(
-      n, std::vector<Branch>(n + 1, Branch::kSlopeCapped));
+  const size_t stride = n + 1;
+  std::vector<double> opt(n * stride, 0.0);
+  std::vector<Branch> branch(n * stride, Branch::kSlopeCapped);
 
-  for (size_t t = 0; t <= n; ++t) {
+  {
     // Base case k = n-1 (Lemma: s_n = min(v_n, Δ a_n)).
-    const double price = std::min(curve[n - 1].value, caps[t] * curve[n - 1].x);
-    opt[n - 1][t] = curve[n - 1].demand * price;
-    branch[n - 1][t] = (caps[t] * curve[n - 1].x <= curve[n - 1].value)
+    double* opt_last = opt.data() + (n - 1) * stride;
+    Branch* branch_last = branch.data() + (n - 1) * stride;
+    for (size_t t = 0; t <= n; ++t) {
+      const double price =
+          std::min(curve[n - 1].value, caps[t] * curve[n - 1].x);
+      opt_last[t] = curve[n - 1].demand * price;
+      branch_last[t] = (caps[t] * curve[n - 1].x <= curve[n - 1].value)
                            ? Branch::kSlopeCapped
                            : Branch::kSellAtValue;
+    }
   }
 
   for (size_t k = n - 1; k-- > 0;) {
+    double* opt_k = opt.data() + k * stride;
+    Branch* branch_k = branch.data() + k * stride;
+    const double* opt_next = opt_k + stride;
     for (size_t t = 0; t <= n; ++t) {
       const double capped_price = caps[t] * curve[k].x;
       if (capped_price <= curve[k].value) {
         // Lemma 12: the cap binds below the valuation; charge the cap.
-        opt[k][t] = curve[k].demand * capped_price + opt[k + 1][t];
-        branch[k][t] = Branch::kSlopeCapped;
+        opt_k[t] = curve[k].demand * capped_price + opt_next[t];
+        branch_k[t] = Branch::kSlopeCapped;
       } else {
         // Lemma 13: either sell at v_k (tightening the cap to v_k/a_k = caps[k])
         // or price k out of the market and keep the cap.
-        const double sell = curve[k].demand * curve[k].value + opt[k + 1][k];
-        const double skip = opt[k + 1][t];
+        const double sell = curve[k].demand * curve[k].value + opt_next[k];
+        const double skip = opt_next[t];
         if (sell >= skip) {
-          opt[k][t] = sell;
-          branch[k][t] = Branch::kSellAtValue;
+          opt_k[t] = sell;
+          branch_k[t] = Branch::kSellAtValue;
         } else {
-          opt[k][t] = skip;
-          branch[k][t] = Branch::kSkip;
+          opt_k[t] = skip;
+          branch_k[t] = Branch::kSkip;
         }
       }
     }
@@ -122,7 +131,7 @@ StatusOr<RevenueOptResult> MaximizeRevenueDp(
   std::vector<size_t> cap_at(n);
   size_t t = n;  // start unconstrained (Δ = +inf)
   for (size_t k = 0; k < n; ++k) {
-    chosen[k] = branch[k][t];
+    chosen[k] = branch[k * stride + t];
     cap_at[k] = t;
     if (chosen[k] == Branch::kSellAtValue && k + 1 < n) t = k;
   }
@@ -147,9 +156,9 @@ StatusOr<RevenueOptResult> MaximizeRevenueDp(
   result.revenue = RevenueOf(curve, result.prices);
   result.affordability = AffordabilityOf(curve, result.prices);
   // The DP value and the realized revenue must agree.
-  MBP_CHECK(std::fabs(result.revenue - opt[0][n]) <=
+  MBP_CHECK(std::fabs(result.revenue - opt[n]) <=
             1e-6 * (1.0 + std::fabs(result.revenue)))
-      << "DP value " << opt[0][n] << " != realized " << result.revenue;
+      << "DP value " << opt[n] << " != realized " << result.revenue;
   return result;
 }
 

@@ -34,11 +34,38 @@ void Matrix::SetRow(size_t i, const Vector& row) {
   std::copy(row.data(), row.data() + cols_, RowData(i));
 }
 
-Vector MatVec(const Matrix& a, const Vector& x) {
+namespace {
+
+// Arithmetic-work floor below which the parallel kernels stay inline: pool
+// dispatch costs ~a few microseconds, so only problems with clearly more
+// work than that fan out.
+constexpr size_t kMinParallelFlops = size_t{1} << 17;
+
+// Chunks a row range so the pool sees ~8 claimable chunks per thread
+// (dynamic claiming then balances uneven work, e.g. the Gram triangle).
+size_t RowGrain(size_t rows, const ParallelConfig& parallel) {
+  const size_t target = parallel.ResolvedThreads() * 8;
+  return std::max<size_t>(1, rows / std::max<size_t>(1, target));
+}
+
+}  // namespace
+
+Vector MatVec(const Matrix& a, const Vector& x,
+              const ParallelConfig& parallel) {
   MBP_CHECK_EQ(a.cols(), x.size());
   Vector y(a.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    y[i] = Dot(a.RowData(i), x.data(), a.cols());
+  const auto rows_block = [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      y[i] = Dot(a.RowData(i), x.data(), a.cols());
+    }
+    return Status::OK();
+  };
+  if (a.rows() * a.cols() < kMinParallelFlops) {
+    MBP_CHECK(rows_block(0, a.rows()).ok());
+  } else {
+    MBP_CHECK(ParallelFor(parallel, 0, a.rows(),
+                          RowGrain(a.rows(), parallel), rows_block)
+                  .ok());
   }
   return y;
 }
@@ -52,34 +79,71 @@ Vector MatTVec(const Matrix& a, const Vector& x) {
   return y;
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
+Matrix MatMul(const Matrix& a, const Matrix& b,
+              const ParallelConfig& parallel) {
   MBP_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
   // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (size_t i = 0; i < a.rows(); ++i) {
-    double* c_row = c.RowData(i);
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double a_ik = a(i, k);
-      if (a_ik == 0.0) continue;
-      Axpy(a_ik, b.RowData(k), c_row, b.cols());
+  // Each output row accumulates independently in k order, so a row
+  // partition leaves every entry's addition sequence unchanged.
+  const auto rows_block = [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      double* c_row = c.RowData(i);
+      for (size_t k = 0; k < a.cols(); ++k) {
+        const double a_ik = a(i, k);
+        if (a_ik == 0.0) continue;
+        Axpy(a_ik, b.RowData(k), c_row, b.cols());
+      }
     }
+    return Status::OK();
+  };
+  if (a.rows() * a.cols() * b.cols() < kMinParallelFlops) {
+    MBP_CHECK(rows_block(0, a.rows()).ok());
+  } else {
+    MBP_CHECK(ParallelFor(parallel, 0, a.rows(),
+                          RowGrain(a.rows(), parallel), rows_block)
+                  .ok());
   }
   return c;
 }
 
-Matrix GramMatrix(const Matrix& a) {
+Matrix GramMatrix(const Matrix& a, const ParallelConfig& parallel) {
   const size_t d = a.cols();
+  const size_t n = a.rows();
   Matrix g(d, d);
-  // Accumulate rank-1 updates row by row; fill the lower triangle then
-  // mirror, halving the flops.
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const double* row = a.RowData(r);
-    for (size_t i = 0; i < d; ++i) {
-      const double v = row[i];
-      if (v == 0.0) continue;
-      double* g_row = g.RowData(i);
-      for (size_t j = 0; j <= i; ++j) g_row[j] += v * row[j];
+  // Fill the lower triangle then mirror, halving the flops. Entry (i, j)
+  // accumulates sum_r a(r, i) * a(r, j) in ascending r in BOTH kernels
+  // below, so the parallel result is bit-identical to the serial one.
+  if (n * d * d < kMinParallelFlops) {
+    // One streaming pass over the examples, updating the whole triangle.
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = a.RowData(r);
+      for (size_t i = 0; i < d; ++i) {
+        const double v = row[i];
+        if (v == 0.0) continue;
+        double* g_row = g.RowData(i);
+        for (size_t j = 0; j <= i; ++j) g_row[j] += v * row[j];
+      }
     }
+  } else {
+    // Each task owns a block of OUTPUT rows and streams the examples for
+    // just those rows: no shared accumulators, no reduction step.
+    MBP_CHECK(ParallelFor(parallel, 0, d, RowGrain(d, parallel),
+                          [&](size_t i_begin, size_t i_end) {
+                            for (size_t r = 0; r < n; ++r) {
+                              const double* row = a.RowData(r);
+                              for (size_t i = i_begin; i < i_end; ++i) {
+                                const double v = row[i];
+                                if (v == 0.0) continue;
+                                double* g_row = g.RowData(i);
+                                for (size_t j = 0; j <= i; ++j) {
+                                  g_row[j] += v * row[j];
+                                }
+                              }
+                            }
+                            return Status::OK();
+                          })
+                  .ok());
   }
   for (size_t i = 0; i < d; ++i) {
     for (size_t j = i + 1; j < d; ++j) g(i, j) = g(j, i);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "linalg/vector.h"
 
 namespace mbp::linalg {
@@ -73,20 +74,29 @@ class Matrix {
   std::vector<double> data_;
 };
 
+// The kernels below parallelize over disjoint row blocks of their OUTPUT,
+// so every output entry is accumulated in the same order regardless of the
+// thread count: results are bit-identical for any ParallelConfig, and
+// identical to the serial kernels. Small problems (below an
+// arithmetic-work threshold) always run inline on the calling thread.
+
 // y = A x. Requires x.size() == A.cols(); returns a vector of length A.rows().
-Vector MatVec(const Matrix& a, const Vector& x);
+Vector MatVec(const Matrix& a, const Vector& x,
+              const ParallelConfig& parallel = {});
 
 // y = A^T x. Requires x.size() == A.rows(); returns a vector of length
-// A.cols().
+// A.cols(). (Serial: every row contributes to every output entry, so a
+// row partition of the output does not apply.)
 Vector MatTVec(const Matrix& a, const Vector& x);
 
 // C = A B.
-Matrix MatMul(const Matrix& a, const Matrix& b);
+Matrix MatMul(const Matrix& a, const Matrix& b,
+              const ParallelConfig& parallel = {});
 
 // Returns A^T A (the Gram matrix of the columns), a cols x cols SPD matrix
 // when A has full column rank. The hot kernel behind closed-form least
 // squares and Newton steps.
-Matrix GramMatrix(const Matrix& a);
+Matrix GramMatrix(const Matrix& a, const ParallelConfig& parallel = {});
 
 Matrix Transpose(const Matrix& a);
 

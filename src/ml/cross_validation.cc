@@ -28,29 +28,33 @@ struct FoldPlan {
 StatusOr<CrossValidationResult> RunFolds(ModelKind model,
                                          const data::Dataset& dataset,
                                          double l2, const Loss& eval_loss,
-                                         const FoldPlan& plan) {
+                                         const FoldPlan& plan,
+                                         const ParallelConfig& parallel) {
   CrossValidationResult result;
-  result.fold_errors.reserve(plan.folds);
-  for (size_t f = 0; f < plan.folds; ++f) {
-    const auto [begin, end] = plan.Range(f);
-    std::vector<size_t> train_idx;
-    std::vector<size_t> test_idx;
-    train_idx.reserve(dataset.num_examples() - (end - begin));
-    test_idx.reserve(end - begin);
-    for (size_t pos = 0; pos < plan.order.size(); ++pos) {
-      if (pos >= begin && pos < end) {
-        test_idx.push_back(plan.order[pos]);
-      } else {
-        train_idx.push_back(plan.order[pos]);
-      }
-    }
-    const data::Dataset train = dataset.Subset(train_idx);
-    const data::Dataset test = dataset.Subset(test_idx);
-    MBP_ASSIGN_OR_RETURN(TrainResult trained,
-                         TrainOptimalModel(model, train, l2));
-    result.fold_errors.push_back(
-        eval_loss.Evaluate(trained.model.coefficients(), test));
-  }
+  result.fold_errors.assign(plan.folds, 0.0);
+  // One fold per task: training is deterministic and each fold writes only
+  // its own slot, so the result is identical at any thread count.
+  MBP_RETURN_IF_ERROR(ParallelFor(
+      parallel, 0, plan.folds, 1, [&](size_t fold_begin, size_t fold_end) {
+        for (size_t f = fold_begin; f < fold_end; ++f) {
+          const auto [begin, end] = plan.Range(f);
+          // The fold's test examples are exactly order[begin, end); its
+          // train examples are the complementary prefix and suffix.
+          std::vector<size_t> test_idx(plan.order.begin() + begin,
+                                       plan.order.begin() + end);
+          std::vector<size_t> train_idx(plan.order.begin(),
+                                        plan.order.begin() + begin);
+          train_idx.insert(train_idx.end(), plan.order.begin() + end,
+                           plan.order.end());
+          const data::Dataset train = dataset.Subset(train_idx);
+          const data::Dataset test = dataset.Subset(test_idx);
+          MBP_ASSIGN_OR_RETURN(TrainResult trained,
+                               TrainOptimalModel(model, train, l2));
+          result.fold_errors[f] =
+              eval_loss.Evaluate(trained.model.coefficients(), test);
+        }
+        return Status::OK();
+      }));
   const double n = static_cast<double>(result.fold_errors.size());
   result.mean_error =
       std::accumulate(result.fold_errors.begin(), result.fold_errors.end(),
@@ -76,17 +80,18 @@ Status ValidateFolds(const data::Dataset& dataset, size_t folds) {
 
 StatusOr<CrossValidationResult> KFoldCrossValidate(
     ModelKind model, const data::Dataset& dataset, double l2,
-    const Loss& eval_loss, size_t folds, random::Rng& rng) {
+    const Loss& eval_loss, size_t folds, random::Rng& rng,
+    const ParallelConfig& parallel) {
   MBP_RETURN_IF_ERROR(ValidateFolds(dataset, folds));
   const FoldPlan plan{
       data::RandomPermutation(dataset.num_examples(), rng), folds};
-  return RunFolds(model, dataset, l2, eval_loss, plan);
+  return RunFolds(model, dataset, l2, eval_loss, plan, parallel);
 }
 
 StatusOr<double> SelectL2ByCrossValidation(
     ModelKind model, const data::Dataset& dataset,
     const std::vector<double>& candidates, const Loss& eval_loss,
-    size_t folds, random::Rng& rng) {
+    size_t folds, random::Rng& rng, const ParallelConfig& parallel) {
   if (candidates.empty()) {
     return InvalidArgumentError("need at least one l2 candidate");
   }
@@ -100,7 +105,8 @@ StatusOr<double> SelectL2ByCrossValidation(
   for (double l2 : candidates) {
     if (l2 < 0.0) return InvalidArgumentError("l2 must be non-negative");
     MBP_ASSIGN_OR_RETURN(CrossValidationResult result,
-                         RunFolds(model, dataset, l2, eval_loss, plan));
+                         RunFolds(model, dataset, l2, eval_loss, plan,
+                                  parallel));
     if (first || result.mean_error < best_error) {
       best_error = result.mean_error;
       best_l2 = l2;

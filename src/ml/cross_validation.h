@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "ml/loss.h"
 #include "ml/trainer.h"
@@ -24,10 +25,13 @@ struct CrossValidationResult {
 
 // Trains `model` with TrainOptimalModel on k-1 folds and scores
 // `eval_loss` on the held-out fold, for each of `folds` folds (>= 2).
-// The fold assignment is a seeded random permutation.
+// The fold assignment is a seeded random permutation. Folds train
+// concurrently per `parallel`; each fold is deterministic and writes its
+// own result slot, so the output is identical at any thread count.
 StatusOr<CrossValidationResult> KFoldCrossValidate(
     ModelKind model, const data::Dataset& dataset, double l2,
-    const Loss& eval_loss, size_t folds, random::Rng& rng);
+    const Loss& eval_loss, size_t folds, random::Rng& rng,
+    const ParallelConfig& parallel = {});
 
 // Returns the candidate l2 with the lowest mean cross-validated error.
 // `candidates` must be non-empty; every candidate is evaluated with the
@@ -35,7 +39,7 @@ StatusOr<CrossValidationResult> KFoldCrossValidate(
 StatusOr<double> SelectL2ByCrossValidation(
     ModelKind model, const data::Dataset& dataset,
     const std::vector<double>& candidates, const Loss& eval_loss,
-    size_t folds, random::Rng& rng);
+    size_t folds, random::Rng& rng, const ParallelConfig& parallel = {});
 
 }  // namespace mbp::ml
 

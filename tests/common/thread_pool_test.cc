@@ -1,0 +1,186 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbp {
+namespace {
+
+TEST(ParallelConfigTest, ResolvesZeroToHardwareConcurrency) {
+  ParallelConfig config;
+  EXPECT_GE(config.ResolvedThreads(), 1u);
+  config.num_threads = 3;
+  EXPECT_EQ(config.ResolvedThreads(), 3u);
+  EXPECT_EQ(ParallelConfig::Serial().ResolvedThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_workers(), 2u);
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t completed = 0;
+  constexpr size_t kTasks = 16;
+  for (size_t i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (++completed == kTasks) done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return completed == kTasks; });
+  EXPECT_EQ(completed, kTasks);
+}
+
+TEST(ThreadPoolTest, SharedPoolHasWorkersEvenOnSmallMachines) {
+  // Shared() is sized for explicit parallelism requests, not just for the
+  // local core count, so parallel paths are exercised everywhere.
+  EXPECT_GE(ThreadPool::Shared().num_workers(), 4u);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ParallelConfig config;
+    config.num_threads = threads;
+    std::vector<std::atomic<int>> visits(103);
+    for (auto& count : visits) count = 0;
+    const Status status =
+        ParallelFor(config, 0, visits.size(), 7,
+                    [&](size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) ++visits[i];
+                      return Status::OK();
+                    });
+    ASSERT_TRUE(status.ok());
+    for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, ChunkBoundariesFollowGrain) {
+  ParallelConfig config;
+  config.num_threads = 1;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  ASSERT_TRUE(ParallelFor(config, 10, 35, 10,
+                          [&](size_t begin, size_t end) {
+                            chunks.emplace_back(begin, end);
+                            return Status::OK();
+                          })
+                  .ok());
+  const std::vector<std::pair<size_t, size_t>> expected = {
+      {10, 20}, {20, 30}, {30, 35}};
+  EXPECT_EQ(chunks, expected);
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoOp) {
+  std::atomic<int> calls{0};
+  EXPECT_TRUE(ParallelFor({}, 5, 5, 1,
+                          [&](size_t, size_t) {
+                            ++calls;
+                            return Status::OK();
+                          })
+                  .ok());
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, ReturnsLowestChunkError) {
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    ParallelConfig config;
+    config.num_threads = threads;
+    const Status status = ParallelFor(
+        config, 0, 100, 1, [&](size_t begin, size_t) {
+          if (begin == 71) return InvalidArgumentError("chunk 71");
+          if (begin == 23) return InvalidArgumentError("chunk 23");
+          return Status::OK();
+        });
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(status.message(), "chunk 23");
+  }
+}
+
+TEST(ParallelForTest, ConvertsExceptionsToInternalError) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ParallelConfig config;
+    config.num_threads = threads;
+    const Status status =
+        ParallelFor(config, 0, 8, 1, [&](size_t begin, size_t) -> Status {
+          if (begin == 5) throw std::runtime_error("boom");
+          return Status::OK();
+        });
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+    EXPECT_NE(status.message().find("boom"), std::string::npos);
+  }
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  // Saturate the pool with outer chunks that each fan out again; the
+  // caller-participates design must make progress regardless.
+  ParallelConfig config;
+  config.num_threads = ThreadPool::Shared().num_workers() + 1;
+  std::atomic<size_t> total{0};
+  const Status status = ParallelFor(
+      config, 0, 16, 1, [&](size_t, size_t) {
+        return ParallelFor(config, 0, 16, 1, [&](size_t, size_t) {
+          ++total;
+          return Status::OK();
+        });
+      });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(total.load(), 16u * 16u);
+}
+
+TEST(ParallelForTest, RunsOnACallerOwnedPool) {
+  ThreadPool pool(2);
+  ParallelConfig config;
+  config.num_threads = 3;
+  config.pool = &pool;
+  std::vector<std::atomic<int>> visits(64);
+  for (auto& count : visits) count = 0;
+  ASSERT_TRUE(ParallelFor(config, 0, visits.size(), 4,
+                          [&](size_t begin, size_t end) {
+                            for (size_t i = begin; i < end; ++i) {
+                              ++visits[i];
+                            }
+                            return Status::OK();
+                          })
+                  .ok());
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, ParallelSumMatchesSerialWithChunkOrderReduction) {
+  // The canonical deterministic-reduction pattern: per-chunk partials
+  // folded in chunk order give the same bits at any thread count.
+  constexpr size_t kN = 1000;
+  constexpr size_t kGrain = 32;
+  std::vector<double> values(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const size_t num_chunks = (kN + kGrain - 1) / kGrain;
+  auto sum_with_threads = [&](size_t threads) {
+    ParallelConfig config;
+    config.num_threads = threads;
+    std::vector<double> partial(num_chunks, 0.0);
+    EXPECT_TRUE(ParallelFor(config, 0, kN, kGrain,
+                            [&](size_t begin, size_t end) {
+                              double total = 0.0;
+                              for (size_t i = begin; i < end; ++i) {
+                                total += values[i];
+                              }
+                              partial[begin / kGrain] = total;
+                              return Status::OK();
+                            })
+                    .ok());
+    return std::accumulate(partial.begin(), partial.end(), 0.0);
+  };
+  const double serial = sum_with_threads(1);
+  EXPECT_EQ(serial, sum_with_threads(4));
+  EXPECT_EQ(serial, sum_with_threads(64));
+}
+
+}  // namespace
+}  // namespace mbp

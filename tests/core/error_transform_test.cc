@@ -183,13 +183,13 @@ TEST_F(EmpiricalTransformTest, ThreadCountDoesNotChangeTheResult) {
   options.grid_size = 8;
   options.trials_per_delta = 100;
   options.seed = 321;
-  options.num_threads = 1;
+  options.parallel.num_threads = 1;
   auto serial = EmpiricalErrorTransform::Build(mechanism, *optimal_, loss,
                                                *data_, options);
-  options.num_threads = 4;
+  options.parallel.num_threads = 4;
   auto parallel = EmpiricalErrorTransform::Build(mechanism, *optimal_,
                                                  loss, *data_, options);
-  options.num_threads = 64;  // more threads than grid points
+  options.parallel.num_threads = 64;  // more threads than grid points
   auto oversubscribed = EmpiricalErrorTransform::Build(
       mechanism, *optimal_, loss, *data_, options);
   ASSERT_TRUE(serial.ok() && parallel.ok() && oversubscribed.ok());

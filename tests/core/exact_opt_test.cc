@@ -244,6 +244,30 @@ TEST(SubadditiveInterpolationTest, ZeroPriceViolatesPositivity) {
   EXPECT_FALSE(feasible.value());
 }
 
+TEST(MaximizeRevenueExactTest, ParallelEnumerationBitIdenticalToSerial) {
+  // 13 points spread the 2^13 - 1 anchor subsets over multiple mask
+  // chunks; the chunk-ordered reduction must reproduce the serial scan.
+  random::Rng rng(23);
+  std::vector<CurvePoint> curve(13);
+  double v = 0.0;
+  for (size_t j = 0; j < curve.size(); ++j) {
+    v += 1.0 + static_cast<double>(rng.NextBounded(25));
+    curve[j] = {static_cast<double>(j + 1), v,
+                0.05 + 0.05 * static_cast<double>(rng.NextBounded(6))};
+  }
+  const auto serial =
+      MaximizeRevenueExact(curve, 100000, ParallelConfig::Serial());
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    ParallelConfig parallel;
+    parallel.num_threads = threads;
+    const auto result = MaximizeRevenueExact(curve, 100000, parallel);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(serial->revenue, result->revenue);
+    EXPECT_EQ(serial->prices, result->prices);
+  }
+}
+
 TEST(SubadditiveInterpolationTest, RejectsBadInputs) {
   EXPECT_FALSE(SubadditiveInterpolationFeasible({}).ok());
   EXPECT_FALSE(

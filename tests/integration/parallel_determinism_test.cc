@@ -1,0 +1,175 @@
+// Tier-1 determinism contract of the concurrency subsystem (DESIGN.md
+// "Concurrency model"): every parallelized hot path — Monte-Carlo error
+// curves, the linalg kernels, k-fold cross-validation, and the
+// brute-force exact optimizer — must produce BIT-IDENTICAL results with 1
+// thread and hardware_concurrency() threads, and match the pre-existing
+// serial algorithms on a fixed seed. Threads may only change wall time.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/error_transform.h"
+#include "core/exact_opt.h"
+#include "core/mechanism.h"
+#include "data/synthetic.h"
+#include "linalg/matrix.h"
+#include "ml/cross_validation.h"
+#include "ml/trainer.h"
+#include "random/distributions.h"
+
+namespace mbp {
+namespace {
+
+size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  // At least 4 so this test exercises real concurrency on the shared pool
+  // (sized >= 4 workers) even on single-core CI machines.
+  return hw < 4 ? 4 : hw;
+}
+
+ParallelConfig Threads(size_t n) {
+  ParallelConfig config;
+  config.num_threads = n;
+  return config;
+}
+
+linalg::Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  random::Rng rng(seed);
+  linalg::Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      m(i, j) = random::SampleStandardNormal(rng);
+    }
+  }
+  return m;
+}
+
+TEST(ParallelDeterminismTest, ErrorCurveBitIdenticalAcrossThreadCounts) {
+  data::Simulated1Options data_options;
+  data_options.num_examples = 300;
+  data_options.num_features = 8;
+  data_options.seed = 11;
+  const data::Dataset dataset =
+      data::GenerateSimulated1(data_options).value();
+  const linalg::Vector optimal =
+      ml::TrainOptimalModel(ml::ModelKind::kLinearRegression, dataset, 0.0)
+          .value()
+          .model.coefficients();
+  core::GaussianMechanism mechanism;
+  const ml::SquareLoss loss(0.0);
+
+  core::EmpiricalErrorTransform::BuildOptions options;
+  options.grid_size = 9;
+  options.trials_per_delta = 150;  // not a multiple of the trial chunk
+  options.seed = 1234;
+  options.parallel = Threads(1);
+  const auto serial = core::EmpiricalErrorTransform::Build(
+      mechanism, optimal, loss, dataset, options);
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {size_t{2}, HardwareThreads()}) {
+    options.parallel = Threads(threads);
+    const auto parallel = core::EmpiricalErrorTransform::Build(
+        mechanism, optimal, loss, dataset, options);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial->delta_grid(), parallel->delta_grid());
+    EXPECT_EQ(serial->error_grid(), parallel->error_grid());
+  }
+}
+
+TEST(ParallelDeterminismTest, GramMatrixMatchesPreExistingSerialKernel) {
+  // 400 x 60 clears the parallel-dispatch work threshold (n * d^2).
+  const linalg::Matrix a = RandomMatrix(400, 60, 5);
+
+  // The seed's serial kernel, verbatim: one streaming pass over the
+  // examples, lower triangle then mirror.
+  const size_t d = a.cols();
+  linalg::Matrix reference(d, d);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.RowData(r);
+    for (size_t i = 0; i < d; ++i) {
+      const double v = row[i];
+      if (v == 0.0) continue;
+      double* g_row = reference.RowData(i);
+      for (size_t j = 0; j <= i; ++j) g_row[j] += v * row[j];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i + 1; j < d; ++j) reference(i, j) = reference(j, i);
+  }
+
+  EXPECT_EQ(reference, linalg::GramMatrix(a, Threads(1)));
+  EXPECT_EQ(reference, linalg::GramMatrix(a, Threads(HardwareThreads())));
+  EXPECT_EQ(reference, linalg::GramMatrix(a));  // default config
+}
+
+TEST(ParallelDeterminismTest, MatMulAndMatVecBitIdenticalAcrossThreads) {
+  const linalg::Matrix a = RandomMatrix(120, 80, 6);
+  const linalg::Matrix b = RandomMatrix(80, 90, 7);
+  const linalg::Matrix serial_product = linalg::MatMul(a, b, Threads(1));
+  EXPECT_EQ(serial_product,
+            linalg::MatMul(a, b, Threads(HardwareThreads())));
+
+  random::Rng rng(8);
+  const linalg::Vector x = random::SampleNormalVector(rng, 80, 0.0, 1.0);
+  const linalg::Vector serial_y = linalg::MatVec(a, x, Threads(1));
+  const linalg::Vector parallel_y =
+      linalg::MatVec(a, x, Threads(HardwareThreads()));
+  ASSERT_EQ(serial_y.size(), parallel_y.size());
+  for (size_t i = 0; i < serial_y.size(); ++i) {
+    EXPECT_EQ(serial_y[i], parallel_y[i]);
+  }
+}
+
+TEST(ParallelDeterminismTest, CrossValidationBitIdenticalAcrossThreads) {
+  data::Simulated1Options data_options;
+  data_options.num_examples = 240;
+  data_options.num_features = 6;
+  data_options.seed = 31;
+  const data::Dataset dataset =
+      data::GenerateSimulated1(data_options).value();
+  const ml::SquareLoss loss(0.0);
+
+  auto run = [&](size_t threads) {
+    random::Rng rng(99);  // fresh stream per run: identical fold plans
+    return ml::KFoldCrossValidate(ml::ModelKind::kLinearRegression,
+                                  dataset, 1e-3, loss, 6, rng,
+                                  Threads(threads));
+  };
+  const auto serial = run(1);
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {size_t{3}, HardwareThreads()}) {
+    const auto parallel = run(threads);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial->fold_errors, parallel->fold_errors);
+    EXPECT_EQ(serial->mean_error, parallel->mean_error);
+    EXPECT_EQ(serial->stddev_error, parallel->stddev_error);
+  }
+}
+
+TEST(ParallelDeterminismTest, ExactOptimizerBitIdenticalAcrossThreads) {
+  // 14 points = 16383 anchor subsets, spanning several mask chunks.
+  std::vector<core::CurvePoint> curve;
+  random::Rng rng(17);
+  double value = 5.0;
+  for (size_t j = 0; j < 14; ++j) {
+    value += rng.NextDouble(1.0, 20.0);
+    curve.push_back(core::CurvePoint{static_cast<double>(j + 1), value,
+                                     rng.NextDouble(0.5, 2.0)});
+  }
+  const auto serial = core::MaximizeRevenueExact(curve, 100000, Threads(1));
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {size_t{2}, HardwareThreads()}) {
+    const auto parallel =
+        core::MaximizeRevenueExact(curve, 100000, Threads(threads));
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial->revenue, parallel->revenue);
+    EXPECT_EQ(serial->prices, parallel->prices);
+    EXPECT_EQ(serial->affordability, parallel->affordability);
+  }
+}
+
+}  // namespace
+}  // namespace mbp

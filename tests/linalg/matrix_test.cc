@@ -1,5 +1,7 @@
 #include "linalg/matrix.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "linalg/vector.h"
@@ -105,6 +107,60 @@ TEST(MatVecDeathTest, DimensionMismatchAborts) {
   Matrix a(2, 3);
   Vector x(2);
   EXPECT_DEATH({ (void)MatVec(a, x); }, "MBP_CHECK failed");
+}
+
+// The parallel kernels partition disjoint output rows, so they promise
+// BIT-identical results at every thread count (see ParallelConfig).
+
+TEST(ParallelKernelsTest, GramMatrixIdenticalAtAnyThreadCount) {
+  Matrix a(150, 40);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) = std::sin(static_cast<double>(i * a.cols() + j));
+    }
+  }
+  const Matrix serial = GramMatrix(a, ParallelConfig::Serial());
+  EXPECT_EQ(serial, GramMatrix(a, ParallelConfig{4}));
+  EXPECT_EQ(serial, GramMatrix(a, ParallelConfig{64}));
+  EXPECT_EQ(serial, GramMatrix(a));
+}
+
+TEST(ParallelKernelsTest, MatMulIdenticalAtAnyThreadCount) {
+  Matrix a(70, 60);
+  Matrix b(60, 80);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) = std::cos(static_cast<double>(i + 3 * j));
+    }
+  }
+  for (size_t i = 0; i < b.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      b(i, j) = std::sin(static_cast<double>(2 * i + j));
+    }
+  }
+  const Matrix serial = MatMul(a, b, ParallelConfig::Serial());
+  EXPECT_EQ(serial, MatMul(a, b, ParallelConfig{4}));
+  EXPECT_EQ(serial, MatMul(a, b));
+}
+
+TEST(ParallelKernelsTest, MatVecIdenticalAtAnyThreadCount) {
+  Matrix a(500, 300);  // above the inline-work threshold
+  Vector x(300);
+  for (size_t j = 0; j < x.size(); ++j) {
+    x[j] = std::sin(static_cast<double>(j) * 0.7);
+  }
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) = std::cos(static_cast<double>(i) * 0.3 +
+                         static_cast<double>(j));
+    }
+  }
+  const Vector serial = MatVec(a, x, ParallelConfig::Serial());
+  const Vector parallel = MatVec(a, x, ParallelConfig{8});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]);
+  }
 }
 
 }  // namespace

@@ -122,6 +122,26 @@ TEST(SelectL2Test, RejectsBadInputs) {
                    .ok());
 }
 
+TEST(KFoldTest, ParallelFoldsBitIdenticalToSerial) {
+  const SquareLoss eval(0.0);
+  const data::Dataset data = SmallRegression(120);
+  auto run = [&](size_t threads) {
+    random::Rng rng(42);
+    ParallelConfig parallel;
+    parallel.num_threads = threads;
+    return KFoldCrossValidate(ModelKind::kLinearRegression, data, 1e-3,
+                              eval, 5, rng, parallel);
+  };
+  const auto serial = run(1);
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    const auto parallel = run(threads);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial->fold_errors, parallel->fold_errors);
+    EXPECT_EQ(serial->mean_error, parallel->mean_error);
+  }
+}
+
 TEST(SelectL2Test, DeterministicForSameRngSeed) {
   const ZeroOneLoss eval;
   const data::Dataset data = NoisyClassification();
