@@ -1,0 +1,89 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "mbp::mbp_common" for configuration "RelWithDebInfo"
+set_property(TARGET mbp::mbp_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbp::mbp_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbp_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbp::mbp_common )
+list(APPEND _cmake_import_check_files_for_mbp::mbp_common "${_IMPORT_PREFIX}/lib/libmbp_common.a" )
+
+# Import target "mbp::mbp_linalg" for configuration "RelWithDebInfo"
+set_property(TARGET mbp::mbp_linalg APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbp::mbp_linalg PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbp_linalg.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbp::mbp_linalg )
+list(APPEND _cmake_import_check_files_for_mbp::mbp_linalg "${_IMPORT_PREFIX}/lib/libmbp_linalg.a" )
+
+# Import target "mbp::mbp_random" for configuration "RelWithDebInfo"
+set_property(TARGET mbp::mbp_random APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbp::mbp_random PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbp_random.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbp::mbp_random )
+list(APPEND _cmake_import_check_files_for_mbp::mbp_random "${_IMPORT_PREFIX}/lib/libmbp_random.a" )
+
+# Import target "mbp::mbp_data" for configuration "RelWithDebInfo"
+set_property(TARGET mbp::mbp_data APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbp::mbp_data PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbp_data.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbp::mbp_data )
+list(APPEND _cmake_import_check_files_for_mbp::mbp_data "${_IMPORT_PREFIX}/lib/libmbp_data.a" )
+
+# Import target "mbp::mbp_ml" for configuration "RelWithDebInfo"
+set_property(TARGET mbp::mbp_ml APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbp::mbp_ml PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbp_ml.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbp::mbp_ml )
+list(APPEND _cmake_import_check_files_for_mbp::mbp_ml "${_IMPORT_PREFIX}/lib/libmbp_ml.a" )
+
+# Import target "mbp::mbp_optim" for configuration "RelWithDebInfo"
+set_property(TARGET mbp::mbp_optim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbp::mbp_optim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbp_optim.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbp::mbp_optim )
+list(APPEND _cmake_import_check_files_for_mbp::mbp_optim "${_IMPORT_PREFIX}/lib/libmbp_optim.a" )
+
+# Import target "mbp::mbp_core" for configuration "RelWithDebInfo"
+set_property(TARGET mbp::mbp_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbp::mbp_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbp_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbp::mbp_core )
+list(APPEND _cmake_import_check_files_for_mbp::mbp_core "${_IMPORT_PREFIX}/lib/libmbp_core.a" )
+
+# Import target "mbp::mbp_io" for configuration "RelWithDebInfo"
+set_property(TARGET mbp::mbp_io APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbp::mbp_io PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbp_io.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbp::mbp_io )
+list(APPEND _cmake_import_check_files_for_mbp::mbp_io "${_IMPORT_PREFIX}/lib/libmbp_io.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_common.dir/logging.cc.o"
+  "CMakeFiles/mbp_common.dir/logging.cc.o.d"
+  "CMakeFiles/mbp_common.dir/status.cc.o"
+  "CMakeFiles/mbp_common.dir/status.cc.o.d"
+  "CMakeFiles/mbp_common.dir/thread_pool.cc.o"
+  "CMakeFiles/mbp_common.dir/thread_pool.cc.o.d"
+  "libmbp_common.a"
+  "libmbp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

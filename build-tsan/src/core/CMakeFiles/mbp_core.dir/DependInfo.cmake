@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arbitrage.cc" "src/core/CMakeFiles/mbp_core.dir/arbitrage.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/arbitrage.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/mbp_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/buyer_population.cc" "src/core/CMakeFiles/mbp_core.dir/buyer_population.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/buyer_population.cc.o.d"
+  "/root/repo/src/core/curves.cc" "src/core/CMakeFiles/mbp_core.dir/curves.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/curves.cc.o.d"
+  "/root/repo/src/core/demand_estimation.cc" "src/core/CMakeFiles/mbp_core.dir/demand_estimation.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/demand_estimation.cc.o.d"
+  "/root/repo/src/core/error_transform.cc" "src/core/CMakeFiles/mbp_core.dir/error_transform.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/error_transform.cc.o.d"
+  "/root/repo/src/core/exact_opt.cc" "src/core/CMakeFiles/mbp_core.dir/exact_opt.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/exact_opt.cc.o.d"
+  "/root/repo/src/core/interpolation.cc" "src/core/CMakeFiles/mbp_core.dir/interpolation.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/interpolation.cc.o.d"
+  "/root/repo/src/core/ledger.cc" "src/core/CMakeFiles/mbp_core.dir/ledger.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/ledger.cc.o.d"
+  "/root/repo/src/core/market.cc" "src/core/CMakeFiles/mbp_core.dir/market.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/market.cc.o.d"
+  "/root/repo/src/core/marketplace.cc" "src/core/CMakeFiles/mbp_core.dir/marketplace.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/marketplace.cc.o.d"
+  "/root/repo/src/core/mechanism.cc" "src/core/CMakeFiles/mbp_core.dir/mechanism.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/mechanism.cc.o.d"
+  "/root/repo/src/core/pricing_function.cc" "src/core/CMakeFiles/mbp_core.dir/pricing_function.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/pricing_function.cc.o.d"
+  "/root/repo/src/core/privacy.cc" "src/core/CMakeFiles/mbp_core.dir/privacy.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/privacy.cc.o.d"
+  "/root/repo/src/core/revenue_opt.cc" "src/core/CMakeFiles/mbp_core.dir/revenue_opt.cc.o" "gcc" "src/core/CMakeFiles/mbp_core.dir/revenue_opt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mbp_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/mbp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/random/CMakeFiles/mbp_random.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/mbp_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/mbp_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optim/CMakeFiles/mbp_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_core.dir/arbitrage.cc.o"
+  "CMakeFiles/mbp_core.dir/arbitrage.cc.o.d"
+  "CMakeFiles/mbp_core.dir/baselines.cc.o"
+  "CMakeFiles/mbp_core.dir/baselines.cc.o.d"
+  "CMakeFiles/mbp_core.dir/buyer_population.cc.o"
+  "CMakeFiles/mbp_core.dir/buyer_population.cc.o.d"
+  "CMakeFiles/mbp_core.dir/curves.cc.o"
+  "CMakeFiles/mbp_core.dir/curves.cc.o.d"
+  "CMakeFiles/mbp_core.dir/demand_estimation.cc.o"
+  "CMakeFiles/mbp_core.dir/demand_estimation.cc.o.d"
+  "CMakeFiles/mbp_core.dir/error_transform.cc.o"
+  "CMakeFiles/mbp_core.dir/error_transform.cc.o.d"
+  "CMakeFiles/mbp_core.dir/exact_opt.cc.o"
+  "CMakeFiles/mbp_core.dir/exact_opt.cc.o.d"
+  "CMakeFiles/mbp_core.dir/interpolation.cc.o"
+  "CMakeFiles/mbp_core.dir/interpolation.cc.o.d"
+  "CMakeFiles/mbp_core.dir/ledger.cc.o"
+  "CMakeFiles/mbp_core.dir/ledger.cc.o.d"
+  "CMakeFiles/mbp_core.dir/market.cc.o"
+  "CMakeFiles/mbp_core.dir/market.cc.o.d"
+  "CMakeFiles/mbp_core.dir/marketplace.cc.o"
+  "CMakeFiles/mbp_core.dir/marketplace.cc.o.d"
+  "CMakeFiles/mbp_core.dir/mechanism.cc.o"
+  "CMakeFiles/mbp_core.dir/mechanism.cc.o.d"
+  "CMakeFiles/mbp_core.dir/pricing_function.cc.o"
+  "CMakeFiles/mbp_core.dir/pricing_function.cc.o.d"
+  "CMakeFiles/mbp_core.dir/privacy.cc.o"
+  "CMakeFiles/mbp_core.dir/privacy.cc.o.d"
+  "CMakeFiles/mbp_core.dir/revenue_opt.cc.o"
+  "CMakeFiles/mbp_core.dir/revenue_opt.cc.o.d"
+  "libmbp_core.a"
+  "libmbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/mbp_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/mbp_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/mbp_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/mbp_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/feature_expansion.cc" "src/data/CMakeFiles/mbp_data.dir/feature_expansion.cc.o" "gcc" "src/data/CMakeFiles/mbp_data.dir/feature_expansion.cc.o.d"
+  "/root/repo/src/data/scaler.cc" "src/data/CMakeFiles/mbp_data.dir/scaler.cc.o" "gcc" "src/data/CMakeFiles/mbp_data.dir/scaler.cc.o.d"
+  "/root/repo/src/data/sparse_dataset.cc" "src/data/CMakeFiles/mbp_data.dir/sparse_dataset.cc.o" "gcc" "src/data/CMakeFiles/mbp_data.dir/sparse_dataset.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/data/CMakeFiles/mbp_data.dir/split.cc.o" "gcc" "src/data/CMakeFiles/mbp_data.dir/split.cc.o.d"
+  "/root/repo/src/data/statistics.cc" "src/data/CMakeFiles/mbp_data.dir/statistics.cc.o" "gcc" "src/data/CMakeFiles/mbp_data.dir/statistics.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/mbp_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/mbp_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/data/CMakeFiles/mbp_data.dir/table.cc.o" "gcc" "src/data/CMakeFiles/mbp_data.dir/table.cc.o.d"
+  "/root/repo/src/data/uci_like.cc" "src/data/CMakeFiles/mbp_data.dir/uci_like.cc.o" "gcc" "src/data/CMakeFiles/mbp_data.dir/uci_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mbp_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/mbp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/random/CMakeFiles/mbp_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

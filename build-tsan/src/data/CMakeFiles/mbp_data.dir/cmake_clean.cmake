@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_data.dir/csv.cc.o"
+  "CMakeFiles/mbp_data.dir/csv.cc.o.d"
+  "CMakeFiles/mbp_data.dir/dataset.cc.o"
+  "CMakeFiles/mbp_data.dir/dataset.cc.o.d"
+  "CMakeFiles/mbp_data.dir/feature_expansion.cc.o"
+  "CMakeFiles/mbp_data.dir/feature_expansion.cc.o.d"
+  "CMakeFiles/mbp_data.dir/scaler.cc.o"
+  "CMakeFiles/mbp_data.dir/scaler.cc.o.d"
+  "CMakeFiles/mbp_data.dir/sparse_dataset.cc.o"
+  "CMakeFiles/mbp_data.dir/sparse_dataset.cc.o.d"
+  "CMakeFiles/mbp_data.dir/split.cc.o"
+  "CMakeFiles/mbp_data.dir/split.cc.o.d"
+  "CMakeFiles/mbp_data.dir/statistics.cc.o"
+  "CMakeFiles/mbp_data.dir/statistics.cc.o.d"
+  "CMakeFiles/mbp_data.dir/synthetic.cc.o"
+  "CMakeFiles/mbp_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/mbp_data.dir/table.cc.o"
+  "CMakeFiles/mbp_data.dir/table.cc.o.d"
+  "CMakeFiles/mbp_data.dir/uci_like.cc.o"
+  "CMakeFiles/mbp_data.dir/uci_like.cc.o.d"
+  "libmbp_data.a"
+  "libmbp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

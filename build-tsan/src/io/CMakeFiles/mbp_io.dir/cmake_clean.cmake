@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_io.dir/model_io.cc.o"
+  "CMakeFiles/mbp_io.dir/model_io.cc.o.d"
+  "libmbp_io.a"
+  "libmbp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cc" "src/linalg/CMakeFiles/mbp_linalg.dir/cholesky.cc.o" "gcc" "src/linalg/CMakeFiles/mbp_linalg.dir/cholesky.cc.o.d"
+  "/root/repo/src/linalg/conjugate_gradient.cc" "src/linalg/CMakeFiles/mbp_linalg.dir/conjugate_gradient.cc.o" "gcc" "src/linalg/CMakeFiles/mbp_linalg.dir/conjugate_gradient.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/linalg/CMakeFiles/mbp_linalg.dir/eigen.cc.o" "gcc" "src/linalg/CMakeFiles/mbp_linalg.dir/eigen.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/linalg/CMakeFiles/mbp_linalg.dir/matrix.cc.o" "gcc" "src/linalg/CMakeFiles/mbp_linalg.dir/matrix.cc.o.d"
+  "/root/repo/src/linalg/qr.cc" "src/linalg/CMakeFiles/mbp_linalg.dir/qr.cc.o" "gcc" "src/linalg/CMakeFiles/mbp_linalg.dir/qr.cc.o.d"
+  "/root/repo/src/linalg/sparse.cc" "src/linalg/CMakeFiles/mbp_linalg.dir/sparse.cc.o" "gcc" "src/linalg/CMakeFiles/mbp_linalg.dir/sparse.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "src/linalg/CMakeFiles/mbp_linalg.dir/vector_ops.cc.o" "gcc" "src/linalg/CMakeFiles/mbp_linalg.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mbp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/mbp_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/mbp_linalg.dir/conjugate_gradient.cc.o"
+  "CMakeFiles/mbp_linalg.dir/conjugate_gradient.cc.o.d"
+  "CMakeFiles/mbp_linalg.dir/eigen.cc.o"
+  "CMakeFiles/mbp_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/mbp_linalg.dir/matrix.cc.o"
+  "CMakeFiles/mbp_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/mbp_linalg.dir/qr.cc.o"
+  "CMakeFiles/mbp_linalg.dir/qr.cc.o.d"
+  "CMakeFiles/mbp_linalg.dir/sparse.cc.o"
+  "CMakeFiles/mbp_linalg.dir/sparse.cc.o.d"
+  "CMakeFiles/mbp_linalg.dir/vector_ops.cc.o"
+  "CMakeFiles/mbp_linalg.dir/vector_ops.cc.o.d"
+  "libmbp_linalg.a"
+  "libmbp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cc" "src/ml/CMakeFiles/mbp_ml.dir/cross_validation.cc.o" "gcc" "src/ml/CMakeFiles/mbp_ml.dir/cross_validation.cc.o.d"
+  "/root/repo/src/ml/loss.cc" "src/ml/CMakeFiles/mbp_ml.dir/loss.cc.o" "gcc" "src/ml/CMakeFiles/mbp_ml.dir/loss.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/mbp_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/mbp_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/model.cc" "src/ml/CMakeFiles/mbp_ml.dir/model.cc.o" "gcc" "src/ml/CMakeFiles/mbp_ml.dir/model.cc.o.d"
+  "/root/repo/src/ml/sgd.cc" "src/ml/CMakeFiles/mbp_ml.dir/sgd.cc.o" "gcc" "src/ml/CMakeFiles/mbp_ml.dir/sgd.cc.o.d"
+  "/root/repo/src/ml/sparse_trainer.cc" "src/ml/CMakeFiles/mbp_ml.dir/sparse_trainer.cc.o" "gcc" "src/ml/CMakeFiles/mbp_ml.dir/sparse_trainer.cc.o.d"
+  "/root/repo/src/ml/trainer.cc" "src/ml/CMakeFiles/mbp_ml.dir/trainer.cc.o" "gcc" "src/ml/CMakeFiles/mbp_ml.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mbp_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/mbp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/mbp_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/random/CMakeFiles/mbp_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

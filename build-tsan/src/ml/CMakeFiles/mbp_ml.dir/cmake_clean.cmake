@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/mbp_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/mbp_ml.dir/loss.cc.o"
+  "CMakeFiles/mbp_ml.dir/loss.cc.o.d"
+  "CMakeFiles/mbp_ml.dir/metrics.cc.o"
+  "CMakeFiles/mbp_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/mbp_ml.dir/model.cc.o"
+  "CMakeFiles/mbp_ml.dir/model.cc.o.d"
+  "CMakeFiles/mbp_ml.dir/sgd.cc.o"
+  "CMakeFiles/mbp_ml.dir/sgd.cc.o.d"
+  "CMakeFiles/mbp_ml.dir/sparse_trainer.cc.o"
+  "CMakeFiles/mbp_ml.dir/sparse_trainer.cc.o.d"
+  "CMakeFiles/mbp_ml.dir/trainer.cc.o"
+  "CMakeFiles/mbp_ml.dir/trainer.cc.o.d"
+  "libmbp_ml.a"
+  "libmbp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_optim.dir/pava.cc.o"
+  "CMakeFiles/mbp_optim.dir/pava.cc.o.d"
+  "CMakeFiles/mbp_optim.dir/simplex.cc.o"
+  "CMakeFiles/mbp_optim.dir/simplex.cc.o.d"
+  "libmbp_optim.a"
+  "libmbp_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/random/distributions.cc" "src/random/CMakeFiles/mbp_random.dir/distributions.cc.o" "gcc" "src/random/CMakeFiles/mbp_random.dir/distributions.cc.o.d"
+  "/root/repo/src/random/rng.cc" "src/random/CMakeFiles/mbp_random.dir/rng.cc.o" "gcc" "src/random/CMakeFiles/mbp_random.dir/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mbp_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/mbp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

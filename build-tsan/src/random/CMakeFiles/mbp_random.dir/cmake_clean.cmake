@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_random.dir/distributions.cc.o"
+  "CMakeFiles/mbp_random.dir/distributions.cc.o.d"
+  "CMakeFiles/mbp_random.dir/rng.cc.o"
+  "CMakeFiles/mbp_random.dir/rng.cc.o.d"
+  "libmbp_random.a"
+  "libmbp_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

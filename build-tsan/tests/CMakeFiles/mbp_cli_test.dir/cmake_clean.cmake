@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_cli_test.dir/tools/cli_test.cc.o"
+  "CMakeFiles/mbp_cli_test.dir/tools/cli_test.cc.o.d"
+  "mbp_cli_test"
+  "mbp_cli_test.pdb"
+  "mbp_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

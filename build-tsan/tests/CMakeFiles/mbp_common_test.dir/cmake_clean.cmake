@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_common_test.dir/common/check_test.cc.o"
+  "CMakeFiles/mbp_common_test.dir/common/check_test.cc.o.d"
+  "CMakeFiles/mbp_common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/mbp_common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/mbp_common_test.dir/common/statusor_test.cc.o"
+  "CMakeFiles/mbp_common_test.dir/common/statusor_test.cc.o.d"
+  "CMakeFiles/mbp_common_test.dir/common/thread_pool_test.cc.o"
+  "CMakeFiles/mbp_common_test.dir/common/thread_pool_test.cc.o.d"
+  "mbp_common_test"
+  "mbp_common_test.pdb"
+  "mbp_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/arbitrage_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/arbitrage_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/arbitrage_test.cc.o.d"
+  "/root/repo/tests/core/baselines_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/baselines_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/baselines_test.cc.o.d"
+  "/root/repo/tests/core/buyer_population_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/buyer_population_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/buyer_population_test.cc.o.d"
+  "/root/repo/tests/core/curves_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/curves_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/curves_test.cc.o.d"
+  "/root/repo/tests/core/demand_estimation_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/demand_estimation_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/demand_estimation_test.cc.o.d"
+  "/root/repo/tests/core/error_transform_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/error_transform_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/error_transform_test.cc.o.d"
+  "/root/repo/tests/core/exact_opt_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/exact_opt_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/exact_opt_test.cc.o.d"
+  "/root/repo/tests/core/interpolation_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/interpolation_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/interpolation_test.cc.o.d"
+  "/root/repo/tests/core/ledger_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/ledger_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/ledger_test.cc.o.d"
+  "/root/repo/tests/core/market_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/market_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/market_test.cc.o.d"
+  "/root/repo/tests/core/marketplace_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/marketplace_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/marketplace_test.cc.o.d"
+  "/root/repo/tests/core/mechanism_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/mechanism_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/mechanism_test.cc.o.d"
+  "/root/repo/tests/core/pricing_function_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/pricing_function_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/pricing_function_test.cc.o.d"
+  "/root/repo/tests/core/privacy_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/privacy_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/privacy_test.cc.o.d"
+  "/root/repo/tests/core/revenue_opt_test.cc" "tests/CMakeFiles/mbp_core_test.dir/core/revenue_opt_test.cc.o" "gcc" "tests/CMakeFiles/mbp_core_test.dir/core/revenue_opt_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/io/CMakeFiles/mbp_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/mbp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/mbp_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/mbp_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/random/CMakeFiles/mbp_random.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optim/CMakeFiles/mbp_optim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/mbp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/mbp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

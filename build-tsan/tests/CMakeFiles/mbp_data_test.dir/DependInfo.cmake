@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/csv_test.cc" "tests/CMakeFiles/mbp_data_test.dir/data/csv_test.cc.o" "gcc" "tests/CMakeFiles/mbp_data_test.dir/data/csv_test.cc.o.d"
+  "/root/repo/tests/data/dataset_test.cc" "tests/CMakeFiles/mbp_data_test.dir/data/dataset_test.cc.o" "gcc" "tests/CMakeFiles/mbp_data_test.dir/data/dataset_test.cc.o.d"
+  "/root/repo/tests/data/feature_expansion_test.cc" "tests/CMakeFiles/mbp_data_test.dir/data/feature_expansion_test.cc.o" "gcc" "tests/CMakeFiles/mbp_data_test.dir/data/feature_expansion_test.cc.o.d"
+  "/root/repo/tests/data/scaler_test.cc" "tests/CMakeFiles/mbp_data_test.dir/data/scaler_test.cc.o" "gcc" "tests/CMakeFiles/mbp_data_test.dir/data/scaler_test.cc.o.d"
+  "/root/repo/tests/data/sparse_dataset_test.cc" "tests/CMakeFiles/mbp_data_test.dir/data/sparse_dataset_test.cc.o" "gcc" "tests/CMakeFiles/mbp_data_test.dir/data/sparse_dataset_test.cc.o.d"
+  "/root/repo/tests/data/split_test.cc" "tests/CMakeFiles/mbp_data_test.dir/data/split_test.cc.o" "gcc" "tests/CMakeFiles/mbp_data_test.dir/data/split_test.cc.o.d"
+  "/root/repo/tests/data/statistics_test.cc" "tests/CMakeFiles/mbp_data_test.dir/data/statistics_test.cc.o" "gcc" "tests/CMakeFiles/mbp_data_test.dir/data/statistics_test.cc.o.d"
+  "/root/repo/tests/data/synthetic_test.cc" "tests/CMakeFiles/mbp_data_test.dir/data/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/mbp_data_test.dir/data/synthetic_test.cc.o.d"
+  "/root/repo/tests/data/table_test.cc" "tests/CMakeFiles/mbp_data_test.dir/data/table_test.cc.o" "gcc" "tests/CMakeFiles/mbp_data_test.dir/data/table_test.cc.o.d"
+  "/root/repo/tests/data/uci_like_test.cc" "tests/CMakeFiles/mbp_data_test.dir/data/uci_like_test.cc.o" "gcc" "tests/CMakeFiles/mbp_data_test.dir/data/uci_like_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/io/CMakeFiles/mbp_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/mbp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/mbp_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/mbp_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/random/CMakeFiles/mbp_random.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optim/CMakeFiles/mbp_optim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/mbp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/mbp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_data_test.dir/data/csv_test.cc.o"
+  "CMakeFiles/mbp_data_test.dir/data/csv_test.cc.o.d"
+  "CMakeFiles/mbp_data_test.dir/data/dataset_test.cc.o"
+  "CMakeFiles/mbp_data_test.dir/data/dataset_test.cc.o.d"
+  "CMakeFiles/mbp_data_test.dir/data/feature_expansion_test.cc.o"
+  "CMakeFiles/mbp_data_test.dir/data/feature_expansion_test.cc.o.d"
+  "CMakeFiles/mbp_data_test.dir/data/scaler_test.cc.o"
+  "CMakeFiles/mbp_data_test.dir/data/scaler_test.cc.o.d"
+  "CMakeFiles/mbp_data_test.dir/data/sparse_dataset_test.cc.o"
+  "CMakeFiles/mbp_data_test.dir/data/sparse_dataset_test.cc.o.d"
+  "CMakeFiles/mbp_data_test.dir/data/split_test.cc.o"
+  "CMakeFiles/mbp_data_test.dir/data/split_test.cc.o.d"
+  "CMakeFiles/mbp_data_test.dir/data/statistics_test.cc.o"
+  "CMakeFiles/mbp_data_test.dir/data/statistics_test.cc.o.d"
+  "CMakeFiles/mbp_data_test.dir/data/synthetic_test.cc.o"
+  "CMakeFiles/mbp_data_test.dir/data/synthetic_test.cc.o.d"
+  "CMakeFiles/mbp_data_test.dir/data/table_test.cc.o"
+  "CMakeFiles/mbp_data_test.dir/data/table_test.cc.o.d"
+  "CMakeFiles/mbp_data_test.dir/data/uci_like_test.cc.o"
+  "CMakeFiles/mbp_data_test.dir/data/uci_like_test.cc.o.d"
+  "mbp_data_test"
+  "mbp_data_test.pdb"
+  "mbp_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

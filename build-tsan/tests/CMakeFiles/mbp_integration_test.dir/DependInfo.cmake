@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/mbp_integration_test.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/mbp_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/paper_claims_test.cc" "tests/CMakeFiles/mbp_integration_test.dir/integration/paper_claims_test.cc.o" "gcc" "tests/CMakeFiles/mbp_integration_test.dir/integration/paper_claims_test.cc.o.d"
+  "/root/repo/tests/integration/parallel_determinism_test.cc" "tests/CMakeFiles/mbp_integration_test.dir/integration/parallel_determinism_test.cc.o" "gcc" "tests/CMakeFiles/mbp_integration_test.dir/integration/parallel_determinism_test.cc.o.d"
+  "/root/repo/tests/integration/persistence_test.cc" "tests/CMakeFiles/mbp_integration_test.dir/integration/persistence_test.cc.o" "gcc" "tests/CMakeFiles/mbp_integration_test.dir/integration/persistence_test.cc.o.d"
+  "/root/repo/tests/integration/soak_test.cc" "tests/CMakeFiles/mbp_integration_test.dir/integration/soak_test.cc.o" "gcc" "tests/CMakeFiles/mbp_integration_test.dir/integration/soak_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/io/CMakeFiles/mbp_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/mbp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/mbp_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/mbp_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/random/CMakeFiles/mbp_random.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optim/CMakeFiles/mbp_optim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/mbp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/mbp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

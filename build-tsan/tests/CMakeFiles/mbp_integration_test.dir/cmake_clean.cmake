@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/mbp_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/mbp_integration_test.dir/integration/paper_claims_test.cc.o"
+  "CMakeFiles/mbp_integration_test.dir/integration/paper_claims_test.cc.o.d"
+  "CMakeFiles/mbp_integration_test.dir/integration/parallel_determinism_test.cc.o"
+  "CMakeFiles/mbp_integration_test.dir/integration/parallel_determinism_test.cc.o.d"
+  "CMakeFiles/mbp_integration_test.dir/integration/persistence_test.cc.o"
+  "CMakeFiles/mbp_integration_test.dir/integration/persistence_test.cc.o.d"
+  "CMakeFiles/mbp_integration_test.dir/integration/soak_test.cc.o"
+  "CMakeFiles/mbp_integration_test.dir/integration/soak_test.cc.o.d"
+  "mbp_integration_test"
+  "mbp_integration_test.pdb"
+  "mbp_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

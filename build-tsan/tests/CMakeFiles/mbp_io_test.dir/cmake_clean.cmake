@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_io_test.dir/io/model_io_test.cc.o"
+  "CMakeFiles/mbp_io_test.dir/io/model_io_test.cc.o.d"
+  "CMakeFiles/mbp_io_test.dir/io/reader_fuzz_test.cc.o"
+  "CMakeFiles/mbp_io_test.dir/io/reader_fuzz_test.cc.o.d"
+  "mbp_io_test"
+  "mbp_io_test.pdb"
+  "mbp_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

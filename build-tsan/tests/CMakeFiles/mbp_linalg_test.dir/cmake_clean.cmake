@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_linalg_test.dir/linalg/cholesky_test.cc.o"
+  "CMakeFiles/mbp_linalg_test.dir/linalg/cholesky_test.cc.o.d"
+  "CMakeFiles/mbp_linalg_test.dir/linalg/conjugate_gradient_test.cc.o"
+  "CMakeFiles/mbp_linalg_test.dir/linalg/conjugate_gradient_test.cc.o.d"
+  "CMakeFiles/mbp_linalg_test.dir/linalg/eigen_test.cc.o"
+  "CMakeFiles/mbp_linalg_test.dir/linalg/eigen_test.cc.o.d"
+  "CMakeFiles/mbp_linalg_test.dir/linalg/matrix_test.cc.o"
+  "CMakeFiles/mbp_linalg_test.dir/linalg/matrix_test.cc.o.d"
+  "CMakeFiles/mbp_linalg_test.dir/linalg/qr_test.cc.o"
+  "CMakeFiles/mbp_linalg_test.dir/linalg/qr_test.cc.o.d"
+  "CMakeFiles/mbp_linalg_test.dir/linalg/sparse_test.cc.o"
+  "CMakeFiles/mbp_linalg_test.dir/linalg/sparse_test.cc.o.d"
+  "CMakeFiles/mbp_linalg_test.dir/linalg/vector_ops_test.cc.o"
+  "CMakeFiles/mbp_linalg_test.dir/linalg/vector_ops_test.cc.o.d"
+  "mbp_linalg_test"
+  "mbp_linalg_test.pdb"
+  "mbp_linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

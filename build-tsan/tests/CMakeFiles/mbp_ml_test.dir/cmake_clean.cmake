@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_ml_test.dir/ml/cross_validation_test.cc.o"
+  "CMakeFiles/mbp_ml_test.dir/ml/cross_validation_test.cc.o.d"
+  "CMakeFiles/mbp_ml_test.dir/ml/loss_test.cc.o"
+  "CMakeFiles/mbp_ml_test.dir/ml/loss_test.cc.o.d"
+  "CMakeFiles/mbp_ml_test.dir/ml/metrics_test.cc.o"
+  "CMakeFiles/mbp_ml_test.dir/ml/metrics_test.cc.o.d"
+  "CMakeFiles/mbp_ml_test.dir/ml/sgd_test.cc.o"
+  "CMakeFiles/mbp_ml_test.dir/ml/sgd_test.cc.o.d"
+  "CMakeFiles/mbp_ml_test.dir/ml/sparse_trainer_test.cc.o"
+  "CMakeFiles/mbp_ml_test.dir/ml/sparse_trainer_test.cc.o.d"
+  "CMakeFiles/mbp_ml_test.dir/ml/trainer_test.cc.o"
+  "CMakeFiles/mbp_ml_test.dir/ml/trainer_test.cc.o.d"
+  "mbp_ml_test"
+  "mbp_ml_test.pdb"
+  "mbp_ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

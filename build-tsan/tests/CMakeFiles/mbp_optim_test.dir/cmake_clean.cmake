@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_optim_test.dir/optim/pava_test.cc.o"
+  "CMakeFiles/mbp_optim_test.dir/optim/pava_test.cc.o.d"
+  "CMakeFiles/mbp_optim_test.dir/optim/simplex_test.cc.o"
+  "CMakeFiles/mbp_optim_test.dir/optim/simplex_test.cc.o.d"
+  "mbp_optim_test"
+  "mbp_optim_test.pdb"
+  "mbp_optim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_optim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

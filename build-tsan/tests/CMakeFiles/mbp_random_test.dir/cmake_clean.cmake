@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_random_test.dir/random/distributions_test.cc.o"
+  "CMakeFiles/mbp_random_test.dir/random/distributions_test.cc.o.d"
+  "CMakeFiles/mbp_random_test.dir/random/rng_test.cc.o"
+  "CMakeFiles/mbp_random_test.dir/random/rng_test.cc.o.d"
+  "mbp_random_test"
+  "mbp_random_test.pdb"
+  "mbp_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/theory_properties_test.cc" "tests/CMakeFiles/mbp_theory_test.dir/core/theory_properties_test.cc.o" "gcc" "tests/CMakeFiles/mbp_theory_test.dir/core/theory_properties_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/io/CMakeFiles/mbp_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/mbp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/mbp_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/mbp_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/random/CMakeFiles/mbp_random.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optim/CMakeFiles/mbp_optim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/mbp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/mbp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

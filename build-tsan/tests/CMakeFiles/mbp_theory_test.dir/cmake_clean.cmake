@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_theory_test.dir/core/theory_properties_test.cc.o"
+  "CMakeFiles/mbp_theory_test.dir/core/theory_properties_test.cc.o.d"
+  "mbp_theory_test"
+  "mbp_theory_test.pdb"
+  "mbp_theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

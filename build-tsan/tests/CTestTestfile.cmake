@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/mbp_common_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mbp_linalg_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mbp_random_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mbp_optim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mbp_data_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mbp_ml_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mbp_core_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mbp_io_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mbp_theory_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mbp_cli_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mbp_integration_test[1]_include.cmake")

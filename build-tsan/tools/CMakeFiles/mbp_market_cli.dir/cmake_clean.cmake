@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbp_market_cli.dir/mbp_market_cli.cc.o"
+  "CMakeFiles/mbp_market_cli.dir/mbp_market_cli.cc.o.d"
+  "mbp_market_cli"
+  "mbp_market_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbp_market_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
