@@ -2,12 +2,13 @@
 # Builds the library + tests under ThreadSanitizer and runs the
 # concurrency-sensitive suites. Usage:
 #   scripts/tsan.sh [build_dir] [ctest_regex]
-# The default regex covers the thread pool, the parallel kernels, and the
-# cross-thread determinism tests; pass '.' to run everything (slow).
+# The default regex covers the thread pool, the parallel kernels, the
+# cross-thread determinism tests, and the price-serving stress suites
+# (republish-under-load RCU swaps); pass '.' to run everything (slow).
 set -euo pipefail
 
 BUILD_DIR="${1:-build-tsan}"
-FILTER="${2:-ThreadPool|ParallelFor|ParallelConfig|Parallel}"
+FILTER="${2:-ThreadPool|ParallelFor|ParallelConfig|Parallel|Serving|Snapshot|PriceQuery}"
 
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -17,5 +18,7 @@ cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." \
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 # halt_on_error: fail the test at the first race, not at exit.
-TSAN_OPTIONS="halt_on_error=1" \
+# tsan.supp: known libstdc++ atomic<shared_ptr> false positive (see file).
+SUPP="$(cd "$(dirname "$0")" && pwd)/tsan.supp"
+TSAN_OPTIONS="halt_on_error=1 suppressions=$SUPP" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$FILTER"

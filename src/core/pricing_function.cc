@@ -85,10 +85,16 @@ double PiecewiseLinearPricing::MaxInverseNcpForBudget(double budget) const {
     return first.x * budget / first.price;
   }
   // Find the last knot with price <= budget and invert its right segment.
-  size_t lo = 0;
-  for (size_t i = 1; i < points_.size(); ++i) {
-    if (points_[i].price <= budget) lo = i;
-  }
+  // Prices are monotone non-decreasing (precondition), so "price <= budget"
+  // is a true-prefix predicate and std::partition_point binary-searches it.
+  // Ties on flat runs resolve identically to the old linear scan: the
+  // partition point is the first knot priced above budget, so lo is the
+  // LAST knot with price <= budget. The scan survives as
+  // internal::MaxInverseNcpForBudgetLinearScan, the test oracle.
+  const auto it = std::partition_point(
+      points_.begin(), points_.end(),
+      [budget](const PricePoint& p) { return p.price <= budget; });
+  const size_t lo = static_cast<size_t>(it - points_.begin()) - 1;
   const PricePoint& left = points_[lo];
   const PricePoint& right = points_[lo + 1];
   const double rise = right.price - left.price;
@@ -96,6 +102,34 @@ double PiecewiseLinearPricing::MaxInverseNcpForBudget(double budget) const {
   const double t = (budget - left.price) / rise;
   return left.x + t * (right.x - left.x);
 }
+
+namespace internal {
+
+double MaxInverseNcpForBudgetLinearScan(const std::vector<PricePoint>& points,
+                                        double budget) {
+  MBP_CHECK_GE(budget, 0.0);
+  const PricePoint& last = points.back();
+  if (budget >= last.price) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const PricePoint& first = points.front();
+  if (budget <= first.price) {
+    if (first.price <= 0.0) return std::numeric_limits<double>::infinity();
+    return first.x * budget / first.price;
+  }
+  size_t lo = 0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].price <= budget) lo = i;
+  }
+  const PricePoint& left = points[lo];
+  const PricePoint& right = points[lo + 1];
+  const double rise = right.price - left.price;
+  if (rise <= 0.0) return right.x;
+  const double t = (budget - left.price) / rise;
+  return left.x + t * (right.x - left.x);
+}
+
+}  // namespace internal
 
 std::vector<double> RelaxedMinorant(const PriceCallable& price,
                                     const std::vector<double>& xs) {

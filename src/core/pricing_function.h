@@ -56,6 +56,7 @@ class PiecewiseLinearPricing final : public PricingFunction {
   // budget covers the whole curve (price is constant after the last knot).
   // Requires a monotone curve (ValidateArbitrageFree() == OK) and
   // budget >= 0. Used by the broker's price-budget purchase option.
+  // O(log n): binary search over the (monotone) knot prices.
   double MaxInverseNcpForBudget(double budget) const;
 
   const std::vector<PricePoint>& points() const { return points_; }
@@ -66,6 +67,15 @@ class PiecewiseLinearPricing final : public PricingFunction {
 
   std::vector<PricePoint> points_;
 };
+
+namespace internal {
+
+// The original O(n) budget inversion, kept verbatim as the oracle for the
+// binary-search implementation in MaxInverseNcpForBudget. Test-only.
+double MaxInverseNcpForBudgetLinearScan(const std::vector<PricePoint>& points,
+                                        double budget);
+
+}  // namespace internal
 
 // --- Generic sampled property checkers -----------------------------------
 //

@@ -1,0 +1,74 @@
+#include "serving/snapshot_registry.h"
+
+#include <utility>
+
+namespace mbp::serving {
+namespace {
+
+// Publish stamps are allocated process-globally (not per registry) so a
+// stamp value is never reused, even when a later registry's slot lands on
+// a recycled address. Cache keys and the engine's thread-local snapshot
+// pin both identify a publish by its stamp alone.
+std::atomic<uint64_t> g_next_stamp{1};
+
+uint64_t NextStamp() {
+  return g_next_stamp.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+SnapshotRegistry::CurveSlot* SnapshotRegistry::FindOrCreateSlot(
+    const std::string& curve_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(curve_id);
+  if (it != index_.end()) return it->second;
+  CurveSlot* slot = &slots_.emplace_back();
+  index_.emplace(curve_id, slot);
+  return slot;
+}
+
+StatusOr<const SnapshotRegistry::CurveSlot*> SnapshotRegistry::Publish(
+    const std::string& curve_id, const core::PiecewiseLinearPricing& curve) {
+  // Compile (and validate) outside any lock: a slow or failing compile
+  // never blocks readers or other publishers.
+  MBP_ASSIGN_OR_RETURN(std::shared_ptr<const PricingSnapshot> snapshot,
+                       PricingSnapshot::Compile(curve));
+  CurveSlot* slot = FindOrCreateSlot(curve_id);
+  const uint64_t stamp = NextStamp();
+  // Order matters: snapshot first (release), stamp second (seq_cst).
+  // A reader that sees the new stamp therefore sees this snapshot or a
+  // newer one; see the class comment and DESIGN.md §5b.
+  slot->snapshot_.store(std::move(snapshot), std::memory_order_release);
+  slot->stamp_.store(stamp, std::memory_order_seq_cst);
+  return static_cast<const CurveSlot*>(slot);
+}
+
+Status SnapshotRegistry::Withdraw(const std::string& curve_id) {
+  CurveSlot* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(curve_id);
+    if (it == index_.end()) {
+      return NotFoundError("no published curve with id '" + curve_id + "'");
+    }
+    slot = it->second;
+  }
+  const uint64_t stamp = NextStamp();
+  slot->snapshot_.store(nullptr, std::memory_order_release);
+  slot->stamp_.store(stamp, std::memory_order_seq_cst);
+  return Status::OK();
+}
+
+const SnapshotRegistry::CurveSlot* SnapshotRegistry::Find(
+    const std::string& curve_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(curve_id);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+size_t SnapshotRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+}  // namespace mbp::serving

@@ -135,5 +135,63 @@ TEST(MaxInverseNcpForBudgetTest, BudgetEqualsKnotPrice) {
   EXPECT_NEAR(pricing.MaxInverseNcpForBudget(18.0), 2.0, 1e-12);
 }
 
+TEST(MaxInverseNcpForBudgetTest, BinarySearchMatchesLinearScanOracle) {
+  // The O(log n) partition_point inversion against the original O(n) scan
+  // (internal::MaxInverseNcpForBudgetLinearScan), over curves with flat
+  // runs and budgets at/between/around every knot price.
+  const std::vector<std::vector<PricePoint>> curves = {
+      {{1.0, 10.0}, {2.0, 18.0}, {4.0, 30.0}, {8.0, 40.0}},
+      {{1.0, 10.0}, {2.0, 10.0}, {3.0, 10.0}, {6.0, 12.0}},  // flat run
+      {{2.0, 6.0}, {5.0, 6.0}},                              // all flat
+      {{1.0, 0.0}, {2.0, 0.0}},                              // free curve
+  };
+  for (const auto& knots : curves) {
+    const auto pricing = PiecewiseLinearPricing::Create(knots).value();
+    ASSERT_TRUE(pricing.ValidateArbitrageFree().ok());
+    std::vector<double> budgets = {0.0};
+    for (const PricePoint& p : knots) {
+      budgets.push_back(p.price);
+      budgets.push_back(std::nextafter(p.price, 0.0));
+      budgets.push_back(std::nextafter(p.price, 1e300));
+      budgets.push_back(p.price * 0.7);
+      budgets.push_back(p.price * 1.1);
+    }
+    for (const double budget : budgets) {
+      const double fast = pricing.MaxInverseNcpForBudget(budget);
+      const double oracle =
+          internal::MaxInverseNcpForBudgetLinearScan(pricing.points(),
+                                                     budget);
+      if (std::isinf(oracle)) {
+        EXPECT_TRUE(std::isinf(fast)) << "budget=" << budget;
+      } else {
+        EXPECT_EQ(fast, oracle) << "budget=" << budget;
+      }
+    }
+  }
+}
+
+TEST(MaxInverseNcpForBudgetTest, OracleAgreementOnDenseRandomCurve) {
+  // A 500-knot concave curve: sqrt is monotone with decreasing ratio.
+  std::vector<PricePoint> knots;
+  for (int i = 1; i <= 500; ++i) {
+    const double x = 0.02 * static_cast<double>(i);
+    knots.push_back({x, std::sqrt(x)});
+  }
+  const auto pricing = PiecewiseLinearPricing::Create(knots).value();
+  ASSERT_TRUE(pricing.ValidateArbitrageFree().ok());
+  for (int i = 0; i <= 400; ++i) {
+    const double budget =
+        pricing.points().back().price * static_cast<double>(i) / 390.0;
+    const double fast = pricing.MaxInverseNcpForBudget(budget);
+    const double oracle = internal::MaxInverseNcpForBudgetLinearScan(
+        pricing.points(), budget);
+    if (std::isinf(oracle)) {
+      EXPECT_TRUE(std::isinf(fast));
+    } else {
+      EXPECT_EQ(fast, oracle) << "budget=" << budget;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mbp::core

@@ -1,6 +1,7 @@
 #include "linalg/matrix.h"
 
 #include <cmath>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -101,6 +102,42 @@ TEST(TransposeTest, SwapsDimensions) {
   EXPECT_EQ(t.rows(), 3u);
   EXPECT_EQ(t.cols(), 2u);
   EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(TransposeTest, TiledKernelMatchesNaiveLoop) {
+  // The cache-blocked transpose must be exactly the naive i/j loop: pure
+  // copies, so equality is exact. Shapes chosen to hit full interior
+  // tiles, ragged edge tiles, single-row/column strips, and sizes around
+  // the 64-wide tile boundary.
+  const std::pair<size_t, size_t> shapes[] = {
+      {1, 1},  {1, 7},   {7, 1},   {3, 5},    {63, 65},
+      {64, 64}, {65, 63}, {1, 200}, {200, 1}, {130, 257}};
+  for (const auto& [rows, cols] : shapes) {
+    Matrix a(rows, cols);
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        a(i, j) = static_cast<double>(i * 1000 + j) * 0.37 - 17.0;
+      }
+    }
+    const Matrix t = Transpose(a);
+    ASSERT_EQ(t.rows(), cols);
+    ASSERT_EQ(t.cols(), rows);
+    Matrix naive(cols, rows);
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) naive(j, i) = a(i, j);
+    }
+    EXPECT_TRUE(t == naive) << rows << "x" << cols;
+  }
+}
+
+TEST(TransposeTest, InvolutionRecoversOriginal) {
+  Matrix a(97, 41);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) = std::sin(static_cast<double>(i * 53 + j));
+    }
+  }
+  EXPECT_TRUE(Transpose(Transpose(a)) == a);
 }
 
 TEST(MatVecDeathTest, DimensionMismatchAborts) {

@@ -1,0 +1,208 @@
+#include "serving/pricing_snapshot.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pricing_function.h"
+#include "random/rng.h"
+
+namespace mbp::serving {
+namespace {
+
+using core::PiecewiseLinearPricing;
+using core::PricePoint;
+
+PiecewiseLinearPricing MakeValidPricing() {
+  return PiecewiseLinearPricing::Create(
+             {{1.0, 10.0}, {2.0, 18.0}, {4.0, 30.0}, {8.0, 40.0}})
+      .value();
+}
+
+std::shared_ptr<const PricingSnapshot> CompileOrDie(
+    const PiecewiseLinearPricing& curve) {
+  auto snapshot = PricingSnapshot::Compile(curve);
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  return std::move(snapshot).value();
+}
+
+// A random arbitrage-free curve: strictly increasing x, price built from a
+// non-increasing price/x ratio (with occasional exactly-flat price runs),
+// which is precisely the relaxed-feasibility certificate.
+PiecewiseLinearPricing RandomValidPricing(random::Rng& rng, size_t n) {
+  std::vector<PricePoint> points(n);
+  double x = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    x += 0.05 + rng.NextDouble() * 3.0;
+    points[i].x = x;
+  }
+  double ratio = 5.0 + rng.NextDouble() * 10.0;
+  points[0].price = ratio * points[0].x;
+  for (size_t i = 1; i < n; ++i) {
+    if (rng.NextDouble() < 0.15) {
+      points[i].price = points[i - 1].price;  // exact flat segment
+    } else {
+      const double floor_u = points[i - 1].x / points[i].x;
+      const double u =
+          std::max(floor_u, 0.9 + rng.NextDouble() * 0.1);
+      ratio = (points[i - 1].price / points[i - 1].x) * u;
+      points[i].price = ratio * points[i].x;
+      if (points[i].price < points[i - 1].price) {
+        points[i].price = points[i - 1].price;
+      }
+    }
+  }
+  return PiecewiseLinearPricing::Create(std::move(points)).value();
+}
+
+TEST(PricingSnapshotTest, CompileRejectsNonArbitrageFreeCurves) {
+  // Non-monotone prices.
+  auto decreasing =
+      PiecewiseLinearPricing::Create({{1.0, 10.0}, {2.0, 5.0}}).value();
+  EXPECT_EQ(PricingSnapshot::Compile(decreasing).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Convex (superadditive) prices.
+  auto convex =
+      PiecewiseLinearPricing::Create({{1.0, 1.0}, {2.0, 4.0}}).value();
+  EXPECT_EQ(PricingSnapshot::Compile(convex).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PricingSnapshotTest, KnotsRoundTrip) {
+  const PiecewiseLinearPricing curve = MakeValidPricing();
+  const auto snapshot = CompileOrDie(curve);
+  const std::vector<PricePoint> knots = snapshot->Knots();
+  ASSERT_EQ(knots.size(), curve.points().size());
+  for (size_t i = 0; i < knots.size(); ++i) {
+    EXPECT_EQ(knots[i].x, curve.points()[i].x);
+    EXPECT_EQ(knots[i].price, curve.points()[i].price);
+  }
+  EXPECT_EQ(snapshot->num_knots(), 4u);
+  EXPECT_EQ(snapshot->x_max(), 8.0);
+  EXPECT_EQ(snapshot->max_price(), 40.0);
+}
+
+TEST(PricingSnapshotTest, VersionsAreUniqueAndIncreasing) {
+  const PiecewiseLinearPricing curve = MakeValidPricing();
+  const auto a = CompileOrDie(curve);
+  const auto b = CompileOrDie(curve);
+  EXPECT_LT(a->version(), b->version());
+}
+
+// The heart of the serving contract: the compiled evaluator returns the
+// EXACT double the research object returns, at every region of the curve.
+TEST(PricingSnapshotTest, PriceAtIsBitIdenticalToResearchPath) {
+  random::Rng rng(1234);
+  for (const size_t n : {1u, 2u, 3u, 7u, 64u, 1000u}) {
+    const PiecewiseLinearPricing curve = RandomValidPricing(rng, n);
+    const auto snapshot = CompileOrDie(curve);
+    // Exact knots, bucket-boundary-ish points, origin segment, beyond the
+    // last knot, and a dense random sweep.
+    std::vector<double> xs = {0.0, curve.points().front().x,
+                              curve.points().back().x,
+                              curve.points().back().x * 3.0};
+    for (const PricePoint& p : curve.points()) {
+      xs.push_back(p.x);
+      xs.push_back(std::nextafter(p.x, 0.0));
+      xs.push_back(std::nextafter(p.x, 1e300));
+    }
+    const double x_max = curve.points().back().x;
+    for (int i = 0; i < 2000; ++i) {
+      xs.push_back(rng.NextDouble() * x_max * 1.1);
+    }
+    for (const double x : xs) {
+      ASSERT_EQ(snapshot->PriceAt(x), curve.PriceAtInverseNcp(x))
+          << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(PricingSnapshotTest, BudgetInversionIsBitIdenticalToResearchPath) {
+  random::Rng rng(99);
+  for (const size_t n : {1u, 2u, 5u, 33u, 400u}) {
+    const PiecewiseLinearPricing curve = RandomValidPricing(rng, n);
+    const auto snapshot = CompileOrDie(curve);
+    std::vector<double> budgets = {0.0, curve.points().back().price,
+                                   curve.points().back().price * 2.0};
+    for (const PricePoint& p : curve.points()) {
+      budgets.push_back(p.price);
+      budgets.push_back(std::nextafter(p.price, 0.0));
+      budgets.push_back(std::nextafter(p.price, 1e300));
+    }
+    const double max_price = curve.points().back().price;
+    for (int i = 0; i < 1000; ++i) {
+      budgets.push_back(rng.NextDouble() * max_price * 1.05);
+    }
+    for (const double budget : budgets) {
+      const double expected = curve.MaxInverseNcpForBudget(budget);
+      const double served = snapshot->BudgetToInverseNcp(budget);
+      if (std::isinf(expected)) {
+        EXPECT_TRUE(std::isinf(served)) << "budget=" << budget;
+      } else {
+        ASSERT_EQ(served, expected) << "n=" << n << " budget=" << budget;
+      }
+    }
+  }
+}
+
+TEST(PricingSnapshotTest, SingleKnotCurve) {
+  auto curve = PiecewiseLinearPricing::Create({{2.0, 6.0}}).value();
+  const auto snapshot = CompileOrDie(curve);
+  for (const double x : {0.0, 0.5, 1.0, 2.0, 3.0, 100.0}) {
+    EXPECT_EQ(snapshot->PriceAt(x), curve.PriceAtInverseNcp(x));
+  }
+  EXPECT_EQ(snapshot->BudgetToInverseNcp(3.0),
+            curve.MaxInverseNcpForBudget(3.0));
+  EXPECT_TRUE(std::isinf(snapshot->BudgetToInverseNcp(6.0)));
+}
+
+TEST(PricingSnapshotTest, FlatSegmentBudgetInversion) {
+  // Budget equal to the flat price must land at the RIGHT end of the flat
+  // run, matching the research path's last-knot-not-exceeding choice.
+  auto curve = PiecewiseLinearPricing::Create(
+                   {{1.0, 10.0}, {2.0, 10.0}, {3.0, 10.0}, {6.0, 12.0}})
+                   .value();
+  const auto snapshot = CompileOrDie(curve);
+  EXPECT_EQ(snapshot->BudgetToInverseNcp(10.0),
+            curve.MaxInverseNcpForBudget(10.0));
+  EXPECT_EQ(snapshot->BudgetToInverseNcp(11.0),
+            curve.MaxInverseNcpForBudget(11.0));
+}
+
+// Ulp-spaced knots stress the bucket index: many knots collapse into one
+// bucket and knots straddle bucket edges at the last representable spacing.
+TEST(PricingSnapshotTest, UlpSpacedKnotsStillServeExactly) {
+  std::vector<PricePoint> points;
+  double x = 1.0;
+  double price = 10.0;
+  for (int i = 0; i < 20; ++i) {
+    points.push_back({x, price});
+    x = std::nextafter(x, 2.0);
+    // Keep the ratio non-increasing: hold the price exactly flat.
+  }
+  points.push_back({2.0, price * 1.5});
+  auto curve = PiecewiseLinearPricing::Create(points).value();
+  ASSERT_TRUE(curve.ValidateArbitrageFree().ok());
+  const auto snapshot = CompileOrDie(curve);
+  for (const PricePoint& p : points) {
+    EXPECT_EQ(snapshot->PriceAt(p.x), curve.PriceAtInverseNcp(p.x));
+  }
+  EXPECT_EQ(snapshot->PriceAt(1.5), curve.PriceAtInverseNcp(1.5));
+}
+
+// Sampled Theorem 5/6 invariants hold for the served curve itself.
+TEST(PricingSnapshotTest, ServedCurveIsArbitrageFreeOnGrid) {
+  random::Rng rng(7);
+  const PiecewiseLinearPricing curve = RandomValidPricing(rng, 40);
+  const auto snapshot = CompileOrDie(curve);
+  const auto price = [&](double x) { return snapshot->PriceAt(x); };
+  EXPECT_TRUE(core::IsArbitrageFreeOnGrid(price,
+                                          curve.points().back().x * 1.5,
+                                          400, 1e-9));
+}
+
+}  // namespace
+}  // namespace mbp::serving

@@ -133,6 +133,57 @@ TEST_F(CliTest, CheckPricingFlagsBrokenCurves) {
   EXPECT_NE(result.exit_code, 0);
 }
 
+TEST_F(CliTest, ServeAnswersPriceAndBudgetQueries) {
+  const std::string pricing_path =
+      testing::TempDir() + "/cli_serve_pricing.mbp";
+  {
+    std::ofstream out(pricing_path);
+    out << "mbp-pricing v1\npoints 4\n1 10\n2 18\n4 30\n8 40\n";
+  }
+  const std::string queries_path =
+      testing::TempDir() + "/cli_serve_queries.txt";
+  {
+    std::ofstream out(queries_path);
+    out << "0.5\n1.5\n3\n";  // prices 5, 14, 24 on this curve
+  }
+  const CommandResult result = RunCli("serve --pricing=" + pricing_path +
+                                      " --queries=" + queries_path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("serving 'pricing': 4 knots"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("0.5 5\n"), std::string::npos);
+  EXPECT_NE(result.output.find("1.5 14\n"), std::string::npos);
+  EXPECT_NE(result.output.find("3 24\n"), std::string::npos);
+  EXPECT_NE(result.output.find("served 3 price queries"), std::string::npos);
+
+  // Budget inversion: 24 affords exactly x = 3.
+  const std::string budgets_path =
+      testing::TempDir() + "/cli_serve_budgets.txt";
+  {
+    std::ofstream out(budgets_path);
+    out << "24\n";
+  }
+  const CommandResult invert =
+      RunCli("serve --pricing=" + pricing_path + " --queries=" +
+             budgets_path + " --invert-budget");
+  EXPECT_EQ(invert.exit_code, 0) << invert.output;
+  EXPECT_NE(invert.output.find("24 3\n"), std::string::npos);
+  EXPECT_NE(invert.output.find("served 1 budget queries"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ServeRefusesArbitrageableCurve) {
+  // Publish re-runs the certificate at snapshot-compile time: a convex
+  // (superadditive) curve must be rejected before serving anything.
+  const std::string bad_path = testing::TempDir() + "/cli_serve_bad.mbp";
+  {
+    std::ofstream out(bad_path);
+    out << "mbp-pricing v1\npoints 2\n1 1\n2 4\n";
+  }
+  const CommandResult result = RunCli("serve --pricing=" + bad_path);
+  EXPECT_NE(result.exit_code, 0);
+}
+
 TEST_F(CliTest, SimulateRunsAndWritesLedger) {
   const std::string ledger_path = testing::TempDir() + "/cli_ledger.mbp";
   const CommandResult result = RunCli(

@@ -27,6 +27,18 @@
 //   mbp_market_cli check-pricing --pricing=pricing.mbp
 //     Verifies the arbitrage-freeness certificate and runs the attacker.
 //
+//   mbp_market_cli serve  --pricing=pricing.mbp [--queries=q.txt]
+//                         [--curve-id=pricing] [--threads=0]
+//                         [--quantum=0] [--invert-budget]
+//     Compiles the stored curve into an immutable serving snapshot
+//     (re-checking the certificate), publishes it in an in-process
+//     registry, and answers price queries through the lock-free
+//     PriceQueryEngine batch path. Queries are one x = 1/NCP per line
+//     from --queries or stdin; each answer line is "x price". With
+//     --invert-budget each input line is a budget and the answer is the
+//     largest affordable x. --quantum snaps queries to a grid before
+//     evaluation (see DESIGN.md §5b).
+//
 //   mbp_market_cli simulate --csv=data.csv --task=regression
 //                           [--buyers=1000] [--jitter=0.1]
 //                           [--out-ledger=books.mbp] [curve flags as in
@@ -50,6 +62,8 @@
 #include "io/model_io.h"
 #include "ml/metrics.h"
 #include "ml/trainer.h"
+#include "serving/price_query_engine.h"
+#include "serving/snapshot_registry.h"
 
 namespace mbp {
 namespace {
@@ -70,6 +84,14 @@ std::optional<std::string> StringFlag(int argc, char** argv,
 double DoubleFlag(int argc, char** argv, const char* name, double fallback) {
   const auto value = StringFlag(argc, argv, name);
   return value ? std::atof(value->c_str()) : fallback;
+}
+
+bool BoolFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 2; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
 }
 
 int Fail(const std::string& message) {
@@ -323,6 +345,69 @@ int RunCheckPricing(int argc, char** argv) {
   return certificate.ok() ? 0 : 2;
 }
 
+int RunServe(int argc, char** argv) {
+  const auto pricing_path = StringFlag(argc, argv, "pricing");
+  if (!pricing_path) return Fail("--pricing is required");
+  auto pricing = io::ReadPricing(*pricing_path);
+  if (!pricing.ok()) return Fail(pricing.status().ToString());
+  const std::string curve_id =
+      StringFlag(argc, argv, "curve-id").value_or("pricing");
+
+  // Publish: compiles the curve into an immutable snapshot, re-checking
+  // the arbitrage-freeness certificate (a tampered pricing file is
+  // rejected here, before it can serve a single price).
+  serving::SnapshotRegistry registry;
+  auto published = registry.Publish(curve_id, *pricing);
+  if (!published.ok()) return Fail(published.status().ToString());
+  const serving::SnapshotRegistry::CurveSlot* slot = *published;
+
+  serving::PriceQueryEngineOptions engine_options;
+  engine_options.quantum = DoubleFlag(argc, argv, "quantum", 0.0);
+  serving::PriceQueryEngine engine(&registry, engine_options);
+
+  // One query per line, from --queries or stdin.
+  FILE* in = stdin;
+  if (const auto queries_path = StringFlag(argc, argv, "queries")) {
+    in = std::fopen(queries_path->c_str(), "r");
+    if (in == nullptr) {
+      return Fail("cannot open --queries=" + *queries_path);
+    }
+  }
+  std::vector<double> queries;
+  double value = 0.0;
+  while (std::fscanf(in, "%lf", &value) == 1) queries.push_back(value);
+  if (in != stdin) std::fclose(in);
+
+  const bool invert = BoolFlag(argc, argv, "invert-budget");
+  const auto snapshot = slot->Load();
+  std::printf("serving '%s': %zu knots, x_max %.4g, max price %.4g "
+              "(snapshot v%llu)\n",
+              curve_id.c_str(), snapshot->num_knots(), snapshot->x_max(),
+              snapshot->max_price(),
+              static_cast<unsigned long long>(snapshot->version()));
+  if (invert) {
+    for (const double budget : queries) {
+      auto x = engine.BudgetToInverseNcp(slot, budget);
+      if (!x.ok()) return Fail(x.status().ToString());
+      std::printf("%.17g %.17g\n", budget, x.value());
+    }
+  } else {
+    ParallelConfig parallel;
+    parallel.num_threads =
+        static_cast<size_t>(DoubleFlag(argc, argv, "threads", 0));
+    std::vector<double> prices(queries.size());
+    const Status status = engine.PriceBatch(
+        slot, queries.data(), prices.data(), queries.size(), parallel);
+    if (!status.ok()) return Fail(status.ToString());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::printf("%.17g %.17g\n", queries[i], prices[i]);
+    }
+  }
+  std::printf("served %zu %s queries\n", queries.size(),
+              invert ? "budget" : "price");
+  return 0;
+}
+
 int RunSimulate(int argc, char** argv) {
   auto loaded = LoadCommon(argc, argv);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
@@ -388,7 +473,7 @@ int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: mbp_market_cli "
-                 "<train|price|sell|check-pricing|simulate> [flags]\n(see "
+                 "<train|price|sell|check-pricing|serve|simulate> [flags]\n(see "
                  "the header comment of tools/mbp_market_cli.cc for flag "
                  "documentation)\n");
     return 1;
@@ -398,6 +483,7 @@ int Main(int argc, char** argv) {
   if (command == "price") return RunPrice(argc, argv);
   if (command == "sell") return RunSell(argc, argv);
   if (command == "check-pricing") return RunCheckPricing(argc, argv);
+  if (command == "serve") return RunServe(argc, argv);
   if (command == "simulate") return RunSimulate(argc, argv);
   return Fail("unknown command '" + command + "'");
 }
