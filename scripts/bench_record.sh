@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the kernel/stats-reuse benchmark and appends its JSON document to
+# BENCH_kernels.json (one document per line), building the trajectory that
+# later PRs compare against. Usage:
+#
+#   scripts/bench_record.sh [build_dir] [extra bench_kernels flags...]
+#
+# The build directory defaults to ./build; pass e.g. --scale=0.25 to run a
+# reduced workload on small machines.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+if [[ $# -gt 0 ]]; then shift; fi
+
+BENCH="${BUILD_DIR}/bench/bench_kernels"
+if [[ ! -x "${BENCH}" ]]; then
+  echo "error: ${BENCH} not built (cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} --target bench_kernels)" >&2
+  exit 1
+fi
+
+TMP_JSON="$(mktemp)"
+trap 'rm -f "${TMP_JSON}"' EXIT
+
+"${BENCH}" --out="${TMP_JSON}" "$@"
+
+cat "${TMP_JSON}" >> BENCH_kernels.json
+echo "appended $(wc -c < "${TMP_JSON}") bytes to BENCH_kernels.json"

@@ -1,0 +1,84 @@
+#include "common/cpu_features.h"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define MBP_CPU_X86_64 1
+#include <cpuid.h>
+#include <cstdint>
+#endif
+
+namespace mbp {
+namespace {
+
+#if defined(MBP_CPU_X86_64)
+// XCR0 via xgetbv: bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be set by
+// the OS before 256-bit state is preserved across context switches.
+uint64_t ReadXcr0() {
+  uint32_t eax = 0, edx = 0;
+  __asm__ __volatile__("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+#endif
+
+CpuFeatures Detect() {
+  CpuFeatures features;
+#if defined(MBP_CPU_X86_64)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return features;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  if (!osxsave) return features;  // OS never enabled extended state
+  const uint64_t xcr0 = ReadXcr0();
+  const bool ymm_enabled = (xcr0 & 0x6) == 0x6;
+  if (!ymm_enabled) return features;
+  features.avx = (ecx & (1u << 28)) != 0;
+  features.fma = (ecx & (1u << 12)) != 0;
+  unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+  if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) != 0) {
+    features.avx2 = features.avx && (ebx7 & (1u << 5)) != 0;
+  }
+#endif
+  return features;
+}
+
+bool ForceScalarFromEnv() {
+  const char* value = std::getenv("MBP_FORCE_SCALAR");
+  if (value == nullptr) return false;
+  if (value[0] == '\0') return false;
+  if (value[0] == '0' && value[1] == '\0') return false;
+  return true;
+}
+
+}  // namespace
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+std::string SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2Fma:
+      return "avx2_fma";
+  }
+  return "unknown";
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = [] {
+#if defined(MBP_HAVE_AVX2)
+    if (!ForceScalarFromEnv()) {
+      const CpuFeatures& features = DetectCpuFeatures();
+      if (features.avx2 && features.fma) return SimdLevel::kAvx2Fma;
+    }
+#else
+    (void)ForceScalarFromEnv;
+#endif
+    return SimdLevel::kScalar;
+  }();
+  return level;
+}
+
+}  // namespace mbp

@@ -1,0 +1,40 @@
+#ifndef MBP_COMMON_CPU_FEATURES_H_
+#define MBP_COMMON_CPU_FEATURES_H_
+
+#include <string>
+
+namespace mbp {
+
+// Instruction-set features of the executing CPU, detected at runtime via
+// CPUID on x86-64 (everything false on other architectures). `avx2` and
+// `fma` are reported only when the OS has also enabled YMM state saving
+// (OSXSAVE + XCR0), so a true value means the instructions are actually
+// usable.
+struct CpuFeatures {
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+};
+
+// Detected once on first call, then cached for the process lifetime.
+const CpuFeatures& DetectCpuFeatures();
+
+// Which variant of the linalg micro-kernels (linalg/kernels.h) the process
+// dispatches to.
+enum class SimdLevel {
+  kScalar,   // reference path, always compiled in
+  kAvx2Fma,  // 256-bit FMA variants (needs an MBP_ENABLE_AVX2 build + CPU)
+};
+
+std::string SimdLevelName(SimdLevel level);
+
+// The level the dispatcher selects: kAvx2Fma when (a) the binary carries
+// the AVX2 variants (built with MBP_ENABLE_AVX2), (b) the CPU supports
+// AVX2 and FMA, and (c) the MBP_FORCE_SCALAR environment variable is unset
+// (or set to "0" / empty); kScalar otherwise. The environment variable is
+// read once, at the first call.
+SimdLevel ActiveSimdLevel();
+
+}  // namespace mbp
+
+#endif  // MBP_COMMON_CPU_FEATURES_H_

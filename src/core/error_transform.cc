@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "ml/sufficient_stats.h"
 #include "optim/pava.h"
 
 namespace mbp::core {
@@ -94,6 +96,17 @@ StatusOr<EmpiricalErrorTransform> EmpiricalErrorTransform::Build(
   const size_t chunks_per_point =
       (options.trials_per_delta + kTrialsPerChunk - 1) / kTrialsPerChunk;
   std::vector<double> partial_sums(options.grid_size * chunks_per_point);
+
+  // Square-loss fast path: every trial scores ε on the SAME dataset, so
+  // fetch its sufficient statistics once (cached across transforms built
+  // on the same dataset) and evaluate each noisy instance in O(d^2) via
+  //   ||y - X h||^2 = y^T y - 2 h.(X^T y) + h.(G h)
+  // instead of the O(n d) streaming pass. Same value up to rounding.
+  std::shared_ptr<const ml::SufficientStats> eval_stats;
+  if (error_function.kind() == ml::LossKind::kSquare) {
+    eval_stats = ml::SufficientStatsCache::Shared().GetOrBuild(
+        eval, options.parallel);
+  }
   MBP_RETURN_IF_ERROR(ParallelFor(
       options.parallel, 0, partial_sums.size(), 1,
       [&](size_t task_begin, size_t task_end) {
@@ -110,7 +123,11 @@ StatusOr<EmpiricalErrorTransform> EmpiricalErrorTransform::Build(
           for (size_t t = trial_begin; t < trial_end; ++t) {
             const linalg::Vector noisy =
                 mechanism.Perturb(optimal, deltas[g], rng);
-            total += error_function.Evaluate(noisy, eval);
+            total += eval_stats != nullptr
+                         ? ml::SquareLossFromStats(
+                               *eval_stats, noisy,
+                               error_function.l2_regularization())
+                         : error_function.Evaluate(noisy, eval);
           }
           partial_sums[task] = total;
         }

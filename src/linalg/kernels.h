@@ -1,0 +1,84 @@
+#ifndef MBP_LINALG_KERNELS_H_
+#define MBP_LINALG_KERNELS_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "common/cpu_features.h"
+
+namespace mbp::linalg::kernels {
+
+// Primitive micro-kernels behind every dense linalg hot path (vector_ops,
+// MatVec/MatTVec/MatMul/GramMatrix, sufficient-statistic builds). Two
+// variants exist: a scalar reference path that is always compiled in, and
+// an AVX2+FMA path compiled when the build enables MBP_ENABLE_AVX2 and
+// selected at runtime via CPUID (see common/cpu_features.h). Dispatch is a
+// table of function pointers so higher-level kernels pick the variant once
+// per call, not per element.
+//
+// Determinism contract: each kernel commits to ONE fixed reduction order
+// per variant, so a kernel's result depends only on its inputs and the
+// selected SimdLevel — never on thread count, alignment of the call site,
+// or how a caller partitions work:
+//  - dot accumulates in a fixed 4-lane x 4-register pattern with a fixed
+//    horizontal-reduction order (scalar tail added last);
+//  - axpy / axpy4 / scale / gram4 are element-wise: within a variant,
+//    output element i is one fixed expression of input element i (the
+//    AVX2 variants fuse every multiply-add, std::fma in the tails), so
+//    any range split a caller makes lands on the same per-element
+//    operations and results are invariant to thread count and partition.
+// Across variants the fused multiply-adds round differently, so
+// scalar-vs-SIMD results agree only to ~1e-15 relative error per
+// operation; tests and benches gate this at 1e-10 end to end. Forcing
+// SimdLevel::kScalar reproduces the pre-SIMD kernels bitwise.
+struct Funcs {
+  // Returns sum_i a[i] * b[i].
+  double (*dot)(const double* a, const double* b, size_t n);
+  // y[i] += alpha * x[i].
+  void (*axpy)(double alpha, const double* x, double* y, size_t n);
+  // x[i] *= alpha.
+  void (*scale)(double alpha, double* x, size_t n);
+  // y[i] += a0 x0[i] + a1 x1[i] + a2 x2[i] + a3 x3[i], accumulated per
+  // element in exactly that order. The register-blocked update behind
+  // MatMul, MatTVec, and GramMatrix: one pass over y for four source rows
+  // (4x less write traffic than four successive axpy calls, and the same
+  // per-element add sequence).
+  void (*axpy4)(const double alpha[4], const double* x0, const double* x1,
+                const double* x2, const double* x3, double* y, size_t n);
+  // Gram-matrix block update: for each output row i in [i_begin, i_end),
+  //   g[i * ld + j] += r0[i] r0[j] + r1[i] r1[j] + r2[i] r2[j] + r3[i] r3[j]
+  // for j in [0, i] (lower-triangle prefix), accumulated per element in
+  // exactly axpy4's term order with alpha[k] = rk[i]. Semantically the loop
+  //   for i: axpy4({r0[i], r1[i], r2[i], r3[i]}, r0, r1, r2, r3, row i, i+1)
+  // moved inside the dispatched call so the variant can amortize call and
+  // broadcast overhead across the short triangle rows (the AVX2 variant
+  // shares the streamed-example loads between adjacent output rows).
+  void (*gram4)(const double* r0, const double* r1, const double* r2,
+                const double* r3, double* g, size_t ld, size_t i_begin,
+                size_t i_end);
+};
+
+// The scalar reference table (bit-identical to the pre-SIMD kernels).
+const Funcs& ScalarFuncs();
+
+// The AVX2+FMA table, or nullptr when the binary was built without
+// MBP_ENABLE_AVX2 or the executing CPU lacks AVX2/FMA.
+const Funcs* Avx2Funcs();
+
+// The table dispatch resolves to: Avx2Funcs() at SimdLevel::kAvx2Fma,
+// ScalarFuncs() otherwise. Honors MBP_FORCE_SCALAR (via ActiveSimdLevel)
+// and any ForceLevelForTesting override.
+const Funcs& Active();
+
+// The level Active() currently corresponds to.
+SimdLevel ActiveLevel();
+
+// Pins dispatch to `level` until reset with std::nullopt (which restores
+// automatic selection). Returns false — leaving dispatch unchanged — when
+// kAvx2Fma is requested but unavailable. For bench/test setup only; do not
+// flip while kernels are executing on other threads.
+bool ForceLevelForTesting(std::optional<SimdLevel> level);
+
+}  // namespace mbp::linalg::kernels
+
+#endif  // MBP_LINALG_KERNELS_H_

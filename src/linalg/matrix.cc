@@ -1,7 +1,9 @@
 #include "linalg/matrix.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "linalg/kernels.h"
 #include "linalg/vector_ops.h"
 
 namespace mbp::linalg {
@@ -48,15 +50,23 @@ size_t RowGrain(size_t rows, const ParallelConfig& parallel) {
   return std::max<size_t>(1, rows / std::max<size_t>(1, target));
 }
 
+bool AllFinite(const double* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Vector MatVec(const Matrix& a, const Vector& x,
               const ParallelConfig& parallel) {
   MBP_CHECK_EQ(a.cols(), x.size());
+  const kernels::Funcs& f = kernels::Active();
   Vector y(a.rows());
   const auto rows_block = [&](size_t row_begin, size_t row_end) {
     for (size_t i = row_begin; i < row_end; ++i) {
-      y[i] = Dot(a.RowData(i), x.data(), a.cols());
+      y[i] = f.dot(a.RowData(i), x.data(), a.cols());
     }
     return Status::OK();
   };
@@ -70,11 +80,38 @@ Vector MatVec(const Matrix& a, const Vector& x,
   return y;
 }
 
-Vector MatTVec(const Matrix& a, const Vector& x) {
+Vector MatTVec(const Matrix& a, const Vector& x,
+               const ParallelConfig& parallel) {
   MBP_CHECK_EQ(a.rows(), x.size());
+  const kernels::Funcs& f = kernels::Active();
+  const size_t n = a.rows();
   Vector y(a.cols());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    Axpy(x[i], a.RowData(i), y.data(), a.cols());
+  // Each task owns the column slice [col_begin, col_end) of the output and
+  // streams every input row over just that slice. Output entries are
+  // disjoint and each y[c] accumulates rows in ascending order through the
+  // element-wise axpy kernels, so any partition — including the serial one
+  // — produces bit-identical results.
+  const auto cols_block = [&](size_t col_begin, size_t col_end) {
+    const size_t len = col_end - col_begin;
+    double* out = y.data() + col_begin;
+    size_t r = 0;
+    for (; r + 4 <= n; r += 4) {
+      const double alphas[4] = {x[r], x[r + 1], x[r + 2], x[r + 3]};
+      f.axpy4(alphas, a.RowData(r) + col_begin,
+              a.RowData(r + 1) + col_begin, a.RowData(r + 2) + col_begin,
+              a.RowData(r + 3) + col_begin, out, len);
+    }
+    for (; r < n; ++r) {
+      f.axpy(x[r], a.RowData(r) + col_begin, out, len);
+    }
+    return Status::OK();
+  };
+  if (n * a.cols() < kMinParallelFlops) {
+    MBP_CHECK(cols_block(0, a.cols()).ok());
+  } else {
+    MBP_CHECK(ParallelFor(parallel, 0, a.cols(),
+                          RowGrain(a.cols(), parallel), cols_block)
+                  .ok());
   }
   return y;
 }
@@ -82,17 +119,38 @@ Vector MatTVec(const Matrix& a, const Vector& x) {
 Matrix MatMul(const Matrix& a, const Matrix& b,
               const ParallelConfig& parallel) {
   MBP_CHECK_EQ(a.cols(), b.rows());
+  const kernels::Funcs& f = kernels::Active();
   Matrix c(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  // Each output row accumulates independently in k order, so a row
-  // partition leaves every entry's addition sequence unchanged.
+  // i-k-j order keeps the inner loop streaming over contiguous rows of b,
+  // register-blocked four k's at a time. Each output row accumulates
+  // independently in k order, so a row partition leaves every entry's
+  // addition sequence unchanged.
+  //
+  // Zero-skip guard: skipping k when a(i, k) == 0 drops the 0 * b(k, j)
+  // products — fine when b is finite (they are exact zeros), but silently
+  // loses the NaN/Inf that 0 * non-finite must produce. The skip is
+  // therefore enabled only after a one-pass finiteness check of b (cost
+  // O(k·m), negligible against the O(n·k·m) multiply).
+  const bool b_finite = AllFinite(b.data(), b.rows() * b.cols());
   const auto rows_block = [&](size_t row_begin, size_t row_end) {
     for (size_t i = row_begin; i < row_end; ++i) {
+      const double* a_row = a.RowData(i);
       double* c_row = c.RowData(i);
-      for (size_t k = 0; k < a.cols(); ++k) {
-        const double a_ik = a(i, k);
-        if (a_ik == 0.0) continue;
-        Axpy(a_ik, b.RowData(k), c_row, b.cols());
+      size_t k = 0;
+      for (; k + 4 <= a.cols(); k += 4) {
+        const double alphas[4] = {a_row[k], a_row[k + 1], a_row[k + 2],
+                                  a_row[k + 3]};
+        if (b_finite && alphas[0] == 0.0 && alphas[1] == 0.0 &&
+            alphas[2] == 0.0 && alphas[3] == 0.0) {
+          continue;
+        }
+        f.axpy4(alphas, b.RowData(k), b.RowData(k + 1), b.RowData(k + 2),
+                b.RowData(k + 3), c_row, b.cols());
+      }
+      for (; k < a.cols(); ++k) {
+        const double a_ik = a_row[k];
+        if (b_finite && a_ik == 0.0) continue;
+        f.axpy(a_ik, b.RowData(k), c_row, b.cols());
       }
     }
     return Status::OK();
@@ -110,39 +168,35 @@ Matrix MatMul(const Matrix& a, const Matrix& b,
 Matrix GramMatrix(const Matrix& a, const ParallelConfig& parallel) {
   const size_t d = a.cols();
   const size_t n = a.rows();
+  const kernels::Funcs& f = kernels::Active();
   Matrix g(d, d);
-  // Fill the lower triangle then mirror, halving the flops. Entry (i, j)
-  // accumulates sum_r a(r, i) * a(r, j) in ascending r in BOTH kernels
-  // below, so the parallel result is bit-identical to the serial one.
-  if (n * d * d < kMinParallelFlops) {
-    // One streaming pass over the examples, updating the whole triangle.
-    for (size_t r = 0; r < n; ++r) {
+  // Fill the lower triangle then mirror, halving the flops. Examples are
+  // streamed in fixed blocks of four (remainder rows after all blocks), so
+  // entry (i, j) sees the same add sequence in the serial and every
+  // parallel partition: tasks own disjoint blocks of OUTPUT rows i, never
+  // slices of the example stream. Unlike the pre-SIMD kernel there is no
+  // a(r, i) == 0 skip: the skip dropped 0 * NaN/Inf contributions from
+  // other entries of the same example row, and the branchy inner loop
+  // defeated vectorization anyway.
+  const auto update_rows = [&](size_t i_begin, size_t i_end) {
+    size_t r = 0;
+    for (; r + 4 <= n; r += 4) {
+      f.gram4(a.RowData(r), a.RowData(r + 1), a.RowData(r + 2),
+              a.RowData(r + 3), g.data(), d, i_begin, i_end);
+    }
+    for (; r < n; ++r) {
       const double* row = a.RowData(r);
-      for (size_t i = 0; i < d; ++i) {
-        const double v = row[i];
-        if (v == 0.0) continue;
-        double* g_row = g.RowData(i);
-        for (size_t j = 0; j <= i; ++j) g_row[j] += v * row[j];
+      for (size_t i = i_begin; i < i_end; ++i) {
+        f.axpy(row[i], row, g.RowData(i), i + 1);
       }
     }
+    return Status::OK();
+  };
+  if (n * d * d < kMinParallelFlops) {
+    MBP_CHECK(update_rows(0, d).ok());
   } else {
-    // Each task owns a block of OUTPUT rows and streams the examples for
-    // just those rows: no shared accumulators, no reduction step.
     MBP_CHECK(ParallelFor(parallel, 0, d, RowGrain(d, parallel),
-                          [&](size_t i_begin, size_t i_end) {
-                            for (size_t r = 0; r < n; ++r) {
-                              const double* row = a.RowData(r);
-                              for (size_t i = i_begin; i < i_end; ++i) {
-                                const double v = row[i];
-                                if (v == 0.0) continue;
-                                double* g_row = g.RowData(i);
-                                for (size_t j = 0; j <= i; ++j) {
-                                  g_row[j] += v * row[j];
-                                }
-                              }
-                            }
-                            return Status::OK();
-                          })
+                          update_rows)
                   .ok());
   }
   for (size_t i = 0; i < d; ++i) {

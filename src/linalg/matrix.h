@@ -85,9 +85,13 @@ Vector MatVec(const Matrix& a, const Vector& x,
               const ParallelConfig& parallel = {});
 
 // y = A^T x. Requires x.size() == A.rows(); returns a vector of length
-// A.cols(). (Serial: every row contributes to every output entry, so a
-// row partition of the output does not apply.)
-Vector MatTVec(const Matrix& a, const Vector& x);
+// A.cols(). Every input row contributes to every output entry, so the
+// parallel kernel partitions the output COLUMNS: each task streams all
+// rows but updates only its disjoint column slice, and the element-wise
+// update kernels make the result bit-identical to the serial pass for any
+// partition (see kernels.h).
+Vector MatTVec(const Matrix& a, const Vector& x,
+               const ParallelConfig& parallel = {});
 
 // C = A B.
 Matrix MatMul(const Matrix& a, const Matrix& b,

@@ -2,27 +2,24 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
+
 namespace mbp::linalg {
 
+// The raw-pointer entry points forward to the dispatched micro-kernels
+// (scalar reference or AVX2+FMA, selected at runtime — see kernels.h), so
+// every caller of Dot/Axpy/Scale gets the SIMD variants for free.
+
 double Dot(const double* a, const double* b, size_t n) {
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < n; ++i) acc0 += a[i] * b[i];
-  return (acc0 + acc1) + (acc2 + acc3);
+  return kernels::Active().dot(a, b, n);
 }
 
 void Axpy(double alpha, const double* x, double* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  kernels::Active().axpy(alpha, x, y, n);
 }
 
 void Scale(double alpha, double* x, size_t n) {
-  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+  kernels::Active().scale(alpha, x, n);
 }
 
 double Dot(const Vector& a, const Vector& b) {

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "data/split.h"
+#include "ml/sufficient_stats.h"
 
 namespace mbp::ml {
 namespace {
@@ -25,33 +27,75 @@ struct FoldPlan {
   }
 };
 
-StatusOr<CrossValidationResult> RunFolds(ModelKind model,
-                                         const data::Dataset& dataset,
-                                         double l2, const Loss& eval_loss,
-                                         const FoldPlan& plan,
-                                         const ParallelConfig& parallel) {
-  CrossValidationResult result;
-  result.fold_errors.assign(plan.folds, 0.0);
-  // One fold per task: training is deterministic and each fold writes only
-  // its own slot, so the result is identical at any thread count.
+// Per-fold training inputs, built once per plan and reused for every l2
+// candidate. Linear regression folds carry downdated sufficient statistics
+// (full-dataset stats minus the held-out rows, an O(|fold| d^2) rank-k
+// downdate) instead of a materialized (k-1)/k-size training copy; iterative
+// models keep the train Subset.
+struct FoldContext {
+  std::optional<data::Dataset> test;
+  std::optional<data::Dataset> train;          // iterative trainers only
+  std::optional<SufficientStats> train_stats;  // linear regression only
+};
+
+StatusOr<std::vector<FoldContext>> BuildFoldContexts(
+    ModelKind model, const data::Dataset& dataset, const FoldPlan& plan,
+    const ParallelConfig& parallel) {
+  const bool use_stats = model == ModelKind::kLinearRegression &&
+                         dataset.task() == data::TaskType::kRegression;
+  std::shared_ptr<const SufficientStats> full_stats;
+  if (use_stats) {
+    full_stats =
+        SufficientStatsCache::Shared().GetOrBuild(dataset, parallel);
+  }
+  std::vector<FoldContext> contexts(plan.folds);
+  // One fold per task; each task writes only its own context slot.
   MBP_RETURN_IF_ERROR(ParallelFor(
       parallel, 0, plan.folds, 1, [&](size_t fold_begin, size_t fold_end) {
         for (size_t f = fold_begin; f < fold_end; ++f) {
           const auto [begin, end] = plan.Range(f);
           // The fold's test examples are exactly order[begin, end); its
           // train examples are the complementary prefix and suffix.
-          std::vector<size_t> test_idx(plan.order.begin() + begin,
-                                       plan.order.begin() + end);
-          std::vector<size_t> train_idx(plan.order.begin(),
-                                        plan.order.begin() + begin);
-          train_idx.insert(train_idx.end(), plan.order.begin() + end,
-                           plan.order.end());
-          const data::Dataset train = dataset.Subset(train_idx);
-          const data::Dataset test = dataset.Subset(test_idx);
-          MBP_ASSIGN_OR_RETURN(TrainResult trained,
-                               TrainOptimalModel(model, train, l2));
+          const std::vector<size_t> test_idx(plan.order.begin() + begin,
+                                             plan.order.begin() + end);
+          contexts[f].test = dataset.Subset(test_idx);
+          if (use_stats) {
+            contexts[f].train_stats = full_stats->Downdate(dataset, test_idx);
+          } else {
+            std::vector<size_t> train_idx(plan.order.begin(),
+                                          plan.order.begin() + begin);
+            train_idx.insert(train_idx.end(), plan.order.begin() + end,
+                             plan.order.end());
+            contexts[f].train = dataset.Subset(train_idx);
+          }
+        }
+        return Status::OK();
+      }));
+  return contexts;
+}
+
+StatusOr<CrossValidationResult> RunFolds(
+    ModelKind model, double l2, const Loss& eval_loss,
+    const std::vector<FoldContext>& contexts,
+    const ParallelConfig& parallel) {
+  CrossValidationResult result;
+  result.fold_errors.assign(contexts.size(), 0.0);
+  // One fold per task: training is deterministic and each fold writes only
+  // its own slot, so the result is identical at any thread count.
+  MBP_RETURN_IF_ERROR(ParallelFor(
+      parallel, 0, contexts.size(), 1,
+      [&](size_t fold_begin, size_t fold_end) {
+        for (size_t f = fold_begin; f < fold_end; ++f) {
+          const FoldContext& ctx = contexts[f];
+          StatusOr<TrainResult> trained =
+              ctx.train_stats.has_value()
+                  ? TrainLinearRegressionFromStats(*ctx.train_stats, l2,
+                                                   nullptr)
+                  : TrainOptimalModel(model, *ctx.train, l2);
+          if (!trained.ok()) return trained.status();
           result.fold_errors[f] =
-              eval_loss.Evaluate(trained.model.coefficients(), test);
+              eval_loss.Evaluate(trained.value().model.coefficients(),
+                                 *ctx.test);
         }
         return Status::OK();
       }));
@@ -85,7 +129,9 @@ StatusOr<CrossValidationResult> KFoldCrossValidate(
   MBP_RETURN_IF_ERROR(ValidateFolds(dataset, folds));
   const FoldPlan plan{
       data::RandomPermutation(dataset.num_examples(), rng), folds};
-  return RunFolds(model, dataset, l2, eval_loss, plan, parallel);
+  MBP_ASSIGN_OR_RETURN(std::vector<FoldContext> contexts,
+                       BuildFoldContexts(model, dataset, plan, parallel));
+  return RunFolds(model, l2, eval_loss, contexts, parallel);
 }
 
 StatusOr<double> SelectL2ByCrossValidation(
@@ -96,17 +142,20 @@ StatusOr<double> SelectL2ByCrossValidation(
     return InvalidArgumentError("need at least one l2 candidate");
   }
   MBP_RETURN_IF_ERROR(ValidateFolds(dataset, folds));
-  // One shared fold plan so candidates see identical splits.
+  // One shared fold plan so candidates see identical splits — and one set
+  // of fold contexts (test subsets + downdated training statistics), so the
+  // per-fold O(n d^2) work is paid once, not once per candidate.
   const FoldPlan plan{
       data::RandomPermutation(dataset.num_examples(), rng), folds};
+  MBP_ASSIGN_OR_RETURN(std::vector<FoldContext> contexts,
+                       BuildFoldContexts(model, dataset, plan, parallel));
   double best_l2 = candidates.front();
   double best_error = 0.0;
   bool first = true;
   for (double l2 : candidates) {
     if (l2 < 0.0) return InvalidArgumentError("l2 must be non-negative");
     MBP_ASSIGN_OR_RETURN(CrossValidationResult result,
-                         RunFolds(model, dataset, l2, eval_loss, plan,
-                                  parallel));
+                         RunFolds(model, l2, eval_loss, contexts, parallel));
     if (first || result.mean_error < best_error) {
       best_error = result.mean_error;
       best_l2 = l2;

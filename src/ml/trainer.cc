@@ -59,26 +59,27 @@ LossKind TrainingLossKind(ModelKind kind) {
 }
 
 StatusOr<TrainResult> TrainLinearRegression(const data::Dataset& train,
-                                            double l2) {
+                                            double l2,
+                                            SufficientStatsCache* cache) {
   if (train.task() != data::TaskType::kRegression) {
     return InvalidArgumentError(
         "linear regression requires a regression dataset");
   }
-  const double n = static_cast<double>(train.num_examples());
-  linalg::Matrix normal = linalg::GramMatrix(train.features());
-  for (size_t i = 0; i < normal.rows(); ++i) {
-    for (size_t j = 0; j < normal.cols(); ++j) normal(i, j) /= n;
-    normal(i, i) += 2.0 * l2;
+  // The statistics pass (Gram matrix + X^T y) is the O(n d^2) cost of this
+  // trainer; the cache pays it once per dataset. A cache hit returns the
+  // exact object a cold build computes, so the two paths are bit-identical.
+  std::shared_ptr<const SufficientStats> cached;
+  SufficientStats local;
+  const SufficientStats* stats;
+  if (cache != nullptr) {
+    cached = cache->GetOrBuild(train);
+    stats = cached.get();
+  } else {
+    local = SufficientStats::Build(train);
+    stats = &local;
   }
-  linalg::Vector rhs = linalg::MatTVec(train.features(), train.targets());
-  linalg::Scale(1.0 / n, rhs.data(), rhs.size());
-
-  auto solved = linalg::SolveSpd(normal, rhs);
-  if (!solved.ok()) {
-    return FailedPreconditionError(
-        "normal equations are singular; add L2 regularization (" +
-        solved.status().ToString() + ")");
-  }
+  auto solved = SolveNormalEquations(*stats, l2, cache);
+  if (!solved.ok()) return solved.status();
   LinearModel model(ModelKind::kLinearRegression, std::move(solved).value());
   const SquareLoss loss(l2);
   TrainResult result{.model = std::move(model),
@@ -86,6 +87,23 @@ StatusOr<TrainResult> TrainLinearRegression(const data::Dataset& train,
                      .iterations = 1,
                      .converged = true};
   result.final_loss = loss.Evaluate(result.model.coefficients(), train);
+  return result;
+}
+
+StatusOr<TrainResult> TrainLinearRegressionFromStats(
+    const SufficientStats& stats, double l2, SufficientStatsCache* cache) {
+  if (stats.n == 0) {
+    return InvalidArgumentError("empty sufficient statistics");
+  }
+  auto solved = SolveNormalEquations(stats, l2, cache);
+  if (!solved.ok()) return solved.status();
+  LinearModel model(ModelKind::kLinearRegression, std::move(solved).value());
+  TrainResult result{.model = std::move(model),
+                     .final_loss = 0.0,
+                     .iterations = 1,
+                     .converged = true};
+  result.final_loss =
+      SquareLossFromStats(stats, result.model.coefficients(), l2);
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "linalg/vector.h"
 #include "ml/loss.h"
 #include "ml/model.h"
+#include "ml/sufficient_stats.h"
 
 namespace mbp::ml {
 
@@ -31,8 +32,25 @@ struct TrainResult {
 // Exact minimizer of the (regularized) square loss via the normal equations
 // (X^T X / n + 2*l2*I) h = X^T y / n, solved with a Cholesky factorization.
 // Returns FailedPrecondition when the system is singular and l2 == 0.
-StatusOr<TrainResult> TrainLinearRegression(const data::Dataset& train,
-                                            double l2 = 0.0);
+//
+// The Gram matrix, X^T y, and the Cholesky factor are memoized in `cache`
+// (keyed by the dataset's stats_key and l2), so retraining on the same
+// dataset — every l2 candidate, every pricing curve point — skips the
+// O(n d^2) statistics pass and, on an exact (dataset, l2) repeat, the
+// O(d^3) factorization too. Pass nullptr to train from scratch; results
+// are bit-identical either way (the cache returns exactly what a cold
+// build computes).
+StatusOr<TrainResult> TrainLinearRegression(
+    const data::Dataset& train, double l2 = 0.0,
+    SufficientStatsCache* cache = &SufficientStatsCache::Shared());
+
+// TrainLinearRegression's solve + loss evaluation from precomputed
+// sufficient statistics (e.g. a k-fold downdate), without a Dataset in
+// hand. final_loss is the training square loss computed from the stats in
+// O(d^2) (equal to SquareLoss::Evaluate up to rounding).
+StatusOr<TrainResult> TrainLinearRegressionFromStats(
+    const SufficientStats& stats, double l2 = 0.0,
+    SufficientStatsCache* cache = &SufficientStatsCache::Shared());
 
 // Full-batch gradient descent with backtracking (Armijo) line search on any
 // differentiable loss. Robust default for the SVM's smoothed hinge.

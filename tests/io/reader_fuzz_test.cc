@@ -78,8 +78,11 @@ TEST_P(ReaderFuzzTest, TruncatedValidModelNeverCrashes) {
   // Build a valid model file, truncate at a random byte.
   const ml::LinearModel model(ml::ModelKind::kLinearSvm,
                               linalg::Vector{1.5, -2.5, 3.25});
-  const std::string full_path =
-      testing::TempDir() + "/fuzz_full_model.mbp";
+  // Seed-keyed name: the parameterized instances run as concurrent
+  // processes under ctest -j, and a shared fixed path races (a reader can
+  // see another instance's half-written file).
+  const std::string full_path = testing::TempDir() + "/fuzz_full_model_" +
+                                std::to_string(GetParam()) + ".mbp";
   ASSERT_TRUE(io::WriteModel(model, full_path).ok());
   std::ifstream in(full_path);
   std::string content((std::istreambuf_iterator<char>(in)),
@@ -99,8 +102,8 @@ TEST_P(ReaderFuzzTest, MutatedValidPricingNeverCrashes) {
   auto pricing = core::PiecewiseLinearPricing::Create(
       {{1.0, 5.0}, {2.0, 8.0}, {4.0, 12.0}});
   ASSERT_TRUE(pricing.ok());
-  const std::string full_path =
-      testing::TempDir() + "/fuzz_full_pricing.mbp";
+  const std::string full_path = testing::TempDir() + "/fuzz_full_pricing_" +
+                                std::to_string(GetParam()) + ".mbp";
   ASSERT_TRUE(io::WritePricing(*pricing, full_path).ok());
   std::ifstream in(full_path);
   std::string content((std::istreambuf_iterator<char>(in)),

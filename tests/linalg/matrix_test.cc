@@ -1,6 +1,7 @@
 #include "linalg/matrix.h"
 
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include <gtest/gtest.h>
@@ -198,6 +199,103 @@ TEST(ParallelKernelsTest, MatVecIdenticalAtAnyThreadCount) {
   for (size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i], parallel[i]);
   }
+}
+
+TEST(ParallelKernelsTest, MatTVecIdenticalAtAnyThreadCount) {
+  Matrix a(500, 300);  // above the inline-work threshold
+  Vector x(500);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::cos(static_cast<double>(i) * 0.4);
+  }
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) = std::sin(static_cast<double>(i) * 0.2 +
+                         static_cast<double>(j) * 1.1);
+    }
+  }
+  // The column-partitioned parallel kernel must match the serial pass
+  // bitwise for any partition (disjoint output slices, element-wise
+  // per-row updates).
+  const Vector serial = MatTVec(a, x, ParallelConfig::Serial());
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{64}}) {
+    const Vector parallel = MatTVec(a, x, ParallelConfig{threads});
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t j = 0; j < serial.size(); ++j) {
+      EXPECT_EQ(serial[j], parallel[j]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(NonFinitePropagationTest, MatMulZeroTimesNanIsNan) {
+  // Regression: the zero-skip used to drop a(i, k) == 0 entries entirely,
+  // losing the NaN that 0 * NaN must produce. With a non-finite b the skip
+  // is disabled and IEEE semantics apply.
+  const Matrix a{{0.0, 1.0}, {2.0, 3.0}};
+  Matrix b(2, 2);
+  b(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  b(0, 1) = 5.0;
+  b(1, 0) = 1.0;
+  b(1, 1) = 1.0;
+  const Matrix c = MatMul(a, b);
+  EXPECT_TRUE(std::isnan(c(0, 0))) << "0 * NaN contribution was dropped";
+  EXPECT_TRUE(std::isnan(c(1, 0)));
+  // Column 1 of b is finite: c(0,1) = 0*5 + 1*1.
+  EXPECT_EQ(1.0, c(0, 1));
+  EXPECT_EQ(13.0, c(1, 1));
+}
+
+TEST(NonFinitePropagationTest, MatMulZeroTimesInfIsNan) {
+  const Matrix a{{0.0, 1.0}};
+  Matrix b(2, 1);
+  b(0, 0) = std::numeric_limits<double>::infinity();
+  b(1, 0) = 2.0;
+  const Matrix c = MatMul(a, b);
+  EXPECT_TRUE(std::isnan(c(0, 0))) << "0 * Inf must be NaN";
+}
+
+TEST(NonFinitePropagationTest, MatMulZeroSkipStillExactOnFiniteInputs) {
+  // With finite b the skip is a pure optimization: identical result.
+  Matrix a(30, 40);
+  Matrix b(40, 20);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) = (i + j) % 3 == 0 ? 0.0 : std::sin(static_cast<double>(i + j));
+    }
+  }
+  for (size_t i = 0; i < b.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      b(i, j) = std::cos(static_cast<double>(i * b.cols() + j));
+    }
+  }
+  const Matrix c = MatMul(a, b);
+  for (size_t i = 0; i < c.rows(); ++i) {
+    for (size_t j = 0; j < c.cols(); ++j) {
+      double want = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) want += a(i, k) * b(k, j);
+      EXPECT_NEAR(want, c(i, j), 1e-12 * std::max(1.0, std::abs(want)));
+    }
+  }
+}
+
+TEST(NonFinitePropagationTest, GramMatrixPropagatesNan) {
+  // The Gram kernel's old a(r, i) == 0 skip dropped 0 * NaN products the
+  // same way; the skip is gone, so a NaN feature poisons its example's
+  // contributions per IEEE rules.
+  Matrix a(3, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = std::numeric_limits<double>::quiet_NaN();
+  a(1, 0) = 1.0;
+  a(1, 1) = 2.0;
+  a(2, 0) = 3.0;
+  a(2, 1) = 4.0;
+  const Matrix g = GramMatrix(a);
+  // Column 0 never meets the NaN: g(0,0) = 0^2 + 1^2 + 3^2.
+  EXPECT_EQ(10.0, g(0, 0));
+  // Every entry touching column 1 sums a NaN product — including (1, 0),
+  // whose example-0 term is NaN * 0 (this was the dropped contribution).
+  EXPECT_TRUE(std::isnan(g(1, 0)));
+  EXPECT_TRUE(std::isnan(g(0, 1)));
+  EXPECT_TRUE(std::isnan(g(1, 1)));
 }
 
 }  // namespace

@@ -1,0 +1,227 @@
+#include "ml/sufficient_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+#include "linalg/vector_ops.h"
+#include "ml/loss.h"
+#include "ml/trainer.h"
+#include "random/distributions.h"
+#include "random/rng.h"
+
+namespace mbp::ml {
+namespace {
+
+data::Dataset MakeRegression(size_t n, size_t d, uint64_t seed) {
+  random::Rng rng(seed);
+  linalg::Matrix features(n, d);
+  linalg::Vector targets(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      features(i, j) = random::SampleNormal(rng, 0.0, 1.0);
+    }
+    targets[i] = random::SampleNormal(rng, 0.0, 1.0);
+  }
+  auto dataset = data::Dataset::Create(std::move(features),
+                                       std::move(targets),
+                                       data::TaskType::kRegression);
+  MBP_CHECK(dataset.ok());
+  return std::move(dataset).value();
+}
+
+TEST(SufficientStatsTest, BuildMatchesDirectKernels) {
+  const data::Dataset dataset = MakeRegression(120, 7, 3);
+  const SufficientStats stats = SufficientStats::Build(dataset);
+  EXPECT_EQ(linalg::GramMatrix(dataset.features()), stats.gram);
+  EXPECT_EQ(linalg::MatTVec(dataset.features(), dataset.targets()),
+            stats.xty);
+  EXPECT_EQ(linalg::Dot(dataset.targets(), dataset.targets()), stats.yty);
+  EXPECT_EQ(dataset.num_examples(), stats.n);
+  EXPECT_EQ(dataset.stats_key(), stats.dataset_key);
+}
+
+TEST(SufficientStatsTest, BuildBitIdenticalAcrossThreadCounts) {
+  const data::Dataset dataset = MakeRegression(300, 12, 4);
+  const SufficientStats serial =
+      SufficientStats::Build(dataset, ParallelConfig::Serial());
+  const SufficientStats parallel =
+      SufficientStats::Build(dataset, ParallelConfig{});
+  EXPECT_EQ(serial.gram, parallel.gram);
+  EXPECT_EQ(serial.xty, parallel.xty);
+  EXPECT_EQ(serial.yty, parallel.yty);
+}
+
+TEST(SufficientStatsTest, DowndateMatchesSubsetRebuildClosely) {
+  const data::Dataset dataset = MakeRegression(200, 9, 5);
+  const SufficientStats full = SufficientStats::Build(dataset);
+  // Remove an arbitrary "fold" and compare against stats rebuilt from the
+  // complementary subset. (Σ_all − Σ_fold) and Σ_train round differently,
+  // so the comparison is tight-tolerance, not bitwise.
+  const std::vector<size_t> removed = {3, 17, 42, 55, 108, 199, 0};
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < dataset.num_examples(); ++i) {
+    if (std::find(removed.begin(), removed.end(), i) == removed.end()) {
+      kept.push_back(i);
+    }
+  }
+  const SufficientStats down = full.Downdate(dataset, removed);
+  const SufficientStats rebuilt =
+      SufficientStats::Build(dataset.Subset(kept));
+  ASSERT_EQ(rebuilt.n, down.n);
+  EXPECT_EQ(0u, down.dataset_key) << "downdated stats must be uncacheable";
+  for (size_t i = 0; i < down.gram.rows(); ++i) {
+    for (size_t j = 0; j < down.gram.cols(); ++j) {
+      EXPECT_NEAR(rebuilt.gram(i, j), down.gram(i, j),
+                  1e-10 * std::max(1.0, std::abs(rebuilt.gram(i, j))));
+    }
+    EXPECT_NEAR(rebuilt.xty[i], down.xty[i],
+                1e-10 * std::max(1.0, std::abs(rebuilt.xty[i])));
+  }
+  EXPECT_NEAR(rebuilt.yty, down.yty, 1e-10 * std::max(1.0, rebuilt.yty));
+  // Symmetry must survive the downdate exactly.
+  for (size_t i = 0; i < down.gram.rows(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_EQ(down.gram(i, j), down.gram(j, i));
+    }
+  }
+}
+
+TEST(SufficientStatsTest, SquareLossFromStatsMatchesLossEvaluate) {
+  const data::Dataset dataset = MakeRegression(150, 6, 6);
+  const SufficientStats stats = SufficientStats::Build(dataset);
+  random::Rng rng(7);
+  linalg::Vector h(dataset.num_features());
+  for (size_t j = 0; j < h.size(); ++j) {
+    h[j] = random::SampleNormal(rng, 0.0, 1.0);
+  }
+  for (double l2 : {0.0, 0.05, 1.0}) {
+    const SquareLoss loss(l2);
+    const double want = loss.Evaluate(h, dataset);
+    const double got = SquareLossFromStats(stats, h, l2);
+    EXPECT_NEAR(want, got, 1e-10 * std::max(1.0, std::abs(want)));
+  }
+}
+
+TEST(SufficientStatsCacheTest, HitReturnsExactObjectOfMiss) {
+  SufficientStatsCache cache(8);
+  const data::Dataset dataset = MakeRegression(100, 5, 8);
+  const auto cold = cache.GetOrBuild(dataset);
+  const auto warm = cache.GetOrBuild(dataset);
+  EXPECT_EQ(cold.get(), warm.get()) << "hit must return the cached object";
+  const auto counters = cache.counters();
+  EXPECT_EQ(1u, counters.stats_misses);
+  EXPECT_EQ(1u, counters.stats_hits);
+  // And the cached object is exactly what a from-scratch build computes.
+  const SufficientStats fresh = SufficientStats::Build(dataset);
+  EXPECT_EQ(fresh.gram, cold->gram);
+  EXPECT_EQ(fresh.xty, cold->xty);
+  EXPECT_EQ(fresh.yty, cold->yty);
+}
+
+TEST(SufficientStatsCacheTest, FactorMemoizedPerDatasetAndL2) {
+  SufficientStatsCache cache(8);
+  const data::Dataset dataset = MakeRegression(100, 5, 9);
+  const auto stats = cache.GetOrBuild(dataset);
+  const auto f1 = cache.FactorFor(*stats, 0.1);
+  const auto f2 = cache.FactorFor(*stats, 0.1);
+  const auto f3 = cache.FactorFor(*stats, 0.2);
+  ASSERT_TRUE(f1.ok() && f2.ok() && f3.ok());
+  EXPECT_EQ(f1->get(), f2->get());
+  EXPECT_NE(f1->get(), f3->get()) << "distinct l2 must factor separately";
+  const auto counters = cache.counters();
+  EXPECT_EQ(1u, counters.factor_hits);
+  EXPECT_EQ(2u, counters.factor_misses);
+}
+
+TEST(SufficientStatsCacheTest, DowndatedStatsNeverCached) {
+  SufficientStatsCache cache(8);
+  const data::Dataset dataset = MakeRegression(100, 5, 10);
+  const auto stats = cache.GetOrBuild(dataset);
+  const SufficientStats down = stats->Downdate(dataset, {1, 2, 3});
+  const auto f1 = cache.FactorFor(down, 0.1);
+  const auto f2 = cache.FactorFor(down, 0.1);
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  EXPECT_NE(f1->get(), f2->get());
+  EXPECT_EQ(0u, cache.counters().factor_hits);
+}
+
+TEST(SufficientStatsCacheTest, FifoEvictionDropsStatsAndFactors) {
+  SufficientStatsCache cache(2);
+  const data::Dataset d1 = MakeRegression(60, 4, 11);
+  const data::Dataset d2 = MakeRegression(60, 4, 12);
+  const data::Dataset d3 = MakeRegression(60, 4, 13);
+  const auto s1 = cache.GetOrBuild(d1);
+  ASSERT_TRUE(cache.FactorFor(*s1, 0.1).ok());
+  cache.GetOrBuild(d2);
+  cache.GetOrBuild(d3);  // evicts d1 (FIFO) and its factor
+  cache.GetOrBuild(d1);
+  const auto counters = cache.counters();
+  EXPECT_EQ(4u, counters.stats_misses) << "d1 must rebuild after eviction";
+  ASSERT_TRUE(cache.FactorFor(*s1, 0.1).ok());
+  // d1's factor was dropped with its stats entry; the re-factor is a miss
+  // (the old shared_ptr stats object is no longer the cached entry).
+  EXPECT_EQ(0u, counters.factor_hits);
+}
+
+TEST(SufficientStatsCacheTest, SingularSystemReportsFailedPrecondition) {
+  // Duplicate column => singular Gram with l2 = 0.
+  linalg::Matrix features(10, 2);
+  linalg::Vector targets(10);
+  random::Rng rng(14);
+  for (size_t i = 0; i < 10; ++i) {
+    features(i, 0) = random::SampleNormal(rng, 0.0, 1.0);
+    features(i, 1) = features(i, 0);
+    targets[i] = random::SampleNormal(rng, 0.0, 1.0);
+  }
+  auto dataset = data::Dataset::Create(std::move(features),
+                                       std::move(targets),
+                                       data::TaskType::kRegression);
+  ASSERT_TRUE(dataset.ok());
+  const SufficientStats stats = SufficientStats::Build(dataset.value());
+  const auto solved = SolveNormalEquations(stats, 0.0);
+  ASSERT_FALSE(solved.ok());
+  EXPECT_EQ(StatusCode::kFailedPrecondition, solved.status().code());
+  // Regularization rescues it.
+  EXPECT_TRUE(SolveNormalEquations(stats, 0.1).ok());
+}
+
+TEST(TrainerStatsCacheTest, CachedTrainingBitIdenticalToUncached) {
+  const data::Dataset dataset = MakeRegression(250, 8, 15);
+  SufficientStatsCache cache(8);
+  for (double l2 : {0.0, 0.01, 0.5}) {
+    const auto uncached = TrainLinearRegression(dataset, l2, nullptr);
+    const auto cold = TrainLinearRegression(dataset, l2, &cache);
+    const auto warm = TrainLinearRegression(dataset, l2, &cache);
+    ASSERT_TRUE(uncached.ok() && cold.ok() && warm.ok());
+    EXPECT_EQ(uncached->model.coefficients(), cold->model.coefficients());
+    EXPECT_EQ(cold->model.coefficients(), warm->model.coefficients());
+    EXPECT_EQ(uncached->final_loss, cold->final_loss);
+    EXPECT_EQ(cold->final_loss, warm->final_loss);
+  }
+  // Three l2 values, two calls each through the cache: stats built once.
+  EXPECT_EQ(1u, cache.counters().stats_misses);
+  EXPECT_EQ(3u, cache.counters().factor_misses);
+  EXPECT_EQ(3u, cache.counters().factor_hits);
+}
+
+TEST(TrainerStatsCacheTest, FromStatsMatchesDatasetTraining) {
+  const data::Dataset dataset = MakeRegression(250, 8, 16);
+  const SufficientStats stats = SufficientStats::Build(dataset);
+  const auto direct = TrainLinearRegression(dataset, 0.05, nullptr);
+  const auto from_stats = TrainLinearRegressionFromStats(stats, 0.05, nullptr);
+  ASSERT_TRUE(direct.ok() && from_stats.ok());
+  const auto& a = direct->model.coefficients();
+  const auto& b = from_stats->model.coefficients();
+  ASSERT_EQ(a.size(), b.size());
+  // Identical solve path => identical coefficients; final_loss differs only
+  // by the O(d^2) loss expansion's rounding.
+  for (size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+  EXPECT_NEAR(direct->final_loss, from_stats->final_loss,
+              1e-10 * std::max(1.0, direct->final_loss));
+}
+
+}  // namespace
+}  // namespace mbp::ml

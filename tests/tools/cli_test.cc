@@ -3,6 +3,8 @@
 // error paths (bad flags, corrupt files) and the exit-code contract.
 // The binary path is injected by CMake via MBP_CLI_PATH.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -25,6 +27,15 @@ struct CommandResult {
   std::string output;
 };
 
+// ctest runs each test of this binary as its own process, concurrently
+// under -j; fixed names in the shared TempDir race (one process rewrites
+// cli_data.csv while another's subprocess reads it). Keying every path by
+// pid keeps each test process in its own namespace.
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/cli_" + std::to_string(getpid()) + "_" +
+         name;
+}
+
 CommandResult RunCli(const std::string& args) {
   const std::string command =
       std::string(MBP_CLI_PATH) + " " + args + " 2>&1";
@@ -43,7 +54,7 @@ CommandResult RunCli(const std::string& args) {
 class CliTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    csv_path_ = new std::string(testing::TempDir() + "/cli_data.csv");
+    csv_path_ = new std::string(TempPath("data.csv"));
     std::ofstream out(*csv_path_);
     out << "a,b,y\n";
     random::Rng rng(7);
@@ -78,7 +89,7 @@ TEST_F(CliTest, UnknownCommandFails) {
 }
 
 TEST_F(CliTest, TrainReportsMetricsAndWritesModel) {
-  const std::string model_path = testing::TempDir() + "/cli_model.mbp";
+  const std::string model_path = TempPath("model.mbp");
   const CommandResult result = RunCli(
       "train --csv=" + *csv_path_ +
       " --task=regression --out-model=" + model_path);
@@ -99,7 +110,7 @@ TEST_F(CliTest, TrainRequiresFlags) {
 }
 
 TEST_F(CliTest, PriceSellCheckRoundTrip) {
-  const std::string pricing_path = testing::TempDir() + "/cli_pricing.mbp";
+  const std::string pricing_path = TempPath("pricing.mbp");
   const CommandResult price = RunCli(
       "price --csv=" + *csv_path_ +
       " --task=regression --out-pricing=" + pricing_path);
@@ -112,7 +123,7 @@ TEST_F(CliTest, PriceSellCheckRoundTrip) {
   EXPECT_NE(check.output.find("no arbitrage"), std::string::npos);
 
   const std::string instance_path =
-      testing::TempDir() + "/cli_instance.mbp";
+      TempPath("instance.mbp");
   const CommandResult sell = RunCli(
       "sell --csv=" + *csv_path_ + " --task=regression --pricing=" +
       pricing_path + " --budget=25 --out-model=" + instance_path);
@@ -123,7 +134,7 @@ TEST_F(CliTest, PriceSellCheckRoundTrip) {
 }
 
 TEST_F(CliTest, CheckPricingFlagsBrokenCurves) {
-  const std::string bad_path = testing::TempDir() + "/cli_bad_pricing.mbp";
+  const std::string bad_path = TempPath("bad_pricing.mbp");
   {
     std::ofstream out(bad_path);
     // Convex (superadditive) prices.
@@ -135,13 +146,13 @@ TEST_F(CliTest, CheckPricingFlagsBrokenCurves) {
 
 TEST_F(CliTest, ServeAnswersPriceAndBudgetQueries) {
   const std::string pricing_path =
-      testing::TempDir() + "/cli_serve_pricing.mbp";
+      TempPath("serve_pricing.mbp");
   {
     std::ofstream out(pricing_path);
     out << "mbp-pricing v1\npoints 4\n1 10\n2 18\n4 30\n8 40\n";
   }
   const std::string queries_path =
-      testing::TempDir() + "/cli_serve_queries.txt";
+      TempPath("serve_queries.txt");
   {
     std::ofstream out(queries_path);
     out << "0.5\n1.5\n3\n";  // prices 5, 14, 24 on this curve
@@ -158,7 +169,7 @@ TEST_F(CliTest, ServeAnswersPriceAndBudgetQueries) {
 
   // Budget inversion: 24 affords exactly x = 3.
   const std::string budgets_path =
-      testing::TempDir() + "/cli_serve_budgets.txt";
+      TempPath("serve_budgets.txt");
   {
     std::ofstream out(budgets_path);
     out << "24\n";
@@ -175,7 +186,7 @@ TEST_F(CliTest, ServeAnswersPriceAndBudgetQueries) {
 TEST_F(CliTest, ServeRefusesArbitrageableCurve) {
   // Publish re-runs the certificate at snapshot-compile time: a convex
   // (superadditive) curve must be rejected before serving anything.
-  const std::string bad_path = testing::TempDir() + "/cli_serve_bad.mbp";
+  const std::string bad_path = TempPath("serve_bad.mbp");
   {
     std::ofstream out(bad_path);
     out << "mbp-pricing v1\npoints 2\n1 1\n2 4\n";
@@ -185,7 +196,7 @@ TEST_F(CliTest, ServeRefusesArbitrageableCurve) {
 }
 
 TEST_F(CliTest, SimulateRunsAndWritesLedger) {
-  const std::string ledger_path = testing::TempDir() + "/cli_ledger.mbp";
+  const std::string ledger_path = TempPath("ledger.mbp");
   const CommandResult result = RunCli(
       "simulate --csv=" + *csv_path_ +
       " --task=regression --buyers=200 --out-ledger=" + ledger_path);
