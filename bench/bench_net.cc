@@ -1,0 +1,279 @@
+// Load generator for the networked price-serving front end (DESIGN.md
+// §5d): starts an in-process PriceServer on an ephemeral loopback port,
+// hammers it from N blocking client connections, and reports throughput
+// plus client-observed latency quantiles.
+//
+// Regimes:
+//   pingpong    one PRICE_AT per round trip (batch size 1) — the latency
+//               floor of the socket + protocol + engine path
+//   batched     one PRICE_AT frame carrying --batch xs per round trip —
+//               amortizes framing and lets the server micro-batch
+//
+// Before anything is timed, every remote price is checked bit-identical
+// to the research path `PiecewiseLinearPricing::PriceAtInverseNcp`; the
+// process exits non-zero on a mismatch.
+// Flags:
+//   --knots=N        knots in the served curve (default 65536)
+//   --connections=N  concurrent client connections (default 8)
+//   --requests=N     round trips per connection per regime (default 2000)
+//   --batch=N        xs per frame in the batched regime (default 64)
+//   --shards=N       server event-loop shards (default 2)
+//   --out=FILE       write the JSON there instead of stdout
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "core/pricing_function.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "random/rng.h"
+#include "serving/price_query_engine.h"
+#include "serving/snapshot_registry.h"
+
+namespace mbp {
+namespace {
+
+struct RegimeResult {
+  std::string name;
+  size_t round_trips = 0;
+  size_t queries = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;  // individual prices served per second
+  LatencyHistogramSnapshot latency;  // per-round-trip, client-observed
+};
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+core::PiecewiseLinearPricing MakeDenseCurve(size_t knots) {
+  std::vector<core::PricePoint> points;
+  points.reserve(knots);
+  for (size_t i = 1; i <= knots; ++i) {
+    const double x = static_cast<double>(i);
+    points.push_back({x, std::sqrt(x)});
+  }
+  return core::PiecewiseLinearPricing::Create(points).value();
+}
+
+// Runs one regime: `connections` threads, each with its own PriceClient,
+// each performing `requests` round trips of `batch` xs. Per-round-trip
+// latency lands in one shared histogram.
+RegimeResult RunRegime(const std::string& name, uint16_t port,
+                       size_t connections, size_t requests, size_t batch,
+                       double x_hi, std::atomic<size_t>* failures) {
+  RegimeResult result;
+  result.name = name;
+  result.round_trips = connections * requests;
+  result.queries = result.round_trips * batch;
+  LatencyHistogram latency;
+
+  std::vector<std::thread> threads;
+  std::atomic<size_t> ready{0};
+  std::atomic<bool> go{false};
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = net::PriceClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        failures->fetch_add(requests);
+        ready.fetch_add(1);
+        return;
+      }
+      random::Rng rng(1234 + c);
+      std::vector<double> xs(batch);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (size_t r = 0; r < requests; ++r) {
+        for (double& x : xs) x = rng.NextDouble(0.0, x_hi);
+        const auto start = std::chrono::steady_clock::now();
+        const auto prices = (*client)->PriceBatch("menu", xs);
+        latency.Record(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        if (!prices.ok() || prices->size() != batch) failures->fetch_add(1);
+      }
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < connections) {
+    std::this_thread::yield();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  result.wall_ms = MillisSince(start);
+  result.qps =
+      static_cast<double>(result.queries) / (result.wall_ms * 1e-3);
+  result.latency = latency.Snapshot();
+  std::printf(
+      "  %-10s %8zu rt  %9.2f ms  %11.0f qps   p50 %7.1f us   p99 %7.1f us\n",
+      result.name.c_str(), result.round_trips, result.wall_ms, result.qps,
+      result.latency.QuantileMicros(0.5),
+      result.latency.QuantileMicros(0.99));
+  return result;
+}
+
+void EmitHistogramFields(bench::JsonWriter* json,
+                         const LatencyHistogramSnapshot& snap) {
+  json->Field("count", snap.count);
+  json->Field("mean_us", snap.mean_micros());
+  json->Field("p50_us", snap.QuantileMicros(0.5));
+  json->Field("p90_us", snap.QuantileMicros(0.9));
+  json->Field("p99_us", snap.QuantileMicros(0.99));
+}
+
+void EmitJson(FILE* out, size_t knots, size_t connections, size_t requests,
+              size_t batch, size_t shards, bool bit_identical,
+              const std::vector<RegimeResult>& regimes,
+              const net::StatsPayload& server_stats) {
+  bench::JsonWriter json(out);
+  json.BeginObject();
+  json.Field("bench", "bench_net");
+  json.Field("knots", knots);
+  json.Field("connections", connections);
+  json.Field("requests_per_connection", requests);
+  json.Field("batch", batch);
+  json.Field("shards", shards);
+  json.Field("hardware_concurrency",
+             static_cast<size_t>(std::thread::hardware_concurrency()));
+  json.Field("bit_identical_to_research_path", bit_identical);
+  json.Key("regimes");
+  json.BeginArray();
+  for (const RegimeResult& r : regimes) {
+    json.BeginObject();
+    json.Field("name", r.name);
+    json.Field("round_trips", r.round_trips);
+    json.Field("queries", r.queries);
+    json.Field("wall_ms", r.wall_ms);
+    json.Field("qps", r.qps);
+    EmitHistogramFields(&json, r.latency);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("server");
+  json.BeginObject();
+  json.Field("connections_accepted", server_stats.connections_accepted);
+  json.Field("requests_ok", server_stats.requests_ok);
+  json.Field("requests_error", server_stats.requests_error);
+  json.Field("protocol_errors", server_stats.protocol_errors);
+  json.Field("queries", server_stats.queries);
+  json.Field("batches", server_stats.batches);
+  EmitHistogramFields(&json, server_stats.latency);
+  json.EndObject();
+  json.EndObject();
+  json.Finish();
+}
+
+}  // namespace
+}  // namespace mbp
+
+int main(int argc, char** argv) {
+  using namespace mbp;  // NOLINT
+  const size_t knots = static_cast<size_t>(
+      bench::FlagValue(argc, argv, "knots", 65536));
+  const size_t connections = static_cast<size_t>(
+      bench::FlagValue(argc, argv, "connections", 8));
+  const size_t requests = static_cast<size_t>(
+      bench::FlagValue(argc, argv, "requests", 2000));
+  const size_t batch = static_cast<size_t>(
+      bench::FlagValue(argc, argv, "batch", 64));
+  const size_t shards = static_cast<size_t>(
+      bench::FlagValue(argc, argv, "shards", 2));
+  const std::string out_path = bench::FlagString(argc, argv, "out", "");
+
+  bench::PrintHeader("Networked price serving (epoll TCP front end)");
+  std::printf("knots=%zu  connections=%zu  requests/conn=%zu  batch=%zu  "
+              "shards=%zu\n",
+              knots, connections, requests, batch, shards);
+  bench::PrintRule();
+
+  const core::PiecewiseLinearPricing curve = MakeDenseCurve(knots);
+  serving::SnapshotRegistry registry;
+  if (!registry.Publish("menu", curve).ok()) {
+    std::fprintf(stderr, "publish failed\n");
+    return 1;
+  }
+  serving::PriceQueryEngine engine(&registry);
+  net::ServerOptions options;
+  options.num_shards = shards;
+  options.default_curve_id = "menu";
+  auto server = net::PriceServer::Start(&engine, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  const uint16_t port = (*server)->port();
+  std::printf("server on 127.0.0.1:%u\n", port);
+
+  // Bit-identity gate: remote answers must reproduce the research path
+  // exactly before anything is timed.
+  const double x_hi = curve.points().back().x * 1.05;
+  size_t mismatches = 0;
+  {
+    auto client = net::PriceClient::Connect("127.0.0.1", port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "client connect failed: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    random::Rng rng(42);
+    std::vector<double> xs(4096);
+    for (double& x : xs) x = rng.NextDouble(0.0, x_hi);
+    const auto remote = (*client)->PriceBatch("menu", xs);
+    if (!remote.ok()) {
+      std::fprintf(stderr, "gate batch failed: %s\n",
+                   remote.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < xs.size(); ++i) {
+      if ((*remote)[i] != curve.PriceAtInverseNcp(xs[i])) ++mismatches;
+    }
+  }
+  std::printf("bit-identity gate: %zu mismatches over 4096 remote queries\n",
+              mismatches);
+  bench::PrintRule();
+
+  std::atomic<size_t> failures{0};
+  std::vector<RegimeResult> regimes;
+  regimes.push_back(RunRegime("pingpong", port, connections, requests, 1,
+                              x_hi, &failures));
+  regimes.push_back(RunRegime("batched", port, connections, requests, batch,
+                              x_hi, &failures));
+  bench::PrintRule();
+  const net::StatsPayload server_stats = (*server)->stats();
+  std::printf("server: %llu requests ok, %llu queries, %llu batch "
+              "dispatches, %llu errors\n",
+              static_cast<unsigned long long>(server_stats.requests_ok),
+              static_cast<unsigned long long>(server_stats.queries),
+              static_cast<unsigned long long>(server_stats.batches),
+              static_cast<unsigned long long>(server_stats.requests_error));
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "%zu client round trips failed\n", failures.load());
+  }
+  (*server)->Shutdown();
+
+  const bool bit_identical = mismatches == 0 && failures.load() == 0;
+  if (out_path.empty()) {
+    EmitJson(stdout, knots, connections, requests, batch, shards,
+             bit_identical, regimes, server_stats);
+  } else {
+    FILE* out_file = std::fopen(out_path.c_str(), "w");
+    if (out_file == nullptr) {
+      std::fprintf(stderr, "cannot open --out=%s\n", out_path.c_str());
+      return 1;
+    }
+    EmitJson(out_file, knots, connections, requests, batch, shards,
+             bit_identical, regimes, server_stats);
+    std::fclose(out_file);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return bit_identical ? 0 : 2;
+}

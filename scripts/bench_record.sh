@@ -1,21 +1,30 @@
 #!/usr/bin/env bash
-# Runs the kernel/stats-reuse benchmark and appends its JSON document to
-# BENCH_kernels.json (one document per line), building the trajectory that
+# Runs a benchmark harness and appends its JSON document to the matching
+# BENCH_<name>.json (one document per line), building the trajectory that
 # later PRs compare against. Usage:
 #
-#   scripts/bench_record.sh [build_dir] [extra bench_kernels flags...]
+#   scripts/bench_record.sh [build_dir] [bench] [extra bench flags...]
 #
-# The build directory defaults to ./build; pass e.g. --scale=0.25 to run a
-# reduced workload on small machines.
+# `bench` names the harness without the bench_ prefix (kernels, net,
+# serving, ...) and defaults to kernels, so the historical invocation
+#   scripts/bench_record.sh build --scale=0.25
+# still works: an argument starting with -- is treated as a flag, not a
+# bench name. The build directory defaults to ./build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 if [[ $# -gt 0 ]]; then shift; fi
 
-BENCH="${BUILD_DIR}/bench/bench_kernels"
+NAME="kernels"
+if [[ $# -gt 0 && "${1}" != --* ]]; then
+  NAME="${1}"
+  shift
+fi
+
+BENCH="${BUILD_DIR}/bench/bench_${NAME}"
 if [[ ! -x "${BENCH}" ]]; then
-  echo "error: ${BENCH} not built (cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} --target bench_kernels)" >&2
+  echo "error: ${BENCH} not built (cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} --target bench_${NAME})" >&2
   exit 1
 fi
 
@@ -24,5 +33,6 @@ trap 'rm -f "${TMP_JSON}"' EXIT
 
 "${BENCH}" --out="${TMP_JSON}" "$@"
 
-cat "${TMP_JSON}" >> BENCH_kernels.json
-echo "appended $(wc -c < "${TMP_JSON}") bytes to BENCH_kernels.json"
+OUT="BENCH_${NAME}.json"
+cat "${TMP_JSON}" >> "${OUT}"
+echo "appended $(wc -c < "${TMP_JSON}") bytes to ${OUT}"

@@ -1,0 +1,69 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+namespace mbp {
+namespace {
+
+size_t BucketIndex(double micros) {
+  if (micros < 1.0) return 0;
+  // bit_width(m) for m >= 1 is floor(log2(m)) + 1, so [2^(i-1), 2^i) µs
+  // lands in bucket i as documented in the header.
+  const uint64_t m = static_cast<uint64_t>(micros);
+  const size_t i = static_cast<size_t>(std::bit_width(m));
+  return i < kLatencyBuckets ? i : kLatencyBuckets - 1;
+}
+
+}  // namespace
+
+double LatencyBucketLowerMicros(size_t i) {
+  if (i == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(i) - 1);  // 2^(i-1)
+}
+
+double LatencyHistogramSnapshot::QuantileMicros(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; q = 0 maps to the first sample.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(
+                                std::ceil(q * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      const double lo = LatencyBucketLowerMicros(i);
+      const double hi = i + 1 < kLatencyBuckets
+                            ? LatencyBucketLowerMicros(i + 1)
+                            : 2.0 * lo;
+      const double within = static_cast<double>(rank - seen) /
+                            static_cast<double>(buckets[i]);
+      return lo + within * (hi - lo);
+    }
+    seen += buckets[i];
+  }
+  return LatencyBucketLowerMicros(kLatencyBuckets - 1);
+}
+
+void LatencyHistogram::Record(double micros) {
+  if (!(micros > 0.0)) micros = 0.0;  // clamps negatives and NaN
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<uint64_t>(std::llround(micros * 1e3)),
+                       std::memory_order_relaxed);
+  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencyHistogramSnapshot LatencyHistogram::Snapshot() const {
+  LatencyHistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_micros =
+      static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) * 1e-3;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+}  // namespace mbp

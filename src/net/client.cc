@@ -1,0 +1,154 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mbp::net {
+namespace {
+
+Status ErrnoError(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<PriceClient>> PriceClient::Connect(
+    const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("unparsable IPv4 host '" + host + "'");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoError("socket");
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status =
+        ErrnoError("connect " + numeric + ":" + std::to_string(port));
+    close(fd);
+    return status;
+  }
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<PriceClient>(new PriceClient(fd));
+}
+
+PriceClient::~PriceClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status PriceClient::Roundtrip(Request request, Response* response) {
+  request.request_id = next_request_id_++;
+  std::string wire;
+  EncodeRequest(request, &wire);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  char buf[65536];
+  while (true) {
+    Response decoded;
+    const auto consumed = DecodeResponse(
+        reinterpret_cast<const uint8_t*>(rx_.data()), rx_.size(), &decoded);
+    MBP_RETURN_IF_ERROR(consumed.status());
+    if (*consumed > 0) {
+      rx_.erase(0, *consumed);
+      // With one outstanding request per client every frame matches, but
+      // tolerate strays so pipelining tests can share the transport.
+      if (decoded.request_id != request.request_id) continue;
+      if (decoded.code != StatusCode::kOk) {
+        return Status(decoded.code, decoded.error_message);
+      }
+      *response = std::move(decoded);
+      return Status::OK();
+    }
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return InternalError("server closed the connection mid-response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("recv");
+    }
+    rx_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<double> PriceClient::PriceAt(const std::string& curve_id, double x) {
+  Request request;
+  request.verb = Verb::kPriceAt;
+  request.curve_id = curve_id;
+  request.args = {x};
+  Response response;
+  MBP_RETURN_IF_ERROR(Roundtrip(std::move(request), &response));
+  if (response.values.size() != 1) {
+    return InternalError("PRICE_AT response carries " +
+                         std::to_string(response.values.size()) + " values");
+  }
+  return response.values[0];
+}
+
+StatusOr<std::vector<double>> PriceClient::PriceBatch(
+    const std::string& curve_id, const std::vector<double>& xs) {
+  Request request;
+  request.verb = Verb::kPriceAt;
+  request.curve_id = curve_id;
+  request.args = xs;
+  Response response;
+  MBP_RETURN_IF_ERROR(Roundtrip(std::move(request), &response));
+  if (response.values.size() != xs.size()) {
+    return InternalError("PRICE_AT batch of " + std::to_string(xs.size()) +
+                         " answered with " +
+                         std::to_string(response.values.size()) + " values");
+  }
+  return std::move(response.values);
+}
+
+StatusOr<double> PriceClient::BudgetToX(const std::string& curve_id,
+                                        double budget) {
+  Request request;
+  request.verb = Verb::kBudgetToX;
+  request.curve_id = curve_id;
+  request.args = {budget};
+  Response response;
+  MBP_RETURN_IF_ERROR(Roundtrip(std::move(request), &response));
+  if (response.values.size() != 1) {
+    return InternalError("BUDGET_TO_X response carries " +
+                         std::to_string(response.values.size()) + " values");
+  }
+  return response.values[0];
+}
+
+StatusOr<SnapshotInfoPayload> PriceClient::SnapshotInfo(
+    const std::string& curve_id) {
+  Request request;
+  request.verb = Verb::kSnapshotInfo;
+  request.curve_id = curve_id;
+  Response response;
+  MBP_RETURN_IF_ERROR(Roundtrip(std::move(request), &response));
+  return response.info;
+}
+
+StatusOr<StatsPayload> PriceClient::Stats() {
+  Request request;
+  request.verb = Verb::kStats;
+  Response response;
+  MBP_RETURN_IF_ERROR(Roundtrip(std::move(request), &response));
+  return response.stats;
+}
+
+}  // namespace mbp::net

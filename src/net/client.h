@@ -1,0 +1,60 @@
+#ifndef MBP_NET_CLIENT_H_
+#define MBP_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "net/protocol.h"
+
+namespace mbp::net {
+
+// Blocking client for the PriceServer wire protocol: one TCP connection,
+// one outstanding request at a time (send, then read frames until the one
+// echoing our request_id arrives). Not thread-safe — use one PriceClient
+// per thread; the load generator and tests open many.
+//
+// Server-side errors (unknown curve, withdrawn snapshot, infeasible
+// budget) come back as the Status carried in the response frame, keeping
+// remote error semantics identical to calling PriceQueryEngine directly.
+class PriceClient {
+ public:
+  static StatusOr<std::unique_ptr<PriceClient>> Connect(
+      const std::string& host, uint16_t port);
+
+  ~PriceClient();
+
+  PriceClient(const PriceClient&) = delete;
+  PriceClient& operator=(const PriceClient&) = delete;
+
+  // Single price query; `curve_id` empty selects the server default.
+  StatusOr<double> PriceAt(const std::string& curve_id, double x);
+
+  // Batched price query: one frame carrying all of `xs`, one response.
+  StatusOr<std::vector<double>> PriceBatch(const std::string& curve_id,
+                                           const std::vector<double>& xs);
+
+  // Largest x whose price fits `budget` (paper's inverse query).
+  StatusOr<double> BudgetToX(const std::string& curve_id, double budget);
+
+  StatusOr<SnapshotInfoPayload> SnapshotInfo(const std::string& curve_id);
+
+  StatusOr<StatsPayload> Stats();
+
+  // Sends `request` (request_id is assigned here) and blocks for its
+  // response frame. Exposed for tests that exercise raw verbs.
+  Status Roundtrip(Request request, Response* response);
+
+ private:
+  explicit PriceClient(int fd) : fd_(fd) {}
+
+  int fd_;
+  uint64_t next_request_id_ = 1;
+  std::string rx_;  // bytes received beyond the last decoded frame
+};
+
+}  // namespace mbp::net
+
+#endif  // MBP_NET_CLIENT_H_

@@ -1,0 +1,328 @@
+#include "net/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+namespace mbp::net {
+namespace {
+
+constexpr size_t kMaxCurveIdBytes = 255;
+constexpr uint8_t kMaxStatusCodeByte =
+    static_cast<uint8_t>(StatusCode::kInfeasible);
+
+uint32_t Fnv1a32(const uint8_t* data, size_t size) {
+  uint32_t hash = 2166136261u;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+// ------------------------------------------------------------- encoding
+
+void AppendBytes(std::string* wire, const void* data, size_t size) {
+  if (size == 0) return;
+  wire->append(static_cast<const char*>(data), size);
+}
+
+void AppendU8(std::string* wire, uint8_t v) { AppendBytes(wire, &v, 1); }
+void AppendU16(std::string* wire, uint16_t v) { AppendBytes(wire, &v, 2); }
+void AppendU32(std::string* wire, uint32_t v) { AppendBytes(wire, &v, 4); }
+void AppendU64(std::string* wire, uint64_t v) { AppendBytes(wire, &v, 8); }
+void AppendF64(std::string* wire, double v) { AppendBytes(wire, &v, 8); }
+
+void AppendDoubles(std::string* wire, const std::vector<double>& values) {
+  AppendU32(wire, static_cast<uint32_t>(values.size()));
+  AppendBytes(wire, values.data(), values.size() * sizeof(double));
+}
+
+// Appends the shared header with placeholder length/checksum and returns
+// the frame's start offset; SealFrame patches both once the payload is in.
+size_t BeginFrame(std::string* wire, Verb verb, StatusCode code,
+                  uint64_t request_id) {
+  const size_t frame_start = wire->size();
+  AppendU32(wire, 0);  // frame_len, patched by SealFrame
+  AppendU32(wire, 0);  // checksum, patched by SealFrame
+  AppendU8(wire, kProtocolVersion);
+  AppendU8(wire, static_cast<uint8_t>(verb));
+  AppendU8(wire, static_cast<uint8_t>(code));
+  AppendU8(wire, 0);  // reserved
+  AppendU64(wire, request_id);
+  return frame_start;
+}
+
+void SealFrame(std::string* wire, size_t frame_start) {
+  uint8_t* frame =
+      reinterpret_cast<uint8_t*>(wire->data()) + frame_start;
+  const size_t checksummed = wire->size() - frame_start - 8;
+  const uint32_t frame_len = static_cast<uint32_t>(checksummed);
+  std::memcpy(frame, &frame_len, 4);
+  const uint32_t checksum = Fnv1a32(frame + 8, checksummed);
+  std::memcpy(frame + 4, &checksum, 4);
+}
+
+// ------------------------------------------------------------- decoding
+
+// Cursor over one complete, checksum-verified frame's payload. Any
+// overrun means the length prefix and the payload structure disagree —
+// corruption the checksum cannot rule out, reported as InvalidArgument.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Status Bytes(void* out, size_t n) {
+    if (size_ - offset_ < n) {
+      return InvalidArgumentError("net frame payload overruns its length");
+    }
+    if (n > 0) std::memcpy(out, data_ + offset_, n);
+    offset_ += n;
+    return Status::OK();
+  }
+
+  Status U8(uint8_t* v) { return Bytes(v, 1); }
+  Status U16(uint16_t* v) { return Bytes(v, 2); }
+  Status U32(uint32_t* v) { return Bytes(v, 4); }
+  Status U64(uint64_t* v) { return Bytes(v, 8); }
+  Status F64(double* v) { return Bytes(v, 8); }
+
+  Status String(size_t n, std::string* out) {
+    out->resize(n);
+    return Bytes(out->data(), n);
+  }
+
+  Status Doubles(std::vector<double>* out) {
+    uint32_t count = 0;
+    MBP_RETURN_IF_ERROR(U32(&count));
+    if (count > kMaxVectorElements) {
+      return InvalidArgumentError("net frame vector count exceeds cap");
+    }
+    out->resize(count);
+    return Bytes(out->data(), count * sizeof(double));
+  }
+
+  Status ExpectEnd() const {
+    if (offset_ != size_) {
+      return InvalidArgumentError("net frame has trailing payload bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t offset_ = 0;
+};
+
+struct Header {
+  Verb verb = Verb::kPriceAt;
+  StatusCode code = StatusCode::kOk;
+  uint64_t request_id = 0;
+  size_t payload_offset = 0;  // from frame start
+  size_t frame_size = 0;      // whole frame, header included
+};
+
+// Parses and validates the shared header. Consumed-size semantics match
+// DecodeRequest/DecodeResponse: 0 bytes means incomplete.
+StatusOr<size_t> DecodeHeader(const uint8_t* data, size_t size,
+                              Header* out) {
+  if (size < 8) return size_t{0};
+  uint32_t frame_len = 0;
+  uint32_t checksum = 0;
+  std::memcpy(&frame_len, data, 4);
+  std::memcpy(&checksum, data + 4, 4);
+  // Length sanity first: a corrupt length prefix must not stall the
+  // connection forever waiting for bytes that will never come.
+  if (frame_len < kHeaderBytes - 8 || frame_len > kMaxFrameBytes - 8) {
+    return InvalidArgumentError("net frame length prefix out of range");
+  }
+  const size_t frame_size = size_t{frame_len} + 8;
+  if (size < frame_size) return size_t{0};
+  if (Fnv1a32(data + 8, frame_len) != checksum) {
+    return InvalidArgumentError("net frame checksum mismatch");
+  }
+  if (data[8] != kProtocolVersion) {
+    return InvalidArgumentError("unsupported net protocol version");
+  }
+  const uint8_t verb = data[9];
+  if (verb < static_cast<uint8_t>(Verb::kPriceAt) ||
+      verb > static_cast<uint8_t>(Verb::kStats)) {
+    return InvalidArgumentError("unknown net protocol verb");
+  }
+  if (data[10] > kMaxStatusCodeByte) {
+    return InvalidArgumentError("net frame carries unknown status code");
+  }
+  if (data[11] != 0) {
+    return InvalidArgumentError("net frame reserved byte is not zero");
+  }
+  out->verb = static_cast<Verb>(verb);
+  out->code = static_cast<StatusCode>(data[10]);
+  std::memcpy(&out->request_id, data + 12, 8);
+  out->payload_offset = kHeaderBytes;
+  out->frame_size = frame_size;
+  return frame_size;
+}
+
+bool VerbCarriesVector(Verb verb) {
+  return verb == Verb::kPriceAt || verb == Verb::kBudgetToX;
+}
+
+}  // namespace
+
+std::string_view VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kPriceAt: return "PRICE_AT";
+    case Verb::kBudgetToX: return "BUDGET_TO_X";
+    case Verb::kSnapshotInfo: return "SNAPSHOT_INFO";
+    case Verb::kStats: return "STATS";
+  }
+  return "?";
+}
+
+Response ErrorResponse(const Request& request, const Status& status) {
+  Response response;
+  response.verb = request.verb;
+  response.request_id = request.request_id;
+  response.code = status.ok() ? StatusCode::kInternal : status.code();
+  response.error_message = status.message();
+  return response;
+}
+
+void EncodeRequest(const Request& request, std::string* wire) {
+  const size_t frame_start =
+      BeginFrame(wire, request.verb, StatusCode::kOk, request.request_id);
+  const size_t id_len = std::min(request.curve_id.size(), kMaxCurveIdBytes);
+  AppendU8(wire, static_cast<uint8_t>(id_len));
+  AppendBytes(wire, request.curve_id.data(), id_len);
+  if (VerbCarriesVector(request.verb)) AppendDoubles(wire, request.args);
+  SealFrame(wire, frame_start);
+}
+
+void EncodeResponse(const Response& response, std::string* wire) {
+  const size_t frame_start =
+      BeginFrame(wire, response.verb, response.code, response.request_id);
+  if (response.code != StatusCode::kOk) {
+    const size_t msg_len =
+        std::min<size_t>(response.error_message.size(), 65535);
+    AppendU16(wire, static_cast<uint16_t>(msg_len));
+    AppendBytes(wire, response.error_message.data(), msg_len);
+  } else {
+    switch (response.verb) {
+      case Verb::kPriceAt:
+      case Verb::kBudgetToX:
+        AppendDoubles(wire, response.values);
+        break;
+      case Verb::kSnapshotInfo:
+        AppendU64(wire, response.info.version);
+        AppendU64(wire, response.info.stamp);
+        AppendU64(wire, response.info.num_knots);
+        AppendF64(wire, response.info.x_max);
+        AppendF64(wire, response.info.max_price);
+        break;
+      case Verb::kStats: {
+        const StatsPayload& s = response.stats;
+        AppendU64(wire, s.connections_accepted);
+        AppendU64(wire, s.connections_active);
+        AppendU64(wire, s.requests_ok);
+        AppendU64(wire, s.requests_error);
+        AppendU64(wire, s.protocol_errors);
+        AppendU64(wire, s.queries);
+        AppendU64(wire, s.batches);
+        AppendU64(wire, s.latency.count);
+        AppendF64(wire, s.latency.sum_micros);
+        AppendU32(wire, static_cast<uint32_t>(kLatencyBuckets));
+        for (const uint64_t bucket : s.latency.buckets) {
+          AppendU64(wire, bucket);
+        }
+        break;
+      }
+    }
+  }
+  SealFrame(wire, frame_start);
+}
+
+StatusOr<size_t> DecodeRequest(const uint8_t* data, size_t size,
+                               Request* out) {
+  Header header;
+  MBP_ASSIGN_OR_RETURN(const size_t consumed,
+                       DecodeHeader(data, size, &header));
+  if (consumed == 0) return size_t{0};
+  if (header.code != StatusCode::kOk) {
+    return InvalidArgumentError("net request carries a non-OK status byte");
+  }
+  *out = Request{};
+  out->verb = header.verb;
+  out->request_id = header.request_id;
+  Reader reader(data + header.payload_offset,
+                header.frame_size - header.payload_offset);
+  uint8_t id_len = 0;
+  MBP_RETURN_IF_ERROR(reader.U8(&id_len));
+  MBP_RETURN_IF_ERROR(reader.String(id_len, &out->curve_id));
+  if (VerbCarriesVector(out->verb)) {
+    MBP_RETURN_IF_ERROR(reader.Doubles(&out->args));
+    if (out->args.empty()) {
+      return InvalidArgumentError("net request carries no query values");
+    }
+  }
+  MBP_RETURN_IF_ERROR(reader.ExpectEnd());
+  return consumed;
+}
+
+StatusOr<size_t> DecodeResponse(const uint8_t* data, size_t size,
+                                Response* out) {
+  Header header;
+  MBP_ASSIGN_OR_RETURN(const size_t consumed,
+                       DecodeHeader(data, size, &header));
+  if (consumed == 0) return size_t{0};
+  *out = Response{};
+  out->verb = header.verb;
+  out->request_id = header.request_id;
+  out->code = header.code;
+  Reader reader(data + header.payload_offset,
+                header.frame_size - header.payload_offset);
+  if (out->code != StatusCode::kOk) {
+    uint16_t msg_len = 0;
+    MBP_RETURN_IF_ERROR(reader.U16(&msg_len));
+    MBP_RETURN_IF_ERROR(reader.String(msg_len, &out->error_message));
+  } else {
+    switch (out->verb) {
+      case Verb::kPriceAt:
+      case Verb::kBudgetToX:
+        MBP_RETURN_IF_ERROR(reader.Doubles(&out->values));
+        break;
+      case Verb::kSnapshotInfo:
+        MBP_RETURN_IF_ERROR(reader.U64(&out->info.version));
+        MBP_RETURN_IF_ERROR(reader.U64(&out->info.stamp));
+        MBP_RETURN_IF_ERROR(reader.U64(&out->info.num_knots));
+        MBP_RETURN_IF_ERROR(reader.F64(&out->info.x_max));
+        MBP_RETURN_IF_ERROR(reader.F64(&out->info.max_price));
+        break;
+      case Verb::kStats: {
+        StatsPayload& s = out->stats;
+        MBP_RETURN_IF_ERROR(reader.U64(&s.connections_accepted));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.connections_active));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.requests_ok));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.requests_error));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.protocol_errors));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.queries));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.batches));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.latency.count));
+        MBP_RETURN_IF_ERROR(reader.F64(&s.latency.sum_micros));
+        uint32_t num_buckets = 0;
+        MBP_RETURN_IF_ERROR(reader.U32(&num_buckets));
+        if (num_buckets != kLatencyBuckets) {
+          return InvalidArgumentError(
+              "net stats histogram bucket count mismatch");
+        }
+        for (size_t i = 0; i < kLatencyBuckets; ++i) {
+          MBP_RETURN_IF_ERROR(reader.U64(&s.latency.buckets[i]));
+        }
+        break;
+      }
+    }
+  }
+  MBP_RETURN_IF_ERROR(reader.ExpectEnd());
+  return consumed;
+}
+
+}  // namespace mbp::net

@@ -1,0 +1,125 @@
+#ifndef MBP_NET_PROTOCOL_H_
+#define MBP_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/statusor.h"
+
+namespace mbp::net {
+
+// Compact length-prefixed binary protocol for the networked price-serving
+// front end (DESIGN.md §5d). One frame per request and per response, both
+// directions sharing a 20-byte header:
+//
+//   offset  size  field
+//   0       4     frame_len   bytes after the checksum field (>= 12,
+//                             <= kMaxFrameBytes - 8); total frame size is
+//                             frame_len + 8
+//   4       4     checksum    FNV-1a-32 over bytes [8, 8 + frame_len) —
+//                             the rest of the header AND the payload, so a
+//                             flipped bit anywhere past the length prefix
+//                             is caught before a frame is acted on
+//   8       1     version     kProtocolVersion
+//   9       1     verb        Verb (responses echo the request's verb)
+//   10      1     status      StatusCode as a byte; 0 (kOk) on requests
+//   11      1     reserved    must be 0
+//   12      8     request_id  client-chosen correlation id, echoed back
+//   20      ...   payload     verb-specific, see EncodeRequest/Response
+//
+// All integers and doubles are little-endian (doubles as their IEEE-754
+// bit pattern), matching every platform this repo targets. Frames are
+// self-delimiting, so any number of them can be pipelined on one TCP
+// connection. Responses preserve the order of same-verb requests, but the
+// server may batch PRICE_AT answers behind other verbs, so pipelining
+// clients must correlate by request_id, not position.
+//
+// Corruption semantics: decoding returns the number of bytes consumed, 0
+// when the buffer does not yet hold a complete frame, and a non-OK Status
+// when the stream is unrecoverably corrupt (bad length, checksum, version,
+// verb, or payload structure). After an error the framing is lost and the
+// connection must be closed — there is no resynchronization.
+
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kHeaderBytes = 20;
+// Hard cap on a whole frame (header + payload): bounds every per-
+// connection buffer and rejects absurd length prefixes before allocating.
+inline constexpr size_t kMaxFrameBytes = 1 << 20;
+// Largest args/values vector a frame can carry under kMaxFrameBytes.
+inline constexpr size_t kMaxVectorElements =
+    (kMaxFrameBytes - kHeaderBytes - 8) / sizeof(double);
+
+enum class Verb : uint8_t {
+  kPriceAt = 1,       // args: xs (>= 1)        -> values: prices
+  kBudgetToX = 2,     // args: budgets (>= 1)   -> values: largest xs
+  kSnapshotInfo = 3,  // no args                -> SnapshotInfoPayload
+  kStats = 4,         // no args, no curve id   -> StatsPayload
+};
+
+// Human-readable verb name ("PRICE_AT", ...); "?" for invalid bytes.
+std::string_view VerbName(Verb verb);
+
+struct Request {
+  Verb verb = Verb::kPriceAt;
+  uint64_t request_id = 0;
+  // Curve to query; empty selects the server's default curve. Ignored by
+  // kStats. Capped at 255 bytes on the wire.
+  std::string curve_id;
+  // xs for kPriceAt, budgets for kBudgetToX; must be empty otherwise.
+  std::vector<double> args;
+};
+
+struct SnapshotInfoPayload {
+  uint64_t version = 0;    // PricingSnapshot::version()
+  uint64_t stamp = 0;      // CurveSlot publish stamp (republish detector)
+  uint64_t num_knots = 0;
+  double x_max = 0.0;
+  double max_price = 0.0;
+};
+
+// Server-side operational counters + request latency histogram, in the
+// common/metrics.h snapshot format.
+struct StatsPayload {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t requests_ok = 0;
+  uint64_t requests_error = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t queries = 0;        // individual prices/budgets served
+  uint64_t batches = 0;        // micro-batched PriceBatch dispatches
+  LatencyHistogramSnapshot latency;
+};
+
+struct Response {
+  Verb verb = Verb::kPriceAt;
+  uint64_t request_id = 0;
+  // kOk for success; any other code carries error_message and no data.
+  StatusCode code = StatusCode::kOk;
+  std::string error_message;
+  std::vector<double> values;  // kPriceAt / kBudgetToX results
+  SnapshotInfoPayload info;    // kSnapshotInfo result
+  StatsPayload stats;          // kStats result
+};
+
+// Builds the response frame skeleton for an error outcome.
+Response ErrorResponse(const Request& request, const Status& status);
+
+// Appends one encoded frame to `*wire`.
+void EncodeRequest(const Request& request, std::string* wire);
+void EncodeResponse(const Response& response, std::string* wire);
+
+// Attempts to decode ONE frame from the front of [data, data + size).
+// Returns the number of bytes consumed (a complete frame), 0 when more
+// bytes are needed, or a non-OK Status on corruption (close the stream).
+StatusOr<size_t> DecodeRequest(const uint8_t* data, size_t size,
+                               Request* out);
+StatusOr<size_t> DecodeResponse(const uint8_t* data, size_t size,
+                                Response* out);
+
+}  // namespace mbp::net
+
+#endif  // MBP_NET_PROTOCOL_H_

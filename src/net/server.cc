@@ -1,0 +1,560 @@
+#include "net/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace mbp::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+Status ErrnoError(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// Per-connection state. A connection lives on exactly one shard thread;
+// nothing here is shared. `in` accumulates raw bytes until they form
+// complete frames (the parse loop consumes every complete frame after
+// each recv, so between passes it only ever holds one incomplete tail,
+// bounded by kMaxFrameBytes). `out` holds encoded-but-unsent responses.
+struct PriceServer::Connection {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  size_t out_offset = 0;
+  uint32_t armed = EPOLLIN;  // events currently registered with epoll
+  bool paused = false;       // reading stopped by write backpressure
+  bool touched = false;      // has responses appended this loop pass
+  bool dead = false;         // closed; destroyed at the end-of-pass sweep
+
+  size_t pending_out() const { return out.size() - out_offset; }
+
+  // The fd is closed here, NOT in CloseConnection: a dead connection
+  // stays in the shard map until the end-of-pass sweep, and closing the
+  // fd early would free its number for accept4 to hand out again within
+  // the same pass — the new connection would then collide with the dead
+  // map entry and be stranded (open, epoll-registered, unowned), spinning
+  // the level-triggered loop forever.
+  ~Connection() {
+    if (fd >= 0) close(fd);
+  }
+};
+
+// One event-loop shard: an epoll instance, a private connection table,
+// and the micro-batch under construction during the current loop pass.
+struct PriceServer::Shard {
+  size_t index = 0;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+
+  // PRICE_AT queries decoded this pass, coalesced per curve slot; one
+  // PriceQueryEngine::PriceBatch call serves each group (so every query
+  // in the group is answered from ONE snapshot).
+  struct PendingPrice {
+    Connection* conn;
+    uint64_t request_id;
+    size_t offset;  // into MicroBatch::xs
+    size_t count;
+    Clock::time_point start;
+  };
+  struct MicroBatch {
+    std::vector<double> xs;
+    std::vector<PendingPrice> pending;
+  };
+  std::unordered_map<const serving::SnapshotRegistry::CurveSlot*, MicroBatch>
+      batches;
+  std::vector<Connection*> touched;
+};
+
+PriceServer::PriceServer(const serving::PriceQueryEngine* engine,
+                         ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  MBP_CHECK(engine_ != nullptr);
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.max_write_queue_bytes == 0) {
+    options_.max_write_queue_bytes = 1 << 20;
+  }
+}
+
+StatusOr<std::unique_ptr<PriceServer>> PriceServer::Start(
+    const serving::PriceQueryEngine* engine, ServerOptions options) {
+  std::unique_ptr<PriceServer> server(
+      new PriceServer(engine, std::move(options)));
+  MBP_RETURN_IF_ERROR(server->Listen());
+  for (size_t s = 0; s < server->options_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    shard->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    if (shard->epoll_fd < 0) return ErrnoError("epoll_create1");
+    shard->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (shard->wake_fd < 0) return ErrnoError("eventfd");
+    epoll_event wake{};
+    wake.events = EPOLLIN;
+    wake.data.fd = shard->wake_fd;
+    if (epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, shard->wake_fd, &wake) <
+        0) {
+      return ErrnoError("epoll_ctl(wake)");
+    }
+    // EPOLLEXCLUSIVE: each shard registers the one listening socket and
+    // the kernel wakes a single shard per pending accept, spreading
+    // connections without a dedicated acceptor thread.
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    ev.data.fd = server->listen_fd_;
+    if (epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, server->listen_fd_, &ev) <
+        0) {
+      return ErrnoError("epoll_ctl(listen)");
+    }
+    server->shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : server->shards_) {
+    shard->thread =
+        std::thread([srv = server.get(), s = shard.get()] { srv->ShardLoop(s); });
+  }
+  return server;
+}
+
+PriceServer::~PriceServer() { Shutdown(); }
+
+Status PriceServer::Listen() {
+  listen_fd_ =
+      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return ErrnoError("socket");
+  const int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return ErrnoError("bind 127.0.0.1:" + std::to_string(options_.port));
+  }
+  if (listen(listen_fd_, SOMAXCONN) < 0) return ErrnoError("listen");
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return ErrnoError("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+void PriceServer::Shutdown() {
+  if (shut_down_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    const uint64_t one = 1;
+    (void)!write(shard->wake_fd, &one, sizeof(one));
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  for (auto& shard : shards_) {
+    if (shard->epoll_fd >= 0) close(shard->epoll_fd);
+    if (shard->wake_fd >= 0) close(shard->wake_fd);
+    shard->epoll_fd = shard->wake_fd = -1;
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+StatsPayload PriceServer::stats() const {
+  StatsPayload s;
+  s.connections_accepted = metrics_.connections_accepted.Value();
+  s.connections_active = active_connections_.load(std::memory_order_relaxed);
+  s.requests_ok = metrics_.requests_ok.Value();
+  s.requests_error = metrics_.requests_error.Value();
+  s.protocol_errors = metrics_.protocol_errors.Value();
+  s.queries = metrics_.queries.Value();
+  s.batches = metrics_.batches.Value();
+  s.latency = metrics_.request_latency.Snapshot();
+  return s;
+}
+
+StatusOr<const serving::SnapshotRegistry::CurveSlot*>
+PriceServer::ResolveCurve(const std::string& curve_id) const {
+  const std::string& id =
+      curve_id.empty() ? options_.default_curve_id : curve_id;
+  const serving::SnapshotRegistry::CurveSlot* slot =
+      engine_->registry().Find(id);
+  if (slot == nullptr) {
+    return NotFoundError("curve '" + id + "' is not being served");
+  }
+  return slot;
+}
+
+void PriceServer::ShardLoop(Shard* shard) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(shard->epoll_fd, events, kMaxEvents, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptReady(shard);
+        continue;
+      }
+      if (fd == shard->wake_fd) {
+        uint64_t drained = 0;
+        (void)!read(shard->wake_fd, &drained, sizeof(drained));
+        continue;
+      }
+      const auto it = shard->conns.find(fd);
+      if (it == shard->conns.end()) {
+        // Not a connection this shard owns — deregister so a stale
+        // level-triggered readiness cannot spin the loop.
+        (void)epoll_ctl(shard->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+        continue;
+      }
+      Connection* conn = it->second.get();
+      if (conn->dead) continue;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        CloseConnection(shard, conn);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) ReadReady(shard, conn);
+      if (!conn->dead && (events[i].events & EPOLLOUT)) {
+        FlushWrites(shard, conn);
+        if (!conn->dead) UpdateEpollInterest(shard, conn);
+      }
+    }
+    FlushPriceBatches(shard);
+    // One flush per connection that gained responses this pass, instead
+    // of one send() per response.
+    for (Connection* conn : shard->touched) {
+      conn->touched = false;
+      if (conn->dead) continue;
+      FlushWrites(shard, conn);
+      if (!conn->dead) UpdateEpollInterest(shard, conn);
+    }
+    shard->touched.clear();
+    // Destroy connections closed during this pass (deferred so that
+    // micro-batch entries never dangle).
+    for (auto it = shard->conns.begin(); it != shard->conns.end();) {
+      it = it->second->dead ? shard->conns.erase(it) : std::next(it);
+    }
+  }
+  DrainShard(shard);
+}
+
+void PriceServer::AcceptReady(Shard* shard) {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (no more pending) or a transient accept error
+    }
+    if (stopping_.load(std::memory_order_acquire) ||
+        active_connections_.load(std::memory_order_relaxed) >=
+            options_.max_connections) {
+      close(fd);
+      continue;
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.connections_accepted.Increment();
+    const int one = 1;
+    (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      close(fd);
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    shard->conns.emplace(fd, std::move(conn));
+  }
+}
+
+void PriceServer::ReadReady(Shard* shard, Connection* conn) {
+  char buf[65536];
+  while (!conn->dead) {
+    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) {  // orderly peer close
+      CloseConnection(shard, conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        CloseConnection(shard, conn);
+      }
+      return;
+    }
+    conn->in.append(buf, static_cast<size_t>(n));
+    // Consume every complete frame now, so `in` never holds parseable
+    // data across passes (a paused or idle socket cannot strand a
+    // buffered request).
+    size_t offset = 0;
+    while (!conn->dead) {
+      Request request;
+      const auto consumed = DecodeRequest(
+          reinterpret_cast<const uint8_t*>(conn->in.data()) + offset,
+          conn->in.size() - offset, &request);
+      if (!consumed.ok()) {
+        metrics_.protocol_errors.Increment();
+        CloseConnection(shard, conn);
+        return;
+      }
+      if (*consumed == 0) break;
+      offset += *consumed;
+      HandleRequest(shard, conn, request);
+    }
+    if (conn->dead) return;
+    conn->in.erase(0, offset);
+    // Backpressure: responses already queued on this connection exceed
+    // the cap — stop reading (UpdateEpollInterest drops EPOLLIN) until
+    // the peer drains them.
+    UpdateEpollInterest(shard, conn);
+    if (conn->paused) return;
+  }
+}
+
+void PriceServer::HandleRequest(Shard* shard, Connection* conn,
+                                const Request& request) {
+  const Clock::time_point start = Clock::now();
+  if (request.verb == Verb::kStats) {
+    Response response;
+    response.verb = Verb::kStats;
+    response.request_id = request.request_id;
+    response.stats = stats();
+    metrics_.requests_ok.Increment();
+    metrics_.request_latency.Record(MicrosSince(start));
+    EnqueueResponse(shard, conn, response);
+    return;
+  }
+  const auto slot = ResolveCurve(request.curve_id);
+  if (!slot.ok()) {
+    metrics_.requests_error.Increment();
+    metrics_.request_latency.Record(MicrosSince(start));
+    EnqueueResponse(shard, conn, ErrorResponse(request, slot.status()));
+    return;
+  }
+  switch (request.verb) {
+    case Verb::kPriceAt: {
+      // Deferred: coalesced with every other PRICE_AT of this loop pass
+      // into one PriceBatch per curve (FlushPriceBatches).
+      Shard::MicroBatch& batch = shard->batches[*slot];
+      batch.pending.push_back(Shard::PendingPrice{
+          conn, request.request_id, batch.xs.size(), request.args.size(),
+          start});
+      batch.xs.insert(batch.xs.end(), request.args.begin(),
+                      request.args.end());
+      return;
+    }
+    case Verb::kBudgetToX: {
+      Response response;
+      response.verb = Verb::kBudgetToX;
+      response.request_id = request.request_id;
+      response.values.reserve(request.args.size());
+      for (const double budget : request.args) {
+        const auto x = engine_->BudgetToInverseNcp(*slot, budget);
+        if (!x.ok()) {
+          metrics_.requests_error.Increment();
+          metrics_.request_latency.Record(MicrosSince(start));
+          EnqueueResponse(shard, conn, ErrorResponse(request, x.status()));
+          return;
+        }
+        response.values.push_back(*x);
+      }
+      metrics_.requests_ok.Increment();
+      metrics_.queries.Increment(request.args.size());
+      metrics_.request_latency.Record(MicrosSince(start));
+      EnqueueResponse(shard, conn, response);
+      return;
+    }
+    case Verb::kSnapshotInfo: {
+      const auto snapshot = (*slot)->Load();
+      if (snapshot == nullptr) {
+        metrics_.requests_error.Increment();
+        EnqueueResponse(
+            shard, conn,
+            ErrorResponse(request, NotFoundError("curve was withdrawn")));
+        return;
+      }
+      Response response;
+      response.verb = Verb::kSnapshotInfo;
+      response.request_id = request.request_id;
+      response.info.version = snapshot->version();
+      response.info.stamp = (*slot)->stamp();
+      response.info.num_knots = snapshot->num_knots();
+      response.info.x_max = snapshot->x_max();
+      response.info.max_price = snapshot->max_price();
+      metrics_.requests_ok.Increment();
+      metrics_.request_latency.Record(MicrosSince(start));
+      EnqueueResponse(shard, conn, response);
+      return;
+    }
+    case Verb::kStats:
+      return;  // handled above
+  }
+}
+
+void PriceServer::FlushPriceBatches(Shard* shard) {
+  for (auto& [slot, batch] : shard->batches) {
+    if (batch.xs.empty()) continue;
+    std::vector<double> prices(batch.xs.size());
+    // The whole micro-batch is served from ONE snapshot load inside
+    // PriceBatch — consistent across every coalesced request even if a
+    // republish lands mid-batch. Pool dispatch only once the batch is
+    // worth it; small batches run inline on the shard thread.
+    ParallelConfig parallel;
+    parallel.num_threads =
+        batch.xs.size() >= options_.min_pool_batch ? options_.batch_threads
+                                                   : 1;
+    const Status status = engine_->PriceBatch(
+        slot, batch.xs.data(), prices.data(), batch.xs.size(), parallel);
+    metrics_.batches.Increment();
+    for (const Shard::PendingPrice& p : batch.pending) {
+      if (p.conn->dead) continue;
+      Response response;
+      response.verb = Verb::kPriceAt;
+      response.request_id = p.request_id;
+      if (status.ok()) {
+        response.values.assign(prices.begin() + p.offset,
+                               prices.begin() + p.offset + p.count);
+        metrics_.requests_ok.Increment();
+        metrics_.queries.Increment(p.count);
+      } else {
+        response.code = status.code();
+        response.error_message = status.message();
+        metrics_.requests_error.Increment();
+      }
+      metrics_.request_latency.Record(MicrosSince(p.start));
+      EnqueueResponse(shard, p.conn, response);
+    }
+  }
+  shard->batches.clear();
+}
+
+void PriceServer::EnqueueResponse(Shard* shard, Connection* conn,
+                                  const Response& response) {
+  if (conn->dead) return;
+  EncodeResponse(response, &conn->out);
+  if (!conn->touched) {
+    conn->touched = true;
+    shard->touched.push_back(conn);
+  }
+  // Hard cap: backpressure already stopped reads at 1x; only a single
+  // giant burst of responses can reach 4x, and such a peer is not
+  // consuming — cut it loose rather than grow without bound.
+  if (conn->pending_out() > 4 * options_.max_write_queue_bytes) {
+    CloseConnection(shard, conn);
+  }
+}
+
+void PriceServer::FlushWrites(Shard* shard, Connection* conn) {
+  while (conn->pending_out() > 0) {
+    const ssize_t n =
+        send(conn->fd, conn->out.data() + conn->out_offset,
+             conn->pending_out(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      CloseConnection(shard, conn);
+      return;
+    }
+    conn->out_offset += static_cast<size_t>(n);
+  }
+  conn->out.clear();
+  conn->out_offset = 0;
+}
+
+void PriceServer::UpdateEpollInterest(Shard* shard, Connection* conn) {
+  const size_t pending = conn->pending_out();
+  if (!conn->paused && pending > options_.max_write_queue_bytes) {
+    conn->paused = true;
+  } else if (conn->paused && pending < options_.max_write_queue_bytes / 2) {
+    conn->paused = false;
+  }
+  const uint32_t want = (conn->paused ? 0u : EPOLLIN) |
+                        (pending > 0 ? EPOLLOUT : 0u);
+  if (want == conn->armed) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = conn->fd;
+  if (epoll_ctl(shard->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->armed = want;
+  }
+}
+
+void PriceServer::CloseConnection(Shard* shard, Connection* conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  (void)epoll_ctl(shard->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  // The fd itself is closed by ~Connection at the end-of-pass sweep —
+  // keeping its number allocated until the dead map entry is gone, so a
+  // same-pass accept4 can never reuse it and collide (see ~Connection).
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  metrics_.connections_closed.Increment();
+}
+
+// Graceful drain: no new connections or requests, but every response that
+// was produced for an already-received request still goes out (bounded by
+// options_.drain_timeout_ms), so a client that stops sending and keeps
+// reading never loses an answered query to shutdown.
+void PriceServer::DrainShard(Shard* shard) {
+  (void)epoll_ctl(shard->epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (Clock::now() < deadline) {
+    bool pending = false;
+    for (auto& [fd, conn] : shard->conns) {
+      if (!conn->dead && conn->pending_out() > 0) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending) break;
+    const int n = epoll_wait(shard->epoll_fd, events, kMaxEvents, 50);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == shard->wake_fd || fd == listen_fd_) continue;
+      const auto it = shard->conns.find(fd);
+      if (it == shard->conns.end() || it->second->dead) continue;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        CloseConnection(shard, it->second.get());
+      } else if (events[i].events & EPOLLOUT) {
+        FlushWrites(shard, it->second.get());
+      }
+    }
+  }
+  for (auto& [fd, conn] : shard->conns) {
+    if (!conn->dead) CloseConnection(shard, conn.get());
+  }
+  shard->conns.clear();
+}
+
+}  // namespace mbp::net

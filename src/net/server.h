@@ -1,0 +1,143 @@
+#ifndef MBP_NET_SERVER_H_
+#define MBP_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/statusor.h"
+#include "common/thread_pool.h"
+#include "net/protocol.h"
+#include "serving/price_query_engine.h"
+
+namespace mbp::net {
+
+struct ServerOptions {
+  // Port to bind on 127.0.0.1; 0 asks the kernel for an ephemeral port —
+  // the actual port is reported by PriceServer::port(), so tests and CI
+  // never collide on a fixed number.
+  uint16_t port = 0;
+
+  // Event-loop shards. Each shard owns an epoll instance and a private
+  // set of connections; the listening socket is shared across shards with
+  // EPOLLEXCLUSIVE so the kernel spreads accepts. Snapshot resolution
+  // inside the engine is pinned thread-locally per shard (DESIGN.md §5b),
+  // so shards never contend on the registry's atomics between publishes.
+  size_t num_shards = 2;
+
+  // Curve served when a request's curve id is empty.
+  std::string default_curve_id;
+
+  // Total concurrent connections; accepts beyond the cap are closed
+  // immediately.
+  size_t max_connections = 1024;
+
+  // Backpressure: once a connection's pending write queue exceeds this,
+  // the shard stops READING from it (EPOLLIN off) until the queue drains
+  // below half the cap — a slow consumer throttles itself instead of
+  // growing an unbounded buffer. If the queue ever exceeds 4x the cap
+  // (can only happen via one huge response frame) the connection dies.
+  size_t max_write_queue_bytes = 1 << 20;
+
+  // Micro-batched PRICE_AT evaluation: each event-loop pass gathers every
+  // decoded PRICE_AT query (across requests AND connections, grouped per
+  // curve) into one PriceQueryEngine::PriceBatch call. Batches of at
+  // least `min_pool_batch` queries fan out over the shared ThreadPool;
+  // smaller ones run inline on the shard thread.
+  size_t min_pool_batch = 4096;
+  // Threads for the pooled batches (0 = hardware concurrency).
+  size_t batch_threads = 0;
+
+  // How long Shutdown() keeps flushing pending responses before closing
+  // connections that cannot drain.
+  int drain_timeout_ms = 5000;
+};
+
+// Epoll-based TCP front end over the lock-free PriceQueryEngine: the first
+// subsystem that serves the whole stack end to end across a socket
+// (DESIGN.md §5d). Frames are the binary protocol of net/protocol.h; any
+// number of requests may be pipelined per connection (correlate responses
+// by request_id — PRICE_AT answers are micro-batched and may land after
+// responses to later non-PRICE_AT requests).
+//
+// Concurrency: each connection belongs to exactly one shard thread, so
+// per-connection state is single-threaded by construction. Shards share
+// only the engine (safe by its own contract), the registry (RCU reads),
+// and the relaxed-atomic metrics. Publish/Withdraw on the registry remain
+// safe at any time — remote clients keep querying across a republish and
+// every response is served from one complete (old or new) snapshot.
+//
+// Shutdown() is the graceful drain path: stop accepting, serve the
+// requests already received in full, flush pending responses (bounded by
+// drain_timeout_ms), then close. It is idempotent and also runs from the
+// destructor.
+class PriceServer {
+ public:
+  // Binds, listens, and starts the shard threads. `engine` (and the
+  // registry behind it) must outlive the server.
+  static StatusOr<std::unique_ptr<PriceServer>> Start(
+      const serving::PriceQueryEngine* engine, ServerOptions options = {});
+
+  ~PriceServer();
+
+  PriceServer(const PriceServer&) = delete;
+  PriceServer& operator=(const PriceServer&) = delete;
+
+  // The actually bound port (resolves options.port == 0).
+  uint16_t port() const { return port_; }
+
+  void Shutdown();
+
+  // Point-in-time operational counters + request latency histogram; the
+  // same payload the STATS verb serves remotely.
+  StatsPayload stats() const;
+
+ private:
+  struct Connection;
+  struct Shard;
+  struct Metrics {
+    Counter connections_accepted;
+    Counter connections_closed;
+    Counter requests_ok;
+    Counter requests_error;
+    Counter protocol_errors;
+    Counter queries;
+    Counter batches;
+    LatencyHistogram request_latency;
+  };
+
+  PriceServer(const serving::PriceQueryEngine* engine, ServerOptions options);
+
+  Status Listen();
+  void ShardLoop(Shard* shard);
+  void AcceptReady(Shard* shard);
+  void ReadReady(Shard* shard, Connection* conn);
+  void HandleRequest(Shard* shard, Connection* conn, const Request& request);
+  void FlushPriceBatches(Shard* shard);
+  void EnqueueResponse(Shard* shard, Connection* conn,
+                       const Response& response);
+  void FlushWrites(Shard* shard, Connection* conn);
+  void UpdateEpollInterest(Shard* shard, Connection* conn);
+  void CloseConnection(Shard* shard, Connection* conn);
+  void DrainShard(Shard* shard);
+  StatusOr<const serving::SnapshotRegistry::CurveSlot*> ResolveCurve(
+      const std::string& curve_id) const;
+
+  const serving::PriceQueryEngine* engine_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shut_down_{false};
+  std::atomic<size_t> active_connections_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Metrics metrics_;
+};
+
+}  // namespace mbp::net
+
+#endif  // MBP_NET_SERVER_H_

@@ -1,0 +1,124 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbp {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 10000;
+  Counter c;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(LatencyHistogramTest, EmptySnapshot) {
+  LatencyHistogram h;
+  const LatencyHistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum_micros, 0.0);
+  EXPECT_EQ(snap.mean_micros(), 0.0);
+  EXPECT_EQ(snap.QuantileMicros(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesArePowersOfTwo) {
+  EXPECT_EQ(LatencyBucketLowerMicros(0), 0.0);
+  EXPECT_EQ(LatencyBucketLowerMicros(1), 1.0);
+  EXPECT_EQ(LatencyBucketLowerMicros(2), 2.0);
+  EXPECT_EQ(LatencyBucketLowerMicros(5), 16.0);
+  EXPECT_EQ(LatencyBucketLowerMicros(11), 1024.0);
+}
+
+TEST(LatencyHistogramTest, RecordLandsInDocumentedBucket) {
+  LatencyHistogram h;
+  h.Record(0.5);    // bucket 0: [0, 1)
+  h.Record(1.0);    // bucket 1: [1, 2)
+  h.Record(3.0);    // bucket 2: [2, 4)
+  h.Record(100.0);  // bucket 7: [64, 128)
+  const LatencyHistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[7], 1u);
+  EXPECT_NEAR(snap.sum_micros, 104.5, 1e-6);
+  EXPECT_NEAR(snap.mean_micros(), 104.5 / 4.0, 1e-6);
+}
+
+TEST(LatencyHistogramTest, NegativeAndNanClampToZeroBucket) {
+  LatencyHistogram h;
+  h.Record(-5.0);
+  h.Record(std::nan(""));
+  const LatencyHistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.sum_micros, 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesOrderedAndWithinBucketRange) {
+  LatencyHistogram h;
+  // 90 samples near 10us (bucket [8,16)), 10 samples near 1000us
+  // (bucket [512,1024) upper edge).
+  for (int i = 0; i < 90; ++i) h.Record(10.0);
+  for (int i = 0; i < 10; ++i) h.Record(1000.0);
+  const LatencyHistogramSnapshot snap = h.Snapshot();
+  const double p50 = snap.QuantileMicros(0.5);
+  const double p99 = snap.QuantileMicros(0.99);
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LE(p50, 16.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_LE(p50, p99);
+  // q clamps outside [0, 1].
+  EXPECT_LE(snap.QuantileMicros(-1.0), snap.QuantileMicros(2.0));
+}
+
+TEST(LatencyHistogramTest, HugeLatencyAbsorbedByLastBucket) {
+  LatencyHistogram h;
+  h.Record(1e12);  // ~11.6 days in micros; way past 2^30
+  const LatencyHistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.buckets[kLatencyBuckets - 1], 1u);
+  EXPECT_GT(snap.QuantileMicros(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 5000;
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<double>(1 + t * 7 + i % 100));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const LatencyHistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) bucket_total += snap.buckets[i];
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+}  // namespace
+}  // namespace mbp

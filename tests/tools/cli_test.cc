@@ -3,15 +3,20 @@
 // error paths (bad flags, corrupt files) and the exit-code contract.
 // The binary path is injected by CMake via MBP_CLI_PATH.
 
+#include <fcntl.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "net/client.h"
 #include "random/distributions.h"
 #include "random/rng.h"
 
@@ -193,6 +198,164 @@ TEST_F(CliTest, ServeRefusesArbitrageableCurve) {
   }
   const CommandResult result = RunCli("serve --pricing=" + bad_path);
   EXPECT_NE(result.exit_code, 0);
+}
+
+// The TCP serving mode needs a real child process (popen exposes no pid
+// to signal): fork/exec the CLI with stdin/stdout wired to pipes, parse
+// the "listening on" line for the ephemeral port, and drive it with the
+// real net::PriceClient.
+struct ServeProcess {
+  pid_t pid = -1;
+  FILE* out = nullptr;    // child stdout+stderr
+  int stdin_fd = -1;      // child stdin (-1 when wired to /dev/null)
+};
+
+ServeProcess SpawnServeTcp(const std::string& pricing_path,
+                           bool with_stdin) {
+  ServeProcess proc;
+  int out_pipe[2];
+  int in_pipe[2] = {-1, -1};
+  if (pipe(out_pipe) != 0) return proc;
+  if (with_stdin && pipe(in_pipe) != 0) return proc;
+  const pid_t pid = fork();
+  if (pid < 0) return proc;
+  if (pid == 0) {
+    if (with_stdin) {
+      dup2(in_pipe[0], STDIN_FILENO);
+      close(in_pipe[0]);
+      close(in_pipe[1]);
+    } else {
+      const int null_fd = open("/dev/null", O_RDONLY);
+      if (null_fd >= 0) dup2(null_fd, STDIN_FILENO);
+    }
+    dup2(out_pipe[1], STDOUT_FILENO);
+    dup2(out_pipe[1], STDERR_FILENO);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    const std::string pricing_flag = "--pricing=" + pricing_path;
+    execl(MBP_CLI_PATH, MBP_CLI_PATH, "serve", pricing_flag.c_str(),
+          "--tcp", "--shards=2", static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(out_pipe[1]);
+  if (with_stdin) {
+    close(in_pipe[0]);
+    proc.stdin_fd = in_pipe[1];
+  }
+  proc.pid = pid;
+  proc.out = fdopen(out_pipe[0], "r");
+  return proc;
+}
+
+// Reads child output lines into `captured` until one contains `marker`;
+// returns false on EOF.
+bool ReadUntil(FILE* out, const std::string& marker, std::string* captured) {
+  char line[512];
+  while (fgets(line, sizeof(line), out) != nullptr) {
+    *captured += line;
+    if (std::string(line).find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+uint16_t ParseListeningPort(const std::string& captured) {
+  const auto pos = captured.find("listening on 127.0.0.1:");
+  if (pos == std::string::npos) return 0;
+  return static_cast<uint16_t>(
+      std::atoi(captured.c_str() + pos + strlen("listening on 127.0.0.1:")));
+}
+
+void WritePricingFile(const std::string& path, double scale) {
+  std::ofstream out(path);
+  out << "mbp-pricing v1\npoints 4\n1 " << 10.0 * scale << "\n2 "
+      << 18.0 * scale << "\n4 " << 30.0 * scale << "\n8 " << 40.0 * scale
+      << "\n";
+}
+
+TEST_F(CliTest, ServeTcpDrainsGracefullyOnSigterm) {
+  const std::string pricing_path = TempPath("serve_tcp.mbp");
+  WritePricingFile(pricing_path, 1.0);
+  // stdin is /dev/null: the server must keep serving past stdin EOF and
+  // rely on the signal for shutdown.
+  ServeProcess proc = SpawnServeTcp(pricing_path, /*with_stdin=*/false);
+  ASSERT_GE(proc.pid, 0);
+  ASSERT_NE(proc.out, nullptr);
+
+  std::string captured;
+  ASSERT_TRUE(ReadUntil(proc.out, "listening on", &captured)) << captured;
+  const uint16_t port = ParseListeningPort(captured);
+  ASSERT_GT(port, 0) << captured;
+
+  {
+    auto client = net::PriceClient::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok()) << client.status();
+    const auto price = (*client)->PriceAt("pricing", 3.0);
+    ASSERT_TRUE(price.ok()) << price.status();
+    EXPECT_EQ(*price, 24.0);  // 18 + (30 - 18) * (3 - 2) / (4 - 2)
+    const auto budget = (*client)->BudgetToX("pricing", 24.0);
+    ASSERT_TRUE(budget.ok()) << budget.status();
+    EXPECT_EQ(*budget, 3.0);
+  }
+
+  ASSERT_EQ(kill(proc.pid, SIGTERM), 0);
+  while (ReadUntil(proc.out, "\x01never", &captured)) {
+  }  // drain to EOF
+  fclose(proc.out);
+  int status = 0;
+  ASSERT_EQ(waitpid(proc.pid, &status, 0), proc.pid);
+  ASSERT_TRUE(WIFEXITED(status)) << captured;
+  EXPECT_EQ(WEXITSTATUS(status), 0) << captured;
+  // The graceful drain reports its serving metrics on the way out.
+  EXPECT_NE(captured.find("drained:"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("requests ok"), std::string::npos) << captured;
+}
+
+TEST_F(CliTest, ServeTcpRepublishesLiveOverStdin) {
+  const std::string pricing_path = TempPath("serve_tcp_v1.mbp");
+  WritePricingFile(pricing_path, 1.0);
+  ServeProcess proc = SpawnServeTcp(pricing_path, /*with_stdin=*/true);
+  ASSERT_GE(proc.pid, 0);
+  ASSERT_NE(proc.out, nullptr);
+  ASSERT_GE(proc.stdin_fd, 0);
+
+  std::string captured;
+  ASSERT_TRUE(ReadUntil(proc.out, "listening on", &captured)) << captured;
+  const uint16_t port = ParseListeningPort(captured);
+  ASSERT_GT(port, 0) << captured;
+
+  auto client = net::PriceClient::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok()) << client.status();
+  const auto before = (*client)->PriceAt("pricing", 3.0);
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_EQ(*before, 24.0);
+
+  // Republish a doubled curve by writing its path to the CLI's stdin;
+  // the connection stays open across the swap.
+  const std::string doubled_path = TempPath("serve_tcp_v2.mbp");
+  WritePricingFile(doubled_path, 2.0);
+  const std::string command = doubled_path + "\n";
+  ASSERT_EQ(write(proc.stdin_fd, command.data(), command.size()),
+            static_cast<ssize_t>(command.size()));
+  ASSERT_TRUE(ReadUntil(proc.out, "republished", &captured)) << captured;
+
+  const auto after = (*client)->PriceAt("pricing", 3.0);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(*after, 48.0);
+  const auto info = (*client)->SnapshotInfo("pricing");
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_GE(info->version, 2u);
+
+  // 'quit' drains and exits 0.
+  ASSERT_EQ(write(proc.stdin_fd, "quit\n", 5), 5);
+  close(proc.stdin_fd);
+  while (ReadUntil(proc.out, "\x01never", &captured)) {
+  }
+  fclose(proc.out);
+  int status = 0;
+  ASSERT_EQ(waitpid(proc.pid, &status, 0), proc.pid);
+  ASSERT_TRUE(WIFEXITED(status)) << captured;
+  EXPECT_EQ(WEXITSTATUS(status), 0) << captured;
+  EXPECT_NE(captured.find("drained:"), std::string::npos) << captured;
 }
 
 TEST_F(CliTest, SimulateRunsAndWritesLedger) {

@@ -39,6 +39,16 @@
 //     largest affordable x. --quantum snaps queries to a grid before
 //     evaluation (see DESIGN.md §5b).
 //
+//     With --tcp[=PORT] the curve is served over TCP on 127.0.0.1
+//     instead (epoll front end, DESIGN.md §5d). --tcp=N or --port=N
+//     picks the port — 0 (the default) binds an ephemeral port, and the
+//     actual port is printed as "listening on 127.0.0.1:<port>".
+//     --shards=N sets event-loop shards (default 2). Each stdin line is
+//     then a pricing file path to republish live under the same curve
+//     id, or 'quit' to exit; stdin EOF keeps serving. SIGINT/SIGTERM
+//     trigger a graceful drain (pending responses are flushed before
+//     exit) and the serving metrics are printed on shutdown.
+//
 //   mbp_market_cli simulate --csv=data.csv --task=regression
 //                           [--buyers=1000] [--jitter=0.1]
 //                           [--out-ledger=books.mbp] [curve flags as in
@@ -46,6 +56,12 @@
 //     Prices the market, simulates a buyer population against it, audits
 //     the SLA, and optionally writes the transaction ledger.
 
+#include <sys/select.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -62,6 +78,7 @@
 #include "io/model_io.h"
 #include "ml/metrics.h"
 #include "ml/trainer.h"
+#include "net/server.h"
 #include "serving/price_query_engine.h"
 #include "serving/snapshot_registry.h"
 
@@ -345,6 +362,111 @@ int RunCheckPricing(int argc, char** argv) {
   return certificate.ok() ? 0 : 2;
 }
 
+// SIGINT/SIGTERM request a graceful drain of the TCP serving loop
+// instead of killing the process mid-response.
+volatile std::sig_atomic_t g_serve_shutdown = 0;
+void HandleServeSignal(int) { g_serve_shutdown = 1; }
+
+int RunServeTcp(int argc, char** argv, serving::SnapshotRegistry* registry,
+                serving::PriceQueryEngine* engine,
+                const serving::SnapshotRegistry::CurveSlot* slot,
+                const std::string& curve_id) {
+  net::ServerOptions options;
+  options.port = static_cast<uint16_t>(DoubleFlag(argc, argv, "port", 0));
+  if (const auto tcp_port = StringFlag(argc, argv, "tcp")) {
+    options.port = static_cast<uint16_t>(std::atoi(tcp_port->c_str()));
+  }
+  options.num_shards =
+      static_cast<size_t>(DoubleFlag(argc, argv, "shards", 2));
+  options.default_curve_id = curve_id;
+  auto server = net::PriceServer::Start(engine, options);
+  if (!server.ok()) return Fail(server.status().ToString());
+
+  g_serve_shutdown = 0;
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+
+  const auto snapshot = slot->Load();
+  std::printf("serving '%s': %zu knots, x_max %.4g, max price %.4g "
+              "(snapshot v%llu)\n",
+              curve_id.c_str(), snapshot->num_knots(), snapshot->x_max(),
+              snapshot->max_price(),
+              static_cast<unsigned long long>(snapshot->version()));
+  // Tests and scripts parse this line for the resolved ephemeral port;
+  // flush so it is visible before the first query arrives.
+  std::printf("listening on 127.0.0.1:%u (%zu shards)\n",
+              (*server)->port(), options.num_shards);
+  std::printf("stdin: a pricing file path republishes '%s' live; 'quit' "
+              "drains and exits\n",
+              curve_id.c_str());
+  std::fflush(stdout);
+
+  bool stdin_open = true;
+  while (!g_serve_shutdown) {
+    fd_set readable;
+    FD_ZERO(&readable);
+    if (stdin_open) FD_SET(STDIN_FILENO, &readable);
+    timeval timeout{0, 200 * 1000};  // re-check the signal flag at 5 Hz
+    const int n = select(stdin_open ? STDIN_FILENO + 1 : 0,
+                         stdin_open ? &readable : nullptr, nullptr, nullptr,
+                         &timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // a signal lands; the loop re-checks
+      break;
+    }
+    if (n == 0 || !stdin_open) continue;
+    char line[4096];
+    if (std::fgets(line, sizeof(line), stdin) == nullptr) {
+      stdin_open = false;  // EOF: keep serving until a signal arrives
+      continue;
+    }
+    std::string command(line);
+    while (!command.empty() &&
+           (command.back() == '\n' || command.back() == '\r' ||
+            command.back() == ' ')) {
+      command.pop_back();
+    }
+    if (command.empty()) continue;
+    if (command == "quit" || command == "exit") break;
+    // Live republish: clients keep querying across the swap and every
+    // response still comes from one complete snapshot (old or new).
+    auto pricing = io::ReadPricing(command);
+    if (!pricing.ok()) {
+      std::printf("republish failed: %s\n",
+                  pricing.status().ToString().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    auto republished = registry->Publish(curve_id, *pricing);
+    if (!republished.ok()) {
+      std::printf("republish rejected: %s\n",
+                  republished.status().ToString().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    const auto republished_snapshot = slot->Load();
+    std::printf("republished '%s' (snapshot v%llu, %zu knots)\n",
+                curve_id.c_str(),
+                static_cast<unsigned long long>(
+                    republished_snapshot->version()),
+                republished_snapshot->num_knots());
+    std::fflush(stdout);
+  }
+
+  (*server)->Shutdown();
+  const net::StatsPayload stats = (*server)->stats();
+  std::printf(
+      "drained: %llu requests ok, %llu errors, %llu queries in %llu "
+      "batches; p50 %.1f us, p99 %.1f us; %llu connections accepted\n",
+      static_cast<unsigned long long>(stats.requests_ok),
+      static_cast<unsigned long long>(stats.requests_error),
+      static_cast<unsigned long long>(stats.queries),
+      static_cast<unsigned long long>(stats.batches),
+      stats.latency.QuantileMicros(0.5), stats.latency.QuantileMicros(0.99),
+      static_cast<unsigned long long>(stats.connections_accepted));
+  return 0;
+}
+
 int RunServe(int argc, char** argv) {
   const auto pricing_path = StringFlag(argc, argv, "pricing");
   if (!pricing_path) return Fail("--pricing is required");
@@ -364,6 +486,11 @@ int RunServe(int argc, char** argv) {
   serving::PriceQueryEngineOptions engine_options;
   engine_options.quantum = DoubleFlag(argc, argv, "quantum", 0.0);
   serving::PriceQueryEngine engine(&registry, engine_options);
+
+  if (BoolFlag(argc, argv, "tcp") ||
+      StringFlag(argc, argv, "tcp").has_value()) {
+    return RunServeTcp(argc, argv, &registry, &engine, slot, curve_id);
+  }
 
   // One query per line, from --queries or stdin.
   FILE* in = stdin;
