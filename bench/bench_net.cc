@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "core/pricing_function.h"
 #include "net/client.h"
@@ -144,6 +145,10 @@ void EmitJson(FILE* out, size_t knots, size_t connections, size_t requests,
   json.Field("hardware_concurrency",
              static_cast<size_t>(std::thread::hardware_concurrency()));
   json.Field("bit_identical_to_research_path", bit_identical);
+  // Distinguishes zero-overhead builds in recorded baselines: QPS/p99
+  // comparisons across MBP_FAULT_INJECTION settings are apples-to-apples
+  // only within the same value.
+  json.Field("fault_injection_compiled", fault::kBuildEnabled);
   json.Key("regimes");
   json.BeginArray();
   for (const RegimeResult& r : regimes) {
@@ -165,6 +170,12 @@ void EmitJson(FILE* out, size_t knots, size_t connections, size_t requests,
   json.Field("protocol_errors", server_stats.protocol_errors);
   json.Field("queries", server_stats.queries);
   json.Field("batches", server_stats.batches);
+  json.Field("requests_shed", server_stats.requests_shed);
+  json.Field("deadline_drops", server_stats.deadline_drops);
+  json.Field("connections_killed", server_stats.connections_killed);
+  json.Field("connections_refused", server_stats.connections_refused);
+  json.Field("faults_injected", server_stats.faults_injected);
+  json.Field("write_queue_peak_bytes", server_stats.write_queue_peak_bytes);
   EmitHistogramFields(&json, server_stats.latency);
   json.EndObject();
   json.EndObject();

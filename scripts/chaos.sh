@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Chaos harness: runs the NetChaosTest suite (seeded fault schedules over
+# the full client/server serving path) under AddressSanitizer and then
+# under ThreadSanitizer (via scripts/tsan.sh), each with the suite's
+# fixed default seed plus the extra seeds given on the command line plus
+# one fresh randomized seed. Every run prints its seed; replay any
+# failure with MBP_CHAOS_SEED=<seed> scripts/chaos.sh.
+#
+# Usage:
+#   scripts/chaos.sh [extra_seed ...]
+# Env:
+#   MBP_CHAOS_SEED  when set, used INSTEAD of the randomized seed (the
+#                   replay path), alongside the fixed defaults.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+FILTER='NetChaosTest'
+FIXED_SEEDS=(12648430 1 424242)
+if [[ -n "${MBP_CHAOS_SEED:-}" ]]; then
+  RANDOM_SEED="$MBP_CHAOS_SEED"
+  echo "[chaos] replaying with MBP_CHAOS_SEED=$RANDOM_SEED"
+else
+  RANDOM_SEED="$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')"
+  echo "[chaos] randomized seed for this run: $RANDOM_SEED (replay with MBP_CHAOS_SEED=$RANDOM_SEED)"
+fi
+SEEDS=("${FIXED_SEEDS[@]}" "$@" "$RANDOM_SEED")
+
+echo "[chaos] === pass 1: AddressSanitizer ==="
+ASAN_DIR="$ROOT/build-asan"
+cmake -B "$ASAN_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMBP_SANITIZE=address \
+  -DMBP_BUILD_BENCHMARKS=OFF \
+  -DMBP_BUILD_EXAMPLES=OFF
+cmake --build "$ASAN_DIR" -j "$(nproc)" --target mbp_net_test
+for seed in "${SEEDS[@]}"; do
+  echo "[chaos] asan run, MBP_CHAOS_SEED=$seed"
+  MBP_CHAOS_SEED="$seed" \
+    "$ASAN_DIR/tests/mbp_net_test" --gtest_filter="$FILTER.*"
+done
+
+echo "[chaos] === pass 2: ThreadSanitizer (scripts/tsan.sh) ==="
+for seed in "${SEEDS[@]}"; do
+  echo "[chaos] tsan run, MBP_CHAOS_SEED=$seed"
+  MBP_CHAOS_SEED="$seed" "$ROOT/scripts/tsan.sh" "$ROOT/build-tsan" "$FILTER"
+done
+
+echo "[chaos] all passes clean (seeds: ${SEEDS[*]})"

@@ -1,0 +1,164 @@
+#ifndef MBP_COMMON_FAULT_INJECTION_H_
+#define MBP_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mbp::fault {
+
+// Deterministic, seeded fault-injection framework (DESIGN.md §5e).
+//
+// Production code declares *named injection points* at the edges where
+// reality misbehaves — syscall wrappers, allocation sites, publish paths —
+// via the MBP_FAULT_POINT / MBP_FAULT_DELAY macros below. Tests arm a
+// point with a PointSchedule (probability, fire budget, warm-up skip,
+// optional delay); unarmed points never fire. Every armed point draws
+// from its OWN PCG32 stream, seeded from (global seed, FNV-1a-64 of the
+// point name), so:
+//
+//  - the fire/no-fire decision sequence of a point depends only on the
+//    seed and the point's hit ordinal — never on other points, arming
+//    order, or thread interleaving across points — making chaos runs
+//    replayable from a single printed seed;
+//  - count-based schedules (skip_first / max_fires) are exactly
+//    deterministic even when probability is 1.
+//
+// Overhead contract: with MBP_FAULT_INJECTION=OFF (CMake option) the
+// macros expand to constants, so the serving hot paths compile exactly as
+// before — zero branches, zero loads. With the option ON but nothing
+// armed, a point costs one relaxed atomic load and a predictable branch.
+//
+// Thread safety: Arm/Reset/Seed are for test setup (may race only with
+// point evaluation, which is safe); ShouldFire/MaybeDelay are safe from
+// any thread and serialize per point, not globally.
+
+#if defined(MBP_FAULT_INJECTION_ENABLED)
+inline constexpr bool kBuildEnabled = true;
+#else
+inline constexpr bool kBuildEnabled = false;
+#endif
+
+// Minimal PCG32 (pcg32_random_r of pcg-random.org): 64-bit LCG state with
+// an odd stream increment and an xorshift-rotate output permutation.
+// Self-contained so common/ does not depend on random/ and so the client
+// can reuse it for backoff jitter.
+class Pcg32 {
+ public:
+  Pcg32(uint64_t seed, uint64_t stream) : inc_((stream << 1u) | 1u) {
+    Next();
+    state_ += seed;
+    Next();
+  }
+
+  uint32_t Next() {
+    const uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    const uint32_t xorshifted =
+        static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next()) * (1.0 / 4294967296.0);
+  }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_;
+};
+
+// When and how an armed point fires. All counts are per point since Arm.
+struct PointSchedule {
+  // Chance that a hit past skip_first fires, drawn from the point's PCG
+  // stream. 1.0 fires every eligible hit (no draw consumed, so pure
+  // count schedules stay exact).
+  double probability = 1.0;
+  // Let the first N hits pass untouched (warm-up; e.g. let a connection
+  // establish before failing its reads).
+  uint64_t skip_first = 0;
+  // Stop firing after this many fires (default: unbounded).
+  uint64_t max_fires = ~uint64_t{0};
+  // For MBP_FAULT_DELAY points: how long a fire stalls the caller.
+  uint64_t delay_micros = 0;
+};
+
+struct PointStats {
+  std::string point;
+  uint64_t hits = 0;   // times the point was evaluated while armed
+  uint64_t fires = 0;  // times it injected
+};
+
+class FaultInjector {
+ public:
+  // Process-wide instance the macros consult.
+  static FaultInjector& Global();
+
+  // Seeds the streams of points armed AFTER this call (existing armed
+  // points keep their streams). Call before Arm.
+  void Seed(uint64_t seed);
+
+  // Arms (or re-arms, resetting counters and stream) a named point.
+  void Arm(std::string_view point, PointSchedule schedule);
+
+  // Disarms everything and clears counters; the injector returns to the
+  // one-relaxed-load fast path.
+  void Reset();
+
+  // Hot-path check: false immediately when nothing is armed anywhere.
+  bool ShouldFire(std::string_view point);
+
+  // Sleeps for the point's delay_micros when it fires. Returns the delay
+  // injected (0 when the point did not fire).
+  uint64_t MaybeDelay(std::string_view point);
+
+  // Total fires across every point (cheap; served via STATS).
+  uint64_t TotalFires() const {
+    return total_fires_.load(std::memory_order_relaxed);
+  }
+
+  // Per-point hit/fire counters, sorted by point name.
+  std::vector<PointStats> Stats() const;
+
+  // Fires of one point (0 when never armed).
+  uint64_t Fires(std::string_view point) const;
+
+ private:
+  struct Point;
+
+  FaultInjector();
+  ~FaultInjector();
+
+  struct Impl;
+  Impl* impl_;
+  std::atomic<bool> any_armed_{false};
+  std::atomic<uint64_t> total_fires_{0};
+};
+
+}  // namespace mbp::fault
+
+// MBP_FAULT_POINT("net.recv.eintr"): true when the named point is armed
+// and fires this hit. MBP_FAULT_DELAY sleeps instead of reporting.
+// Both compile to constants when MBP_FAULT_INJECTION=OFF, so release
+// builds carry no trace of the framework.
+#if defined(MBP_FAULT_INJECTION_ENABLED)
+#define MBP_FAULT_POINT(name) \
+  (::mbp::fault::FaultInjector::Global().ShouldFire(name))
+#define MBP_FAULT_DELAY(name) \
+  (::mbp::fault::FaultInjector::Global().MaybeDelay(name))
+#else
+#define MBP_FAULT_POINT(name) (false)
+#define MBP_FAULT_DELAY(name) (uint64_t{0})
+#endif
+
+#endif  // MBP_COMMON_FAULT_INJECTION_H_

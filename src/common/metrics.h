@@ -20,6 +20,23 @@ namespace mbp {
 // exact. That is the intended contract for STATS-verb responses and
 // shutdown reports — not for correctness decisions.
 
+// Running maximum (high-water mark), e.g. the deepest write queue a
+// server connection ever reached. Relaxed CAS loop: lossless under
+// concurrency (the final value is the true max of all observations).
+class MaxGauge {
+ public:
+  void Observe(uint64_t v) {
+    uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
 // Monotone event counter.
 class Counter {
  public:
@@ -36,7 +53,10 @@ class Counter {
 // bucket i >= 1 holds [2^(i-1), 2^i) µs; the last bucket absorbs
 // everything above ~36 minutes. 32 buckets make the whole histogram two
 // cache lines, cheap enough to share between every connection of a
-// server shard.
+// server shard. The bucketing is just log2 of a non-negative value, so
+// the same type doubles as a size histogram (e.g. write-queue depth in
+// bytes: bucket i = [2^(i-1), 2^i) bytes); the *Micros names read as
+// "units" there.
 inline constexpr size_t kLatencyBuckets = 32;
 
 // Returns the inclusive lower bound (µs) of bucket `i`.

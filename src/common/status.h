@@ -20,6 +20,12 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kInfeasible,  // An optimization problem has an empty feasible region.
+  // A bounded operation (connect, request round trip, drain) ran out of
+  // time. Not retryable — the caller's time budget is already spent.
+  kDeadlineExceeded,
+  // The service is temporarily overloaded and shed the request
+  // (RETRY_LATER on the wire). Retryable after backoff.
+  kUnavailable,
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -70,6 +76,8 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status InfeasibleError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status UnavailableError(std::string message);
 
 }  // namespace mbp
 

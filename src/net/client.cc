@@ -1,60 +1,180 @@
 #include "net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
+
+#include "net/fault_syscalls.h"
 
 namespace mbp::net {
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 Status ErrnoError(const std::string& what) {
   return InternalError(what + ": " + std::strerror(errno));
 }
 
+// Deadline sentinel when a timeout knob is 0 (disabled).
+Clock::time_point NoDeadline() { return Clock::time_point::max(); }
+
+Clock::time_point DeadlineAfterMs(int ms) {
+  return ms <= 0 ? NoDeadline() : Clock::now() + std::chrono::milliseconds(ms);
+}
+
+// Remaining time as a poll() timeout: -1 for "no deadline", clamped to
+// >= 0 otherwise. Poll timeouts are re-derived after every wakeup, so
+// injected EINTR/short completions never extend the total wait.
+int PollTimeoutMs(Clock::time_point deadline) {
+  if (deadline == NoDeadline()) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(std::min<int64_t>(
+                                     left.count(), 60 * 1000));
+}
+
 }  // namespace
 
+bool IsIdempotent(Verb verb) {
+  switch (verb) {
+    case Verb::kPriceAt:
+    case Verb::kBudgetToX:
+    case Verb::kSnapshotInfo:
+    case Verb::kStats:
+      return true;  // all read-only price queries today
+  }
+  return false;
+}
+
+PriceClient::PriceClient(std::string host, uint16_t port,
+                         ClientOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      budget_(options.retry.retry_budget),
+      jitter_(options.retry.jitter_seed, 0x2545f4914f6cdd1dull) {}
+
 StatusOr<std::unique_ptr<PriceClient>> PriceClient::Connect(
-    const std::string& host, uint16_t port) {
+    const std::string& host, uint16_t port, ClientOptions options) {
+  std::unique_ptr<PriceClient> client(
+      new PriceClient(host, port, options));
+  const Status status =
+      client->Reconnect(DeadlineAfterMs(options.connect_timeout_ms));
+  if (!status.ok()) return status;
+  client->telemetry_.reconnects = 0;  // the first connect is not a "re"
+  return client;
+}
+
+PriceClient::~PriceClient() { CloseSocket(); }
+
+void PriceClient::CloseSocket() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  rx_.clear();
+}
+
+Status PriceClient::WaitReady(short events, Clock::time_point deadline) {
+  while (true) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = events;
+    const int n = internal::FaultPoll(&pfd, 1, PollTimeoutMs(deadline));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("poll");
+    }
+    if (n == 0) {
+      if (Clock::now() < deadline) continue;  // injected spurious timeout
+      return DeadlineExceededError("deadline waiting on socket");
+    }
+    if (pfd.revents & (POLLERR | POLLNVAL)) {
+      return InternalError("socket entered an error state");
+    }
+    return Status::OK();
+  }
+}
+
+Status PriceClient::Reconnect(Clock::time_point deadline) {
+  CloseSocket();
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  addr.sin_port = htons(port_);
+  const std::string numeric = host_ == "localhost" ? "127.0.0.1" : host_;
   if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
-    return InvalidArgumentError("unparsable IPv4 host '" + host + "'");
+    return InvalidArgumentError("unparsable IPv4 host '" + host_ + "'");
   }
-  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return ErrnoError("socket");
-  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return ErrnoError("socket");
+  // Bounded non-blocking connect: EINPROGRESS, then poll(POLLOUT) with
+  // the remaining time, then SO_ERROR for the actual outcome. A peer
+  // that drops SYNs (full backlog, blackholed route) surfaces as
+  // kDeadlineExceeded instead of hanging the caller for minutes of
+  // kernel retransmits.
+  if (connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    const Status status =
-        ErrnoError("connect " + numeric + ":" + std::to_string(port));
-    close(fd);
-    return status;
+    if (errno != EINPROGRESS && errno != EINTR) {
+      const Status status =
+          ErrnoError("connect " + numeric + ":" + std::to_string(port_));
+      CloseSocket();
+      return status;
+    }
+    const Status ready = WaitReady(POLLOUT, deadline);
+    if (!ready.ok()) {
+      CloseSocket();
+      if (ready.code() == StatusCode::kDeadlineExceeded) {
+        return DeadlineExceededError(
+            "connect " + numeric + ":" + std::to_string(port_) +
+            " timed out");
+      }
+      return ready;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+        so_error != 0) {
+      errno = so_error != 0 ? so_error : errno;
+      const Status status =
+          ErrnoError("connect " + numeric + ":" + std::to_string(port_));
+      CloseSocket();
+      return status;
+    }
   }
   const int one = 1;
-  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<PriceClient>(new PriceClient(fd));
+  (void)setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ++telemetry_.reconnects;
+  return Status::OK();
 }
 
-PriceClient::~PriceClient() {
-  if (fd_ >= 0) close(fd_);
-}
-
-Status PriceClient::Roundtrip(Request request, Response* response) {
-  request.request_id = next_request_id_++;
-  std::string wire;
-  EncodeRequest(request, &wire);
+Status PriceClient::RoundtripOnce(const Request& request,
+                                  const std::string& wire,
+                                  Clock::time_point deadline,
+                                  Response* response,
+                                  bool* transport_broken) {
+  *transport_broken = false;
   size_t sent = 0;
   while (sent < wire.size()) {
     const ssize_t n =
-        send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+        internal::FaultSend(fd_, wire.data() + sent, wire.size() - sent);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        const Status ready = WaitReady(POLLOUT, deadline);
+        if (!ready.ok()) {
+          *transport_broken = true;
+          return ready;
+        }
+        continue;
+      }
+      *transport_broken = true;
       return ErrnoError("send");
     }
     sent += static_cast<size_t>(n);
@@ -64,11 +184,16 @@ Status PriceClient::Roundtrip(Request request, Response* response) {
     Response decoded;
     const auto consumed = DecodeResponse(
         reinterpret_cast<const uint8_t*>(rx_.data()), rx_.size(), &decoded);
-    MBP_RETURN_IF_ERROR(consumed.status());
+    if (!consumed.ok()) {
+      // Framing is lost — the stream is unusable from here on.
+      *transport_broken = true;
+      return consumed.status();
+    }
     if (*consumed > 0) {
       rx_.erase(0, *consumed);
-      // With one outstanding request per client every frame matches, but
-      // tolerate strays so pipelining tests can share the transport.
+      // A stray frame is a response whose attempt we already abandoned
+      // (the connection is closed on attempt timeout, so this only
+      // happens for pipelining tests sharing the transport) — skip it.
       if (decoded.request_id != request.request_id) continue;
       if (decoded.code != StatusCode::kOk) {
         return Status(decoded.code, decoded.error_message);
@@ -76,15 +201,113 @@ Status PriceClient::Roundtrip(Request request, Response* response) {
       *response = std::move(decoded);
       return Status::OK();
     }
-    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    const Status ready = WaitReady(POLLIN, deadline);
+    if (!ready.ok()) {
+      *transport_broken = true;
+      return ready;
+    }
+    const ssize_t n = internal::FaultRecv(fd_, buf, sizeof(buf));
     if (n == 0) {
+      *transport_broken = true;
       return InternalError("server closed the connection mid-response");
     }
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;  // poll again with the remaining deadline
+      }
+      *transport_broken = true;
       return ErrnoError("recv");
     }
     rx_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Status PriceClient::Roundtrip(Request request, Response* response) {
+  request.request_id = next_request_id_++;
+  std::string wire;
+  EncodeRequest(request, &wire);
+
+  const Clock::time_point overall =
+      DeadlineAfterMs(options_.request_timeout_ms);
+  const RetryPolicy& policy = options_.retry;
+  double backoff_ms = static_cast<double>(policy.base_backoff_ms);
+  Status last = InternalError("no attempt made");
+
+  for (int attempt = 0;; ++attempt) {
+    if (Clock::now() >= overall) {
+      ++telemetry_.deadline_exceeded;
+      return DeadlineExceededError("request deadline exceeded after " +
+                                   std::to_string(attempt) + " attempts");
+    }
+    // Per-attempt deadline: never past the overall one.
+    Clock::time_point attempt_deadline =
+        DeadlineAfterMs(options_.attempt_timeout_ms);
+    attempt_deadline = std::min(attempt_deadline, overall);
+
+    bool transport_broken = false;
+    if (fd_ < 0) {
+      last = Reconnect(attempt_deadline);
+      transport_broken = !last.ok();
+    }
+    if (fd_ >= 0) {
+      last = RoundtripOnce(request, wire, attempt_deadline, response,
+                           &transport_broken);
+      if (last.ok()) {
+        budget_ = std::min(policy.retry_budget,
+                           budget_ + policy.budget_refund_per_success);
+        return Status::OK();
+      }
+    }
+
+    // Classify the failure.
+    bool retryable = false;
+    if (last.code() == StatusCode::kUnavailable) {
+      // The server shed the request untouched (RETRY_LATER); the
+      // connection itself is healthy.
+      ++telemetry_.overload_responses;
+      retryable = true;
+    } else if (transport_broken) {
+      CloseSocket();
+      if (last.code() == StatusCode::kDeadlineExceeded) {
+        ++telemetry_.attempt_timeouts;
+      } else {
+        ++telemetry_.transport_errors;
+      }
+      // Safe only for idempotent verbs: the abandoned attempt may have
+      // executed server-side.
+      retryable = IsIdempotent(request.verb);
+    } else {
+      return last;  // application-level answer, not a fault
+    }
+
+    if (!retryable) return last;
+    if (attempt + 1 >= policy.max_attempts || budget_ < 1.0) {
+      ++telemetry_.retries_exhausted;
+      return last;
+    }
+    budget_ -= 1.0;
+    ++telemetry_.retries_attempted;
+
+    // Decorrelated jitter: sleep ~ U[base, 3 * previous], capped —
+    // retries from a fleet of clients spread out instead of thundering
+    // back in lockstep.
+    backoff_ms = std::min(
+        static_cast<double>(policy.max_backoff_ms),
+        jitter_.NextDouble(static_cast<double>(policy.base_backoff_ms),
+                           std::max(static_cast<double>(policy.base_backoff_ms),
+                                    backoff_ms * 3.0)));
+    if (overall != NoDeadline()) {
+      const double remaining_ms =
+          std::chrono::duration<double, std::milli>(overall - Clock::now())
+              .count();
+      if (remaining_ms <= 0.0) {
+        ++telemetry_.deadline_exceeded;
+        return DeadlineExceededError("request deadline exceeded in backoff");
+      }
+      backoff_ms = std::min(backoff_ms, remaining_ms);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
   }
 }
 

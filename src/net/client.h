@@ -1,28 +1,98 @@
 #ifndef MBP_NET_CLIENT_H_
 #define MBP_NET_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/statusor.h"
 #include "net/protocol.h"
 
 namespace mbp::net {
 
-// Blocking client for the PriceServer wire protocol: one TCP connection,
-// one outstanding request at a time (send, then read frames until the one
-// echoing our request_id arrives). Not thread-safe — use one PriceClient
+// Client-side retry behaviour: exponential backoff with decorrelated
+// jitter (sleep ~ U[base, 3 * previous], capped), a retry budget that
+// stops a fleet of clients from amplifying an outage, and an idempotency
+// gate. A request is retried only when it is safe AND useful:
+//
+//   - the response was OVERLOADED/RETRY_LATER (kUnavailable): the server
+//     shed it untouched — retry after backoff on the same connection;
+//   - the transport failed (reset, premature close, corrupt stream) or
+//     the per-attempt timeout fired, AND the verb is idempotent:
+//     reconnect and retry. Every current verb is a read-only price query
+//     and therefore idempotent (see IsIdempotent), but the gate is
+//     enforced so future mutating verbs fail fast instead of double-
+//     applying;
+//   - anything else (NotFound, InvalidArgument, Infeasible, ...) is an
+//     application answer, not a fault — returned immediately.
+//
+// The overall per-request deadline bounds ALL attempts and backoff
+// sleeps; when it expires the request fails with kDeadlineExceeded.
+struct RetryPolicy {
+  // Total tries, the first attempt included. 1 disables retries.
+  int max_attempts = 4;
+  // Decorrelated-jitter backoff between attempts, milliseconds.
+  int base_backoff_ms = 2;
+  int max_backoff_ms = 250;
+  // Retry budget in tokens: each retry spends 1.0, each success refunds
+  // `budget_refund_per_success` (capped at the initial budget). When the
+  // budget is dry, failures return immediately — a persistently failing
+  // server is not hammered at max_attempts multiplicity forever.
+  double retry_budget = 16.0;
+  double budget_refund_per_success = 0.1;
+  // Jitter stream seed; fixed default keeps tests replayable.
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
+struct ClientOptions {
+  // Bounded non-blocking connect; 0 waits forever (not recommended).
+  int connect_timeout_ms = 2000;
+  // Per-attempt cap on one send+receive round trip; an attempt that
+  // exceeds it is abandoned (connection closed, a late response can
+  // never be mistaken for a later request's) and retried if time and
+  // budget remain. 0 disables.
+  int attempt_timeout_ms = 2000;
+  // Overall per-request deadline across all attempts and backoffs;
+  // 0 disables. When exceeded the request returns kDeadlineExceeded.
+  int request_timeout_ms = 10000;
+  RetryPolicy retry;
+};
+
+// What the resilience machinery actually did, for tests and operators.
+// Plain counters: PriceClient is single-threaded by contract.
+struct ClientTelemetry {
+  uint64_t retries_attempted = 0;   // backoff-then-retry cycles entered
+  uint64_t retries_exhausted = 0;   // requests failed with retries spent
+  uint64_t deadline_exceeded = 0;   // requests failed on overall deadline
+  uint64_t attempt_timeouts = 0;    // per-attempt timeouts (maybe retried)
+  uint64_t transport_errors = 0;    // resets / closes / corrupt streams
+  uint64_t overload_responses = 0;  // OVERLOADED/RETRY_LATER received
+  uint64_t reconnects = 0;          // successful re-establishments
+};
+
+// All current verbs are read-only price queries; retrying them can never
+// double-apply an effect.
+bool IsIdempotent(Verb verb);
+
+// Resilient blocking-style client for the PriceServer wire protocol: one
+// TCP connection (re-established across transport faults), one
+// outstanding request at a time, per-request deadlines, and the retry/
+// backoff ladder of RetryPolicy. Not thread-safe — use one PriceClient
 // per thread; the load generator and tests open many.
 //
 // Server-side errors (unknown curve, withdrawn snapshot, infeasible
 // budget) come back as the Status carried in the response frame, keeping
 // remote error semantics identical to calling PriceQueryEngine directly.
+// OVERLOADED responses and transport faults are absorbed by the retry
+// layer up to the policy's limits, then surface as kUnavailable /
+// kDeadlineExceeded / kInternal.
 class PriceClient {
  public:
   static StatusOr<std::unique_ptr<PriceClient>> Connect(
-      const std::string& host, uint16_t port);
+      const std::string& host, uint16_t port, ClientOptions options = {});
 
   ~PriceClient();
 
@@ -44,15 +114,42 @@ class PriceClient {
   StatusOr<StatsPayload> Stats();
 
   // Sends `request` (request_id is assigned here) and blocks for its
-  // response frame. Exposed for tests that exercise raw verbs.
+  // response frame, applying the full deadline + retry ladder. Exposed
+  // for tests that exercise raw verbs.
   Status Roundtrip(Request request, Response* response);
 
- private:
-  explicit PriceClient(int fd) : fd_(fd) {}
+  const ClientTelemetry& telemetry() const { return telemetry_; }
+  // Remaining retry-budget tokens (see RetryPolicy::retry_budget).
+  double retry_budget() const { return budget_; }
 
-  int fd_;
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  PriceClient(std::string host, uint16_t port, ClientOptions options);
+
+  // (Re-)establishes the connection: non-blocking connect + poll bounded
+  // by `deadline`; kDeadlineExceeded when it cannot complete in time.
+  Status Reconnect(Clock::time_point deadline);
+  void CloseSocket();
+
+  // One send+receive attempt bounded by `deadline`. Sets
+  // *transport_broken when the connection is no longer usable (the
+  // caller must Reconnect before any further attempt).
+  Status RoundtripOnce(const Request& request, const std::string& wire,
+                       Clock::time_point deadline, Response* response,
+                       bool* transport_broken);
+  // Blocks until fd_ is ready for `events` or `deadline` passes.
+  Status WaitReady(short events, Clock::time_point deadline);
+
+  std::string host_;
+  uint16_t port_;
+  ClientOptions options_;
+  int fd_ = -1;
   uint64_t next_request_id_ = 1;
   std::string rx_;  // bytes received beyond the last decoded frame
+  double budget_;
+  fault::Pcg32 jitter_;
+  ClientTelemetry telemetry_;
 };
 
 }  // namespace mbp::net

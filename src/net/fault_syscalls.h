@@ -1,0 +1,113 @@
+#ifndef MBP_NET_FAULT_SYSCALLS_H_
+#define MBP_NET_FAULT_SYSCALLS_H_
+
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstddef>
+
+#include "common/fault_injection.h"
+
+// Thin syscall wrappers that every net/ I/O path goes through, so the
+// chaos suite can inject the failures production sees without a flaky
+// network in the loop (DESIGN.md §5e):
+//
+//   point                 effect
+//   net.recv.eintr        recv returns -1/EINTR before touching the fd
+//   net.recv.eagain       recv returns -1/EAGAIN (spurious readiness)
+//   net.recv.reset        recv returns -1/ECONNRESET
+//   net.recv.short        recv is clamped to 1 byte (short read)
+//   net.recv.delay        sleeps schedule.delay_micros (stalled peer)
+//   net.send.eintr/.eagain/.reset/.short/.delay   same for send
+//   net.accept.eintr      accept4 returns -1/EINTR
+//   net.accept.eagain     accept4 returns -1/EAGAIN (wakeup w/o conn)
+//   net.epoll.eintr       epoll_wait returns -1/EINTR
+//   net.poll.eintr        poll returns -1/EINTR (client paths)
+//   net.poll.timeout      poll reports 0 ready fds (forces deadlines)
+//
+// Injected errors happen BEFORE the real syscall, so no bytes move and
+// kernel state is untouched — a short read/write is the only injected
+// outcome that transfers data, and it transfers real data. Frame
+// integrity is therefore never at stake; what the injections stress is
+// every resumption path (EINTR loops, partial-I/O continuation, deadline
+// arithmetic, reset handling). When MBP_FAULT_INJECTION=OFF these inline
+// to bare syscalls.
+//
+// Arming caveat: the EINTR/EAGAIN points sit inside retry loops by
+// design, so arm them with probability < 1 (or a max_fires budget) — a
+// probability-1 unbounded error schedule makes the resumption loop spin
+// forever, which is a broken schedule, not a server bug.
+
+namespace mbp::net::internal {
+
+inline ssize_t FaultRecv(int fd, void* buf, size_t n) {
+  if (MBP_FAULT_POINT("net.recv.eintr")) {
+    errno = EINTR;
+    return -1;
+  }
+  if (MBP_FAULT_POINT("net.recv.eagain")) {
+    errno = EAGAIN;
+    return -1;
+  }
+  if (MBP_FAULT_POINT("net.recv.reset")) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  MBP_FAULT_DELAY("net.recv.delay");
+  if (n > 1 && MBP_FAULT_POINT("net.recv.short")) n = 1;
+  return recv(fd, buf, n, 0);
+}
+
+inline ssize_t FaultSend(int fd, const void* buf, size_t n) {
+  if (MBP_FAULT_POINT("net.send.eintr")) {
+    errno = EINTR;
+    return -1;
+  }
+  if (MBP_FAULT_POINT("net.send.eagain")) {
+    errno = EAGAIN;
+    return -1;
+  }
+  if (MBP_FAULT_POINT("net.send.reset")) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  MBP_FAULT_DELAY("net.send.delay");
+  if (n > 1 && MBP_FAULT_POINT("net.send.short")) n = 1;
+  return send(fd, buf, n, MSG_NOSIGNAL);
+}
+
+inline int FaultAccept4(int fd, sockaddr* addr, socklen_t* len, int flags) {
+  if (MBP_FAULT_POINT("net.accept.eintr")) {
+    errno = EINTR;
+    return -1;
+  }
+  if (MBP_FAULT_POINT("net.accept.eagain")) {
+    errno = EAGAIN;
+    return -1;
+  }
+  return accept4(fd, addr, len, flags);
+}
+
+inline int FaultEpollWait(int epfd, epoll_event* events, int max_events,
+                          int timeout_ms) {
+  if (MBP_FAULT_POINT("net.epoll.eintr")) {
+    errno = EINTR;
+    return -1;
+  }
+  return epoll_wait(epfd, events, max_events, timeout_ms);
+}
+
+inline int FaultPoll(pollfd* fds, nfds_t nfds, int timeout_ms) {
+  if (MBP_FAULT_POINT("net.poll.eintr")) {
+    errno = EINTR;
+    return -1;
+  }
+  if (MBP_FAULT_POINT("net.poll.timeout")) return 0;
+  return poll(fds, nfds, timeout_ms);
+}
+
+}  // namespace mbp::net::internal
+
+#endif  // MBP_NET_FAULT_SYSCALLS_H_

@@ -8,7 +8,7 @@ namespace {
 
 constexpr size_t kMaxCurveIdBytes = 255;
 constexpr uint8_t kMaxStatusCodeByte =
-    static_cast<uint8_t>(StatusCode::kInfeasible);
+    static_cast<uint8_t>(StatusCode::kUnavailable);
 
 uint32_t Fnv1a32(const uint8_t* data, size_t size) {
   uint32_t hash = 2166136261u;
@@ -35,6 +35,14 @@ void AppendF64(std::string* wire, double v) { AppendBytes(wire, &v, 8); }
 void AppendDoubles(std::string* wire, const std::vector<double>& values) {
   AppendU32(wire, static_cast<uint32_t>(values.size()));
   AppendBytes(wire, values.data(), values.size() * sizeof(double));
+}
+
+void AppendHistogram(std::string* wire,
+                     const LatencyHistogramSnapshot& snap) {
+  AppendU64(wire, snap.count);
+  AppendF64(wire, snap.sum_micros);
+  AppendU32(wire, static_cast<uint32_t>(kLatencyBuckets));
+  for (const uint64_t bucket : snap.buckets) AppendU64(wire, bucket);
 }
 
 // Appends the shared header with placeholder length/checksum and returns
@@ -99,6 +107,21 @@ class Reader {
     }
     out->resize(count);
     return Bytes(out->data(), count * sizeof(double));
+  }
+
+  Status Histogram(LatencyHistogramSnapshot* out) {
+    MBP_RETURN_IF_ERROR(U64(&out->count));
+    MBP_RETURN_IF_ERROR(F64(&out->sum_micros));
+    uint32_t num_buckets = 0;
+    MBP_RETURN_IF_ERROR(U32(&num_buckets));
+    if (num_buckets != kLatencyBuckets) {
+      return InvalidArgumentError(
+          "net stats histogram bucket count mismatch");
+    }
+    for (size_t i = 0; i < kLatencyBuckets; ++i) {
+      MBP_RETURN_IF_ERROR(U64(&out->buckets[i]));
+    }
+    return Status::OK();
   }
 
   Status ExpectEnd() const {
@@ -228,11 +251,22 @@ void EncodeResponse(const Response& response, std::string* wire) {
         AppendU64(wire, s.protocol_errors);
         AppendU64(wire, s.queries);
         AppendU64(wire, s.batches);
-        AppendU64(wire, s.latency.count);
-        AppendF64(wire, s.latency.sum_micros);
-        AppendU32(wire, static_cast<uint32_t>(kLatencyBuckets));
-        for (const uint64_t bucket : s.latency.buckets) {
-          AppendU64(wire, bucket);
+        AppendU64(wire, s.connections_refused);
+        AppendU64(wire, s.requests_shed);
+        AppendU64(wire, s.deadline_drops);
+        AppendU64(wire, s.connections_killed);
+        AppendU64(wire, s.faults_injected);
+        AppendU64(wire, s.write_queue_peak_bytes);
+        AppendHistogram(wire, s.latency);
+        AppendHistogram(wire, s.write_queue_bytes);
+        const size_t num_faults = std::min<size_t>(s.faults.size(), 255);
+        AppendU8(wire, static_cast<uint8_t>(num_faults));
+        for (size_t i = 0; i < num_faults; ++i) {
+          const FaultCount& f = s.faults[i];
+          const size_t name_len = std::min<size_t>(f.point.size(), 255);
+          AppendU8(wire, static_cast<uint8_t>(name_len));
+          AppendBytes(wire, f.point.data(), name_len);
+          AppendU64(wire, f.fires);
         }
         break;
       }
@@ -306,16 +340,22 @@ StatusOr<size_t> DecodeResponse(const uint8_t* data, size_t size,
         MBP_RETURN_IF_ERROR(reader.U64(&s.protocol_errors));
         MBP_RETURN_IF_ERROR(reader.U64(&s.queries));
         MBP_RETURN_IF_ERROR(reader.U64(&s.batches));
-        MBP_RETURN_IF_ERROR(reader.U64(&s.latency.count));
-        MBP_RETURN_IF_ERROR(reader.F64(&s.latency.sum_micros));
-        uint32_t num_buckets = 0;
-        MBP_RETURN_IF_ERROR(reader.U32(&num_buckets));
-        if (num_buckets != kLatencyBuckets) {
-          return InvalidArgumentError(
-              "net stats histogram bucket count mismatch");
-        }
-        for (size_t i = 0; i < kLatencyBuckets; ++i) {
-          MBP_RETURN_IF_ERROR(reader.U64(&s.latency.buckets[i]));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.connections_refused));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.requests_shed));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.deadline_drops));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.connections_killed));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.faults_injected));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.write_queue_peak_bytes));
+        MBP_RETURN_IF_ERROR(reader.Histogram(&s.latency));
+        MBP_RETURN_IF_ERROR(reader.Histogram(&s.write_queue_bytes));
+        uint8_t num_faults = 0;
+        MBP_RETURN_IF_ERROR(reader.U8(&num_faults));
+        s.faults.resize(num_faults);
+        for (FaultCount& f : s.faults) {
+          uint8_t name_len = 0;
+          MBP_RETURN_IF_ERROR(reader.U8(&name_len));
+          MBP_RETURN_IF_ERROR(reader.String(name_len, &f.point));
+          MBP_RETURN_IF_ERROR(reader.U64(&f.fires));
         }
         break;
       }

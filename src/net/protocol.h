@@ -81,8 +81,21 @@ struct SnapshotInfoPayload {
   double max_price = 0.0;
 };
 
+// One fault-injection point's fire count, carried in STATS so a chaos
+// client can observe what the server-side injector actually did.
+struct FaultCount {
+  std::string point;  // <= 255 bytes on the wire
+  uint64_t fires = 0;
+
+  friend bool operator==(const FaultCount& a, const FaultCount& b) {
+    return a.point == b.point && a.fires == b.fires;
+  }
+};
+
 // Server-side operational counters + request latency histogram, in the
-// common/metrics.h snapshot format.
+// common/metrics.h snapshot format. The resilience block (shed/killed/
+// deadline counters, write-queue depth histogram, fault fires) is the
+// observable surface of the degradation ladder (DESIGN.md §5e).
 struct StatsPayload {
   uint64_t connections_accepted = 0;
   uint64_t connections_active = 0;
@@ -91,7 +104,20 @@ struct StatsPayload {
   uint64_t protocol_errors = 0;
   uint64_t queries = 0;        // individual prices/budgets served
   uint64_t batches = 0;        // micro-batched PriceBatch dispatches
+  // Degradation ladder counters:
+  uint64_t connections_refused = 0;   // closed at accept (hard cap)
+  uint64_t requests_shed = 0;         // answered OVERLOADED/RETRY_LATER
+  uint64_t deadline_drops = 0;        // dropped past request_deadline_ms
+  uint64_t connections_killed = 0;    // hard-killed (overflow / stalled drain)
+  uint64_t faults_injected = 0;       // total injector fires, this process
+  uint64_t write_queue_peak_bytes = 0;
   LatencyHistogramSnapshot latency;
+  // log2-bucket histogram over pending write-queue bytes, sampled at
+  // every response enqueue (bucket i = [2^(i-1), 2^i) bytes).
+  LatencyHistogramSnapshot write_queue_bytes;
+  // Per-point injector fire counts (empty when nothing armed); capped at
+  // 255 entries on the wire.
+  std::vector<FaultCount> faults;
 };
 
 struct Response {

@@ -14,6 +14,8 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
+#include "net/fault_syscalls.h"
 
 namespace mbp::net {
 namespace {
@@ -190,7 +192,20 @@ StatsPayload PriceServer::stats() const {
   s.protocol_errors = metrics_.protocol_errors.Value();
   s.queries = metrics_.queries.Value();
   s.batches = metrics_.batches.Value();
+  s.connections_refused = metrics_.connections_refused.Value();
+  s.requests_shed = metrics_.requests_shed.Value();
+  s.deadline_drops = metrics_.deadline_drops.Value();
+  s.connections_killed = metrics_.connections_killed.Value();
+  s.write_queue_peak_bytes = metrics_.write_queue_peak_bytes.Value();
   s.latency = metrics_.request_latency.Snapshot();
+  s.write_queue_bytes = metrics_.write_queue_bytes.Snapshot();
+  // Injector state is process-global: a chaos client reads back what the
+  // server-side schedule actually did without sharing an address space.
+  fault::FaultInjector& injector = fault::FaultInjector::Global();
+  s.faults_injected = injector.TotalFires();
+  for (const fault::PointStats& p : injector.Stats()) {
+    s.faults.push_back(FaultCount{p.point, p.fires});
+  }
   return s;
 }
 
@@ -210,7 +225,8 @@ void PriceServer::ShardLoop(Shard* shard) {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int n = epoll_wait(shard->epoll_fd, events, kMaxEvents, 100);
+    const int n =
+        internal::FaultEpollWait(shard->epoll_fd, events, kMaxEvents, 100);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -266,15 +282,17 @@ void PriceServer::ShardLoop(Shard* shard) {
 
 void PriceServer::AcceptReady(Shard* shard) {
   while (true) {
-    const int fd = accept4(listen_fd_, nullptr, nullptr,
-                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = internal::FaultAccept4(listen_fd_, nullptr, nullptr,
+                                          SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN (no more pending) or a transient accept error
     }
     if (stopping_.load(std::memory_order_acquire) ||
         active_connections_.load(std::memory_order_relaxed) >=
-            options_.max_connections) {
+            options_.max_connections ||
+        MBP_FAULT_POINT("net.server.conn_alloc")) {
+      metrics_.connections_refused.Increment();
       close(fd);
       continue;
     }
@@ -299,7 +317,7 @@ void PriceServer::AcceptReady(Shard* shard) {
 void PriceServer::ReadReady(Shard* shard, Connection* conn) {
   char buf[65536];
   while (!conn->dead) {
-    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    const ssize_t n = internal::FaultRecv(conn->fd, buf, sizeof(buf));
     if (n == 0) {  // orderly peer close
       CloseConnection(shard, conn);
       return;
@@ -340,9 +358,34 @@ void PriceServer::ReadReady(Shard* shard, Connection* conn) {
   }
 }
 
+// Degradation rungs 2 and 3: shed query verbs with a fast OVERLOADED
+// answer instead of doing engine work the client will retry anyway.
+// SNAPSHOT_INFO and STATS pass through — they are cheap and the overload
+// must stay observable.
+bool PriceServer::ShouldShed(const Connection* conn, Verb verb) const {
+  if (verb != Verb::kPriceAt && verb != Verb::kBudgetToX) return false;
+  if (options_.shed_connections > 0 &&
+      active_connections_.load(std::memory_order_relaxed) >
+          options_.shed_connections) {
+    return true;
+  }
+  const size_t shed_bytes = options_.shed_write_queue_bytes > 0
+                                ? options_.shed_write_queue_bytes
+                                : options_.max_write_queue_bytes;
+  return conn->pending_out() > shed_bytes;
+}
+
 void PriceServer::HandleRequest(Shard* shard, Connection* conn,
                                 const Request& request) {
   const Clock::time_point start = Clock::now();
+  if (ShouldShed(conn, request.verb)) {
+    metrics_.requests_shed.Increment();
+    EnqueueResponse(
+        shard, conn,
+        ErrorResponse(request,
+                      UnavailableError("server overloaded; retry later")));
+    return;
+  }
   if (request.verb == Verb::kStats) {
     Response response;
     response.verb = Verb::kStats;
@@ -423,6 +466,9 @@ void PriceServer::HandleRequest(Shard* shard, Connection* conn,
 void PriceServer::FlushPriceBatches(Shard* shard) {
   for (auto& [slot, batch] : shard->batches) {
     if (batch.xs.empty()) continue;
+    // Chaos lever: an injected stall here ages the pending entries past
+    // request_deadline_ms, exercising the deadline-drop path on demand.
+    (void)MBP_FAULT_DELAY("net.server.batch.delay");
     std::vector<double> prices(batch.xs.size());
     // The whole micro-batch is served from ONE snapshot load inside
     // PriceBatch — consistent across every coalesced request even if a
@@ -440,6 +486,20 @@ void PriceServer::FlushPriceBatches(Shard* shard) {
       Response response;
       response.verb = Verb::kPriceAt;
       response.request_id = p.request_id;
+      // Deadline-aware drop: a request that sat in the queue past its
+      // deadline gets a fast kDeadlineExceeded — the client has already
+      // timed the attempt out, and a stale "success" would only be
+      // discarded (or worse, trusted) on arrival.
+      if (options_.request_deadline_ms > 0 &&
+          MicrosSince(p.start) >
+              1000.0 * static_cast<double>(options_.request_deadline_ms)) {
+        response.code = StatusCode::kDeadlineExceeded;
+        response.error_message = "request deadline exceeded in server queue";
+        metrics_.deadline_drops.Increment();
+        metrics_.request_latency.Record(MicrosSince(p.start));
+        EnqueueResponse(shard, p.conn, response);
+        continue;
+      }
       if (status.ok()) {
         response.values.assign(prices.begin() + p.offset,
                                prices.begin() + p.offset + p.count);
@@ -465,19 +525,21 @@ void PriceServer::EnqueueResponse(Shard* shard, Connection* conn,
     conn->touched = true;
     shard->touched.push_back(conn);
   }
+  metrics_.write_queue_bytes.Record(
+      static_cast<double>(conn->pending_out()));
+  metrics_.write_queue_peak_bytes.Observe(conn->pending_out());
   // Hard cap: backpressure already stopped reads at 1x; only a single
   // giant burst of responses can reach 4x, and such a peer is not
   // consuming — cut it loose rather than grow without bound.
   if (conn->pending_out() > 4 * options_.max_write_queue_bytes) {
-    CloseConnection(shard, conn);
+    KillConnection(shard, conn);
   }
 }
 
 void PriceServer::FlushWrites(Shard* shard, Connection* conn) {
   while (conn->pending_out() > 0) {
-    const ssize_t n =
-        send(conn->fd, conn->out.data() + conn->out_offset,
-             conn->pending_out(), MSG_NOSIGNAL);
+    const ssize_t n = internal::FaultSend(
+        conn->fd, conn->out.data() + conn->out_offset, conn->pending_out());
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
@@ -519,6 +581,12 @@ void PriceServer::CloseConnection(Shard* shard, Connection* conn) {
   metrics_.connections_closed.Increment();
 }
 
+void PriceServer::KillConnection(Shard* shard, Connection* conn) {
+  if (conn->dead) return;
+  metrics_.connections_killed.Increment();
+  CloseConnection(shard, conn);
+}
+
 // Graceful drain: no new connections or requests, but every response that
 // was produced for an already-received request still goes out (bounded by
 // options_.drain_timeout_ms), so a client that stops sending and keeps
@@ -538,7 +606,8 @@ void PriceServer::DrainShard(Shard* shard) {
       }
     }
     if (!pending) break;
-    const int n = epoll_wait(shard->epoll_fd, events, kMaxEvents, 50);
+    const int n =
+        internal::FaultEpollWait(shard->epoll_fd, events, kMaxEvents, 50);
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == shard->wake_fd || fd == listen_fd_) continue;
@@ -551,8 +620,16 @@ void PriceServer::DrainShard(Shard* shard) {
       }
     }
   }
+  // Past the drain deadline: connections still holding undeliverable
+  // responses are hard-killed (and counted); fully drained ones just
+  // close.
   for (auto& [fd, conn] : shard->conns) {
-    if (!conn->dead) CloseConnection(shard, conn.get());
+    if (conn->dead) continue;
+    if (conn->pending_out() > 0) {
+      KillConnection(shard, conn.get());
+    } else {
+      CloseConnection(shard, conn.get());
+    }
   }
   shard->conns.clear();
 }

@@ -43,6 +43,33 @@ struct ServerOptions {
   // (can only happen via one huge response frame) the connection dies.
   size_t max_write_queue_bytes = 1 << 20;
 
+  // --- Degradation ladder (DESIGN.md §5e) -----------------------------
+  // Rung 1 is the existing per-connection read pause (see
+  // max_write_queue_bytes above). Rungs 2 and 3 shed work explicitly so
+  // overload degrades into fast OVERLOADED/RETRY_LATER answers instead
+  // of unbounded queues:
+
+  // Soft accepted-connection high-water mark: while more than this many
+  // connections are active, PRICE_AT / BUDGET_TO_X requests are answered
+  // kUnavailable (OVERLOADED) without touching the engine — clients back
+  // off, established traffic keeps its capacity. SNAPSHOT_INFO and STATS
+  // stay served so operators can observe the overload. 0 disables the
+  // rung (only the hard max_connections cap applies).
+  size_t shed_connections = 0;
+
+  // Per-connection write-queue shed mark: a request arriving while the
+  // connection already has more than this many pending response bytes is
+  // answered OVERLOADED (the peer is not consuming; doing engine work
+  // for it only deepens the queue). 0 means "use max_write_queue_bytes".
+  size_t shed_write_queue_bytes = 0;
+
+  // Deadline-aware dropping: a PRICE_AT request whose age (decode to
+  // batch flush) exceeds this is answered kDeadlineExceeded instead of
+  // returning a stale price the client has already given up on. Only
+  // fires when the event loop stalls (overload, injected faults).
+  // 0 disables.
+  int request_deadline_ms = 0;
+
   // Micro-batched PRICE_AT evaluation: each event-loop pass gathers every
   // decoded PRICE_AT query (across requests AND connections, grouped per
   // curve) into one PriceQueryEngine::PriceBatch call. Batches of at
@@ -107,7 +134,14 @@ class PriceServer {
     Counter protocol_errors;
     Counter queries;
     Counter batches;
+    // Degradation-ladder observability (served via STATS):
+    Counter connections_refused;  // closed at accept: hard cap / alloc fault
+    Counter requests_shed;        // answered OVERLOADED/RETRY_LATER
+    Counter deadline_drops;       // answered kDeadlineExceeded when stale
+    Counter connections_killed;   // hard-killed: 4x overflow, stalled drain
     LatencyHistogram request_latency;
+    LatencyHistogram write_queue_bytes;  // depth sampled at each enqueue
+    MaxGauge write_queue_peak_bytes;
   };
 
   PriceServer(const serving::PriceQueryEngine* engine, ServerOptions options);
@@ -123,6 +157,13 @@ class PriceServer {
   void FlushWrites(Shard* shard, Connection* conn);
   void UpdateEpollInterest(Shard* shard, Connection* conn);
   void CloseConnection(Shard* shard, Connection* conn);
+  // CloseConnection + the connections_killed counter: for connections
+  // terminated by the server against a live peer (write-queue overflow,
+  // drain timeout), as opposed to peer-initiated closes.
+  void KillConnection(Shard* shard, Connection* conn);
+  // True when the ladder says to answer `request` on `conn` with
+  // OVERLOADED instead of doing engine work.
+  bool ShouldShed(const Connection* conn, Verb verb) const;
   void DrainShard(Shard* shard);
   StatusOr<const serving::SnapshotRegistry::CurveSlot*> ResolveCurve(
       const std::string& curve_id) const;

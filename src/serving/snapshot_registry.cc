@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/fault_injection.h"
+
 namespace mbp::serving {
 namespace {
 
@@ -29,10 +31,22 @@ SnapshotRegistry::CurveSlot* SnapshotRegistry::FindOrCreateSlot(
 
 StatusOr<const SnapshotRegistry::CurveSlot*> SnapshotRegistry::Publish(
     const std::string& curve_id, const core::PiecewiseLinearPricing& curve) {
+  // Fault points at the two failure edges of a publish: snapshot
+  // compilation/allocation and the publish step itself. Either way the
+  // contract below ("on error the old snapshot keeps serving") must
+  // hold, which the chaos suite asserts by querying across injected
+  // failed republishes.
+  if (MBP_FAULT_POINT("serving.compile.alloc")) {
+    return ResourceExhaustedError(
+        "injected fault: serving.compile.alloc (snapshot allocation)");
+  }
   // Compile (and validate) outside any lock: a slow or failing compile
   // never blocks readers or other publishers.
   MBP_ASSIGN_OR_RETURN(std::shared_ptr<const PricingSnapshot> snapshot,
                        PricingSnapshot::Compile(curve));
+  if (MBP_FAULT_POINT("serving.publish.fail")) {
+    return InternalError("injected fault: serving.publish.fail");
+  }
   CurveSlot* slot = FindOrCreateSlot(curve_id);
   const uint64_t stamp = NextStamp();
   // Order matters: snapshot first (release), stamp second (seq_cst).

@@ -1,0 +1,227 @@
+// Unit tests for the deterministic fault-injection framework: schedule
+// semantics (probability / skip_first / max_fires / delay), seeded
+// replayability independent of arming order, and the disarmed fast path.
+//
+// Every test uses the process-global injector (the one the MBP_FAULT_*
+// macros consult), so each resets it on entry AND exit — a leaked armed
+// point would leak faults into unrelated suites in the same binary.
+
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbp::fault {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedPointNeverFires) {
+  FaultInjector& inj = FaultInjector::Global();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(inj.ShouldFire("never.armed"));
+  }
+  EXPECT_EQ(inj.TotalFires(), 0u);
+  EXPECT_EQ(inj.Fires("never.armed"), 0u);
+  EXPECT_TRUE(inj.Stats().empty());
+}
+
+TEST_F(FaultInjectionTest, MacroRoutesToGlobalInjector) {
+  if (!kBuildEnabled) GTEST_SKIP() << "MBP_FAULT_INJECTION=OFF";
+  FaultInjector& inj = FaultInjector::Global();
+  EXPECT_FALSE(MBP_FAULT_POINT("macro.point"));
+  PointSchedule always;
+  inj.Arm("macro.point", always);
+  EXPECT_TRUE(MBP_FAULT_POINT("macro.point"));
+  EXPECT_EQ(inj.Fires("macro.point"), 1u);
+}
+
+TEST_F(FaultInjectionTest, CountScheduleIsExact) {
+  FaultInjector& inj = FaultInjector::Global();
+  PointSchedule s;
+  s.skip_first = 3;
+  s.max_fires = 2;
+  inj.Arm("count.point", s);
+  std::vector<bool> fired;
+  for (int i = 0; i < 10; ++i) fired.push_back(inj.ShouldFire("count.point"));
+  // Hits 0-2 skipped, hits 3-4 fire, budget then exhausted.
+  const std::vector<bool> expected = {false, false, false, true, true,
+                                      false, false, false, false, false};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(inj.Fires("count.point"), 2u);
+  EXPECT_EQ(inj.TotalFires(), 2u);
+  const auto stats = inj.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].point, "count.point");
+  EXPECT_EQ(stats[0].hits, 10u);
+  EXPECT_EQ(stats[0].fires, 2u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityZeroNeverProbabilityOneAlways) {
+  FaultInjector& inj = FaultInjector::Global();
+  PointSchedule never;
+  never.probability = 0.0;
+  inj.Arm("p0", never);
+  PointSchedule always;  // probability defaults to 1.0
+  inj.Arm("p1", always);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(inj.ShouldFire("p0"));
+    EXPECT_TRUE(inj.ShouldFire("p1"));
+  }
+  EXPECT_EQ(inj.Fires("p0"), 0u);
+  EXPECT_EQ(inj.Fires("p1"), 500u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityRoughlyRespected) {
+  FaultInjector& inj = FaultInjector::Global();
+  inj.Seed(42);
+  PointSchedule s;
+  s.probability = 0.25;
+  inj.Arm("p25", s);
+  constexpr int kHits = 20000;
+  for (int i = 0; i < kHits; ++i) (void)inj.ShouldFire("p25");
+  const double rate =
+      static_cast<double>(inj.Fires("p25")) / static_cast<double>(kHits);
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST_F(FaultInjectionTest, SameSeedReplaysSameDecisionSequence) {
+  FaultInjector& inj = FaultInjector::Global();
+  PointSchedule s;
+  s.probability = 0.3;
+
+  auto run = [&](uint64_t seed) {
+    inj.Reset();
+    inj.Seed(seed);
+    inj.Arm("replay.point", s);
+    std::vector<bool> decisions;
+    for (int i = 0; i < 200; ++i) {
+      decisions.push_back(inj.ShouldFire("replay.point"));
+    }
+    return decisions;
+  };
+
+  const auto first = run(7);
+  const auto second = run(7);
+  EXPECT_EQ(first, second);
+  const auto other_seed = run(8);
+  EXPECT_NE(first, other_seed);
+}
+
+TEST_F(FaultInjectionTest, DecisionSequenceIndependentOfOtherPoints) {
+  FaultInjector& inj = FaultInjector::Global();
+  PointSchedule s;
+  s.probability = 0.5;
+
+  // Run A: the point alone. Run B: the same point armed after and
+  // interleaved with a noisy sibling. The sibling must not perturb the
+  // point's stream — that is what makes multi-point chaos schedules
+  // replayable.
+  inj.Seed(99);
+  inj.Arm("indep.point", s);
+  std::vector<bool> alone;
+  for (int i = 0; i < 100; ++i) alone.push_back(inj.ShouldFire("indep.point"));
+
+  inj.Reset();
+  inj.Seed(99);
+  inj.Arm("indep.noise", s);
+  inj.Arm("indep.point", s);
+  std::vector<bool> interleaved;
+  for (int i = 0; i < 100; ++i) {
+    (void)inj.ShouldFire("indep.noise");
+    interleaved.push_back(inj.ShouldFire("indep.point"));
+    (void)inj.ShouldFire("indep.noise");
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST_F(FaultInjectionTest, RearmResetsCountersAndStream) {
+  FaultInjector& inj = FaultInjector::Global();
+  PointSchedule s;
+  s.max_fires = 1;
+  inj.Arm("rearm.point", s);
+  EXPECT_TRUE(inj.ShouldFire("rearm.point"));
+  EXPECT_FALSE(inj.ShouldFire("rearm.point"));  // budget spent
+  inj.Arm("rearm.point", s);                    // re-arm: fresh budget
+  EXPECT_TRUE(inj.ShouldFire("rearm.point"));
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsEverything) {
+  FaultInjector& inj = FaultInjector::Global();
+  inj.Arm("reset.point", PointSchedule{});
+  EXPECT_TRUE(inj.ShouldFire("reset.point"));
+  inj.Reset();
+  EXPECT_FALSE(inj.ShouldFire("reset.point"));
+  EXPECT_EQ(inj.TotalFires(), 0u);
+  EXPECT_TRUE(inj.Stats().empty());
+}
+
+TEST_F(FaultInjectionTest, MaybeDelayStallsOnlyWhenFiring) {
+  FaultInjector& inj = FaultInjector::Global();
+  EXPECT_EQ(inj.MaybeDelay("delay.point"), 0u);  // unarmed: no stall
+  PointSchedule s;
+  s.delay_micros = 2000;
+  s.max_fires = 1;
+  inj.Arm("delay.point", s);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(inj.MaybeDelay("delay.point"), 2000u);
+  const auto elapsed = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_GE(elapsed, 1500.0);  // sleep_for may round, but must stall
+  EXPECT_EQ(inj.MaybeDelay("delay.point"), 0u);  // budget spent
+}
+
+TEST_F(FaultInjectionTest, ConcurrentEvaluationIsSafeAndCounted) {
+  FaultInjector& inj = FaultInjector::Global();
+  PointSchedule s;  // probability 1: every hit fires
+  inj.Arm("mt.point", s);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) (void)inj.ShouldFire("mt.point");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(inj.Fires("mt.point"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(inj.TotalFires(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Pcg32Test, DeterministicAndSeedSensitive) {
+  Pcg32 a(1, 2), b(1, 2), c(3, 2), d(1, 5);
+  std::vector<uint32_t> va, vb, vc, vd;
+  for (int i = 0; i < 64; ++i) {
+    va.push_back(a.Next());
+    vb.push_back(b.Next());
+    vc.push_back(c.Next());
+    vd.push_back(d.Next());
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);  // seed changes the sequence
+  EXPECT_NE(va, vd);  // stream changes the sequence
+}
+
+TEST(Pcg32Test, NextDoubleStaysInRange) {
+  Pcg32 rng(123, 456);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.NextDouble(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace mbp::fault

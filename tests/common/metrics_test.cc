@@ -100,6 +100,34 @@ TEST(LatencyHistogramTest, HugeLatencyAbsorbedByLastBucket) {
   EXPECT_GT(snap.QuantileMicros(0.5), 0.0);
 }
 
+TEST(MaxGaugeTest, TracksRunningMaximum) {
+  MaxGauge g;
+  EXPECT_EQ(g.Value(), 0u);
+  g.Observe(10);
+  g.Observe(3);  // lower observations never regress the max
+  EXPECT_EQ(g.Value(), 10u);
+  g.Observe(10);  // equal value is a no-op, not a CAS livelock
+  EXPECT_EQ(g.Value(), 10u);
+  g.Observe(42);
+  EXPECT_EQ(g.Value(), 42u);
+}
+
+TEST(MaxGaugeTest, ConcurrentObservationsKeepTrueMax) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 20000;
+  MaxGauge g;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        g.Observe(t * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(g.Value(), kThreads * kPerThread - 1);
+}
+
 TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
   constexpr size_t kThreads = 4;
   constexpr size_t kPerThread = 5000;

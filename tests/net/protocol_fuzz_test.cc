@@ -101,9 +101,23 @@ TEST(NetProtocolFuzzTest, ResponseRoundTripAllShapes) {
         case Verb::kStats:
           response.stats.requests_ok = rng.NextUint64();
           response.stats.queries = rng.NextUint64();
+          response.stats.requests_shed = rng.NextUint64();
+          response.stats.deadline_drops = rng.NextUint64();
+          response.stats.connections_killed = rng.NextUint64();
+          response.stats.connections_refused = rng.NextUint64();
+          response.stats.faults_injected = rng.NextUint64();
+          response.stats.write_queue_peak_bytes = rng.NextUint64();
           response.stats.latency.count = 3;
           response.stats.latency.sum_micros = 42.5;
           response.stats.latency.buckets[2] = 3;
+          response.stats.write_queue_bytes.count = 7;
+          response.stats.write_queue_bytes.sum_micros = 1024.0;
+          response.stats.write_queue_bytes.buckets[10] = 7;
+          for (size_t i = 0, n = rng.NextBounded(4); i < n; ++i) {
+            response.stats.faults.push_back(
+                FaultCount{"net.recv.point" + std::to_string(i),
+                           rng.NextUint64()});
+          }
           break;
       }
     }
@@ -123,6 +137,20 @@ TEST(NetProtocolFuzzTest, ResponseRoundTripAllShapes) {
     EXPECT_EQ(decoded.stats.requests_ok, response.stats.requests_ok);
     EXPECT_EQ(decoded.stats.latency.count, response.stats.latency.count);
     EXPECT_EQ(decoded.stats.latency.buckets, response.stats.latency.buckets);
+    EXPECT_EQ(decoded.stats.requests_shed, response.stats.requests_shed);
+    EXPECT_EQ(decoded.stats.deadline_drops, response.stats.deadline_drops);
+    EXPECT_EQ(decoded.stats.connections_killed,
+              response.stats.connections_killed);
+    EXPECT_EQ(decoded.stats.connections_refused,
+              response.stats.connections_refused);
+    EXPECT_EQ(decoded.stats.faults_injected, response.stats.faults_injected);
+    EXPECT_EQ(decoded.stats.write_queue_peak_bytes,
+              response.stats.write_queue_peak_bytes);
+    EXPECT_EQ(decoded.stats.write_queue_bytes.count,
+              response.stats.write_queue_bytes.count);
+    EXPECT_EQ(decoded.stats.write_queue_bytes.buckets,
+              response.stats.write_queue_bytes.buckets);
+    EXPECT_EQ(decoded.stats.faults, response.stats.faults);
   }
 }
 
@@ -137,6 +165,84 @@ TEST(NetProtocolFuzzTest, EveryStrictPrefixIsIncomplete) {
       ASSERT_TRUE(consumed.ok())
           << "prefix " << prefix << ": " << consumed.status();
       EXPECT_EQ(*consumed, 0u) << "prefix " << prefix;
+    }
+  }
+}
+
+// Exhaustive truncation over RESPONSE frames (the request side is covered
+// above): a frame cut at every possible byte offset must read as
+// "incomplete", never as a decoded frame and never as a crash — this is
+// exactly what a short read or injected connection reset hands the client.
+TEST(NetProtocolFuzzTest, EveryResponseTruncationIsIncomplete) {
+  random::Rng rng(29);
+  for (int trial = 0; trial < 25; ++trial) {
+    Response response;
+    response.verb = Verb::kPriceAt;
+    response.request_id = rng.NextUint64();
+    const size_t n = 1 + rng.NextBounded(12);
+    for (size_t i = 0; i < n; ++i) {
+      response.values.push_back(rng.NextDouble(0.0, 1e6));
+    }
+    std::string wire;
+    EncodeResponse(response, &wire);
+    for (size_t prefix = 0; prefix < wire.size(); ++prefix) {
+      Response decoded;
+      const auto consumed = DecodeResponse(Bytes(wire), prefix, &decoded);
+      ASSERT_TRUE(consumed.ok())
+          << "prefix " << prefix << ": " << consumed.status();
+      EXPECT_EQ(*consumed, 0u) << "prefix " << prefix;
+    }
+  }
+}
+
+// Exhaustive single-BIT-flip fuzz over header + payload, both directions:
+// stricter than the byte-level test because a lone flipped bit is the
+// realistic link/memory corruption. Anything past the 4-byte length
+// prefix is under the checksum, so a flip there MUST error (close the
+// connection); a flip inside the length prefix may also read as
+// "incomplete" while the decoder waits for bytes that never come. Either
+// way a successful decode of corrupt bytes can never happen.
+TEST(NetProtocolFuzzTest, SingleBitFlipNeverDecodes) {
+  random::Rng rng(31);
+  std::string request_wire;
+  EncodeRequest(RandomRequest(rng), &request_wire);
+  Response response;
+  response.verb = Verb::kBudgetToX;
+  response.request_id = rng.NextUint64();
+  response.values = {1.0, 2.5, 1e6};
+  std::string response_wire;
+  EncodeResponse(response, &response_wire);
+
+  for (size_t i = 0; i < request_wire.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = request_wire;
+      corrupt[i] ^= static_cast<char>(1 << bit);
+      Request decoded;
+      const auto consumed =
+          DecodeRequest(Bytes(corrupt), corrupt.size(), &decoded);
+      EXPECT_FALSE(consumed.ok() && *consumed > 0)
+          << "request byte " << i << " bit " << bit << " decoded";
+      if (i >= 4) {  // under the checksum: must be a hard error
+        EXPECT_FALSE(consumed.ok() && *consumed == 0)
+            << "request byte " << i << " bit " << bit
+            << " read as incomplete despite checksum coverage";
+      }
+    }
+  }
+  for (size_t i = 0; i < response_wire.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = response_wire;
+      corrupt[i] ^= static_cast<char>(1 << bit);
+      Response decoded;
+      const auto consumed =
+          DecodeResponse(Bytes(corrupt), corrupt.size(), &decoded);
+      EXPECT_FALSE(consumed.ok() && *consumed > 0)
+          << "response byte " << i << " bit " << bit << " decoded";
+      if (i >= 4) {
+        EXPECT_FALSE(consumed.ok() && *consumed == 0)
+            << "response byte " << i << " bit " << bit
+            << " read as incomplete despite checksum coverage";
+      }
     }
   }
 }

@@ -464,6 +464,17 @@ int RunServeTcp(int argc, char** argv, serving::SnapshotRegistry* registry,
       static_cast<unsigned long long>(stats.batches),
       stats.latency.QuantileMicros(0.5), stats.latency.QuantileMicros(0.99),
       static_cast<unsigned long long>(stats.connections_accepted));
+  if (stats.requests_shed + stats.deadline_drops + stats.connections_killed +
+          stats.connections_refused >
+      0) {
+    std::printf(
+        "degraded: %llu shed, %llu deadline drops, %llu killed, %llu "
+        "refused\n",
+        static_cast<unsigned long long>(stats.requests_shed),
+        static_cast<unsigned long long>(stats.deadline_drops),
+        static_cast<unsigned long long>(stats.connections_killed),
+        static_cast<unsigned long long>(stats.connections_refused));
+  }
   return 0;
 }
 
