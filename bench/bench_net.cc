@@ -30,6 +30,7 @@
 #include "bench/bench_util.h"
 #include "common/fault_injection.h"
 #include "common/metrics.h"
+#include "linalg/kernels.h"
 #include "core/pricing_function.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -144,6 +145,9 @@ void EmitJson(FILE* out, size_t knots, size_t connections, size_t requests,
   json.Field("shards", shards);
   json.Field("hardware_concurrency",
              static_cast<size_t>(std::thread::hardware_concurrency()));
+  // Dispatch level the batched PriceAtBatch kernels actually ran at —
+  // recorded baselines are only comparable within the same level.
+  json.Field("simd_level", SimdLevelName(linalg::kernels::ActiveLevel()));
   json.Field("bit_identical_to_research_path", bit_identical);
   // Distinguishes zero-overhead builds in recorded baselines: QPS/p99
   // comparisons across MBP_FAULT_INJECTION settings are apples-to-apples

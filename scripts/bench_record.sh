@@ -29,10 +29,45 @@ if [[ ! -x "${BENCH}" ]]; then
 fi
 
 TMP_JSON="$(mktemp)"
-trap 'rm -f "${TMP_JSON}"' EXIT
+STAMPED_JSON="$(mktemp)"
+trap 'rm -f "${TMP_JSON}" "${STAMPED_JSON}"' EXIT
 
 "${BENCH}" --out="${TMP_JSON}" "$@"
 
+# Provenance stamp: git SHA (+ -dirty), the CPU feature subset the SIMD
+# dispatcher cares about, and the build flags that shaped the binary, so
+# any recorded number can be traced to the exact code + machine + flags
+# that produced it.
+GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+if ! git diff --quiet HEAD 2>/dev/null; then GIT_SHA="${GIT_SHA}-dirty"; fi
+
+CPU_FEATURES="$(grep -m1 '^flags' /proc/cpuinfo 2>/dev/null \
+  | tr ' ' '\n' | grep -E '^(sse4_2|avx|avx2|fma|avx512f|avx512dq|avx512vl)$' \
+  | sort | tr '\n' ' ' | sed 's/ $//' || true)"
+[[ -n "${CPU_FEATURES}" ]] || CPU_FEATURES="unknown"
+
+CACHE="${BUILD_DIR}/CMakeCache.txt"
+BUILD_FLAGS="unknown"
+if [[ -f "${CACHE}" ]]; then
+  BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${CACHE}")"
+  CXX_FLAGS="$(sed -n 's/^CMAKE_CXX_FLAGS:[^=]*=//p' "${CACHE}")"
+  FAULTS="$(sed -n 's/^MBP_FAULT_INJECTION:[^=]*=//p' "${CACHE}")"
+  BUILD_FLAGS="build_type=${BUILD_TYPE:-default} cxx_flags=${CXX_FLAGS:-default} fault_injection=${FAULTS:-OFF}"
+fi
+
+# Inject the stamp right after the opening brace, preserving the bench's
+# own pretty-printing for everything else.
+awk -v sha="${GIT_SHA}" -v cpu="${CPU_FEATURES}" -v flags="${BUILD_FLAGS}" '
+  NR == 1 && $0 == "{" {
+    print "{"
+    printf "  \"git_sha\": \"%s\",\n", sha
+    printf "  \"cpu_features\": \"%s\",\n", cpu
+    printf "  \"build_flags\": \"%s\",\n", flags
+    next
+  }
+  { print }
+' "${TMP_JSON}" > "${STAMPED_JSON}"
+
 OUT="BENCH_${NAME}.json"
-cat "${TMP_JSON}" >> "${OUT}"
-echo "appended $(wc -c < "${TMP_JSON}") bytes to ${OUT}"
+cat "${STAMPED_JSON}" >> "${OUT}"
+echo "appended $(wc -c < "${STAMPED_JSON}") bytes to ${OUT} (sha ${GIT_SHA})"

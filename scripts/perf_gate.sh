@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Performance regression gate for the networked serving path. Runs a fresh
+# bench_net, compares it against the LAST committed document in
+# BENCH_net.json, and fails if either
+#   - batched-regime QPS regressed by more than the threshold (15%), or
+#   - the run was not bit-identical to the research path.
+#
+# Usage:
+#   scripts/perf_gate.sh [build_dir] [extra bench_net flags...]
+#
+# Wired into ctest as an off-by-default configuration:
+#   ctest -C perf -R mbp_perf_gate
+# Benchmarks are noisy on shared machines, so this is opt-in rather than
+# part of the tier-1 suite; the threshold is deliberately loose to catch
+# real regressions (a lost vectorized path, an allocation storm) without
+# flaking on scheduler jitter.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+if [[ $# -gt 0 ]]; then shift; fi
+
+THRESHOLD_PCT="${MBP_PERF_GATE_THRESHOLD_PCT:-15}"
+BASELINE="BENCH_net.json"
+BENCH="${BUILD_DIR}/bench/bench_net"
+
+if [[ ! -x "${BENCH}" ]]; then
+  echo "error: ${BENCH} not built (cmake --build ${BUILD_DIR} --target bench_net)" >&2
+  exit 1
+fi
+if [[ ! -f "${BASELINE}" ]]; then
+  echo "error: no ${BASELINE} baseline to gate against" >&2
+  exit 1
+fi
+
+TMP_JSON="$(mktemp)"
+trap 'rm -f "${TMP_JSON}"' EXIT
+
+"${BENCH}" --out="${TMP_JSON}" "$@"
+
+python3 - "${BASELINE}" "${TMP_JSON}" "${THRESHOLD_PCT}" <<'PY'
+import json
+import sys
+
+baseline_path, fresh_path, threshold_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+
+def load_documents(path):
+    """BENCH_*.json holds concatenated pretty-printed JSON documents."""
+    decoder = json.JSONDecoder()
+    with open(path) as f:
+        text = f.read()
+    docs, pos = [], 0
+    while pos < len(text):
+        while pos < len(text) and text[pos].isspace():
+            pos += 1
+        if pos >= len(text):
+            break
+        doc, pos = decoder.raw_decode(text, pos)
+        docs.append(doc)
+    return docs
+
+
+def batched_qps(doc):
+    for regime in doc.get("regimes", []):
+        if regime.get("name") == "batched":
+            return regime.get("qps")
+    return None
+
+
+baseline = load_documents(baseline_path)[-1]
+fresh = load_documents(fresh_path)[-1]
+
+failures = []
+
+if fresh.get("bit_identical_to_research_path") is not True:
+    failures.append("fresh run is NOT bit-identical to the research path")
+
+base_qps = batched_qps(baseline)
+new_qps = batched_qps(fresh)
+if base_qps is None or new_qps is None:
+    failures.append("batched regime missing from baseline or fresh run")
+else:
+    floor = base_qps * (1.0 - threshold_pct / 100.0)
+    verdict = "OK" if new_qps >= floor else "REGRESSION"
+    print(
+        f"batched qps: baseline {base_qps:,.0f} -> fresh {new_qps:,.0f} "
+        f"(floor {floor:,.0f} at -{threshold_pct:g}%): {verdict}"
+    )
+    if new_qps < floor:
+        failures.append(
+            f"batched QPS regressed more than {threshold_pct:g}% "
+            f"({base_qps:,.0f} -> {new_qps:,.0f})"
+        )
+
+if failures:
+    for f in failures:
+        print(f"perf_gate: FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+print("perf_gate: PASS")
+PY

@@ -1,0 +1,217 @@
+#ifndef MBP_COMMON_ARENA_H_
+#define MBP_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace mbp {
+
+// Monotonic bump allocator for per-pass scratch on the serving hot path
+// (DESIGN.md §5f). Allocate() bumps a pointer inside the current block;
+// Reset() rewinds to the start without freeing, so after warm-up a
+// steady-state workload allocates from ONE resident block and never
+// touches the heap again — the property the zero-allocation request-path
+// test asserts.
+//
+// Growth: when a block fills, a new block of max(2x the total resident
+// capacity, the request) is chained on. Reset() notices that more than
+// one block was used and coalesces the chain into a single block of the
+// combined capacity, so the steady state converges to one block after a
+// bounded number of warm-up passes (capacity only ever doubles).
+//
+// Lifetime contract: pointers returned by Allocate are valid until the
+// NEXT Reset() — never across one. Blocks already handed out are never
+// moved or freed between Resets (coalescing happens inside Reset only),
+// so growth mid-pass cannot invalidate earlier allocations in the pass.
+//
+// Not thread-safe: an Arena belongs to exactly one owner (a connection on
+// its shard thread, a shard's per-pass staging).
+class Arena {
+ public:
+  explicit Arena(size_t initial_capacity = 0) {
+    if (initial_capacity > 0) head_ = NewBlock(initial_capacity, nullptr);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() { FreeChain(head_); }
+
+  // `align` must be a power of two. Never returns nullptr (aborts on OOM
+  // like operator new). Alignment is of the absolute address (the block
+  // payload itself is only new-aligned, so aligning the offset alone
+  // would not be enough for over-aligned requests).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    Block* b = head_;
+    if (b != nullptr) {
+      const uintptr_t base = reinterpret_cast<uintptr_t>(b->data());
+      const uintptr_t p = AlignUp(base + b->used, align);
+      if (p + bytes <= base + b->capacity) {
+        b->used = static_cast<size_t>(p - base) + bytes;
+        return reinterpret_cast<void*>(p);
+      }
+    }
+    return AllocateSlow(bytes, align);
+  }
+
+  // Typed array of default-constructible Ts (uninitialized for trivial
+  // types — callers on the hot path overwrite every element anyway).
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Rewinds every block. Keeps (and coalesces) capacity; frees nothing
+  // back to the heap unless coalescing replaces several blocks with one.
+  void Reset() {
+    if (head_ == nullptr) return;
+    if (head_->next != nullptr) {
+      // More than one block was live this pass: replace the chain with a
+      // single block of the combined capacity so the next pass bumps
+      // inside one contiguous region.
+      size_t total = 0;
+      for (Block* b = head_; b != nullptr; b = b->next) total += b->capacity;
+      FreeChain(head_);
+      head_ = NewBlock(total, nullptr);
+      ++coalesces_;
+    }
+    head_->used = 0;
+    ++resets_;
+  }
+
+  // Frees every block back to the heap (capacity drops to zero). For
+  // teardown paths; steady-state code uses Reset().
+  void Release() {
+    FreeChain(head_);
+    head_ = nullptr;
+  }
+
+  // Total capacity currently resident across all blocks.
+  size_t capacity() const {
+    size_t total = 0;
+    for (Block* b = head_; b != nullptr; b = b->next) total += b->capacity;
+    return total;
+  }
+
+  // Bytes handed out since the last Reset.
+  size_t used() const {
+    size_t total = 0;
+    for (Block* b = head_; b != nullptr; b = b->next) total += b->used;
+    return total;
+  }
+
+  // Heap allocations the arena itself has performed over its lifetime.
+  // Stops growing once the workload's per-pass footprint stabilizes —
+  // the observable the zero-allocation test gates on.
+  uint64_t heap_blocks_allocated() const { return heap_blocks_; }
+  uint64_t resets() const { return resets_; }
+  uint64_t coalesces() const { return coalesces_; }
+
+ private:
+  struct Block {
+    Block* next = nullptr;
+    size_t capacity = 0;
+    size_t used = 0;
+    char* data() { return reinterpret_cast<char*>(this + 1); }
+  };
+
+  static uintptr_t AlignUp(uintptr_t v, uintptr_t align) {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  // ::operator new (not malloc) so a replaced global operator new — the
+  // counting allocator behind the zero-allocation request-path test —
+  // observes arena block traffic like any other heap use.
+  Block* NewBlock(size_t capacity, Block* next) {
+    ++heap_blocks_;
+    void* raw = ::operator new(sizeof(Block) + capacity);
+    Block* b = new (raw) Block();
+    b->next = next;
+    b->capacity = capacity;
+    return b;
+  }
+
+  void* AllocateSlow(size_t bytes, size_t align) {
+    // New head sized to at least double the resident capacity: the number
+    // of growth events over the arena's lifetime is logarithmic in the
+    // peak footprint, and one post-growth Reset coalesces back to a
+    // single block.
+    const size_t want = bytes + align;
+    size_t grown = capacity() * 2;
+    if (grown < kMinBlockBytes) grown = kMinBlockBytes;
+    if (grown < want) grown = want;
+    head_ = NewBlock(grown, head_);
+    const uintptr_t base = reinterpret_cast<uintptr_t>(head_->data());
+    const uintptr_t p = AlignUp(base, align);
+    head_->used = static_cast<size_t>(p - base) + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  void FreeChain(Block* b) {
+    while (b != nullptr) {
+      Block* next = b->next;
+      b->~Block();
+      ::operator delete(static_cast<void*>(b));
+      b = next;
+    }
+  }
+
+  static constexpr size_t kMinBlockBytes = 4096;
+
+  Block* head_ = nullptr;
+  uint64_t heap_blocks_ = 0;
+  uint64_t resets_ = 0;
+  uint64_t coalesces_ = 0;
+};
+
+// Minimal growable array on an Arena: push_back with geometric growth.
+// Superseded copies are leaked into the arena until the owner's Reset —
+// the monotonic-arena trade: O(n) wasted bytes per pass for zero heap
+// traffic. Elements must be trivially copyable (they are memcpy'd on
+// growth and never destroyed).
+template <typename T>
+class ArenaVector {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaVector elements are memcpy-grown and never destroyed");
+
+  explicit ArenaVector(Arena* arena) : arena_(arena) {}
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) Grow();
+    data_[size_++] = value;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void Grow() {
+    const size_t grown = capacity_ == 0 ? 8 : capacity_ * 2;
+    T* moved = arena_->AllocateArray<T>(grown);
+    if (size_ > 0) std::memcpy(moved, data_, size_ * sizeof(T));
+    data_ = moved;
+    capacity_ = grown;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace mbp
+
+#endif  // MBP_COMMON_ARENA_H_

@@ -1,7 +1,9 @@
 #include "linalg/kernels.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 
 #if defined(MBP_HAVE_AVX2)
 #include <immintrin.h>
@@ -9,6 +11,42 @@
 
 namespace mbp::linalg::kernels {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Piecewise-linear batch evaluation, shared index math. These helpers are
+// the single definition of the segment lookup for BOTH variants (the AVX2
+// kernel calls them per interior lane), so the bracketing index can never
+// diverge between dispatch levels.
+// ---------------------------------------------------------------------------
+
+// Index of the first knot with x[i] > q, for q strictly inside
+// (x[0], x[n-1]). Identical to PricingSnapshot::UpperKnot: bucket
+// estimate, edge settles, then upper_bound over the bucket's window.
+inline size_t PwlUpperKnot(const PwlView& c, double q) {
+  size_t b = std::min(c.num_buckets - 1,
+                      static_cast<size_t>(q * c.inv_bucket_width));
+  while (b > 0 && q < c.bucket_width * static_cast<double>(b)) --b;
+  while (b + 1 < c.num_buckets &&
+         q >= c.bucket_width * static_cast<double>(b + 1)) {
+    ++b;
+  }
+  const double* first = c.x + c.bucket_hint[b];
+  const double* last = c.x + c.bucket_hint[b + 1];
+  return static_cast<size_t>(std::upper_bound(first, last, q) - c.x);
+}
+
+// One element of the batch policy (see Funcs::pwl_batch). Every branch
+// body is a single-rounding expression — the same ones PriceAt evaluates —
+// so this scalar path is the bit-exact oracle for the vector lanes.
+inline double PwlEvalOne(const PwlView& c, double q) {
+  if (!(q >= 0.0)) return std::numeric_limits<double>::quiet_NaN();
+  if (q == 0.0) return 0.0;
+  if (q <= c.x[0]) return c.price[0] * (q / c.x[0]);
+  if (q >= c.x[c.n - 1]) return c.price[c.n - 1];
+  const size_t lo = PwlUpperKnot(c, q) - 1;
+  const double t = (q - c.x[lo]) / c.dx[lo];
+  return c.price[lo] + t * c.dprice[lo];
+}
 
 // ---------------------------------------------------------------------------
 // Scalar reference variant. Bit-identical to the pre-dispatch kernels in
@@ -60,8 +98,13 @@ void Gram4Scalar(const double* r0, const double* r1, const double* r2,
   }
 }
 
-constexpr Funcs kScalarFuncs{DotScalar, AxpyScalar, ScaleScalar, Axpy4Scalar,
-                             Gram4Scalar};
+void PwlBatchScalar(const PwlView& curve, const double* xs, double* out,
+                    size_t count) {
+  for (size_t i = 0; i < count; ++i) out[i] = PwlEvalOne(curve, xs[i]);
+}
+
+constexpr Funcs kScalarFuncs{DotScalar,   AxpyScalar,  ScaleScalar,
+                             Axpy4Scalar, Gram4Scalar, PwlBatchScalar};
 
 #if defined(MBP_HAVE_AVX2)
 
@@ -234,8 +277,88 @@ __attribute__((target("avx2,fma"))) void Gram4Avx2(
   }
 }
 
-constexpr Funcs kAvx2Funcs{DotAvx2, AxpyAvx2, ScaleAvx2, Axpy4Avx2,
-                           Gram4Avx2};
+// Batched piecewise-linear evaluation, 4 queries per pass. The heavy
+// per-element costs of the scalar loop — the unpredictable range-
+// classification branches and the two divisions — vectorize; the segment
+// lookup stays scalar per interior lane (it is a handful of compares via
+// the bucket index) and feeds lane gathers. Bit identity with the scalar
+// reference holds because every arithmetic op here is a single IEEE
+// rounding: _mm256_div_pd / _mm256_mul_pd / _mm256_add_pd round exactly
+// like their scalar counterparts lane-wise, no FMA is used (this file is
+// compiled with -ffp-contract=off so the compiler cannot fuse the
+// mul+add), and the lookup indices come from the same PwlUpperKnot the
+// scalar variant uses. The tail (< 4 elements) runs PwlEvalOne, which is
+// also exactly what a vector lane computes — so any remainder length
+// 0..7 produces the same bits as the scalar loop.
+__attribute__((target("avx2,fma"))) void PwlBatchAvx2(const PwlView& curve,
+                                                      const double* xs,
+                                                      double* out,
+                                                      size_t count) {
+  // A single-knot curve has no interior segments (dx/dprice are empty):
+  // every query resolves through the edge branches, which the scalar
+  // loop handles without touching segment arrays.
+  if (curve.n < 2) {
+    PwlBatchScalar(curve, xs, out, count);
+    return;
+  }
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d x_first = _mm256_set1_pd(curve.x[0]);
+  const __m256d p_first = _mm256_set1_pd(curve.price[0]);
+  const __m256d x_last = _mm256_set1_pd(curve.x[curve.n - 1]);
+  const __m256d p_last = _mm256_set1_pd(curve.price[curve.n - 1]);
+  const __m256d nan =
+      _mm256_set1_pd(std::numeric_limits<double>::quiet_NaN());
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d xv = _mm256_loadu_pd(xs + i);
+    // Lane classification on the original query (ordered compares are
+    // false on NaN lanes, which fall through to the NaN blend).
+    const __m256d ge_zero = _mm256_cmp_pd(xv, zero, _CMP_GE_OQ);
+    const __m256d eq_zero = _mm256_cmp_pd(xv, zero, _CMP_EQ_OQ);
+    const __m256d le_first = _mm256_cmp_pd(xv, x_first, _CMP_LE_OQ);
+    const __m256d ge_last = _mm256_cmp_pd(xv, x_last, _CMP_GE_OQ);
+    // Interior lanes: strictly inside (x[0], x[n-1]) and well-formed.
+    const __m256d interior = _mm256_andnot_pd(
+        le_first, _mm256_andnot_pd(ge_last, ge_zero));
+    const int interior_bits = _mm256_movemask_pd(interior);
+    // Bracketing segment per interior lane via the shared scalar lookup;
+    // non-interior lanes use segment 0 as a harmless placeholder (dx[0] >
+    // 0, so the arithmetic below cannot fault) and are overwritten by the
+    // edge blends.
+    alignas(32) double lane[4];
+    _mm256_store_pd(lane, xv);
+    size_t lo[4] = {0, 0, 0, 0};
+    for (int k = 0; k < 4; ++k) {
+      if ((interior_bits >> k) & 1) lo[k] = PwlUpperKnot(curve, lane[k]) - 1;
+    }
+    const __m256d x_lo = _mm256_set_pd(curve.x[lo[3]], curve.x[lo[2]],
+                                       curve.x[lo[1]], curve.x[lo[0]]);
+    const __m256d dx_lo = _mm256_set_pd(curve.dx[lo[3]], curve.dx[lo[2]],
+                                        curve.dx[lo[1]], curve.dx[lo[0]]);
+    const __m256d p_lo =
+        _mm256_set_pd(curve.price[lo[3]], curve.price[lo[2]],
+                      curve.price[lo[1]], curve.price[lo[0]]);
+    const __m256d dp_lo =
+        _mm256_set_pd(curve.dprice[lo[3]], curve.dprice[lo[2]],
+                      curve.dprice[lo[1]], curve.dprice[lo[0]]);
+    // t = (x - x_lo) / dx_lo;  result = p_lo + t * dp_lo. Plain mul +
+    // add, NOT fmadd: PriceAt's expression rounds twice and so must we.
+    const __m256d t = _mm256_div_pd(_mm256_sub_pd(xv, x_lo), dx_lo);
+    __m256d result = _mm256_add_pd(p_lo, _mm256_mul_pd(t, dp_lo));
+    // Edge blends in reverse order of PriceAt's if-chain, so earlier
+    // branches override later ones exactly as taken branches would.
+    const __m256d below = _mm256_mul_pd(p_first, _mm256_div_pd(xv, x_first));
+    result = _mm256_blendv_pd(result, p_last, ge_last);
+    result = _mm256_blendv_pd(result, below, le_first);
+    result = _mm256_blendv_pd(result, zero, eq_zero);
+    result = _mm256_blendv_pd(nan, result, ge_zero);
+    _mm256_storeu_pd(out + i, result);
+  }
+  for (; i < count; ++i) out[i] = PwlEvalOne(curve, xs[i]);
+}
+
+constexpr Funcs kAvx2Funcs{DotAvx2,   AxpyAvx2,  ScaleAvx2,
+                           Axpy4Avx2, Gram4Avx2, PwlBatchAvx2};
 
 #endif  // MBP_HAVE_AVX2
 

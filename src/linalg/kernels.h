@@ -2,11 +2,35 @@
 #define MBP_LINALG_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 
 #include "common/cpu_features.h"
 
 namespace mbp::linalg::kernels {
+
+// Raw view over a compiled piecewise-linear pricing curve in the SoA
+// layout PricingSnapshot builds (serving/pricing_snapshot.*): knot
+// coordinates, precomputed per-segment deltas, and the uniform bucket
+// index that turns segment lookup into O(1). Defined here so the batch
+// evaluation kernel can live in the dispatch table without linalg
+// depending on serving.
+//
+// Invariants (guaranteed by PricingSnapshot::Compile): x is strictly
+// increasing with x[0] > 0; dx/dprice have n - 1 entries and are the
+// exact subtractions x[i+1]-x[i] / price[i+1]-price[i]; bucket_hint has
+// num_buckets + 1 entries with bucket_hint[num_buckets] == n.
+struct PwlView {
+  const double* x = nullptr;
+  const double* price = nullptr;
+  const double* dx = nullptr;
+  const double* dprice = nullptr;
+  const uint32_t* bucket_hint = nullptr;
+  size_t n = 0;            // number of knots, >= 1
+  size_t num_buckets = 0;  // >= 1
+  double bucket_width = 0.0;
+  double inv_bucket_width = 0.0;
+};
 
 // Primitive micro-kernels behind every dense linalg hot path (vector_ops,
 // MatVec/MatTVec/MatMul/GramMatrix, sufficient-statistic builds). Two
@@ -56,6 +80,21 @@ struct Funcs {
   void (*gram4)(const double* r0, const double* r1, const double* r2,
                 const double* r3, double* g, size_t ld, size_t i_begin,
                 size_t i_end);
+  // Batched piecewise-linear curve evaluation: out[i] = price of the
+  // curve at xs[i], the kernel behind PricingSnapshot::PriceAtBatch.
+  // Per element this is the exact expression chain of
+  // PricingSnapshot::PriceAt — every operation (the bucket-index
+  // multiply, the comparisons, (x - x_lo) / dx_lo, price_lo + t * dprice_lo)
+  // is a single IEEE rounding with no fused multiply-adds in EITHER
+  // variant, so scalar and AVX2 results are BIT-IDENTICAL to each other
+  // and to PriceAt, at every batch length and remainder (unlike the
+  // FMA-fusing kernels above, which only agree to ~1e-15). Input policy,
+  // identical across variants: x == 0 -> 0; 0 < x <= x[0] -> linear from
+  // the origin; x >= x[n-1] -> price[n-1] (so +inf saturates to the max
+  // price); NaN or negative x -> quiet NaN (PriceAt MBP_CHECKs instead;
+  // the batch path must not let one bad query abort a serving process).
+  void (*pwl_batch)(const PwlView& curve, const double* xs, double* out,
+                    size_t count);
 };
 
 // The scalar reference table (bit-identical to the pre-SIMD kernels).

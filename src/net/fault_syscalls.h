@@ -4,6 +4,7 @@
 #include <poll.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 
 #include <cerrno>
 #include <cstddef>
@@ -20,7 +21,9 @@
 //   net.recv.reset        recv returns -1/ECONNRESET
 //   net.recv.short        recv is clamped to 1 byte (short read)
 //   net.recv.delay        sleeps schedule.delay_micros (stalled peer)
-//   net.send.eintr/.eagain/.reset/.short/.delay   same for send
+//   net.send.eintr/.eagain/.reset/.short/.delay   same for send AND
+//                         writev (FaultWritev honors the same points, so
+//                         one armed schedule covers both write paths)
 //   net.accept.eintr      accept4 returns -1/EINTR
 //   net.accept.eagain     accept4 returns -1/EAGAIN (wakeup w/o conn)
 //   net.epoll.eintr       epoll_wait returns -1/EINTR
@@ -76,6 +79,36 @@ inline ssize_t FaultSend(int fd, const void* buf, size_t n) {
   MBP_FAULT_DELAY("net.send.delay");
   if (n > 1 && MBP_FAULT_POINT("net.send.short")) n = 1;
   return send(fd, buf, n, MSG_NOSIGNAL);
+}
+
+// Scatter-gather send (sendmsg under the hood, for MSG_NOSIGNAL — plain
+// writev can raise SIGPIPE on a closed peer). Shares the net.send.*
+// points with FaultSend: the iovec path is the same logical operation,
+// and the chaos schedules that stress partial sends must stress it too.
+// An injected short write transfers exactly 1 real byte of the first
+// iovec, the scatter-gather analogue of FaultSend's clamp.
+inline ssize_t FaultWritev(int fd, const struct iovec* iov, int iovcnt) {
+  if (MBP_FAULT_POINT("net.send.eintr")) {
+    errno = EINTR;
+    return -1;
+  }
+  if (MBP_FAULT_POINT("net.send.eagain")) {
+    errno = EAGAIN;
+    return -1;
+  }
+  if (MBP_FAULT_POINT("net.send.reset")) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  MBP_FAULT_DELAY("net.send.delay");
+  if ((iovcnt > 1 || (iovcnt == 1 && iov[0].iov_len > 1)) &&
+      MBP_FAULT_POINT("net.send.short")) {
+    return send(fd, iov[0].iov_base, 1, MSG_NOSIGNAL);
+  }
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<size_t>(iovcnt);
+  return sendmsg(fd, &msg, MSG_NOSIGNAL);
 }
 
 inline int FaultAccept4(int fd, sockaddr* addr, socklen_t* len, int flags) {

@@ -19,55 +19,83 @@ uint32_t Fnv1a32(const uint8_t* data, size_t size) {
   return hash;
 }
 
+bool VerbCarriesVector(Verb verb) {
+  return verb == Verb::kPriceAt || verb == Verb::kBudgetToX;
+}
+
 // ------------------------------------------------------------- encoding
+//
+// Every frame's exact size is computed up front (Encoded*Size), the
+// output buffer is sized once, and the bytes are written in place — no
+// incremental growth, and the same writer serves both the std::string
+// convenience overloads and the arena path (caller-owned raw buffers).
 
-void AppendBytes(std::string* wire, const void* data, size_t size) {
-  if (size == 0) return;
-  wire->append(static_cast<const char*>(data), size);
+// Raw cursor over a caller-sized buffer. Bounds are the caller's
+// responsibility (the encoder writes exactly Encoded*Size bytes).
+class Writer {
+ public:
+  explicit Writer(uint8_t* out) : base_(out), p_(out) {}
+
+  void Bytes(const void* data, size_t n) {
+    if (n == 0) return;
+    std::memcpy(p_, data, n);
+    p_ += n;
+  }
+
+  void U8(uint8_t v) { Bytes(&v, 1); }
+  void U16(uint16_t v) { Bytes(&v, 2); }
+  void U32(uint32_t v) { Bytes(&v, 4); }
+  void U64(uint64_t v) { Bytes(&v, 8); }
+  void F64(double v) { Bytes(&v, 8); }
+
+  void Doubles(const double* values, size_t count) {
+    U32(static_cast<uint32_t>(count));
+    Bytes(values, count * sizeof(double));
+  }
+
+  void Histogram(const LatencyHistogramSnapshot& snap) {
+    U64(snap.count);
+    F64(snap.sum_micros);
+    U32(static_cast<uint32_t>(kLatencyBuckets));
+    for (const uint64_t bucket : snap.buckets) U64(bucket);
+  }
+
+  size_t written() const { return static_cast<size_t>(p_ - base_); }
+
+ private:
+  uint8_t* base_;
+  uint8_t* p_;
+};
+
+constexpr size_t kHistogramWireBytes =
+    8 + 8 + 4 + 8 * kLatencyBuckets;  // count, sum, bucket count, buckets
+
+// Writes the 20-byte header with the final frame_len already in place
+// (the whole point of exact sizing); the checksum field is zeroed here
+// and patched by SealFrame once the payload bytes exist.
+void WriteHeader(Writer* w, Verb verb, StatusCode code, uint64_t request_id,
+                 size_t frame_size) {
+  w->U32(static_cast<uint32_t>(frame_size - 8));
+  w->U32(0);  // checksum, patched by SealFrame
+  w->U8(kProtocolVersion);
+  w->U8(static_cast<uint8_t>(verb));
+  w->U8(static_cast<uint8_t>(code));
+  w->U8(0);  // reserved
+  w->U64(request_id);
 }
 
-void AppendU8(std::string* wire, uint8_t v) { AppendBytes(wire, &v, 1); }
-void AppendU16(std::string* wire, uint16_t v) { AppendBytes(wire, &v, 2); }
-void AppendU32(std::string* wire, uint32_t v) { AppendBytes(wire, &v, 4); }
-void AppendU64(std::string* wire, uint64_t v) { AppendBytes(wire, &v, 8); }
-void AppendF64(std::string* wire, double v) { AppendBytes(wire, &v, 8); }
-
-void AppendDoubles(std::string* wire, const std::vector<double>& values) {
-  AppendU32(wire, static_cast<uint32_t>(values.size()));
-  AppendBytes(wire, values.data(), values.size() * sizeof(double));
-}
-
-void AppendHistogram(std::string* wire,
-                     const LatencyHistogramSnapshot& snap) {
-  AppendU64(wire, snap.count);
-  AppendF64(wire, snap.sum_micros);
-  AppendU32(wire, static_cast<uint32_t>(kLatencyBuckets));
-  for (const uint64_t bucket : snap.buckets) AppendU64(wire, bucket);
-}
-
-// Appends the shared header with placeholder length/checksum and returns
-// the frame's start offset; SealFrame patches both once the payload is in.
-size_t BeginFrame(std::string* wire, Verb verb, StatusCode code,
-                  uint64_t request_id) {
-  const size_t frame_start = wire->size();
-  AppendU32(wire, 0);  // frame_len, patched by SealFrame
-  AppendU32(wire, 0);  // checksum, patched by SealFrame
-  AppendU8(wire, kProtocolVersion);
-  AppendU8(wire, static_cast<uint8_t>(verb));
-  AppendU8(wire, static_cast<uint8_t>(code));
-  AppendU8(wire, 0);  // reserved
-  AppendU64(wire, request_id);
-  return frame_start;
-}
-
-void SealFrame(std::string* wire, size_t frame_start) {
-  uint8_t* frame =
-      reinterpret_cast<uint8_t*>(wire->data()) + frame_start;
-  const size_t checksummed = wire->size() - frame_start - 8;
-  const uint32_t frame_len = static_cast<uint32_t>(checksummed);
-  std::memcpy(frame, &frame_len, 4);
-  const uint32_t checksum = Fnv1a32(frame + 8, checksummed);
+// Computes the checksum over the finished frame, in place.
+void SealFrame(uint8_t* frame, size_t frame_size) {
+  const uint32_t checksum = Fnv1a32(frame + 8, frame_size - 8);
   std::memcpy(frame + 4, &checksum, 4);
+}
+
+size_t RequestCurveIdLen(const Request& request) {
+  return std::min(request.curve_id.size(), kMaxCurveIdBytes);
+}
+
+size_t ResponseErrorLen(const Response& response) {
+  return std::min<size_t>(response.error_message.size(), 65535);
 }
 
 // ------------------------------------------------------------- decoding
@@ -97,6 +125,17 @@ class Reader {
   Status String(size_t n, std::string* out) {
     out->resize(n);
     return Bytes(out->data(), n);
+  }
+
+  // Bounds-checked view into the payload without copying (the arena
+  // decode path points string_views at the wire buffer directly).
+  Status View(size_t n, const uint8_t** out) {
+    if (size_ - offset_ < n) {
+      return InvalidArgumentError("net frame payload overruns its length");
+    }
+    *out = data_ + offset_;
+    offset_ += n;
+    return Status::OK();
   }
 
   Status Doubles(std::vector<double>* out) {
@@ -186,10 +225,6 @@ StatusOr<size_t> DecodeHeader(const uint8_t* data, size_t size,
   return frame_size;
 }
 
-bool VerbCarriesVector(Verb verb) {
-  return verb == Verb::kPriceAt || verb == Verb::kBudgetToX;
-}
-
 }  // namespace
 
 std::string_view VerbName(Verb verb) {
@@ -211,68 +246,135 @@ Response ErrorResponse(const Request& request, const Status& status) {
   return response;
 }
 
-void EncodeRequest(const Request& request, std::string* wire) {
-  const size_t frame_start =
-      BeginFrame(wire, request.verb, StatusCode::kOk, request.request_id);
-  const size_t id_len = std::min(request.curve_id.size(), kMaxCurveIdBytes);
-  AppendU8(wire, static_cast<uint8_t>(id_len));
-  AppendBytes(wire, request.curve_id.data(), id_len);
-  if (VerbCarriesVector(request.verb)) AppendDoubles(wire, request.args);
-  SealFrame(wire, frame_start);
+size_t EncodedRequestSize(const Request& request) {
+  size_t size = kHeaderBytes + 1 + RequestCurveIdLen(request);
+  if (VerbCarriesVector(request.verb)) {
+    size += 4 + request.args.size() * sizeof(double);
+  }
+  return size;
 }
 
-void EncodeResponse(const Response& response, std::string* wire) {
-  const size_t frame_start =
-      BeginFrame(wire, response.verb, response.code, response.request_id);
+size_t EncodedResponseSize(const Response& response) {
   if (response.code != StatusCode::kOk) {
-    const size_t msg_len =
-        std::min<size_t>(response.error_message.size(), 65535);
-    AppendU16(wire, static_cast<uint16_t>(msg_len));
-    AppendBytes(wire, response.error_message.data(), msg_len);
+    return kHeaderBytes + 2 + ResponseErrorLen(response);
+  }
+  switch (response.verb) {
+    case Verb::kPriceAt:
+    case Verb::kBudgetToX:
+      return kHeaderBytes + 4 + response.values.size() * sizeof(double);
+    case Verb::kSnapshotInfo:
+      return kHeaderBytes + 3 * 8 + 2 * 8;
+    case Verb::kStats: {
+      const StatsPayload& s = response.stats;
+      size_t size = kHeaderBytes + 13 * 8 + 2 * kHistogramWireBytes + 1;
+      const size_t num_faults = std::min<size_t>(s.faults.size(), 255);
+      for (size_t i = 0; i < num_faults; ++i) {
+        size += 1 + std::min<size_t>(s.faults[i].point.size(), 255) + 8;
+      }
+      return size;
+    }
+  }
+  return kHeaderBytes;
+}
+
+size_t EncodeRequestInto(const Request& request, uint8_t* out) {
+  const size_t frame_size = EncodedRequestSize(request);
+  Writer w(out);
+  WriteHeader(&w, request.verb, StatusCode::kOk, request.request_id,
+              frame_size);
+  const size_t id_len = RequestCurveIdLen(request);
+  w.U8(static_cast<uint8_t>(id_len));
+  w.Bytes(request.curve_id.data(), id_len);
+  if (VerbCarriesVector(request.verb)) {
+    w.Doubles(request.args.data(), request.args.size());
+  }
+  SealFrame(out, frame_size);
+  return frame_size;
+}
+
+size_t EncodeResponseInto(const Response& response, uint8_t* out) {
+  const size_t frame_size = EncodedResponseSize(response);
+  Writer w(out);
+  WriteHeader(&w, response.verb, response.code, response.request_id,
+              frame_size);
+  if (response.code != StatusCode::kOk) {
+    const size_t msg_len = ResponseErrorLen(response);
+    w.U16(static_cast<uint16_t>(msg_len));
+    w.Bytes(response.error_message.data(), msg_len);
   } else {
     switch (response.verb) {
       case Verb::kPriceAt:
       case Verb::kBudgetToX:
-        AppendDoubles(wire, response.values);
+        w.Doubles(response.values.data(), response.values.size());
         break;
       case Verb::kSnapshotInfo:
-        AppendU64(wire, response.info.version);
-        AppendU64(wire, response.info.stamp);
-        AppendU64(wire, response.info.num_knots);
-        AppendF64(wire, response.info.x_max);
-        AppendF64(wire, response.info.max_price);
+        w.U64(response.info.version);
+        w.U64(response.info.stamp);
+        w.U64(response.info.num_knots);
+        w.F64(response.info.x_max);
+        w.F64(response.info.max_price);
         break;
       case Verb::kStats: {
         const StatsPayload& s = response.stats;
-        AppendU64(wire, s.connections_accepted);
-        AppendU64(wire, s.connections_active);
-        AppendU64(wire, s.requests_ok);
-        AppendU64(wire, s.requests_error);
-        AppendU64(wire, s.protocol_errors);
-        AppendU64(wire, s.queries);
-        AppendU64(wire, s.batches);
-        AppendU64(wire, s.connections_refused);
-        AppendU64(wire, s.requests_shed);
-        AppendU64(wire, s.deadline_drops);
-        AppendU64(wire, s.connections_killed);
-        AppendU64(wire, s.faults_injected);
-        AppendU64(wire, s.write_queue_peak_bytes);
-        AppendHistogram(wire, s.latency);
-        AppendHistogram(wire, s.write_queue_bytes);
+        w.U64(s.connections_accepted);
+        w.U64(s.connections_active);
+        w.U64(s.requests_ok);
+        w.U64(s.requests_error);
+        w.U64(s.protocol_errors);
+        w.U64(s.queries);
+        w.U64(s.batches);
+        w.U64(s.connections_refused);
+        w.U64(s.requests_shed);
+        w.U64(s.deadline_drops);
+        w.U64(s.connections_killed);
+        w.U64(s.faults_injected);
+        w.U64(s.write_queue_peak_bytes);
+        w.Histogram(s.latency);
+        w.Histogram(s.write_queue_bytes);
         const size_t num_faults = std::min<size_t>(s.faults.size(), 255);
-        AppendU8(wire, static_cast<uint8_t>(num_faults));
+        w.U8(static_cast<uint8_t>(num_faults));
         for (size_t i = 0; i < num_faults; ++i) {
           const FaultCount& f = s.faults[i];
           const size_t name_len = std::min<size_t>(f.point.size(), 255);
-          AppendU8(wire, static_cast<uint8_t>(name_len));
-          AppendBytes(wire, f.point.data(), name_len);
-          AppendU64(wire, f.fires);
+          w.U8(static_cast<uint8_t>(name_len));
+          w.Bytes(f.point.data(), name_len);
+          w.U64(f.fires);
         }
         break;
       }
     }
   }
-  SealFrame(wire, frame_start);
+  SealFrame(out, frame_size);
+  return frame_size;
+}
+
+size_t EncodedValuesResponseSize(size_t count) {
+  return kHeaderBytes + 4 + count * sizeof(double);
+}
+
+size_t EncodeValuesResponseInto(Verb verb, uint64_t request_id,
+                                const double* values, size_t count,
+                                uint8_t* out) {
+  const size_t frame_size = EncodedValuesResponseSize(count);
+  Writer w(out);
+  WriteHeader(&w, verb, StatusCode::kOk, request_id, frame_size);
+  w.Doubles(values, count);
+  SealFrame(out, frame_size);
+  return frame_size;
+}
+
+void EncodeRequest(const Request& request, std::string* wire) {
+  const size_t offset = wire->size();
+  wire->resize(offset + EncodedRequestSize(request));
+  EncodeRequestInto(request,
+                    reinterpret_cast<uint8_t*>(wire->data()) + offset);
+}
+
+void EncodeResponse(const Response& response, std::string* wire) {
+  const size_t offset = wire->size();
+  wire->resize(offset + EncodedResponseSize(response));
+  EncodeResponseInto(response,
+                     reinterpret_cast<uint8_t*>(wire->data()) + offset);
 }
 
 StatusOr<size_t> DecodeRequest(const uint8_t* data, size_t size,
@@ -297,6 +399,48 @@ StatusOr<size_t> DecodeRequest(const uint8_t* data, size_t size,
     if (out->args.empty()) {
       return InvalidArgumentError("net request carries no query values");
     }
+  }
+  MBP_RETURN_IF_ERROR(reader.ExpectEnd());
+  return consumed;
+}
+
+StatusOr<size_t> DecodeRequestView(const uint8_t* data, size_t size,
+                                   RequestView* out, Arena* arena) {
+  Header header;
+  MBP_ASSIGN_OR_RETURN(const size_t consumed,
+                       DecodeHeader(data, size, &header));
+  if (consumed == 0) return size_t{0};
+  if (header.code != StatusCode::kOk) {
+    return InvalidArgumentError("net request carries a non-OK status byte");
+  }
+  *out = RequestView{};
+  out->verb = header.verb;
+  out->request_id = header.request_id;
+  Reader reader(data + header.payload_offset,
+                header.frame_size - header.payload_offset);
+  uint8_t id_len = 0;
+  MBP_RETURN_IF_ERROR(reader.U8(&id_len));
+  const uint8_t* id_bytes = nullptr;
+  MBP_RETURN_IF_ERROR(reader.View(id_len, &id_bytes));
+  out->curve_id = std::string_view(
+      reinterpret_cast<const char*>(id_bytes), id_len);
+  if (VerbCarriesVector(out->verb)) {
+    uint32_t count = 0;
+    MBP_RETURN_IF_ERROR(reader.U32(&count));
+    if (count > kMaxVectorElements) {
+      return InvalidArgumentError("net frame vector count exceeds cap");
+    }
+    const uint8_t* raw = nullptr;
+    MBP_RETURN_IF_ERROR(reader.View(count * sizeof(double), &raw));
+    if (count == 0) {
+      return InvalidArgumentError("net request carries no query values");
+    }
+    // The wire offset is only 4-byte aligned, so the doubles are staged
+    // through an aligned arena copy rather than read in place.
+    double* args = arena->AllocateArray<double>(count);
+    std::memcpy(args, raw, count * sizeof(double));
+    out->args = args;
+    out->num_args = count;
   }
   MBP_RETURN_IF_ERROR(reader.ExpectEnd());
   return consumed;

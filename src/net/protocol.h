@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/metrics.h"
 #include "common/statusor.h"
 
@@ -134,9 +135,32 @@ struct Response {
 // Builds the response frame skeleton for an error outcome.
 Response ErrorResponse(const Request& request, const Status& status);
 
-// Appends one encoded frame to `*wire`.
+// Exact wire size of the frame Encode{Request,Response} will produce —
+// every encode below sizes its output in ONE step from these (no
+// incremental growth) and computes the checksum in place.
+size_t EncodedRequestSize(const Request& request);
+size_t EncodedResponseSize(const Response& response);
+
+// Appends one encoded frame to `*wire` (one exact-size resize).
 void EncodeRequest(const Request& request, std::string* wire);
 void EncodeResponse(const Response& response, std::string* wire);
+
+// Encodes one frame into a caller-owned buffer of at least
+// Encoded*Size(...) bytes — the arena path: the server frames responses
+// directly into per-connection arena memory that iovecs then point at,
+// no intermediate string. Returns the bytes written (== Encoded*Size).
+size_t EncodeRequestInto(const Request& request, uint8_t* out);
+size_t EncodeResponseInto(const Response& response, uint8_t* out);
+
+// Allocation-free fast path for the dominant response shape: a
+// successful PRICE_AT / BUDGET_TO_X frame carrying `count` doubles,
+// framed straight from a raw array (no Response object, no vector).
+// Byte-for-byte identical to EncodeResponseInto of the equivalent
+// Response. count must be <= kMaxVectorElements.
+size_t EncodedValuesResponseSize(size_t count);
+size_t EncodeValuesResponseInto(Verb verb, uint64_t request_id,
+                                const double* values, size_t count,
+                                uint8_t* out);
 
 // Attempts to decode ONE frame from the front of [data, data + size).
 // Returns the number of bytes consumed (a complete frame), 0 when more
@@ -145,6 +169,20 @@ StatusOr<size_t> DecodeRequest(const uint8_t* data, size_t size,
                                Request* out);
 StatusOr<size_t> DecodeResponse(const uint8_t* data, size_t size,
                                 Response* out);
+
+// Zero-heap-allocation request decode for the server hot path: identical
+// validation and consumed-size semantics to DecodeRequest, but curve_id
+// is a view INTO the wire buffer (valid only while the buffer is) and
+// args is an aligned copy in `arena` (valid until the arena resets).
+struct RequestView {
+  Verb verb = Verb::kPriceAt;
+  uint64_t request_id = 0;
+  std::string_view curve_id;
+  const double* args = nullptr;
+  size_t num_args = 0;
+};
+StatusOr<size_t> DecodeRequestView(const uint8_t* data, size_t size,
+                                   RequestView* out, Arena* arena);
 
 }  // namespace mbp::net
 

@@ -5,14 +5,18 @@
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <sys/ioctl.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <unordered_map>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/fault_injection.h"
 #include "net/fault_syscalls.h"
@@ -31,24 +35,62 @@ Status ErrnoError(const std::string& what) {
   return InternalError(what + ": " + std::strerror(errno));
 }
 
+// Error-frame skeleton for the view-based decode path (the Response
+// carries a std::string message — errors are off the zero-allocation
+// contract by design; steady state is the OK path).
+Response ErrorResponseFor(const RequestView& request, const Status& status) {
+  Response response;
+  response.verb = request.verb;
+  response.request_id = request.request_id;
+  response.code = status.ok() ? StatusCode::kInternal : status.code();
+  response.error_message = status.message();
+  return response;
+}
+
+// Floor/ceiling on the single sized recv each readiness event issues:
+// at least one page-multiple chunk even when FIONREAD reports nothing
+// (spurious wakeup), at most one max frame's worth so a firehose peer
+// cannot make one connection monopolize the pass or balloon the arena.
+constexpr size_t kMinReadBytes = 64 * 1024;
+constexpr size_t kMaxReadBytes = kMaxFrameBytes;
+
+// iovec fan-in per writev call; longer response trains loop.
+constexpr int kMaxIov = 64;
+
 }  // namespace
 
 // Per-connection state. A connection lives on exactly one shard thread;
-// nothing here is shared. `in` accumulates raw bytes until they form
-// complete frames (the parse loop consumes every complete frame after
-// each recv, so between passes it only ever holds one incomplete tail,
-// bounded by kMaxFrameBytes). `out` holds encoded-but-unsent responses.
+// nothing here is shared.
+//
+// Buffer roles on the allocation-free request path (DESIGN.md §5f):
+//  - `carry` persists the one incomplete frame tail between passes
+//    (bounded by kMaxFrameBytes). Its std::string capacity warms up once
+//    and is then reused — assign() never shrinks.
+//  - `arena` owns this pass's encoded response frames; `frames` (itself
+//    arena-backed) records one iovec per frame for the scatter-gather
+//    flush. Both reset every pass in FinishPass, after unsent bytes are
+//    migrated out.
+//  - `out` is the fallback queue: bytes a blocked socket would not take,
+//    copied out of the arena at pass end so they survive the reset.
+//    Always OLDER than arena frames, so flushes send `out` first.
 struct PriceServer::Connection {
   int fd = -1;
-  std::string in;
+  std::string carry;
   std::string out;
   size_t out_offset = 0;
+  Arena arena;
+  ArenaVector<iovec> frames{&arena};
+  size_t next_frame = 0;     // frames[0..next_frame) fully sent
+  size_t frame_offset = 0;   // bytes of frames[next_frame] already sent
+  size_t frames_unsent = 0;  // total unsent arena-resident bytes
   uint32_t armed = EPOLLIN;  // events currently registered with epoll
   bool paused = false;       // reading stopped by write backpressure
   bool touched = false;      // has responses appended this loop pass
   bool dead = false;         // closed; destroyed at the end-of-pass sweep
 
-  size_t pending_out() const { return out.size() - out_offset; }
+  size_t pending_out() const {
+    return (out.size() - out_offset) + frames_unsent;
+  }
 
   // The fd is closed here, NOT in CloseConnection: a dead connection
   // stays in the shard map until the end-of-pass sweep, and closing the
@@ -62,7 +104,8 @@ struct PriceServer::Connection {
 };
 
 // One event-loop shard: an epoll instance, a private connection table,
-// and the micro-batch under construction during the current loop pass.
+// a pass-scoped scratch arena, and the micro-batch under construction
+// during the current loop pass.
 struct PriceServer::Shard {
   size_t index = 0;
   int epoll_fd = -1;
@@ -70,22 +113,30 @@ struct PriceServer::Shard {
   std::thread thread;
   std::unordered_map<int, std::unique_ptr<Connection>> conns;
 
+  // Pass-scoped staging: recv buffers, decoded request args, batch
+  // queries/outputs. Reset once at the end of every loop pass; after
+  // warm-up it is one resident block and the pass makes zero heap
+  // allocations.
+  Arena scratch;
+
   // PRICE_AT queries decoded this pass, coalesced per curve slot; one
   // PriceQueryEngine::PriceBatch call serves each group (so every query
-  // in the group is answered from ONE snapshot).
+  // in the group is answered from ONE snapshot). The per-curve groups
+  // live in `scratch` and are found by linear scan — a pass touches a
+  // handful of curves at most, and the scan beats a node-allocating map.
   struct PendingPrice {
     Connection* conn;
     uint64_t request_id;
-    size_t offset;  // into MicroBatch::xs
+    size_t offset;  // into CurveBatch::xs
     size_t count;
     Clock::time_point start;
   };
-  struct MicroBatch {
-    std::vector<double> xs;
-    std::vector<PendingPrice> pending;
+  struct CurveBatch {
+    const serving::SnapshotRegistry::CurveSlot* slot;
+    ArenaVector<double> xs;
+    ArenaVector<PendingPrice> pending;
   };
-  std::unordered_map<const serving::SnapshotRegistry::CurveSlot*, MicroBatch>
-      batches;
+  std::vector<CurveBatch*> batches;  // entries arena-owned; cleared per pass
   std::vector<Connection*> touched;
 };
 
@@ -210,13 +261,17 @@ StatsPayload PriceServer::stats() const {
 }
 
 StatusOr<const serving::SnapshotRegistry::CurveSlot*>
-PriceServer::ResolveCurve(const std::string& curve_id) const {
-  const std::string& id =
-      curve_id.empty() ? options_.default_curve_id : curve_id;
+PriceServer::ResolveCurve(std::string_view curve_id) const {
+  const std::string_view id =
+      curve_id.empty() ? std::string_view(options_.default_curve_id)
+                       : curve_id;
+  // Heterogeneous registry lookup: `id` is a view into the wire buffer
+  // and never materializes a std::string on the hot path.
   const serving::SnapshotRegistry::CurveSlot* slot =
       engine_->registry().Find(id);
   if (slot == nullptr) {
-    return NotFoundError("curve '" + id + "' is not being served");
+    return NotFoundError("curve '" + std::string(id) +
+                         "' is not being served");
   }
   return slot;
 }
@@ -262,15 +317,18 @@ void PriceServer::ShardLoop(Shard* shard) {
       }
     }
     FlushPriceBatches(shard);
-    // One flush per connection that gained responses this pass, instead
-    // of one send() per response.
+    // One writev per connection that gained responses this pass, instead
+    // of one send() per response; FinishPass then migrates whatever the
+    // socket would not take and resets the connection arena.
     for (Connection* conn : shard->touched) {
       conn->touched = false;
       if (conn->dead) continue;
-      FlushWrites(shard, conn);
-      if (!conn->dead) UpdateEpollInterest(shard, conn);
+      FinishPass(shard, conn);
     }
     shard->touched.clear();
+    // Every pass-scoped staging allocation (recv buffers, decoded args,
+    // batch queries and outputs) dies here, in one bump-pointer rewind.
+    shard->scratch.Reset();
     // Destroy connections closed during this pass (deferred so that
     // micro-batch entries never dangle).
     for (auto it = shard->conns.begin(); it != shard->conns.end();) {
@@ -315,47 +373,61 @@ void PriceServer::AcceptReady(Shard* shard) {
 }
 
 void PriceServer::ReadReady(Shard* shard, Connection* conn) {
-  char buf[65536];
+  // One sized recv per readiness event: FIONREAD tells us how much the
+  // kernel has buffered, and a single recv drains it into pass-scoped
+  // arena memory (clamped to [kMinReadBytes, kMaxReadBytes]; a clamped
+  // remainder re-fires the level-triggered epoll next pass). The old
+  // recv-until-EAGAIN loop paid one extra syscall per event just to see
+  // the EAGAIN; this path never issues a recv it expects to fail.
+  int queued = 0;
+  if (ioctl(conn->fd, FIONREAD, &queued) < 0 || queued < 0) queued = 0;
+  const size_t want = std::clamp(static_cast<size_t>(queued),
+                                 kMinReadBytes, kMaxReadBytes);
+  // Contiguous parse view: the carried partial tail from the previous
+  // pass, then the fresh bytes.
+  const size_t carried = conn->carry.size();
+  uint8_t* buf = shard->scratch.AllocateArray<uint8_t>(carried + want);
+  std::memcpy(buf, conn->carry.data(), carried);
+  ssize_t n;
+  do {
+    n = internal::FaultRecv(conn->fd, buf + carried, want);
+  } while (n < 0 && errno == EINTR);
+  if (n == 0) {  // orderly peer close
+    CloseConnection(shard, conn);
+    return;
+  }
+  if (n < 0) {
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      CloseConnection(shard, conn);
+    }
+    return;
+  }
+  const size_t total = carried + static_cast<size_t>(n);
+  // Consume every complete frame now, so only an incomplete tail is
+  // carried across passes (a paused or idle socket cannot strand a
+  // buffered request). Decoding is zero-copy: curve ids stay views into
+  // `buf`, args land in the scratch arena.
+  size_t offset = 0;
   while (!conn->dead) {
-    const ssize_t n = internal::FaultRecv(conn->fd, buf, sizeof(buf));
-    if (n == 0) {  // orderly peer close
+    RequestView request;
+    const auto consumed = DecodeRequestView(buf + offset, total - offset,
+                                            &request, &shard->scratch);
+    if (!consumed.ok()) {
+      metrics_.protocol_errors.Increment();
       CloseConnection(shard, conn);
       return;
     }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno != EAGAIN && errno != EWOULDBLOCK) {
-        CloseConnection(shard, conn);
-      }
-      return;
-    }
-    conn->in.append(buf, static_cast<size_t>(n));
-    // Consume every complete frame now, so `in` never holds parseable
-    // data across passes (a paused or idle socket cannot strand a
-    // buffered request).
-    size_t offset = 0;
-    while (!conn->dead) {
-      Request request;
-      const auto consumed = DecodeRequest(
-          reinterpret_cast<const uint8_t*>(conn->in.data()) + offset,
-          conn->in.size() - offset, &request);
-      if (!consumed.ok()) {
-        metrics_.protocol_errors.Increment();
-        CloseConnection(shard, conn);
-        return;
-      }
-      if (*consumed == 0) break;
-      offset += *consumed;
-      HandleRequest(shard, conn, request);
-    }
-    if (conn->dead) return;
-    conn->in.erase(0, offset);
-    // Backpressure: responses already queued on this connection exceed
-    // the cap — stop reading (UpdateEpollInterest drops EPOLLIN) until
-    // the peer drains them.
-    UpdateEpollInterest(shard, conn);
-    if (conn->paused) return;
+    if (*consumed == 0) break;
+    offset += *consumed;
+    HandleRequest(shard, conn, request);
   }
+  if (conn->dead) return;
+  conn->carry.assign(reinterpret_cast<const char*>(buf) + offset,
+                     total - offset);
+  // Backpressure: responses already queued on this connection exceed
+  // the cap — stop reading (UpdateEpollInterest drops EPOLLIN) until
+  // the peer drains them.
+  UpdateEpollInterest(shard, conn);
 }
 
 // Degradation rungs 2 and 3: shed query verbs with a fast OVERLOADED
@@ -376,14 +448,14 @@ bool PriceServer::ShouldShed(const Connection* conn, Verb verb) const {
 }
 
 void PriceServer::HandleRequest(Shard* shard, Connection* conn,
-                                const Request& request) {
+                                const RequestView& request) {
   const Clock::time_point start = Clock::now();
   if (ShouldShed(conn, request.verb)) {
     metrics_.requests_shed.Increment();
     EnqueueResponse(
         shard, conn,
-        ErrorResponse(request,
-                      UnavailableError("server overloaded; retry later")));
+        ErrorResponseFor(request,
+                         UnavailableError("server overloaded; retry later")));
     return;
   }
   if (request.verb == Verb::kStats) {
@@ -400,40 +472,57 @@ void PriceServer::HandleRequest(Shard* shard, Connection* conn,
   if (!slot.ok()) {
     metrics_.requests_error.Increment();
     metrics_.request_latency.Record(MicrosSince(start));
-    EnqueueResponse(shard, conn, ErrorResponse(request, slot.status()));
+    EnqueueResponse(shard, conn, ErrorResponseFor(request, slot.status()));
     return;
   }
   switch (request.verb) {
     case Verb::kPriceAt: {
       // Deferred: coalesced with every other PRICE_AT of this loop pass
-      // into one PriceBatch per curve (FlushPriceBatches).
-      Shard::MicroBatch& batch = shard->batches[*slot];
-      batch.pending.push_back(Shard::PendingPrice{
-          conn, request.request_id, batch.xs.size(), request.args.size(),
+      // into one PriceBatch per curve (FlushPriceBatches). The per-curve
+      // group is found by linear scan and grown in the scratch arena.
+      Shard::CurveBatch* batch = nullptr;
+      for (Shard::CurveBatch* b : shard->batches) {
+        if (b->slot == *slot) {
+          batch = b;
+          break;
+        }
+      }
+      if (batch == nullptr) {
+        void* raw = shard->scratch.Allocate(sizeof(Shard::CurveBatch),
+                                            alignof(Shard::CurveBatch));
+        batch = new (raw) Shard::CurveBatch{
+            *slot, ArenaVector<double>(&shard->scratch),
+            ArenaVector<Shard::PendingPrice>(&shard->scratch)};
+        shard->batches.push_back(batch);
+      }
+      batch->pending.push_back(Shard::PendingPrice{
+          conn, request.request_id, batch->xs.size(), request.num_args,
           start});
-      batch.xs.insert(batch.xs.end(), request.args.begin(),
-                      request.args.end());
+      for (size_t i = 0; i < request.num_args; ++i) {
+        batch->xs.push_back(request.args[i]);
+      }
       return;
     }
     case Verb::kBudgetToX: {
-      Response response;
-      response.verb = Verb::kBudgetToX;
-      response.request_id = request.request_id;
-      response.values.reserve(request.args.size());
-      for (const double budget : request.args) {
-        const auto x = engine_->BudgetToInverseNcp(*slot, budget);
+      // Answered inline, staged through scratch doubles so the success
+      // path frames straight from a raw array (no Response, no vector).
+      double* xs = shard->scratch.AllocateArray<double>(request.num_args);
+      for (size_t i = 0; i < request.num_args; ++i) {
+        const auto x = engine_->BudgetToInverseNcp(*slot, request.args[i]);
         if (!x.ok()) {
           metrics_.requests_error.Increment();
           metrics_.request_latency.Record(MicrosSince(start));
-          EnqueueResponse(shard, conn, ErrorResponse(request, x.status()));
+          EnqueueResponse(shard, conn,
+                          ErrorResponseFor(request, x.status()));
           return;
         }
-        response.values.push_back(*x);
+        xs[i] = *x;
       }
       metrics_.requests_ok.Increment();
-      metrics_.queries.Increment(request.args.size());
+      metrics_.queries.Increment(request.num_args);
       metrics_.request_latency.Record(MicrosSince(start));
-      EnqueueResponse(shard, conn, response);
+      EnqueueValues(shard, conn, Verb::kBudgetToX, request.request_id, xs,
+                    request.num_args);
       return;
     }
     case Verb::kSnapshotInfo: {
@@ -442,7 +531,7 @@ void PriceServer::HandleRequest(Shard* shard, Connection* conn,
         metrics_.requests_error.Increment();
         EnqueueResponse(
             shard, conn,
-            ErrorResponse(request, NotFoundError("curve was withdrawn")));
+            ErrorResponseFor(request, NotFoundError("curve was withdrawn")));
         return;
       }
       Response response;
@@ -464,28 +553,25 @@ void PriceServer::HandleRequest(Shard* shard, Connection* conn,
 }
 
 void PriceServer::FlushPriceBatches(Shard* shard) {
-  for (auto& [slot, batch] : shard->batches) {
-    if (batch.xs.empty()) continue;
+  for (Shard::CurveBatch* batch : shard->batches) {
+    if (batch->xs.empty()) continue;
     // Chaos lever: an injected stall here ages the pending entries past
     // request_deadline_ms, exercising the deadline-drop path on demand.
     (void)MBP_FAULT_DELAY("net.server.batch.delay");
-    std::vector<double> prices(batch.xs.size());
+    double* prices = shard->scratch.AllocateArray<double>(batch->xs.size());
     // The whole micro-batch is served from ONE snapshot load inside
     // PriceBatch — consistent across every coalesced request even if a
     // republish lands mid-batch. Pool dispatch only once the batch is
     // worth it; small batches run inline on the shard thread.
     ParallelConfig parallel;
     parallel.num_threads =
-        batch.xs.size() >= options_.min_pool_batch ? options_.batch_threads
-                                                   : 1;
+        batch->xs.size() >= options_.min_pool_batch ? options_.batch_threads
+                                                    : 1;
     const Status status = engine_->PriceBatch(
-        slot, batch.xs.data(), prices.data(), batch.xs.size(), parallel);
+        batch->slot, batch->xs.data(), prices, batch->xs.size(), parallel);
     metrics_.batches.Increment();
-    for (const Shard::PendingPrice& p : batch.pending) {
+    for (const Shard::PendingPrice& p : batch->pending) {
       if (p.conn->dead) continue;
-      Response response;
-      response.verb = Verb::kPriceAt;
-      response.request_id = p.request_id;
       // Deadline-aware drop: a request that sat in the queue past its
       // deadline gets a fast kDeadlineExceeded — the client has already
       // timed the attempt out, and a stale "success" would only be
@@ -493,6 +579,9 @@ void PriceServer::FlushPriceBatches(Shard* shard) {
       if (options_.request_deadline_ms > 0 &&
           MicrosSince(p.start) >
               1000.0 * static_cast<double>(options_.request_deadline_ms)) {
+        Response response;
+        response.verb = Verb::kPriceAt;
+        response.request_id = p.request_id;
         response.code = StatusCode::kDeadlineExceeded;
         response.error_message = "request deadline exceeded in server queue";
         metrics_.deadline_drops.Increment();
@@ -501,17 +590,23 @@ void PriceServer::FlushPriceBatches(Shard* shard) {
         continue;
       }
       if (status.ok()) {
-        response.values.assign(prices.begin() + p.offset,
-                               prices.begin() + p.offset + p.count);
         metrics_.requests_ok.Increment();
         metrics_.queries.Increment(p.count);
+        metrics_.request_latency.Record(MicrosSince(p.start));
+        // Fast path: the response frame is built straight from the batch
+        // output slice — no Response object, no vector, no copies.
+        EnqueueValues(shard, p.conn, Verb::kPriceAt, p.request_id,
+                      prices + p.offset, p.count);
       } else {
+        Response response;
+        response.verb = Verb::kPriceAt;
+        response.request_id = p.request_id;
         response.code = status.code();
         response.error_message = status.message();
         metrics_.requests_error.Increment();
+        metrics_.request_latency.Record(MicrosSince(p.start));
+        EnqueueResponse(shard, p.conn, response);
       }
-      metrics_.request_latency.Record(MicrosSince(p.start));
-      EnqueueResponse(shard, p.conn, response);
     }
   }
   shard->batches.clear();
@@ -520,7 +615,26 @@ void PriceServer::FlushPriceBatches(Shard* shard) {
 void PriceServer::EnqueueResponse(Shard* shard, Connection* conn,
                                   const Response& response) {
   if (conn->dead) return;
-  EncodeResponse(response, &conn->out);
+  const size_t size = EncodedResponseSize(response);
+  uint8_t* frame = conn->arena.AllocateArray<uint8_t>(size);
+  EncodeResponseInto(response, frame);
+  CommitFrame(shard, conn, frame, size);
+}
+
+void PriceServer::EnqueueValues(Shard* shard, Connection* conn, Verb verb,
+                                uint64_t request_id, const double* values,
+                                size_t count) {
+  if (conn->dead) return;
+  const size_t size = EncodedValuesResponseSize(count);
+  uint8_t* frame = conn->arena.AllocateArray<uint8_t>(size);
+  EncodeValuesResponseInto(verb, request_id, values, count, frame);
+  CommitFrame(shard, conn, frame, size);
+}
+
+void PriceServer::CommitFrame(Shard* shard, Connection* conn, uint8_t* frame,
+                              size_t frame_size) {
+  conn->frames.push_back(iovec{frame, frame_size});
+  conn->frames_unsent += frame_size;
   if (!conn->touched) {
     conn->touched = true;
     shard->touched.push_back(conn);
@@ -537,19 +651,81 @@ void PriceServer::EnqueueResponse(Shard* shard, Connection* conn,
 }
 
 void PriceServer::FlushWrites(Shard* shard, Connection* conn) {
+  // Scatter-gather flush: ONE writev covers the fallback-queue remainder
+  // (older bytes, always first) plus every arena-resident frame completed
+  // this pass, instead of one send per response. Loops only for response
+  // trains longer than kMaxIov or when the socket takes partial writes.
   while (conn->pending_out() > 0) {
-    const ssize_t n = internal::FaultSend(
-        conn->fd, conn->out.data() + conn->out_offset, conn->pending_out());
+    iovec iov[kMaxIov];
+    int iov_count = 0;
+    const size_t out_pending = conn->out.size() - conn->out_offset;
+    if (out_pending > 0) {
+      iov[iov_count++] = iovec{conn->out.data() + conn->out_offset,
+                               out_pending};
+    }
+    size_t skip = conn->frame_offset;
+    for (size_t i = conn->next_frame;
+         i < conn->frames.size() && iov_count < kMaxIov; ++i) {
+      const iovec& f = conn->frames[i];
+      iov[iov_count++] =
+          iovec{static_cast<char*>(f.iov_base) + skip, f.iov_len - skip};
+      skip = 0;
+    }
+    const ssize_t n = internal::FaultWritev(conn->fd, iov, iov_count);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       CloseConnection(shard, conn);
       return;
     }
-    conn->out_offset += static_cast<size_t>(n);
+    // Consume the sent bytes in queue order: fallback first, then frames.
+    size_t left = static_cast<size_t>(n);
+    const size_t from_out = std::min(left, out_pending);
+    conn->out_offset += from_out;
+    left -= from_out;
+    conn->frames_unsent -= left;
+    while (left > 0) {
+      iovec& f = conn->frames[conn->next_frame];
+      const size_t remaining = f.iov_len - conn->frame_offset;
+      if (left >= remaining) {
+        left -= remaining;
+        conn->frame_offset = 0;
+        ++conn->next_frame;
+      } else {
+        conn->frame_offset += left;
+        left = 0;
+      }
+    }
+    if (conn->out_offset == conn->out.size()) {
+      conn->out.clear();
+      conn->out_offset = 0;
+    }
   }
-  conn->out.clear();
-  conn->out_offset = 0;
+}
+
+void PriceServer::FinishPass(Shard* shard, Connection* conn) {
+  FlushWrites(shard, conn);
+  if (conn->dead) return;
+  // The arena resets below, so any frame bytes the socket would not take
+  // migrate into the fallback queue first (appended AFTER any existing
+  // remainder: fallback bytes are strictly older than arena frames, and
+  // this keeps them so). Steady state with a keeping-up peer never
+  // executes the copy.
+  if (conn->frames_unsent > 0) {
+    size_t skip = conn->frame_offset;
+    for (size_t i = conn->next_frame; i < conn->frames.size(); ++i) {
+      const iovec& f = conn->frames[i];
+      conn->out.append(static_cast<const char*>(f.iov_base) + skip,
+                       f.iov_len - skip);
+      skip = 0;
+    }
+  }
+  conn->arena.Reset();
+  conn->frames = ArenaVector<iovec>(&conn->arena);
+  conn->next_frame = 0;
+  conn->frame_offset = 0;
+  conn->frames_unsent = 0;
+  UpdateEpollInterest(shard, conn);
 }
 
 void PriceServer::UpdateEpollInterest(Shard* shard, Connection* conn) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -150,11 +151,25 @@ class PriceServer {
   void ShardLoop(Shard* shard);
   void AcceptReady(Shard* shard);
   void ReadReady(Shard* shard, Connection* conn);
-  void HandleRequest(Shard* shard, Connection* conn, const Request& request);
+  void HandleRequest(Shard* shard, Connection* conn,
+                     const RequestView& request);
   void FlushPriceBatches(Shard* shard);
+  // Response framing, all three landing in the connection's arena:
+  // EnqueueResponse is the general path (any Response), EnqueueValues the
+  // allocation-free fast path for successful PRICE_AT / BUDGET_TO_X, and
+  // CommitFrame the shared bookkeeping (iovec entry, touched list,
+  // queue-depth metrics, 4x overflow kill).
   void EnqueueResponse(Shard* shard, Connection* conn,
                        const Response& response);
+  void EnqueueValues(Shard* shard, Connection* conn, Verb verb,
+                     uint64_t request_id, const double* values, size_t count);
+  void CommitFrame(Shard* shard, Connection* conn, uint8_t* frame,
+                   size_t frame_size);
   void FlushWrites(Shard* shard, Connection* conn);
+  // End-of-pass epilogue for a connection that gained responses: flush,
+  // migrate whatever the socket would not take into the fallback queue,
+  // reset the arena (see DESIGN.md §5f).
+  void FinishPass(Shard* shard, Connection* conn);
   void UpdateEpollInterest(Shard* shard, Connection* conn);
   void CloseConnection(Shard* shard, Connection* conn);
   // CloseConnection + the connections_killed counter: for connections
@@ -166,7 +181,7 @@ class PriceServer {
   bool ShouldShed(const Connection* conn, Verb verb) const;
   void DrainShard(Shard* shard);
   StatusOr<const serving::SnapshotRegistry::CurveSlot*> ResolveCurve(
-      const std::string& curve_id) const;
+      std::string_view curve_id) const;
 
   const serving::PriceQueryEngine* engine_;
   ServerOptions options_;

@@ -1,5 +1,6 @@
 #include "serving/price_query_engine.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -129,8 +130,23 @@ Status PriceQueryEngine::PriceBatch(const SnapshotRegistry::CurveSlot* slot,
   const std::shared_ptr<const PricingSnapshot> snapshot = slot->Load();
   if (snapshot == nullptr) return CurveNotServing();
   const PricingSnapshot& snap = *snapshot;
+  // Memo misses stream through the vectorized PriceAtBatch kernel. With a
+  // quantum armed, queries are snapped chunk-wise into a stack buffer
+  // first; either way evaluation is per-element pure, so any ParallelFor
+  // partition produces the same bits (and the same bits as Price() per
+  // element, since PriceAtBatch is bit-identical to PriceAt).
   const auto evaluate = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) out[i] = snap.PriceAt(Quantize(xs[i]));
+    if (options_.quantum <= 0.0) {
+      snap.PriceAtBatch(xs + begin, out + begin, end - begin);
+      return Status::OK();
+    }
+    constexpr size_t kChunk = 512;
+    double quantized[kChunk];
+    for (size_t i = begin; i < end; i += kChunk) {
+      const size_t m = std::min(kChunk, end - i);
+      for (size_t j = 0; j < m; ++j) quantized[j] = Quantize(xs[i + j]);
+      snap.PriceAtBatch(quantized, out + i, m);
+    }
     return Status::OK();
   };
   if (count < options_.min_parallel_batch ||

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/sharded_cache.h"
+#include "linalg/kernels.h"
 
 namespace mbp::serving {
 namespace {
@@ -110,6 +111,24 @@ double PricingSnapshot::PriceAt(double x) const {
   const size_t lo = hi - 1;
   const double t = (x - x_[lo]) / dx_[lo];
   return price_[lo] + t * dprice_[lo];
+}
+
+void PricingSnapshot::PriceAtBatch(const double* xs, double* out,
+                                   size_t n) const {
+  if (n == 0) return;
+  MBP_CHECK(xs != nullptr);
+  MBP_CHECK(out != nullptr);
+  linalg::kernels::PwlView view;
+  view.x = x_.data();
+  view.price = price_.data();
+  view.dx = dx_.data();
+  view.dprice = dprice_.data();
+  view.bucket_hint = bucket_hint_.data();
+  view.n = x_.size();
+  view.num_buckets = num_buckets_;
+  view.bucket_width = bucket_width_;
+  view.inv_bucket_width = inv_bucket_width_;
+  linalg::kernels::Active().pwl_batch(view, xs, out, n);
 }
 
 double PricingSnapshot::BudgetToInverseNcp(double budget) const {

@@ -45,6 +45,17 @@ class PricingSnapshot {
   // PiecewiseLinearPricing::PriceAtInverseNcp on the source curve.
   double PriceAt(double x) const;
 
+  // Batched evaluation: out[i] = PriceAt(xs[i]) for i in [0, n), through
+  // the runtime-dispatched pwl_batch kernel (linalg/kernels.h) — the
+  // vectorized hot path behind PriceQueryEngine::PriceBatch and the net
+  // server's micro-batches. Results are bit-identical to per-element
+  // PriceAt at every dispatch level, batch length, and remainder; see the
+  // kernel's numerical contract (DESIGN.md §5f). The one divergence is
+  // the invalid-input policy: PriceAt MBP_CHECKs x >= 0, while the batch
+  // path writes quiet NaN for NaN or negative queries, so a malformed
+  // remote query degrades to a NaN price instead of aborting the server.
+  void PriceAtBatch(const double* xs, double* out, size_t n) const;
+
   // Largest x affordable with `budget` (+infinity when the budget covers
   // the whole curve). Bit-identical to
   // PiecewiseLinearPricing::MaxInverseNcpForBudget on the source curve.

@@ -74,7 +74,7 @@ Status SnapshotRegistry::Withdraw(const std::string& curve_id) {
 }
 
 const SnapshotRegistry::CurveSlot* SnapshotRegistry::Find(
-    const std::string& curve_id) const {
+    std::string_view curve_id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(curve_id);
   return it == index_.end() ? nullptr : it->second;

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/statusor.h"
@@ -85,19 +87,33 @@ class SnapshotRegistry {
   Status Withdraw(const std::string& curve_id);
 
   // Resolves an id to its slot, or nullptr for ids never published.
-  const CurveSlot* Find(const std::string& curve_id) const;
+  // Takes a string_view so the server's zero-allocation request path can
+  // look up ids that are views into the wire buffer without materializing
+  // a std::string (heterogeneous lookup on the index below).
+  const CurveSlot* Find(std::string_view curve_id) const;
 
   // Number of ids ever published (withdrawn ids included).
   size_t size() const;
 
  private:
+  // Transparent hash so index_.find accepts string_view without an
+  // allocating std::string conversion.
+  struct TransparentStringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   CurveSlot* FindOrCreateSlot(const std::string& curve_id);
 
   mutable std::mutex mutex_;
   // deque: grows without moving existing slots, preserving CurveSlot*
   // handed to readers.
   std::deque<CurveSlot> slots_;
-  std::unordered_map<std::string, CurveSlot*> index_;
+  std::unordered_map<std::string, CurveSlot*, TransparentStringHash,
+                     std::equal_to<>>
+      index_;
 };
 
 }  // namespace mbp::serving

@@ -1,0 +1,112 @@
+#include "common/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbp {
+namespace {
+
+TEST(ArenaTest, AllocateReturnsAlignedDistinctRegions) {
+  Arena arena;
+  void* a = arena.Allocate(13, 8);
+  void* b = arena.Allocate(1, 64);
+  void* c = arena.Allocate(64, 16);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 16, 0u);
+  // Regions must not overlap: writing each fully must preserve the others.
+  std::memset(a, 0xAA, 13);
+  std::memset(b, 0xBB, 1);
+  std::memset(c, 0xCC, 64);
+  EXPECT_EQ(static_cast<uint8_t*>(a)[0], 0xAA);
+  EXPECT_EQ(static_cast<uint8_t*>(a)[12], 0xAA);
+  EXPECT_EQ(static_cast<uint8_t*>(b)[0], 0xBB);
+  EXPECT_EQ(static_cast<uint8_t*>(c)[63], 0xCC);
+}
+
+TEST(ArenaTest, GrowthDoesNotInvalidateEarlierAllocations) {
+  Arena arena(64);  // tiny first block forces mid-pass growth
+  uint8_t* first = arena.AllocateArray<uint8_t>(48);
+  std::memset(first, 0x5A, 48);
+  // Far larger than the first block: must chain a new block, not move.
+  uint8_t* second = arena.AllocateArray<uint8_t>(1 << 16);
+  std::memset(second, 0xA5, 1 << 16);
+  for (size_t i = 0; i < 48; ++i) ASSERT_EQ(first[i], 0x5A);
+  EXPECT_GE(arena.heap_blocks_allocated(), 2u);
+}
+
+TEST(ArenaTest, ResetCoalescesToOneBlockAndStopsAllocating) {
+  Arena arena;
+  // Warm-up passes with a fixed footprint: the arena may grow (and
+  // coalesce) for a few passes, then the heap traffic must stop — the
+  // property the server's zero-allocation contract is built on.
+  constexpr size_t kPassBytes = 100 * 1024;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (int i = 0; i < 100; ++i) (void)arena.AllocateArray<double>(128);
+    arena.Reset();
+  }
+  const uint64_t warm_blocks = arena.heap_blocks_allocated();
+  for (int pass = 0; pass < 100; ++pass) {
+    for (int i = 0; i < 100; ++i) (void)arena.AllocateArray<double>(128);
+    arena.Reset();
+  }
+  EXPECT_EQ(arena.heap_blocks_allocated(), warm_blocks)
+      << "steady-state passes must not touch the heap";
+  EXPECT_GE(arena.capacity(), kPassBytes * 4 / 5);
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(ArenaTest, ResetKeepsCapacityAndUsedTracksBumping) {
+  Arena arena;
+  (void)arena.Allocate(1000);
+  EXPECT_GE(arena.used(), 1000u);
+  const size_t cap = arena.capacity();
+  arena.Reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_GE(arena.capacity(), cap);
+  EXPECT_EQ(arena.resets(), 1u);
+}
+
+TEST(ArenaTest, ReleaseDropsEverything) {
+  Arena arena;
+  (void)arena.Allocate(4096);
+  EXPECT_GT(arena.capacity(), 0u);
+  arena.Release();
+  EXPECT_EQ(arena.capacity(), 0u);
+  // Still usable after Release.
+  void* p = arena.Allocate(16);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(ArenaVectorTest, PushBackGrowsAndPreservesElements) {
+  Arena arena;
+  ArenaVector<int> v(&arena);
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i);
+  int sum = 0;
+  for (const int x : v) sum += x;
+  EXPECT_EQ(sum, 999 * 1000 / 2);
+}
+
+TEST(ArenaVectorTest, ManyVectorsInterleavedOnOneArena) {
+  Arena arena;
+  ArenaVector<double> a(&arena);
+  ArenaVector<uint64_t> b(&arena);
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(i * 0.5);
+    b.push_back(static_cast<uint64_t>(i) * 3);
+  }
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_EQ(a[i], i * 0.5);
+    ASSERT_EQ(b[i], static_cast<uint64_t>(i) * 3);
+  }
+}
+
+}  // namespace
+}  // namespace mbp

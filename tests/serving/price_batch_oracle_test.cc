@@ -1,0 +1,237 @@
+// Oracle test for the vectorized batch evaluation path: at EVERY dispatch
+// level the build supports, PricingSnapshot::PriceAtBatch must be
+// BIT-identical to per-element PriceAt — across random curves, adversarial
+// inputs (exact knot x's, segment boundaries, below-first/above-last), and
+// every batch remainder length, plus the batch-only NaN/negative policy
+// (quiet NaN instead of the MBP_CHECK abort a remote query must not be
+// able to trigger).
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pricing_function.h"
+#include "linalg/kernels.h"
+#include "random/rng.h"
+#include "serving/pricing_snapshot.h"
+
+namespace mbp::serving {
+namespace {
+
+using core::PiecewiseLinearPricing;
+using core::PricePoint;
+using linalg::kernels::ForceLevelForTesting;
+
+std::shared_ptr<const PricingSnapshot> CompileOrDie(
+    const PiecewiseLinearPricing& curve) {
+  auto snapshot = PricingSnapshot::Compile(curve);
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  return std::move(snapshot).value();
+}
+
+// A random arbitrage-free curve (same construction as the snapshot tests:
+// strictly increasing x, non-increasing price/x ratio, occasional exactly
+// flat price runs).
+PiecewiseLinearPricing RandomValidPricing(random::Rng& rng, size_t n) {
+  std::vector<PricePoint> points(n);
+  double x = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    x += 0.05 + rng.NextDouble() * 3.0;
+    points[i].x = x;
+  }
+  double ratio = 5.0 + rng.NextDouble() * 10.0;
+  points[0].price = ratio * points[0].x;
+  for (size_t i = 1; i < n; ++i) {
+    if (rng.NextDouble() < 0.15) {
+      points[i].price = points[i - 1].price;
+    } else {
+      const double floor_u = points[i - 1].x / points[i].x;
+      const double u = std::max(floor_u, 0.9 + rng.NextDouble() * 0.1);
+      ratio = (points[i - 1].price / points[i - 1].x) * u;
+      points[i].price = ratio * points[i].x;
+      if (points[i].price < points[i - 1].price) {
+        points[i].price = points[i - 1].price;
+      }
+    }
+  }
+  return PiecewiseLinearPricing::Create(std::move(points)).value();
+}
+
+// Queries that concentrate on every branch of PriceAt: exact knot x's,
+// midpoints, the below-first-knot ramp, the above-last-knot clamp, zero,
+// +inf, and values straddling bucket edges via random interior picks.
+std::vector<double> AdversarialQueries(const PricingSnapshot& snapshot,
+                                       random::Rng& rng) {
+  const std::vector<PricePoint> knots = snapshot.Knots();
+  std::vector<double> xs;
+  xs.push_back(0.0);
+  xs.push_back(knots.front().x * 0.5);
+  xs.push_back(std::nextafter(knots.front().x, 0.0));
+  for (const PricePoint& k : knots) {
+    xs.push_back(k.x);  // exact knot hit: upper_bound boundary
+    xs.push_back(std::nextafter(k.x, 0.0));
+    xs.push_back(std::nextafter(k.x, std::numeric_limits<double>::max()));
+  }
+  for (size_t i = 0; i + 1 < knots.size(); ++i) {
+    xs.push_back(0.5 * (knots[i].x + knots[i + 1].x));
+  }
+  xs.push_back(knots.back().x * 2.0);
+  xs.push_back(std::numeric_limits<double>::max());
+  xs.push_back(std::numeric_limits<double>::infinity());
+  for (int i = 0; i < 256; ++i) {
+    xs.push_back(rng.NextDouble() * knots.back().x * 1.1);
+  }
+  return xs;
+}
+
+// RAII dispatch override so a failing assertion cannot leak a forced
+// level into later tests.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(SimdLevel level)
+      : forced_(ForceLevelForTesting(level)) {}
+  ~ScopedLevel() { ForceLevelForTesting(std::nullopt); }
+  bool forced() const { return forced_; }
+
+ private:
+  bool forced_;
+};
+
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> levels{SimdLevel::kScalar};
+  if (linalg::kernels::Avx2Funcs() != nullptr) {
+    levels.push_back(SimdLevel::kAvx2Fma);
+  }
+  return levels;
+}
+
+void ExpectBatchMatchesScalar(const PricingSnapshot& snapshot,
+                              const std::vector<double>& xs) {
+  // Oracle values via the research-path-per-element API, computed before
+  // any dispatch forcing (PriceAt does not dispatch, but keep it clean).
+  std::vector<double> expected(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) expected[i] = snapshot.PriceAt(xs[i]);
+  for (const SimdLevel level : SupportedLevels()) {
+    ScopedLevel forced(level);
+    ASSERT_TRUE(forced.forced());
+    // Every remainder length 0..7: starting offsets near the end sweep
+    // the scalar-tail length through the whole 4-lane cycle and beyond.
+    for (size_t len = 0; len <= 7 && len <= xs.size(); ++len) {
+      std::vector<double> out(len, -1.0);
+      snapshot.PriceAtBatch(xs.data(), out.data(), len);
+      for (size_t i = 0; i < len; ++i) {
+        ASSERT_EQ(std::memcmp(&out[i], &expected[i], sizeof(double)), 0)
+            << "level=" << SimdLevelName(level) << " len=" << len
+            << " i=" << i << " x=" << xs[i] << " batch=" << out[i]
+            << " scalar=" << expected[i];
+      }
+    }
+    // Full batch in one call.
+    std::vector<double> out(xs.size(), -1.0);
+    snapshot.PriceAtBatch(xs.data(), out.data(), xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+      ASSERT_EQ(std::memcmp(&out[i], &expected[i], sizeof(double)), 0)
+          << "level=" << SimdLevelName(level) << " i=" << i << " x=" << xs[i]
+          << " batch=" << out[i] << " scalar=" << expected[i];
+    }
+  }
+}
+
+TEST(PriceBatchOracleTest, BitIdenticalOnHandBuiltCurve) {
+  const auto curve = PiecewiseLinearPricing::Create(
+                         {{1.0, 10.0}, {2.0, 18.0}, {4.0, 30.0}, {8.0, 40.0}})
+                         .value();
+  const auto snapshot = CompileOrDie(curve);
+  random::Rng rng(7);
+  ExpectBatchMatchesScalar(*snapshot, AdversarialQueries(*snapshot, rng));
+}
+
+TEST(PriceBatchOracleTest, BitIdenticalAcrossRandomCurves) {
+  random::Rng rng(20260808);
+  for (const size_t n : {1u, 2u, 3u, 5u, 17u, 64u, 301u, 1000u}) {
+    const auto curve = RandomValidPricing(rng, n);
+    const auto snapshot = CompileOrDie(curve);
+    ExpectBatchMatchesScalar(*snapshot, AdversarialQueries(*snapshot, rng));
+  }
+}
+
+TEST(PriceBatchOracleTest, SingleKnotCurve) {
+  const auto curve = PiecewiseLinearPricing::Create({{2.0, 20.0}}).value();
+  const auto snapshot = CompileOrDie(curve);
+  const std::vector<double> xs = {0.0, 0.5, 1.9999, 2.0, 2.0001, 100.0,
+                                  std::numeric_limits<double>::infinity()};
+  ExpectBatchMatchesScalar(*snapshot, xs);
+}
+
+TEST(PriceBatchOracleTest, NanAndNegativePolicyIsQuietNanEverywhere) {
+  random::Rng rng(99);
+  const auto curve = RandomValidPricing(rng, 32);
+  const auto snapshot = CompileOrDie(curve);
+  // A malformed remote query (negative, NaN) must not abort the serving
+  // process: the batch path answers quiet NaN in that lane and leaves
+  // every other lane bit-identical to PriceAt.
+  const std::vector<double> xs = {
+      1.0, -1.0, std::numeric_limits<double>::quiet_NaN(), 2.5,
+      -0.0, -std::numeric_limits<double>::infinity(), 0.75, 3.25};
+  for (const SimdLevel level : SupportedLevels()) {
+    ScopedLevel forced(level);
+    ASSERT_TRUE(forced.forced());
+    for (size_t len = 1; len <= xs.size(); ++len) {
+      std::vector<double> out(len, -1.0);
+      snapshot->PriceAtBatch(xs.data(), out.data(), len);
+      for (size_t i = 0; i < len; ++i) {
+        if (std::isnan(xs[i]) || xs[i] < 0.0) {
+          EXPECT_TRUE(std::isnan(out[i]))
+              << "level=" << SimdLevelName(level) << " i=" << i;
+        } else {
+          // -0.0 lands here (it compares == 0.0) and must price as 0.
+          const double want = snapshot->PriceAt(xs[i] == 0.0 ? 0.0 : xs[i]);
+          EXPECT_EQ(std::memcmp(&out[i], &want, sizeof(double)), 0)
+              << "level=" << SimdLevelName(level) << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(PriceBatchOracleTest, EmptyBatchIsANoOp) {
+  const auto curve = PiecewiseLinearPricing::Create({{1.0, 5.0}}).value();
+  const auto snapshot = CompileOrDie(curve);
+  snapshot->PriceAtBatch(nullptr, nullptr, 0);  // must not touch pointers
+}
+
+TEST(PriceBatchOracleTest, LargeBatchEveryRemainderOffset) {
+  // 4-lane kernel: sweep batch sizes around multiples of the vector width
+  // on a big random input block, at every supported level.
+  random::Rng rng(4242);
+  const auto curve = RandomValidPricing(rng, 128);
+  const auto snapshot = CompileOrDie(curve);
+  const double x_max = snapshot->x_max();
+  std::vector<double> xs(1029);
+  for (double& x : xs) x = rng.NextDouble() * x_max * 1.05;
+  std::vector<double> expected(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    expected[i] = snapshot->PriceAt(xs[i]);
+  }
+  for (const SimdLevel level : SupportedLevels()) {
+    ScopedLevel forced(level);
+    ASSERT_TRUE(forced.forced());
+    for (const size_t n : {1020u, 1021u, 1022u, 1023u, 1024u, 1025u, 1026u,
+                           1027u, 1028u, 1029u}) {
+      std::vector<double> out(n);
+      snapshot->PriceAtBatch(xs.data(), out.data(), n);
+      ASSERT_EQ(std::memcmp(out.data(), expected.data(), n * sizeof(double)),
+                0)
+          << "level=" << SimdLevelName(level) << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbp::serving
