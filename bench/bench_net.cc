@@ -1,28 +1,49 @@
 // Load generator for the networked price-serving front end (DESIGN.md
-// §5d): starts an in-process PriceServer on an ephemeral loopback port,
-// hammers it from N blocking client connections, and reports throughput
-// plus client-observed latency quantiles.
+// §5d/§5g): starts an in-process PriceServer on an ephemeral loopback
+// port (or targets an external fleet via --endpoints), hammers it from N
+// blocking client connections, and reports throughput plus
+// client-observed latency quantiles.
 //
-// Regimes:
+// Regimes (single-curve mode, --curves<=1, the PR-4 shape):
 //   pingpong    one PRICE_AT per round trip (batch size 1) — the latency
 //               floor of the socket + protocol + engine path
 //   batched     one PRICE_AT frame carrying --batch xs per round trip —
 //               amortizes framing and lets the server micro-batch
+// Multi-curve mode (--curves N > 1) serves a synthetic catalog of N
+// curves (varied knot counts) and runs:
+//   batched     --batch xs per round trip against the hottest curve —
+//               the in-run single-curve reference point
+//   zipf        --batch xs per round trip, curve drawn per round trip
+//               from a zipf(s) popularity distribution over the catalog
+//               (ranks scattered across the id space by a seeded shuffle)
 //
 // Before anything is timed, every remote price is checked bit-identical
 // to the research path `PiecewiseLinearPricing::PriceAtInverseNcp`; the
 // process exits non-zero on a mismatch.
 // Flags:
-//   --knots=N        knots in the served curve (default 65536)
+//   --knots=N        knots in the served curve, single-curve mode (65536)
+//   --curves=N       catalog size; >1 switches to multi-curve mode (1)
+//   --zipf=S         zipf exponent for the multi-curve regime (1.1)
+//   --min-knots=N    per-curve knot range in multi-curve mode (8..128)
+//   --max-knots=N
+//   --catalog-seed=N synthetic catalog seed (7)
 //   --connections=N  concurrent client connections (default 8)
 //   --requests=N     round trips per connection per regime (default 2000)
-//   --batch=N        xs per frame in the batched regime (default 64)
+//   --batch=N        xs per frame in the batched/zipf regimes (default 64)
 //   --shards=N       server event-loop shards (default 2)
+//   --endpoints=CSV  drive an external fleet ("127.0.0.1:p0,...") through
+//                    consistent-hash routing instead of an in-process
+//                    server; the fleet must have been started with the
+//                    same --curves/--catalog-seed/knot range
+//   --labels=CSV     stable ring labels for --endpoints (the FLEET line
+//                    prints them); default = host:port labels
 //   --out=FILE       write the JSON there instead of stdout
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,10 +54,12 @@
 #include "linalg/kernels.h"
 #include "core/pricing_function.h"
 #include "net/client.h"
+#include "net/cluster.h"
 #include "net/server.h"
+#include "random/distributions.h"
 #include "random/rng.h"
 #include "serving/price_query_engine.h"
-#include "serving/snapshot_registry.h"
+#include "serving/synthetic_catalog.h"
 
 namespace mbp {
 namespace {
@@ -65,12 +88,29 @@ core::PiecewiseLinearPricing MakeDenseCurve(size_t knots) {
   return core::PiecewiseLinearPricing::Create(points).value();
 }
 
-// Runs one regime: `connections` threads, each with its own PriceClient,
-// each performing `requests` round trips of `batch` xs. Per-round-trip
-// latency lands in one shared histogram.
-RegimeResult RunRegime(const std::string& name, uint16_t port,
-                       size_t connections, size_t requests, size_t batch,
-                       double x_hi, std::atomic<size_t>* failures) {
+// One batched query round trip; the per-thread client behind it is
+// whatever `MakeClientFn` built (direct PriceClient or cluster router).
+using BatchFn = std::function<StatusOr<std::vector<double>>(
+    const std::string& id, const std::vector<double>& xs)>;
+using MakeClientFn = std::function<BatchFn(size_t conn)>;
+
+// Which curve each round trip queries.
+struct Workload {
+  std::vector<std::string> ids;  // curve index -> wire id
+  std::vector<double> x_hi;      // curve index -> query range upper bound
+  const random::ZipfIndex* zipf = nullptr;  // null => fixed_index always
+  std::vector<size_t> perm;                 // zipf rank -> curve index
+  size_t fixed_index = 0;
+};
+
+// Runs one regime: `connections` threads, each with its own client, each
+// performing `requests` round trips of `batch` xs. Per-round-trip latency
+// lands in one shared histogram.
+RegimeResult RunRegime(const std::string& name, size_t connections,
+                       size_t requests, size_t batch,
+                       const Workload& workload,
+                       const MakeClientFn& make_client,
+                       std::atomic<size_t>* failures) {
   RegimeResult result;
   result.name = name;
   result.round_trips = connections * requests;
@@ -82,8 +122,8 @@ RegimeResult RunRegime(const std::string& name, uint16_t port,
   std::atomic<bool> go{false};
   for (size_t c = 0; c < connections; ++c) {
     threads.emplace_back([&, c] {
-      auto client = net::PriceClient::Connect("127.0.0.1", port);
-      if (!client.ok()) {
+      BatchFn query = make_client(c);
+      if (!query) {
         failures->fetch_add(requests);
         ready.fetch_add(1);
         return;
@@ -93,9 +133,13 @@ RegimeResult RunRegime(const std::string& name, uint16_t port,
       ready.fetch_add(1);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       for (size_t r = 0; r < requests; ++r) {
-        for (double& x : xs) x = rng.NextDouble(0.0, x_hi);
+        const size_t index = workload.zipf != nullptr
+                                 ? workload.perm[workload.zipf->Sample(rng)]
+                                 : workload.fixed_index;
+        const double hi = workload.x_hi[index];
+        for (double& x : xs) x = rng.NextDouble(0.0, hi);
         const auto start = std::chrono::steady_clock::now();
-        const auto prices = (*client)->PriceBatch("menu", xs);
+        const auto prices = query(workload.ids[index], xs);
         latency.Record(
             std::chrono::duration<double, std::micro>(
                 std::chrono::steady_clock::now() - start)
@@ -131,18 +175,64 @@ void EmitHistogramFields(bench::JsonWriter* json,
   json->Field("p99_us", snap.QuantileMicros(0.99));
 }
 
-void EmitJson(FILE* out, size_t knots, size_t connections, size_t requests,
-              size_t batch, size_t shards, bool bit_identical,
+void MergeHistogram(const LatencyHistogramSnapshot& from,
+                    LatencyHistogramSnapshot* into) {
+  into->count += from.count;
+  into->sum_micros += from.sum_micros;
+  for (size_t i = 0; i < from.buckets.size(); ++i) {
+    into->buckets[i] += from.buckets[i];
+  }
+}
+
+// Sums one server's STATS into the fleet aggregate (counters add;
+// histograms merge bucket-wise; catalog gauges add — fleet-wide resident
+// footprint).
+void MergeStats(const net::StatsPayload& from, net::StatsPayload* into) {
+  into->connections_accepted += from.connections_accepted;
+  into->connections_active += from.connections_active;
+  into->requests_ok += from.requests_ok;
+  into->requests_error += from.requests_error;
+  into->protocol_errors += from.protocol_errors;
+  into->queries += from.queries;
+  into->batches += from.batches;
+  into->connections_refused += from.connections_refused;
+  into->requests_shed += from.requests_shed;
+  into->deadline_drops += from.deadline_drops;
+  into->connections_killed += from.connections_killed;
+  into->faults_injected += from.faults_injected;
+  into->write_queue_peak_bytes =
+      std::max(into->write_queue_peak_bytes, from.write_queue_peak_bytes);
+  into->catalog_listings += from.catalog_listings;
+  into->catalog_bytes += from.catalog_bytes;
+  MergeHistogram(from.latency, &into->latency);
+  MergeHistogram(from.write_queue_bytes, &into->write_queue_bytes);
+}
+
+struct BenchConfig {
+  size_t knots, curves, connections, requests, batch, shards;
+  size_t min_knots, max_knots;
+  double zipf_s;
+  uint64_t catalog_seed;
+  size_t num_endpoints;
+};
+
+void EmitJson(FILE* out, const BenchConfig& config, bool bit_identical,
               const std::vector<RegimeResult>& regimes,
               const net::StatsPayload& server_stats) {
   bench::JsonWriter json(out);
   json.BeginObject();
   json.Field("bench", "bench_net");
-  json.Field("knots", knots);
-  json.Field("connections", connections);
-  json.Field("requests_per_connection", requests);
-  json.Field("batch", batch);
-  json.Field("shards", shards);
+  json.Field("knots", config.knots);
+  json.Field("curves", config.curves);
+  json.Field("zipf_s", config.zipf_s);
+  json.Field("min_knots", config.min_knots);
+  json.Field("max_knots", config.max_knots);
+  json.Field("catalog_seed", config.catalog_seed);
+  json.Field("endpoints", config.num_endpoints);
+  json.Field("connections", config.connections);
+  json.Field("requests_per_connection", config.requests);
+  json.Field("batch", config.batch);
+  json.Field("shards", config.shards);
   json.Field("hardware_concurrency",
              static_cast<size_t>(std::thread::hardware_concurrency()));
   // Dispatch level the batched PriceAtBatch kernels actually ran at —
@@ -153,6 +243,9 @@ void EmitJson(FILE* out, size_t knots, size_t connections, size_t requests,
   // comparisons across MBP_FAULT_INJECTION settings are apples-to-apples
   // only within the same value.
   json.Field("fault_injection_compiled", fault::kBuildEnabled);
+  // Catalog residency (fleet-wide sum in --endpoints mode).
+  json.Field("catalog_listings", server_stats.catalog_listings);
+  json.Field("catalog_bytes", server_stats.catalog_bytes);
   json.Key("regimes");
   json.BeginArray();
   for (const RegimeResult& r : regimes) {
@@ -180,6 +273,8 @@ void EmitJson(FILE* out, size_t knots, size_t connections, size_t requests,
   json.Field("connections_refused", server_stats.connections_refused);
   json.Field("faults_injected", server_stats.faults_injected);
   json.Field("write_queue_peak_bytes", server_stats.write_queue_peak_bytes);
+  json.Field("catalog_listings", server_stats.catalog_listings);
+  json.Field("catalog_bytes", server_stats.catalog_bytes);
   EmitHistogramFields(&json, server_stats.latency);
   json.EndObject();
   json.EndObject();
@@ -191,102 +286,261 @@ void EmitJson(FILE* out, size_t knots, size_t connections, size_t requests,
 
 int main(int argc, char** argv) {
   using namespace mbp;  // NOLINT
-  const size_t knots = static_cast<size_t>(
+  BenchConfig config;
+  config.knots = static_cast<size_t>(
       bench::FlagValue(argc, argv, "knots", 65536));
-  const size_t connections = static_cast<size_t>(
+  config.curves = static_cast<size_t>(
+      bench::FlagValue(argc, argv, "curves", 1));
+  config.zipf_s = bench::FlagValue(argc, argv, "zipf", 1.1);
+  config.min_knots = static_cast<size_t>(
+      bench::FlagValue(argc, argv, "min-knots", 8));
+  config.max_knots = static_cast<size_t>(
+      bench::FlagValue(argc, argv, "max-knots", 128));
+  config.catalog_seed = static_cast<uint64_t>(
+      bench::FlagValue(argc, argv, "catalog-seed", 7));
+  config.connections = static_cast<size_t>(
       bench::FlagValue(argc, argv, "connections", 8));
-  const size_t requests = static_cast<size_t>(
+  config.requests = static_cast<size_t>(
       bench::FlagValue(argc, argv, "requests", 2000));
-  const size_t batch = static_cast<size_t>(
+  config.batch = static_cast<size_t>(
       bench::FlagValue(argc, argv, "batch", 64));
-  const size_t shards = static_cast<size_t>(
+  config.shards = static_cast<size_t>(
       bench::FlagValue(argc, argv, "shards", 2));
   const std::string out_path = bench::FlagString(argc, argv, "out", "");
+  const std::string endpoints_csv =
+      bench::FlagString(argc, argv, "endpoints", "");
+  const std::string labels_csv = bench::FlagString(argc, argv, "labels", "");
+
+  const bool multi_curve = config.curves > 1;
 
   bench::PrintHeader("Networked price serving (epoll TCP front end)");
-  std::printf("knots=%zu  connections=%zu  requests/conn=%zu  batch=%zu  "
-              "shards=%zu\n",
-              knots, connections, requests, batch, shards);
+  if (multi_curve) {
+    std::printf("curves=%zu  zipf=%.2f  knots=[%zu,%zu]  connections=%zu  "
+                "requests/conn=%zu  batch=%zu  shards=%zu\n",
+                config.curves, config.zipf_s, config.min_knots,
+                config.max_knots, config.connections, config.requests,
+                config.batch, config.shards);
+  } else {
+    std::printf("knots=%zu  connections=%zu  requests/conn=%zu  batch=%zu  "
+                "shards=%zu\n",
+                config.knots, config.connections, config.requests,
+                config.batch, config.shards);
+  }
   bench::PrintRule();
 
-  const core::PiecewiseLinearPricing curve = MakeDenseCurve(knots);
-  serving::SnapshotRegistry registry;
-  if (!registry.Publish("menu", curve).ok()) {
-    std::fprintf(stderr, "publish failed\n");
-    return 1;
-  }
-  serving::PriceQueryEngine engine(&registry);
-  net::ServerOptions options;
-  options.num_shards = shards;
-  options.default_curve_id = "menu";
-  auto server = net::PriceServer::Start(&engine, options);
-  if (!server.ok()) {
-    std::fprintf(stderr, "server start failed: %s\n",
-                 server.status().ToString().c_str());
-    return 1;
-  }
-  const uint16_t port = (*server)->port();
-  std::printf("server on 127.0.0.1:%u\n", port);
+  // --- Catalog + (optional) in-process server ---------------------------
+  serving::SyntheticCatalogSpec spec;
+  spec.num_curves = config.curves;
+  spec.min_knots = config.min_knots;
+  spec.max_knots = config.max_knots;
+  spec.seed = config.catalog_seed;
 
-  // Bit-identity gate: remote answers must reproduce the research path
-  // exactly before anything is timed.
-  const double x_hi = curve.points().back().x * 1.05;
+  serving::CatalogRegistry registry;
+  Workload workload;
+  if (multi_curve) {
+    const auto publish_start = std::chrono::steady_clock::now();
+    const Status published =
+        serving::PublishSyntheticCatalog(spec, &registry);
+    if (!published.ok()) {
+      std::fprintf(stderr, "catalog publish failed: %s\n",
+                   published.ToString().c_str());
+      return 1;
+    }
+    std::printf("catalog: %zu curves, %.1f MB resident, compiled in %.0f ms\n",
+                registry.resident_listings(),
+                static_cast<double>(registry.resident_bytes()) / 1048576.0,
+                MillisSince(publish_start));
+    workload.ids.reserve(config.curves);
+    workload.x_hi.reserve(config.curves);
+    for (size_t i = 0; i < config.curves; ++i) {
+      workload.ids.push_back(serving::SyntheticCurveId(i));
+      workload.x_hi.push_back(serving::SyntheticCurveXMax(spec, i) * 1.05);
+    }
+  } else {
+    const core::PiecewiseLinearPricing curve = MakeDenseCurve(config.knots);
+    if (!registry.Publish("menu", curve).ok()) {
+      std::fprintf(stderr, "publish failed\n");
+      return 1;
+    }
+    workload.ids.push_back("menu");
+    workload.x_hi.push_back(curve.points().back().x * 1.05);
+  }
+
+  serving::PriceQueryEngine engine(&registry);
+  std::unique_ptr<net::PriceServer> server;
+  std::vector<net::Endpoint> endpoints;
+  net::ClusterClientOptions cluster_options;
+  uint16_t port = 0;
+  if (endpoints_csv.empty()) {
+    net::ServerOptions options;
+    options.num_shards = config.shards;
+    if (!multi_curve) options.default_curve_id = "menu";
+    auto started = net::PriceServer::Start(&engine, options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    server = std::move(*started);
+    port = server->port();
+    std::printf("server on 127.0.0.1:%u\n", port);
+    config.num_endpoints = 0;
+  } else {
+    auto parsed = net::ParseEndpoints(endpoints_csv);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--endpoints: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    endpoints = std::move(*parsed);
+    config.num_endpoints = endpoints.size();
+    if (!labels_csv.empty()) {
+      size_t pos = 0;
+      while (pos <= labels_csv.size()) {
+        const size_t comma = std::min(labels_csv.find(',', pos),
+                                      labels_csv.size());
+        cluster_options.node_labels.push_back(
+            labels_csv.substr(pos, comma - pos));
+        if (comma == labels_csv.size()) break;
+        pos = comma + 1;
+      }
+    }
+    std::printf("fleet: %zu endpoints via consistent-hash routing\n",
+                endpoints.size());
+  }
+
+  // Per-thread client factory: direct connection in single-server mode,
+  // consistent-hash router against the fleet in --endpoints mode.
+  MakeClientFn make_client = [&](size_t) -> BatchFn {
+    if (endpoints.empty()) {
+      auto client = net::PriceClient::Connect("127.0.0.1", port);
+      if (!client.ok()) return nullptr;
+      return [client = std::shared_ptr<net::PriceClient>(
+                  std::move(*client))](const std::string& id,
+                                       const std::vector<double>& xs) {
+        return client->PriceBatch(id, xs);
+      };
+    }
+    auto cluster = net::ClusterPriceClient::Create(endpoints, cluster_options);
+    if (!cluster.ok()) return nullptr;
+    return [cluster = std::shared_ptr<net::ClusterPriceClient>(
+                std::move(*cluster))](const std::string& id,
+                                      const std::vector<double>& xs) {
+      return cluster->PriceBatch(id, xs);
+    };
+  };
+
+  // --- Bit-identity gate -------------------------------------------------
+  // Remote answers must reproduce the research path exactly before
+  // anything is timed. Multi-curve mode spreads the 4096 gate queries
+  // over up to 256 distinct curves (hottest-first stride sample).
   size_t mismatches = 0;
   {
-    auto client = net::PriceClient::Connect("127.0.0.1", port);
-    if (!client.ok()) {
-      std::fprintf(stderr, "client connect failed: %s\n",
-                   client.status().ToString().c_str());
+    BatchFn query = make_client(0);
+    if (!query) {
+      std::fprintf(stderr, "gate client connect failed\n");
       return 1;
     }
     random::Rng rng(42);
-    std::vector<double> xs(4096);
-    for (double& x : xs) x = rng.NextDouble(0.0, x_hi);
-    const auto remote = (*client)->PriceBatch("menu", xs);
-    if (!remote.ok()) {
-      std::fprintf(stderr, "gate batch failed: %s\n",
-                   remote.status().ToString().c_str());
-      return 1;
+    const size_t gate_curves =
+        multi_curve ? std::min<size_t>(config.curves, 256) : 1;
+    const size_t per_curve = 4096 / gate_curves;
+    const size_t stride = std::max<size_t>(config.curves / gate_curves, 1);
+    for (size_t g = 0; g < gate_curves; ++g) {
+      const size_t index = (g * stride) % workload.ids.size();
+      const core::PiecewiseLinearPricing oracle =
+          multi_curve ? serving::MakeSyntheticCurve(spec, index)
+                      : MakeDenseCurve(config.knots);
+      std::vector<double> xs(per_curve);
+      for (double& x : xs) x = rng.NextDouble(0.0, workload.x_hi[index]);
+      const auto remote = query(workload.ids[index], xs);
+      if (!remote.ok()) {
+        std::fprintf(stderr, "gate batch failed: %s\n",
+                     remote.status().ToString().c_str());
+        return 1;
+      }
+      for (size_t i = 0; i < xs.size(); ++i) {
+        if ((*remote)[i] != oracle.PriceAtInverseNcp(xs[i])) ++mismatches;
+      }
     }
-    for (size_t i = 0; i < xs.size(); ++i) {
-      if ((*remote)[i] != curve.PriceAtInverseNcp(xs[i])) ++mismatches;
-    }
+    std::printf(
+        "bit-identity gate: %zu mismatches over %zu remote queries on "
+        "%zu curves\n",
+        mismatches, gate_curves * per_curve, gate_curves);
   }
-  std::printf("bit-identity gate: %zu mismatches over 4096 remote queries\n",
-              mismatches);
   bench::PrintRule();
 
+  // --- Regimes -----------------------------------------------------------
   std::atomic<size_t> failures{0};
   std::vector<RegimeResult> regimes;
-  regimes.push_back(RunRegime("pingpong", port, connections, requests, 1,
-                              x_hi, &failures));
-  regimes.push_back(RunRegime("batched", port, connections, requests, batch,
-                              x_hi, &failures));
+  if (multi_curve) {
+    // Scatter zipf ranks across the id space with a seeded shuffle so
+    // "hot" curves are not physically adjacent (adjacency would flatter
+    // any locality the data structures accidentally have).
+    const random::ZipfIndex zipf(config.curves, config.zipf_s);
+    workload.perm.resize(config.curves);
+    for (size_t i = 0; i < config.curves; ++i) workload.perm[i] = i;
+    random::Rng shuffle_rng(config.catalog_seed * 7919 + 1);
+    for (size_t i = config.curves - 1; i > 0; --i) {
+      const size_t j = static_cast<size_t>(
+          shuffle_rng.NextBounded(static_cast<uint64_t>(i + 1)));
+      std::swap(workload.perm[i], workload.perm[j]);
+    }
+    workload.fixed_index = workload.perm[0];  // the hottest curve
+    Workload fixed = workload;
+    fixed.zipf = nullptr;
+    regimes.push_back(RunRegime("batched", config.connections,
+                                config.requests, config.batch, fixed,
+                                make_client, &failures));
+    workload.zipf = &zipf;
+    regimes.push_back(RunRegime("zipf", config.connections, config.requests,
+                                config.batch, workload, make_client,
+                                &failures));
+  } else {
+    regimes.push_back(RunRegime("pingpong", config.connections,
+                                config.requests, 1, workload, make_client,
+                                &failures));
+    regimes.push_back(RunRegime("batched", config.connections,
+                                config.requests, config.batch, workload,
+                                make_client, &failures));
+  }
   bench::PrintRule();
-  const net::StatsPayload server_stats = (*server)->stats();
+
+  // --- Server stats ------------------------------------------------------
+  net::StatsPayload server_stats;
+  if (server != nullptr) {
+    server_stats = server->stats();
+  } else {
+    for (const net::Endpoint& ep : endpoints) {
+      auto client = net::PriceClient::Connect(ep.host, ep.port);
+      if (!client.ok()) continue;
+      const auto stats = (*client)->Stats();
+      if (stats.ok()) MergeStats(*stats, &server_stats);
+    }
+  }
   std::printf("server: %llu requests ok, %llu queries, %llu batch "
-              "dispatches, %llu errors\n",
+              "dispatches, %llu errors; catalog %llu listings / %.1f MB\n",
               static_cast<unsigned long long>(server_stats.requests_ok),
               static_cast<unsigned long long>(server_stats.queries),
               static_cast<unsigned long long>(server_stats.batches),
-              static_cast<unsigned long long>(server_stats.requests_error));
+              static_cast<unsigned long long>(server_stats.requests_error),
+              static_cast<unsigned long long>(server_stats.catalog_listings),
+              static_cast<double>(server_stats.catalog_bytes) / 1048576.0);
   if (failures.load() != 0) {
     std::fprintf(stderr, "%zu client round trips failed\n", failures.load());
   }
-  (*server)->Shutdown();
+  if (server != nullptr) server->Shutdown();
 
   const bool bit_identical = mismatches == 0 && failures.load() == 0;
   if (out_path.empty()) {
-    EmitJson(stdout, knots, connections, requests, batch, shards,
-             bit_identical, regimes, server_stats);
+    EmitJson(stdout, config, bit_identical, regimes, server_stats);
   } else {
     FILE* out_file = std::fopen(out_path.c_str(), "w");
     if (out_file == nullptr) {
       std::fprintf(stderr, "cannot open --out=%s\n", out_path.c_str());
       return 1;
     }
-    EmitJson(out_file, knots, connections, requests, batch, shards,
-             bit_identical, regimes, server_stats);
+    EmitJson(out_file, config, bit_identical, regimes, server_stats);
     std::fclose(out_file);
     std::printf("wrote %s\n", out_path.c_str());
   }

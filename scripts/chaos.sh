@@ -45,4 +45,13 @@ for seed in "${SEEDS[@]}"; do
   MBP_CHAOS_SEED="$seed" "$ROOT/scripts/tsan.sh" "$ROOT/build-tsan" "$FILTER"
 done
 
+echo "[chaos] === pass 3: 2-process consistent-hash fleet (asan) ==="
+# One fixed-seed pass against a real multi-process fleet: NetFleetTest
+# fork/execs 2 mbp_catalog_shard processes, fault-storms shard 0 with the
+# fixed seed, and asserts the consistent-hash client stays bit-identical
+# to the in-process engine throughout (DESIGN.md §5g).
+cmake --build "$ASAN_DIR" -j "$(nproc)" --target mbp_fleet_test
+MBP_CHAOS_SEED=12648430 \
+  "$ASAN_DIR/tests/mbp_fleet_test" --gtest_filter='NetFleetTest.*'
+
 echo "[chaos] all passes clean (seeds: ${SEEDS[*]})"

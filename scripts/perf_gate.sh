@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Performance regression gate for the networked serving path. Runs a fresh
-# bench_net, compares it against the LAST committed document in
-# BENCH_net.json, and fails if either
-#   - batched-regime QPS regressed by more than the threshold (15%), or
-#   - the run was not bit-identical to the research path.
+# bench_net, compares it against the last committed BENCH_net.json document
+# OF THE SAME REGIME (same curves/zipf/batch/connections/shards/endpoints
+# signature — a 100k-curve zipf run must never be gated against a
+# single-curve baseline), and fails if either
+#   - gated-regime QPS regressed by more than the threshold (15%)
+#     (the "zipf" regime when present, else "batched"), or
+#   - the run was not bit-identical to the research path, or
+#   - no committed baseline matches the fresh run's regime signature.
 #
 # Usage:
 #   scripts/perf_gate.sh [build_dir] [extra bench_net flags...]
@@ -61,14 +65,37 @@ def load_documents(path):
     return docs
 
 
-def batched_qps(doc):
+def signature(doc):
+    """What must agree for two runs to be QPS-comparable. Catalog fields
+    only matter in multi-curve mode; documents recorded before they
+    existed read as the single-curve defaults."""
+    curves = doc.get("curves", 1)
+    sig = {
+        "curves": curves,
+        "batch": doc.get("batch"),
+        "connections": doc.get("connections"),
+        "shards": doc.get("shards"),
+        "endpoints": doc.get("endpoints", 0),
+        "regimes": tuple(sorted(r.get("name", "") for r in doc.get("regimes", []))),
+    }
+    if curves > 1:
+        sig["zipf_s"] = doc.get("zipf_s")
+        sig["min_knots"] = doc.get("min_knots")
+        sig["max_knots"] = doc.get("max_knots")
+        sig["catalog_seed"] = doc.get("catalog_seed")
+    else:
+        sig["knots"] = doc.get("knots")
+    return tuple(sorted(sig.items()))
+
+
+def regime_qps(doc, name):
     for regime in doc.get("regimes", []):
-        if regime.get("name") == "batched":
+        if regime.get("name") == name:
             return regime.get("qps")
     return None
 
 
-baseline = load_documents(baseline_path)[-1]
+docs = load_documents(baseline_path)
 fresh = load_documents(fresh_path)[-1]
 
 failures = []
@@ -76,22 +103,39 @@ failures = []
 if fresh.get("bit_identical_to_research_path") is not True:
     failures.append("fresh run is NOT bit-identical to the research path")
 
-base_qps = batched_qps(baseline)
-new_qps = batched_qps(fresh)
-if base_qps is None or new_qps is None:
-    failures.append("batched regime missing from baseline or fresh run")
-else:
-    floor = base_qps * (1.0 - threshold_pct / 100.0)
-    verdict = "OK" if new_qps >= floor else "REGRESSION"
-    print(
-        f"batched qps: baseline {base_qps:,.0f} -> fresh {new_qps:,.0f} "
-        f"(floor {floor:,.0f} at -{threshold_pct:g}%): {verdict}"
+fresh_sig = signature(fresh)
+matching = [d for d in docs if signature(d) == fresh_sig]
+if not matching:
+    seen = {}
+    for d in docs:
+        key = (d.get("curves", 1), d.get("knots"), d.get("batch"))
+        seen[key] = seen.get(key, 0) + 1
+    failures.append(
+        "no committed baseline matches this regime signature "
+        f"(fresh: curves={fresh.get('curves', 1)}, knots={fresh.get('knots')}, "
+        f"batch={fresh.get('batch')}; committed (curves, knots, batch) -> docs: {seen}); "
+        "record one with scripts/bench_record.sh before gating"
     )
-    if new_qps < floor:
-        failures.append(
-            f"batched QPS regressed more than {threshold_pct:g}% "
-            f"({base_qps:,.0f} -> {new_qps:,.0f})"
+else:
+    baseline = matching[-1]  # last committed doc of the SAME regime
+    regime_names = [r.get("name") for r in fresh.get("regimes", [])]
+    gate_regime = "zipf" if "zipf" in regime_names else "batched"
+    base_qps = regime_qps(baseline, gate_regime)
+    new_qps = regime_qps(fresh, gate_regime)
+    if base_qps is None or new_qps is None:
+        failures.append(f"{gate_regime} regime missing from baseline or fresh run")
+    else:
+        floor = base_qps * (1.0 - threshold_pct / 100.0)
+        verdict = "OK" if new_qps >= floor else "REGRESSION"
+        print(
+            f"{gate_regime} qps: baseline {base_qps:,.0f} -> fresh {new_qps:,.0f} "
+            f"(floor {floor:,.0f} at -{threshold_pct:g}%): {verdict}"
         )
+        if new_qps < floor:
+            failures.append(
+                f"{gate_regime} QPS regressed more than {threshold_pct:g}% "
+                f"({base_qps:,.0f} -> {new_qps:,.0f})"
+            )
 
 if failures:
     for f in failures:

@@ -37,6 +37,22 @@ class MaxGauge {
   std::atomic<uint64_t> value_{0};
 };
 
+// Signed up/down gauge for resource accounting — catalog-resident
+// snapshot bytes, live listings. Relaxed add: concurrent deltas commute,
+// so the settled value is exact; a mid-flight read is monitoring-grade
+// like every other metric here.
+class Gauge {
+ public:
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 // Monotone event counter.
 class Counter {
  public:

@@ -1,0 +1,156 @@
+#ifndef MBP_NET_CLUSTER_H_
+#define MBP_NET_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "net/client.h"
+
+namespace mbp::net {
+
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+// Parses "host:port[,host:port...]" (host may be omitted: ":7001" means
+// 127.0.0.1). Rejects empty lists, bad ports, duplicate endpoints.
+StatusOr<std::vector<Endpoint>> ParseEndpoints(std::string_view csv);
+std::string EndpointLabel(const Endpoint& endpoint);  // "host:port"
+
+// Ketama-style consistent-hash ring over N nodes (DESIGN.md §5g): each
+// node is hashed onto the ring at `vnodes` pseudo-random points (FNV-1a-64
+// of "label#i"), and a key routes to the first node point clockwise from
+// the key's hash. Properties the fleet leans on:
+//  - deterministic: any process that agrees on (labels, vnodes) computes
+//    the identical ring, so shard servers can decide catalog ownership
+//    with the same ring the clients route by — labels are STABLE NODE
+//    NAMES ("shard-0"), not addresses, so the ring survives restarts and
+//    ephemeral ports;
+//  - balanced: vnodes spread each node's arc into many small slices;
+//  - minimal disruption: adding/removing a node moves only the keys on
+//    the slices it owned (~1/N of the keyspace).
+//
+// Route(key, attempt) returns the attempt-th DISTINCT node clockwise from
+// the key — attempt 0 is the owner, attempt k the k-th failover target /
+// replica holder, identical on every process. Immutable after
+// construction, safe to share across threads.
+class HashRing {
+ public:
+  explicit HashRing(const std::vector<std::string>& node_labels,
+                    size_t vnodes = 64);
+
+  size_t num_nodes() const { return num_nodes_; }
+
+  // Node index owning `key` (attempt 0) or the attempt-th distinct
+  // successor. attempt must be < num_nodes().
+  size_t Route(std::string_view key, size_t attempt = 0) const;
+
+  // True when `node` is among the first `replicas` distinct owners of
+  // `key` — the ownership predicate a replicated shard uses to pick its
+  // share of the catalog.
+  bool Owns(std::string_view key, size_t node, size_t replicas) const;
+
+ private:
+  struct Point {
+    uint64_t hash;
+    uint32_t node;
+  };
+  std::vector<Point> ring_;  // sorted by hash
+  size_t num_nodes_;
+};
+
+struct ClusterClientOptions {
+  // Per-endpoint PriceClient options (retry ladder included: a failover
+  // attempt only starts after the endpoint's own retry policy gave up).
+  ClientOptions client;
+  // Ring geometry — must match the fleet's shard processes exactly.
+  size_t vnodes = 64;
+  // Stable ring labels, one per endpoint, in endpoint order. Empty =>
+  // "host:port" labels (fine for a fixed-address fleet; a fleet on
+  // ephemeral ports passes "shard-<i>" labels on both sides).
+  std::vector<std::string> node_labels;
+  // Distinct endpoints tried per request: the owner plus failover
+  // successors. 0 = all endpoints.
+  size_t max_endpoint_attempts = 0;
+  // After a transport-level failure an endpoint cools down for this long;
+  // routing skips cooling endpoints when a non-cooling candidate remains.
+  int cooldown_ms = 250;
+  // Routing key used when a request's curve id is empty (the server-side
+  // default curve lives on one specific shard).
+  std::string default_curve_id;
+};
+
+// What the failover machinery did. Plain counters: ClusterPriceClient is
+// single-threaded by contract, like PriceClient.
+struct ClusterTelemetry {
+  uint64_t failovers = 0;        // requests answered by a non-owner
+  uint64_t endpoint_errors = 0;  // attempts that failed an endpoint over
+  uint64_t cooldown_skips = 0;   // candidates skipped while cooling
+};
+
+// Consistent-hash routing front end over N PriceServers: curve-id-keyed
+// ring routing, lazy per-endpoint PriceClient connections, and
+// per-endpoint failover — a request that fails an endpoint at the
+// transport level (or exhausts its retry ladder with kUnavailable /
+// kDeadlineExceeded / kInternal) moves to the next distinct ring
+// successor. Application answers (NotFound, InvalidArgument, ...) return
+// immediately: failover is for faults, not for error semantics.
+//
+// Bit-identity contract: when every shard serves the same compiled curve
+// for a given id (full replication, or ring ownership with replicas
+// covering every failover target), answers are bit-identical to a local
+// engine regardless of which endpoint served them — the fleet chaos test
+// asserts exactly this while one shard is fault-stormed.
+//
+// Not thread-safe — one ClusterPriceClient per thread.
+class ClusterPriceClient {
+ public:
+  static StatusOr<std::unique_ptr<ClusterPriceClient>> Create(
+      std::vector<Endpoint> endpoints, ClusterClientOptions options = {});
+
+  StatusOr<double> PriceAt(const std::string& curve_id, double x);
+  StatusOr<std::vector<double>> PriceBatch(const std::string& curve_id,
+                                           const std::vector<double>& xs);
+  StatusOr<double> BudgetToX(const std::string& curve_id, double budget);
+  StatusOr<SnapshotInfoPayload> SnapshotInfo(const std::string& curve_id);
+  // STATS is endpoint-addressed, not curve-routed.
+  StatusOr<StatsPayload> Stats(size_t endpoint);
+
+  // The owning endpoint index for `curve_id` (for tests and benchmarks).
+  size_t RouteOf(std::string_view curve_id) const;
+
+  size_t num_endpoints() const { return endpoints_.size(); }
+  const HashRing& ring() const { return ring_; }
+  const ClusterTelemetry& telemetry() const { return telemetry_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  ClusterPriceClient(std::vector<Endpoint> endpoints,
+                     ClusterClientOptions options, HashRing ring);
+
+  // Lazily connected client for `endpoint`; (re)connects as needed.
+  StatusOr<PriceClient*> ClientFor(size_t endpoint);
+  // Routes + failover ladder around one verb invocation.
+  template <typename Result, typename Invoke>
+  StatusOr<Result> WithFailover(std::string_view curve_id,
+                                const Invoke& invoke);
+  bool Cooling(size_t endpoint) const;
+  void CoolDown(size_t endpoint);
+
+  std::vector<Endpoint> endpoints_;
+  ClusterClientOptions options_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<PriceClient>> clients_;
+  std::vector<Clock::time_point> cooldown_until_;
+  ClusterTelemetry telemetry_;
+};
+
+}  // namespace mbp::net
+
+#endif  // MBP_NET_CLUSTER_H_

@@ -45,7 +45,11 @@ namespace mbp::net {
 // verb, or payload structure). After an error the framing is lost and the
 // connection must be closed — there is no resynchronization.
 
-inline constexpr uint8_t kProtocolVersion = 1;
+// v2 appended catalog_listings / catalog_bytes to the STATS payload (the
+// multi-tenant catalog's memory-accounting surface, DESIGN.md §5g). The
+// version byte is checked for exact equality on both sides, so v1 and v2
+// processes refuse each other's frames instead of misparsing them.
+inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr size_t kHeaderBytes = 20;
 // Hard cap on a whole frame (header + payload): bounds every per-
 // connection buffer and rejects absurd length prefixes before allocating.
@@ -112,6 +116,10 @@ struct StatsPayload {
   uint64_t connections_killed = 0;    // hard-killed (overflow / stalled drain)
   uint64_t faults_injected = 0;       // total injector fires, this process
   uint64_t write_queue_peak_bytes = 0;
+  // Catalog residency (CatalogRegistry gauges, DESIGN.md §5g): listings
+  // with a resident compiled snapshot and their summed MemoryBytes().
+  uint64_t catalog_listings = 0;
+  uint64_t catalog_bytes = 0;
   LatencyHistogramSnapshot latency;
   // log2-bucket histogram over pending write-queue bytes, sampled at
   // every response enqueue (bucket i = [2^(i-1), 2^i) bytes).

@@ -122,8 +122,12 @@ struct PriceServer::Shard {
   // PRICE_AT queries decoded this pass, coalesced per curve slot; one
   // PriceQueryEngine::PriceBatch call serves each group (so every query
   // in the group is answered from ONE snapshot). The per-curve groups
-  // live in `scratch` and are found by linear scan — a pass touches a
-  // handful of curves at most, and the scan beats a node-allocating map.
+  // live in `scratch` and are found through an open-addressed pointer-
+  // keyed map that also lives in `scratch` (PR 6 used a linear scan,
+  // which was O(K) per request once a zipf-spread pass touches hundreds
+  // of distinct curves). `batches` keeps insertion order so the flush —
+  // and therefore response order — stays deterministic regardless of
+  // where slots hash.
   struct PendingPrice {
     Connection* conn;
     uint64_t request_id;
@@ -132,12 +136,62 @@ struct PriceServer::Shard {
     Clock::time_point start;
   };
   struct CurveBatch {
-    const serving::SnapshotRegistry::CurveSlot* slot;
+    const serving::CatalogRegistry::CurveSlot* slot;
     ArenaVector<double> xs;
     ArenaVector<PendingPrice> pending;
   };
   std::vector<CurveBatch*> batches;  // entries arena-owned; cleared per pass
+  // Pass-scoped slot -> CurveBatch map: power-of-two array of pointers in
+  // `scratch`, linear probing, null = empty. Rebuilt lazily per pass;
+  // `batch_map_capacity` persists across passes at 4x the peak distinct-
+  // curve count seen, so steady state allocates once per pass from the
+  // arena and never rehashes mid-pass.
+  CurveBatch** batch_map = nullptr;
+  size_t batch_map_capacity = 64;  // persists; grows on rehash
   std::vector<Connection*> touched;
+
+  // The pass batch for `slot`, creating it (O(1) amortized) on first
+  // sight. The map and every batch live in `scratch`: allocated lazily on
+  // the first PRICE_AT of a pass, forgotten at FlushPriceBatches,
+  // reclaimed by the pass-end scratch.Reset(). Steady state is one arena
+  // allocation per pass and zero mid-pass rehashes.
+  CurveBatch* FindOrAddBatch(const serving::CatalogRegistry::CurveSlot* slot) {
+    if (batch_map == nullptr) {
+      batch_map = scratch.AllocateArray<CurveBatch*>(batch_map_capacity);
+      std::memset(batch_map, 0, batch_map_capacity * sizeof(CurveBatch*));
+    }
+    const size_t mask = batch_map_capacity - 1;
+    size_t i = HashMix64(reinterpret_cast<uintptr_t>(slot)) & mask;
+    while (true) {
+      CurveBatch* b = batch_map[i];
+      if (b == nullptr) break;
+      if (b->slot == slot) return b;
+      i = (i + 1) & mask;
+    }
+    void* raw = scratch.Allocate(sizeof(CurveBatch), alignof(CurveBatch));
+    auto* batch = new (raw)
+        CurveBatch{slot, ArenaVector<double>(&scratch),
+                   ArenaVector<PendingPrice>(&scratch)};
+    batches.push_back(batch);
+    batch_map[i] = batch;
+    if (batches.size() * 4 > batch_map_capacity) {
+      // Rehash into a doubled arena table; the old table is just arena
+      // bytes and dies with the pass. Insertion order (and thus flush
+      // and response order) is carried by `batches`, not the table.
+      batch_map_capacity *= 2;
+      auto** fresh = scratch.AllocateArray<CurveBatch*>(batch_map_capacity);
+      std::memset(fresh, 0, batch_map_capacity * sizeof(CurveBatch*));
+      const size_t fresh_mask = batch_map_capacity - 1;
+      for (CurveBatch* b : batches) {
+        size_t j =
+            HashMix64(reinterpret_cast<uintptr_t>(b->slot)) & fresh_mask;
+        while (fresh[j] != nullptr) j = (j + 1) & fresh_mask;
+        fresh[j] = b;
+      }
+      batch_map = fresh;
+    }
+    return batch;
+  }
 };
 
 PriceServer::PriceServer(const serving::PriceQueryEngine* engine,
@@ -248,6 +302,8 @@ StatsPayload PriceServer::stats() const {
   s.deadline_drops = metrics_.deadline_drops.Value();
   s.connections_killed = metrics_.connections_killed.Value();
   s.write_queue_peak_bytes = metrics_.write_queue_peak_bytes.Value();
+  s.catalog_listings = engine_->registry().resident_listings();
+  s.catalog_bytes = engine_->registry().resident_bytes();
   s.latency = metrics_.request_latency.Snapshot();
   s.write_queue_bytes = metrics_.write_queue_bytes.Snapshot();
   // Injector state is process-global: a chaos client reads back what the
@@ -260,14 +316,14 @@ StatsPayload PriceServer::stats() const {
   return s;
 }
 
-StatusOr<const serving::SnapshotRegistry::CurveSlot*>
+StatusOr<const serving::CatalogRegistry::CurveSlot*>
 PriceServer::ResolveCurve(std::string_view curve_id) const {
   const std::string_view id =
       curve_id.empty() ? std::string_view(options_.default_curve_id)
                        : curve_id;
   // Heterogeneous registry lookup: `id` is a view into the wire buffer
   // and never materializes a std::string on the hot path.
-  const serving::SnapshotRegistry::CurveSlot* slot =
+  const serving::CatalogRegistry::CurveSlot* slot =
       engine_->registry().Find(id);
   if (slot == nullptr) {
     return NotFoundError("curve '" + std::string(id) +
@@ -475,26 +531,21 @@ void PriceServer::HandleRequest(Shard* shard, Connection* conn,
     EnqueueResponse(shard, conn, ErrorResponseFor(request, slot.status()));
     return;
   }
+  // LRU feed for catalog eviction: stamp the slot with this request's
+  // start time (one relaxed store; same steady-clock micros time base as
+  // CatalogRegistry::EvictIdle).
+  (*slot)->Touch(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          start.time_since_epoch())
+          .count()));
   switch (request.verb) {
     case Verb::kPriceAt: {
       // Deferred: coalesced with every other PRICE_AT of this loop pass
       // into one PriceBatch per curve (FlushPriceBatches). The per-curve
-      // group is found by linear scan and grown in the scratch arena.
-      Shard::CurveBatch* batch = nullptr;
-      for (Shard::CurveBatch* b : shard->batches) {
-        if (b->slot == *slot) {
-          batch = b;
-          break;
-        }
-      }
-      if (batch == nullptr) {
-        void* raw = shard->scratch.Allocate(sizeof(Shard::CurveBatch),
-                                            alignof(Shard::CurveBatch));
-        batch = new (raw) Shard::CurveBatch{
-            *slot, ArenaVector<double>(&shard->scratch),
-            ArenaVector<Shard::PendingPrice>(&shard->scratch)};
-        shard->batches.push_back(batch);
-      }
+      // group is found through the pass-scoped open-addressed map and
+      // grown in the scratch arena — O(1) per request however many
+      // distinct curves the pass spans (DESIGN.md §5g).
+      Shard::CurveBatch* batch = shard->FindOrAddBatch(*slot);
       batch->pending.push_back(Shard::PendingPrice{
           conn, request.request_id, batch->xs.size(), request.num_args,
           start});
@@ -610,6 +661,9 @@ void PriceServer::FlushPriceBatches(Shard* shard) {
     }
   }
   shard->batches.clear();
+  // The map points into scratch, which resets at pass end — forget it
+  // before the memory goes away.
+  shard->batch_map = nullptr;
 }
 
 void PriceServer::EnqueueResponse(Shard* shard, Connection* conn,

@@ -180,7 +180,7 @@ class PriceServer {
   // OVERLOADED instead of doing engine work.
   bool ShouldShed(const Connection* conn, Verb verb) const;
   void DrainShard(Shard* shard);
-  StatusOr<const serving::SnapshotRegistry::CurveSlot*> ResolveCurve(
+  StatusOr<const serving::CatalogRegistry::CurveSlot*> ResolveCurve(
       std::string_view curve_id) const;
 
   const serving::PriceQueryEngine* engine_;

@@ -1,5 +1,6 @@
 #include "random/distributions.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -68,6 +69,33 @@ linalg::Vector SampleUnitSphere(Rng& rng, size_t d) {
     const double norm = linalg::Norm2(v);
     if (norm > 1e-12) return linalg::Scaled(v, 1.0 / norm);
   }
+}
+
+ZipfIndex::ZipfIndex(size_t n, double s) {
+  MBP_CHECK_GE(n, size_t{1});
+  MBP_CHECK_GE(s, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s);
+    cdf_[k] = total;
+  }
+  const double inv_total = 1.0 / total;
+  for (double& c : cdf_) c *= inv_total;
+  cdf_.back() = 1.0;  // pin the top against rounding
+}
+
+size_t ZipfIndex::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();  // [0, 1)
+  // First rank whose CDF strictly exceeds u.
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfIndex::Probability(size_t k) const {
+  MBP_CHECK_LT(k, cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
 }
 
 }  // namespace mbp::random

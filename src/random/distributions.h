@@ -2,6 +2,7 @@
 #define MBP_RANDOM_DISTRIBUTIONS_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "linalg/vector.h"
 #include "random/rng.h"
@@ -41,6 +42,27 @@ linalg::Vector SampleUniformVector(Rng& rng, size_t d, double lo, double hi);
 
 // Uniformly random point on the unit sphere in R^d (d >= 1).
 linalg::Vector SampleUnitSphere(Rng& rng, size_t d);
+
+// Bounded zipf sampler over ranks {0, ..., n - 1} with P(k) proportional
+// to 1 / (k + 1)^s — the skewed-popularity model for multi-tenant catalog
+// workloads (bench_net --zipf). Sampling is EXACT inverse-CDF over
+// precomputed cumulative weights (O(n) construction, O(log n) per draw,
+// 8 bytes per rank): the usual YCSB-style zeta approximation is only
+// valid for s < 1, and the serving benchmarks run s = 1.1.
+// s = 0 degenerates to uniform. Requires n >= 1, s >= 0.
+class ZipfIndex {
+ public:
+  ZipfIndex(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  // Exact probability of rank k (for tests).
+  double Probability(size_t k) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_[n-1] == 1.0
+};
 
 }  // namespace mbp::random
 

@@ -28,9 +28,9 @@ Status CurveNotServing() {
 // The pin keeps at most one old snapshot alive per thread, until that
 // thread's next query after a republish.
 const PricingSnapshot* PinnedSnapshot(
-    const SnapshotRegistry::CurveSlot* slot, uint64_t stamp) {
+    const CatalogRegistry::CurveSlot* slot, uint64_t stamp) {
   struct Pin {
-    const SnapshotRegistry::CurveSlot* slot = nullptr;
+    const CatalogRegistry::CurveSlot* slot = nullptr;
     uint64_t stamp = 0;
     std::shared_ptr<const PricingSnapshot> snapshot;
   };
@@ -45,7 +45,7 @@ const PricingSnapshot* PinnedSnapshot(
 
 }  // namespace
 
-PriceQueryEngine::PriceQueryEngine(const SnapshotRegistry* registry,
+PriceQueryEngine::PriceQueryEngine(const CatalogRegistry* registry,
                                    PriceQueryEngineOptions options)
     : registry_(registry),
       options_(options),
@@ -61,15 +61,15 @@ double PriceQueryEngine::Quantize(double x) const {
   return std::round(x / options_.quantum) * options_.quantum;
 }
 
-StatusOr<const SnapshotRegistry::CurveSlot*> PriceQueryEngine::ResolveSlot(
+StatusOr<const CatalogRegistry::CurveSlot*> PriceQueryEngine::ResolveSlot(
     const std::string& curve_id) const {
-  const SnapshotRegistry::CurveSlot* slot = registry_->Find(curve_id);
+  const CatalogRegistry::CurveSlot* slot = registry_->Find(curve_id);
   if (slot == nullptr) return CurveNotServing();
   return slot;
 }
 
 StatusOr<double> PriceQueryEngine::Price(
-    const SnapshotRegistry::CurveSlot* slot, double x) const {
+    const CatalogRegistry::CurveSlot* slot, double x) const {
   MBP_CHECK(slot != nullptr);
   const double qx = Quantize(x);
   // Hot path: one plain stamp load + one shard probe; the snapshot itself
@@ -97,13 +97,13 @@ StatusOr<double> PriceQueryEngine::Price(
 
 StatusOr<double> PriceQueryEngine::Price(const std::string& curve_id,
                                          double x) const {
-  MBP_ASSIGN_OR_RETURN(const SnapshotRegistry::CurveSlot* slot,
+  MBP_ASSIGN_OR_RETURN(const CatalogRegistry::CurveSlot* slot,
                        ResolveSlot(curve_id));
   return Price(slot, x);
 }
 
 StatusOr<double> PriceQueryEngine::BudgetToInverseNcp(
-    const SnapshotRegistry::CurveSlot* slot, double budget) const {
+    const CatalogRegistry::CurveSlot* slot, double budget) const {
   MBP_CHECK(slot != nullptr);
   const std::shared_ptr<const PricingSnapshot> snapshot = slot->Load();
   if (snapshot == nullptr) return CurveNotServing();
@@ -112,12 +112,12 @@ StatusOr<double> PriceQueryEngine::BudgetToInverseNcp(
 
 StatusOr<double> PriceQueryEngine::BudgetToInverseNcp(
     const std::string& curve_id, double budget) const {
-  MBP_ASSIGN_OR_RETURN(const SnapshotRegistry::CurveSlot* slot,
+  MBP_ASSIGN_OR_RETURN(const CatalogRegistry::CurveSlot* slot,
                        ResolveSlot(curve_id));
   return BudgetToInverseNcp(slot, budget);
 }
 
-Status PriceQueryEngine::PriceBatch(const SnapshotRegistry::CurveSlot* slot,
+Status PriceQueryEngine::PriceBatch(const CatalogRegistry::CurveSlot* slot,
                                     const double* xs, double* out,
                                     size_t count,
                                     const ParallelConfig& parallel) const {
@@ -163,7 +163,7 @@ Status PriceQueryEngine::PriceBatch(const std::string& curve_id,
                                     std::vector<double>* out,
                                     const ParallelConfig& parallel) const {
   MBP_CHECK(out != nullptr);
-  MBP_ASSIGN_OR_RETURN(const SnapshotRegistry::CurveSlot* slot,
+  MBP_ASSIGN_OR_RETURN(const CatalogRegistry::CurveSlot* slot,
                        ResolveSlot(curve_id));
   out->resize(xs.size());
   return PriceBatch(slot, xs.data(), out->data(), xs.size(), parallel);

@@ -8,7 +8,7 @@
 #include "common/sharded_cache.h"
 #include "common/statusor.h"
 #include "common/thread_pool.h"
-#include "serving/snapshot_registry.h"
+#include "serving/catalog_registry.h"
 
 namespace mbp::serving {
 
@@ -40,7 +40,7 @@ struct PriceQueryEngineOptions {
 };
 
 // The broker-side serving front end for price queries: resolves curve ids
-// through a SnapshotRegistry, memoizes repeated point lookups in a sharded
+// through a CatalogRegistry, memoizes repeated point lookups in a sharded
 // cache, and fans large batches across the shared ThreadPool.
 //
 // Concurrency: Price/PriceBatch/BudgetToInverseNcp are safe to call from
@@ -61,20 +61,20 @@ struct PriceQueryEngineOptions {
 class PriceQueryEngine {
  public:
   // `registry` must outlive the engine.
-  explicit PriceQueryEngine(const SnapshotRegistry* registry,
+  explicit PriceQueryEngine(const CatalogRegistry* registry,
                             PriceQueryEngineOptions options = {});
 
   // --- Point queries ------------------------------------------------------
 
   // Price of the model at x = 1/delta, served from the memo cache or the
   // current snapshot. NotFound if the id was never published or withdrawn.
-  StatusOr<double> Price(const SnapshotRegistry::CurveSlot* slot,
+  StatusOr<double> Price(const CatalogRegistry::CurveSlot* slot,
                          double x) const;
   StatusOr<double> Price(const std::string& curve_id, double x) const;
 
   // Largest affordable x for `budget` on the current snapshot (uncached:
   // budget inversions are already O(log n) and rare relative to prices).
-  StatusOr<double> BudgetToInverseNcp(const SnapshotRegistry::CurveSlot* slot,
+  StatusOr<double> BudgetToInverseNcp(const CatalogRegistry::CurveSlot* slot,
                                       double budget) const;
   StatusOr<double> BudgetToInverseNcp(const std::string& curve_id,
                                       double budget) const;
@@ -87,7 +87,7 @@ class PriceQueryEngine {
   // exists to saturate cores on streaming work, where a per-element shard
   // lock would serialize it. Results are bit-identical to calling Price()
   // per element at any thread count.
-  Status PriceBatch(const SnapshotRegistry::CurveSlot* slot,
+  Status PriceBatch(const CatalogRegistry::CurveSlot* slot,
                     const double* xs, double* out, size_t count,
                     const ParallelConfig& parallel = {}) const;
   Status PriceBatch(const std::string& curve_id, const std::vector<double>& xs,
@@ -110,13 +110,13 @@ class PriceQueryEngine {
   // unaffected beyond refilling their entries.
   void ClearCache() { cache_.Clear(); }
 
-  const SnapshotRegistry& registry() const { return *registry_; }
+  const CatalogRegistry& registry() const { return *registry_; }
 
  private:
-  StatusOr<const SnapshotRegistry::CurveSlot*> ResolveSlot(
+  StatusOr<const CatalogRegistry::CurveSlot*> ResolveSlot(
       const std::string& curve_id) const;
 
-  const SnapshotRegistry* registry_;
+  const CatalogRegistry* registry_;
   PriceQueryEngineOptions options_;
   mutable ShardedMemoCache<double> cache_;
 };

@@ -72,6 +72,18 @@ class PricingSnapshot {
   // Reconstructs the knot vector (for round-trip tests and introspection).
   std::vector<core::PricePoint> Knots() const;
 
+  // Heap + object footprint of this compiled snapshot in bytes (vector
+  // capacities, not sizes — what the allocator actually holds). Feeds the
+  // catalog's resident-bytes gauge and eviction accounting (DESIGN.md
+  // §5g).
+  size_t MemoryBytes() const {
+    return sizeof(*this) +
+           (x_.capacity() + price_.capacity() + dx_.capacity() +
+            dprice_.capacity()) *
+               sizeof(double) +
+           bucket_hint_.capacity() * sizeof(uint32_t);
+  }
+
  private:
   PricingSnapshot() = default;
 

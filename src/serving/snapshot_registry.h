@@ -1,120 +1,17 @@
 #ifndef MBP_SERVING_SNAPSHOT_REGISTRY_H_
 #define MBP_SERVING_SNAPSHOT_REGISTRY_H_
 
-#include <atomic>
-#include <cstdint>
-#include <deque>
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <string_view>
-#include <unordered_map>
+// The PR-2 single-curve-era SnapshotRegistry grew into the marketplace-
+// scale CatalogRegistry (interned CurveRefs, per-curve RCU slots, memory
+// accounting + eviction — DESIGN.md §5g). The old name remains an alias:
+// the RCU publish/Load/stamp contract is unchanged, existing callers
+// compile as-is.
 
-#include "common/statusor.h"
-#include "serving/pricing_snapshot.h"
+#include "serving/catalog_registry.h"
 
 namespace mbp::serving {
 
-// Maps curve ids to the currently published PricingSnapshot and lets
-// sellers republish while readers keep serving, RCU style:
-//
-//  - Each curve id owns a CurveSlot with a stable address for the
-//    registry's lifetime (slots are never destroyed, only overwritten).
-//    Readers resolve the id to a slot once and query through the pointer.
-//  - Publish compiles the new snapshot off to the side, then swaps it into
-//    the slot's std::atomic<std::shared_ptr>. Readers that loaded the old
-//    snapshot keep a reference and finish their queries on a consistent
-//    curve; the old snapshot is freed when the last reader drops it.
-//  - Readers never take the registry mutex: CurveSlot::Load() is a single
-//    atomic shared_ptr load. The mutex only guards the id -> slot map
-//    against concurrent first-publishes.
-//
-// Memory ordering: the snapshot store is a release operation and Load() an
-// acquire, so a reader that observes the new pointer also observes the
-// fully compiled snapshot arrays. The stamp is bumped with
-// memory_order_seq_cst AFTER the snapshot store; a reader that observes
-// the new stamp and then loads the slot gets the new (or an even newer)
-// snapshot, never an older one. See DESIGN.md §5b.
-class SnapshotRegistry {
- public:
-  class CurveSlot {
-   public:
-    // The current snapshot, or nullptr if the curve was withdrawn.
-    // Lock-free with respect to publishers.
-    std::shared_ptr<const PricingSnapshot> Load() const {
-      return snapshot_.load(std::memory_order_acquire);
-    }
-
-    // PROCESS-wide unique stamp of the latest (re)publish into this slot
-    // (0 before the first publish completes). Monotone per slot and never
-    // reused across slots or registries, so (stamp, x) uniquely identifies
-    // a cached price across every curve ever served — even when a slot
-    // address is recycled by a later registry (the engine's thread-local
-    // snapshot pin relies on exactly this). A plain load on x86 — cheap
-    // enough for the per-query hot path.
-    uint64_t stamp() const {
-      return stamp_.load(std::memory_order_seq_cst);
-    }
-
-    // Default-constructible (empty) so the registry's deque can build
-    // slots in place; only the registry can publish into one.
-    CurveSlot() = default;
-    CurveSlot(const CurveSlot&) = delete;
-    CurveSlot& operator=(const CurveSlot&) = delete;
-
-   private:
-    friend class SnapshotRegistry;
-
-    std::atomic<std::shared_ptr<const PricingSnapshot>> snapshot_{nullptr};
-    std::atomic<uint64_t> stamp_{0};
-  };
-
-  SnapshotRegistry() = default;
-  SnapshotRegistry(const SnapshotRegistry&) = delete;
-  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
-
-  // Compiles `curve` (validating arbitrage-freeness) and publishes it
-  // under `curve_id`, creating the slot on first publish. On error the
-  // previously published snapshot, if any, keeps serving. Returns the
-  // slot, which stays valid for the registry's lifetime.
-  StatusOr<const CurveSlot*> Publish(const std::string& curve_id,
-                                     const core::PiecewiseLinearPricing& curve);
-
-  // Marks the curve withdrawn: subsequent Load() returns nullptr and the
-  // serving engine reports NotFound. The slot itself stays valid and the
-  // id can be republished later.
-  Status Withdraw(const std::string& curve_id);
-
-  // Resolves an id to its slot, or nullptr for ids never published.
-  // Takes a string_view so the server's zero-allocation request path can
-  // look up ids that are views into the wire buffer without materializing
-  // a std::string (heterogeneous lookup on the index below).
-  const CurveSlot* Find(std::string_view curve_id) const;
-
-  // Number of ids ever published (withdrawn ids included).
-  size_t size() const;
-
- private:
-  // Transparent hash so index_.find accepts string_view without an
-  // allocating std::string conversion.
-  struct TransparentStringHash {
-    using is_transparent = void;
-    size_t operator()(std::string_view s) const noexcept {
-      return std::hash<std::string_view>{}(s);
-    }
-  };
-
-  CurveSlot* FindOrCreateSlot(const std::string& curve_id);
-
-  mutable std::mutex mutex_;
-  // deque: grows without moving existing slots, preserving CurveSlot*
-  // handed to readers.
-  std::deque<CurveSlot> slots_;
-  std::unordered_map<std::string, CurveSlot*, TransparentStringHash,
-                     std::equal_to<>>
-      index_;
-};
+using SnapshotRegistry = CatalogRegistry;
 
 }  // namespace mbp::serving
 

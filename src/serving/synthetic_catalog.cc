@@ -1,0 +1,64 @@
+#include "serving/synthetic_catalog.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace mbp::serving {
+
+SyntheticCurveParams SyntheticCurveParamsFor(const SyntheticCatalogSpec& spec,
+                                             size_t index) {
+  // Rng seeds through splitmix64, so seed ^ mixed-index gives independent
+  // streams per curve. The draw ORDER here is the deterministic contract:
+  // knots, then dx, then scale.
+  random::Rng rng(spec.seed ^ (0x9E3779B97F4A7C15ull * (index + 1)));
+  SyntheticCurveParams params;
+  const size_t span = spec.max_knots - spec.min_knots + 1;
+  params.knots = spec.min_knots + static_cast<size_t>(rng.NextBounded(
+                                      static_cast<uint64_t>(span)));
+  params.dx = rng.NextDouble(0.5, 2.0);
+  params.scale = rng.NextDouble(1.0, 100.0);
+  return params;
+}
+
+std::string SyntheticCurveId(size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "curve-%08zu", index);
+  return std::string(buf);
+}
+
+double SyntheticCurveXMax(const SyntheticCatalogSpec& spec, size_t index) {
+  const SyntheticCurveParams p = SyntheticCurveParamsFor(spec, index);
+  return p.dx * static_cast<double>(p.knots);
+}
+
+core::PiecewiseLinearPricing MakeSyntheticCurve(
+    const SyntheticCatalogSpec& spec, size_t index) {
+  const SyntheticCurveParams p = SyntheticCurveParamsFor(spec, index);
+  std::vector<core::PricePoint> points;
+  points.reserve(p.knots);
+  for (size_t i = 1; i <= p.knots; ++i) {
+    const double x = p.dx * static_cast<double>(i);
+    // scale * sqrt(x): increasing and concave, hence subadditive —
+    // arbitrage-free by the same argument as bench_net's dense curve.
+    points.push_back({x, p.scale * std::sqrt(x)});
+  }
+  return core::PiecewiseLinearPricing::Create(points).value();
+}
+
+Status PublishSyntheticCatalog(const SyntheticCatalogSpec& spec,
+                               CatalogRegistry* registry,
+                               const std::function<bool(size_t)>& owns) {
+  for (size_t i = 0; i < spec.num_curves; ++i) {
+    if (owns && !owns(i)) continue;
+    MBP_ASSIGN_OR_RETURN(
+        const CatalogRegistry::CurveSlot* slot,
+        registry->Publish(SyntheticCurveId(i), MakeSyntheticCurve(spec, i)));
+    (void)slot;
+  }
+  return Status::OK();
+}
+
+}  // namespace mbp::serving

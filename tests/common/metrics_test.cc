@@ -31,6 +31,35 @@ TEST(CounterTest, ConcurrentIncrementsAllLand) {
   EXPECT_EQ(c.Value(), kThreads * kPerThread);
 }
 
+TEST(GaugeTest, AddAndSetTrackSignedLevel) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Add(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-20);
+  EXPECT_EQ(g.Value(), -13) << "gauges are signed levels, not counters";
+  g.Set(1000);
+  EXPECT_EQ(g.Value(), 1000);
+}
+
+TEST(GaugeTest, ConcurrentBalancedDeltasNetToZero) {
+  Gauge g;
+  constexpr size_t kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        g.Add(7);
+        g.Add(-7);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(g.Value(), 0);
+}
+
 TEST(LatencyHistogramTest, EmptySnapshot) {
   LatencyHistogram h;
   const LatencyHistogramSnapshot snap = h.Snapshot();

@@ -165,6 +165,49 @@ TEST_F(NetServerTest, UnknownCurveIsNotFoundAndConnectionSurvives) {
   EXPECT_EQ(*good, engine_->Price(slot_, 2.0).value());
 }
 
+TEST_F(NetServerTest, EmbeddedNulCurveIdsAreServedExactly) {
+  // Curve ids are length-prefixed bytes on the wire, never C strings:
+  // embedded NULs must resolve to the right listing, and near-miss ids
+  // (same prefix, different NUL tail) must stay NotFound.
+  const std::string with_nul("menu\0gold", 9);
+  const std::string near_miss("menu\0silver", 11);
+  ASSERT_TRUE(registry_.Publish(with_nul, MakeVariant(4)).ok());
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  const auto priced = client->PriceAt(with_nul, 2.0);
+  ASSERT_TRUE(priced.ok()) << priced.status();
+  EXPECT_EQ(*priced, MakeVariant(4).PriceAtInverseNcp(2.0));
+  const auto missing = client->PriceAt(near_miss, 2.0);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  const auto prefix = client->PriceAt("menu", 2.0);
+  ASSERT_FALSE(prefix.ok());
+  EXPECT_EQ(prefix.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(NetServerTest, MaxLengthCurveIdsRoundTripAndLongerOnesTruncate) {
+  // 255 bytes is the wire cap. A longer id is truncated to its 255-byte
+  // prefix by the encoder (documented protocol behavior) — pin both
+  // sides of the boundary.
+  std::string max_id(255, 'm');
+  max_id[254] = 'z';
+  ASSERT_TRUE(registry_.Publish(max_id, MakeVariant(5)).ok());
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  const auto priced = client->PriceAt(max_id, 3.0);
+  ASSERT_TRUE(priced.ok()) << priced.status();
+  EXPECT_EQ(*priced, MakeVariant(5).PriceAtInverseNcp(3.0));
+  // An over-long id is served as its truncated prefix (here: max_id).
+  const std::string overlong = max_id + "-tail";
+  const auto truncated = client->PriceAt(overlong, 3.0);
+  ASSERT_TRUE(truncated.ok()) << truncated.status();
+  EXPECT_EQ(*truncated, *priced);
+  // A shorter distinct id misses.
+  const auto shorter = client->PriceAt(max_id.substr(0, 254), 3.0);
+  ASSERT_FALSE(shorter.ok());
+  EXPECT_EQ(shorter.status().code(), StatusCode::kNotFound);
+}
+
 TEST_F(NetServerTest, WithdrawnCurveIsNotFoundUntilRepublished) {
   auto client = Connect();
   ASSERT_NE(client, nullptr);

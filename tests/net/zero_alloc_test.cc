@@ -205,5 +205,86 @@ TEST(ZeroAllocTest, SteadyStatePriceAtPathMakesNoServerHeapAllocations) {
   (*server)->Shutdown();
 }
 
+TEST(ZeroAllocTest, MultiCurveSteadyStateMakesNoServerHeapAllocations) {
+  // The marketplace-scale claim (DESIGN.md §5g): heterogeneous traffic
+  // across MANY distinct curves must stay allocation-free too — id
+  // resolution is a lock-free intern probe, and the per-pass curve→batch
+  // map lives in the shard's scratch arena.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "sanitizer runtimes own the allocator";
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  GTEST_SKIP() << "sanitizer runtimes own the allocator";
+#endif
+#endif
+  constexpr size_t kCurves = 64;
+  SnapshotRegistry registry;
+  std::vector<std::string> ids;
+  for (size_t i = 0; i < kCurves; ++i) {
+    ids.push_back("listing-" + std::to_string(i));
+    const double s = 1.0 + static_cast<double>(i) * 0.25;
+    auto published = registry.Publish(
+        ids.back(),
+        PiecewiseLinearPricing::Create(
+            {{1.0, 10.0 * s}, {2.0, 18.0 * s}, {4.0, 30.0 * s}})
+            .value());
+    ASSERT_TRUE(published.ok());
+  }
+  PriceQueryEngine engine(&registry);
+  ServerOptions options;
+  options.num_shards = 1;
+  auto server = PriceServer::Start(&engine, options);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  const int fd = RawConnect((*server)->port());
+  ASSERT_GE(fd, 0);
+
+  // One pipelined burst per roundtrip touching 8 DIFFERENT curves, the
+  // window sliding by 8 each roundtrip so all 64 distinct ids cycle
+  // through the shard's batch map continuously.
+  std::vector<std::string> wires(kCurves / 8);
+  for (size_t w = 0; w < wires.size(); ++w) {
+    for (uint64_t j = 0; j < 8; ++j) {
+      Request request;
+      request.verb = Verb::kPriceAt;
+      request.request_id = j + 1;
+      request.curve_id = ids[(w * 8 + j) % kCurves];
+      request.args = {0.5, 1.5, 3.0};
+      EncodeRequest(request, &wires[w]);
+    }
+  }
+  std::vector<uint8_t> buf;
+  buf.reserve(8192);
+  size_t window = 0;
+  const auto roundtrip = [&]() {
+    ASSERT_TRUE(SendAll(fd, wires[window]));
+    for (uint64_t j = 0; j < 8; ++j) {
+      ASSERT_TRUE(ReadResponse(fd, &buf, j + 1));
+    }
+    window = (window + 1) % wires.size();
+  };
+
+  // Warm-up covers every window shape, so all 64 curve slots, every batch
+  // map capacity step, and the response buffers reach steady state.
+  for (int i = 0; i < 512; ++i) roundtrip();
+
+  const uint64_t total_before = g_total_allocs.load();
+  const uint64_t mine_before = t_thread_allocs;
+  constexpr int kMeasured = 2000;
+  for (int i = 0; i < kMeasured; ++i) roundtrip();
+  const uint64_t total_delta = g_total_allocs.load() - total_before;
+  const uint64_t my_delta = t_thread_allocs - mine_before;
+
+  EXPECT_EQ(total_delta - my_delta, 0u)
+      << "server-side heap allocations during " << kMeasured
+      << " steady-state multi-curve roundtrips (total=" << total_delta
+      << ", client-thread=" << my_delta << ") across " << kCurves
+      << " distinct curves";
+
+  close(fd);
+  (*server)->Shutdown();
+}
+
 }  // namespace
 }  // namespace mbp::net

@@ -146,5 +146,53 @@ TEST(UnitSphereTest, DirectionIsUnbiased) {
   EXPECT_LT(linalg::Norm2(mean), 0.02);
 }
 
+TEST(ZipfIndexTest, ProbabilitiesMatchTheExactLaw) {
+  constexpr size_t kN = 100;
+  constexpr double kS = 1.1;
+  const ZipfIndex zipf(kN, kS);
+  EXPECT_EQ(zipf.n(), kN);
+  double norm = 0.0;
+  for (size_t k = 0; k < kN; ++k) {
+    norm += std::pow(static_cast<double>(k + 1), -kS);
+  }
+  double total = 0.0;
+  for (size_t k = 0; k < kN; ++k) {
+    const double expected =
+        std::pow(static_cast<double>(k + 1), -kS) / norm;
+    EXPECT_NEAR(zipf.Probability(k), expected, 1e-12) << "rank " << k;
+    total += zipf.Probability(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(zipf.Probability(0), zipf.Probability(1));
+}
+
+TEST(ZipfIndexTest, SampleFrequenciesMatchProbabilities) {
+  constexpr size_t kN = 50;
+  const ZipfIndex zipf(kN, 1.1);
+  Rng rng(77);
+  std::vector<int> counts(kN, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const size_t k = zipf.Sample(rng);
+    ASSERT_LT(k, kN);
+    ++counts[k];
+  }
+  // The head ranks carry enough mass for tight frequency checks.
+  for (size_t k = 0; k < 5; ++k) {
+    const double freq = static_cast<double>(counts[k]) / kDraws;
+    EXPECT_NEAR(freq, zipf.Probability(k), 0.01) << "rank " << k;
+  }
+  // Monotone-ish popularity: rank 0 dominates the tail.
+  EXPECT_GT(counts[0], counts[kN - 1] * 10);
+}
+
+TEST(ZipfIndexTest, ZeroExponentIsUniform) {
+  constexpr size_t kN = 8;
+  const ZipfIndex zipf(kN, 0.0);
+  for (size_t k = 0; k < kN; ++k) {
+    EXPECT_NEAR(zipf.Probability(k), 1.0 / kN, 1e-12);
+  }
+}
+
 }  // namespace
 }  // namespace mbp::random

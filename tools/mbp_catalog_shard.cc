@@ -1,0 +1,175 @@
+// One catalog shard process of a consistent-hash price-serving fleet
+// (DESIGN.md §5g): compiles a deterministic synthetic catalog (its ring
+// share, or the whole catalog when unpartitioned), serves it over the
+// binary TCP protocol, prints a READY line for the launcher, and drains
+// gracefully on stdin EOF / SIGTERM / SIGINT.
+//
+// Flags:
+//   --port=N         bind port (default 0 = ephemeral; see READY line)
+//   --loops=N        server event-loop shards (default 1)
+//   --curves=N       synthetic catalog size (default 1024)
+//   --seed=N         catalog seed (default 7) — every process of a fleet
+//                    must agree so curves are bit-identical across shards
+//   --min-knots=N    per-curve knot count range (default 8..128)
+//   --max-knots=N
+//   --ring-size=N    partitioned mode: this process is node
+//   --ring-index=I   "shard-<I>" of an N-node ring and publishes only the
+//                    curves it owns under --replicas (default: ring-size 0
+//                    = unpartitioned, publish everything)
+//   --replicas=R     ring ownership multiplicity (default 2)
+//   --vnodes=N       ring vnodes per node (default 64; must match clients)
+//   --max-listings=N CatalogRegistry residency cap (default 0 = unbounded)
+//   --default-curve=ID  curve served for empty request ids
+//   --fault-seed=N   arm the chaos fault storm on this process's injector
+//   --fault-scale=F  storm probability multiplier (default 1.0)
+//
+// Output: exactly one line "READY port=<p> curves=<n> bytes=<b>\n" on
+// stdout once serving; the process then blocks until stdin closes or a
+// signal arrives, shuts down gracefully, and exits 0.
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/fault_injection.h"
+#include "net/cluster.h"
+#include "net/server.h"
+#include "serving/price_query_engine.h"
+#include "serving/synthetic_catalog.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+// The seeded fault storm of tests/net/chaos_test.cc, scaled: transient
+// EINTR/EAGAIN, short reads/writes, delays, resets, accept-side refusals.
+void ArmFaultStorm(uint64_t seed, double scale) {
+  mbp::fault::FaultInjector& inj = mbp::fault::FaultInjector::Global();
+  inj.Seed(seed);
+  mbp::fault::PointSchedule transient;
+  transient.probability = 0.05 * scale;
+  inj.Arm("net.recv.eintr", transient);
+  inj.Arm("net.recv.eagain", transient);
+  inj.Arm("net.send.eintr", transient);
+  inj.Arm("net.send.eagain", transient);
+  inj.Arm("net.accept.eintr", transient);
+  inj.Arm("net.epoll.eintr", transient);
+  mbp::fault::PointSchedule shortio;
+  shortio.probability = 0.2 * scale;
+  inj.Arm("net.recv.short", shortio);
+  inj.Arm("net.send.short", shortio);
+  mbp::fault::PointSchedule delay;
+  delay.probability = 0.001 * scale;
+  delay.delay_micros = 500;
+  inj.Arm("net.recv.delay", delay);
+  inj.Arm("net.send.delay", delay);
+  mbp::fault::PointSchedule reset;
+  reset.probability = 0.0005 * scale;
+  inj.Arm("net.recv.reset", reset);
+  inj.Arm("net.send.reset", reset);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mbp;  // NOLINT
+  const auto flag = [&](const char* name, double fallback) {
+    return bench::FlagValue(argc, argv, name, fallback);
+  };
+  const uint16_t port = static_cast<uint16_t>(flag("port", 0));
+  const size_t loops = static_cast<size_t>(flag("loops", 1));
+  const size_t ring_size = static_cast<size_t>(flag("ring-size", 0));
+  const size_t ring_index = static_cast<size_t>(flag("ring-index", 0));
+  const size_t replicas = static_cast<size_t>(flag("replicas", 2));
+  const size_t vnodes = static_cast<size_t>(flag("vnodes", 64));
+  const uint64_t fault_seed = static_cast<uint64_t>(flag("fault-seed", 0));
+  const double fault_scale = flag("fault-scale", 1.0);
+
+  serving::SyntheticCatalogSpec spec;
+  spec.num_curves = static_cast<size_t>(flag("curves", 1024));
+  spec.seed = static_cast<uint64_t>(flag("seed", 7));
+  spec.min_knots = static_cast<size_t>(flag("min-knots", 8));
+  spec.max_knots = static_cast<size_t>(flag("max-knots", 128));
+
+  serving::CatalogRegistryOptions registry_options;
+  registry_options.max_resident_listings =
+      static_cast<size_t>(flag("max-listings", 0));
+  serving::CatalogRegistry registry(registry_options);
+
+  if (fault_seed != 0) ArmFaultStorm(fault_seed, fault_scale);
+
+  // Partitioned mode: own exactly the ring's share. The ring is built
+  // from stable "shard-<i>" labels, NOT addresses — the same ring every
+  // fleet client builds, so ownership and routing agree even though every
+  // process binds an ephemeral port.
+  Status published = Status::OK();
+  if (ring_size > 0) {
+    if (ring_index >= ring_size) {
+      std::fprintf(stderr, "--ring-index must be < --ring-size\n");
+      return 1;
+    }
+    std::vector<std::string> labels;
+    for (size_t i = 0; i < ring_size; ++i) {
+      labels.push_back("shard-" + std::to_string(i));
+    }
+    const net::HashRing ring(labels, vnodes);
+    published = serving::PublishSyntheticCatalog(
+        spec, &registry, [&](size_t index) {
+          return ring.Owns(serving::SyntheticCurveId(index), ring_index,
+                           replicas);
+        });
+  } else {
+    published = serving::PublishSyntheticCatalog(spec, &registry);
+  }
+  if (!published.ok()) {
+    std::fprintf(stderr, "catalog publish failed: %s\n",
+                 published.ToString().c_str());
+    return 1;
+  }
+
+  serving::PriceQueryEngine engine(&registry);
+  net::ServerOptions server_options;
+  server_options.port = port;
+  server_options.num_shards = loops;
+  server_options.default_curve_id =
+      bench::FlagString(argc, argv, "default-curve", "");
+  auto server = net::PriceServer::Start(&engine, server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  struct sigaction sa = {};
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  std::printf("READY port=%u curves=%zu bytes=%zu\n", (*server)->port(),
+              registry.resident_listings(), registry.resident_bytes());
+  std::fflush(stdout);
+
+  // Park until the launcher closes our stdin or a signal lands.
+  while (!g_stop.load()) {
+    struct pollfd pfd = {STDIN_FILENO, POLLIN, 0};
+    const int n = poll(&pfd, 1, 200);
+    if (n < 0 && errno != EINTR) break;
+    if (n > 0) {
+      char buf[256];
+      const ssize_t r = read(STDIN_FILENO, buf, sizeof(buf));
+      if (r <= 0) break;  // EOF (or error): launcher is gone
+    }
+  }
+  (*server)->Shutdown();
+  return 0;
+}

@@ -1,0 +1,223 @@
+// Multi-process fleet launcher (DESIGN.md §5g): fork/execs N
+// mbp_catalog_shard processes on ephemeral ports, waits for each READY
+// line, prints ONE machine-readable FLEET line, then keeps the children
+// alive until its own stdin closes (or SIGTERM/SIGINT) — at which point
+// every child's stdin closes too, the shards drain gracefully, and
+// stragglers are killed after a bounded wait.
+//
+// Flags:
+//   --n=N            shard processes (default 2)
+//   --shard-bin=PATH mbp_catalog_shard binary (default: sibling of argv[0])
+//   --partition      ring-partition the catalog (default: every shard
+//                    holds the full catalog — the bit-identical-failover
+//                    configuration)
+//   --fault-shard=I  arm the chaos fault storm on shard I (default -1 = none)
+//   --fault-seed=N   storm seed for --fault-shard (default 12648430)
+//   --fault-scale=F  storm probability multiplier
+//   --curves, --seed, --min-knots, --max-knots, --replicas, --vnodes,
+//   --loops, --max-listings, --default-curve    forwarded to every shard
+//
+// Output: "FLEET endpoints=127.0.0.1:p0,127.0.0.1:p1,... labels=shard-0,
+// shard-1,...\n" — paste the endpoints into bench_net --endpoints or feed
+// them to ParseEndpoints; the labels are the ring names every shard used,
+// to be passed as ClusterClientOptions::node_labels when --partition is on.
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+struct Child {
+  pid_t pid = -1;
+  int stdin_fd = -1;   // write end: closing it tells the shard to drain
+  int stdout_fd = -1;  // read end: carries the READY line
+  uint16_t port = 0;
+};
+
+// Reads the shard's "READY port=..." line (blocking, bounded by
+// timeout_ms). Returns 0 on failure.
+uint16_t ReadReadyPort(int fd, int timeout_ms) {
+  std::string line;
+  while (line.find('\n') == std::string::npos && line.size() < 4096) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int n = poll(&pfd, 1, timeout_ms);
+    if (n <= 0) return 0;
+    char buf[256];
+    const ssize_t r = read(fd, buf, sizeof(buf));
+    if (r <= 0) return 0;
+    line.append(buf, static_cast<size_t>(r));
+  }
+  const size_t pos = line.find("READY port=");
+  if (pos == std::string::npos) return 0;
+  return static_cast<uint16_t>(
+      std::atoi(line.c_str() + pos + std::strlen("READY port=")));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mbp;  // NOLINT
+  const size_t n = static_cast<size_t>(
+      bench::FlagValue(argc, argv, "n", 2));
+  const bool partition = bench::FlagPresent(argc, argv, "partition");
+  const int fault_shard = static_cast<int>(
+      bench::FlagValue(argc, argv, "fault-shard", -1));
+  const uint64_t fault_seed = static_cast<uint64_t>(
+      bench::FlagValue(argc, argv, "fault-seed", 12648430));
+  const double fault_scale = bench::FlagValue(argc, argv, "fault-scale", 1.0);
+
+  std::string shard_bin = bench::FlagString(argc, argv, "shard-bin", "");
+  if (shard_bin.empty()) {
+    // Default: sibling binary next to this launcher.
+    shard_bin = argv[0];
+    const size_t slash = shard_bin.rfind('/');
+    shard_bin = (slash == std::string::npos ? std::string()
+                                            : shard_bin.substr(0, slash + 1)) +
+                "mbp_catalog_shard";
+  }
+
+  // Forwarded verbatim to every shard (shards must agree on the catalog).
+  std::vector<std::string> forwarded;
+  for (const char* name : {"curves", "seed", "min-knots", "max-knots",
+                           "replicas", "vnodes", "loops", "max-listings"}) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+        forwarded.push_back(argv[i]);
+      }
+    }
+  }
+  const std::string default_curve =
+      bench::FlagString(argc, argv, "default-curve", "");
+  if (!default_curve.empty()) {
+    forwarded.push_back("--default-curve=" + default_curve);
+  }
+
+  signal(SIGPIPE, SIG_IGN);
+  struct sigaction sa = {};
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  std::vector<Child> children(n);
+  for (size_t i = 0; i < n; ++i) {
+    int in_pipe[2], out_pipe[2];
+    if (pipe(in_pipe) < 0 || pipe(out_pipe) < 0) {
+      std::perror("pipe");
+      return 1;
+    }
+    std::vector<std::string> args;
+    args.push_back(shard_bin);
+    args.push_back("--port=0");
+    for (const std::string& f : forwarded) args.push_back(f);
+    if (partition) {
+      args.push_back("--ring-size=" + std::to_string(n));
+      args.push_back("--ring-index=" + std::to_string(i));
+    }
+    if (fault_shard >= 0 && static_cast<size_t>(fault_shard) == i) {
+      args.push_back("--fault-seed=" + std::to_string(fault_seed));
+      args.push_back("--fault-scale=" + std::to_string(fault_scale));
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      dup2(in_pipe[0], STDIN_FILENO);
+      dup2(out_pipe[1], STDOUT_FILENO);
+      close(in_pipe[0]);
+      close(in_pipe[1]);
+      close(out_pipe[0]);
+      close(out_pipe[1]);
+      std::vector<char*> cargs;
+      for (std::string& a : args) cargs.push_back(a.data());
+      cargs.push_back(nullptr);
+      execv(shard_bin.c_str(), cargs.data());
+      std::perror("execv");
+      _exit(127);
+    }
+    close(in_pipe[0]);
+    close(out_pipe[1]);
+    children[i].pid = pid;
+    children[i].stdin_fd = in_pipe[1];
+    children[i].stdout_fd = out_pipe[0];
+  }
+
+  // Collect READY lines; shards compiling 100k-curve catalogs need time.
+  bool all_ready = true;
+  for (Child& child : children) {
+    child.port = ReadReadyPort(child.stdout_fd, 120000);
+    if (child.port == 0) all_ready = false;
+  }
+  if (!all_ready) {
+    std::fprintf(stderr, "fleet: not every shard reported READY\n");
+    for (Child& child : children) {
+      if (child.pid > 0) kill(child.pid, SIGKILL);
+    }
+    return 1;
+  }
+
+  std::string endpoints, labels;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      endpoints += ",";
+      labels += ",";
+    }
+    endpoints += "127.0.0.1:" + std::to_string(children[i].port);
+    labels += "shard-" + std::to_string(i);
+  }
+  std::printf("FLEET endpoints=%s labels=%s\n", endpoints.c_str(),
+              labels.c_str());
+  std::fflush(stdout);
+
+  // Park until our stdin closes or a signal lands; then tear down.
+  while (!g_stop.load()) {
+    struct pollfd pfd = {STDIN_FILENO, POLLIN, 0};
+    const int r = poll(&pfd, 1, 200);
+    if (r < 0 && errno != EINTR) break;
+    if (r > 0) {
+      char buf[256];
+      const ssize_t got = read(STDIN_FILENO, buf, sizeof(buf));
+      if (got <= 0) break;
+    }
+  }
+
+  // Graceful: close each shard's stdin (its park loop exits and drains),
+  // wait briefly, SIGKILL stragglers.
+  for (Child& child : children) close(child.stdin_fd);
+  const int kGraceMs = 5000;
+  for (Child& child : children) {
+    int waited = 0, status = 0;
+    while (waited < kGraceMs) {
+      const pid_t done = waitpid(child.pid, &status, WNOHANG);
+      if (done == child.pid) {
+        child.pid = -1;
+        break;
+      }
+      usleep(50 * 1000);
+      waited += 50;
+    }
+    if (child.pid > 0) {
+      kill(child.pid, SIGKILL);
+      waitpid(child.pid, &status, 0);
+    }
+    close(child.stdout_fd);
+  }
+  return 0;
+}
