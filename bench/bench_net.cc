@@ -37,11 +37,30 @@
 //                    same --curves/--catalog-seed/knot range
 //   --labels=CSV     stable ring labels for --endpoints (the FLEET line
 //                    prints them); default = host:port labels
+//   --transport=T    server transport regime (DESIGN.md §5h):
+//                      epoll  readiness event loop (default)
+//                      uring  io_uring completion loop (falls back to
+//                             epoll — visibly — when the probe fails)
+//                      shm    shared-memory ring; clients connect via
+//                             shm:// instead of TCP
+//                    in-process server mode only
+//   --warmup=N       per-connection round trips run before timing starts;
+//                    excluded from wall clock and latency histograms (100)
+//   --pin=0|1        pin each generator thread to a CPU — steadier
+//                    quantiles on shared machines (0)
 //   --out=FILE       write the JSON there instead of stdout
+//
+// In-process runs also report syscalls-per-request per regime, from the
+// server's transport_syscalls STATS delta across the regime — the number
+// the io_uring/shm backends exist to drive down.
+
+#include <sched.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -70,6 +89,9 @@ struct RegimeResult {
   size_t queries = 0;
   double wall_ms = 0.0;
   double qps = 0.0;  // individual prices served per second
+  // Server-side kernel crossings per request over the regime's window;
+  // negative when no in-process server was available to ask.
+  double syscalls_per_request = -1.0;
   LatencyHistogramSnapshot latency;  // per-round-trip, client-observed
 };
 
@@ -104,12 +126,18 @@ struct Workload {
 };
 
 // Runs one regime: `connections` threads, each with its own client, each
-// performing `requests` round trips of `batch` xs. Per-round-trip latency
-// lands in one shared histogram.
+// performing `warmup` untimed then `requests` timed round trips of
+// `batch` xs. Warmup runs before the start barrier, so neither the
+// shared latency histogram nor the wall clock sees cold caches, fresh
+// TCP windows, or branch-predictor training. Per-round-trip latency of
+// the timed window lands in one shared histogram. `stats_fn`, when
+// given, samples the server's STATS around the timed window to derive
+// syscalls-per-request.
 RegimeResult RunRegime(const std::string& name, size_t connections,
-                       size_t requests, size_t batch,
-                       const Workload& workload,
+                       size_t requests, size_t warmup, bool pin,
+                       size_t batch, const Workload& workload,
                        const MakeClientFn& make_client,
+                       const std::function<net::StatsPayload()>& stats_fn,
                        std::atomic<size_t>* failures) {
   RegimeResult result;
   result.name = name;
@@ -122,6 +150,13 @@ RegimeResult RunRegime(const std::string& name, size_t connections,
   std::atomic<bool> go{false};
   for (size_t c = 0; c < connections; ++c) {
     threads.emplace_back([&, c] {
+      if (pin) {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+        CPU_SET(c % cpus, &set);
+        (void)sched_setaffinity(0, sizeof(set), &set);
+      }
       BatchFn query = make_client(c);
       if (!query) {
         failures->fetch_add(requests);
@@ -130,9 +165,7 @@ RegimeResult RunRegime(const std::string& name, size_t connections,
       }
       random::Rng rng(1234 + c);
       std::vector<double> xs(batch);
-      ready.fetch_add(1);
-      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
-      for (size_t r = 0; r < requests; ++r) {
+      const auto round_trip = [&](bool timed) {
         const size_t index = workload.zipf != nullptr
                                  ? workload.perm[workload.zipf->Sample(rng)]
                                  : workload.fixed_index;
@@ -140,29 +173,48 @@ RegimeResult RunRegime(const std::string& name, size_t connections,
         for (double& x : xs) x = rng.NextDouble(0.0, hi);
         const auto start = std::chrono::steady_clock::now();
         const auto prices = query(workload.ids[index], xs);
-        latency.Record(
-            std::chrono::duration<double, std::micro>(
-                std::chrono::steady_clock::now() - start)
-                .count());
+        if (timed) {
+          latency.Record(
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+        }
         if (!prices.ok() || prices->size() != batch) failures->fetch_add(1);
-      }
+      };
+      for (size_t r = 0; r < warmup; ++r) round_trip(false);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (size_t r = 0; r < requests; ++r) round_trip(true);
     });
   }
   while (ready.load(std::memory_order_acquire) < connections) {
     std::this_thread::yield();
   }
+  net::StatsPayload before;
+  if (stats_fn) before = stats_fn();
   const auto start = std::chrono::steady_clock::now();
   go.store(true, std::memory_order_release);
   for (std::thread& t : threads) t.join();
   result.wall_ms = MillisSince(start);
+  if (stats_fn) {
+    const net::StatsPayload after = stats_fn();
+    const uint64_t reqs = after.requests_ok - before.requests_ok;
+    if (reqs > 0) {
+      result.syscalls_per_request =
+          static_cast<double>(after.transport_syscalls -
+                              before.transport_syscalls) /
+          static_cast<double>(reqs);
+    }
+  }
   result.qps =
       static_cast<double>(result.queries) / (result.wall_ms * 1e-3);
   result.latency = latency.Snapshot();
   std::printf(
-      "  %-10s %8zu rt  %9.2f ms  %11.0f qps   p50 %7.1f us   p99 %7.1f us\n",
+      "  %-10s %8zu rt  %9.2f ms  %11.0f qps   p50 %7.1f us   p99 %7.1f us"
+      "   %5.2f sys/req\n",
       result.name.c_str(), result.round_trips, result.wall_ms, result.qps,
       result.latency.QuantileMicros(0.5),
-      result.latency.QuantileMicros(0.99));
+      result.latency.QuantileMicros(0.99), result.syscalls_per_request);
   return result;
 }
 
@@ -204,6 +256,10 @@ void MergeStats(const net::StatsPayload& from, net::StatsPayload* into) {
       std::max(into->write_queue_peak_bytes, from.write_queue_peak_bytes);
   into->catalog_listings += from.catalog_listings;
   into->catalog_bytes += from.catalog_bytes;
+  into->transport_fallbacks += from.transport_fallbacks;
+  into->transport_syscalls += from.transport_syscalls;
+  into->uring_sqe_submitted += from.uring_sqe_submitted;
+  into->shm_doorbell_wakes += from.shm_doorbell_wakes;
   MergeHistogram(from.latency, &into->latency);
   MergeHistogram(from.write_queue_bytes, &into->write_queue_bytes);
 }
@@ -211,6 +267,9 @@ void MergeStats(const net::StatsPayload& from, net::StatsPayload* into) {
 struct BenchConfig {
   size_t knots, curves, connections, requests, batch, shards;
   size_t min_knots, max_knots;
+  size_t warmup;
+  bool pin;
+  std::string transport;
   double zipf_s;
   uint64_t catalog_seed;
   size_t num_endpoints;
@@ -231,6 +290,9 @@ void EmitJson(FILE* out, const BenchConfig& config, bool bit_identical,
   json.Field("endpoints", config.num_endpoints);
   json.Field("connections", config.connections);
   json.Field("requests_per_connection", config.requests);
+  json.Field("warmup_per_connection", config.warmup);
+  json.Field("pinned", config.pin);
+  json.Field("transport", config.transport);
   json.Field("batch", config.batch);
   json.Field("shards", config.shards);
   json.Field("hardware_concurrency",
@@ -255,6 +317,7 @@ void EmitJson(FILE* out, const BenchConfig& config, bool bit_identical,
     json.Field("queries", r.queries);
     json.Field("wall_ms", r.wall_ms);
     json.Field("qps", r.qps);
+    json.Field("syscalls_per_request", r.syscalls_per_request);
     EmitHistogramFields(&json, r.latency);
     json.EndObject();
   }
@@ -272,6 +335,10 @@ void EmitJson(FILE* out, const BenchConfig& config, bool bit_identical,
   json.Field("connections_killed", server_stats.connections_killed);
   json.Field("connections_refused", server_stats.connections_refused);
   json.Field("faults_injected", server_stats.faults_injected);
+  json.Field("transport_fallbacks", server_stats.transport_fallbacks);
+  json.Field("transport_syscalls", server_stats.transport_syscalls);
+  json.Field("uring_sqe_submitted", server_stats.uring_sqe_submitted);
+  json.Field("shm_doorbell_wakes", server_stats.shm_doorbell_wakes);
   json.Field("write_queue_peak_bytes", server_stats.write_queue_peak_bytes);
   json.Field("catalog_listings", server_stats.catalog_listings);
   json.Field("catalog_bytes", server_stats.catalog_bytes);
@@ -306,14 +373,37 @@ int main(int argc, char** argv) {
       bench::FlagValue(argc, argv, "batch", 64));
   config.shards = static_cast<size_t>(
       bench::FlagValue(argc, argv, "shards", 2));
+  config.warmup = static_cast<size_t>(
+      bench::FlagValue(argc, argv, "warmup", 100));
+  config.pin = bench::FlagValue(argc, argv, "pin", 0) != 0;
+  config.transport = bench::FlagString(argc, argv, "transport", "epoll");
   const std::string out_path = bench::FlagString(argc, argv, "out", "");
   const std::string endpoints_csv =
       bench::FlagString(argc, argv, "endpoints", "");
   const std::string labels_csv = bench::FlagString(argc, argv, "labels", "");
 
+  net::TransportKind transport_kind;
+  if (!net::ParseTransportKind(config.transport, &transport_kind)) {
+    std::fprintf(stderr, "--transport=%s: expected epoll, uring, or shm\n",
+                 config.transport.c_str());
+    return 1;
+  }
+  if (!endpoints_csv.empty() && config.transport != "epoll") {
+    std::fprintf(stderr,
+                 "--transport selects the in-process server's backend; an "
+                 "--endpoints fleet chooses its own\n");
+    return 1;
+  }
+  if (transport_kind == net::TransportKind::kUring &&
+      !net::UringAvailable()) {
+    std::printf("NOTE: io_uring probe failed on this kernel; the server "
+                "will fall back to epoll (recorded in transport_fallbacks)\n");
+  }
+
   const bool multi_curve = config.curves > 1;
 
-  bench::PrintHeader("Networked price serving (epoll TCP front end)");
+  bench::PrintHeader("Networked price serving (" + config.transport +
+                     " front end)");
   if (multi_curve) {
     std::printf("curves=%zu  zipf=%.2f  knots=[%zu,%zu]  connections=%zu  "
                 "requests/conn=%zu  batch=%zu  shards=%zu\n",
@@ -371,10 +461,23 @@ int main(int argc, char** argv) {
   std::vector<net::Endpoint> endpoints;
   net::ClusterClientOptions cluster_options;
   uint16_t port = 0;
+  std::string shm_uri;  // non-empty => clients connect over the shm ring
   if (endpoints_csv.empty()) {
     net::ServerOptions options;
     options.num_shards = config.shards;
     if (!multi_curve) options.default_curve_id = "menu";
+    if (transport_kind == net::TransportKind::kShm) {
+      // The shm transport is not a TCP backend: the segment serves
+      // shm:// clients next to the (idle here) epoll listener.
+      const std::string shm_path = "/tmp/mbp_bench_net_" +
+                                   std::to_string(getpid()) + ".shm";
+      options.shm_path = shm_path;
+      options.shm_slots = config.connections + 8;  // + gate/stats clients
+      options.shm_shards = config.shards;
+      shm_uri = "shm://" + shm_path;
+    } else {
+      options.transport = transport_kind;
+    }
     auto started = net::PriceServer::Start(&engine, options);
     if (!started.ok()) {
       std::fprintf(stderr, "server start failed: %s\n",
@@ -383,7 +486,12 @@ int main(int argc, char** argv) {
     }
     server = std::move(*started);
     port = server->port();
-    std::printf("server on 127.0.0.1:%u\n", port);
+    if (shm_uri.empty()) {
+      std::printf("server on 127.0.0.1:%u (%s)\n", port,
+                  config.transport.c_str());
+    } else {
+      std::printf("server on %s\n", shm_uri.c_str());
+    }
     config.num_endpoints = 0;
   } else {
     auto parsed = net::ParseEndpoints(endpoints_csv);
@@ -413,7 +521,9 @@ int main(int argc, char** argv) {
   // consistent-hash router against the fleet in --endpoints mode.
   MakeClientFn make_client = [&](size_t) -> BatchFn {
     if (endpoints.empty()) {
-      auto client = net::PriceClient::Connect("127.0.0.1", port);
+      auto client = shm_uri.empty()
+                        ? net::PriceClient::Connect("127.0.0.1", port)
+                        : net::PriceClient::Connect(shm_uri, 0);
       if (!client.ok()) return nullptr;
       return [client = std::shared_ptr<net::PriceClient>(
                   std::move(*client))](const std::string& id,
@@ -473,6 +583,10 @@ int main(int argc, char** argv) {
   // --- Regimes -----------------------------------------------------------
   std::atomic<size_t> failures{0};
   std::vector<RegimeResult> regimes;
+  std::function<net::StatsPayload()> stats_fn;
+  if (server != nullptr) {
+    stats_fn = [&server] { return server->stats(); };
+  }
   if (multi_curve) {
     // Scatter zipf ranks across the id space with a seeded shuffle so
     // "hot" curves are not physically adjacent (adjacency would flatter
@@ -490,19 +604,22 @@ int main(int argc, char** argv) {
     Workload fixed = workload;
     fixed.zipf = nullptr;
     regimes.push_back(RunRegime("batched", config.connections,
-                                config.requests, config.batch, fixed,
-                                make_client, &failures));
+                                config.requests, config.warmup, config.pin,
+                                config.batch, fixed, make_client, stats_fn,
+                                &failures));
     workload.zipf = &zipf;
     regimes.push_back(RunRegime("zipf", config.connections, config.requests,
-                                config.batch, workload, make_client,
-                                &failures));
+                                config.warmup, config.pin, config.batch,
+                                workload, make_client, stats_fn, &failures));
   } else {
     regimes.push_back(RunRegime("pingpong", config.connections,
-                                config.requests, 1, workload, make_client,
+                                config.requests, config.warmup, config.pin,
+                                1, workload, make_client, stats_fn,
                                 &failures));
     regimes.push_back(RunRegime("batched", config.connections,
-                                config.requests, config.batch, workload,
-                                make_client, &failures));
+                                config.requests, config.warmup, config.pin,
+                                config.batch, workload, make_client,
+                                stats_fn, &failures));
   }
   bench::PrintRule();
 
@@ -530,6 +647,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%zu client round trips failed\n", failures.load());
   }
   if (server != nullptr) server->Shutdown();
+  if (!shm_uri.empty()) {
+    (void)unlink(shm_uri.c_str() + strlen("shm://"));
+  }
 
   const bool bit_identical = mismatches == 0 && failures.load() == 0;
   if (out_path.empty()) {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Chaos harness: runs the NetChaosTest suite (seeded fault schedules over
-# the full client/server serving path) under AddressSanitizer and then
-# under ThreadSanitizer (via scripts/tsan.sh), each with the suite's
+# the full client/server serving path) under AddressSanitizer — on the
+# default epoll transport and then again on the uring and shm transports —
+# and under ThreadSanitizer (via scripts/tsan.sh), each with the suite's
 # fixed default seed plus the extra seeds given on the command line plus
 # one fresh randomized seed. Every run prints its seed; replay any
 # failure with MBP_CHAOS_SEED=<seed> scripts/chaos.sh.
@@ -45,7 +46,21 @@ for seed in "${SEEDS[@]}"; do
   MBP_CHAOS_SEED="$seed" "$ROOT/scripts/tsan.sh" "$ROOT/build-tsan" "$FILTER"
 done
 
-echo "[chaos] === pass 3: 2-process consistent-hash fleet (asan) ==="
+echo "[chaos] === pass 3: alternate transports, uring + shm (asan) ==="
+# Same seeded suite, but with the shard loops on the io_uring backend and
+# then with clients over the shared-memory ring (MBP_CHAOS_TRANSPORT,
+# tests/net/chaos_test.cc). The fixture self-skips with a visible notice
+# when the kernel lacks the io_uring features, so this pass degrades to
+# shm-only on old kernels rather than failing.
+for transport in uring shm; do
+  for seed in "${SEEDS[@]}"; do
+    echo "[chaos] asan run, transport=$transport MBP_CHAOS_SEED=$seed"
+    MBP_CHAOS_TRANSPORT="$transport" MBP_CHAOS_SEED="$seed" \
+      "$ASAN_DIR/tests/mbp_net_test" --gtest_filter="$FILTER.*"
+  done
+done
+
+echo "[chaos] === pass 4: 2-process consistent-hash fleet (asan) ==="
 # One fixed-seed pass against a real multi-process fleet: NetFleetTest
 # fork/execs 2 mbp_catalog_shard processes, fault-storms shard 0 with the
 # fixed seed, and asserts the consistent-hash client stays bit-identical

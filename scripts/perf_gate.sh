@@ -76,6 +76,9 @@ def signature(doc):
         "connections": doc.get("connections"),
         "shards": doc.get("shards"),
         "endpoints": doc.get("endpoints", 0),
+        # Transports are different machines as far as QPS goes; documents
+        # recorded before the field existed were epoll runs.
+        "transport": doc.get("transport", "epoll"),
         "regimes": tuple(sorted(r.get("name", "") for r in doc.get("regimes", []))),
     }
     if curves > 1:

@@ -9,16 +9,20 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <thread>
 
 #include "net/fault_syscalls.h"
+#include "net/shm_ring.h"
 
 namespace mbp::net {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr std::string_view kShmScheme = "shm://";
 
 Status ErrnoError(const std::string& what) {
   return InternalError(what + ": " + std::strerror(errno));
@@ -41,6 +45,357 @@ int PollTimeoutMs(Clock::time_point deadline) {
   return left.count() <= 0 ? 0 : static_cast<int>(std::min<int64_t>(
                                      left.count(), 60 * 1000));
 }
+
+}  // namespace
+
+// The transport under one PriceClient connection. Both operations are
+// blocking-with-deadline; any non-OK return means the connection is no
+// longer usable (the retry ladder reconnects on a fresh channel).
+class ClientChannel {
+ public:
+  virtual ~ClientChannel() = default;
+
+  // Delivers all `n` bytes (in order) or fails.
+  virtual Status SendAll(const uint8_t* data, size_t n,
+                         Clock::time_point deadline) = 0;
+  // Blocks until at least one byte is available, the peer closes (0),
+  // or `deadline` passes (kDeadlineExceeded).
+  virtual StatusOr<size_t> RecvSome(uint8_t* buf, size_t max,
+                                    Clock::time_point deadline) = 0;
+};
+
+namespace {
+
+// ---------------------------------------------------------------------
+// TCP: one nonblocking socket, poll()-paced.
+
+class TcpChannel final : public ClientChannel {
+ public:
+  static StatusOr<std::unique_ptr<TcpChannel>> Connect(
+      const std::string& host, uint16_t port, Clock::time_point deadline) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+    if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+      return InvalidArgumentError("unparsable IPv4 host '" + host + "'");
+    }
+    auto channel = std::unique_ptr<TcpChannel>(new TcpChannel());
+    channel->fd_ =
+        socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (channel->fd_ < 0) return ErrnoError("socket");
+    // Bounded non-blocking connect: EINPROGRESS, then poll(POLLOUT) with
+    // the remaining time, then SO_ERROR for the actual outcome. A peer
+    // that drops SYNs (full backlog, blackholed route) surfaces as
+    // kDeadlineExceeded instead of hanging the caller for minutes of
+    // kernel retransmits.
+    const std::string label = numeric + ":" + std::to_string(port);
+    if (connect(channel->fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+      if (errno != EINPROGRESS && errno != EINTR) {
+        return ErrnoError("connect " + label);
+      }
+      const Status ready = channel->WaitReady(POLLOUT, deadline);
+      if (!ready.ok()) {
+        if (ready.code() == StatusCode::kDeadlineExceeded) {
+          return DeadlineExceededError("connect " + label + " timed out");
+        }
+        return ready;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (getsockopt(channel->fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) <
+              0 ||
+          so_error != 0) {
+        errno = so_error != 0 ? so_error : errno;
+        return ErrnoError("connect " + label);
+      }
+    }
+    const int one = 1;
+    (void)setsockopt(channel->fd_, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+    return channel;
+  }
+
+  ~TcpChannel() override {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  Status SendAll(const uint8_t* data, size_t n,
+                 Clock::time_point deadline) override {
+    size_t sent = 0;
+    while (sent < n) {
+      const ssize_t w = internal::FaultSend(fd_, data + sent, n - sent);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          MBP_RETURN_IF_ERROR(WaitReady(POLLOUT, deadline));
+          continue;
+        }
+        return ErrnoError("send");
+      }
+      sent += static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<size_t> RecvSome(uint8_t* buf, size_t max,
+                            Clock::time_point deadline) override {
+    while (true) {
+      MBP_RETURN_IF_ERROR(WaitReady(POLLIN, deadline));
+      const ssize_t n = internal::FaultRecv(fd_, buf, max);
+      if (n == 0) return size_t{0};
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;  // poll again with the remaining deadline
+        }
+        return ErrnoError("recv");
+      }
+      return static_cast<size_t>(n);
+    }
+  }
+
+ private:
+  TcpChannel() = default;
+
+  // Blocks until fd_ is ready for `events` or `deadline` passes.
+  Status WaitReady(short events, Clock::time_point deadline) {
+    while (true) {
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = events;
+      const int n = internal::FaultPoll(&pfd, 1, PollTimeoutMs(deadline));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoError("poll");
+      }
+      if (n == 0) {
+        if (Clock::now() < deadline) continue;  // injected spurious timeout
+        return DeadlineExceededError("deadline waiting on socket");
+      }
+      if (pfd.revents & (POLLERR | POLLNVAL)) {
+        return InternalError("socket entered an error state");
+      }
+      return Status::OK();
+    }
+  }
+
+  int fd_ = -1;
+};
+
+// ---------------------------------------------------------------------
+// Shared-memory ring: one claimed slot of a server's segment. The
+// protocol is documented at the top of shm_ring.h; this is the client
+// half — claim/HELLO on connect, c2s producer + s2c consumer afterwards,
+// a state/token check before every ring touch so a recycled or
+// server-closed slot surfaces as a transport error instead of silent
+// corruption.
+
+class ShmChannel final : public ClientChannel {
+ public:
+  static StatusOr<std::unique_ptr<ShmChannel>> Connect(
+      const std::string& path, Clock::time_point deadline) {
+    using namespace shm_internal;  // NOLINT: protocol constants
+    auto segment_or = ShmSegment::Open(path);
+    if (!segment_or.ok()) return segment_or.status();
+    auto channel = std::unique_ptr<ShmChannel>(new ShmChannel());
+    channel->segment_ = std::move(*segment_or);
+    ShmSegment* segment = channel->segment_.get();
+
+    // A token no other claimant of this segment will ever stamp: pid +
+    // a process-wide nonce (never zero — zero means "unstamped").
+    static std::atomic<uint64_t> nonce{1};
+    uint64_t token =
+        (static_cast<uint64_t>(getpid()) << 32) ^
+        (nonce.fetch_add(1, std::memory_order_relaxed) *
+         0x9e3779b97f4a7c15ull) ^
+        static_cast<uint64_t>(Clock::now().time_since_epoch().count());
+    if (token == 0) token = 1;
+    channel->token_ = token;
+
+    // Claim: CAS any FREE slot to CLAIMED, stamp the token, go HELLO.
+    const size_t slots = segment->num_slots();
+    size_t claimed = slots;
+    for (size_t i = 0; i < slots; ++i) {
+      uint32_t expected = kSlotFree;
+      if (segment->slot(i)->state.compare_exchange_strong(
+              expected, kSlotClaimed, std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        claimed = i;
+        break;
+      }
+    }
+    if (claimed == slots) {
+      return UnavailableError("no free connection slots in shm segment " +
+                              path);
+    }
+    channel->slot_ = claimed;
+    SlotHeader* slot = segment->slot(claimed);
+    slot->token.store(token, std::memory_order_release);
+    slot->state.store(kSlotHello, std::memory_order_release);
+    segment->RingDoorbell(nullptr, nullptr);
+
+    // Await adoption. The server answers in microseconds when healthy,
+    // so a short sleep-poll is cheaper than futex plumbing on `state`.
+    while (true) {
+      const uint32_t state = slot->state.load(std::memory_order_acquire);
+      if (state == kSlotActive &&
+          slot->token.load(std::memory_order_acquire) == token) {
+        return channel;
+      }
+      if (state != kSlotHello && state != kSlotClaimed) {
+        // Refused, or recycled out from under us: hands off the slot —
+        // the server's grace reclaim owns it now.
+        channel->slot_ = kNoSlot;
+        return UnavailableError("shm connection refused by server");
+      }
+      if (!segment->is_open()) {
+        channel->Abandon();
+        return UnavailableError("shm segment is closed (server gone)");
+      }
+      if (Clock::now() >= deadline) {
+        channel->Abandon();
+        return DeadlineExceededError("connect " + path + " timed out");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  ~ShmChannel() override { Abandon(); }
+
+  Status SendAll(const uint8_t* data, size_t n,
+                 Clock::time_point deadline) override {
+    // shm has no kernel socket to reset, but the connection-loss chaos
+    // point still applies: the client machinery must treat an injected
+    // reset exactly like TCP (mark the channel broken, reconnect on a
+    // fresh slot).
+    if (MBP_FAULT_POINT("net.send.reset")) {
+      return InternalError("injected connection reset (shm)");
+    }
+    shm_internal::RingView ring = segment_->c2s(slot_);
+    size_t sent = 0;
+    while (sent < n) {
+      MBP_RETURN_IF_ERROR(CheckUsable());
+      const size_t w = ring.Write(data + sent, n - sent, nullptr, nullptr);
+      if (w > 0) {
+        sent += w;
+        // The serving shard parks on the segment-global doorbell, not
+        // the per-ring futex — ring it after every publish.
+        segment_->RingDoorbell(nullptr, nullptr);
+        continue;
+      }
+      // Ring full: declare-then-recheck on the space futex the server's
+      // consumer bumps. Bounded wait; lost wakes cost only latency.
+      shm_internal::RingHeader* hdr = ring.hdr;
+      const uint32_t seen = hdr->space_seq.load(std::memory_order_seq_cst);
+      hdr->producer_waiting.fetch_add(1, std::memory_order_seq_cst);
+      if (ring.WriteSpace() == 0 && CheckUsable().ok()) {
+        shm_internal::ShmFutexWait(&hdr->space_seq, seen,
+                                   BoundedWaitMs(deadline), nullptr);
+      }
+      hdr->producer_waiting.fetch_sub(1, std::memory_order_seq_cst);
+      if (Clock::now() >= deadline) {
+        return DeadlineExceededError("deadline waiting for shm ring space");
+      }
+    }
+    return Status::OK();
+  }
+
+  StatusOr<size_t> RecvSome(uint8_t* buf, size_t max,
+                            Clock::time_point deadline) override {
+    if (MBP_FAULT_POINT("net.recv.reset")) {
+      return InternalError("injected connection reset (shm)");
+    }
+    shm_internal::RingView ring = segment_->s2c(slot_);
+    while (true) {
+      const size_t n = ring.Read(buf, max, nullptr, nullptr);
+      if (n > 0) {
+        // Freed s2c space: a want-write server learns via the doorbell.
+        segment_->RingDoorbell(nullptr, nullptr);
+        return n;
+      }
+      // Empty: orderly close (drained above) reads as EOF, exactly like
+      // recv() == 0 on TCP.
+      const Status usable = CheckUsable();
+      if (!usable.ok()) {
+        if (ServerClosed()) return size_t{0};
+        return usable;
+      }
+      shm_internal::RingHeader* hdr = ring.hdr;
+      const uint32_t seen = hdr->data_seq.load(std::memory_order_seq_cst);
+      hdr->consumer_waiting.fetch_add(1, std::memory_order_seq_cst);
+      if (ring.ReadAvailable() == 0 && CheckUsable().ok()) {
+        shm_internal::ShmFutexWait(&hdr->data_seq, seen,
+                                   BoundedWaitMs(deadline), nullptr);
+      }
+      hdr->consumer_waiting.fetch_sub(1, std::memory_order_seq_cst);
+      if (Clock::now() >= deadline) {
+        return DeadlineExceededError("deadline waiting for shm response");
+      }
+    }
+  }
+
+ private:
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+  ShmChannel() = default;
+
+  // Still our ACTIVE slot in an open segment?
+  Status CheckUsable() const {
+    using namespace shm_internal;  // NOLINT: protocol constants
+    const SlotHeader* slot = segment_->slot(slot_);
+    if (slot->token.load(std::memory_order_acquire) != token_) {
+      return InternalError("shm slot recycled under the connection");
+    }
+    const uint32_t state = slot->state.load(std::memory_order_acquire);
+    if (state == kSlotServerClosed) {
+      return InternalError("server closed the shm connection");
+    }
+    if (state != kSlotActive) {
+      return InternalError("shm slot left ACTIVE (state " +
+                           std::to_string(state) + ")");
+    }
+    if (!segment_->is_open()) {
+      return UnavailableError("shm segment closed (server shutting down)");
+    }
+    return Status::OK();
+  }
+
+  bool ServerClosed() const {
+    const shm_internal::SlotHeader* slot = segment_->slot(slot_);
+    return slot->token.load(std::memory_order_acquire) == token_ &&
+           (slot->state.load(std::memory_order_acquire) ==
+                shm_internal::kSlotServerClosed ||
+            !segment_->is_open());
+  }
+
+  // Futex waits are always bounded (<= 100ms) and never past `deadline`.
+  static int BoundedWaitMs(Clock::time_point deadline) {
+    const int remaining = PollTimeoutMs(deadline);
+    return remaining < 0 ? 100 : std::min(remaining, 100);
+  }
+
+  // Release our claim: publish CLIENT_CLOSED (only while the slot is
+  // still ours) and ring the doorbell so the server reclaims promptly.
+  void Abandon() {
+    using namespace shm_internal;  // NOLINT: protocol constants
+    if (segment_ == nullptr || slot_ == kNoSlot) return;
+    SlotHeader* slot = segment_->slot(slot_);
+    if (slot->token.load(std::memory_order_acquire) == token_) {
+      const uint32_t state = slot->state.load(std::memory_order_acquire);
+      if (state == kSlotClaimed || state == kSlotHello ||
+          state == kSlotActive) {
+        slot->state.store(kSlotClientClosed, std::memory_order_release);
+      }
+    }
+    segment_->RingDoorbell(nullptr, nullptr);
+    slot_ = kNoSlot;
+  }
+
+  std::unique_ptr<ShmSegment> segment_;
+  size_t slot_ = kNoSlot;
+  uint64_t token_ = 0;
+};
 
 }  // namespace
 
@@ -74,82 +429,25 @@ StatusOr<std::unique_ptr<PriceClient>> PriceClient::Connect(
   return client;
 }
 
-PriceClient::~PriceClient() { CloseSocket(); }
+PriceClient::~PriceClient() { CloseChannel(); }
 
-void PriceClient::CloseSocket() {
-  if (fd_ >= 0) close(fd_);
-  fd_ = -1;
+void PriceClient::CloseChannel() {
+  channel_.reset();
   rx_.clear();
 }
 
-Status PriceClient::WaitReady(short events, Clock::time_point deadline) {
-  while (true) {
-    pollfd pfd{};
-    pfd.fd = fd_;
-    pfd.events = events;
-    const int n = internal::FaultPoll(&pfd, 1, PollTimeoutMs(deadline));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoError("poll");
-    }
-    if (n == 0) {
-      if (Clock::now() < deadline) continue;  // injected spurious timeout
-      return DeadlineExceededError("deadline waiting on socket");
-    }
-    if (pfd.revents & (POLLERR | POLLNVAL)) {
-      return InternalError("socket entered an error state");
-    }
-    return Status::OK();
-  }
-}
-
 Status PriceClient::Reconnect(Clock::time_point deadline) {
-  CloseSocket();
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port_);
-  const std::string numeric = host_ == "localhost" ? "127.0.0.1" : host_;
-  if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
-    return InvalidArgumentError("unparsable IPv4 host '" + host_ + "'");
+  CloseChannel();
+  if (host_.rfind(kShmScheme, 0) == 0) {
+    auto channel_or =
+        ShmChannel::Connect(host_.substr(kShmScheme.size()), deadline);
+    if (!channel_or.ok()) return channel_or.status();
+    channel_ = std::move(*channel_or);
+  } else {
+    auto channel_or = TcpChannel::Connect(host_, port_, deadline);
+    if (!channel_or.ok()) return channel_or.status();
+    channel_ = std::move(*channel_or);
   }
-  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) return ErrnoError("socket");
-  // Bounded non-blocking connect: EINPROGRESS, then poll(POLLOUT) with
-  // the remaining time, then SO_ERROR for the actual outcome. A peer
-  // that drops SYNs (full backlog, blackholed route) surfaces as
-  // kDeadlineExceeded instead of hanging the caller for minutes of
-  // kernel retransmits.
-  if (connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    if (errno != EINPROGRESS && errno != EINTR) {
-      const Status status =
-          ErrnoError("connect " + numeric + ":" + std::to_string(port_));
-      CloseSocket();
-      return status;
-    }
-    const Status ready = WaitReady(POLLOUT, deadline);
-    if (!ready.ok()) {
-      CloseSocket();
-      if (ready.code() == StatusCode::kDeadlineExceeded) {
-        return DeadlineExceededError(
-            "connect " + numeric + ":" + std::to_string(port_) +
-            " timed out");
-      }
-      return ready;
-    }
-    int so_error = 0;
-    socklen_t len = sizeof(so_error);
-    if (getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
-        so_error != 0) {
-      errno = so_error != 0 ? so_error : errno;
-      const Status status =
-          ErrnoError("connect " + numeric + ":" + std::to_string(port_));
-      CloseSocket();
-      return status;
-    }
-  }
-  const int one = 1;
-  (void)setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   ++telemetry_.reconnects;
   return Status::OK();
 }
@@ -160,26 +458,13 @@ Status PriceClient::RoundtripOnce(const Request& request,
                                   Response* response,
                                   bool* transport_broken) {
   *transport_broken = false;
-  size_t sent = 0;
-  while (sent < wire.size()) {
-    const ssize_t n =
-        internal::FaultSend(fd_, wire.data() + sent, wire.size() - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        const Status ready = WaitReady(POLLOUT, deadline);
-        if (!ready.ok()) {
-          *transport_broken = true;
-          return ready;
-        }
-        continue;
-      }
-      *transport_broken = true;
-      return ErrnoError("send");
-    }
-    sent += static_cast<size_t>(n);
+  const Status sent = channel_->SendAll(
+      reinterpret_cast<const uint8_t*>(wire.data()), wire.size(), deadline);
+  if (!sent.ok()) {
+    *transport_broken = true;
+    return sent;
   }
-  char buf[65536];
+  uint8_t buf[65536];
   while (true) {
     Response decoded;
     const auto consumed = DecodeResponse(
@@ -201,24 +486,16 @@ Status PriceClient::RoundtripOnce(const Request& request,
       *response = std::move(decoded);
       return Status::OK();
     }
-    const Status ready = WaitReady(POLLIN, deadline);
-    if (!ready.ok()) {
+    const auto received = channel_->RecvSome(buf, sizeof(buf), deadline);
+    if (!received.ok()) {
       *transport_broken = true;
-      return ready;
+      return received.status();
     }
-    const ssize_t n = internal::FaultRecv(fd_, buf, sizeof(buf));
-    if (n == 0) {
+    if (*received == 0) {
       *transport_broken = true;
       return InternalError("server closed the connection mid-response");
     }
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
-        continue;  // poll again with the remaining deadline
-      }
-      *transport_broken = true;
-      return ErrnoError("recv");
-    }
-    rx_.append(buf, static_cast<size_t>(n));
+    rx_.append(reinterpret_cast<const char*>(buf), *received);
   }
 }
 
@@ -245,11 +522,11 @@ Status PriceClient::Roundtrip(Request request, Response* response) {
     attempt_deadline = std::min(attempt_deadline, overall);
 
     bool transport_broken = false;
-    if (fd_ < 0) {
+    if (channel_ == nullptr) {
       last = Reconnect(attempt_deadline);
       transport_broken = !last.ok();
     }
-    if (fd_ >= 0) {
+    if (channel_ != nullptr) {
       last = RoundtripOnce(request, wire, attempt_deadline, response,
                            &transport_broken);
       if (last.ok()) {
@@ -261,13 +538,13 @@ Status PriceClient::Roundtrip(Request request, Response* response) {
 
     // Classify the failure.
     bool retryable = false;
-    if (last.code() == StatusCode::kUnavailable) {
+    if (last.code() == StatusCode::kUnavailable && !transport_broken) {
       // The server shed the request untouched (RETRY_LATER); the
       // connection itself is healthy.
       ++telemetry_.overload_responses;
       retryable = true;
     } else if (transport_broken) {
-      CloseSocket();
+      CloseChannel();
       if (last.code() == StatusCode::kDeadlineExceeded) {
         ++telemetry_.attempt_timeouts;
       } else {

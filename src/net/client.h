@@ -77,11 +77,22 @@ struct ClientTelemetry {
 // double-apply an effect.
 bool IsIdempotent(Verb verb);
 
+// One client-side connection to a PriceServer: how bytes get there and
+// back. TCP today, a shared-memory ring slot for co-located processes —
+// the frame stream above is identical either way. Internal seam; defined
+// in client.cc.
+class ClientChannel;
+
 // Resilient blocking-style client for the PriceServer wire protocol: one
-// TCP connection (re-established across transport faults), one
-// outstanding request at a time, per-request deadlines, and the retry/
-// backoff ladder of RetryPolicy. Not thread-safe — use one PriceClient
-// per thread; the load generator and tests open many.
+// connection (re-established across transport faults), one outstanding
+// request at a time, per-request deadlines, and the retry/backoff ladder
+// of RetryPolicy. Not thread-safe — use one PriceClient per thread; the
+// load generator and tests open many.
+//
+// Endpoints: `host` is either an IPv4 host (TCP, `port` applies) or a
+// "shm://<path>" URI naming a server's shared-memory segment (`port`
+// ignored) — see DESIGN.md §5h. All resilience machinery (retries,
+// deadlines, reconnects) is transport-agnostic.
 //
 // Server-side errors (unknown curve, withdrawn snapshot, infeasible
 // budget) come back as the Status carried in the response frame, keeping
@@ -127,10 +138,10 @@ class PriceClient {
 
   PriceClient(std::string host, uint16_t port, ClientOptions options);
 
-  // (Re-)establishes the connection: non-blocking connect + poll bounded
-  // by `deadline`; kDeadlineExceeded when it cannot complete in time.
+  // (Re-)establishes the connection: bounded by `deadline`;
+  // kDeadlineExceeded when it cannot complete in time.
   Status Reconnect(Clock::time_point deadline);
-  void CloseSocket();
+  void CloseChannel();
 
   // One send+receive attempt bounded by `deadline`. Sets
   // *transport_broken when the connection is no longer usable (the
@@ -138,13 +149,11 @@ class PriceClient {
   Status RoundtripOnce(const Request& request, const std::string& wire,
                        Clock::time_point deadline, Response* response,
                        bool* transport_broken);
-  // Blocks until fd_ is ready for `events` or `deadline` passes.
-  Status WaitReady(short events, Clock::time_point deadline);
 
   std::string host_;
   uint16_t port_;
   ClientOptions options_;
-  int fd_ = -1;
+  std::unique_ptr<ClientChannel> channel_;
   uint64_t next_request_id_ = 1;
   std::string rx_;  // bytes received beyond the last decoded frame
   double budget_;

@@ -49,6 +49,26 @@ StatusOr<std::vector<Endpoint>> ParseEndpoints(std::string_view csv) {
       return InvalidArgumentError("empty endpoint in list '" +
                                   std::string(csv) + "'");
     }
+    // Shared-memory endpoints carry the whole URI as the host; port 0
+    // marks them (PriceClient ignores it for shm://).
+    if (item.rfind("shm://", 0) == 0) {
+      if (item.size() == 6) {
+        return InvalidArgumentError("empty path in shm endpoint '" +
+                                    std::string(item) + "'");
+      }
+      Endpoint ep;
+      ep.host = std::string(item);
+      ep.port = 0;
+      for (const Endpoint& other : endpoints) {
+        if (other.host == ep.host) {
+          return InvalidArgumentError("duplicate endpoint '" +
+                                      std::string(item) + "'");
+        }
+      }
+      endpoints.push_back(std::move(ep));
+      if (comma == csv.size()) break;
+      continue;
+    }
     const size_t colon = item.rfind(':');
     if (colon == std::string_view::npos) {
       return InvalidArgumentError("endpoint '" + std::string(item) +
@@ -88,6 +108,7 @@ StatusOr<std::vector<Endpoint>> ParseEndpoints(std::string_view csv) {
 }
 
 std::string EndpointLabel(const Endpoint& endpoint) {
+  if (endpoint.host.rfind("shm://", 0) == 0) return endpoint.host;
   return endpoint.host + ":" + std::to_string(endpoint.port);
 }
 

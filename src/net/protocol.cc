@@ -266,7 +266,7 @@ size_t EncodedResponseSize(const Response& response) {
       return kHeaderBytes + 3 * 8 + 2 * 8;
     case Verb::kStats: {
       const StatsPayload& s = response.stats;
-      size_t size = kHeaderBytes + 15 * 8 + 2 * kHistogramWireBytes + 1;
+      size_t size = kHeaderBytes + 19 * 8 + 2 * kHistogramWireBytes + 1;
       const size_t num_faults = std::min<size_t>(s.faults.size(), 255);
       for (size_t i = 0; i < num_faults; ++i) {
         size += 1 + std::min<size_t>(s.faults[i].point.size(), 255) + 8;
@@ -331,6 +331,10 @@ size_t EncodeResponseInto(const Response& response, uint8_t* out) {
         w.U64(s.write_queue_peak_bytes);
         w.U64(s.catalog_listings);
         w.U64(s.catalog_bytes);
+        w.U64(s.transport_fallbacks);
+        w.U64(s.transport_syscalls);
+        w.U64(s.uring_sqe_submitted);
+        w.U64(s.shm_doorbell_wakes);
         w.Histogram(s.latency);
         w.Histogram(s.write_queue_bytes);
         const size_t num_faults = std::min<size_t>(s.faults.size(), 255);
@@ -494,6 +498,10 @@ StatusOr<size_t> DecodeResponse(const uint8_t* data, size_t size,
         MBP_RETURN_IF_ERROR(reader.U64(&s.write_queue_peak_bytes));
         MBP_RETURN_IF_ERROR(reader.U64(&s.catalog_listings));
         MBP_RETURN_IF_ERROR(reader.U64(&s.catalog_bytes));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.transport_fallbacks));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.transport_syscalls));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.uring_sqe_submitted));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.shm_doorbell_wakes));
         MBP_RETURN_IF_ERROR(reader.Histogram(&s.latency));
         MBP_RETURN_IF_ERROR(reader.Histogram(&s.write_queue_bytes));
         uint8_t num_faults = 0;

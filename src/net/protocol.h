@@ -46,10 +46,12 @@ namespace mbp::net {
 // connection must be closed — there is no resynchronization.
 
 // v2 appended catalog_listings / catalog_bytes to the STATS payload (the
-// multi-tenant catalog's memory-accounting surface, DESIGN.md §5g). The
-// version byte is checked for exact equality on both sides, so v1 and v2
-// processes refuse each other's frames instead of misparsing them.
-inline constexpr uint8_t kProtocolVersion = 2;
+// multi-tenant catalog's memory-accounting surface, DESIGN.md §5g); v3
+// appended the per-transport counters (fallbacks, syscalls, io_uring
+// SQEs, shm doorbell wakes — DESIGN.md §5h). The version byte is checked
+// for exact equality on both sides, so mismatched processes refuse each
+// other's frames instead of misparsing them.
+inline constexpr uint8_t kProtocolVersion = 3;
 inline constexpr size_t kHeaderBytes = 20;
 // Hard cap on a whole frame (header + payload): bounds every per-
 // connection buffer and rejects absurd length prefixes before allocating.
@@ -120,6 +122,17 @@ struct StatsPayload {
   // with a resident compiled snapshot and their summed MemoryBytes().
   uint64_t catalog_listings = 0;
   uint64_t catalog_bytes = 0;
+  // Transport counters (DESIGN.md §5h): which backend the shards run on
+  // is invisible at the protocol layer, so these are how operators and
+  // the bench observe it. transport_syscalls counts every kernel
+  // crossing the transports make (the bench's syscalls-per-request
+  // numerator); uring_sqe_submitted and shm_doorbell_wakes are the
+  // backend-specific activity gauges; transport_fallbacks counts
+  // requested-but-unavailable downgrades (uring -> epoll).
+  uint64_t transport_fallbacks = 0;
+  uint64_t transport_syscalls = 0;
+  uint64_t uring_sqe_submitted = 0;
+  uint64_t shm_doorbell_wakes = 0;
   LatencyHistogramSnapshot latency;
   // log2-bucket histogram over pending write-queue bytes, sampled at
   // every response enqueue (bucket i = [2^(i-1), 2^i) bytes).

@@ -2,10 +2,6 @@
 
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
-#include <sys/ioctl.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
@@ -14,12 +10,12 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <unordered_map>
 
 #include "common/arena.h"
 #include "common/check.h"
 #include "common/fault_injection.h"
-#include "net/fault_syscalls.h"
+#include "net/shm_ring.h"
+#include "net/transport.h"
 
 namespace mbp::net {
 namespace {
@@ -47,14 +43,7 @@ Response ErrorResponseFor(const RequestView& request, const Status& status) {
   return response;
 }
 
-// Floor/ceiling on the single sized recv each readiness event issues:
-// at least one page-multiple chunk even when FIONREAD reports nothing
-// (spurious wakeup), at most one max frame's worth so a firehose peer
-// cannot make one connection monopolize the pass or balloon the arena.
-constexpr size_t kMinReadBytes = 64 * 1024;
-constexpr size_t kMaxReadBytes = kMaxFrameBytes;
-
-// iovec fan-in per writev call; longer response trains loop.
+// iovec fan-in per flush call; longer response trains loop.
 constexpr int kMaxIov = 64;
 
 }  // namespace
@@ -74,7 +63,7 @@ constexpr int kMaxIov = 64;
 //    copied out of the arena at pass end so they survive the reset.
 //    Always OLDER than arena frames, so flushes send `out` first.
 struct PriceServer::Connection {
-  int fd = -1;
+  TransportConn* tconn = nullptr;  // owned by the shard's transport
   std::string carry;
   std::string out;
   size_t out_offset = 0;
@@ -83,7 +72,6 @@ struct PriceServer::Connection {
   size_t next_frame = 0;     // frames[0..next_frame) fully sent
   size_t frame_offset = 0;   // bytes of frames[next_frame] already sent
   size_t frames_unsent = 0;  // total unsent arena-resident bytes
-  uint32_t armed = EPOLLIN;  // events currently registered with epoll
   bool paused = false;       // reading stopped by write backpressure
   bool touched = false;      // has responses appended this loop pass
   bool dead = false;         // closed; destroyed at the end-of-pass sweep
@@ -91,27 +79,21 @@ struct PriceServer::Connection {
   size_t pending_out() const {
     return (out.size() - out_offset) + frames_unsent;
   }
-
-  // The fd is closed here, NOT in CloseConnection: a dead connection
-  // stays in the shard map until the end-of-pass sweep, and closing the
-  // fd early would free its number for accept4 to hand out again within
-  // the same pass — the new connection would then collide with the dead
-  // map entry and be stranded (open, epoll-registered, unowned), spinning
-  // the level-triggered loop forever.
-  ~Connection() {
-    if (fd >= 0) close(fd);
-  }
 };
 
-// One event-loop shard: an epoll instance, a private connection table,
-// a pass-scoped scratch arena, and the micro-batch under construction
-// during the current loop pass.
+// One event-loop shard: a transport (epoll, io_uring, or shm slots), a
+// private connection table, a pass-scoped scratch arena, and the
+// micro-batch under construction during the current loop pass.
 struct PriceServer::Shard {
   size_t index = 0;
-  int epoll_fd = -1;
-  int wake_fd = -1;
+  std::unique_ptr<ShardTransport> transport;
   std::thread thread;
-  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  // Owned connections, unordered; dead entries are destroyed (and their
+  // transport handle released) at the end-of-pass sweep, never earlier,
+  // so micro-batch entries and same-pass events can never dangle.
+  std::vector<std::unique_ptr<Connection>> conns;
+  // Pass-scoped event staging; capacity persists across passes.
+  std::vector<TransportEvent> events;
 
   // Pass-scoped staging: recv buffers, decoded request args, batch
   // queries/outputs. Reset once at the end of every loop pass; after
@@ -209,31 +191,60 @@ StatusOr<std::unique_ptr<PriceServer>> PriceServer::Start(
   std::unique_ptr<PriceServer> server(
       new PriceServer(engine, std::move(options)));
   MBP_RETURN_IF_ERROR(server->Listen());
+  TransportKind tcp_kind = server->options_.transport;
+  if (tcp_kind == TransportKind::kShm) {
+    return InvalidArgumentError(
+        "ServerOptions.transport selects the TCP backend (epoll or uring); "
+        "the shm transport is enabled by ServerOptions.shm_path");
+  }
+  // Runtime downgrade, rung 1: the kernel lacks what the uring backend
+  // needs. Counted so operators can see a fleet silently running epoll.
+  if (tcp_kind == TransportKind::kUring && !UringAvailable()) {
+    tcp_kind = TransportKind::kEpoll;
+    server->metrics_.transport.transport_fallbacks.Increment();
+  }
   for (size_t s = 0; s < server->options_.num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->index = s;
-    shard->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
-    if (shard->epoll_fd < 0) return ErrnoError("epoll_create1");
-    shard->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-    if (shard->wake_fd < 0) return ErrnoError("eventfd");
-    epoll_event wake{};
-    wake.events = EPOLLIN;
-    wake.data.fd = shard->wake_fd;
-    if (epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, shard->wake_fd, &wake) <
-        0) {
-      return ErrnoError("epoll_ctl(wake)");
+    Status status;
+    if (tcp_kind == TransportKind::kUring) {
+      shard->transport = MakeUringShardTransport(
+          server->listen_fd_, &server->metrics_.transport, &status);
+      if (shard->transport == nullptr) {
+        // Rung 2: the probe passed but this ring's setup failed (e.g.
+        // locked-memory limits). Downgrade instead of dying — every
+        // remaining shard then builds epoll too.
+        tcp_kind = TransportKind::kEpoll;
+        server->metrics_.transport.transport_fallbacks.Increment();
+      }
     }
-    // EPOLLEXCLUSIVE: each shard registers the one listening socket and
-    // the kernel wakes a single shard per pending accept, spreading
-    // connections without a dedicated acceptor thread.
-    epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
-    ev.data.fd = server->listen_fd_;
-    if (epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, server->listen_fd_, &ev) <
-        0) {
-      return ErrnoError("epoll_ctl(listen)");
+    if (shard->transport == nullptr) {
+      shard->transport = MakeEpollShardTransport(
+          server->listen_fd_, &server->metrics_.transport, &status);
     }
+    if (shard->transport == nullptr) return status;
     server->shards_.push_back(std::move(shard));
+  }
+  if (!server->options_.shm_path.empty()) {
+    ShmSegmentOptions seg_options;
+    seg_options.path = server->options_.shm_path;
+    seg_options.slots = server->options_.shm_slots;
+    seg_options.ring_bytes = server->options_.shm_ring_bytes;
+    auto segment = ShmSegment::Create(seg_options);
+    if (!segment.ok()) return segment.status();
+    server->shm_ = std::move(*segment);
+    const size_t shm_shards =
+        std::max<size_t>(1, server->options_.shm_shards);
+    for (size_t s = 0; s < shm_shards; ++s) {
+      auto shard = std::make_unique<Shard>();
+      shard->index = server->shards_.size();
+      Status status;
+      shard->transport =
+          MakeShmShardTransport(server->shm_.get(), s, shm_shards,
+                                &server->metrics_.transport, &status);
+      if (shard->transport == nullptr) return status;
+      server->shards_.push_back(std::move(shard));
+    }
   }
   for (auto& shard : server->shards_) {
     shard->thread =
@@ -270,18 +281,15 @@ Status PriceServer::Listen() {
 void PriceServer::Shutdown() {
   if (shut_down_.exchange(true)) return;
   stopping_.store(true, std::memory_order_release);
-  for (auto& shard : shards_) {
-    const uint64_t one = 1;
-    (void)!write(shard->wake_fd, &one, sizeof(one));
-  }
+  // Mark the shm segment closed first so clients blocked in a futex wait
+  // observe the shutdown when woken, then interrupt every shard's Wait.
+  if (shm_ != nullptr) shm_->BeginShutdown();
+  for (auto& shard : shards_) shard->transport->Wake();
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
   }
-  for (auto& shard : shards_) {
-    if (shard->epoll_fd >= 0) close(shard->epoll_fd);
-    if (shard->wake_fd >= 0) close(shard->wake_fd);
-    shard->epoll_fd = shard->wake_fd = -1;
-  }
+  for (auto& shard : shards_) shard->transport.reset();
+  shm_.reset();  // unmaps and unlinks the segment file
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     listen_fd_ = -1;
@@ -304,6 +312,10 @@ StatsPayload PriceServer::stats() const {
   s.write_queue_peak_bytes = metrics_.write_queue_peak_bytes.Value();
   s.catalog_listings = engine_->registry().resident_listings();
   s.catalog_bytes = engine_->registry().resident_bytes();
+  s.transport_fallbacks = metrics_.transport.transport_fallbacks.Value();
+  s.transport_syscalls = metrics_.transport.transport_syscalls.Value();
+  s.uring_sqe_submitted = metrics_.transport.uring_sqe_submitted.Value();
+  s.shm_doorbell_wakes = metrics_.transport.shm_doorbell_wakes.Value();
   s.latency = metrics_.request_latency.Snapshot();
   s.write_queue_bytes = metrics_.write_queue_bytes.Snapshot();
   // Injector state is process-global: a chaos client reads back what the
@@ -333,134 +345,104 @@ PriceServer::ResolveCurve(std::string_view curve_id) const {
 }
 
 void PriceServer::ShardLoop(Shard* shard) {
-  constexpr int kMaxEvents = 64;
-  epoll_event events[kMaxEvents];
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int n =
-        internal::FaultEpollWait(shard->epoll_fd, events, kMaxEvents, 100);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
-      if (fd == listen_fd_) {
-        AcceptReady(shard);
+    shard->events.clear();
+    shard->transport->Wait(&shard->events, &shard->scratch, 100);
+    for (const TransportEvent& ev : shard->events) {
+      if (ev.kind == TransportEvent::Kind::kAccept) {
+        HandleAccept(shard, ev.conn);
         continue;
       }
-      if (fd == shard->wake_fd) {
-        uint64_t drained = 0;
-        (void)!read(shard->wake_fd, &drained, sizeof(drained));
-        continue;
-      }
-      const auto it = shard->conns.find(fd);
-      if (it == shard->conns.end()) {
-        // Not a connection this shard owns — deregister so a stale
-        // level-triggered readiness cannot spin the loop.
-        (void)epoll_ctl(shard->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
-        continue;
-      }
-      Connection* conn = it->second.get();
-      if (conn->dead) continue;
-      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
-        CloseConnection(shard, conn);
-        continue;
-      }
-      if (events[i].events & EPOLLIN) ReadReady(shard, conn);
-      if (!conn->dead && (events[i].events & EPOLLOUT)) {
-        FlushWrites(shard, conn);
-        if (!conn->dead) UpdateEpollInterest(shard, conn);
+      Connection* conn = static_cast<Connection*>(ev.conn->user);
+      if (conn == nullptr || conn->dead) continue;
+      switch (ev.kind) {
+        case TransportEvent::Kind::kData:
+          OnData(shard, conn, ev.data, ev.size);
+          break;
+        case TransportEvent::Kind::kEof:
+        case TransportEvent::Kind::kError:
+          CloseConnection(shard, conn);
+          break;
+        case TransportEvent::Kind::kWritable:
+          FlushWrites(shard, conn);
+          if (!conn->dead) UpdateInterest(shard, conn);
+          break;
+        case TransportEvent::Kind::kAccept:
+          break;  // handled above
       }
     }
     FlushPriceBatches(shard);
-    // One writev per connection that gained responses this pass, instead
+    // One flush per connection that gained responses this pass, instead
     // of one send() per response; FinishPass then migrates whatever the
-    // socket would not take and resets the connection arena.
+    // transport would not take and resets the connection arena.
     for (Connection* conn : shard->touched) {
       conn->touched = false;
       if (conn->dead) continue;
       FinishPass(shard, conn);
     }
     shard->touched.clear();
+    // Transport epilogue: io_uring recycles provided buffers and queues
+    // recv re-arms (flushed by the next Wait's single enter).
+    shard->transport->EndPass();
     // Every pass-scoped staging allocation (recv buffers, decoded args,
     // batch queries and outputs) dies here, in one bump-pointer rewind.
     shard->scratch.Reset();
     // Destroy connections closed during this pass (deferred so that
-    // micro-batch entries never dangle).
-    for (auto it = shard->conns.begin(); it != shard->conns.end();) {
-      it = it->second->dead ? shard->conns.erase(it) : std::next(it);
+    // micro-batch entries never dangle and descriptor numbers cannot be
+    // reused within the pass that killed them).
+    for (size_t i = 0; i < shard->conns.size();) {
+      if (shard->conns[i]->dead) {
+        shard->transport->Destroy(shard->conns[i]->tconn);
+        shard->conns[i]->tconn = nullptr;
+        shard->conns[i] = std::move(shard->conns.back());
+        shard->conns.pop_back();
+      } else {
+        ++i;
+      }
     }
   }
   DrainShard(shard);
 }
 
-void PriceServer::AcceptReady(Shard* shard) {
-  while (true) {
-    const int fd = internal::FaultAccept4(listen_fd_, nullptr, nullptr,
-                                          SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // EAGAIN (no more pending) or a transient accept error
-    }
-    if (stopping_.load(std::memory_order_acquire) ||
-        active_connections_.load(std::memory_order_relaxed) >=
-            options_.max_connections ||
-        MBP_FAULT_POINT("net.server.conn_alloc")) {
-      metrics_.connections_refused.Increment();
-      close(fd);
-      continue;
-    }
-    active_connections_.fetch_add(1, std::memory_order_relaxed);
-    metrics_.connections_accepted.Increment();
-    const int one = 1;
-    (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    if (epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      close(fd);
-      active_connections_.fetch_sub(1, std::memory_order_relaxed);
-      continue;
-    }
-    shard->conns.emplace(fd, std::move(conn));
+void PriceServer::HandleAccept(Shard* shard, TransportConn* tconn) {
+  if (stopping_.load(std::memory_order_acquire) ||
+      active_connections_.load(std::memory_order_relaxed) >=
+          options_.max_connections ||
+      MBP_FAULT_POINT("net.server.conn_alloc")) {
+    metrics_.connections_refused.Increment();
+    shard->transport->Refuse(tconn);
+    return;
   }
+  if (!shard->transport->Adopt(tconn)) {
+    // Registration failed; the transport already destroyed the handle.
+    return;
+  }
+  active_connections_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.connections_accepted.Increment();
+  auto conn = std::make_unique<Connection>();
+  conn->tconn = tconn;
+  tconn->user = conn.get();
+  shard->conns.push_back(std::move(conn));
 }
 
-void PriceServer::ReadReady(Shard* shard, Connection* conn) {
-  // One sized recv per readiness event: FIONREAD tells us how much the
-  // kernel has buffered, and a single recv drains it into pass-scoped
-  // arena memory (clamped to [kMinReadBytes, kMaxReadBytes]; a clamped
-  // remainder re-fires the level-triggered epoll next pass). The old
-  // recv-until-EAGAIN loop paid one extra syscall per event just to see
-  // the EAGAIN; this path never issues a recv it expects to fail.
-  int queued = 0;
-  if (ioctl(conn->fd, FIONREAD, &queued) < 0 || queued < 0) queued = 0;
-  const size_t want = std::clamp(static_cast<size_t>(queued),
-                                 kMinReadBytes, kMaxReadBytes);
-  // Contiguous parse view: the carried partial tail from the previous
-  // pass, then the fresh bytes.
-  const size_t carried = conn->carry.size();
-  uint8_t* buf = shard->scratch.AllocateArray<uint8_t>(carried + want);
-  std::memcpy(buf, conn->carry.data(), carried);
-  ssize_t n;
-  do {
-    n = internal::FaultRecv(conn->fd, buf + carried, want);
-  } while (n < 0 && errno == EINTR);
-  if (n == 0) {  // orderly peer close
-    CloseConnection(shard, conn);
-    return;
+void PriceServer::OnData(Shard* shard, Connection* conn, const uint8_t* data,
+                         size_t size) {
+  // Contiguous parse view. Steady state (no carried tail) decodes
+  // straight out of the transport's delivery buffer, zero copies; only
+  // a partial frame carried from the previous pass pays one merge copy
+  // into scratch.
+  const uint8_t* buf = data;
+  size_t total = size;
+  if (!conn->carry.empty()) {
+    const size_t carried = conn->carry.size();
+    uint8_t* merged = shard->scratch.AllocateArray<uint8_t>(carried + size);
+    std::memcpy(merged, conn->carry.data(), carried);
+    std::memcpy(merged + carried, data, size);
+    buf = merged;
+    total = carried + size;
   }
-  if (n < 0) {
-    if (errno != EAGAIN && errno != EWOULDBLOCK) {
-      CloseConnection(shard, conn);
-    }
-    return;
-  }
-  const size_t total = carried + static_cast<size_t>(n);
   // Consume every complete frame now, so only an incomplete tail is
-  // carried across passes (a paused or idle socket cannot strand a
+  // carried across passes (a paused or idle peer cannot strand a
   // buffered request). Decoding is zero-copy: curve ids stay views into
   // `buf`, args land in the scratch arena.
   size_t offset = 0;
@@ -481,9 +463,9 @@ void PriceServer::ReadReady(Shard* shard, Connection* conn) {
   conn->carry.assign(reinterpret_cast<const char*>(buf) + offset,
                      total - offset);
   // Backpressure: responses already queued on this connection exceed
-  // the cap — stop reading (UpdateEpollInterest drops EPOLLIN) until
+  // the cap — stop reading (UpdateInterest drops read interest) until
   // the peer drains them.
-  UpdateEpollInterest(shard, conn);
+  UpdateInterest(shard, conn);
 }
 
 // Degradation rungs 2 and 3: shed query verbs with a fast OVERLOADED
@@ -705,10 +687,11 @@ void PriceServer::CommitFrame(Shard* shard, Connection* conn, uint8_t* frame,
 }
 
 void PriceServer::FlushWrites(Shard* shard, Connection* conn) {
-  // Scatter-gather flush: ONE writev covers the fallback-queue remainder
-  // (older bytes, always first) plus every arena-resident frame completed
-  // this pass, instead of one send per response. Loops only for response
-  // trains longer than kMaxIov or when the socket takes partial writes.
+  // Scatter-gather flush: ONE transport Writev covers the fallback-queue
+  // remainder (older bytes, always first) plus every arena-resident
+  // frame completed this pass, instead of one send per response. Loops
+  // only for response trains longer than kMaxIov or when the transport
+  // takes partial writes.
   while (conn->pending_out() > 0) {
     iovec iov[kMaxIov];
     int iov_count = 0;
@@ -725,7 +708,7 @@ void PriceServer::FlushWrites(Shard* shard, Connection* conn) {
           iovec{static_cast<char*>(f.iov_base) + skip, f.iov_len - skip};
       skip = 0;
     }
-    const ssize_t n = internal::FaultWritev(conn->fd, iov, iov_count);
+    const ssize_t n = shard->transport->Writev(conn->tconn, iov, iov_count);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
@@ -779,34 +762,26 @@ void PriceServer::FinishPass(Shard* shard, Connection* conn) {
   conn->next_frame = 0;
   conn->frame_offset = 0;
   conn->frames_unsent = 0;
-  UpdateEpollInterest(shard, conn);
+  UpdateInterest(shard, conn);
 }
 
-void PriceServer::UpdateEpollInterest(Shard* shard, Connection* conn) {
+void PriceServer::UpdateInterest(Shard* shard, Connection* conn) {
   const size_t pending = conn->pending_out();
   if (!conn->paused && pending > options_.max_write_queue_bytes) {
     conn->paused = true;
   } else if (conn->paused && pending < options_.max_write_queue_bytes / 2) {
     conn->paused = false;
   }
-  const uint32_t want = (conn->paused ? 0u : EPOLLIN) |
-                        (pending > 0 ? EPOLLOUT : 0u);
-  if (want == conn->armed) return;
-  epoll_event ev{};
-  ev.events = want;
-  ev.data.fd = conn->fd;
-  if (epoll_ctl(shard->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
-    conn->armed = want;
-  }
+  shard->transport->UpdateInterest(conn->tconn, !conn->paused, pending > 0);
 }
 
 void PriceServer::CloseConnection(Shard* shard, Connection* conn) {
   if (conn->dead) return;
   conn->dead = true;
-  (void)epoll_ctl(shard->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
-  // The fd itself is closed by ~Connection at the end-of-pass sweep —
-  // keeping its number allocated until the dead map entry is gone, so a
-  // same-pass accept4 can never reuse it and collide (see ~Connection).
+  // Detach from event production now; the transport handle itself (and
+  // the descriptor/slot behind it) is released by Destroy at the end-of-
+  // pass sweep, so a same-pass accept can never reuse and collide.
+  shard->transport->OnClose(conn->tconn);
   active_connections_.fetch_sub(1, std::memory_order_relaxed);
   metrics_.connections_closed.Increment();
 }
@@ -822,44 +797,62 @@ void PriceServer::KillConnection(Shard* shard, Connection* conn) {
 // options_.drain_timeout_ms), so a client that stops sending and keeps
 // reading never loses an answered query to shutdown.
 void PriceServer::DrainShard(Shard* shard) {
-  (void)epoll_ctl(shard->epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  shard->transport->StopAccepting();
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
-  constexpr int kMaxEvents = 64;
-  epoll_event events[kMaxEvents];
   while (Clock::now() < deadline) {
     bool pending = false;
-    for (auto& [fd, conn] : shard->conns) {
-      if (!conn->dead && conn->pending_out() > 0) {
+    for (const auto& conn : shard->conns) {
+      if (!conn->dead &&
+          (conn->pending_out() > 0 ||
+           shard->transport->Unflushed(conn->tconn) > 0)) {
         pending = true;
         break;
       }
     }
     if (!pending) break;
-    const int n =
-        internal::FaultEpollWait(shard->epoll_fd, events, kMaxEvents, 50);
-    for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
-      if (fd == shard->wake_fd || fd == listen_fd_) continue;
-      const auto it = shard->conns.find(fd);
-      if (it == shard->conns.end() || it->second->dead) continue;
-      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
-        CloseConnection(shard, it->second.get());
-      } else if (events[i].events & EPOLLOUT) {
-        FlushWrites(shard, it->second.get());
+    shard->events.clear();
+    shard->transport->Wait(&shard->events, &shard->scratch, 50);
+    for (const TransportEvent& ev : shard->events) {
+      if (ev.kind == TransportEvent::Kind::kAccept) {
+        // A connection that raced the drain start: never served.
+        shard->transport->Refuse(ev.conn);
+        continue;
+      }
+      Connection* conn = static_cast<Connection*>(ev.conn->user);
+      if (conn == nullptr || conn->dead) continue;
+      switch (ev.kind) {
+        case TransportEvent::Kind::kData:
+          break;  // no new requests are decoded during drain
+        case TransportEvent::Kind::kEof:
+        case TransportEvent::Kind::kError:
+          CloseConnection(shard, conn);
+          break;
+        case TransportEvent::Kind::kWritable:
+          FlushWrites(shard, conn);
+          break;
+        case TransportEvent::Kind::kAccept:
+          break;  // handled above
       }
     }
+    shard->transport->EndPass();
+    shard->scratch.Reset();
   }
   // Past the drain deadline: connections still holding undeliverable
   // responses are hard-killed (and counted); fully drained ones just
   // close.
-  for (auto& [fd, conn] : shard->conns) {
+  for (auto& conn : shard->conns) {
     if (conn->dead) continue;
-    if (conn->pending_out() > 0) {
+    if (conn->pending_out() > 0 ||
+        shard->transport->Unflushed(conn->tconn) > 0) {
       KillConnection(shard, conn.get());
     } else {
       CloseConnection(shard, conn.get());
     }
+  }
+  for (auto& conn : shard->conns) {
+    shard->transport->Destroy(conn->tconn);
+    conn->tconn = nullptr;
   }
   shard->conns.clear();
 }

@@ -13,9 +13,12 @@
 #include "common/statusor.h"
 #include "common/thread_pool.h"
 #include "net/protocol.h"
+#include "net/transport.h"
 #include "serving/price_query_engine.h"
 
 namespace mbp::net {
+
+class ShmSegment;
 
 struct ServerOptions {
   // Port to bind on 127.0.0.1; 0 asks the kernel for an ephemeral port —
@@ -83,11 +86,33 @@ struct ServerOptions {
   // How long Shutdown() keeps flushing pending responses before closing
   // connections that cannot drain.
   int drain_timeout_ms = 5000;
+
+  // --- Transport selection (DESIGN.md §5h) ----------------------------
+  // Backend for the TCP shard loops. kUring needs kernel io_uring
+  // support (multishot accept/recv, provided-buffer rings); when the
+  // probe fails at Start() the server falls back to epoll and counts it
+  // in transport_fallbacks. kShm here is invalid — the shared-memory
+  // transport is not a TCP backend; it is enabled by shm_path below and
+  // serves shm:// clients alongside whichever TCP backend runs.
+  TransportKind transport = TransportKind::kEpoll;
+
+  // When non-empty, additionally serve co-located clients through a
+  // file-backed shared-memory segment created at this path (clients
+  // connect with a "shm://<path>" endpoint). The TCP listener stays up
+  // regardless; shm connections are served by dedicated shard threads.
+  std::string shm_path;
+  // Connection slots in the segment (max concurrent shm clients).
+  size_t shm_slots = 32;
+  // Per-direction ring capacity in bytes; rounded up to a power of two.
+  size_t shm_ring_bytes = 1 << 20;
+  // Dedicated shard threads serving the shm slots.
+  size_t shm_shards = 1;
 };
 
-// Epoll-based TCP front end over the lock-free PriceQueryEngine: the first
-// subsystem that serves the whole stack end to end across a socket
-// (DESIGN.md §5d). Frames are the binary protocol of net/protocol.h; any
+// TCP (epoll or io_uring) + optional shared-memory front end over the
+// lock-free PriceQueryEngine: the subsystem that serves the whole stack
+// end to end across a transport (DESIGN.md §5d, §5h). Frames are the
+// binary protocol of net/protocol.h; any
 // number of requests may be pipelined per connection (correlate responses
 // by request_id — PRICE_AT answers are micro-batched and may land after
 // responses to later non-PRICE_AT requests).
@@ -143,14 +168,21 @@ class PriceServer {
     LatencyHistogram request_latency;
     LatencyHistogram write_queue_bytes;  // depth sampled at each enqueue
     MaxGauge write_queue_peak_bytes;
+    // Shared by every shard transport of this server (net/transport.h).
+    TransportCounters transport;
   };
 
   PriceServer(const serving::PriceQueryEngine* engine, ServerOptions options);
 
   Status Listen();
   void ShardLoop(Shard* shard);
-  void AcceptReady(Shard* shard);
-  void ReadReady(Shard* shard, Connection* conn);
+  // kAccept resolution: cap / stopping / alloc-fault checks, then either
+  // Adopt (and register a Connection) or Refuse.
+  void HandleAccept(Shard* shard, TransportConn* tconn);
+  // Bytes delivered by a kData event: merge with the carried partial
+  // tail, decode every complete frame, carry the remainder.
+  void OnData(Shard* shard, Connection* conn, const uint8_t* data,
+              size_t size);
   void HandleRequest(Shard* shard, Connection* conn,
                      const RequestView& request);
   void FlushPriceBatches(Shard* shard);
@@ -170,7 +202,9 @@ class PriceServer {
   // migrate whatever the socket would not take into the fallback queue,
   // reset the arena (see DESIGN.md §5f).
   void FinishPass(Shard* shard, Connection* conn);
-  void UpdateEpollInterest(Shard* shard, Connection* conn);
+  // Read-pause hysteresis + transport interest arming (the level-
+  // triggered EPOLLIN/EPOLLOUT dance, generalized).
+  void UpdateInterest(Shard* shard, Connection* conn);
   void CloseConnection(Shard* shard, Connection* conn);
   // CloseConnection + the connections_killed counter: for connections
   // terminated by the server against a live peer (write-queue overflow,
@@ -191,6 +225,9 @@ class PriceServer {
   std::atomic<bool> shut_down_{false};
   std::atomic<size_t> active_connections_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Live only when options_.shm_path is set; the server owns the
+  // segment file and unlinks it at Shutdown().
+  std::unique_ptr<ShmSegment> shm_;
   Metrics metrics_;
 };
 

@@ -1,0 +1,218 @@
+#ifndef MBP_NET_SHM_RING_H_
+#define MBP_NET_SHM_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/statusor.h"
+#include "net/transport.h"
+
+// Shared-memory ring transport for co-located clients (DESIGN.md §5h).
+//
+// One file-backed segment per server, mmap'd MAP_SHARED by the server
+// and every client. The segment is a header plus a fixed array of
+// connection slots; each slot carries one SPSC byte ring per direction
+// (client→server "c2s", server→client "s2c") that streams the exact
+// same checksummed frames the TCP transports carry — the protocol
+// layer cannot tell the transports apart, which is what keeps the
+// bit-identity audit meaningful across all three.
+//
+// Layout (64-byte aligned throughout; all offsets derivable from the
+// header, so any same-version mapping can navigate it):
+//
+//   SegHeader
+//   slot[0]: SlotHeader | c2s data (ring_bytes) | s2c data (ring_bytes)
+//   slot[1]: ...
+//
+// Ring protocol (single producer, single consumer, byte-granular):
+//   head/tail are free-running u64 byte positions (index = pos & mask).
+//   Producer: copy (two memcpys at wrap), tail.store(release), bump
+//   data_seq, FUTEX_WAKE it iff consumer_waiting — waking an awake peer
+//   is skipped, so the spin path costs zero syscalls. Consumer: mirror
+//   with head / space_seq / producer_waiting for the writers blocked on
+//   a full ring.
+//
+// Doorbell protocol (client → server): the server's shm shards sleep on
+// ONE global futex word (doorbell_seq) after an empty scan of their
+// slots. Clients bump it (and wake iff server_waiting) after anything
+// the server might be parked on: a connect HELLO, c2s bytes, a close,
+// or consuming s2c bytes (write-space for a want-write connection).
+// Every sleep on either side is bounded (<= ~100ms), so a lost wake —
+// including the injected net.shm.wake.drop chaos point — costs latency,
+// never liveness.
+//
+// Connect handshake: a client claims a FREE slot with a CAS to CLAIMED,
+// stamps its token, then publishes HELLO. The server answers ACTIVE
+// (adopted) or resets the slot (refused, after a short grace so the
+// client can observe it). The token disambiguates slot recycling: a
+// client that ever sees a different token knows the slot is no longer
+// its connection. A client that exits without Close() leaks its slot
+// until the segment dies — co-located clients are trusted to that
+// extent (no robust-futex recovery here).
+//
+// Chaos points (net/fault_syscalls.h catalog style; injected BEFORE the
+// real operation so framing is never corrupted — short transfers move
+// real bytes):
+//   net.shm.read.short    ring read clamped to 1 byte
+//   net.shm.write.short   ring write clamped to 1 byte
+//   net.shm.futex.eintr   a futex wait returns immediately (spurious)
+//   net.shm.wake.drop     a futex wake is skipped (lost wake)
+
+namespace mbp::net {
+
+namespace shm_internal {
+
+// "MBPSHM1\0" read little-endian.
+inline constexpr uint64_t kShmMagic = 0x00314D4853504D42ULL;
+inline constexpr uint32_t kShmVersion = 1;
+
+// Slot lifecycle states.
+inline constexpr uint32_t kSlotFree = 0;
+inline constexpr uint32_t kSlotClaimed = 1;  // client won the CAS, pre-HELLO
+inline constexpr uint32_t kSlotHello = 2;    // client asks to be served
+inline constexpr uint32_t kSlotActive = 3;   // server adopted
+inline constexpr uint32_t kSlotRefused = 4;  // server refused; grace-held
+inline constexpr uint32_t kSlotClientClosed = 5;
+inline constexpr uint32_t kSlotServerClosed = 6;  // shed / killed / drained
+
+// One direction's ring bookkeeping. Hot words are cacheline-separated:
+// head and tail are each written by exactly one side.
+struct RingHeader {
+  std::atomic<uint64_t> head;  // bytes consumed (consumer-owned)
+  char pad0[56];
+  std::atomic<uint64_t> tail;  // bytes published (producer-owned)
+  char pad1[56];
+  std::atomic<uint32_t> data_seq;          // producer bumps after publish
+  std::atomic<uint32_t> consumer_waiting;  // consumer parked on data_seq
+  std::atomic<uint32_t> space_seq;         // consumer bumps after consume
+  std::atomic<uint32_t> producer_waiting;  // producer parked on space_seq
+  char pad2[48];
+};
+static_assert(sizeof(RingHeader) == 192, "three cache lines");
+
+struct SlotHeader {
+  std::atomic<uint32_t> state;
+  std::atomic<uint32_t> pad_state;
+  std::atomic<uint64_t> token;  // claimant identity, stamped pre-HELLO
+  char pad0[48];
+  RingHeader c2s;
+  RingHeader s2c;
+};
+static_assert(sizeof(SlotHeader) == 64 + 2 * 192, "aligned slot header");
+
+struct SegHeader {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t num_slots;
+  uint64_t ring_bytes;   // per direction, power of two
+  uint64_t slot_stride;  // sizeof(SlotHeader) + 2 * ring_bytes
+  std::atomic<uint32_t> open;            // 1 while the server serves
+  std::atomic<uint32_t> doorbell_seq;    // client->server futex word
+  std::atomic<uint32_t> server_waiting;  // shm shards parked on doorbell
+  uint32_t pad;
+  char pad2[64];
+};
+
+// Bounded futex wait on a 32-bit word in shared memory. Returns after a
+// wake, a value mismatch, EINTR (or the injected net.shm.futex.eintr),
+// or timeout_ms — callers always rescan, so every return is safe.
+void ShmFutexWait(std::atomic<uint32_t>* word, uint32_t expected,
+                  int timeout_ms, Counter* syscalls);
+// FUTEX_WAKE on `word` (all waiters). Honors net.shm.wake.drop; returns
+// whether a wake syscall was actually issued.
+bool ShmFutexWake(std::atomic<uint32_t>* word, Counter* syscalls);
+
+// One mapped ring endpoint. Copies honor the net.shm.{read,write}.short
+// chaos points; sequence bumps and conditional wakes are built in so
+// both sides speak the identical protocol.
+struct RingView {
+  RingHeader* hdr = nullptr;
+  uint8_t* data = nullptr;
+  uint64_t mask = 0;  // capacity - 1
+
+  uint64_t ReadAvailable() const {
+    return hdr->tail.load(std::memory_order_acquire) -
+           hdr->head.load(std::memory_order_relaxed);
+  }
+  uint64_t WriteSpace() const {
+    return (mask + 1) - (hdr->tail.load(std::memory_order_relaxed) -
+                         hdr->head.load(std::memory_order_acquire));
+  }
+  // Producer side: copies up to `n` bytes in, publishes, wakes a parked
+  // consumer. Returns bytes accepted (0 when full).
+  size_t Write(const uint8_t* src, size_t n, Counter* syscalls,
+               Counter* wakes);
+  // Consumer side: copies up to `max` bytes out, publishes the freed
+  // space, wakes a parked producer. Returns bytes read (0 when empty).
+  size_t Read(uint8_t* dst, size_t max, Counter* syscalls, Counter* wakes);
+};
+
+}  // namespace shm_internal
+
+struct ShmSegmentOptions {
+  std::string path;
+  // Connection slots (max concurrent shm clients).
+  size_t slots = 32;
+  // Per-direction ring capacity in bytes; rounded up to a power of two,
+  // floored at 64 KiB so any protocol frame streams through.
+  size_t ring_bytes = 1 << 20;
+};
+
+// The mmap'd segment. The server Create()s it (owning the file: it is
+// truncated into existence and unlinked at destruction); clients Open()
+// an existing one. All navigation accessors are const and cheap.
+class ShmSegment {
+ public:
+  static StatusOr<std::unique_ptr<ShmSegment>> Create(
+      const ShmSegmentOptions& options);
+  static StatusOr<std::unique_ptr<ShmSegment>> Open(const std::string& path);
+
+  ~ShmSegment();
+
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+
+  const std::string& path() const { return path_; }
+  size_t num_slots() const;
+  uint64_t ring_bytes() const;
+  bool is_open() const;
+
+  shm_internal::SegHeader* header() const;
+  shm_internal::SlotHeader* slot(size_t index) const;
+  // Ring endpoints for slot `index`; direction named from the client's
+  // perspective (c2s = client writes, server reads).
+  shm_internal::RingView c2s(size_t index) const;
+  shm_internal::RingView s2c(size_t index) const;
+
+  // Client -> server doorbell: bump, wake iff a shard is parked.
+  void RingDoorbell(Counter* syscalls, Counter* wakes) const;
+
+  // Server shutdown: mark closed and wake every parked peer (clients
+  // blocked on response futexes, shards on the doorbell) so they
+  // observe it promptly. Idempotent.
+  void BeginShutdown();
+
+ private:
+  ShmSegment() = default;
+
+  std::string path_;
+  bool owner_ = false;  // Create()d: unlink on destruction
+  void* map_ = nullptr;
+  size_t map_bytes_ = 0;
+};
+
+// Shard transport serving the segment's slots. Shard `shard_index` of
+// `num_shards` owns slots where slot % num_shards == shard_index; a
+// slot's whole lifetime stays on one shard thread. `segment` and
+// `counters` must outlive the transport.
+std::unique_ptr<ShardTransport> MakeShmShardTransport(
+    ShmSegment* segment, size_t shard_index, size_t num_shards,
+    TransportCounters* counters, Status* status);
+
+}  // namespace mbp::net
+
+#endif  // MBP_NET_SHM_RING_H_

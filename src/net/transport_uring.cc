@@ -1,0 +1,881 @@
+// io_uring backend for the ShardTransport seam (DESIGN.md §5h).
+//
+// Implemented against the raw kernel ABI (<linux/io_uring.h> + three
+// syscalls) — no liburing dependency. The pass lifecycle is built so a
+// whole decode→batch→encode pass costs ONE kernel crossing in steady
+// state:
+//
+//   Wait():    publish every SQE queued since the last pass and block in
+//              a single io_uring_enter(GETEVENTS | EXT_ARG, min=1,
+//              timeout), then drain the CQ into TransportEvents.
+//   pass body: Writev() copies flush bytes into the connection's send
+//              staging buffer and queues (at most one inflight) SEND
+//              SQE; closes queue ASYNC_CANCELs — all ring writes, no
+//              syscalls.
+//   EndPass(): recycle consumed provided buffers (a tail bump in the
+//              shared buf ring, or queued OP_PROVIDE_BUFFERS SQEs on
+//              kernels whose buf-ring registration is inert — no
+//              syscall either way) and queue multishot-recv / accept /
+//              wake re-arms for the next enter.
+//
+// Readiness never exists here: multishot ACCEPT delivers new fds as
+// CQEs, multishot RECV with IOSQE_BUFFER_SELECT delivers payload bytes
+// already copied into provided buffers (picked by buffer id from
+// cqe->flags), and sends complete asynchronously against a staging
+// buffer so the server's arena reset never races the kernel.
+//
+// Chaos points (net.uring.* catalog, same BEFORE-the-syscall discipline
+// as net/fault_syscalls.h):
+//   net.uring.enter.eintr   the pass's enter "fails" with EINTR: nothing
+//                           is submitted, Wait returns empty
+//   net.uring.recv.short    a recv completion is delivered as a 1-byte
+//                           kData followed by the remainder — the
+//                           cross-pass carry path on demand
+//   net.uring.send.short    a SEND SQE is clamped to 1 byte, forcing the
+//                           partial-send resubmission path
+//
+// Fallback: UringAvailable() runs a one-shot functional probe (setup,
+// EXT_ARG feature, provided-buffer-ring registration, an actual
+// multishot recv over a socketpair). Servers asked for kUring downgrade
+// to epoll when it fails, counting transport_fallbacks.
+
+#include <linux/io_uring.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "net/protocol.h"
+#include "net/transport.h"
+
+// Everything the backend needs landed by Linux 6.0; compile to an
+// always-unavailable stub on older userspace headers so the build (and
+// the epoll fallback) keeps working anywhere. IORING_REGISTER_PBUF_RING
+// is an enum (not testable with #ifdef); IORING_RECV_MULTISHOT is a
+// macro from a newer release, so its presence implies the enum's.
+#if defined(IORING_RECV_MULTISHOT) && defined(IORING_ACCEPT_MULTISHOT) && \
+    defined(IORING_FEAT_EXT_ARG) && defined(IORING_ASYNC_CANCEL_FD)
+#define MBP_HAVE_URING 1
+#else
+#define MBP_HAVE_URING 0
+#endif
+
+namespace mbp::net {
+
+#if MBP_HAVE_URING
+
+namespace {
+
+int SysUringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags, const void* arg, size_t argsz) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, fd, to_submit,
+                                  min_complete, flags, arg, argsz));
+}
+
+int SysUringRegister(int fd, unsigned opcode, const void* arg,
+                     unsigned nr_args) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+Status UringErrnoError(const std::string& what, int err) {
+  return InternalError(what + ": " + std::strerror(err));
+}
+
+// user_data encoding: a UringConn* (8-aligned) in the high bits, an op
+// tag in the low three.
+constexpr uint64_t kTagRecv = 0;
+constexpr uint64_t kTagSend = 1;
+constexpr uint64_t kTagAccept = 2;
+constexpr uint64_t kTagWake = 3;
+constexpr uint64_t kTagIgnore = 4;  // cancels/buffer refills; noise
+constexpr uint64_t kTagMask = 7;
+
+// How provided buffers are handed back to the kernel. Both keep the
+// steady-state pass at one syscall; the probe picks whichever the
+// running kernel actually honours (some sandbox kernels accept the
+// PBUF_RING registration yet never see its entries, so the choice is
+// made by observing a real buffer-selected recv, not by registration
+// return codes).
+//
+//   kBufRing  IORING_REGISTER_PBUF_RING: recycling is a shared-memory
+//             tail bump, zero SQEs.
+//   kLegacy   IORING_OP_PROVIDE_BUFFERS: recycling queues one SQE per
+//             buffer, submitted with the next pass's enter.
+enum class UringBufMode { kBufRing, kLegacy };
+
+UringBufMode g_uring_buf_mode = UringBufMode::kBufRing;
+
+struct UringConn : TransportConn {
+  int fd = -1;
+  bool recv_armed = false;   // a multishot RECV op is live in the kernel
+  bool send_inflight = false;
+  bool want_read = true;
+  bool want_write = false;
+  bool closed = false;       // OnClose seen: no more events for it
+  bool doomed = false;       // Destroy seen: free once ops drain
+  bool rearm_queued = false;   // already on the EndPass re-arm list
+  bool resend_queued = false;  // already on the EndPass send-retry list
+  bool zombie_listed = false;
+  // Send staging: bytes [sent, size) of `send_buf` are pending; at most
+  // one SEND SQE covers a prefix of that range at any time.
+  std::unique_ptr<uint8_t[]> send_buf;
+  size_t send_size = 0;
+  size_t send_sent = 0;
+};
+
+// The raw ring: SQ/CQ mappings, SQE queueing, provided-buffer ring.
+// Shared by the shard transport and the availability probe.
+class UringCore {
+ public:
+  UringCore() = default;
+  ~UringCore() {
+    if (buf_ring_ != nullptr && buf_ring_ != MAP_FAILED) {
+      munmap(buf_ring_, buf_ring_bytes_);
+    }
+    std::free(buf_data_);
+    if (sq_ptr_ != nullptr) munmap(sq_ptr_, sq_bytes_);
+    if (cq_ptr_ != nullptr && cq_ptr_ != sq_ptr_) munmap(cq_ptr_, cq_bytes_);
+    if (sqes_ != nullptr) {
+      munmap(sqes_, sq_entries_ * sizeof(io_uring_sqe));
+    }
+    if (ring_fd_ >= 0) close(ring_fd_);
+  }
+
+  Status Init(unsigned sq_entries, unsigned cq_entries, uint16_t buf_group,
+              unsigned buf_count, unsigned buf_size, UringBufMode buf_mode) {
+    buf_mode_ = buf_mode;
+    io_uring_params params{};
+    params.flags = IORING_SETUP_CQSIZE | IORING_SETUP_CLAMP;
+    params.cq_entries = cq_entries;
+    ring_fd_ = SysUringSetup(sq_entries, &params);
+    if (ring_fd_ < 0) return UringErrnoError("io_uring_setup", errno);
+    if ((params.features & IORING_FEAT_EXT_ARG) == 0) {
+      return InternalError("io_uring lacks IORING_FEAT_EXT_ARG");
+    }
+    sq_entries_ = params.sq_entries;
+    // Map the SQ ring (and, with FEAT_SINGLE_MMAP, the CQ ring too).
+    sq_bytes_ = params.sq_off.array + params.sq_entries * sizeof(uint32_t);
+    cq_bytes_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    if (params.features & IORING_FEAT_SINGLE_MMAP) {
+      sq_bytes_ = cq_bytes_ = std::max(sq_bytes_, cq_bytes_);
+    }
+    sq_ptr_ = mmap(nullptr, sq_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ptr_ == MAP_FAILED) {
+      sq_ptr_ = nullptr;
+      return UringErrnoError("mmap(sq ring)", errno);
+    }
+    if (params.features & IORING_FEAT_SINGLE_MMAP) {
+      cq_ptr_ = sq_ptr_;
+    } else {
+      cq_ptr_ = mmap(nullptr, cq_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_ptr_ == MAP_FAILED) {
+        cq_ptr_ = nullptr;
+        return UringErrnoError("mmap(cq ring)", errno);
+      }
+    }
+    sqes_ = static_cast<io_uring_sqe*>(
+        mmap(nullptr, params.sq_entries * sizeof(io_uring_sqe),
+             PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE, ring_fd_,
+             IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      return UringErrnoError("mmap(sqes)", errno);
+    }
+    auto* sq_base = static_cast<uint8_t*>(sq_ptr_);
+    sq_khead_ = reinterpret_cast<uint32_t*>(sq_base + params.sq_off.head);
+    sq_ktail_ = reinterpret_cast<uint32_t*>(sq_base + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<uint32_t*>(sq_base + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<uint32_t*>(sq_base + params.sq_off.array);
+    auto* cq_base = static_cast<uint8_t*>(cq_ptr_);
+    cq_khead_ = reinterpret_cast<uint32_t*>(cq_base + params.cq_off.head);
+    cq_ktail_ = reinterpret_cast<uint32_t*>(cq_base + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<uint32_t*>(cq_base + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq_base + params.cq_off.cqes);
+    sq_local_tail_ = *sq_ktail_;
+
+    // The provided-buffer pool the multishot recvs select from: one
+    // contiguous payload block, handed to the kernel either through a
+    // registered buffer ring or an initial OP_PROVIDE_BUFFERS batch.
+    buf_group_ = buf_group;
+    buf_count_ = buf_count;
+    buf_size_ = buf_size;
+    buf_data_ = static_cast<uint8_t*>(
+        std::malloc(static_cast<size_t>(buf_count) * buf_size));
+    if (buf_data_ == nullptr) return InternalError("buf data alloc failed");
+    if (buf_mode_ == UringBufMode::kBufRing) {
+      buf_ring_bytes_ = buf_count * sizeof(io_uring_buf);
+      buf_ring_ = static_cast<io_uring_buf_ring*>(
+          mmap(nullptr, buf_ring_bytes_, PROT_READ | PROT_WRITE,
+               MAP_ANONYMOUS | MAP_PRIVATE, -1, 0));
+      if (buf_ring_ == MAP_FAILED) {
+        buf_ring_ = nullptr;
+        return UringErrnoError("mmap(buf ring)", errno);
+      }
+      std::memset(buf_ring_, 0, buf_ring_bytes_);
+      io_uring_buf_reg reg{};
+      reg.ring_addr = reinterpret_cast<uint64_t>(buf_ring_);
+      reg.ring_entries = buf_count;
+      reg.bgid = buf_group;
+      if (SysUringRegister(ring_fd_, IORING_REGISTER_PBUF_RING, &reg, 1) <
+          0) {
+        return UringErrnoError("io_uring_register(PBUF_RING)", errno);
+      }
+      buf_tail_ = 0;
+      for (uint16_t bid = 0; bid < buf_count; ++bid) Recycle(bid);
+      PublishBuffers();
+      return Status::OK();
+    }
+    // Legacy pool: one OP_PROVIDE_BUFFERS covers all `buf_count`
+    // contiguous buffers (fd = count, off = starting bid). Submitted and
+    // reaped synchronously so the first Wait starts from an empty CQ.
+    io_uring_sqe* sqe = GetSqe(nullptr);
+    sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+    sqe->addr = reinterpret_cast<uint64_t>(buf_data_);
+    sqe->len = buf_size;
+    sqe->fd = static_cast<int>(buf_count);
+    sqe->off = 0;
+    sqe->buf_group = buf_group;
+    sqe->user_data = kTagIgnore;
+    Submit(nullptr);
+    int n;
+    do {
+      n = SysUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS, nullptr, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return UringErrnoError("io_uring_enter(provide)", errno);
+    int provide_res = 0;
+    DrainCq([&](const io_uring_cqe& cqe) { provide_res = cqe.res; });
+    if (provide_res < 0) {
+      return UringErrnoError("IORING_OP_PROVIDE_BUFFERS", -provide_res);
+    }
+    return Status::OK();
+  }
+
+  // Next free SQE, zeroed. Flushes with a bare submit if the SQ is full
+  // (the only case where a pass costs a second syscall).
+  io_uring_sqe* GetSqe(TransportCounters* counters) {
+    const uint32_t head = __atomic_load_n(sq_khead_, __ATOMIC_ACQUIRE);
+    if (sq_local_tail_ - head == sq_entries_) {
+      Submit(counters);
+    }
+    io_uring_sqe* sqe = &sqes_[sq_local_tail_ & sq_mask_];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sq_array_[sq_local_tail_ & sq_mask_] = sq_local_tail_ & sq_mask_;
+    ++sq_local_tail_;
+    return sqe;
+  }
+
+  // Publish queued SQEs and submit without waiting.
+  int Submit(TransportCounters* counters) {
+    const unsigned to_submit = Publish();
+    if (to_submit == 0) return 0;
+    if (counters != nullptr) {
+      counters->transport_syscalls.Increment();
+      counters->uring_sqe_submitted.Increment(to_submit);
+    }
+    int n;
+    do {
+      n = SysUringEnter(ring_fd_, to_submit, 0, 0, nullptr, 0);
+    } while (n < 0 && errno == EINTR);
+    return n;
+  }
+
+  // The pass's one syscall: publish queued SQEs, wait for >= 1 CQE or
+  // the timeout. Returns false on (possibly injected) EINTR.
+  bool SubmitAndWait(int timeout_ms, TransportCounters* counters) {
+    if (MBP_FAULT_POINT("net.uring.enter.eintr")) return false;
+    const unsigned to_submit = Publish();
+    __kernel_timespec ts{};
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000LL;
+    io_uring_getevents_arg arg{};
+    arg.ts = reinterpret_cast<uint64_t>(&ts);
+    if (counters != nullptr) {
+      counters->transport_syscalls.Increment();
+      if (to_submit > 0) counters->uring_sqe_submitted.Increment(to_submit);
+    }
+    const int n = SysUringEnter(ring_fd_, to_submit, 1,
+                                IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG,
+                                &arg, sizeof(arg));
+    return n >= 0 || errno == ETIME;
+  }
+
+  // Drains every pending CQE through `fn`.
+  template <typename Fn>
+  void DrainCq(Fn&& fn) {
+    uint32_t head = *cq_khead_;
+    const uint32_t tail = __atomic_load_n(cq_ktail_, __ATOMIC_ACQUIRE);
+    while (head != tail) {
+      fn(cqes_[head & cq_mask_]);
+      ++head;
+    }
+    __atomic_store_n(cq_khead_, head, __ATOMIC_RELEASE);
+  }
+
+  // Hand a consumed provided buffer back. Call PublishBuffers() once
+  // per batch (EndPass) to make them visible. In legacy mode the refill
+  // is an SQE instead of a ring-entry write; it rides the next pass's
+  // enter, so either way recycling adds no syscall.
+  void Recycle(uint16_t bid) {
+    if (buf_mode_ == UringBufMode::kLegacy) {
+      io_uring_sqe* sqe = GetSqe(nullptr);
+      sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+      sqe->addr = reinterpret_cast<uint64_t>(BufferData(bid));
+      sqe->len = buf_size_;
+      sqe->fd = 1;
+      sqe->off = bid;
+      sqe->buf_group = buf_group_;
+      sqe->user_data = kTagIgnore;
+      return;
+    }
+    io_uring_buf* entry = &buf_ring_->bufs[buf_tail_ & (buf_count_ - 1)];
+    entry->addr = reinterpret_cast<uint64_t>(BufferData(bid));
+    entry->len = buf_size_;
+    entry->bid = bid;
+    ++buf_tail_;
+  }
+
+  void PublishBuffers() {
+    if (buf_mode_ == UringBufMode::kLegacy) return;
+    __atomic_store_n(&buf_ring_->tail, static_cast<uint16_t>(buf_tail_),
+                     __ATOMIC_RELEASE);
+  }
+
+  uint8_t* BufferData(uint16_t bid) const {
+    return buf_data_ + static_cast<size_t>(bid) * buf_size_;
+  }
+
+  uint16_t buf_group() const { return buf_group_; }
+  unsigned buf_size() const { return buf_size_; }
+  int ring_fd() const { return ring_fd_; }
+
+ private:
+  unsigned Publish() {
+    __atomic_store_n(sq_ktail_, sq_local_tail_, __ATOMIC_RELEASE);
+    return sq_local_tail_ - __atomic_load_n(sq_khead_, __ATOMIC_ACQUIRE);
+  }
+
+  int ring_fd_ = -1;
+  void* sq_ptr_ = nullptr;
+  void* cq_ptr_ = nullptr;
+  size_t sq_bytes_ = 0;
+  size_t cq_bytes_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  unsigned sq_entries_ = 0;
+  uint32_t* sq_khead_ = nullptr;
+  uint32_t* sq_ktail_ = nullptr;
+  uint32_t sq_mask_ = 0;
+  uint32_t* sq_array_ = nullptr;
+  uint32_t sq_local_tail_ = 0;
+  uint32_t* cq_khead_ = nullptr;
+  uint32_t* cq_ktail_ = nullptr;
+  uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  io_uring_buf_ring* buf_ring_ = nullptr;
+  size_t buf_ring_bytes_ = 0;
+  uint8_t* buf_data_ = nullptr;
+  uint16_t buf_group_ = 0;
+  unsigned buf_count_ = 0;
+  unsigned buf_size_ = 0;
+  uint32_t buf_tail_ = 0;
+  UringBufMode buf_mode_ = UringBufMode::kBufRing;
+};
+
+// Ring geometry per shard. 64 provided buffers of 32 KiB bound one
+// pass's inbound payload at 2 MiB per shard; the CQ is sized generously
+// because multishot ops can fan one SQE into many CQEs.
+constexpr unsigned kSqEntries = 256;
+constexpr unsigned kCqEntries = 4096;
+constexpr unsigned kBufCount = 64;
+constexpr unsigned kBufSize = 32 * 1024;
+constexpr uint16_t kBufGroup = 7;
+// Per-connection send staging cap: flush bytes beyond it stay in the
+// server's fallback queue, exactly like a full socket buffer on epoll.
+constexpr size_t kSendBufBytes = 128 * 1024;
+
+class UringShardTransport final : public ShardTransport {
+ public:
+  UringShardTransport(int listen_fd, TransportCounters* counters)
+      : listen_fd_(listen_fd), counters_(counters) {}
+
+  ~UringShardTransport() override {
+    // Closing the ring fd (UringCore's destructor) cancels every
+    // pending op kernel-side; all conns were Destroy()ed by the server,
+    // so only zombies (ops not yet drained) still hold fds.
+    for (UringConn* conn : zombies_) {
+      if (conn->fd >= 0) close(conn->fd);
+      delete conn;
+    }
+    if (wake_fd_ >= 0) close(wake_fd_);
+  }
+
+  Status Init() {
+    // Runs (and caches) the functional probe, which also settles which
+    // buffer mode this kernel honours.
+    if (!UringAvailable()) {
+      return InternalError("io_uring functional probe failed on this host");
+    }
+    wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd_ < 0) return UringErrnoError("eventfd", errno);
+    MBP_RETURN_IF_ERROR(core_.Init(kSqEntries, kCqEntries, kBufGroup,
+                                   kBufCount, kBufSize, g_uring_buf_mode));
+    ArmWake();
+    ArmAccept();
+    return Status::OK();
+  }
+
+  TransportKind kind() const override { return TransportKind::kUring; }
+
+  void Wait(std::vector<TransportEvent>* events, Arena* scratch,
+            int timeout_ms) override {
+    (void)scratch;  // payload lives in provided buffers until EndPass
+    if (!core_.SubmitAndWait(timeout_ms, counters_)) return;
+    core_.DrainCq([&](const io_uring_cqe& cqe) { OnCqe(cqe, events); });
+  }
+
+  bool Adopt(TransportConn* tconn) override {
+    auto* conn = static_cast<UringConn*>(tconn);
+    const int one = 1;
+    (void)setsockopt(conn->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ArmRecv(conn);
+    return true;
+  }
+
+  void Refuse(TransportConn* tconn) override {
+    auto* conn = static_cast<UringConn*>(tconn);
+    // No ops were ever armed for an unadopted fd: close directly.
+    if (conn->fd >= 0) close(conn->fd);
+    delete conn;
+  }
+
+  ssize_t Writev(TransportConn* tconn, const iovec* iov,
+                 int iov_count) override {
+    auto* conn = static_cast<UringConn*>(tconn);
+    if (conn->send_buf == nullptr) {
+      conn->send_buf = std::make_unique<uint8_t[]>(kSendBufBytes);
+    }
+    // Compact when nothing references the buffer (no inflight SEND).
+    if (!conn->send_inflight && conn->send_sent > 0) {
+      std::memmove(conn->send_buf.get(),
+                   conn->send_buf.get() + conn->send_sent,
+                   conn->send_size - conn->send_sent);
+      conn->send_size -= conn->send_sent;
+      conn->send_sent = 0;
+    }
+    size_t space = kSendBufBytes - conn->send_size;
+    if (space == 0) {
+      errno = EAGAIN;
+      return -1;
+    }
+    size_t accepted = 0;
+    for (int i = 0; i < iov_count && space > 0; ++i) {
+      const size_t n = std::min(space, iov[i].iov_len);
+      std::memcpy(conn->send_buf.get() + conn->send_size, iov[i].iov_base,
+                  n);
+      conn->send_size += n;
+      space -= n;
+      accepted += n;
+    }
+    if (!conn->send_inflight) SubmitSend(conn);
+    return static_cast<ssize_t>(accepted);
+  }
+
+  size_t Unflushed(TransportConn* tconn) const override {
+    auto* conn = static_cast<const UringConn*>(tconn);
+    return conn->send_size - conn->send_sent;
+  }
+
+  void UpdateInterest(TransportConn* tconn, bool want_read,
+                      bool want_write) override {
+    auto* conn = static_cast<UringConn*>(tconn);
+    conn->want_write = want_write;
+    if (want_read == conn->want_read) return;
+    conn->want_read = want_read;
+    if (!want_read && conn->recv_armed) {
+      // Read pause: cancel the multishot recv by its user_data. Already-
+      // completed buffers still deliver (bounded by the buffer pool);
+      // fresh socket bytes stop flowing until re-armed.
+      io_uring_sqe* sqe = core_.GetSqe(counters_);
+      sqe->opcode = IORING_OP_ASYNC_CANCEL;
+      sqe->addr = reinterpret_cast<uint64_t>(conn) | kTagRecv;
+      sqe->user_data = kTagIgnore;
+    } else if (want_read) {
+      QueueRearm(conn);  // re-armed at EndPass once the cancel drains
+    }
+  }
+
+  void OnClose(TransportConn* tconn) override {
+    auto* conn = static_cast<UringConn*>(tconn);
+    conn->closed = true;
+    // Cancel everything pending on the fd; completions drain as
+    // -ECANCELED CQEs which clear the op flags.
+    io_uring_sqe* sqe = core_.GetSqe(counters_);
+    sqe->opcode = IORING_OP_ASYNC_CANCEL;
+    sqe->cancel_flags = IORING_ASYNC_CANCEL_FD | IORING_ASYNC_CANCEL_ALL;
+    sqe->fd = conn->fd;
+    sqe->user_data = kTagIgnore;
+  }
+
+  void Destroy(TransportConn* tconn) override {
+    auto* conn = static_cast<UringConn*>(tconn);
+    conn->doomed = true;
+    MaybeFinalize(conn);
+  }
+
+  void StopAccepting() override {
+    accepting_ = false;
+    if (accept_armed_) {
+      io_uring_sqe* sqe = core_.GetSqe(counters_);
+      sqe->opcode = IORING_OP_ASYNC_CANCEL;
+      sqe->addr = kTagAccept;
+      sqe->user_data = kTagIgnore;
+    }
+  }
+
+  void Wake() override {
+    const uint64_t one = 1;
+    (void)!write(wake_fd_, &one, sizeof(one));
+  }
+
+  void EndPass() override {
+    // 1. Hand every buffer consumed by this pass's recv completions
+    //    back to the kernel: pure shared-memory tail bump.
+    if (!consumed_bids_.empty()) {
+      for (const uint16_t bid : consumed_bids_) core_.Recycle(bid);
+      consumed_bids_.clear();
+      core_.PublishBuffers();
+    }
+    // 2. Queue re-arms; the next Wait's enter submits them all.
+    if (accepting_ && !accept_armed_) ArmAccept();
+    if (!wake_armed_) ArmWake();
+    for (UringConn* conn : rearm_) {
+      conn->rearm_queued = false;
+      if (!conn->closed && !conn->doomed && conn->want_read &&
+          !conn->recv_armed) {
+        ArmRecv(conn);
+      }
+    }
+    rearm_.clear();
+    // 3. Retry sends an injected stall deferred. Swap first: SubmitSend
+    //    can re-defer into resend_ when the stall is still armed.
+    std::vector<UringConn*> retry;
+    retry.swap(resend_);
+    for (UringConn* conn : retry) {
+      conn->resend_queued = false;
+      if (!conn->closed && !conn->doomed && !conn->send_inflight) {
+        SubmitSend(conn);
+      }
+    }
+  }
+
+ private:
+  void ArmAccept() {
+    io_uring_sqe* sqe = core_.GetSqe(counters_);
+    sqe->opcode = IORING_OP_ACCEPT;
+    sqe->fd = listen_fd_;
+    sqe->ioprio = IORING_ACCEPT_MULTISHOT;
+    sqe->accept_flags = SOCK_CLOEXEC;
+    sqe->user_data = kTagAccept;
+    accept_armed_ = true;
+  }
+
+  void ArmWake() {
+    io_uring_sqe* sqe = core_.GetSqe(counters_);
+    sqe->opcode = IORING_OP_READ;
+    sqe->fd = wake_fd_;
+    sqe->addr = reinterpret_cast<uint64_t>(&wake_buf_);
+    sqe->len = sizeof(wake_buf_);
+    sqe->user_data = kTagWake;
+    wake_armed_ = true;
+  }
+
+  void ArmRecv(UringConn* conn) {
+    io_uring_sqe* sqe = core_.GetSqe(counters_);
+    sqe->opcode = IORING_OP_RECV;
+    sqe->fd = conn->fd;
+    sqe->ioprio = IORING_RECV_MULTISHOT;
+    sqe->flags = IOSQE_BUFFER_SELECT;
+    sqe->buf_group = core_.buf_group();
+    sqe->user_data = reinterpret_cast<uint64_t>(conn) | kTagRecv;
+    conn->recv_armed = true;
+  }
+
+  void SubmitSend(UringConn* conn) {
+    size_t len = conn->send_size - conn->send_sent;
+    if (len == 0) return;
+    // The shared send-stall point (chaos parity with the epoll backend's
+    // FaultSend): the SEND SQE is simply not submitted this pass; EndPass
+    // keeps retrying, so a transient fire only delays the flush while a
+    // probability-1 schedule wedges the connection for the bounded-drain
+    // paths to kill.
+    if (MBP_FAULT_POINT("net.send.eagain")) {
+      QueueResend(conn);
+      return;
+    }
+    if (len > 1 && MBP_FAULT_POINT("net.uring.send.short")) len = 1;
+    io_uring_sqe* sqe = core_.GetSqe(counters_);
+    sqe->opcode = IORING_OP_SEND;
+    sqe->fd = conn->fd;
+    sqe->addr =
+        reinterpret_cast<uint64_t>(conn->send_buf.get() + conn->send_sent);
+    sqe->len = static_cast<uint32_t>(len);
+    sqe->msg_flags = MSG_NOSIGNAL;
+    sqe->user_data = reinterpret_cast<uint64_t>(conn) | kTagSend;
+    conn->send_inflight = true;
+  }
+
+  void QueueRearm(UringConn* conn) {
+    if (conn->rearm_queued) return;
+    conn->rearm_queued = true;
+    rearm_.push_back(conn);
+  }
+
+  void QueueResend(UringConn* conn) {
+    if (conn->resend_queued) return;
+    conn->resend_queued = true;
+    resend_.push_back(conn);
+  }
+
+  void MaybeFinalize(UringConn* conn) {
+    if (!conn->doomed || conn->recv_armed || conn->send_inflight) {
+      if (conn->doomed && !conn->zombie_listed) {
+        conn->zombie_listed = true;
+        zombies_.push_back(conn);
+      }
+      return;
+    }
+    if (conn->zombie_listed) {
+      zombies_.erase(std::find(zombies_.begin(), zombies_.end(), conn));
+    }
+    if (conn->fd >= 0) close(conn->fd);
+    delete conn;
+  }
+
+  void OnCqe(const io_uring_cqe& cqe, std::vector<TransportEvent>* events) {
+    const uint64_t tag = cqe.user_data & kTagMask;
+    switch (tag) {
+      case kTagAccept: {
+        if (!(cqe.flags & IORING_CQE_F_MORE)) accept_armed_ = false;
+        if (cqe.res < 0) return;  // -ECANCELED at drain, transient errors
+        if (!accepting_) {
+          close(cqe.res);
+          return;
+        }
+        auto* conn = new UringConn();
+        conn->fd = cqe.res;
+        events->push_back(
+            TransportEvent{TransportEvent::Kind::kAccept, conn, nullptr, 0});
+        return;
+      }
+      case kTagWake: {
+        wake_armed_ = false;  // re-armed at EndPass
+        return;
+      }
+      case kTagIgnore:
+        return;
+      case kTagSend: {
+        auto* conn = reinterpret_cast<UringConn*>(cqe.user_data & ~kTagMask);
+        conn->send_inflight = false;
+        if (cqe.res < 0) {
+          if (cqe.res != -ECANCELED && !conn->closed && !conn->doomed) {
+            events->push_back(TransportEvent{TransportEvent::Kind::kError,
+                                             conn, nullptr, 0});
+          }
+          MaybeFinalize(conn);
+          return;
+        }
+        conn->send_sent += static_cast<size_t>(cqe.res);
+        if (conn->send_sent < conn->send_size) {
+          if (!conn->closed && !conn->doomed) SubmitSend(conn);
+        } else {
+          conn->send_sent = conn->send_size = 0;
+          if (conn->want_write && !conn->closed && !conn->doomed) {
+            events->push_back(TransportEvent{TransportEvent::Kind::kWritable,
+                                             conn, nullptr, 0});
+          }
+        }
+        MaybeFinalize(conn);
+        return;
+      }
+      case kTagRecv: {
+        auto* conn = reinterpret_cast<UringConn*>(cqe.user_data & ~kTagMask);
+        if (!(cqe.flags & IORING_CQE_F_MORE)) {
+          conn->recv_armed = false;
+          if (!conn->closed && !conn->doomed) QueueRearm(conn);
+        }
+        if (cqe.res < 0) {
+          // -ENOBUFS: pool exhausted mid-pass; EndPass recycles and the
+          // re-arm queued above restarts the stream. -ECANCELED: pause
+          // or close. Anything else is a connection error.
+          if (cqe.res != -ENOBUFS && cqe.res != -ECANCELED &&
+              !conn->closed && !conn->doomed) {
+            events->push_back(TransportEvent{TransportEvent::Kind::kError,
+                                             conn, nullptr, 0});
+          }
+          MaybeFinalize(conn);
+          return;
+        }
+        if (cqe.res == 0) {
+          if (!conn->closed && !conn->doomed) {
+            events->push_back(
+                TransportEvent{TransportEvent::Kind::kEof, conn, nullptr, 0});
+          }
+          MaybeFinalize(conn);
+          return;
+        }
+        if (!(cqe.flags & IORING_CQE_F_BUFFER)) return;  // cannot happen
+        const uint16_t bid =
+            static_cast<uint16_t>(cqe.flags >> IORING_CQE_BUFFER_SHIFT);
+        consumed_bids_.push_back(bid);  // recycled at EndPass
+        if (conn->closed || conn->doomed) return;
+        const uint8_t* data = core_.BufferData(bid);
+        size_t size = static_cast<size_t>(cqe.res);
+        if (size > 1 && MBP_FAULT_POINT("net.uring.recv.short")) {
+          // Split delivery: a 1-byte fragment then the remainder, which
+          // drives the decoder's cross-event carry path on demand.
+          events->push_back(
+              TransportEvent{TransportEvent::Kind::kData, conn, data, 1});
+          data += 1;
+          size -= 1;
+        }
+        events->push_back(
+            TransportEvent{TransportEvent::Kind::kData, conn, data, size});
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  int listen_fd_ = -1;
+  TransportCounters* counters_;
+  UringCore core_;
+  int wake_fd_ = -1;
+  uint64_t wake_buf_ = 0;
+  bool accepting_ = true;
+  bool accept_armed_ = false;
+  bool wake_armed_ = false;
+  std::vector<uint16_t> consumed_bids_;
+  std::vector<UringConn*> rearm_;
+  std::vector<UringConn*> resend_;
+  std::vector<UringConn*> zombies_;
+};
+
+// Functional probe for one buffer mode: everything the backend relies
+// on must actually work, not just be defined in headers or accepted by
+// io_uring_register — multishot recv delivering a byte into a selected
+// buffer over a socketpair, EXT_ARG timed waits.
+bool ProbeWithMode(UringBufMode mode) {
+  const bool dbg = std::getenv("MBP_URING_DEBUG") != nullptr;
+  UringCore core;
+  const Status init = core.Init(8, 16, 9, 4, 4096, mode);
+  if (!init.ok()) {
+    if (dbg) std::fprintf(stderr, "probe init: %s\n", init.ToString().c_str());
+    return false;
+  }
+  int sv[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) < 0) {
+    return false;
+  }
+  bool ok = false;
+  io_uring_sqe* sqe = core.GetSqe(nullptr);
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = sv[0];
+  sqe->ioprio = IORING_RECV_MULTISHOT;
+  sqe->flags = IOSQE_BUFFER_SELECT;
+  sqe->buf_group = core.buf_group();
+  sqe->user_data = 1;
+  const char byte = 'x';
+  if (write(sv[1], &byte, 1) == 1 && core.SubmitAndWait(1000, nullptr)) {
+    core.DrainCq([&](const io_uring_cqe& cqe) {
+      if (dbg) {
+        std::fprintf(stderr, "probe cqe ud=%llu res=%d flags=%#x\n",
+                     static_cast<unsigned long long>(cqe.user_data), cqe.res,
+                     cqe.flags);
+      }
+      if (cqe.user_data == 1 && cqe.res == 1 &&
+          (cqe.flags & IORING_CQE_F_BUFFER)) {
+        ok = true;
+      }
+    });
+  } else if (dbg) {
+    std::fprintf(stderr, "probe write/enter failed errno=%d\n", errno);
+  }
+  close(sv[0]);
+  close(sv[1]);
+  return ok;
+}
+
+// One-shot probe run behind UringAvailable(): prefer the registered
+// buffer ring, fall back to the legacy provide-buffers pool, give up
+// (-> epoll) when neither observably works.
+bool RunUringProbe() {
+  const char* force = std::getenv("MBP_FORCE_NO_URING");
+  if (force != nullptr && force[0] == '1') return false;
+  if (ProbeWithMode(UringBufMode::kBufRing)) {
+    g_uring_buf_mode = UringBufMode::kBufRing;
+    return true;
+  }
+  if (ProbeWithMode(UringBufMode::kLegacy)) {
+    g_uring_buf_mode = UringBufMode::kLegacy;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool UringAvailable() {
+  static const bool available = RunUringProbe();
+  return available;
+}
+
+std::unique_ptr<ShardTransport> MakeUringShardTransport(
+    int listen_fd, TransportCounters* counters, Status* status) {
+  auto transport =
+      std::make_unique<UringShardTransport>(listen_fd, counters);
+  const Status init = transport->Init();
+  if (!init.ok()) {
+    *status = init;
+    return nullptr;
+  }
+  *status = Status::OK();
+  return transport;
+}
+
+#else  // !MBP_HAVE_URING
+
+bool UringAvailable() { return false; }
+
+std::unique_ptr<ShardTransport> MakeUringShardTransport(
+    int listen_fd, TransportCounters* counters, Status* status) {
+  (void)listen_fd;
+  (void)counters;
+  *status = UnimplementedError(
+      "io_uring backend compiled out (userspace headers predate 6.0)");
+  return nullptr;
+}
+
+#endif  // MBP_HAVE_URING
+
+}  // namespace mbp::net

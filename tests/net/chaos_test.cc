@@ -18,6 +18,15 @@
 // (scripts/chaos.sh exports a randomized one) and is printed on every
 // run, so any failure reproduces with MBP_CHAOS_SEED=<seed>. Suite name
 // matches scripts/tsan.sh's Net filter.
+//
+// Transport regimes: MBP_CHAOS_TRANSPORT={epoll,uring,shm} (default
+// epoll) reruns the whole suite with the server on that backend and the
+// PriceClient connecting over TCP or the shm:// ring accordingly —
+// scripts/chaos.sh pass 4 drives this. `uring` self-skips (visibly)
+// when the kernel fails the io_uring probe. Tests that open raw TCP
+// sockets below PriceClient keep doing so under shm; the TCP listener
+// stays up next to the segment, so they chaos the epoll path of the
+// same server.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -68,38 +77,63 @@ uint64_t ChaosSeed() {
   return 0xC0FFEEull;  // fixed default: CI runs are replayable as-is
 }
 
+std::string ChaosTransport() {
+  const char* env = std::getenv("MBP_CHAOS_TRANSPORT");
+  return env != nullptr && env[0] != '\0' ? env : "epoll";
+}
+
 class NetChaosTest : public ::testing::Test {
  protected:
   void SetUp() override {
     if (!fault::kBuildEnabled) {
       GTEST_SKIP() << "built with MBP_FAULT_INJECTION=OFF";
     }
+    transport_ = ChaosTransport();
+    if (transport_ == "uring" && !UringAvailable()) {
+      GTEST_SKIP() << "MBP_CHAOS_TRANSPORT=uring: io_uring unavailable on "
+                      "this kernel, skipping";
+    }
     fault::FaultInjector::Global().Reset();
     seed_ = ChaosSeed();
     fault::FaultInjector::Global().Seed(seed_);
-    std::printf("[chaos] replay with MBP_CHAOS_SEED=%llu\n",
-                static_cast<unsigned long long>(seed_));
+    std::printf("[chaos] replay with MBP_CHAOS_SEED=%llu (transport=%s)\n",
+                static_cast<unsigned long long>(seed_), transport_.c_str());
     auto published = registry_.Publish("pricing", MakeVariant(0));
     ASSERT_TRUE(published.ok());
     slot_ = *published;
     engine_ = std::make_unique<PriceQueryEngine>(&registry_);
   }
 
-  void TearDown() override { fault::FaultInjector::Global().Reset(); }
+  void TearDown() override {
+    fault::FaultInjector::Global().Reset();
+    if (!shm_path_.empty()) (void)unlink(shm_path_.c_str());
+  }
 
   void StartServer(ServerOptions options) {
     options.port = 0;
     options.default_curve_id = "pricing";
+    if (transport_ == "uring") {
+      options.transport = TransportKind::kUring;
+    } else if (transport_ == "shm") {
+      shm_path_ = "/tmp/mbp_chaos_" + std::to_string(getpid()) + ".shm";
+      options.shm_path = shm_path_;
+      options.shm_slots = 16;
+    }
     auto server = PriceServer::Start(engine_.get(), options);
     ASSERT_TRUE(server.ok()) << server.status();
     server_ = std::move(*server);
   }
 
   StatusOr<std::unique_ptr<PriceClient>> Connect(ClientOptions options) {
+    if (transport_ == "shm") {
+      return PriceClient::Connect("shm://" + shm_path_, 0, options);
+    }
     return PriceClient::Connect("127.0.0.1", server_->port(), options);
   }
 
   uint64_t seed_ = 0;
+  std::string transport_;
+  std::string shm_path_;
   SnapshotRegistry registry_;
   const SnapshotRegistry::CurveSlot* slot_ = nullptr;
   std::unique_ptr<PriceQueryEngine> engine_;
@@ -135,6 +169,17 @@ TEST_F(NetChaosTest, TenThousandRequestsUnderSeededFaultSchedule) {
   fault::PointSchedule refuse;  // accept-side allocation failure
   refuse.probability = 0.02;
   inj.Arm("net.server.conn_alloc", refuse);
+  // Transport-specific points: armed unconditionally (a point the
+  // selected backend never reaches simply never fires).
+  inj.Arm("net.uring.enter.eintr", transient);
+  inj.Arm("net.uring.recv.short", shortio);
+  inj.Arm("net.uring.send.short", shortio);
+  inj.Arm("net.shm.read.short", shortio);
+  inj.Arm("net.shm.write.short", shortio);
+  inj.Arm("net.shm.futex.eintr", transient);
+  fault::PointSchedule wake_drop;  // lost doorbell: bounded-wait recovery
+  wake_drop.probability = 0.001;   // each drop can cost a full 100ms park
+  inj.Arm("net.shm.wake.drop", wake_drop);
 
   StartServer(ServerOptions{});
 

@@ -22,10 +22,18 @@
 //   --default-curve=ID  curve served for empty request ids
 //   --fault-seed=N   arm the chaos fault storm on this process's injector
 //   --fault-scale=F  storm probability multiplier (default 1.0)
+//   --transport=T    shard-loop transport: epoll (default) or uring.
+//                    uring falls back to epoll (with a stderr notice)
+//                    when the kernel lacks the needed io_uring features.
+//   --shm=PATH       also publish a shared-memory segment at PATH next
+//                    to the TCP listener; same-host clients connect with
+//                    "shm://PATH" (port ignored), remote ones keep TCP
+//   --shm-slots=N    shm connection slots (default 32)
 //
 // Output: exactly one line "READY port=<p> curves=<n> bytes=<b>\n" on
-// stdout once serving; the process then blocks until stdin closes or a
-// signal arrives, shuts down gracefully, and exits 0.
+// stdout once serving (plus " shm=<path>" when --shm is set); the process
+// then blocks until stdin closes or a signal arrives, shuts down
+// gracefully, and exits 0.
 
 #include <poll.h>
 #include <signal.h>
@@ -142,6 +150,30 @@ int main(int argc, char** argv) {
   server_options.num_shards = loops;
   server_options.default_curve_id =
       bench::FlagString(argc, argv, "default-curve", "");
+  const std::string transport_name =
+      bench::FlagString(argc, argv, "transport", "epoll");
+  net::TransportKind transport_kind = net::TransportKind::kEpoll;
+  if (!net::ParseTransportKind(transport_name, &transport_kind) ||
+      transport_kind == net::TransportKind::kShm) {
+    // shm is not a shard-loop replacement: it serves NEXT TO the TCP
+    // listener, selected per-process via --shm=PATH.
+    std::fprintf(stderr, "--transport must be epoll or uring (got %s)\n",
+                 transport_name.c_str());
+    return 1;
+  }
+  if (transport_kind == net::TransportKind::kUring &&
+      !net::UringAvailable()) {
+    std::fprintf(stderr,
+                 "NOTE: io_uring unavailable on this kernel; shard loops "
+                 "fall back to epoll\n");
+  }
+  server_options.transport = transport_kind;
+  const std::string shm_path = bench::FlagString(argc, argv, "shm", "");
+  if (!shm_path.empty()) {
+    server_options.shm_path = shm_path;
+    server_options.shm_slots = static_cast<size_t>(flag("shm-slots", 32));
+    server_options.shm_shards = loops;
+  }
   auto server = net::PriceServer::Start(&engine, server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
@@ -155,8 +187,14 @@ int main(int argc, char** argv) {
   sigaction(SIGINT, &sa, nullptr);
   signal(SIGPIPE, SIG_IGN);
 
-  std::printf("READY port=%u curves=%zu bytes=%zu\n", (*server)->port(),
-              registry.resident_listings(), registry.resident_bytes());
+  if (shm_path.empty()) {
+    std::printf("READY port=%u curves=%zu bytes=%zu\n", (*server)->port(),
+                registry.resident_listings(), registry.resident_bytes());
+  } else {
+    std::printf("READY port=%u curves=%zu bytes=%zu shm=%s\n",
+                (*server)->port(), registry.resident_listings(),
+                registry.resident_bytes(), shm_path.c_str());
+  }
   std::fflush(stdout);
 
   // Park until the launcher closes our stdin or a signal lands.
