@@ -16,6 +16,15 @@
 //   zipf        --batch xs per round trip, curve drawn per round trip
 //               from a zipf(s) popularity distribution over the catalog
 //               (ranks scattered across the id space by a seeded shuffle)
+// With --buy-pct=P (0 < P <= 100) a third regime runs:
+//   purchase_mix  each round trip is a BUY (fresh unique transaction id,
+//               random δ) with probability P%, else a batched PRICE_AT;
+//               curve selection follows the zipf draw (or the single
+//               curve). The in-process server gets a FulfillmentEngine;
+//               an --endpoints fleet must have been started selling
+//               (mbp_catalog_shard --fulfill=1, the default). Client-
+//               observed BUY latency is reported separately from the
+//               PRICE_AT path.
 //
 // Before anything is timed, every remote price is checked bit-identical
 // to the research path `PiecewiseLinearPricing::PriceAtInverseNcp`; the
@@ -30,6 +39,8 @@
 //   --connections=N  concurrent client connections (default 8)
 //   --requests=N     round trips per connection per regime (default 2000)
 //   --batch=N        xs per frame in the batched/zipf regimes (default 64)
+//   --buy-pct=P      adds the purchase_mix regime: P% of round trips are
+//                    BUYs (default 0 = off)
 //   --shards=N       server event-loop shards (default 2)
 //   --endpoints=CSV  drive an external fleet ("127.0.0.1:p0,...") through
 //                    consistent-hash routing instead of an in-process
@@ -57,12 +68,14 @@
 #include <sched.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -77,6 +90,7 @@
 #include "net/server.h"
 #include "random/distributions.h"
 #include "random/rng.h"
+#include "serving/fulfillment.h"
 #include "serving/price_query_engine.h"
 #include "serving/synthetic_catalog.h"
 
@@ -93,6 +107,12 @@ struct RegimeResult {
   // negative when no in-process server was available to ask.
   double syscalls_per_request = -1.0;
   LatencyHistogramSnapshot latency;  // per-round-trip, client-observed
+  // purchase_mix only: completed sales, client-paid revenue, and the
+  // client-observed BUY round-trip latency (the `latency` histogram above
+  // then covers only the PRICE_AT round trips).
+  size_t buys = 0;
+  double revenue = 0.0;
+  LatencyHistogramSnapshot buy_latency;
 };
 
 double MillisSince(std::chrono::steady_clock::time_point start) {
@@ -114,7 +134,15 @@ core::PiecewiseLinearPricing MakeDenseCurve(size_t knots) {
 // whatever `MakeClientFn` built (direct PriceClient or cluster router).
 using BatchFn = std::function<StatusOr<std::vector<double>>(
     const std::string& id, const std::vector<double>& xs)>;
-using MakeClientFn = std::function<BatchFn(size_t conn)>;
+// One BUY round trip: transaction ids are generated inside the client
+// (NextTransactionId — process-unique, never reused within a run).
+using BuyFn = std::function<StatusOr<net::BuyPayload>(const std::string& id,
+                                                      double delta)>;
+struct ClientFns {
+  BatchFn batch;  // null => the connection failed
+  BuyFn buy;      // null when the purchase_mix regime is off
+};
+using MakeClientFn = std::function<ClientFns(size_t conn)>;
 
 // Which curve each round trip queries.
 struct Workload {
@@ -135,7 +163,8 @@ struct Workload {
 // syscalls-per-request.
 RegimeResult RunRegime(const std::string& name, size_t connections,
                        size_t requests, size_t warmup, bool pin,
-                       size_t batch, const Workload& workload,
+                       size_t batch, size_t buy_pct,
+                       const Workload& workload,
                        const MakeClientFn& make_client,
                        const std::function<net::StatsPayload()>& stats_fn,
                        std::atomic<size_t>* failures) {
@@ -144,6 +173,10 @@ RegimeResult RunRegime(const std::string& name, size_t connections,
   result.round_trips = connections * requests;
   result.queries = result.round_trips * batch;
   LatencyHistogram latency;
+  LatencyHistogram buy_latency;
+  std::atomic<size_t> buys{0};
+  std::mutex revenue_mutex;
+  double revenue = 0.0;
 
   std::vector<std::thread> threads;
   std::atomic<size_t> ready{0};
@@ -157,22 +190,47 @@ RegimeResult RunRegime(const std::string& name, size_t connections,
         CPU_SET(c % cpus, &set);
         (void)sched_setaffinity(0, sizeof(set), &set);
       }
-      BatchFn query = make_client(c);
-      if (!query) {
+      ClientFns fns = make_client(c);
+      if (!fns.batch) {
         failures->fetch_add(requests);
         ready.fetch_add(1);
         return;
       }
       random::Rng rng(1234 + c);
       std::vector<double> xs(batch);
+      size_t local_buys = 0;
+      double local_revenue = 0.0;
       const auto round_trip = [&](bool timed) {
         const size_t index = workload.zipf != nullptr
                                  ? workload.perm[workload.zipf->Sample(rng)]
                                  : workload.fixed_index;
         const double hi = workload.x_hi[index];
+        if (buy_pct > 0 && fns.buy != nullptr &&
+            rng.NextBounded(100) < buy_pct) {
+          // A purchase at a random affordable accuracy: δ = 1/x with x
+          // uniform over the curve's domain. The client generates a
+          // fresh process-unique transaction id per call, so every BUY
+          // is a distinct sale (retries inside the client dedupe).
+          const double delta = 1.0 / rng.NextDouble(1.0, hi);
+          const auto start = std::chrono::steady_clock::now();
+          const auto sale = fns.buy(workload.ids[index], delta);
+          if (timed) {
+            buy_latency.Record(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+          }
+          if (!sale.ok()) {
+            failures->fetch_add(1);
+          } else if (timed) {
+            ++local_buys;
+            local_revenue += sale->record.price;
+          }
+          return;
+        }
         for (double& x : xs) x = rng.NextDouble(0.0, hi);
         const auto start = std::chrono::steady_clock::now();
-        const auto prices = query(workload.ids[index], xs);
+        const auto prices = fns.batch(workload.ids[index], xs);
         if (timed) {
           latency.Record(
               std::chrono::duration<double, std::micro>(
@@ -185,6 +243,11 @@ RegimeResult RunRegime(const std::string& name, size_t connections,
       ready.fetch_add(1);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       for (size_t r = 0; r < requests; ++r) round_trip(true);
+      if (local_buys > 0) {
+        buys.fetch_add(local_buys);
+        std::lock_guard<std::mutex> lock(revenue_mutex);
+        revenue += local_revenue;
+      }
     });
   }
   while (ready.load(std::memory_order_acquire) < connections) {
@@ -206,15 +269,29 @@ RegimeResult RunRegime(const std::string& name, size_t connections,
           static_cast<double>(reqs);
     }
   }
+  result.buys = buys.load();
+  result.revenue = revenue;
+  // A BUY round trip delivers one model, not `batch` prices.
+  result.queries =
+      (result.round_trips - result.buys) * batch + result.buys;
   result.qps =
       static_cast<double>(result.queries) / (result.wall_ms * 1e-3);
   result.latency = latency.Snapshot();
+  result.buy_latency = buy_latency.Snapshot();
   std::printf(
-      "  %-10s %8zu rt  %9.2f ms  %11.0f qps   p50 %7.1f us   p99 %7.1f us"
+      "  %-12s %8zu rt  %9.2f ms  %11.0f qps   p50 %7.1f us   p99 %7.1f us"
       "   %5.2f sys/req\n",
       result.name.c_str(), result.round_trips, result.wall_ms, result.qps,
       result.latency.QuantileMicros(0.5),
       result.latency.QuantileMicros(0.99), result.syscalls_per_request);
+  if (result.buys > 0) {
+    std::printf(
+        "  %-12s %8zu buys  revenue %12.2f        buy p50 %7.1f us   "
+        "buy p99 %7.1f us\n",
+        "", result.buys, result.revenue,
+        result.buy_latency.QuantileMicros(0.5),
+        result.buy_latency.QuantileMicros(0.99));
+  }
   return result;
 }
 
@@ -260,6 +337,18 @@ void MergeStats(const net::StatsPayload& from, net::StatsPayload* into) {
   into->transport_syscalls += from.transport_syscalls;
   into->uring_sqe_submitted += from.uring_sqe_submitted;
   into->shm_doorbell_wakes += from.shm_doorbell_wakes;
+  for (size_t v = 0; v < net::kNumVerbSlots; ++v) {
+    into->requests_by_verb[v] += from.requests_by_verb[v];
+  }
+  into->buys_ok += from.buys_ok;
+  into->model_cache_entries += from.model_cache_entries;
+  into->model_cache_bytes += from.model_cache_bytes;
+  into->model_cache_hits += from.model_cache_hits;
+  into->model_cache_misses += from.model_cache_misses;
+  into->model_cache_evictions += from.model_cache_evictions;
+  into->transactions_recorded += from.transactions_recorded;
+  into->revenue += from.revenue;
+  MergeHistogram(from.fulfillment_latency, &into->fulfillment_latency);
   MergeHistogram(from.latency, &into->latency);
   MergeHistogram(from.write_queue_bytes, &into->write_queue_bytes);
 }
@@ -268,6 +357,7 @@ struct BenchConfig {
   size_t knots, curves, connections, requests, batch, shards;
   size_t min_knots, max_knots;
   size_t warmup;
+  size_t buy_pct;
   bool pin;
   std::string transport;
   double zipf_s;
@@ -294,6 +384,7 @@ void EmitJson(FILE* out, const BenchConfig& config, bool bit_identical,
   json.Field("pinned", config.pin);
   json.Field("transport", config.transport);
   json.Field("batch", config.batch);
+  json.Field("buy_pct", config.buy_pct);
   json.Field("shards", config.shards);
   json.Field("hardware_concurrency",
              static_cast<size_t>(std::thread::hardware_concurrency()));
@@ -319,6 +410,12 @@ void EmitJson(FILE* out, const BenchConfig& config, bool bit_identical,
     json.Field("qps", r.qps);
     json.Field("syscalls_per_request", r.syscalls_per_request);
     EmitHistogramFields(&json, r.latency);
+    if (r.buys > 0) {
+      json.Field("buys", r.buys);
+      json.Field("revenue", r.revenue);
+      json.Field("buy_p50_us", r.buy_latency.QuantileMicros(0.5));
+      json.Field("buy_p99_us", r.buy_latency.QuantileMicros(0.99));
+    }
     json.EndObject();
   }
   json.EndArray();
@@ -342,6 +439,26 @@ void EmitJson(FILE* out, const BenchConfig& config, bool bit_identical,
   json.Field("write_queue_peak_bytes", server_stats.write_queue_peak_bytes);
   json.Field("catalog_listings", server_stats.catalog_listings);
   json.Field("catalog_bytes", server_stats.catalog_bytes);
+  static const char* const kVerbNames[] = {
+      "",      "price_at", "budget_to_x", "snapshot_info",
+      "stats", "quote",    "buy",         "replay"};
+  json.Key("requests_by_verb");
+  json.BeginObject();
+  for (size_t v = 1; v < net::kNumVerbSlots; ++v) {
+    json.Field(kVerbNames[v], server_stats.requests_by_verb[v]);
+  }
+  json.EndObject();
+  json.Field("buys_ok", server_stats.buys_ok);
+  json.Field("revenue", server_stats.revenue);
+  json.Field("transactions_recorded", server_stats.transactions_recorded);
+  json.Field("model_cache_hits", server_stats.model_cache_hits);
+  json.Field("model_cache_misses", server_stats.model_cache_misses);
+  json.Field("model_cache_evictions", server_stats.model_cache_evictions);
+  json.Field("model_cache_bytes", server_stats.model_cache_bytes);
+  json.Field("fulfillment_p50_us",
+             server_stats.fulfillment_latency.QuantileMicros(0.5));
+  json.Field("fulfillment_p99_us",
+             server_stats.fulfillment_latency.QuantileMicros(0.99));
   EmitHistogramFields(&json, server_stats.latency);
   json.EndObject();
   json.EndObject();
@@ -371,6 +488,12 @@ int main(int argc, char** argv) {
       bench::FlagValue(argc, argv, "requests", 2000));
   config.batch = static_cast<size_t>(
       bench::FlagValue(argc, argv, "batch", 64));
+  config.buy_pct = static_cast<size_t>(
+      bench::FlagValue(argc, argv, "buy-pct", 0));
+  if (config.buy_pct > 100) {
+    std::fprintf(stderr, "--buy-pct must be in [0, 100]\n");
+    return 1;
+  }
   config.shards = static_cast<size_t>(
       bench::FlagValue(argc, argv, "shards", 2));
   config.warmup = static_cast<size_t>(
@@ -457,6 +580,12 @@ int main(int argc, char** argv) {
   }
 
   serving::PriceQueryEngine engine(&registry);
+  // The purchase_mix regime sells through the in-process server; the
+  // engine is cheap to stand up (models train lazily on first BUY).
+  std::unique_ptr<serving::FulfillmentEngine> fulfillment;
+  if (config.buy_pct > 0 && endpoints_csv.empty()) {
+    fulfillment = std::make_unique<serving::FulfillmentEngine>(&registry);
+  }
   std::unique_ptr<net::PriceServer> server;
   std::vector<net::Endpoint> endpoints;
   net::ClusterClientOptions cluster_options;
@@ -465,6 +594,7 @@ int main(int argc, char** argv) {
   if (endpoints_csv.empty()) {
     net::ServerOptions options;
     options.num_shards = config.shards;
+    options.fulfillment = fulfillment.get();
     if (!multi_curve) options.default_curve_id = "menu";
     if (transport_kind == net::TransportKind::kShm) {
       // The shm transport is not a TCP backend: the segment serves
@@ -519,25 +649,40 @@ int main(int argc, char** argv) {
 
   // Per-thread client factory: direct connection in single-server mode,
   // consistent-hash router against the fleet in --endpoints mode.
-  MakeClientFn make_client = [&](size_t) -> BatchFn {
+  const size_t buy_pct = config.buy_pct;
+  MakeClientFn make_client = [&](size_t) -> ClientFns {
+    ClientFns fns;
     if (endpoints.empty()) {
       auto client = shm_uri.empty()
                         ? net::PriceClient::Connect("127.0.0.1", port)
                         : net::PriceClient::Connect(shm_uri, 0);
-      if (!client.ok()) return nullptr;
-      return [client = std::shared_ptr<net::PriceClient>(
-                  std::move(*client))](const std::string& id,
-                                       const std::vector<double>& xs) {
-        return client->PriceBatch(id, xs);
+      if (!client.ok()) return fns;
+      auto shared = std::shared_ptr<net::PriceClient>(std::move(*client));
+      fns.batch = [shared](const std::string& id,
+                           const std::vector<double>& xs) {
+        return shared->PriceBatch(id, xs);
       };
+      if (buy_pct > 0) {
+        fns.buy = [shared](const std::string& id, double delta) {
+          return shared->Buy(id, delta);
+        };
+      }
+      return fns;
     }
     auto cluster = net::ClusterPriceClient::Create(endpoints, cluster_options);
-    if (!cluster.ok()) return nullptr;
-    return [cluster = std::shared_ptr<net::ClusterPriceClient>(
-                std::move(*cluster))](const std::string& id,
-                                      const std::vector<double>& xs) {
-      return cluster->PriceBatch(id, xs);
+    if (!cluster.ok()) return fns;
+    auto shared =
+        std::shared_ptr<net::ClusterPriceClient>(std::move(*cluster));
+    fns.batch = [shared](const std::string& id,
+                         const std::vector<double>& xs) {
+      return shared->PriceBatch(id, xs);
     };
+    if (buy_pct > 0) {
+      fns.buy = [shared](const std::string& id, double delta) {
+        return shared->Buy(id, delta);
+      };
+    }
+    return fns;
   };
 
   // --- Bit-identity gate -------------------------------------------------
@@ -546,7 +691,7 @@ int main(int argc, char** argv) {
   // over up to 256 distinct curves (hottest-first stride sample).
   size_t mismatches = 0;
   {
-    BatchFn query = make_client(0);
+    const BatchFn query = make_client(0).batch;
     if (!query) {
       std::fprintf(stderr, "gate client connect failed\n");
       return 1;
@@ -605,21 +750,33 @@ int main(int argc, char** argv) {
     fixed.zipf = nullptr;
     regimes.push_back(RunRegime("batched", config.connections,
                                 config.requests, config.warmup, config.pin,
-                                config.batch, fixed, make_client, stats_fn,
-                                &failures));
+                                config.batch, 0, fixed, make_client,
+                                stats_fn, &failures));
     workload.zipf = &zipf;
     regimes.push_back(RunRegime("zipf", config.connections, config.requests,
-                                config.warmup, config.pin, config.batch,
+                                config.warmup, config.pin, config.batch, 0,
                                 workload, make_client, stats_fn, &failures));
+    if (config.buy_pct > 0) {
+      regimes.push_back(RunRegime(
+          "purchase_mix", config.connections, config.requests, config.warmup,
+          config.pin, config.batch, config.buy_pct, workload, make_client,
+          stats_fn, &failures));
+    }
   } else {
     regimes.push_back(RunRegime("pingpong", config.connections,
                                 config.requests, config.warmup, config.pin,
-                                1, workload, make_client, stats_fn,
+                                1, 0, workload, make_client, stats_fn,
                                 &failures));
     regimes.push_back(RunRegime("batched", config.connections,
                                 config.requests, config.warmup, config.pin,
-                                config.batch, workload, make_client,
+                                config.batch, 0, workload, make_client,
                                 stats_fn, &failures));
+    if (config.buy_pct > 0) {
+      regimes.push_back(RunRegime(
+          "purchase_mix", config.connections, config.requests, config.warmup,
+          config.pin, config.batch, config.buy_pct, workload, make_client,
+          stats_fn, &failures));
+    }
   }
   bench::PrintRule();
 
@@ -643,6 +800,31 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(server_stats.requests_error),
               static_cast<unsigned long long>(server_stats.catalog_listings),
               static_cast<double>(server_stats.catalog_bytes) / 1048576.0);
+  {
+    static const char* const kVerbNames[] = {
+        "",      "PRICE_AT", "BUDGET_TO_X", "SNAPSHOT_INFO",
+        "STATS", "QUOTE",    "BUY",         "REPLAY"};
+    std::printf("server requests by verb:");
+    for (size_t v = 1; v < net::kNumVerbSlots; ++v) {
+      if (server_stats.requests_by_verb[v] == 0) continue;
+      std::printf(" %s=%llu", kVerbNames[v],
+                  static_cast<unsigned long long>(
+                      server_stats.requests_by_verb[v]));
+    }
+    std::printf("\n");
+  }
+  if (server_stats.buys_ok > 0) {
+    std::printf(
+        "fulfillment: %llu sales, revenue %.2f; model cache %llu/%llu "
+        "hit/miss, %llu evictions; sale p50 %.1f us, p99 %.1f us\n",
+        static_cast<unsigned long long>(server_stats.buys_ok),
+        server_stats.revenue,
+        static_cast<unsigned long long>(server_stats.model_cache_hits),
+        static_cast<unsigned long long>(server_stats.model_cache_misses),
+        static_cast<unsigned long long>(server_stats.model_cache_evictions),
+        server_stats.fulfillment_latency.QuantileMicros(0.5),
+        server_stats.fulfillment_latency.QuantileMicros(0.99));
+  }
   if (failures.load() != 0) {
     std::fprintf(stderr, "%zu client round trips failed\n", failures.load());
   }

@@ -60,6 +60,19 @@ for transport in uring shm; do
   done
 done
 
+echo "[chaos] === pass 3b: fault-stormed purchase mix, every transport ==="
+# The BUY-verb chaos invariants (DESIGN.md §5i): under the same storm,
+# every completed sale must replay bit-identically and revenue must equal
+# the sum of DISTINCT recorded sales even though the retry ladder resends
+# BUYs. Runs the dedicated test on all three transports with the
+# randomized seed (the fixed seeds already covered it inside passes 1/3).
+for transport in epoll uring shm; do
+  echo "[chaos] asan purchase-mix run, transport=$transport MBP_CHAOS_SEED=$RANDOM_SEED"
+  MBP_CHAOS_TRANSPORT="$transport" MBP_CHAOS_SEED="$RANDOM_SEED" \
+    "$ASAN_DIR/tests/mbp_net_test" \
+    --gtest_filter='NetChaosTest.PurchaseMixUnderFaultStormReplaysAndChargesOnce'
+done
+
 echo "[chaos] === pass 4: 2-process consistent-hash fleet (asan) ==="
 # One fixed-seed pass against a real multi-process fleet: NetFleetTest
 # fork/execs 2 mbp_catalog_shard processes, fault-storms shard 0 with the

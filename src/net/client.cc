@@ -14,6 +14,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/sharded_cache.h"
 #include "net/fault_syscalls.h"
 #include "net/shm_ring.h"
 
@@ -405,7 +406,14 @@ bool IsIdempotent(Verb verb) {
     case Verb::kBudgetToX:
     case Verb::kSnapshotInfo:
     case Verb::kStats:
-      return true;  // all read-only price queries today
+    case Verb::kQuote:
+    case Verb::kReplay:
+      return true;  // read-only
+    case Verb::kBuy:
+      // Mutating, but keyed by the client-chosen txn id the server's
+      // ledger dedupes: a retried BUY re-delivers the recorded sale
+      // without charging again, so retrying cannot double-apply.
+      return true;
   }
   return false;
 }
@@ -649,6 +657,63 @@ StatusOr<StatsPayload> PriceClient::Stats() {
   Response response;
   MBP_RETURN_IF_ERROR(Roundtrip(std::move(request), &response));
   return response.stats;
+}
+
+StatusOr<QuotePayload> PriceClient::Quote(const std::string& curve_id,
+                                          double delta) {
+  Request request;
+  request.verb = Verb::kQuote;
+  request.curve_id = curve_id;
+  request.delta = delta;
+  Response response;
+  MBP_RETURN_IF_ERROR(Roundtrip(std::move(request), &response));
+  return std::move(response.quote);
+}
+
+StatusOr<BuyPayload> PriceClient::Buy(const std::string& curve_id,
+                                      double delta, uint64_t txn_id,
+                                      const std::string& token) {
+  Request request;
+  request.verb = Verb::kBuy;
+  request.curve_id = curve_id;
+  request.delta = delta;
+  request.txn_id = txn_id != 0 ? txn_id : NextTransactionId();
+  request.token = token;
+  const uint64_t sent_txn = request.txn_id;
+  Response response;
+  MBP_RETURN_IF_ERROR(Roundtrip(std::move(request), &response));
+  if (response.buy.record.txn_id != sent_txn) {
+    return InternalError("BUY response carries a foreign transaction id");
+  }
+  return std::move(response.buy);
+}
+
+StatusOr<BuyPayload> PriceClient::Replay(uint64_t txn_id) {
+  Request request;
+  request.verb = Verb::kReplay;
+  request.txn_id = txn_id;
+  Response response;
+  MBP_RETURN_IF_ERROR(Roundtrip(std::move(request), &response));
+  if (response.buy.record.txn_id != txn_id) {
+    return InternalError("REPLAY response carries a foreign transaction id");
+  }
+  return std::move(response.buy);
+}
+
+uint64_t PriceClient::NextTransactionId() {
+  if (txn_base_ == 0) {
+    // Lazy so the entropy includes the connected channel's lifetime, not
+    // just construction order; uniqueness, not unpredictability, is the
+    // goal (replays/retries reuse the id deliberately).
+    txn_base_ = HashMix64(
+        (static_cast<uint64_t>(::getpid()) << 32) ^
+        static_cast<uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count()) ^
+        reinterpret_cast<uintptr_t>(this));
+  }
+  uint64_t id = HashMix64(txn_base_ ^ ++txn_seq_);
+  if (id == 0) id = 1;
+  return id;
 }
 
 }  // namespace mbp::net

@@ -73,8 +73,9 @@ struct ClientTelemetry {
   uint64_t reconnects = 0;          // successful re-establishments
 };
 
-// All current verbs are read-only price queries; retrying them can never
-// double-apply an effect.
+// Query verbs are read-only; BUY is mutating but keyed by a client-chosen
+// transaction id the server's ledger dedupes (a retry re-delivers the
+// recorded sale without charging again), so every verb is retry-safe.
 bool IsIdempotent(Verb verb);
 
 // One client-side connection to a PriceServer: how bytes get there and
@@ -124,6 +125,27 @@ class PriceClient {
 
   StatusOr<StatsPayload> Stats();
 
+  // Prices (curve, δ) and returns the signed quote token a later Buy can
+  // present to purchase at exactly that price until it expires.
+  StatusOr<QuotePayload> Quote(const std::string& curve_id, double delta);
+
+  // Buys a noised model instance at NCP δ > 0. txn_id 0 auto-generates a
+  // process-unique id (NextTransactionId); pass an explicit id to make
+  // the purchase replayable/idempotent under YOUR key. `token` from a
+  // prior Quote locks in the quoted price. Safe under the retry ladder:
+  // the server's ledger dedupes the txn id, so a retried BUY receives the
+  // identical recorded sale and is charged once.
+  StatusOr<BuyPayload> Buy(const std::string& curve_id, double delta,
+                           uint64_t txn_id = 0,
+                           const std::string& token = std::string());
+
+  // Re-delivers a recorded sale bit-identically from its ledger record.
+  StatusOr<BuyPayload> Replay(uint64_t txn_id);
+
+  // Fresh client-unique transaction id (never 0): mixed from the pid,
+  // client identity, startup time, and a per-client counter.
+  uint64_t NextTransactionId();
+
   // Sends `request` (request_id is assigned here) and blocks for its
   // response frame, applying the full deadline + retry ladder. Exposed
   // for tests that exercise raw verbs.
@@ -156,6 +178,8 @@ class PriceClient {
   std::unique_ptr<ClientChannel> channel_;
   uint64_t next_request_id_ = 1;
   std::string rx_;  // bytes received beyond the last decoded frame
+  uint64_t txn_base_ = 0;  // NextTransactionId entropy, set at construction
+  uint64_t txn_seq_ = 0;
   double budget_;
   fault::Pcg32 jitter_;
   ClientTelemetry telemetry_;

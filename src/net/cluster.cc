@@ -1,9 +1,13 @@
 #include "net/cluster.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
+#include "common/sharded_cache.h"
 
 namespace mbp::net {
 namespace {
@@ -326,6 +330,43 @@ StatusOr<StatsPayload> ClusterPriceClient::Stats(size_t endpoint) {
   }
   MBP_ASSIGN_OR_RETURN(PriceClient * client, ClientFor(endpoint));
   return client->Stats();
+}
+
+StatusOr<QuotePayload> ClusterPriceClient::Quote(const std::string& curve_id,
+                                                 double delta) {
+  return WithFailover<QuotePayload>(curve_id, [&](PriceClient* client) {
+    return client->Quote(curve_id, delta);
+  });
+}
+
+StatusOr<BuyPayload> ClusterPriceClient::Buy(const std::string& curve_id,
+                                             double delta, uint64_t txn_id,
+                                             const std::string& token) {
+  // Pin the id before the ladder: a failover attempt must present the
+  // SAME transaction id so each endpoint's ledger can dedupe it.
+  const uint64_t txn = txn_id == 0 ? NextTransactionId() : txn_id;
+  return WithFailover<BuyPayload>(curve_id, [&](PriceClient* client) {
+    return client->Buy(curve_id, delta, txn, token);
+  });
+}
+
+StatusOr<BuyPayload> ClusterPriceClient::Replay(const std::string& curve_id,
+                                                uint64_t txn_id) {
+  return WithFailover<BuyPayload>(curve_id, [&](PriceClient* client) {
+    return client->Replay(txn_id);
+  });
+}
+
+uint64_t ClusterPriceClient::NextTransactionId() {
+  if (txn_base_ == 0) {
+    const uint64_t now = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    txn_base_ =
+        HashMix64((static_cast<uint64_t>(getpid()) << 32) ^ now ^
+                  reinterpret_cast<uintptr_t>(this));
+  }
+  const uint64_t id = HashMix64(txn_base_ ^ ++txn_seq_);
+  return id == 0 ? 1 : id;
 }
 
 }  // namespace mbp::net

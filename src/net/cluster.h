@@ -121,6 +121,22 @@ class ClusterPriceClient {
   // STATS is endpoint-addressed, not curve-routed.
   StatusOr<StatsPayload> Stats(size_t endpoint);
 
+  // Fulfillment verbs, curve-routed like the query verbs. Buy pins the
+  // transaction id BEFORE the failover ladder (generating one when
+  // txn_id == 0), so every endpoint attempt presents the same id and a
+  // sale that failed over is still deduped per endpoint ledger. With the
+  // fleet's shards sharing an epoch seed, the delivered bytes are
+  // bit-identical regardless of which endpoint completed the sale.
+  StatusOr<QuotePayload> Quote(const std::string& curve_id, double delta);
+  StatusOr<BuyPayload> Buy(const std::string& curve_id, double delta,
+                           uint64_t txn_id = 0,
+                           const std::string& token = std::string());
+  StatusOr<BuyPayload> Replay(const std::string& curve_id, uint64_t txn_id);
+
+  // Fresh fleet-unique transaction id (never 0); same construction as
+  // PriceClient::NextTransactionId.
+  uint64_t NextTransactionId();
+
   // The owning endpoint index for `curve_id` (for tests and benchmarks).
   size_t RouteOf(std::string_view curve_id) const;
 
@@ -148,6 +164,8 @@ class ClusterPriceClient {
   HashRing ring_;
   std::vector<std::unique_ptr<PriceClient>> clients_;
   std::vector<Clock::time_point> cooldown_until_;
+  uint64_t txn_base_ = 0;  // NextTransactionId entropy, lazily seeded
+  uint64_t txn_seq_ = 0;
   ClusterTelemetry telemetry_;
 };
 

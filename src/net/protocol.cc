@@ -7,8 +7,12 @@ namespace mbp::net {
 namespace {
 
 constexpr size_t kMaxCurveIdBytes = 255;
+constexpr size_t kMaxTokenBytes = 255;
 constexpr uint8_t kMaxStatusCodeByte =
     static_cast<uint8_t>(StatusCode::kUnavailable);
+// Wire bytes of a SaleRecordPayload: txn_id, curve_ref, delta, price,
+// seed_commitment.
+constexpr size_t kSaleRecordWireBytes = 8 + 4 + 8 + 8 + 8;
 
 uint32_t Fnv1a32(const uint8_t* data, size_t size) {
   uint32_t hash = 2166136261u;
@@ -92,6 +96,10 @@ void SealFrame(uint8_t* frame, size_t frame_size) {
 
 size_t RequestCurveIdLen(const Request& request) {
   return std::min(request.curve_id.size(), kMaxCurveIdBytes);
+}
+
+size_t RequestTokenLen(const Request& request) {
+  return std::min(request.token.size(), kMaxTokenBytes);
 }
 
 size_t ResponseErrorLen(const Response& response) {
@@ -208,7 +216,7 @@ StatusOr<size_t> DecodeHeader(const uint8_t* data, size_t size,
   }
   const uint8_t verb = data[9];
   if (verb < static_cast<uint8_t>(Verb::kPriceAt) ||
-      verb > static_cast<uint8_t>(Verb::kStats)) {
+      verb > static_cast<uint8_t>(Verb::kReplay)) {
     return InvalidArgumentError("unknown net protocol verb");
   }
   if (data[10] > kMaxStatusCodeByte) {
@@ -233,6 +241,9 @@ std::string_view VerbName(Verb verb) {
     case Verb::kBudgetToX: return "BUDGET_TO_X";
     case Verb::kSnapshotInfo: return "SNAPSHOT_INFO";
     case Verb::kStats: return "STATS";
+    case Verb::kQuote: return "QUOTE";
+    case Verb::kBuy: return "BUY";
+    case Verb::kReplay: return "REPLAY";
   }
   return "?";
 }
@@ -251,6 +262,19 @@ size_t EncodedRequestSize(const Request& request) {
   if (VerbCarriesVector(request.verb)) {
     size += 4 + request.args.size() * sizeof(double);
   }
+  switch (request.verb) {
+    case Verb::kQuote:
+      size += 8;  // delta
+      break;
+    case Verb::kBuy:
+      size += 8 + 8 + 1 + RequestTokenLen(request);  // delta, txn, token
+      break;
+    case Verb::kReplay:
+      size += 8;  // txn_id
+      break;
+    default:
+      break;
+  }
   return size;
 }
 
@@ -266,13 +290,22 @@ size_t EncodedResponseSize(const Response& response) {
       return kHeaderBytes + 3 * 8 + 2 * 8;
     case Verb::kStats: {
       const StatsPayload& s = response.stats;
-      size_t size = kHeaderBytes + 19 * 8 + 2 * kHistogramWireBytes + 1;
+      // 19 v3 u64s, 7 per-verb counters, 7 fulfillment u64s, revenue f64,
+      // 3 histograms, fault list.
+      size_t size =
+          kHeaderBytes + 33 * 8 + 8 + 3 * kHistogramWireBytes + 1;
       const size_t num_faults = std::min<size_t>(s.faults.size(), 255);
       for (size_t i = 0; i < num_faults; ++i) {
         size += 1 + std::min<size_t>(s.faults[i].point.size(), 255) + 8;
       }
       return size;
     }
+    case Verb::kQuote:
+      return kHeaderBytes + 8 + 8 + 8 + 1 +
+             std::min(response.quote.token.size(), kMaxTokenBytes);
+    case Verb::kBuy:
+    case Verb::kReplay:
+      return EncodedBuyResponseSize(response.buy.weights.size());
   }
   return kHeaderBytes;
 }
@@ -287,6 +320,24 @@ size_t EncodeRequestInto(const Request& request, uint8_t* out) {
   w.Bytes(request.curve_id.data(), id_len);
   if (VerbCarriesVector(request.verb)) {
     w.Doubles(request.args.data(), request.args.size());
+  }
+  switch (request.verb) {
+    case Verb::kQuote:
+      w.F64(request.delta);
+      break;
+    case Verb::kBuy: {
+      w.F64(request.delta);
+      w.U64(request.txn_id);
+      const size_t token_len = RequestTokenLen(request);
+      w.U8(static_cast<uint8_t>(token_len));
+      w.Bytes(request.token.data(), token_len);
+      break;
+    }
+    case Verb::kReplay:
+      w.U64(request.txn_id);
+      break;
+    default:
+      break;
   }
   SealFrame(out, frame_size);
   return frame_size;
@@ -335,8 +386,22 @@ size_t EncodeResponseInto(const Response& response, uint8_t* out) {
         w.U64(s.transport_syscalls);
         w.U64(s.uring_sqe_submitted);
         w.U64(s.shm_doorbell_wakes);
+        // v4: per-verb counters (verb bytes 1..kNumVerbSlots-1; slot 0 is
+        // unused so the wire never carries it), then fulfillment stats.
+        for (size_t v = 1; v < kNumVerbSlots; ++v) {
+          w.U64(s.requests_by_verb[v]);
+        }
+        w.U64(s.buys_ok);
+        w.U64(s.model_cache_entries);
+        w.U64(s.model_cache_bytes);
+        w.U64(s.model_cache_hits);
+        w.U64(s.model_cache_misses);
+        w.U64(s.model_cache_evictions);
+        w.U64(s.transactions_recorded);
+        w.F64(s.revenue);
         w.Histogram(s.latency);
         w.Histogram(s.write_queue_bytes);
+        w.Histogram(s.fulfillment_latency);
         const size_t num_faults = std::min<size_t>(s.faults.size(), 255);
         w.U8(static_cast<uint8_t>(num_faults));
         for (size_t i = 0; i < num_faults; ++i) {
@@ -346,6 +411,28 @@ size_t EncodeResponseInto(const Response& response, uint8_t* out) {
           w.Bytes(f.point.data(), name_len);
           w.U64(f.fires);
         }
+        break;
+      }
+      case Verb::kQuote: {
+        const QuotePayload& q = response.quote;
+        w.F64(q.price);
+        w.F64(q.delta);
+        w.U64(q.expires_at_micros);
+        const size_t token_len = std::min(q.token.size(), kMaxTokenBytes);
+        w.U8(static_cast<uint8_t>(token_len));
+        w.Bytes(q.token.data(), token_len);
+        break;
+      }
+      case Verb::kBuy:
+      case Verb::kReplay: {
+        const SaleRecordPayload& r = response.buy.record;
+        w.U64(r.txn_id);
+        w.U32(r.curve_ref);
+        w.F64(r.delta);
+        w.F64(r.price);
+        w.U64(r.seed_commitment);
+        w.Doubles(response.buy.weights.data(),
+                  response.buy.weights.size());
         break;
       }
     }
@@ -365,6 +452,28 @@ size_t EncodeValuesResponseInto(Verb verb, uint64_t request_id,
   Writer w(out);
   WriteHeader(&w, verb, StatusCode::kOk, request_id, frame_size);
   w.Doubles(values, count);
+  SealFrame(out, frame_size);
+  return frame_size;
+}
+
+size_t EncodedBuyResponseSize(size_t num_weights) {
+  return kHeaderBytes + kSaleRecordWireBytes + 4 +
+         num_weights * sizeof(double);
+}
+
+size_t EncodeBuyResponseInto(Verb verb, uint64_t request_id,
+                             const SaleRecordPayload& record,
+                             const double* weights, size_t num_weights,
+                             uint8_t* out) {
+  const size_t frame_size = EncodedBuyResponseSize(num_weights);
+  Writer w(out);
+  WriteHeader(&w, verb, StatusCode::kOk, request_id, frame_size);
+  w.U64(record.txn_id);
+  w.U32(record.curve_ref);
+  w.F64(record.delta);
+  w.F64(record.price);
+  w.U64(record.seed_commitment);
+  w.Doubles(weights, num_weights);
   SealFrame(out, frame_size);
   return frame_size;
 }
@@ -405,6 +514,24 @@ StatusOr<size_t> DecodeRequest(const uint8_t* data, size_t size,
     if (out->args.empty()) {
       return InvalidArgumentError("net request carries no query values");
     }
+  }
+  switch (out->verb) {
+    case Verb::kQuote:
+      MBP_RETURN_IF_ERROR(reader.F64(&out->delta));
+      break;
+    case Verb::kBuy: {
+      MBP_RETURN_IF_ERROR(reader.F64(&out->delta));
+      MBP_RETURN_IF_ERROR(reader.U64(&out->txn_id));
+      uint8_t token_len = 0;
+      MBP_RETURN_IF_ERROR(reader.U8(&token_len));
+      MBP_RETURN_IF_ERROR(reader.String(token_len, &out->token));
+      break;
+    }
+    case Verb::kReplay:
+      MBP_RETURN_IF_ERROR(reader.U64(&out->txn_id));
+      break;
+    default:
+      break;
   }
   MBP_RETURN_IF_ERROR(reader.ExpectEnd());
   return consumed;
@@ -447,6 +574,27 @@ StatusOr<size_t> DecodeRequestView(const uint8_t* data, size_t size,
     std::memcpy(args, raw, count * sizeof(double));
     out->args = args;
     out->num_args = count;
+  }
+  switch (out->verb) {
+    case Verb::kQuote:
+      MBP_RETURN_IF_ERROR(reader.F64(&out->delta));
+      break;
+    case Verb::kBuy: {
+      MBP_RETURN_IF_ERROR(reader.F64(&out->delta));
+      MBP_RETURN_IF_ERROR(reader.U64(&out->txn_id));
+      uint8_t token_len = 0;
+      MBP_RETURN_IF_ERROR(reader.U8(&token_len));
+      const uint8_t* token_bytes = nullptr;
+      MBP_RETURN_IF_ERROR(reader.View(token_len, &token_bytes));
+      out->token = std::string_view(
+          reinterpret_cast<const char*>(token_bytes), token_len);
+      break;
+    }
+    case Verb::kReplay:
+      MBP_RETURN_IF_ERROR(reader.U64(&out->txn_id));
+      break;
+    default:
+      break;
   }
   MBP_RETURN_IF_ERROR(reader.ExpectEnd());
   return consumed;
@@ -502,8 +650,20 @@ StatusOr<size_t> DecodeResponse(const uint8_t* data, size_t size,
         MBP_RETURN_IF_ERROR(reader.U64(&s.transport_syscalls));
         MBP_RETURN_IF_ERROR(reader.U64(&s.uring_sqe_submitted));
         MBP_RETURN_IF_ERROR(reader.U64(&s.shm_doorbell_wakes));
+        for (size_t v = 1; v < kNumVerbSlots; ++v) {
+          MBP_RETURN_IF_ERROR(reader.U64(&s.requests_by_verb[v]));
+        }
+        MBP_RETURN_IF_ERROR(reader.U64(&s.buys_ok));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.model_cache_entries));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.model_cache_bytes));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.model_cache_hits));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.model_cache_misses));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.model_cache_evictions));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.transactions_recorded));
+        MBP_RETURN_IF_ERROR(reader.F64(&s.revenue));
         MBP_RETURN_IF_ERROR(reader.Histogram(&s.latency));
         MBP_RETURN_IF_ERROR(reader.Histogram(&s.write_queue_bytes));
+        MBP_RETURN_IF_ERROR(reader.Histogram(&s.fulfillment_latency));
         uint8_t num_faults = 0;
         MBP_RETURN_IF_ERROR(reader.U8(&num_faults));
         s.faults.resize(num_faults);
@@ -513,6 +673,27 @@ StatusOr<size_t> DecodeResponse(const uint8_t* data, size_t size,
           MBP_RETURN_IF_ERROR(reader.String(name_len, &f.point));
           MBP_RETURN_IF_ERROR(reader.U64(&f.fires));
         }
+        break;
+      }
+      case Verb::kQuote: {
+        QuotePayload& q = out->quote;
+        MBP_RETURN_IF_ERROR(reader.F64(&q.price));
+        MBP_RETURN_IF_ERROR(reader.F64(&q.delta));
+        MBP_RETURN_IF_ERROR(reader.U64(&q.expires_at_micros));
+        uint8_t token_len = 0;
+        MBP_RETURN_IF_ERROR(reader.U8(&token_len));
+        MBP_RETURN_IF_ERROR(reader.String(token_len, &q.token));
+        break;
+      }
+      case Verb::kBuy:
+      case Verb::kReplay: {
+        SaleRecordPayload& r = out->buy.record;
+        MBP_RETURN_IF_ERROR(reader.U64(&r.txn_id));
+        MBP_RETURN_IF_ERROR(reader.U32(&r.curve_ref));
+        MBP_RETURN_IF_ERROR(reader.F64(&r.delta));
+        MBP_RETURN_IF_ERROR(reader.F64(&r.price));
+        MBP_RETURN_IF_ERROR(reader.U64(&r.seed_commitment));
+        MBP_RETURN_IF_ERROR(reader.Doubles(&out->buy.weights));
         break;
       }
     }

@@ -1,6 +1,7 @@
 #ifndef MBP_NET_PROTOCOL_H_
 #define MBP_NET_PROTOCOL_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -48,10 +49,13 @@ namespace mbp::net {
 // v2 appended catalog_listings / catalog_bytes to the STATS payload (the
 // multi-tenant catalog's memory-accounting surface, DESIGN.md §5g); v3
 // appended the per-transport counters (fallbacks, syscalls, io_uring
-// SQEs, shm doorbell wakes — DESIGN.md §5h). The version byte is checked
-// for exact equality on both sides, so mismatched processes refuse each
-// other's frames instead of misparsing them.
-inline constexpr uint8_t kProtocolVersion = 3;
+// SQEs, shm doorbell wakes — DESIGN.md §5h); v4 added the fulfillment
+// verbs QUOTE/BUY/REPLAY with their multi-KB model payloads and appended
+// the per-verb request counters + fulfillment block to STATS (DESIGN.md
+// §5i). The version byte is checked for exact equality on both sides, so
+// mismatched processes refuse each other's frames instead of misparsing
+// them.
+inline constexpr uint8_t kProtocolVersion = 4;
 inline constexpr size_t kHeaderBytes = 20;
 // Hard cap on a whole frame (header + payload): bounds every per-
 // connection buffer and rejects absurd length prefixes before allocating.
@@ -65,7 +69,15 @@ enum class Verb : uint8_t {
   kBudgetToX = 2,     // args: budgets (>= 1)   -> values: largest xs
   kSnapshotInfo = 3,  // no args                -> SnapshotInfoPayload
   kStats = 4,         // no args, no curve id   -> StatsPayload
+  // Fulfillment verbs (DESIGN.md §5i): the paper's actual transaction.
+  kQuote = 5,   // delta                  -> QuotePayload (signed token)
+  kBuy = 6,     // delta, txn_id, token?  -> BuyPayload (noised weights)
+  kReplay = 7,  // txn_id                 -> BuyPayload (bit-identical)
 };
+
+// One past the largest verb byte; sizes per-verb counter arrays (index by
+// the raw verb byte, entry 0 unused).
+inline constexpr size_t kNumVerbSlots = 8;
 
 // Human-readable verb name ("PRICE_AT", ...); "?" for invalid bytes.
 std::string_view VerbName(Verb verb);
@@ -78,6 +90,15 @@ struct Request {
   std::string curve_id;
   // xs for kPriceAt, budgets for kBudgetToX; must be empty otherwise.
   std::vector<double> args;
+  // Noise control parameter for kQuote / kBuy (δ of the paper, > 0).
+  double delta = 0.0;
+  // Client-chosen transaction id for kBuy / kReplay. Retrying a BUY with
+  // the same txn_id is idempotent: the server re-delivers the recorded
+  // sale without charging again.
+  uint64_t txn_id = 0;
+  // Opaque quote token for kBuy (from a prior QUOTE; empty buys at the
+  // current snapshot price). Capped at 255 bytes on the wire.
+  std::string token;
 };
 
 struct SnapshotInfoPayload {
@@ -87,6 +108,47 @@ struct SnapshotInfoPayload {
   double x_max = 0.0;
   double max_price = 0.0;
 };
+
+// Transaction record appended to every BUY / REPLAY response: what the
+// ledger stores, and everything needed to deterministically replay the
+// sale (the seed commitment binds the server to the per-transaction noise
+// stream — DESIGN.md §5i).
+struct SaleRecordPayload {
+  uint64_t txn_id = 0;
+  uint32_t curve_ref = 0;  // server-interned CurveRef of the sold curve
+  double delta = 0.0;
+  double price = 0.0;
+  uint64_t seed_commitment = 0;
+
+  friend bool operator==(const SaleRecordPayload& a,
+                         const SaleRecordPayload& b) {
+    return a.txn_id == b.txn_id && a.curve_ref == b.curve_ref &&
+           a.delta == b.delta && a.price == b.price &&
+           a.seed_commitment == b.seed_commitment;
+  }
+};
+
+// BUY / REPLAY success payload: the sale record plus the delivered noised
+// weight vector. Multi-KB frames; still bounded by kMaxFrameBytes.
+struct BuyPayload {
+  SaleRecordPayload record;
+  std::vector<double> weights;
+};
+
+// QUOTE success payload: the price the token locks in, echoed δ, the
+// token's expiry (server CatalogRegistry::NowMicros() time base), and the
+// opaque MAC'd token a subsequent BUY presents.
+struct QuotePayload {
+  double price = 0.0;
+  double delta = 0.0;
+  uint64_t expires_at_micros = 0;
+  std::string token;  // <= 255 bytes on the wire
+};
+
+// Largest weight vector a BUY/REPLAY frame can carry under kMaxFrameBytes.
+inline constexpr size_t kMaxModelWeights =
+    (kMaxFrameBytes - kHeaderBytes - (8 + 4 + 8 + 8 + 8) - 4) /
+    sizeof(double);
 
 // One fault-injection point's fire count, carried in STATS so a chaos
 // client can observe what the server-side injector actually did.
@@ -133,10 +195,26 @@ struct StatsPayload {
   uint64_t transport_syscalls = 0;
   uint64_t uring_sqe_submitted = 0;
   uint64_t shm_doorbell_wakes = 0;
+  // Per-verb request counts, indexed by the raw verb byte (entry 0
+  // unused). Counts every decoded request, shed or served — the verb mix
+  // the bench and CLI surface.
+  std::array<uint64_t, kNumVerbSlots> requests_by_verb{};
+  // Fulfillment block (DESIGN.md §5i): the BUY pipeline's observable
+  // surface. Zero everywhere when the server has no FulfillmentEngine.
+  uint64_t buys_ok = 0;               // completed sales (first deliveries)
+  uint64_t model_cache_entries = 0;   // ModelInstanceCache residents
+  uint64_t model_cache_bytes = 0;     // their byte-accounted footprint
+  uint64_t model_cache_hits = 0;
+  uint64_t model_cache_misses = 0;
+  uint64_t model_cache_evictions = 0;
+  uint64_t transactions_recorded = 0;  // ledger size (replayable sales)
+  double revenue = 0.0;                // summed charged prices
   LatencyHistogramSnapshot latency;
   // log2-bucket histogram over pending write-queue bytes, sampled at
   // every response enqueue (bucket i = [2^(i-1), 2^i) bytes).
   LatencyHistogramSnapshot write_queue_bytes;
+  // Fulfillment latency (decode to noised-weights framing) per BUY.
+  LatencyHistogramSnapshot fulfillment_latency;
   // Per-point injector fire counts (empty when nothing armed); capped at
   // 255 entries on the wire.
   std::vector<FaultCount> faults;
@@ -151,6 +229,8 @@ struct Response {
   std::vector<double> values;  // kPriceAt / kBudgetToX results
   SnapshotInfoPayload info;    // kSnapshotInfo result
   StatsPayload stats;          // kStats result
+  BuyPayload buy;              // kBuy / kReplay result
+  QuotePayload quote;          // kQuote result
 };
 
 // Builds the response frame skeleton for an error outcome.
@@ -183,6 +263,18 @@ size_t EncodeValuesResponseInto(Verb verb, uint64_t request_id,
                                 const double* values, size_t count,
                                 uint8_t* out);
 
+// Arena path for BUY / REPLAY success frames: the sale record + noised
+// weights framed straight from a raw array into caller-owned memory.
+// Byte-for-byte identical to EncodeResponseInto of the equivalent
+// Response. num_weights must be <= kMaxModelWeights. `verb` is kBuy or
+// kReplay (the payload shape is shared — that sameness is the replay
+// contract's delivered-bytes anchor).
+size_t EncodedBuyResponseSize(size_t num_weights);
+size_t EncodeBuyResponseInto(Verb verb, uint64_t request_id,
+                             const SaleRecordPayload& record,
+                             const double* weights, size_t num_weights,
+                             uint8_t* out);
+
 // Attempts to decode ONE frame from the front of [data, data + size).
 // Returns the number of bytes consumed (a complete frame), 0 when more
 // bytes are needed, or a non-OK Status on corruption (close the stream).
@@ -201,6 +293,9 @@ struct RequestView {
   std::string_view curve_id;
   const double* args = nullptr;
   size_t num_args = 0;
+  double delta = 0.0;      // kQuote / kBuy
+  uint64_t txn_id = 0;     // kBuy / kReplay
+  std::string_view token;  // kBuy; view into the wire buffer
 };
 StatusOr<size_t> DecodeRequestView(const uint8_t* data, size_t size,
                                    RequestView* out, Arena* arena);

@@ -310,6 +310,21 @@ StatsPayload PriceServer::stats() const {
   s.deadline_drops = metrics_.deadline_drops.Value();
   s.connections_killed = metrics_.connections_killed.Value();
   s.write_queue_peak_bytes = metrics_.write_queue_peak_bytes.Value();
+  for (size_t v = 1; v < kNumVerbSlots; ++v) {
+    s.requests_by_verb[v] = metrics_.requests_by_verb[v].Value();
+  }
+  if (options_.fulfillment != nullptr) {
+    const serving::FulfillmentStats f = options_.fulfillment->Stats();
+    s.buys_ok = f.buys_ok;
+    s.model_cache_entries = f.model_cache_entries;
+    s.model_cache_bytes = f.model_cache_bytes;
+    s.model_cache_hits = f.model_cache_hits;
+    s.model_cache_misses = f.model_cache_misses;
+    s.model_cache_evictions = f.model_cache_evictions;
+    s.transactions_recorded = f.transactions_recorded;
+    s.revenue = f.revenue;
+    s.fulfillment_latency = f.latency;
+  }
   s.catalog_listings = engine_->registry().resident_listings();
   s.catalog_bytes = engine_->registry().resident_bytes();
   s.transport_fallbacks = metrics_.transport.transport_fallbacks.Value();
@@ -488,6 +503,10 @@ bool PriceServer::ShouldShed(const Connection* conn, Verb verb) const {
 void PriceServer::HandleRequest(Shard* shard, Connection* conn,
                                 const RequestView& request) {
   const Clock::time_point start = Clock::now();
+  // Verb-mix accounting before any shed/dispatch decision: the counter
+  // reflects what clients SENT, not what the ladder let through. The verb
+  // byte was range-checked by the decoder, so it indexes in bounds.
+  metrics_.requests_by_verb[static_cast<uint8_t>(request.verb)].Increment();
   if (ShouldShed(conn, request.verb)) {
     metrics_.requests_shed.Increment();
     EnqueueResponse(
@@ -504,6 +523,13 @@ void PriceServer::HandleRequest(Shard* shard, Connection* conn,
     metrics_.requests_ok.Increment();
     metrics_.request_latency.Record(MicrosSince(start));
     EnqueueResponse(shard, conn, response);
+    return;
+  }
+  if (request.verb == Verb::kQuote || request.verb == Verb::kBuy ||
+      request.verb == Verb::kReplay) {
+    // The engine resolves the curve itself (it needs the ref, not just
+    // the slot) and REPLAY needs no live listing at all.
+    HandleFulfillment(shard, conn, request);
     return;
   }
   const auto slot = ResolveCurve(request.curve_id);
@@ -581,8 +607,97 @@ void PriceServer::HandleRequest(Shard* shard, Connection* conn,
       return;
     }
     case Verb::kStats:
+    case Verb::kQuote:
+    case Verb::kBuy:
+    case Verb::kReplay:
       return;  // handled above
   }
+}
+
+void PriceServer::HandleFulfillment(Shard* shard, Connection* conn,
+                                    const RequestView& request) {
+  const Clock::time_point start = Clock::now();
+  serving::FulfillmentEngine* fulfillment = options_.fulfillment;
+  if (fulfillment == nullptr) {
+    metrics_.requests_error.Increment();
+    EnqueueResponse(
+        shard, conn,
+        ErrorResponseFor(request, FailedPreconditionError(
+                                      "server does not sell models")));
+    return;
+  }
+  const std::string_view curve_id =
+      request.curve_id.empty() ? std::string_view(options_.default_curve_id)
+                               : request.curve_id;
+  switch (request.verb) {
+    case Verb::kQuote: {
+      const auto quote = fulfillment->Quote(curve_id, request.delta);
+      if (!quote.ok()) {
+        metrics_.requests_error.Increment();
+        metrics_.request_latency.Record(MicrosSince(start));
+        EnqueueResponse(shard, conn,
+                        ErrorResponseFor(request, quote.status()));
+        return;
+      }
+      Response response;
+      response.verb = Verb::kQuote;
+      response.request_id = request.request_id;
+      response.quote.price = quote->price;
+      response.quote.delta = quote->delta;
+      response.quote.expires_at_micros = quote->expires_at_micros;
+      response.quote.token = quote->token;
+      metrics_.requests_ok.Increment();
+      metrics_.request_latency.Record(MicrosSince(start));
+      EnqueueResponse(shard, conn, response);
+      return;
+    }
+    case Verb::kBuy:
+    case Verb::kReplay: {
+      const auto sale =
+          request.verb == Verb::kBuy
+              ? fulfillment->Buy(curve_id, request.delta, request.txn_id,
+                                 request.token)
+              : fulfillment->ReplaySale(request.txn_id);
+      if (!sale.ok()) {
+        metrics_.requests_error.Increment();
+        metrics_.request_latency.Record(MicrosSince(start));
+        EnqueueResponse(shard, conn,
+                        ErrorResponseFor(request, sale.status()));
+        return;
+      }
+      if (sale->weights.size() > kMaxModelWeights) {
+        metrics_.requests_error.Increment();
+        EnqueueResponse(
+            shard, conn,
+            ErrorResponseFor(request,
+                             InternalError("model exceeds frame capacity")));
+        return;
+      }
+      metrics_.requests_ok.Increment();
+      metrics_.request_latency.Record(MicrosSince(start));
+      EnqueueSale(shard, conn, request.verb, request.request_id, *sale);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void PriceServer::EnqueueSale(Shard* shard, Connection* conn, Verb verb,
+                              uint64_t request_id,
+                              const serving::Sale& sale) {
+  if (conn->dead) return;
+  SaleRecordPayload record;
+  record.txn_id = sale.record.txn_id;
+  record.curve_ref = sale.record.curve_ref;
+  record.delta = sale.record.delta;
+  record.price = sale.record.price;
+  record.seed_commitment = sale.record.seed_commitment;
+  const size_t size = EncodedBuyResponseSize(sale.weights.size());
+  uint8_t* frame = conn->arena.AllocateArray<uint8_t>(size);
+  EncodeBuyResponseInto(verb, request_id, record, sale.weights.data(),
+                        sale.weights.size(), frame);
+  CommitFrame(shard, conn, frame, size);
 }
 
 void PriceServer::FlushPriceBatches(Shard* shard) {

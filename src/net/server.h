@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "net/protocol.h"
 #include "net/transport.h"
+#include "serving/fulfillment.h"
 #include "serving/price_query_engine.h"
 
 namespace mbp::net {
@@ -107,6 +108,12 @@ struct ServerOptions {
   size_t shm_ring_bytes = 1 << 20;
   // Dedicated shard threads serving the shm slots.
   size_t shm_shards = 1;
+
+  // --- Fulfillment (DESIGN.md §5i) ------------------------------------
+  // Engine behind the QUOTE/BUY/REPLAY verbs. nullptr disables them (the
+  // verbs answer kFailedPrecondition). Must outlive the server. Shared by
+  // every shard — the engine is thread-safe by contract.
+  serving::FulfillmentEngine* fulfillment = nullptr;
 };
 
 // TCP (epoll or io_uring) + optional shared-memory front end over the
@@ -165,6 +172,9 @@ class PriceServer {
     Counter requests_shed;        // answered OVERLOADED/RETRY_LATER
     Counter deadline_drops;       // answered kDeadlineExceeded when stale
     Counter connections_killed;   // hard-killed: 4x overflow, stalled drain
+    // Per-verb request mix, indexed by the raw verb byte (slot 0 unused);
+    // incremented for every decoded request, shed or served.
+    std::array<Counter, kNumVerbSlots> requests_by_verb;
     LatencyHistogram request_latency;
     LatencyHistogram write_queue_bytes;  // depth sampled at each enqueue
     MaxGauge write_queue_peak_bytes;
@@ -185,6 +195,15 @@ class PriceServer {
               size_t size);
   void HandleRequest(Shard* shard, Connection* conn,
                      const RequestView& request);
+  // QUOTE / BUY / REPLAY dispatch into the FulfillmentEngine, answered
+  // inline (off the zero-allocation batch path — a sale trains/samples a
+  // model; latency is tracked separately in fulfillment_latency).
+  void HandleFulfillment(Shard* shard, Connection* conn,
+                         const RequestView& request);
+  // Frames a delivered Sale as a BUY/REPLAY response in the connection
+  // arena (EncodeBuyResponseInto — no Response object).
+  void EnqueueSale(Shard* shard, Connection* conn, Verb verb,
+                   uint64_t request_id, const serving::Sale& sale);
   void FlushPriceBatches(Shard* shard);
   // Response framing, all three landing in the connection's arena:
   // EnqueueResponse is the general path (any Response), EnqueueValues the

@@ -1,0 +1,236 @@
+#ifndef MBP_SERVING_FULFILLMENT_H_
+#define MBP_SERVING_FULFILLMENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/statusor.h"
+#include "data/synthetic.h"
+#include "linalg/vector.h"
+#include "serving/catalog_registry.h"
+
+namespace mbp::serving {
+
+// Online model fulfillment (DESIGN.md §5i): the paper's actual transaction
+// — pick (curve, δ), charge the curve price, perturb the optimal model
+// with the Gaussian mechanism K_G, deliver the noised weights, record the
+// sale — run at serving speed against the marketplace catalog instead of
+// through the offline core/market.* batch path.
+//
+// Determinism is the core contract. Every sale is a pure function of
+// (epoch seed, dataset seed, curve id, δ, txn id):
+//   - the base model is trained on a synthetic dataset derived from
+//     (dataset_seed, curve id) — bit-identical across processes and across
+//     cache evictions (TrainLinearRegression is closed-form and its
+//     sufficient-stat cache returns exactly what a cold build computes);
+//   - the noise stream is a fresh Rng seeded from
+//     SeedForTransaction(txn_id), so ReplaySale(txn) regenerates the
+//     delivered weights exactly, and a retried BUY with the same txn id is
+//     idempotent (same bytes, charged once).
+// The sale record carries SeedCommitment(seed), binding the server to the
+// noise stream it used without revealing the seed itself.
+
+struct FulfillmentOptions {
+  // Server epoch seed: per-transaction noise seeds are derived from
+  // (epoch_seed, txn_id), and the quote-token MAC secret from epoch_seed.
+  // Replicas that must fail over bit-identically share an epoch seed.
+  uint64_t epoch_seed = 0x5EED0001;
+  // Seeds the per-curve synthetic training sets (independent of
+  // epoch_seed so rotating the noise epoch does not retrain the catalog).
+  uint64_t dataset_seed = 0xD474;
+  // Dimension d of the models sold; one BUY frame carries d doubles.
+  size_t model_dim = 16;
+  // Rows of each curve's synthetic training set; 0 = 8 * model_dim.
+  size_t training_examples = 0;
+  // L2 coefficient of the training loss λ (part of the model-cache key).
+  double l2 = 1e-3;
+  // ModelInstanceCache byte budget (LRU eviction past it).
+  size_t max_model_cache_bytes = size_t{64} << 20;
+  // Quote-token lifetime (CatalogRegistry::NowMicros() time base).
+  uint64_t quote_ttl_micros = 5 * 1000 * 1000;
+  // Ledger FIFO cap: oldest sale records are dropped past this, bounding
+  // memory at the cost of replay/idempotency for ancient transactions.
+  size_t max_transactions = size_t{1} << 20;
+};
+
+// What the ledger stores per sale — everything ReplaySale needs.
+struct SaleRecord {
+  uint64_t txn_id = 0;
+  CurveRef curve_ref = kInvalidCurveRef;
+  double delta = 0.0;
+  double price = 0.0;
+  uint64_t seed_commitment = 0;
+};
+
+// One delivered sale. `replayed` is true when the sale was served from the
+// ledger (a retry or an explicit REPLAY) — nothing was charged.
+struct Sale {
+  SaleRecord record;
+  std::vector<double> weights;
+  bool replayed = false;
+};
+
+// A priced offer: the token locks `price` for the (curve, δ) it names
+// until `expires_at_micros`. The token is opaque to clients.
+struct ModelQuote {
+  double price = 0.0;
+  double delta = 0.0;
+  uint64_t expires_at_micros = 0;
+  std::string token;
+};
+
+// Wire size of a quote token: curve_ref u32, delta f64, price f64,
+// expires u64, MAC u64 (DESIGN.md §5i).
+inline constexpr size_t kQuoteTokenBytes = 4 + 8 + 8 + 8 + 8;
+
+// Byte-accounted LRU cache of trained base models, keyed by
+// (curve_ref, λ's l2 bits). Trained-or-fetched under one mutex — a cold
+// miss trains inside the lock, so concurrent BUYs of the same curve train
+// once, not racing duplicates. Eviction is strict LRU past max_bytes,
+// except the newest entry is never evicted (a single over-budget model
+// must still be servable).
+class ModelInstanceCache {
+ public:
+  using Weights = std::shared_ptr<const linalg::Vector>;
+  using TrainFn = std::function<StatusOr<linalg::Vector>()>;
+
+  explicit ModelInstanceCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  // Returns the cached weights for (ref, l2), invoking `train` on a miss
+  // and inserting the result. Training failures are not cached.
+  StatusOr<Weights> GetOrTrain(CurveRef ref, double l2,
+                               const TrainFn& train);
+
+  size_t entries() const;
+  size_t bytes() const;
+  uint64_t hits() const { return hits_.Value(); }
+  uint64_t misses() const { return misses_.Value(); }
+  uint64_t evictions() const { return evictions_.Value(); }
+
+ private:
+  struct Key {
+    CurveRef ref = kInvalidCurveRef;
+    uint64_t l2_bits = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+  struct Entry {
+    Weights weights;
+    size_t bytes = 0;
+    std::list<Key>::iterator lru_it;
+  };
+
+  void TouchLocked(Entry* entry);
+  void EvictPastBudgetLocked();
+
+  const size_t max_bytes_;
+  Counter hits_;
+  Counter misses_;
+  Counter evictions_;
+  mutable std::mutex mutex_;
+  size_t bytes_ = 0;
+  std::list<Key> lru_;  // front = most recently used
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+};
+
+// Point-in-time snapshot of the engine's counters, served via STATS.
+struct FulfillmentStats {
+  uint64_t buys_ok = 0;  // first deliveries (charged sales)
+  uint64_t model_cache_entries = 0;
+  uint64_t model_cache_bytes = 0;
+  uint64_t model_cache_hits = 0;
+  uint64_t model_cache_misses = 0;
+  uint64_t model_cache_evictions = 0;
+  uint64_t transactions_recorded = 0;
+  double revenue = 0.0;
+  LatencyHistogramSnapshot latency;  // per-BUY fulfillment latency
+};
+
+// The fulfillment pipeline. Thread-safe: Quote/Buy/ReplaySale may be
+// called concurrently from every server shard; the catalog resolution is
+// lock-free, and the model cache + ledger each take one short mutex.
+class FulfillmentEngine {
+ public:
+  // `catalog` must outlive the engine.
+  explicit FulfillmentEngine(const CatalogRegistry* catalog,
+                             FulfillmentOptions options = {});
+
+  // Prices (curve, δ) off the current snapshot and returns a signed token
+  // a later Buy can present to purchase at exactly this price until the
+  // token expires.
+  StatusOr<ModelQuote> Quote(std::string_view curve_id, double delta);
+
+  // Executes one sale: resolves the curve, charges the snapshot price at
+  // δ (or the quoted price when a valid token is presented), perturbs the
+  // cached base model with K_G under the per-transaction seed, records
+  // the sale, and returns the noised weights. txn_id must be non-zero and
+  // client-unique; a txn_id already in the ledger re-delivers the
+  // RECORDED sale (its curve/δ/price, not the arguments) without charging
+  // again — the idempotent-retry path.
+  StatusOr<Sale> Buy(std::string_view curve_id, double delta,
+                     uint64_t txn_id, std::string_view token = {});
+
+  // Regenerates a recorded sale's delivery exactly — same record, same
+  // weights, bit for bit. NotFound for transactions never recorded (or
+  // FIFO-expired from the ledger).
+  StatusOr<Sale> ReplaySale(uint64_t txn_id);
+
+  // The per-transaction noise seed: a HashMix64 combine of
+  // (epoch_seed, txn_id). Public so tests can anchor a core::Broker with
+  // the same seed and assert bit-identity with the served sale.
+  uint64_t SeedForTransaction(uint64_t txn_id) const;
+  // One-way commitment to `seed` carried in the sale record.
+  static uint64_t SeedCommitment(uint64_t seed);
+
+  // The synthetic training set behind `curve_key`'s base model: a pure
+  // function of (dataset_seed, curve_key, model_dim), so any process can
+  // reconstruct the exact Dataset the engine trained on.
+  data::Simulated1Options TrainingSetOptionsFor(
+      std::string_view curve_key) const;
+
+  const FulfillmentOptions& options() const { return options_; }
+  const ModelInstanceCache& model_cache() const { return model_cache_; }
+
+  FulfillmentStats Stats() const;
+
+ private:
+  // The trained base model for `ref`, through the model cache.
+  StatusOr<ModelInstanceCache::Weights> BaseModelFor(CurveRef ref);
+  // Regenerates the delivery for a recorded sale (the replay path).
+  StatusOr<Sale> DeliverRecorded(const SaleRecord& record);
+  // The noised weights for (base, delta, seed) — THE deterministic core.
+  std::vector<double> PerturbBase(const linalg::Vector& base, double delta,
+                                  uint64_t seed) const;
+  uint64_t TokenMac(CurveRef ref, double delta, double price,
+                    uint64_t expires_at_micros) const;
+  // Validates `token` against (ref, delta) and returns its locked price.
+  StatusOr<double> RedeemToken(std::string_view token, CurveRef ref,
+                               double delta) const;
+
+  const CatalogRegistry* const catalog_;
+  const FulfillmentOptions options_;
+  const uint64_t token_secret_;
+  ModelInstanceCache model_cache_;
+  Counter buys_ok_;
+  LatencyHistogram fulfillment_latency_;
+
+  mutable std::mutex ledger_mutex_;
+  double revenue_ = 0.0;
+  std::unordered_map<uint64_t, SaleRecord> ledger_;
+  std::deque<uint64_t> ledger_fifo_;
+};
+
+}  // namespace mbp::serving
+
+#endif  // MBP_SERVING_FULFILLMENT_H_

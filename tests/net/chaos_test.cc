@@ -34,6 +34,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +51,7 @@
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "serving/fulfillment.h"
 #include "serving/price_query_engine.h"
 #include "serving/snapshot_registry.h"
 
@@ -102,6 +104,7 @@ class NetChaosTest : public ::testing::Test {
     ASSERT_TRUE(published.ok());
     slot_ = *published;
     engine_ = std::make_unique<PriceQueryEngine>(&registry_);
+    fulfillment_ = std::make_unique<serving::FulfillmentEngine>(&registry_);
   }
 
   void TearDown() override {
@@ -112,6 +115,7 @@ class NetChaosTest : public ::testing::Test {
   void StartServer(ServerOptions options) {
     options.port = 0;
     options.default_curve_id = "pricing";
+    options.fulfillment = fulfillment_.get();
     if (transport_ == "uring") {
       options.transport = TransportKind::kUring;
     } else if (transport_ == "shm") {
@@ -137,6 +141,7 @@ class NetChaosTest : public ::testing::Test {
   SnapshotRegistry registry_;
   const SnapshotRegistry::CurveSlot* slot_ = nullptr;
   std::unique_ptr<PriceQueryEngine> engine_;
+  std::unique_ptr<serving::FulfillmentEngine> fulfillment_;
   std::unique_ptr<PriceServer> server_;
 };
 
@@ -509,6 +514,147 @@ TEST_F(NetChaosTest, ConnectTimesOutAgainstWedgedBacklog) {
 
   for (const int f : fillers) close(f);
   close(listener);
+}
+
+// Satellite for DESIGN.md §5i: a fault-stormed PURCHASE mix. Four client
+// threads interleave PRICE_AT with BUYs (client-chosen txn ids) while the
+// full short-IO/reset/EINTR schedule fires on both ends. Invariants:
+//   - every successful PRICE_AT is bit-identical to the engine oracle;
+//   - every COMPLETED sale replays bit-identically afterwards (REPLAY
+//     over a clean connection reproduces the delivered weight bytes);
+//   - no sale is double-charged: the server's revenue equals the sum of
+//     distinct recorded sale prices even though the retry ladder may
+//     resend any BUY several times, and explicitly re-buying every
+//     completed txn changes nothing.
+TEST_F(NetChaosTest, PurchaseMixUnderFaultStormReplaysAndChargesOnce) {
+  fault::FaultInjector& inj = fault::FaultInjector::Global();
+  fault::PointSchedule transient;
+  transient.probability = 0.05;
+  inj.Arm("net.recv.eintr", transient);
+  inj.Arm("net.recv.eagain", transient);
+  inj.Arm("net.send.eintr", transient);
+  inj.Arm("net.send.eagain", transient);
+  inj.Arm("net.epoll.eintr", transient);
+  fault::PointSchedule shortio;
+  shortio.probability = 0.2;
+  inj.Arm("net.recv.short", shortio);
+  inj.Arm("net.send.short", shortio);
+  inj.Arm("net.uring.enter.eintr", transient);
+  inj.Arm("net.uring.recv.short", shortio);
+  inj.Arm("net.uring.send.short", shortio);
+  inj.Arm("net.shm.read.short", shortio);
+  inj.Arm("net.shm.write.short", shortio);
+  inj.Arm("net.shm.futex.eintr", transient);
+  fault::PointSchedule reset;  // the dangerous one for idempotency:
+  reset.probability = 0.002;   // a reset AFTER the sale commits forces a
+  inj.Arm("net.recv.reset", reset);  // reconnect + re-BUY of the same txn
+  inj.Arm("net.send.reset", reset);
+
+  StartServer(ServerOptions{});
+
+  struct CompletedSale {
+    uint64_t txn_id;
+    double price;
+    std::vector<double> weights;
+  };
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 400;
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::vector<CompletedSale>> sales(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ClientOptions copts;
+      copts.retry.max_attempts = 6;
+      copts.retry.retry_budget = 1000.0;
+      copts.retry.jitter_seed = seed_ + 100 + static_cast<uint64_t>(t);
+      auto client = Connect(copts);
+      ASSERT_TRUE(client.ok()) << client.status();
+      for (int i = 0; i < kPerThread; ++i) {
+        if (i % 4 != 0) {  // 75% PRICE_AT, 25% BUY
+          const double x = 12.0 * static_cast<double>(i % 997) / 997.0;
+          const auto remote = (*client)->PriceAt("pricing", x);
+          if (remote.ok()) {
+            const auto local = engine_->Price(slot_, x);
+            ASSERT_TRUE(local.ok());
+            if (*remote != *local) ++mismatches;
+          }
+          continue;
+        }
+        // Deterministic thread-unique txn ids make the run replayable
+        // under MBP_CHAOS_SEED.
+        const uint64_t txn =
+            1 + static_cast<uint64_t>(t) * 100000 + static_cast<uint64_t>(i);
+        const double delta =
+            0.125 + 0.875 * static_cast<double>(i % 31) / 31.0;
+        const auto sale = (*client)->Buy("pricing", delta, txn);
+        if (sale.ok()) {
+          sales[t].push_back(
+              CompletedSale{txn, sale->record.price, sale->weights});
+        }
+        // A failed BUY may or may not have committed server-side — that
+        // is exactly what the revenue reconciliation below settles.
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  // Quiesce the injector before reconciliation: the checks below must not
+  // themselves fail on a fault.
+  inj.Reset();
+  ClientOptions clean;
+  clean.retry.max_attempts = 8;
+  auto verifier = Connect(clean);
+  ASSERT_TRUE(verifier.ok()) << verifier.status();
+
+  size_t completed = 0;
+  for (const auto& per_thread : sales) completed += per_thread.size();
+  ASSERT_GT(completed, 0u) << "the storm must complete some sales";
+
+  // (1) Bit-exact replay of every completed sale over a clean connection.
+  for (const auto& per_thread : sales) {
+    for (const CompletedSale& sale : per_thread) {
+      const auto replay = (*verifier)->Replay(sale.txn_id);
+      ASSERT_TRUE(replay.ok()) << replay.status();
+      ASSERT_EQ(replay->weights.size(), sale.weights.size());
+      EXPECT_EQ(0, std::memcmp(replay->weights.data(), sale.weights.data(),
+                               sale.weights.size() * sizeof(double)))
+          << "txn " << sale.txn_id << " replayed different bytes";
+    }
+  }
+
+  // (2) No double charge. Revenue reconciles against the ENGINE ledger
+  // (buys_ok counts first deliveries; each recorded txn charged exactly
+  // once), and the client-side sales are a subset of it: a retry that
+  // resent a committed BUY re-delivered the record instead of re-selling.
+  const auto stats = (*verifier)->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GE(stats->buys_ok, completed);
+  EXPECT_EQ(stats->buys_ok, stats->transactions_recorded);
+  const double revenue_after_storm = stats->revenue;
+
+  // Explicitly re-buy every completed txn: all must dedupe, so revenue
+  // and buys_ok cannot move.
+  for (const auto& per_thread : sales) {
+    for (const CompletedSale& sale : per_thread) {
+      const auto again = (*verifier)->Buy("pricing", 0.5, sale.txn_id);
+      ASSERT_TRUE(again.ok()) << again.status();
+      EXPECT_DOUBLE_EQ(again->record.price, sale.price);
+    }
+  }
+  const auto stats2 = (*verifier)->Stats();
+  ASSERT_TRUE(stats2.ok()) << stats2.status();
+  EXPECT_EQ(stats2->buys_ok, stats->buys_ok);
+  EXPECT_EQ(std::bit_cast<uint64_t>(stats2->revenue),
+            std::bit_cast<uint64_t>(revenue_after_storm))
+      << "re-buying recorded transactions must charge nothing";
+
+  std::printf("[chaos] purchase mix: %zu sales completed client-side, "
+              "%llu recorded server-side, revenue=%.3f\n",
+              completed,
+              static_cast<unsigned long long>(stats->buys_ok),
+              revenue_after_storm);
 }
 
 // A transient client-side transport fault (injected send reset) is

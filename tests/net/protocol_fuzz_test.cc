@@ -40,7 +40,7 @@ const uint8_t* Bytes(const std::string& wire) {
 
 Request RandomRequest(random::Rng& rng) {
   Request request;
-  request.verb = static_cast<Verb>(1 + rng.NextBounded(4));
+  request.verb = static_cast<Verb>(1 + rng.NextBounded(7));
   request.request_id = rng.NextUint64();
   const size_t id_len = rng.NextBounded(20);
   for (size_t i = 0; i < id_len; ++i) {
@@ -50,6 +50,18 @@ Request RandomRequest(random::Rng& rng) {
     const size_t n = 1 + rng.NextBounded(8);
     for (size_t i = 0; i < n; ++i) {
       request.args.push_back(rng.NextDouble(0.0, 100.0));
+    }
+  }
+  if (request.verb == Verb::kQuote || request.verb == Verb::kBuy) {
+    request.delta = rng.NextDouble(0.01, 10.0);
+  }
+  if (request.verb == Verb::kBuy || request.verb == Verb::kReplay) {
+    request.txn_id = rng.NextUint64();
+  }
+  if (request.verb == Verb::kBuy && rng.NextBounded(2) == 0) {
+    const size_t token_len = 1 + rng.NextBounded(64);
+    for (size_t i = 0; i < token_len; ++i) {
+      request.token.push_back(static_cast<char>(rng.NextBounded(256)));
     }
   }
   return request;
@@ -69,6 +81,9 @@ TEST(NetProtocolFuzzTest, RequestRoundTripAllVerbs) {
     EXPECT_EQ(decoded.request_id, request.request_id);
     EXPECT_EQ(decoded.curve_id, request.curve_id);
     EXPECT_EQ(decoded.args, request.args);
+    EXPECT_EQ(decoded.delta, request.delta);
+    EXPECT_EQ(decoded.txn_id, request.txn_id);
+    EXPECT_EQ(decoded.token, request.token);
   }
 }
 
@@ -76,7 +91,7 @@ TEST(NetProtocolFuzzTest, ResponseRoundTripAllShapes) {
   random::Rng rng(11);
   for (int trial = 0; trial < 500; ++trial) {
     Response response;
-    response.verb = static_cast<Verb>(1 + rng.NextBounded(4));
+    response.verb = static_cast<Verb>(1 + rng.NextBounded(7));
     response.request_id = rng.NextUint64();
     if (rng.NextBounded(3) == 0) {
       response.code = StatusCode::kNotFound;
@@ -118,7 +133,39 @@ TEST(NetProtocolFuzzTest, ResponseRoundTripAllShapes) {
                 FaultCount{"net.recv.point" + std::to_string(i),
                            rng.NextUint64()});
           }
+          response.stats.requests_by_verb[1] = rng.NextUint64();
+          response.stats.requests_by_verb[6] = rng.NextUint64();
+          response.stats.buys_ok = rng.NextUint64();
+          response.stats.model_cache_bytes = rng.NextUint64();
+          response.stats.transactions_recorded = rng.NextUint64();
+          response.stats.revenue = rng.NextDouble(0.0, 1e9);
+          response.stats.fulfillment_latency.count = 5;
+          response.stats.fulfillment_latency.sum_micros = 99.25;
+          response.stats.fulfillment_latency.buckets[4] = 5;
           break;
+        case Verb::kQuote:
+          response.quote.price = rng.NextDouble(0.0, 1e6);
+          response.quote.delta = rng.NextDouble(0.01, 10.0);
+          response.quote.expires_at_micros = rng.NextUint64();
+          for (size_t i = 0, n = 1 + rng.NextBounded(48); i < n; ++i) {
+            response.quote.token.push_back(
+                static_cast<char>(rng.NextBounded(256)));
+          }
+          break;
+        case Verb::kBuy:
+        case Verb::kReplay: {
+          response.buy.record.txn_id = rng.NextUint64();
+          response.buy.record.curve_ref =
+              static_cast<uint32_t>(rng.NextUint64());
+          response.buy.record.delta = rng.NextDouble(0.01, 10.0);
+          response.buy.record.price = rng.NextDouble(0.0, 1e6);
+          response.buy.record.seed_commitment = rng.NextUint64();
+          const size_t n = 1 + rng.NextBounded(32);
+          for (size_t i = 0; i < n; ++i) {
+            response.buy.weights.push_back(rng.NextDouble(-10.0, 10.0));
+          }
+          break;
+        }
       }
     }
     std::string wire;
@@ -151,6 +198,24 @@ TEST(NetProtocolFuzzTest, ResponseRoundTripAllShapes) {
     EXPECT_EQ(decoded.stats.write_queue_bytes.buckets,
               response.stats.write_queue_bytes.buckets);
     EXPECT_EQ(decoded.stats.faults, response.stats.faults);
+    EXPECT_EQ(decoded.stats.requests_by_verb, response.stats.requests_by_verb);
+    EXPECT_EQ(decoded.stats.buys_ok, response.stats.buys_ok);
+    EXPECT_EQ(decoded.stats.model_cache_bytes,
+              response.stats.model_cache_bytes);
+    EXPECT_EQ(decoded.stats.transactions_recorded,
+              response.stats.transactions_recorded);
+    EXPECT_EQ(decoded.stats.revenue, response.stats.revenue);
+    EXPECT_EQ(decoded.stats.fulfillment_latency.count,
+              response.stats.fulfillment_latency.count);
+    EXPECT_EQ(decoded.stats.fulfillment_latency.buckets,
+              response.stats.fulfillment_latency.buckets);
+    EXPECT_EQ(decoded.quote.price, response.quote.price);
+    EXPECT_EQ(decoded.quote.delta, response.quote.delta);
+    EXPECT_EQ(decoded.quote.expires_at_micros,
+              response.quote.expires_at_micros);
+    EXPECT_EQ(decoded.quote.token, response.quote.token);
+    EXPECT_EQ(decoded.buy.record, response.buy.record);
+    EXPECT_EQ(decoded.buy.weights, response.buy.weights);
   }
 }
 

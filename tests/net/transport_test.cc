@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <bit>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -21,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "core/pricing_function.h"
 #include "net/client.h"
 #include "net/cluster.h"
@@ -28,6 +30,7 @@
 #include "net/server.h"
 #include "net/shm_ring.h"
 #include "net/transport.h"
+#include "serving/fulfillment.h"
 #include "serving/price_query_engine.h"
 #include "serving/snapshot_registry.h"
 
@@ -213,9 +216,12 @@ class TransportLoopbackTest : public ::testing::TestWithParam<const char*> {
     ASSERT_TRUE(published.ok());
     slot_ = *published;
     engine_ = std::make_unique<PriceQueryEngine>(&registry_);
+    fulfillment_ =
+        std::make_unique<serving::FulfillmentEngine>(&registry_);
     ServerOptions options;
     options.num_shards = 2;
     options.default_curve_id = "pricing";
+    options.fulfillment = fulfillment_.get();
     if (regime == "uring") options.transport = TransportKind::kUring;
     if (regime == "shm") {
       shm_path_ = UniqueShmPath();
@@ -249,6 +255,7 @@ class TransportLoopbackTest : public ::testing::TestWithParam<const char*> {
   SnapshotRegistry registry_;
   const SnapshotRegistry::CurveSlot* slot_ = nullptr;
   std::unique_ptr<PriceQueryEngine> engine_;
+  std::unique_ptr<serving::FulfillmentEngine> fulfillment_;
   std::unique_ptr<PriceServer> server_;
   std::string shm_path_;
 };
@@ -351,6 +358,106 @@ TEST_P(TransportLoopbackTest, StatsExposePerTransportCounters) {
   if (regime == "shm") {
     EXPECT_GT(stats->shm_doorbell_wakes, 0u);
   }
+}
+
+// BUY/QUOTE/REPLAY over every transport (DESIGN.md §5i): the noised model
+// delivered across the wire is bit-identical to an in-process
+// FulfillmentEngine sharing the epoch seed (which fulfillment_test.cc in
+// turn pins bit-identically to the core::Broker transaction), the quote
+// token locks the price, a retried txn id is idempotent, and REPLAY
+// re-delivers the recorded bytes exactly.
+TEST_P(TransportLoopbackTest, BuyDeliversBitIdenticalSaleOnEveryTransport) {
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  const double delta = 0.5;
+  const uint64_t txn = 0xABCDEF01;
+
+  auto quote = client->Quote("pricing", delta);
+  ASSERT_TRUE(quote.ok()) << quote.status();
+  auto remote = client->Buy("pricing", delta, txn, quote->token);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  EXPECT_EQ(remote->record.txn_id, txn);
+  EXPECT_EQ(std::bit_cast<uint64_t>(remote->record.price),
+            std::bit_cast<uint64_t>(quote->price));
+
+  // An independent engine with the same (default) options is the local
+  // oracle: same curve, same δ, same txn id → identical sale bytes.
+  serving::FulfillmentEngine local(&registry_);
+  auto oracle = local.Buy("pricing", delta, txn);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  EXPECT_EQ(remote->record.curve_ref, oracle->record.curve_ref);
+  EXPECT_EQ(remote->record.seed_commitment, oracle->record.seed_commitment);
+  ASSERT_EQ(remote->weights.size(), oracle->weights.size());
+  EXPECT_EQ(0, std::memcmp(remote->weights.data(), oracle->weights.data(),
+                           oracle->weights.size() * sizeof(double)))
+      << "wire-delivered weights must be bit-identical to the local sale";
+
+  // Idempotent retry: same txn id, same bytes, charged once.
+  auto retry = client->Buy("pricing", delta, txn);
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_EQ(retry->weights, remote->weights);
+
+  // REPLAY re-delivers the recorded sale.
+  auto replay = client->Replay(txn);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->record.seed_commitment, remote->record.seed_commitment);
+  EXPECT_EQ(replay->weights, remote->weights);
+
+  const auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->buys_ok, 1u) << "retry and replay must not re-charge";
+  EXPECT_EQ(std::bit_cast<uint64_t>(stats->revenue),
+            std::bit_cast<uint64_t>(remote->record.price));
+  EXPECT_EQ(stats->transactions_recorded, 1u);
+  EXPECT_GE(stats->requests_by_verb[static_cast<uint8_t>(Verb::kBuy)], 2u);
+  EXPECT_GE(stats->requests_by_verb[static_cast<uint8_t>(Verb::kReplay)],
+            1u);
+  EXPECT_GE(stats->requests_by_verb[static_cast<uint8_t>(Verb::kQuote)], 1u);
+}
+
+// Large-frame framing parity: response frames from ~1 KB to the 1 MB
+// frame cap, crossing every socket/ring buffer boundary, with short-IO
+// fault points armed so the server's sends and the client's receives are
+// forcibly fragmented. Every frame must reassemble to the bit-exact
+// engine answer on every transport.
+TEST_P(TransportLoopbackTest, LargeFramesReassembleAcrossBufferBoundaries) {
+  if (fault::kBuildEnabled) {
+    // Fragment both directions aggressively; schedules are per-call
+    // probabilistic, so some sends still go through whole — the sizes
+    // below cross buffer boundaries regardless.
+    fault::FaultInjector& inj = fault::FaultInjector::Global();
+    inj.Reset();
+    inj.Seed(0xB16FA43Eull);
+    fault::PointSchedule shortio;
+    shortio.probability = 0.5;
+    inj.Arm("net.send.short", shortio);
+    inj.Arm("net.recv.short", shortio);
+    inj.Arm("net.uring.send.short", shortio);
+    inj.Arm("net.uring.recv.short", shortio);
+    inj.Arm("net.shm.write.short", shortio);
+    inj.Arm("net.shm.read.short", shortio);
+  }
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  // Batch counts whose response frames span ~1 KB up to the exact frame
+  // cap: 1048576 = 20 header + 4 count + 8 * kMaxVectorElements + slack.
+  const size_t kCounts[] = {121, 1000, 8000, 32768, kMaxVectorElements};
+  for (const size_t count : kCounts) {
+    std::vector<double> xs(count);
+    for (size_t i = 0; i < count; ++i) {
+      xs[i] = 10.0 * static_cast<double>(i % 4093 + 1) / 4093.0;
+    }
+    const auto remote = client->PriceBatch("pricing", xs);
+    ASSERT_TRUE(remote.ok()) << "count " << count << ": " << remote.status();
+    ASSERT_EQ(remote->size(), count);
+    std::vector<double> local(count);
+    ASSERT_TRUE(engine_
+                    ->PriceBatch(slot_, xs.data(), local.data(), count,
+                                 ParallelConfig{})
+                    .ok());
+    EXPECT_EQ(*remote, local) << "count " << count;
+  }
+  if (fault::kBuildEnabled) fault::FaultInjector::Global().Reset();
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, TransportLoopbackTest,

@@ -1,0 +1,376 @@
+// FulfillmentEngine (serving/fulfillment.h): the BUY pipeline's unit
+// contract — model-cache LRU accounting, quote-token authentication,
+// ledger idempotency (a retried txn re-delivers without charging twice),
+// bit-exact ReplaySale across cache eviction and curve withdrawal, and the
+// anchor assertion of DESIGN.md §5i: a sale served by the engine is
+// bit-identical to the in-process core::Broker transaction for the same
+// seed.
+
+#include "serving/fulfillment.h"
+
+#include <bit>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/market.h"
+#include "core/pricing_function.h"
+#include "data/synthetic.h"
+#include "serving/catalog_registry.h"
+
+namespace mbp::serving {
+namespace {
+
+core::PiecewiseLinearPricing SmallCurve(double scale) {
+  return core::PiecewiseLinearPricing::Create(
+             {{1.0, 10.0 * scale}, {2.0, 18.0 * scale}, {4.0, 30.0 * scale}})
+      .value();
+}
+
+class FulfillmentTest : public ::testing::Test {
+ protected:
+  void Publish(const std::string& id, double scale = 1.0) {
+    ASSERT_TRUE(registry_.Publish(id, SmallCurve(scale)).ok());
+  }
+
+  CatalogRegistry registry_;
+};
+
+// ----------------------------------------------------- ModelInstanceCache
+
+TEST(ModelInstanceCacheTest, HitAfterMissAndCounters) {
+  ModelInstanceCache cache(size_t{1} << 20);
+  int trainings = 0;
+  const auto train = [&]() -> StatusOr<linalg::Vector> {
+    ++trainings;
+    return linalg::Vector(std::vector<double>{1.0, 2.0, 3.0});
+  };
+  auto first = cache.GetOrTrain(0, 1e-3, train);
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrTrain(0, 1e-3, train);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(trainings, 1) << "hit must not retrain";
+  EXPECT_EQ(first->get(), second->get()) << "hit returns the same weights";
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_GT(cache.bytes(), 3 * sizeof(double));
+
+  // A different l2 is a different model: (ref, λ) keys the cache.
+  ASSERT_TRUE(cache.GetOrTrain(0, 1e-2, train).ok());
+  EXPECT_EQ(trainings, 2);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(ModelInstanceCacheTest, TrainingFailureIsNotCached) {
+  ModelInstanceCache cache(size_t{1} << 20);
+  const auto fail = []() -> StatusOr<linalg::Vector> {
+    return InternalError("solver exploded");
+  };
+  EXPECT_FALSE(cache.GetOrTrain(0, 1e-3, fail).ok());
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  // The next attempt trains again and can succeed.
+  const auto ok = []() -> StatusOr<linalg::Vector> {
+    return linalg::Vector(std::vector<double>{1.0});
+  };
+  EXPECT_TRUE(cache.GetOrTrain(0, 1e-3, ok).ok());
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ModelInstanceCacheTest, EvictsLeastRecentlyUsedPastBudget) {
+  // Budget fits roughly two entries; entry overhead is ~200 bytes each.
+  ModelInstanceCache cache(500);
+  const auto train = []() -> StatusOr<linalg::Vector> {
+    return linalg::Vector(std::vector<double>(8, 1.0));
+  };
+  ASSERT_TRUE(cache.GetOrTrain(0, 1e-3, train).ok());
+  ASSERT_TRUE(cache.GetOrTrain(1, 1e-3, train).ok());
+  // Touch 0 so 1 becomes the LRU victim when 2 arrives.
+  ASSERT_TRUE(cache.GetOrTrain(0, 1e-3, train).ok());
+  ASSERT_TRUE(cache.GetOrTrain(2, 1e-3, train).ok());
+  EXPECT_GE(cache.evictions(), 1u);
+  EXPECT_LE(cache.bytes(), 500u);
+  // 0 was recently touched: still a hit. 1 was evicted: a fresh miss.
+  const uint64_t misses_before = cache.misses();
+  ASSERT_TRUE(cache.GetOrTrain(0, 1e-3, train).ok());
+  EXPECT_EQ(cache.misses(), misses_before);
+  ASSERT_TRUE(cache.GetOrTrain(1, 1e-3, train).ok());
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(ModelInstanceCacheTest, SingleOverBudgetModelIsStillServable) {
+  ModelInstanceCache cache(1);  // absurdly small budget
+  const auto train = []() -> StatusOr<linalg::Vector> {
+    return linalg::Vector(std::vector<double>(64, 2.0));
+  };
+  auto weights = cache.GetOrTrain(0, 1e-3, train);
+  ASSERT_TRUE(weights.ok());
+  EXPECT_EQ((**weights).size(), 64u);
+  EXPECT_EQ(cache.entries(), 1u) << "newest entry is never evicted";
+}
+
+// ------------------------------------------------------------ Quote/token
+
+TEST_F(FulfillmentTest, QuoteMatchesSnapshotPriceAndTokenRedeems) {
+  Publish("curve-a");
+  FulfillmentEngine engine(&registry_);
+  const double delta = 0.5;  // x = 1/δ = 2 → price 18 on SmallCurve(1)
+  auto quote = engine.Quote("curve-a", delta);
+  ASSERT_TRUE(quote.ok()) << quote.status();
+  EXPECT_DOUBLE_EQ(quote->price, 18.0);
+  EXPECT_EQ(quote->token.size(), kQuoteTokenBytes);
+
+  auto sale = engine.Buy("curve-a", delta, 101, quote->token);
+  ASSERT_TRUE(sale.ok()) << sale.status();
+  EXPECT_DOUBLE_EQ(sale->record.price, 18.0);
+  EXPECT_FALSE(sale->replayed);
+}
+
+TEST_F(FulfillmentTest, QuoteLocksPriceAcrossRepublish) {
+  Publish("curve-a");
+  FulfillmentEngine engine(&registry_);
+  auto quote = engine.Quote("curve-a", 0.5);
+  ASSERT_TRUE(quote.ok());
+  // Seller doubles the prices; the outstanding token still buys at 18.
+  Publish("curve-a", 2.0);
+  auto with_token = engine.Buy("curve-a", 0.5, 102, quote->token);
+  ASSERT_TRUE(with_token.ok());
+  EXPECT_DOUBLE_EQ(with_token->record.price, 18.0);
+  auto without = engine.Buy("curve-a", 0.5, 103);
+  ASSERT_TRUE(without.ok());
+  EXPECT_DOUBLE_EQ(without->record.price, 36.0);
+}
+
+TEST_F(FulfillmentTest, TamperedTokenIsRejected) {
+  Publish("curve-a");
+  FulfillmentEngine engine(&registry_);
+  auto quote = engine.Quote("curve-a", 0.5);
+  ASSERT_TRUE(quote.ok());
+
+  // Flip one bit of the embedded price: MAC check must fail.
+  std::string tampered = quote->token;
+  tampered[12] ^= 1;
+  auto sale = engine.Buy("curve-a", 0.5, 104, tampered);
+  EXPECT_EQ(sale.status().code(), StatusCode::kInvalidArgument);
+
+  // Truncated token.
+  EXPECT_EQ(engine.Buy("curve-a", 0.5, 104, quote->token.substr(0, 10))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Token presented for a different delta than the Buy's.
+  EXPECT_EQ(engine.Buy("curve-a", 0.25, 104, quote->token).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Token presented for a different curve.
+  Publish("curve-b");
+  EXPECT_EQ(engine.Buy("curve-b", 0.5, 104, quote->token).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // None of the rejections charged anything.
+  EXPECT_EQ(engine.Stats().buys_ok, 0u);
+  EXPECT_DOUBLE_EQ(engine.Stats().revenue, 0.0);
+}
+
+TEST_F(FulfillmentTest, ExpiredTokenIsRejected) {
+  Publish("curve-a");
+  FulfillmentOptions options;
+  options.quote_ttl_micros = 0;  // expires the instant it is minted
+  FulfillmentEngine engine(&registry_, options);
+  auto quote = engine.Quote("curve-a", 0.5);
+  ASSERT_TRUE(quote.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(engine.Buy("curve-a", 0.5, 105, quote->token).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------------------- Buy/ledger
+
+TEST_F(FulfillmentTest, BuyValidatesArguments) {
+  Publish("curve-a");
+  FulfillmentEngine engine(&registry_);
+  EXPECT_EQ(engine.Buy("curve-a", 0.5, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Buy("curve-a", 0.0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Buy("curve-a", -1.0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Buy("no-such-curve", 0.5, 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.Quote("no-such-curve", 0.5).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FulfillmentTest, RetriedTransactionIsIdempotentAndChargedOnce) {
+  Publish("curve-a");
+  FulfillmentEngine engine(&registry_);
+  auto first = engine.Buy("curve-a", 0.5, 7);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->replayed);
+
+  // Identical retry — and even a MISMATCHED retry (different δ): the
+  // ledger's record wins, nothing is charged again.
+  auto retry = engine.Buy("curve-a", 0.5, 7);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(retry->replayed);
+  EXPECT_EQ(retry->record.txn_id, first->record.txn_id);
+  EXPECT_EQ(retry->weights, first->weights) << "retry must be bit-identical";
+  auto mismatched = engine.Buy("curve-a", 0.25, 7);
+  ASSERT_TRUE(mismatched.ok());
+  EXPECT_TRUE(mismatched->replayed);
+  EXPECT_DOUBLE_EQ(mismatched->record.delta, 0.5)
+      << "the RECORDED sale is re-delivered, not the retry's arguments";
+  EXPECT_EQ(mismatched->weights, first->weights);
+
+  const FulfillmentStats stats = engine.Stats();
+  EXPECT_EQ(stats.buys_ok, 1u);
+  EXPECT_DOUBLE_EQ(stats.revenue, first->record.price);
+  EXPECT_EQ(stats.transactions_recorded, 1u);
+}
+
+TEST_F(FulfillmentTest, DistinctTransactionsDrawDistinctNoise) {
+  Publish("curve-a");
+  FulfillmentEngine engine(&registry_);
+  auto a = engine.Buy("curve-a", 0.5, 1);
+  auto b = engine.Buy("curve-a", 0.5, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->weights, b->weights);
+  EXPECT_NE(a->record.seed_commitment, b->record.seed_commitment);
+  EXPECT_DOUBLE_EQ(engine.Stats().revenue,
+                   a->record.price + b->record.price);
+}
+
+TEST_F(FulfillmentTest, LedgerFifoCapDropsOldestRecords) {
+  Publish("curve-a");
+  FulfillmentOptions options;
+  options.max_transactions = 4;
+  FulfillmentEngine engine(&registry_, options);
+  for (uint64_t txn = 1; txn <= 6; ++txn) {
+    ASSERT_TRUE(engine.Buy("curve-a", 0.5, txn).ok());
+  }
+  EXPECT_EQ(engine.Stats().transactions_recorded, 4u);
+  EXPECT_EQ(engine.ReplaySale(1).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(engine.ReplaySale(6).ok());
+}
+
+// ----------------------------------------------------------------- Replay
+
+TEST_F(FulfillmentTest, ReplayReproducesDeliveredBytesExactly) {
+  Publish("curve-a");
+  FulfillmentEngine engine(&registry_);
+  auto sale = engine.Buy("curve-a", 0.5, 42);
+  ASSERT_TRUE(sale.ok());
+  auto replay = engine.ReplaySale(42);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->replayed);
+  EXPECT_EQ(replay->record.txn_id, sale->record.txn_id);
+  EXPECT_EQ(replay->record.curve_ref, sale->record.curve_ref);
+  EXPECT_EQ(replay->record.seed_commitment, sale->record.seed_commitment);
+  ASSERT_EQ(replay->weights.size(), sale->weights.size());
+  EXPECT_EQ(0, std::memcmp(replay->weights.data(), sale->weights.data(),
+                           sale->weights.size() * sizeof(double)))
+      << "replay must be bit-identical";
+  EXPECT_EQ(engine.ReplaySale(43).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FulfillmentTest, ReplaySurvivesCacheEvictionAndWithdrawal) {
+  Publish("curve-a");
+  Publish("curve-b");
+  FulfillmentOptions options;
+  options.max_model_cache_bytes = 1;  // every other BUY evicts the last
+  FulfillmentEngine engine(&registry_, options);
+  auto sale = engine.Buy("curve-a", 0.5, 42);
+  ASSERT_TRUE(sale.ok());
+  // Evict curve-a's base model, then withdraw the listing entirely.
+  ASSERT_TRUE(engine.Buy("curve-b", 0.5, 43).ok());
+  ASSERT_TRUE(registry_.Withdraw("curve-a").ok());
+  ASSERT_EQ(engine.Buy("curve-a", 0.5, 99).status().code(),
+            StatusCode::kNotFound)
+      << "new sales of a withdrawn curve must fail";
+  auto replay = engine.ReplaySale(42);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->weights, sale->weights)
+      << "replay outlives eviction and withdrawal: the base model and "
+         "noise stream rebuild purely from seeds";
+}
+
+TEST_F(FulfillmentTest, EnginesSharingAnEpochSeedSellIdenticalBytes) {
+  Publish("curve-a");
+  FulfillmentEngine a(&registry_);
+  FulfillmentEngine b(&registry_);
+  auto sale_a = a.Buy("curve-a", 0.5, 7);
+  auto sale_b = b.Buy("curve-a", 0.5, 7);
+  ASSERT_TRUE(sale_a.ok());
+  ASSERT_TRUE(sale_b.ok());
+  EXPECT_EQ(sale_a->weights, sale_b->weights)
+      << "replicas with one epoch seed are interchangeable";
+
+  FulfillmentOptions rotated;
+  rotated.epoch_seed = 0xD1FFE4E47;
+  FulfillmentEngine c(&registry_, rotated);
+  auto sale_c = c.Buy("curve-a", 0.5, 7);
+  ASSERT_TRUE(sale_c.ok());
+  EXPECT_NE(sale_c->weights, sale_a->weights)
+      << "rotating the epoch rotates every noise stream";
+}
+
+// ------------------------------------------------------------- The anchor
+
+// DESIGN.md §5i acceptance: a sale served by the FulfillmentEngine is
+// BIT-IDENTICAL to the offline core/market.* transaction — same training
+// set, same pricing curve, Broker seeded with the engine's
+// per-transaction seed. This is the test that pins the serving path to
+// the paper's reference implementation.
+TEST_F(FulfillmentTest, SaleIsBitIdenticalToCoreBrokerTransaction) {
+  const std::string curve_id = "anchor-curve";
+  Publish(curve_id);
+  FulfillmentEngine engine(&registry_);
+  const double delta = 0.5;
+  const uint64_t txn = 777;
+  auto sale = engine.Buy(curve_id, delta, txn);
+  ASSERT_TRUE(sale.ok()) << sale.status();
+  EXPECT_EQ(sale->record.seed_commitment,
+            FulfillmentEngine::SeedCommitment(engine.SeedForTransaction(txn)));
+
+  // Rebuild the engine's exact training set and sell through the Broker.
+  auto dataset =
+      data::GenerateSimulated1(engine.TrainingSetOptionsFor(curve_id));
+  ASSERT_TRUE(dataset.ok());
+  auto seller = core::Seller::Create(
+      "anchor", data::TrainTestSplit{*dataset, *dataset},
+      {{1.0, 10.0, 0.5}, {4.0, 30.0, 0.5}});
+  ASSERT_TRUE(seller.ok()) << seller.status();
+  core::ModelListing listing;
+  listing.model = ml::ModelKind::kLinearRegression;
+  listing.l2 = engine.options().l2;
+  listing.error_space = core::ErrorSpace::kModelSquare;
+  core::Broker::Options broker_options;
+  broker_options.seed = engine.SeedForTransaction(txn);
+  auto broker = core::Broker::CreateWithPricing(*std::move(seller), listing,
+                                                SmallCurve(1.0),
+                                                broker_options);
+  ASSERT_TRUE(broker.ok()) << broker.status();
+  auto txn_local = broker->BuyAtNcp(delta);
+  ASSERT_TRUE(txn_local.ok()) << txn_local.status();
+
+  EXPECT_EQ(std::bit_cast<uint64_t>(txn_local->price),
+            std::bit_cast<uint64_t>(sale->record.price))
+      << "price must be bit-identical to the Broker's";
+  const std::vector<double>& local =
+      txn_local->instance.coefficients().values();
+  ASSERT_EQ(local.size(), sale->weights.size());
+  for (size_t i = 0; i < local.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(local[i]),
+              std::bit_cast<uint64_t>(sale->weights[i]))
+        << "weight " << i << " differs from the Broker's instance";
+  }
+}
+
+}  // namespace
+}  // namespace mbp::serving

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -356,6 +357,80 @@ TEST_F(CliTest, ServeTcpRepublishesLiveOverStdin) {
   ASSERT_TRUE(WIFEXITED(status)) << captured;
   EXPECT_EQ(WEXITSTATUS(status), 0) << captured;
   EXPECT_NE(captured.find("drained:"), std::string::npos) << captured;
+}
+
+// The `buy` subcommand against a selling `serve --tcp` process: QUOTE
+// locks the snapshot price, BUY delivers the weights, a retried txn id
+// and REPLAY re-deliver the identical bytes, and the drain line reports
+// the per-verb counts plus fulfillment revenue (DESIGN.md §5i).
+TEST_F(CliTest, BuySubcommandPurchasesIdempotentlyAndReplays) {
+  const std::string pricing_path = TempPath("serve_buy.mbp");
+  WritePricingFile(pricing_path, 1.0);
+  ServeProcess proc = SpawnServeTcp(pricing_path, /*with_stdin=*/true);
+  ASSERT_GE(proc.pid, 0);
+  ASSERT_NE(proc.out, nullptr);
+
+  std::string captured;
+  ASSERT_TRUE(ReadUntil(proc.out, "listening on", &captured)) << captured;
+  const uint16_t port = ParseListeningPort(captured);
+  ASSERT_GT(port, 0) << captured;
+  const std::string port_flag = " --port=" + std::to_string(port);
+
+  const auto read_file = [](const std::string& path) {
+    std::ifstream in(path);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+
+  // δ=0.5 → x=2 on the 1→10, 2→18, 4→30, 8→40 curve: price 18.
+  const std::string w1 = TempPath("buy_w1.txt");
+  const CommandResult bought = RunCli(
+      "buy" + port_flag + " --curve-id=pricing --delta=0.5 --txn=77" +
+      " --out-weights=" + w1);
+  EXPECT_EQ(bought.exit_code, 0) << bought.output;
+  EXPECT_NE(bought.output.find("quoted price 18.0000"), std::string::npos)
+      << bought.output;
+  EXPECT_NE(bought.output.find("sale txn=77"), std::string::npos)
+      << bought.output;
+  EXPECT_NE(bought.output.find("price=18.0000"), std::string::npos)
+      << bought.output;
+  const std::string weights = read_file(w1);
+  EXPECT_FALSE(weights.empty());
+
+  // Same txn id retried (even with a different δ, skipping the quote):
+  // the RECORDED sale comes back, bit-identical, charged once.
+  const std::string w2 = TempPath("buy_w2.txt");
+  const CommandResult retried = RunCli(
+      "buy" + port_flag + " --curve-id=pricing --delta=0.9 --txn=77" +
+      " --no-quote --out-weights=" + w2);
+  EXPECT_EQ(retried.exit_code, 0) << retried.output;
+  EXPECT_NE(retried.output.find("price=18.0000"), std::string::npos)
+      << retried.output;
+  EXPECT_EQ(read_file(w2), weights);
+
+  // REPLAY re-delivers the recorded sale too.
+  const std::string w3 = TempPath("buy_w3.txt");
+  const CommandResult replayed = RunCli(
+      "buy" + port_flag + " --txn=77 --replay --out-weights=" + w3);
+  EXPECT_EQ(replayed.exit_code, 0) << replayed.output;
+  EXPECT_EQ(read_file(w3), weights);
+
+  ASSERT_EQ(write(proc.stdin_fd, "quit\n", 5), 5);
+  close(proc.stdin_fd);
+  while (ReadUntil(proc.out, "\x01never", &captured)) {
+  }
+  fclose(proc.out);
+  int status = 0;
+  ASSERT_EQ(waitpid(proc.pid, &status, 0), proc.pid);
+  ASSERT_TRUE(WIFEXITED(status)) << captured;
+  EXPECT_EQ(WEXITSTATUS(status), 0) << captured;
+  EXPECT_NE(captured.find("requests by verb:"), std::string::npos)
+      << captured;
+  EXPECT_NE(captured.find("BUY=2"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("REPLAY=1"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("fulfillment: 1 sales, revenue 18.00"),
+            std::string::npos)
+      << captured;
 }
 
 TEST_F(CliTest, SimulateRunsAndWritesLedger) {

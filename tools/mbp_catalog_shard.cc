@@ -29,6 +29,15 @@
 //                    to the TCP listener; same-host clients connect with
 //                    "shm://PATH" (port ignored), remote ones keep TCP
 //   --shm-slots=N    shm connection slots (default 32)
+//   --fulfill=0|1    serve the QUOTE/BUY/REPLAY fulfillment verbs
+//                    (default 1). Every shard of a fleet must agree on
+//                    the fulfillment seeds below, or a BUY retried
+//                    against a replica delivers different bytes.
+//   --epoch-seed=N   fulfillment epoch seed (noise derivation;
+//                    default 0x5EED0001)
+//   --dataset-seed=N fulfillment training-set seed (default 0xD474)
+//   --model-dim=N    sold model dimensionality (default 16)
+//   --model-cache-bytes=N  trained-model LRU budget (default 64 MiB)
 //
 // Output: exactly one line "READY port=<p> curves=<n> bytes=<b>\n" on
 // stdout once serving (plus " shm=<path>" when --shm is set); the process
@@ -42,6 +51,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,6 +59,7 @@
 #include "common/fault_injection.h"
 #include "net/cluster.h"
 #include "net/server.h"
+#include "serving/fulfillment.h"
 #include "serving/price_query_engine.h"
 #include "serving/synthetic_catalog.h"
 
@@ -145,7 +156,27 @@ int main(int argc, char** argv) {
   }
 
   serving::PriceQueryEngine engine(&registry);
+
+  // Fulfillment: on by default so any shard can sell. Seeds are flags so
+  // an entire fleet can agree on them — a BUY that fails over to a
+  // replica must deliver the same bytes (ClusterPriceClient::Buy pins
+  // the transaction id, and bytes are a pure function of the seeds, the
+  // curve, delta, and that id).
+  std::unique_ptr<serving::FulfillmentEngine> fulfillment;
+  if (flag("fulfill", 1) != 0) {
+    serving::FulfillmentOptions fopts;
+    fopts.epoch_seed =
+        static_cast<uint64_t>(flag("epoch-seed", 0x5EED0001));
+    fopts.dataset_seed = static_cast<uint64_t>(flag("dataset-seed", 0xD474));
+    fopts.model_dim = static_cast<size_t>(flag("model-dim", 16));
+    fopts.max_model_cache_bytes = static_cast<size_t>(
+        flag("model-cache-bytes", 64.0 * 1024 * 1024));
+    fulfillment =
+        std::make_unique<serving::FulfillmentEngine>(&registry, fopts);
+  }
+
   net::ServerOptions server_options;
+  server_options.fulfillment = fulfillment.get();
   server_options.port = port;
   server_options.num_shards = loops;
   server_options.default_curve_id =

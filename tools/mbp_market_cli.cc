@@ -47,7 +47,27 @@
 //     then a pricing file path to republish live under the same curve
 //     id, or 'quit' to exit; stdin EOF keeps serving. SIGINT/SIGTERM
 //     trigger a graceful drain (pending responses are flushed before
-//     exit) and the serving metrics are printed on shutdown.
+//     exit) and the serving metrics — including per-verb request counts
+//     and fulfillment revenue — are printed on shutdown.
+//
+//     TCP serving also answers the fulfillment verbs (QUOTE/BUY/REPLAY,
+//     DESIGN.md §5i) unless --no-sell is given. --epoch-seed=N and
+//     --dataset-seed=N pin the noise/training seeds (defaults match
+//     mbp_catalog_shard), --model-dim=N sets the sold model's
+//     dimensionality, --model-cache-bytes=N the trained-model LRU
+//     budget.
+//
+//   mbp_market_cli buy    --port=N [--host=127.0.0.1] [--curve-id=ID]
+//                         --delta=0.5 [--txn=N] [--no-quote]
+//                         [--replay] [--out-weights=w.txt]
+//     Buys a noised model instance over TCP from a `serve --tcp` (or
+//     mbp_catalog_shard) process: QUOTEs the curve at δ, then BUYs with
+//     the signed token so the paid price is exactly the quoted one
+//     (--no-quote skips the token and buys at the live snapshot price).
+//     --txn pins the transaction id (0 auto-generates one); re-running
+//     with the same id re-delivers the recorded sale without charging
+//     again, and --replay fetches it via the REPLAY verb instead.
+//     --out-weights writes the delivered weights one per line.
 //
 //   mbp_market_cli simulate --csv=data.csv --task=regression
 //                           [--buyers=1000] [--jitter=0.1]
@@ -64,6 +84,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -78,7 +99,9 @@
 #include "io/model_io.h"
 #include "ml/metrics.h"
 #include "ml/trainer.h"
+#include "net/client.h"
 #include "net/server.h"
+#include "serving/fulfillment.h"
 #include "serving/price_query_engine.h"
 #include "serving/snapshot_registry.h"
 
@@ -379,6 +402,27 @@ int RunServeTcp(int argc, char** argv, serving::SnapshotRegistry* registry,
   options.num_shards =
       static_cast<size_t>(DoubleFlag(argc, argv, "shards", 2));
   options.default_curve_id = curve_id;
+  // Fulfillment (QUOTE/BUY/REPLAY, DESIGN.md §5i): on unless --no-sell.
+  // The engine must outlive the server, which holds a raw pointer.
+  std::unique_ptr<serving::FulfillmentEngine> fulfillment;
+  if (!BoolFlag(argc, argv, "no-sell")) {
+    serving::FulfillmentOptions fopts;
+    fopts.epoch_seed = static_cast<uint64_t>(
+        DoubleFlag(argc, argv, "epoch-seed",
+                   static_cast<double>(fopts.epoch_seed)));
+    fopts.dataset_seed = static_cast<uint64_t>(
+        DoubleFlag(argc, argv, "dataset-seed",
+                   static_cast<double>(fopts.dataset_seed)));
+    fopts.model_dim = static_cast<size_t>(
+        DoubleFlag(argc, argv, "model-dim",
+                   static_cast<double>(fopts.model_dim)));
+    fopts.max_model_cache_bytes = static_cast<size_t>(
+        DoubleFlag(argc, argv, "model-cache-bytes",
+                   static_cast<double>(fopts.max_model_cache_bytes)));
+    fulfillment =
+        std::make_unique<serving::FulfillmentEngine>(registry, fopts);
+    options.fulfillment = fulfillment.get();
+  }
   auto server = net::PriceServer::Start(engine, options);
   if (!server.ok()) return Fail(server.status().ToString());
 
@@ -464,6 +508,28 @@ int RunServeTcp(int argc, char** argv, serving::SnapshotRegistry* registry,
       static_cast<unsigned long long>(stats.batches),
       stats.latency.QuantileMicros(0.5), stats.latency.QuantileMicros(0.99),
       static_cast<unsigned long long>(stats.connections_accepted));
+  static const char* const kVerbNames[] = {
+      "",      "PRICE_AT", "BUDGET_TO_X", "SNAPSHOT_INFO",
+      "STATS", "QUOTE",    "BUY",         "REPLAY"};
+  std::printf("requests by verb:");
+  for (size_t v = 1; v < net::kNumVerbSlots; ++v) {
+    if (stats.requests_by_verb[v] == 0) continue;
+    std::printf(" %s=%llu", kVerbNames[v],
+                static_cast<unsigned long long>(stats.requests_by_verb[v]));
+  }
+  std::printf("\n");
+  if (stats.buys_ok > 0 || stats.transactions_recorded > 0) {
+    std::printf(
+        "fulfillment: %llu sales, revenue %.2f, %llu recorded; model cache "
+        "%llu/%llu hit/miss, %llu evictions, %llu bytes; sale p99 %.1f us\n",
+        static_cast<unsigned long long>(stats.buys_ok), stats.revenue,
+        static_cast<unsigned long long>(stats.transactions_recorded),
+        static_cast<unsigned long long>(stats.model_cache_hits),
+        static_cast<unsigned long long>(stats.model_cache_misses),
+        static_cast<unsigned long long>(stats.model_cache_evictions),
+        static_cast<unsigned long long>(stats.model_cache_bytes),
+        stats.fulfillment_latency.QuantileMicros(0.99));
+  }
   if (stats.requests_shed + stats.deadline_drops + stats.connections_killed +
           stats.connections_refused >
       0) {
@@ -546,6 +612,75 @@ int RunServe(int argc, char** argv) {
   return 0;
 }
 
+// Remote purchase over the wire protocol: QUOTE -> BUY with the signed
+// token (so the paid price is the quoted one), or straight BUY with
+// --no-quote, or REPLAY of a recorded sale with --replay. The client's
+// retry ladder is safe here: the server ledger dedupes the transaction
+// id, so a retried BUY is charged once (DESIGN.md §5i).
+int RunBuy(int argc, char** argv) {
+  const uint16_t port =
+      static_cast<uint16_t>(DoubleFlag(argc, argv, "port", 0));
+  if (port == 0) return Fail("--port is required (a serve --tcp port)");
+  const std::string host =
+      StringFlag(argc, argv, "host").value_or("127.0.0.1");
+  const std::string curve_id =
+      StringFlag(argc, argv, "curve-id").value_or("");
+  const uint64_t txn =
+      static_cast<uint64_t>(DoubleFlag(argc, argv, "txn", 0));
+
+  auto client = net::PriceClient::Connect(host, port);
+  if (!client.ok()) return Fail(client.status().ToString());
+
+  net::BuyPayload sale;
+  if (BoolFlag(argc, argv, "replay")) {
+    if (txn == 0) return Fail("--replay requires --txn=<id>");
+    auto replayed = (*client)->Replay(txn);
+    if (!replayed.ok()) return Fail(replayed.status().ToString());
+    sale = std::move(replayed).value();
+  } else {
+    const double delta = DoubleFlag(argc, argv, "delta", 0.0);
+    if (delta <= 0.0) return Fail("--delta is required (> 0)");
+    std::string token;
+    if (!BoolFlag(argc, argv, "no-quote")) {
+      auto quote = (*client)->Quote(curve_id, delta);
+      if (!quote.ok()) return Fail(quote.status().ToString());
+      std::printf("quoted price %.4f at delta %.6g (token %zu bytes)\n",
+                  quote->price, quote->delta, quote->token.size());
+      token = std::move(quote->token);
+    }
+    auto bought = (*client)->Buy(curve_id, delta, txn, token);
+    if (!bought.ok()) return Fail(bought.status().ToString());
+    sale = std::move(bought).value();
+  }
+
+  std::printf(
+      "sale txn=%llu curve-ref=%lu delta=%.6g price=%.4f "
+      "seed-commitment=%016llx: %zu weights\n",
+      static_cast<unsigned long long>(sale.record.txn_id),
+      static_cast<unsigned long>(sale.record.curve_ref), sale.record.delta,
+      sale.record.price,
+      static_cast<unsigned long long>(sale.record.seed_commitment),
+      sale.weights.size());
+  if (const auto out = StringFlag(argc, argv, "out-weights")) {
+    FILE* f = std::fopen(out->c_str(), "w");
+    if (f == nullptr) return Fail("cannot open --out-weights=" + *out);
+    for (const double w : sale.weights) std::fprintf(f, "%.17g\n", w);
+    std::fclose(f);
+    std::printf("wrote %zu weights to %s\n", sale.weights.size(),
+                out->c_str());
+  } else {
+    const size_t shown = sale.weights.size() < 4 ? sale.weights.size() : 4;
+    for (size_t i = 0; i < shown; ++i) {
+      std::printf("  w[%zu] = %.17g\n", i, sale.weights[i]);
+    }
+    if (shown < sale.weights.size()) {
+      std::printf("  ... (%zu more; --out-weights=FILE for all)\n",
+                  sale.weights.size() - shown);
+    }
+  }
+  return 0;
+}
+
 int RunSimulate(int argc, char** argv) {
   auto loaded = LoadCommon(argc, argv);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
@@ -611,7 +746,8 @@ int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: mbp_market_cli "
-                 "<train|price|sell|check-pricing|serve|simulate> [flags]\n(see "
+                 "<train|price|sell|check-pricing|serve|buy|simulate> "
+                 "[flags]\n(see "
                  "the header comment of tools/mbp_market_cli.cc for flag "
                  "documentation)\n");
     return 1;
@@ -622,6 +758,7 @@ int Main(int argc, char** argv) {
   if (command == "sell") return RunSell(argc, argv);
   if (command == "check-pricing") return RunCheckPricing(argc, argv);
   if (command == "serve") return RunServe(argc, argv);
+  if (command == "buy") return RunBuy(argc, argv);
   if (command == "simulate") return RunSimulate(argc, argv);
   return Fail("unknown command '" + command + "'");
 }
