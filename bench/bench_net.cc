@@ -41,6 +41,12 @@
 //   --batch=N        xs per frame in the batched/zipf regimes (default 64)
 //   --buy-pct=P      adds the purchase_mix regime: P% of round trips are
 //                    BUYs (default 0 = off)
+//   --wal-dir=DIR    back the in-process sale ledger with a write-ahead
+//                    log in DIR, so purchase_mix measures the
+//                    charge-durable-then-deliver BUY path (default: off,
+//                    in-memory ledger; in-process server mode only)
+//   --wal-fsync=P    WAL durability policy with --wal-dir: none | batch
+//                    (group commit, default) | every
 //   --shards=N       server event-loop shards (default 2)
 //   --endpoints=CSV  drive an external fleet ("127.0.0.1:p0,...") through
 //                    consistent-hash routing instead of an in-process
@@ -83,6 +89,7 @@
 #include "bench/bench_util.h"
 #include "common/fault_injection.h"
 #include "common/metrics.h"
+#include "common/wal.h"
 #include "linalg/kernels.h"
 #include "core/pricing_function.h"
 #include "net/client.h"
@@ -348,6 +355,12 @@ void MergeStats(const net::StatsPayload& from, net::StatsPayload* into) {
   into->model_cache_evictions += from.model_cache_evictions;
   into->transactions_recorded += from.transactions_recorded;
   into->revenue += from.revenue;
+  into->wal_appends += from.wal_appends;
+  into->wal_fsyncs += from.wal_fsyncs;
+  into->wal_bytes += from.wal_bytes;
+  into->recovery_records += from.recovery_records;
+  into->recovery_torn_tail += from.recovery_torn_tail;
+  into->recovery_ms += from.recovery_ms;
   MergeHistogram(from.fulfillment_latency, &into->fulfillment_latency);
   MergeHistogram(from.latency, &into->latency);
   MergeHistogram(from.write_queue_bytes, &into->write_queue_bytes);
@@ -363,6 +376,12 @@ struct BenchConfig {
   double zipf_s;
   uint64_t catalog_seed;
   size_t num_endpoints;
+  // Empty when the sale ledger is in-memory; otherwise the --wal-fsync
+  // policy name and the log directory, so recorded baselines state their
+  // durability regime AND the device behind it (an fdatasync is ~100x
+  // cheaper on tmpfs than on a journaling filesystem).
+  std::string wal_fsync;
+  std::string wal_dir;
 };
 
 void EmitJson(FILE* out, const BenchConfig& config, bool bit_identical,
@@ -385,6 +404,9 @@ void EmitJson(FILE* out, const BenchConfig& config, bool bit_identical,
   json.Field("transport", config.transport);
   json.Field("batch", config.batch);
   json.Field("buy_pct", config.buy_pct);
+  json.Field("wal_fsync",
+             config.wal_fsync.empty() ? std::string("off") : config.wal_fsync);
+  if (!config.wal_dir.empty()) json.Field("wal_dir", config.wal_dir);
   json.Field("shards", config.shards);
   json.Field("hardware_concurrency",
              static_cast<size_t>(std::thread::hardware_concurrency()));
@@ -459,6 +481,12 @@ void EmitJson(FILE* out, const BenchConfig& config, bool bit_identical,
              server_stats.fulfillment_latency.QuantileMicros(0.5));
   json.Field("fulfillment_p99_us",
              server_stats.fulfillment_latency.QuantileMicros(0.99));
+  json.Field("wal_appends", server_stats.wal_appends);
+  json.Field("wal_fsyncs", server_stats.wal_fsyncs);
+  json.Field("wal_bytes", server_stats.wal_bytes);
+  json.Field("recovery_records", server_stats.recovery_records);
+  json.Field("recovery_torn_tail", server_stats.recovery_torn_tail);
+  json.Field("recovery_ms", server_stats.recovery_ms);
   EmitHistogramFields(&json, server_stats.latency);
   json.EndObject();
   json.EndObject();
@@ -582,9 +610,34 @@ int main(int argc, char** argv) {
   serving::PriceQueryEngine engine(&registry);
   // The purchase_mix regime sells through the in-process server; the
   // engine is cheap to stand up (models train lazily on first BUY).
+  // --wal-dir + --wal-fsync make the sale ledger durable, so the regime
+  // measures the charge-durable-then-deliver BUY path — the fsync-policy
+  // p99 cost the durability section of BENCH_net.json records.
   std::unique_ptr<serving::FulfillmentEngine> fulfillment;
   if (config.buy_pct > 0 && endpoints_csv.empty()) {
     fulfillment = std::make_unique<serving::FulfillmentEngine>(&registry);
+    const std::string wal_dir =
+        bench::FlagString(argc, argv, "wal-dir", "");
+    if (!wal_dir.empty()) {
+      wal::WalOptions wal_options;
+      const std::string fsync_name =
+          bench::FlagString(argc, argv, "wal-fsync", "batch");
+      if (!wal::ParseFsyncPolicy(fsync_name, &wal_options.fsync_policy)) {
+        std::fprintf(stderr,
+                     "--wal-fsync must be none|batch|every (got %s)\n",
+                     fsync_name.c_str());
+        return 1;
+      }
+      const Status opened =
+          fulfillment->OpenDurableLedger(wal_dir, wal_options);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "sale ledger open failed: %s\n",
+                     opened.ToString().c_str());
+        return 1;
+      }
+      config.wal_fsync = fsync_name;
+      config.wal_dir = wal_dir;
+    }
   }
   std::unique_ptr<net::PriceServer> server;
   std::vector<net::Endpoint> endpoints;

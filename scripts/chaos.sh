@@ -82,4 +82,15 @@ cmake --build "$ASAN_DIR" -j "$(nproc)" --target mbp_fleet_test
 MBP_CHAOS_SEED=12648430 \
   "$ASAN_DIR/tests/mbp_fleet_test" --gtest_filter='NetFleetTest.*'
 
+echo "[chaos] === pass 5: crash-recovery, fixed seed (asan) ==="
+# One fixed-seed pass of the kill-9 recovery harness (DESIGN.md §5j):
+# SIGKILL the durable shard under BUY load, restart on the same WAL
+# directory, and hold no-lost-sale / no-double-charge / bit-identical
+# replay. The deep sweep (every-byte WAL fuzz, named crash points, more
+# seeds and cycles) lives in scripts/crash_chaos.sh.
+cmake --build "$ASAN_DIR" -j "$(nproc)" --target mbp_crash_recovery_test
+MBP_CHAOS_SEED=12648430 MBP_CRASH_CYCLES=20 \
+  "$ASAN_DIR/tests/mbp_crash_recovery_test" \
+  --gtest_filter='CrashRecoveryTest.RandomKillNineCyclesLoseNoAckedSale'
+
 echo "[chaos] all passes clean (seeds: ${SEEDS[*]})"

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Kill-9 recovery chaos harness (DESIGN.md §5j): builds under
+# AddressSanitizer, then
+#   1. fuzzes the WAL recovery path — truncation AND bit-flip at every
+#      byte offset, plus the in-process crash-point suite (fork children
+#      that _exit(137) at wal.append.torn / pre-fsync / post-fsync /
+#      checkpoint-pre-rename boundaries);
+#   2. runs the process-level harness: fork/exec the real
+#      mbp_catalog_shard with --wal-dir, SIGKILL it under BUY load and at
+#      armed crash points, restart it, and hold the invariants — no
+#      acked sale lost, no double charge, bit-identical replays, revenue
+#      equal to the distinct recorded sales.
+# Every run prints its seed; replay any failure with
+# MBP_CHAOS_SEED=<seed> scripts/crash_chaos.sh.
+#
+# Usage:
+#   scripts/crash_chaos.sh [extra_seed ...]
+# Env:
+#   MBP_CHAOS_SEED   when set, used INSTEAD of the randomized seed.
+#   MBP_CRASH_CYCLES random SIGKILL/restart cycles per seed (default 20,
+#                    the acceptance floor).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CYCLES="${MBP_CRASH_CYCLES:-20}"
+FIXED_SEEDS=(12648430 424242)
+if [[ -n "${MBP_CHAOS_SEED:-}" ]]; then
+  RANDOM_SEED="$MBP_CHAOS_SEED"
+  echo "[crash-chaos] replaying with MBP_CHAOS_SEED=$RANDOM_SEED"
+else
+  RANDOM_SEED="$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')"
+  echo "[crash-chaos] randomized seed for this run: $RANDOM_SEED (replay with MBP_CHAOS_SEED=$RANDOM_SEED)"
+fi
+SEEDS=("${FIXED_SEEDS[@]}" "$@" "$RANDOM_SEED")
+
+ASAN_DIR="$ROOT/build-asan"
+cmake -B "$ASAN_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMBP_SANITIZE=address \
+  -DMBP_BUILD_BENCHMARKS=OFF \
+  -DMBP_BUILD_EXAMPLES=OFF
+cmake --build "$ASAN_DIR" -j "$(nproc)" \
+  --target mbp_common_test mbp_crash_recovery_test
+
+echo "[crash-chaos] === pass 1: WAL torn-tail + bit-rot fuzz (asan) ==="
+# Truncation and single-bit corruption at EVERY byte offset of a recorded
+# log, segment rotation, group commit, and the fork-based crash points.
+"$ASAN_DIR/tests/mbp_common_test" \
+  --gtest_filter='WalTest.*:WalFuzzTest.*:WalCrashTest.*'
+
+echo "[crash-chaos] === pass 2: named crash points, real shard ==="
+# Deterministic kill-9 at the charge-durable-then-deliver boundaries:
+# torn append, post-fsync-pre-ack, plus the graceful-drain contract.
+"$ASAN_DIR/tests/mbp_crash_recovery_test" \
+  --gtest_filter='CrashRecoveryTest.GracefulDrain*:CrashRecoveryTest.PostFsync*:CrashRecoveryTest.TornWrite*'
+
+echo "[crash-chaos] === pass 3: random SIGKILL/restart cycles ==="
+for seed in "${SEEDS[@]}"; do
+  echo "[crash-chaos] $CYCLES kill-9 cycles, MBP_CHAOS_SEED=$seed"
+  MBP_CHAOS_SEED="$seed" MBP_CRASH_CYCLES="$CYCLES" \
+    "$ASAN_DIR/tests/mbp_crash_recovery_test" \
+    --gtest_filter='CrashRecoveryTest.RandomKillNineCyclesLoseNoAckedSale'
+done
+
+echo "[crash-chaos] all passes clean (seeds: ${SEEDS[*]}, cycles: $CYCLES)"

@@ -1,5 +1,7 @@
 #include "common/fault_injection.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <map>
@@ -110,6 +112,10 @@ uint64_t FaultInjector::MaybeDelay(std::string_view point) {
   if (!ShouldFire(point) || delay == 0) return 0;
   std::this_thread::sleep_for(std::chrono::microseconds(delay));
   return delay;
+}
+
+void FaultInjector::MaybeCrash(std::string_view point) {
+  if (ShouldFire(point)) _exit(137);
 }
 
 std::vector<PointStats> FaultInjector::Stats() const {

@@ -122,6 +122,13 @@ class FaultInjector {
   // injected (0 when the point did not fire).
   uint64_t MaybeDelay(std::string_view point);
 
+  // The crash action (DESIGN.md §5j): when the point fires, the process
+  // dies ON THE SPOT via _exit(137) — no atexit handlers, no flushes, no
+  // destructors, exactly the footprint of kill -9 — so crash-recovery
+  // suites can park a death at a named instruction boundary (mid-write,
+  // pre-fsync, post-fsync-pre-ack) instead of racing a signal.
+  void MaybeCrash(std::string_view point);
+
   // Total fires across every point (cheap; served via STATS).
   uint64_t TotalFires() const {
     return total_fires_.load(std::memory_order_relaxed);
@@ -151,14 +158,19 @@ class FaultInjector {
 // and fires this hit. MBP_FAULT_DELAY sleeps instead of reporting.
 // Both compile to constants when MBP_FAULT_INJECTION=OFF, so release
 // builds carry no trace of the framework.
+// MBP_FAULT_CRASH("wal.crash.pre_fsync"): _exit(137) when the named
+// point is armed and fires — the kill-9-at-a-named-boundary primitive.
 #if defined(MBP_FAULT_INJECTION_ENABLED)
 #define MBP_FAULT_POINT(name) \
   (::mbp::fault::FaultInjector::Global().ShouldFire(name))
 #define MBP_FAULT_DELAY(name) \
   (::mbp::fault::FaultInjector::Global().MaybeDelay(name))
+#define MBP_FAULT_CRASH(name) \
+  (::mbp::fault::FaultInjector::Global().MaybeCrash(name))
 #else
 #define MBP_FAULT_POINT(name) (false)
 #define MBP_FAULT_DELAY(name) (uint64_t{0})
+#define MBP_FAULT_CRASH(name) ((void)0)
 #endif
 
 #endif  // MBP_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,178 @@
+#ifndef MBP_COMMON_WAL_H_
+#define MBP_COMMON_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/metrics.h"
+#include "common/statusor.h"
+
+namespace mbp::wal {
+
+// Segmented append-only write-ahead log (DESIGN.md §5j): the durability
+// primitive under the sale ledger and the catalog publish journal.
+//
+// On-disk format reuses the §5d frame discipline: every record is
+//
+//   offset  size  field
+//   0       4     len       payload bytes (1 <= len <= kMaxRecordBytes)
+//   4       4     checksum  FNV-1a-32 over the payload bytes
+//   8       len   payload   opaque to the WAL; callers own the encoding
+//
+// little-endian, written with ONE write() so a crash tears at most the
+// tail of the last record. Records live in segment files
+// "wal-<seq>.seg" that rotate past segment_bytes; a checkpoint
+// "ckpt-<seq>.ckpt" holds one application-state record subsuming every
+// segment with a smaller sequence number (those are deleted — the
+// compaction step).
+//
+// Recovery contract (the torn-tail discipline): Open() picks the newest
+// checkpoint whose record validates, then replays the surviving segments
+// in sequence order. Replay admits the LONGEST VALID PREFIX of records:
+// the first record whose length is implausible or whose checksum fails
+// — a torn tail from a mid-write crash, or bit rot — stops replay, the
+// file is truncated at the last valid record, and later segments are
+// dropped. A corrupt record is NEVER surfaced to the replay callback,
+// and no record before the damage is ever lost.
+//
+// Durability contract: Append() returns only once the record is durable
+// under the configured fsync policy —
+//   kEveryRecord  fdatasync before every return: an acked append
+//                 survives kill -9 AND power loss;
+//   kBatch        group commit: the first appender in a window becomes
+//                 the sync leader and fdatasyncs ONCE for every record
+//                 written while its flush was in flight; concurrent
+//                 appenders block until a sync covers their record.
+//                 Same guarantee as kEveryRecord at a fraction of the
+//                 fdatasync count under concurrency;
+//   kNone         no fsync on the append path (the OS flushes lazily):
+//                 survives process death (kill -9) because the page
+//                 cache is kernel-owned, but NOT power loss. The chaos
+//                 harness runs under this truth: SIGKILL never loses a
+//                 written record, pulled power may.
+//
+// Thread safety: Append/Sync/Checkpoint may race from any thread.
+// Open() is exclusive (single process, single instance per directory).
+
+inline constexpr size_t kWalHeaderBytes = 8;
+// Segment records stay small (one sale, one publish): 1MiB is the
+// implausible-length bound torn-tail detection leans on. Checkpoint
+// state is a whole-application snapshot (e.g. every listing in a §5g
+// catalog) and scales with it, so it gets its own, far looser bound.
+inline constexpr size_t kMaxWalRecordBytes = size_t{1} << 20;
+inline constexpr size_t kMaxWalCheckpointBytes = size_t{1} << 30;
+
+enum class FsyncPolicy : uint8_t {
+  kNone = 0,
+  kBatch = 1,
+  kEveryRecord = 2,
+};
+
+// "none" / "batch" / "every"; false on anything else.
+bool ParseFsyncPolicy(std::string_view name, FsyncPolicy* out);
+std::string_view FsyncPolicyName(FsyncPolicy policy);
+
+struct WalOptions {
+  // Rotate to a fresh segment once the current one reaches this size.
+  size_t segment_bytes = size_t{4} << 20;
+  FsyncPolicy fsync_policy = FsyncPolicy::kBatch;
+};
+
+// What Open() found on disk, surfaced on the READY line and via STATS.
+struct WalRecovery {
+  // Payload of the newest valid checkpoint, empty when none was found.
+  std::string checkpoint;
+  bool has_checkpoint = false;
+  // Records replayed from segment files (0 after a clean Shutdown()
+  // checkpoint — the "skips segment replay" observable).
+  uint64_t records_replayed = 0;
+  // Damage events: torn tails truncated + corrupt records rejected.
+  uint64_t torn_tail = 0;
+  // Bytes dropped by truncation (the torn tail itself).
+  uint64_t truncated_bytes = 0;
+  uint64_t recovery_micros = 0;
+};
+
+class Wal {
+ public:
+  // Opens (creating the directory if needed) and recovers the log at
+  // `dir`: the newest valid checkpoint payload lands in
+  // recovery->checkpoint, then `replay` is called once per surviving
+  // segment record, in append order. The returned Wal appends after the
+  // last valid record.
+  static StatusOr<std::unique_ptr<Wal>> Open(
+      const std::string& dir, const WalOptions& options,
+      const std::function<void(std::string_view)>& replay,
+      WalRecovery* recovery = nullptr);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Appends one record; on return the record is durable per the fsync
+  // policy. Thread-safe (group commit under kBatch).
+  Status Append(std::string_view payload);
+
+  // Forces everything appended so far to disk (fdatasync), regardless of
+  // policy. No-op when nothing is unsynced.
+  Status Sync();
+
+  // Writes `state` as a new checkpoint (tmp + fsync + rename + directory
+  // fsync, so a crash mid-checkpoint falls back to the previous one),
+  // then deletes the segments and checkpoints it subsumes. After a
+  // checkpoint the next Open() replays only records appended after it —
+  // a clean-shutdown checkpoint makes the next start replay ZERO
+  // segment records.
+  Status Checkpoint(std::string_view state);
+
+  const WalRecovery& recovery() const { return recovery_; }
+  const std::string& dir() const { return dir_; }
+
+  uint64_t appends() const { return appends_.Value(); }
+  uint64_t fsyncs() const { return fsyncs_.Value(); }
+  uint64_t bytes_appended() const { return bytes_.Value(); }
+  uint64_t checkpoints() const { return checkpoints_.Value(); }
+
+ private:
+  Wal(std::string dir, WalOptions options);
+
+  // Opens segment `seq` for appending (creating it), closing the current
+  // one first. Mutex must be held.
+  Status OpenSegmentLocked(uint64_t seq);
+  // Seals + fsyncs the current segment and opens the next. Mutex held
+  // via `lock` (briefly released to wait out an in-flight group sync).
+  Status RotateLocked(std::unique_lock<std::mutex>* lock);
+  // The group-commit core: returns once `lsn` is covered by a sync (or
+  // immediately under kNone). Mutex held on entry and exit.
+  Status WaitDurableLocked(std::unique_lock<std::mutex>* lock, uint64_t lsn);
+  Status FdatasyncLocked();
+
+  const std::string dir_;
+  const WalOptions options_;
+  WalRecovery recovery_;
+
+  Counter appends_;
+  Counter fsyncs_;
+  Counter bytes_;
+  Counter checkpoints_;
+
+  std::mutex mutex_;
+  std::condition_variable synced_cv_;
+  int fd_ = -1;            // current segment
+  uint64_t segment_seq_ = 0;
+  size_t segment_size_ = 0;
+  std::string scratch_;    // frame assembly buffer (header + payload)
+  uint64_t last_lsn_ = 0;  // appended records, monotone
+  uint64_t synced_lsn_ = 0;
+  bool sync_in_flight_ = false;
+  Status sync_error_ = Status::OK();  // sticky: a failed fsync poisons the log
+};
+
+}  // namespace mbp::wal
+
+#endif  // MBP_COMMON_WAL_H_

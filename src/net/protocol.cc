@@ -291,9 +291,9 @@ size_t EncodedResponseSize(const Response& response) {
     case Verb::kStats: {
       const StatsPayload& s = response.stats;
       // 19 v3 u64s, 7 per-verb counters, 7 fulfillment u64s, revenue f64,
-      // 3 histograms, fault list.
+      // 6 v5 durability u64s, 3 histograms, fault list.
       size_t size =
-          kHeaderBytes + 33 * 8 + 8 + 3 * kHistogramWireBytes + 1;
+          kHeaderBytes + 39 * 8 + 8 + 3 * kHistogramWireBytes + 1;
       const size_t num_faults = std::min<size_t>(s.faults.size(), 255);
       for (size_t i = 0; i < num_faults; ++i) {
         size += 1 + std::min<size_t>(s.faults[i].point.size(), 255) + 8;
@@ -399,6 +399,13 @@ size_t EncodeResponseInto(const Response& response, uint8_t* out) {
         w.U64(s.model_cache_evictions);
         w.U64(s.transactions_recorded);
         w.F64(s.revenue);
+        // v5: durability block.
+        w.U64(s.wal_appends);
+        w.U64(s.wal_fsyncs);
+        w.U64(s.wal_bytes);
+        w.U64(s.recovery_records);
+        w.U64(s.recovery_torn_tail);
+        w.U64(s.recovery_ms);
         w.Histogram(s.latency);
         w.Histogram(s.write_queue_bytes);
         w.Histogram(s.fulfillment_latency);
@@ -661,6 +668,12 @@ StatusOr<size_t> DecodeResponse(const uint8_t* data, size_t size,
         MBP_RETURN_IF_ERROR(reader.U64(&s.model_cache_evictions));
         MBP_RETURN_IF_ERROR(reader.U64(&s.transactions_recorded));
         MBP_RETURN_IF_ERROR(reader.F64(&s.revenue));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.wal_appends));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.wal_fsyncs));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.wal_bytes));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.recovery_records));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.recovery_torn_tail));
+        MBP_RETURN_IF_ERROR(reader.U64(&s.recovery_ms));
         MBP_RETURN_IF_ERROR(reader.Histogram(&s.latency));
         MBP_RETURN_IF_ERROR(reader.Histogram(&s.write_queue_bytes));
         MBP_RETURN_IF_ERROR(reader.Histogram(&s.fulfillment_latency));

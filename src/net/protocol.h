@@ -52,10 +52,11 @@ namespace mbp::net {
 // SQEs, shm doorbell wakes — DESIGN.md §5h); v4 added the fulfillment
 // verbs QUOTE/BUY/REPLAY with their multi-KB model payloads and appended
 // the per-verb request counters + fulfillment block to STATS (DESIGN.md
-// §5i). The version byte is checked for exact equality on both sides, so
-// mismatched processes refuse each other's frames instead of misparsing
-// them.
-inline constexpr uint8_t kProtocolVersion = 4;
+// §5i); v5 appended the durability block (WAL append/fsync/byte counters
+// and what the last recovery found — DESIGN.md §5j). The version byte is
+// checked for exact equality on both sides, so mismatched processes
+// refuse each other's frames instead of misparsing them.
+inline constexpr uint8_t kProtocolVersion = 5;
 inline constexpr size_t kHeaderBytes = 20;
 // Hard cap on a whole frame (header + payload): bounds every per-
 // connection buffer and rejects absurd length prefixes before allocating.
@@ -209,6 +210,15 @@ struct StatsPayload {
   uint64_t model_cache_evictions = 0;
   uint64_t transactions_recorded = 0;  // ledger size (replayable sales)
   double revenue = 0.0;                // summed charged prices
+  // Durability block (v5, DESIGN.md §5j): the sale-ledger WAL's lifetime
+  // counters plus what the LAST recovery found on disk. All zero when
+  // the shard runs without --wal-dir.
+  uint64_t wal_appends = 0;        // durable sale records written
+  uint64_t wal_fsyncs = 0;         // fdatasync calls (group commit batches)
+  uint64_t wal_bytes = 0;          // bytes appended (frames included)
+  uint64_t recovery_records = 0;   // segment records replayed at startup
+  uint64_t recovery_torn_tail = 0; // torn tails truncated / rot rejected
+  uint64_t recovery_ms = 0;        // recovery wall time, rounded up
   LatencyHistogramSnapshot latency;
   // log2-bucket histogram over pending write-queue bytes, sampled at
   // every response enqueue (bucket i = [2^(i-1), 2^i) bytes).

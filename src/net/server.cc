@@ -323,6 +323,12 @@ StatsPayload PriceServer::stats() const {
     s.model_cache_evictions = f.model_cache_evictions;
     s.transactions_recorded = f.transactions_recorded;
     s.revenue = f.revenue;
+    s.wal_appends = f.wal_appends;
+    s.wal_fsyncs = f.wal_fsyncs;
+    s.wal_bytes = f.wal_bytes;
+    s.recovery_records = f.recovery_records;
+    s.recovery_torn_tail = f.recovery_torn_tail;
+    s.recovery_ms = f.recovery_ms;
     s.fulfillment_latency = f.latency;
   }
   s.catalog_listings = engine_->registry().resident_listings();

@@ -1,0 +1,192 @@
+#include "serving/catalog_journal.h"
+
+#include <cstring>
+#include <utility>
+
+namespace mbp::serving {
+namespace {
+
+template <typename T>
+void AppendScalar(std::string* out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool ReadScalar(std::string_view* in, T* value) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(value, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+std::string CatalogJournal::EncodeSpec(
+    std::string_view curve_id, const std::vector<core::PricePoint>& points) {
+  std::string out;
+  out.reserve(4 + curve_id.size() + 8 + 16 * points.size());
+  AppendScalar(&out, static_cast<uint32_t>(curve_id.size()));
+  out.append(curve_id);
+  AppendScalar(&out, static_cast<uint64_t>(points.size()));
+  for (const core::PricePoint& point : points) {
+    AppendScalar(&out, point.x);
+    AppendScalar(&out, point.price);
+  }
+  return out;
+}
+
+bool CatalogJournal::DecodeSpec(std::string_view bytes, std::string* curve_id,
+                                std::vector<core::PricePoint>* points) {
+  uint32_t id_size = 0;
+  if (!ReadScalar(&bytes, &id_size) || bytes.size() < id_size) return false;
+  curve_id->assign(bytes.substr(0, id_size));
+  bytes.remove_prefix(id_size);
+  uint64_t knots = 0;
+  if (!ReadScalar(&bytes, &knots)) return false;
+  if (bytes.size() != knots * 16) return false;
+  points->clear();
+  points->reserve(knots);
+  for (uint64_t i = 0; i < knots; ++i) {
+    core::PricePoint point;
+    ReadScalar(&bytes, &point.x);
+    ReadScalar(&bytes, &point.price);
+    points->push_back(point);
+  }
+  return !curve_id->empty();
+}
+
+CatalogJournal::CatalogJournal(CatalogRegistry* registry)
+    : registry_(registry) {}
+
+Status CatalogJournal::ApplySpecLocked(const std::string& curve_id,
+                                       std::vector<core::PricePoint> points) {
+  if (points.empty()) {
+    // Tombstone. Withdrawing an id the registry never saw is a no-op
+    // (replay may see a tombstone whose publish was checkpoint-compacted
+    // away together with it).
+    if (specs_.erase(curve_id) > 0) (void)registry_->Withdraw(curve_id);
+    return Status::OK();
+  }
+  MBP_ASSIGN_OR_RETURN(core::PiecewiseLinearPricing curve,
+                       core::PiecewiseLinearPricing::Create(points));
+  MBP_ASSIGN_OR_RETURN(const CatalogRegistry::CurveSlot* slot,
+                       registry_->Publish(curve_id, curve));
+  (void)slot;
+  if (specs_.find(curve_id) == specs_.end()) order_.push_back(curve_id);
+  specs_[curve_id] = std::move(points);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<CatalogJournal>> CatalogJournal::Open(
+    const std::string& dir, const wal::WalOptions& options,
+    CatalogRegistry* registry, wal::WalRecovery* recovery) {
+  std::unique_ptr<CatalogJournal> journal(new CatalogJournal(registry));
+  // Buffer segment records so the checkpoint (available once Open
+  // returns) applies first; single-threaded, so no locks yet.
+  std::vector<std::string> segment_records;
+  auto opened = wal::Wal::Open(
+      dir, options,
+      [&segment_records](std::string_view payload) {
+        segment_records.emplace_back(payload);
+      },
+      &journal->recovery_);
+  if (!opened.ok()) return opened.status();
+  journal->wal_ = std::move(opened).value();
+
+  const auto apply = [&journal](std::string_view bytes) -> Status {
+    std::string curve_id;
+    std::vector<core::PricePoint> points;
+    if (!DecodeSpec(bytes, &curve_id, &points)) {
+      // Checksummed but undecodable: version skew or a writer bug —
+      // refuse to serve a catalog we cannot faithfully rebuild.
+      return InternalError("catalog journal record is malformed");
+    }
+    return journal->ApplySpecLocked(curve_id, std::move(points));
+  };
+  if (journal->recovery_.has_checkpoint) {
+    std::string_view in = journal->recovery_.checkpoint;
+    uint64_t count = 0;
+    if (!ReadScalar(&in, &count)) {
+      return InternalError("catalog journal checkpoint is malformed");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t size = 0;
+      if (!ReadScalar(&in, &size) || in.size() < size) {
+        return InternalError("catalog journal checkpoint is malformed");
+      }
+      MBP_RETURN_IF_ERROR(apply(in.substr(0, size)));
+      in.remove_prefix(size);
+    }
+  }
+  for (const std::string& bytes : segment_records) {
+    MBP_RETURN_IF_ERROR(apply(bytes));
+  }
+  if (recovery != nullptr) *recovery = journal->recovery_;
+  return journal;
+}
+
+StatusOr<const CatalogRegistry::CurveSlot*> CatalogJournal::Publish(
+    const std::string& curve_id, const core::PiecewiseLinearPricing& curve) {
+  if (curve_id.empty()) {
+    return InvalidArgumentError("curve id must be non-empty");
+  }
+  if (curve.points().empty()) {
+    return InvalidArgumentError("curve must have at least one knot");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Compile-validate BEFORE journaling: a spec the registry would reject
+  // must never enter the journal, or replay would refuse the whole log
+  // on the next open. The registry compiles again below — publishes are
+  // a control-path cost, not a request-path one.
+  MBP_RETURN_IF_ERROR(PricingSnapshot::Compile(curve).status());
+  // Journal, then publish: an acked publish is durable, and a crash
+  // between the two replays the publish on the next open (idempotent) —
+  // a listing can appear a restart early, never vanish after its ack.
+  MBP_RETURN_IF_ERROR(
+      wal_->Append(EncodeSpec(curve_id, curve.points())));
+  MBP_ASSIGN_OR_RETURN(const CatalogRegistry::CurveSlot* slot,
+                       registry_->Publish(curve_id, curve));
+  if (specs_.find(curve_id) == specs_.end()) order_.push_back(curve_id);
+  specs_[curve_id] = curve.points();
+  return slot;
+}
+
+Status CatalogJournal::Withdraw(const std::string& curve_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (specs_.find(curve_id) == specs_.end()) {
+    return NotFoundError("curve is not journaled");
+  }
+  MBP_RETURN_IF_ERROR(wal_->Append(EncodeSpec(curve_id, {})));
+  specs_.erase(curve_id);
+  return registry_->Withdraw(curve_id);
+}
+
+Status CatalogJournal::Checkpoint() {
+  // Held across the WAL checkpoint so no publish can append to a segment
+  // the checkpoint is about to compact away (same discipline as the sale
+  // ledger's CheckpointLedger).
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string state;
+  uint64_t live = 0;
+  for (const std::string& curve_id : order_) {
+    live += specs_.find(curve_id) != specs_.end();
+  }
+  AppendScalar(&state, live);
+  for (const std::string& curve_id : order_) {
+    const auto it = specs_.find(curve_id);
+    if (it == specs_.end()) continue;  // withdrawn
+    const std::string encoded = EncodeSpec(curve_id, it->second);
+    AppendScalar(&state, static_cast<uint32_t>(encoded.size()));
+    state.append(encoded);
+  }
+  return wal_->Checkpoint(state);
+}
+
+size_t CatalogJournal::listings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return specs_.size();
+}
+
+}  // namespace mbp::serving

@@ -1,0 +1,93 @@
+#ifndef MBP_SERVING_CATALOG_JOURNAL_H_
+#define MBP_SERVING_CATALOG_JOURNAL_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/wal.h"
+#include "core/pricing_function.h"
+#include "serving/catalog_registry.h"
+
+namespace mbp::serving {
+
+// Journaled catalog publishes (DESIGN.md §5j): every Publish() writes the
+// curve SPEC — the listing id and its piecewise-linear knots — to a
+// write-ahead log before it reaches the registry, so a restarted
+// mbp_catalog_shard rebuilds exactly the listings it had published
+// (ring-owned share included) by replaying the journal instead of
+// trusting whoever configured the new process to pass the same flags.
+//
+// Journal-then-publish ordering: a crash between the append and the
+// registry publish replays the publish on the next open — publishing is
+// idempotent, so the failure mode is a listing that exists a restart
+// early, never one that silently vanished after being acked.
+//
+// Withdraw() journals a tombstone (a record with zero knots); replay
+// applies publishes and withdrawals in order, so the recovered registry
+// converges to the pre-crash catalog. Checkpoint() serializes the latest
+// spec per surviving id and compacts the log — the clean-shutdown path
+// that makes the next open replay zero segment records.
+class CatalogJournal {
+ public:
+  // Opens (recovering) the journal at `dir` and republishes every
+  // journaled listing into `registry`. `registry` must outlive the
+  // journal. Replayed listing ids are also retained in the journal's
+  // in-memory spec map (the checkpoint source).
+  static StatusOr<std::unique_ptr<CatalogJournal>> Open(
+      const std::string& dir, const wal::WalOptions& options,
+      CatalogRegistry* registry, wal::WalRecovery* recovery = nullptr);
+
+  // Journals the (id, curve) spec durably, then publishes it into the
+  // registry. On journal failure nothing is published.
+  StatusOr<const CatalogRegistry::CurveSlot*> Publish(
+      const std::string& curve_id, const core::PiecewiseLinearPricing& curve);
+
+  // Journals a tombstone, then withdraws the listing from the registry.
+  Status Withdraw(const std::string& curve_id);
+
+  // Serializes the live specs as a WAL checkpoint and compacts.
+  Status Checkpoint();
+
+  // Listings the journal currently carries (live specs, tombstones
+  // excluded) — the count the next open will republish.
+  size_t listings() const;
+
+  const wal::Wal& wal() const { return *wal_; }
+  const wal::WalRecovery& recovery() const { return recovery_; }
+
+  // Wire codec of one journal record (public for tests): u32 id_len |
+  // id | u64 knots | (f64 x, f64 price) * knots, little-endian. Zero
+  // knots = tombstone.
+  static std::string EncodeSpec(std::string_view curve_id,
+                                const std::vector<core::PricePoint>& points);
+  static bool DecodeSpec(std::string_view bytes, std::string* curve_id,
+                         std::vector<core::PricePoint>* points);
+
+ private:
+  CatalogJournal(CatalogRegistry* registry);
+
+  // Applies one decoded record to the registry + spec map. Used by both
+  // replay and the live paths; mutex_ must be held (or replay be
+  // single-threaded).
+  Status ApplySpecLocked(const std::string& curve_id,
+                         std::vector<core::PricePoint> points);
+
+  CatalogRegistry* const registry_;
+  std::unique_ptr<wal::Wal> wal_;
+  wal::WalRecovery recovery_;
+
+  mutable std::mutex mutex_;
+  // Latest journaled spec per live id (erased on withdrawal), plus the
+  // first-publish order so checkpoints serialize deterministically.
+  std::unordered_map<std::string, std::vector<core::PricePoint>> specs_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace mbp::serving
+
+#endif  // MBP_SERVING_CATALOG_JOURNAL_H_

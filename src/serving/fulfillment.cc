@@ -24,6 +24,22 @@ uint64_t Fnv1a64(std::string_view bytes) {
   return hash;
 }
 
+// Little-endian scalar append/read for the durable-record codecs.
+template <typename T>
+void AppendScalar(std::string* out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool ReadScalar(std::string_view* in, T* value) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(value, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+
 }  // namespace
 
 // --------------------------------------------------- ModelInstanceCache
@@ -280,6 +296,30 @@ StatusOr<Sale> FulfillmentEngine::Buy(std::string_view curve_id,
   if (lost_insert_race) {
     return DeliverRecorded(raced_record);
   }
+  if (wal_ != nullptr) {
+    // Charge-durable-then-deliver: the sale record hits the log (and,
+    // per the fsync policy, the disk) BEFORE this Buy returns bytes, so
+    // an acked sale survives kill -9. Append runs outside ledger_mutex_
+    // — group commit may block on a peer's fdatasync. On append failure
+    // the charge is rolled back and the buyer sees the error; a
+    // concurrent retry that raced the rollback was delivered a sale that
+    // never became durable, which is exactly the un-acked case recovery
+    // already tolerates.
+    const Status appended =
+        wal_->Append(EncodeSaleRecord(sale.record, curve_id));
+    if (!appended.ok()) {
+      std::lock_guard<std::mutex> lock(ledger_mutex_);
+      ledger_.erase(txn_id);
+      for (auto it = ledger_fifo_.rbegin(); it != ledger_fifo_.rend(); ++it) {
+        if (*it == txn_id) {
+          ledger_fifo_.erase(std::next(it).base());
+          break;
+        }
+      }
+      revenue_ -= price;
+      return appended;
+    }
+  }
   buys_ok_.Increment();
   fulfillment_latency_.Record(
       static_cast<double>(CatalogRegistry::NowMicros() - start_micros));
@@ -287,6 +327,12 @@ StatusOr<Sale> FulfillmentEngine::Buy(std::string_view curve_id,
 }
 
 StatusOr<Sale> FulfillmentEngine::DeliverRecorded(const SaleRecord& record) {
+  if (record.curve_ref == kInvalidCurveRef) {
+    // A recovered sale whose curve was never republished: the charge
+    // stands (revenue counted it) but there is no training set to
+    // rebuild the delivery from until the listing returns.
+    return NotFoundError("recorded sale's curve is not in the catalog");
+  }
   // Pure recomputation: the base model rebuilds bit-identically even if
   // it was evicted (synthetic dataset + closed-form trainer), and the
   // noise stream restarts from the same per-transaction seed. The curve's
@@ -323,12 +369,162 @@ FulfillmentStats FulfillmentEngine::Stats() const {
   stats.model_cache_misses = model_cache_.misses();
   stats.model_cache_evictions = model_cache_.evictions();
   stats.latency = fulfillment_latency_.Snapshot();
+  if (wal_ != nullptr) {
+    stats.wal_appends = wal_->appends();
+    stats.wal_fsyncs = wal_->fsyncs();
+    stats.wal_bytes = wal_->bytes_appended();
+    stats.recovery_records = wal_recovery_.records_replayed;
+    stats.recovery_torn_tail = wal_recovery_.torn_tail;
+    // Round up so a fast-but-real recovery reads as at least 1 ms.
+    stats.recovery_ms = (wal_recovery_.recovery_micros + 999) / 1000;
+  }
   {
     std::lock_guard<std::mutex> lock(ledger_mutex_);
     stats.transactions_recorded = ledger_.size();
     stats.revenue = revenue_;
   }
   return stats;
+}
+
+// ------------------------------------------------------- durable ledger
+
+std::string FulfillmentEngine::EncodeSaleRecord(const SaleRecord& record,
+                                                std::string_view curve_id) {
+  std::string out;
+  out.reserve(32 + curve_id.size());
+  AppendScalar(&out, record.txn_id);
+  AppendScalar(&out, record.delta);
+  AppendScalar(&out, record.price);
+  AppendScalar(&out, record.seed_commitment);
+  out.append(curve_id);
+  return out;
+}
+
+bool FulfillmentEngine::DecodeSaleRecord(std::string_view bytes,
+                                         SaleRecord* record,
+                                         std::string* curve_id) {
+  SaleRecord out;
+  if (!ReadScalar(&bytes, &out.txn_id) || !ReadScalar(&bytes, &out.delta) ||
+      !ReadScalar(&bytes, &out.price) ||
+      !ReadScalar(&bytes, &out.seed_commitment)) {
+    return false;
+  }
+  if (out.txn_id == 0) return false;
+  *record = out;
+  curve_id->assign(bytes);
+  return true;
+}
+
+void FulfillmentEngine::RestoreSaleLocked(const SaleRecord& record) {
+  const auto [it, inserted] = ledger_.try_emplace(record.txn_id, record);
+  if (!inserted) return;  // post-fsync-pre-ack crash + retry: same txn twice
+  ledger_fifo_.push_back(record.txn_id);
+  if (ledger_fifo_.size() > options_.max_transactions) {
+    ledger_.erase(ledger_fifo_.front());
+    ledger_fifo_.pop_front();
+  }
+  revenue_ += record.price;
+}
+
+std::string FulfillmentEngine::SerializeLedgerLocked() const {
+  std::string out;
+  AppendScalar(&out, revenue_);
+  AppendScalar(&out, static_cast<uint64_t>(ledger_fifo_.size()));
+  for (const uint64_t txn_id : ledger_fifo_) {
+    const auto it = ledger_.find(txn_id);
+    const SaleRecord& record = it->second;
+    // Invalid refs never enter the in-memory ledger (recovery keeps only
+    // resolvable curves), so KeyOf is always defined here.
+    const std::string encoded =
+        EncodeSaleRecord(record, catalog_->KeyOf(record.curve_ref));
+    AppendScalar(&out, static_cast<uint32_t>(encoded.size()));
+    out.append(encoded);
+  }
+  return out;
+}
+
+Status FulfillmentEngine::OpenDurableLedger(const std::string& dir,
+                                            const wal::WalOptions& options) {
+  if (wal_ != nullptr) {
+    return FailedPreconditionError("durable ledger is already open");
+  }
+  // Restores one encoded sale, resolving its journaled curve ID against
+  // the catalog (publishes replay before the ledger opens). `charge`
+  // distinguishes the two sources: segment records were charged
+  // individually, checkpoint records are already inside the checkpoint's
+  // revenue scalar.
+  const auto restore = [this](std::string_view bytes, bool charge) -> bool {
+    SaleRecord record;
+    std::string curve_id;
+    if (!DecodeSaleRecord(bytes, &record, &curve_id)) return false;
+    record.curve_ref = catalog_->FindRef(curve_id);
+    if (record.curve_ref == kInvalidCurveRef) {
+      // The curve vanished from the catalog across the restart: keep the
+      // charge (the sale happened) but drop the ledger entry — REPLAY of
+      // it reports NotFound exactly like a FIFO-expired transaction.
+      if (charge) revenue_ += record.price;
+      return true;
+    }
+    const double before = revenue_;
+    RestoreSaleLocked(record);
+    if (!charge) revenue_ = before;  // scalar already covers it
+    return true;
+  };
+  // Wal::Open streams segment records through the callback; buffer them
+  // so the checkpoint (the OLDER state, only available once Open
+  // returns) can be applied first. Single-threaded: serving has not
+  // started, so no locks are taken.
+  std::vector<std::string> segment_records;
+  auto opened = wal::Wal::Open(
+      dir, options,
+      [&segment_records](std::string_view payload) {
+        segment_records.emplace_back(payload);
+      },
+      &wal_recovery_);
+  if (!opened.ok()) return opened.status();
+  if (wal_recovery_.has_checkpoint) {
+    std::string_view in = wal_recovery_.checkpoint;
+    double revenue = 0.0;
+    uint64_t count = 0;
+    if (!ReadScalar(&in, &revenue) || !ReadScalar(&in, &count)) {
+      return InternalError("ledger checkpoint is malformed");
+    }
+    revenue_ = revenue;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t size = 0;
+      if (!ReadScalar(&in, &size) || in.size() < size ||
+          !restore(in.substr(0, size), /*charge=*/false)) {
+        return InternalError("ledger checkpoint is malformed");
+      }
+      in.remove_prefix(size);
+    }
+  }
+  for (const std::string& bytes : segment_records) {
+    if (!restore(bytes, /*charge=*/true)) {
+      // The WAL's checksum admitted the record, so a decode failure is
+      // version skew or a writer bug, not bit rot — refuse to serve on a
+      // ledger we cannot faithfully rebuild.
+      return InternalError("durable sale record is malformed");
+    }
+  }
+  wal_ = std::move(opened).value();
+  return Status::OK();
+}
+
+Status FulfillmentEngine::CheckpointLedger() {
+  if (wal_ == nullptr) return Status::OK();
+  // Held across the WAL checkpoint: any sale charged after this point
+  // appends to the post-rotation segment, so the checkpoint + surviving
+  // segments always cover every acked sale (no append can land in a
+  // segment the checkpoint is about to compact away).
+  std::lock_guard<std::mutex> lock(ledger_mutex_);
+  return wal_->Checkpoint(SerializeLedgerLocked());
+}
+
+Status FulfillmentEngine::Shutdown() {
+  if (wal_ == nullptr) return Status::OK();
+  MBP_RETURN_IF_ERROR(wal_->Sync());
+  return CheckpointLedger();
 }
 
 }  // namespace mbp::serving

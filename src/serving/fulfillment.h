@@ -14,6 +14,7 @@
 
 #include "common/metrics.h"
 #include "common/statusor.h"
+#include "common/wal.h"
 #include "data/synthetic.h"
 #include "linalg/vector.h"
 #include "serving/catalog_registry.h"
@@ -154,6 +155,15 @@ struct FulfillmentStats {
   uint64_t model_cache_evictions = 0;
   uint64_t transactions_recorded = 0;
   double revenue = 0.0;
+  // Durability counters (DESIGN.md §5j); all zero without a durable
+  // ledger. The recovery_* fields are what the LAST OpenDurableLedger
+  // found on disk, frozen for the process lifetime.
+  uint64_t wal_appends = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t recovery_records = 0;
+  uint64_t recovery_torn_tail = 0;
+  uint64_t recovery_ms = 0;
   LatencyHistogramSnapshot latency;  // per-BUY fulfillment latency
 };
 
@@ -185,6 +195,48 @@ class FulfillmentEngine {
   // weights, bit for bit. NotFound for transactions never recorded (or
   // FIFO-expired from the ledger).
   StatusOr<Sale> ReplaySale(uint64_t txn_id);
+
+  // Makes the sale ledger crash-safe (DESIGN.md §5j): opens (recovering)
+  // a write-ahead log at `dir` and rebuilds the ledger from its newest
+  // checkpoint plus every sale record appended after it. From then on
+  // every first-delivery Buy() appends its SaleRecord durably BEFORE the
+  // sale is returned — charge-durable-then-deliver — so a BUY retried
+  // with the same txn id across a process restart re-delivers the
+  // recorded sale, charged once. Call before serving starts (replay
+  // mutates the ledger without locks); call at most once.
+  //
+  // Recovered records are deduped by txn id (a post-fsync-pre-ack crash
+  // leaves the same sale in both a checkpoint's tail segment and a retry
+  // append); revenue accumulates once per distinct recorded sale.
+  // Recovered sales for curves absent from the catalog stay charged
+  // (revenue keeps their price) but cannot replay until republished.
+  Status OpenDurableLedger(const std::string& dir,
+                           const wal::WalOptions& options = {});
+
+  // Serializes the ledger + cumulative revenue as a WAL checkpoint, so
+  // the next OpenDurableLedger replays ZERO segment records. Blocks
+  // Buy() for the duration (the checkpoint must atomically cover every
+  // sale the compacted segments held). No-op without a durable ledger.
+  Status CheckpointLedger();
+
+  // Graceful drain: flush the WAL and write a clean checkpoint. The
+  // engine stays usable (Buy keeps appending); call from the server's
+  // shutdown path after the listening sockets close.
+  Status Shutdown();
+
+  bool durable() const { return wal_ != nullptr; }
+  // The underlying log (nullptr without a durable ledger); exposed for
+  // stats plumbing and tests.
+  const wal::Wal* wal() const { return wal_.get(); }
+
+  // Wire codec of one durable sale record (public for tests and for the
+  // recovery tooling): txn u64 | delta f64 | price f64 | commitment u64 |
+  // curve id bytes, little-endian. The curve is journaled by ID — refs
+  // are interning-order-local and do not survive a restart.
+  static std::string EncodeSaleRecord(const SaleRecord& record,
+                                      std::string_view curve_id);
+  static bool DecodeSaleRecord(std::string_view bytes, SaleRecord* record,
+                               std::string* curve_id);
 
   // The per-transaction noise seed: a HashMix64 combine of
   // (epoch_seed, txn_id). Public so tests can anchor a core::Broker with
@@ -218,12 +270,25 @@ class FulfillmentEngine {
   StatusOr<double> RedeemToken(std::string_view token, CurveRef ref,
                                double delta) const;
 
+  // Inserts `record` (deduping by txn id) and charges its price; the
+  // recovery path shared by checkpoint decode and segment replay. Caller
+  // holds ledger_mutex_ or runs before serving starts.
+  void RestoreSaleLocked(const SaleRecord& record);
+  // The ledger + revenue serialized in FIFO order — the checkpoint
+  // payload. ledger_mutex_ must be held.
+  std::string SerializeLedgerLocked() const;
+
   const CatalogRegistry* const catalog_;
   const FulfillmentOptions options_;
   const uint64_t token_secret_;
   ModelInstanceCache model_cache_;
   Counter buys_ok_;
   LatencyHistogram fulfillment_latency_;
+
+  // Durable ledger state. wal_ is set once by OpenDurableLedger (before
+  // serving) and never reset, so Buy() reads it without a lock.
+  std::unique_ptr<wal::Wal> wal_;
+  wal::WalRecovery wal_recovery_;
 
   mutable std::mutex ledger_mutex_;
   double revenue_ = 0.0;

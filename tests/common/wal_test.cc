@@ -1,0 +1,568 @@
+// Write-ahead log tests (DESIGN.md §5j): append/recover roundtrips,
+// segment rotation, checkpoint + compaction, group commit, the crash
+// points, and the torn-tail fuzz — truncate AND bit-flip a recorded log
+// at every byte offset and hold the recovery contract: the longest valid
+// prefix is admitted, a corrupt record never is, and no record before
+// the damage is ever lost. The whole suite runs under ASan via
+// scripts/crash_chaos.sh.
+
+#include "common/wal.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+
+namespace mbp::wal {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/wal_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    RemoveDir(dir_);
+  }
+
+  void TearDown() override {
+    fault::FaultInjector::Global().Reset();
+    RemoveDir(dir_);
+  }
+
+  static void RemoveDir(const std::string& dir) {
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) return;
+    while (struct dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      unlink((dir + "/" + name).c_str());
+    }
+    closedir(d);
+    rmdir(dir.c_str());
+  }
+
+  static std::vector<std::string> ListDir(const std::string& dir) {
+    std::vector<std::string> names;
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) return names;
+    while (struct dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    closedir(d);
+    return names;
+  }
+
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static void WriteAll(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // Opens the log collecting replayed records.
+  static StatusOr<std::unique_ptr<Wal>> OpenCollecting(
+      const std::string& dir, const WalOptions& options,
+      std::vector<std::string>* records, WalRecovery* recovery = nullptr) {
+    return Wal::Open(
+        dir, options,
+        [records](std::string_view payload) {
+          records->emplace_back(payload);
+        },
+        recovery);
+  }
+
+  // Deterministic varied-size payloads, incl. 1-byte and binary ones.
+  static std::string PayloadFor(size_t i) {
+    std::string payload;
+    const size_t size = 1 + (i * 37) % 97;
+    payload.reserve(size);
+    for (size_t k = 0; k < size; ++k) {
+      payload.push_back(static_cast<char>((i * 131 + k * 17) & 0xff));
+    }
+    return payload;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalTest, AppendRecoverRoundtrip) {
+  WalOptions options;
+  std::vector<std::string> expected;
+  {
+    std::vector<std::string> none;
+    auto log = OpenCollecting(dir_, options, &none);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    EXPECT_EQ(none.size(), 0u);
+    for (size_t i = 0; i < 64; ++i) {
+      expected.push_back(PayloadFor(i));
+      ASSERT_TRUE((*log)->Append(expected.back()).ok());
+    }
+    EXPECT_EQ((*log)->appends(), 64u);
+    EXPECT_GT((*log)->bytes_appended(), 64u * kWalHeaderBytes);
+  }
+  std::vector<std::string> recovered;
+  WalRecovery recovery;
+  auto log = OpenCollecting(dir_, options, &recovered, &recovery);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(recovered, expected);
+  EXPECT_EQ(recovery.records_replayed, 64u);
+  EXPECT_EQ(recovery.torn_tail, 0u);
+  EXPECT_FALSE(recovery.has_checkpoint);
+}
+
+TEST_F(WalTest, RejectsEmptyAndOversizedRecords) {
+  std::vector<std::string> none;
+  auto log = OpenCollecting(dir_, WalOptions{}, &none);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->Append("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*log)->Append(std::string(kMaxWalRecordBytes + 1, 'x')).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE((*log)->Append(std::string(1, 'x')).ok());
+}
+
+TEST_F(WalTest, SegmentRotationPreservesOrderAcrossFiles) {
+  WalOptions options;
+  options.segment_bytes = 256;  // forces many rotations
+  std::vector<std::string> expected;
+  {
+    std::vector<std::string> none;
+    auto log = OpenCollecting(dir_, options, &none);
+    ASSERT_TRUE(log.ok());
+    for (size_t i = 0; i < 100; ++i) {
+      expected.push_back(PayloadFor(i));
+      ASSERT_TRUE((*log)->Append(expected.back()).ok());
+    }
+  }
+  size_t segments = 0;
+  for (const std::string& name : ListDir(dir_)) {
+    segments += name.find(".seg") != std::string::npos;
+  }
+  EXPECT_GT(segments, 4u);
+  std::vector<std::string> recovered;
+  auto log = OpenCollecting(dir_, options, &recovered);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(recovered, expected);
+}
+
+TEST_F(WalTest, CheckpointCompactsAndSkipsSegmentReplay) {
+  WalOptions options;
+  options.segment_bytes = 256;
+  {
+    std::vector<std::string> none;
+    auto log = OpenCollecting(dir_, options, &none);
+    ASSERT_TRUE(log.ok());
+    for (size_t i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*log)->Append(PayloadFor(i)).ok());
+    }
+    ASSERT_TRUE((*log)->Checkpoint("ledger-state-v1").ok());
+    EXPECT_EQ((*log)->checkpoints(), 1u);
+  }
+  // Compaction removed the subsumed segments; only the fresh append
+  // segment and the checkpoint remain.
+  size_t segments = 0, ckpts = 0;
+  for (const std::string& name : ListDir(dir_)) {
+    segments += name.find(".seg") != std::string::npos;
+    ckpts += name.find(".ckpt") != std::string::npos;
+  }
+  EXPECT_EQ(segments, 1u);
+  EXPECT_EQ(ckpts, 1u);
+
+  std::vector<std::string> recovered;
+  WalRecovery recovery;
+  {
+    auto log = OpenCollecting(dir_, options, &recovered, &recovery);
+    ASSERT_TRUE(log.ok());
+    EXPECT_TRUE(recovery.has_checkpoint);
+    EXPECT_EQ(recovery.checkpoint, "ledger-state-v1");
+    EXPECT_EQ(recovery.records_replayed, 0u);  // clean start: no replay
+    EXPECT_EQ(recovery.torn_tail, 0u);
+    // Records appended after the checkpoint replay on the next start.
+    ASSERT_TRUE((*log)->Append("after-checkpoint").ok());
+  }
+  recovered.clear();
+  auto log = OpenCollecting(dir_, options, &recovered, &recovery);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(recovery.checkpoint, "ledger-state-v1");
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0], "after-checkpoint");
+}
+
+TEST_F(WalTest, CheckpointStateMayExceedSegmentRecordCap) {
+  // Checkpoint state is a whole-application snapshot (a §5g catalog can
+  // be many MB) and is bounded by kMaxWalCheckpointBytes, not the 1MiB
+  // segment-record cap. Regression: a 1024-curve shard drain used to
+  // fail its catalog checkpoint with InvalidArgument.
+  WalOptions options;
+  const std::string big_state(kMaxWalRecordBytes + 4096, 's');
+  {
+    std::vector<std::string> none;
+    auto log = OpenCollecting(dir_, options, &none);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append("sale-1").ok());
+    ASSERT_TRUE((*log)->Checkpoint(big_state).ok());
+    EXPECT_EQ((*log)->Checkpoint("").code(), StatusCode::kInvalidArgument);
+  }
+  std::vector<std::string> recovered;
+  WalRecovery recovery;
+  auto log = OpenCollecting(dir_, options, &recovered, &recovery);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(recovery.has_checkpoint);
+  EXPECT_EQ(recovery.checkpoint, big_state);
+  EXPECT_EQ(recovery.records_replayed, 0u);
+  EXPECT_EQ(recovery.torn_tail, 0u);
+}
+
+TEST_F(WalTest, CorruptCheckpointFallsBackToSegments) {
+  WalOptions options;
+  std::string ckpt_path;
+  {
+    std::vector<std::string> none;
+    auto log = OpenCollecting(dir_, options, &none);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append("pre").ok());
+    ASSERT_TRUE((*log)->Checkpoint("ckpt-state").ok());
+    ASSERT_TRUE((*log)->Append("post").ok());
+  }
+  for (const std::string& name : ListDir(dir_)) {
+    if (name.find(".ckpt") != std::string::npos) {
+      ckpt_path = dir_ + "/" + name;
+    }
+  }
+  ASSERT_FALSE(ckpt_path.empty());
+  std::string bytes = ReadAll(ckpt_path);
+  bytes[bytes.size() / 2] ^= 0x40;  // bit rot inside the state payload
+  WriteAll(ckpt_path, bytes);
+
+  std::vector<std::string> recovered;
+  WalRecovery recovery;
+  auto log = OpenCollecting(dir_, options, &recovered, &recovery);
+  ASSERT_TRUE(log.ok());
+  // The damaged checkpoint is rejected (counted as damage) and recovery
+  // proceeds from the surviving segments: "pre" was compacted away, the
+  // post-checkpoint segment still replays.
+  EXPECT_FALSE(recovery.has_checkpoint);
+  EXPECT_GE(recovery.torn_tail, 1u);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0], "post");
+}
+
+TEST_F(WalTest, FsyncPolicyCounters) {
+  {
+    WalOptions options;
+    options.fsync_policy = FsyncPolicy::kEveryRecord;
+    std::vector<std::string> none;
+    auto log = OpenCollecting(dir_ + ".every", options, &none);
+    ASSERT_TRUE(log.ok());
+    for (size_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*log)->Append(PayloadFor(i)).ok());
+    }
+    EXPECT_GE((*log)->fsyncs(), 10u);
+    RemoveDir(dir_ + ".every");
+  }
+  {
+    WalOptions options;
+    options.fsync_policy = FsyncPolicy::kNone;
+    std::vector<std::string> none;
+    auto log = OpenCollecting(dir_ + ".none", options, &none);
+    ASSERT_TRUE(log.ok());
+    for (size_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*log)->Append(PayloadFor(i)).ok());
+    }
+    EXPECT_EQ((*log)->fsyncs(), 0u);
+    ASSERT_TRUE((*log)->Sync().ok());  // explicit sync still works
+    EXPECT_EQ((*log)->fsyncs(), 1u);
+    RemoveDir(dir_ + ".none");
+  }
+}
+
+TEST_F(WalTest, GroupCommitBatchesFsyncsUnderConcurrency) {
+  WalOptions options;
+  options.fsync_policy = FsyncPolicy::kBatch;
+  std::vector<std::string> none;
+  auto log = OpenCollecting(dir_, options, &none);
+  ASSERT_TRUE(log.ok());
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(
+            (*log)->Append(PayloadFor(t * kPerThread + i)).ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ((*log)->appends(), kThreads * kPerThread);
+  // Group commit: every append is durable on return, yet concurrent
+  // appends share sync leaders, so fsyncs <= appends (usually far
+  // fewer). The recovery roundtrip proves none were lost.
+  EXPECT_LE((*log)->fsyncs(), (*log)->appends());
+  log->reset();
+  std::vector<std::string> recovered;
+  auto reopened = OpenCollecting(dir_, options, &recovered);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(recovered.size(), kThreads * kPerThread);
+}
+
+TEST_F(WalTest, TornTailIsTruncatedAndAppendsResume) {
+  WalOptions options;
+  std::vector<std::string> expected;
+  {
+    std::vector<std::string> none;
+    auto log = OpenCollecting(dir_, options, &none);
+    ASSERT_TRUE(log.ok());
+    for (size_t i = 0; i < 8; ++i) {
+      expected.push_back(PayloadFor(i));
+      ASSERT_TRUE((*log)->Append(expected.back()).ok());
+    }
+  }
+  // Simulate a mid-write crash: a partial frame at the tail.
+  std::string seg_path;
+  for (const std::string& name : ListDir(dir_)) {
+    if (name.find(".seg") != std::string::npos) seg_path = dir_ + "/" + name;
+  }
+  ASSERT_FALSE(seg_path.empty());
+  std::string bytes = ReadAll(seg_path);
+  const size_t intact_size = bytes.size();
+  bytes += std::string("\x40\x00\x00\x00????partial-record", 22);
+  WriteAll(seg_path, bytes);
+
+  std::vector<std::string> recovered;
+  WalRecovery recovery;
+  {
+    auto log = OpenCollecting(dir_, options, &recovered, &recovery);
+    ASSERT_TRUE(log.ok());
+    EXPECT_EQ(recovered, expected);
+    EXPECT_EQ(recovery.torn_tail, 1u);
+    EXPECT_EQ(recovery.truncated_bytes, 22u);
+    struct stat st;
+    ASSERT_EQ(stat(seg_path.c_str(), &st), 0);
+    EXPECT_EQ(static_cast<size_t>(st.st_size), intact_size);
+    ASSERT_TRUE((*log)->Append("resumed").ok());
+  }
+  recovered.clear();
+  auto log = OpenCollecting(dir_, options, &recovered, &recovery);
+  ASSERT_TRUE(log.ok());
+  expected.push_back("resumed");
+  EXPECT_EQ(recovered, expected);
+  EXPECT_EQ(recovery.torn_tail, 0u);
+}
+
+// The satellite fuzz: truncate the recorded log at EVERY byte offset and
+// bit-flip EVERY byte; recovery must admit exactly (truncation) or at
+// least (flip) the records before the damage, and never a corrupt one.
+class WalFuzzTest : public WalTest {
+ protected:
+  void BuildBaseLog() {
+    std::vector<std::string> none;
+    auto log = OpenCollecting(dir_, WalOptions{}, &none);
+    ASSERT_TRUE(log.ok());
+    for (size_t i = 0; i < 16; ++i) {
+      originals_.push_back(PayloadFor(i));
+      ASSERT_TRUE((*log)->Append(originals_.back()).ok());
+      frame_end_.push_back((frame_end_.empty() ? 0 : frame_end_.back()) +
+                           kWalHeaderBytes + originals_.back().size());
+    }
+    log->reset();
+    for (const std::string& name : ListDir(dir_)) {
+      if (name.find(".seg") != std::string::npos) {
+        seg_name_ = name;
+      }
+    }
+    ASSERT_FALSE(seg_name_.empty());
+    base_bytes_ = ReadAll(dir_ + "/" + seg_name_);
+    ASSERT_EQ(base_bytes_.size(), frame_end_.back());
+  }
+
+  // Records fully contained in [0, size).
+  size_t FramesBelow(size_t size) const {
+    size_t n = 0;
+    while (n < frame_end_.size() && frame_end_[n] <= size) ++n;
+    return n;
+  }
+
+  // Recovers a scratch dir holding `bytes` as the only segment.
+  void Recover(const std::string& bytes, std::vector<std::string>* records,
+               WalRecovery* recovery) {
+    const std::string scratch = dir_ + ".scratch";
+    RemoveDir(scratch);
+    ASSERT_EQ(mkdir(scratch.c_str(), 0755), 0);
+    WriteAll(scratch + "/" + seg_name_, bytes);
+    auto log = OpenCollecting(scratch, WalOptions{}, records, recovery);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    log->reset();
+    RemoveDir(scratch);
+  }
+
+  std::vector<std::string> originals_;
+  std::vector<size_t> frame_end_;
+  std::string seg_name_;
+  std::string base_bytes_;
+};
+
+TEST_F(WalFuzzTest, TruncationAtEveryByteOffsetRecoversExactPrefix) {
+  BuildBaseLog();
+  for (size_t cut = 0; cut < base_bytes_.size(); ++cut) {
+    std::vector<std::string> recovered;
+    WalRecovery recovery;
+    Recover(base_bytes_.substr(0, cut), &recovered, &recovery);
+    const size_t expect = FramesBelow(cut);
+    ASSERT_EQ(recovered.size(), expect) << "cut at " << cut;
+    for (size_t i = 0; i < expect; ++i) {
+      ASSERT_EQ(recovered[i], originals_[i]) << "cut at " << cut;
+    }
+    // A cut on a frame boundary is indistinguishable from a clean stop;
+    // anything else is a torn tail and must be counted and truncated.
+    const bool on_boundary = cut == 0 || (expect > 0 &&
+                                          frame_end_[expect - 1] == cut);
+    ASSERT_EQ(recovery.torn_tail, on_boundary ? 0u : 1u) << "cut at " << cut;
+  }
+}
+
+TEST_F(WalFuzzTest, BitFlipAtEveryByteNeverAdmitsCorruptOrLosesPriorRecords) {
+  BuildBaseLog();
+  for (size_t b = 0; b < base_bytes_.size(); ++b) {
+    std::string bytes = base_bytes_;
+    bytes[b] = static_cast<char>(bytes[b] ^ (1u << (b % 8)));
+    std::vector<std::string> recovered;
+    WalRecovery recovery;
+    Recover(bytes, &recovered, &recovery);
+    // The frame containing byte b fails its checksum (or stops parsing);
+    // every record BEFORE it must survive, and every admitted record
+    // must be bit-identical to what was appended — a corrupt record is
+    // never surfaced.
+    size_t damaged_frame = 0;
+    while (frame_end_[damaged_frame] <= b) ++damaged_frame;
+    ASSERT_GE(recovered.size(), damaged_frame) << "flip at " << b;
+    ASSERT_LE(recovered.size(), originals_.size()) << "flip at " << b;
+    for (size_t i = 0; i < recovered.size(); ++i) {
+      ASSERT_EQ(recovered[i], originals_[i]) << "flip at " << b;
+    }
+    ASSERT_GE(recovery.torn_tail, 1u) << "flip at " << b;
+  }
+}
+
+#if defined(MBP_FAULT_INJECTION_ENABLED)
+
+// The crash actions, end to end at unit level: die at a named boundary
+// inside Append, then recover the directory the dead process left.
+class WalCrashTest : public WalTest {
+ protected:
+  // Runs `appends` appends with `point` armed to fire on hit
+  // `crash_after` in a forked child; expects exit code 137.
+  void CrashingChild(const char* point, uint64_t crash_after,
+                     size_t appends) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      fault::FaultInjector& injector = fault::FaultInjector::Global();
+      injector.Reset();
+      fault::PointSchedule schedule;
+      schedule.skip_first = crash_after;
+      schedule.max_fires = 1;
+      injector.Arm(point, schedule);
+      std::vector<std::string> none;
+      auto log = OpenCollecting(dir_, WalOptions{}, &none);
+      if (!log.ok()) _exit(3);
+      for (size_t i = 0; i < appends; ++i) {
+        if (!(*log)->Append(PayloadFor(i)).ok()) _exit(4);
+      }
+      _exit(0);  // crash point never fired
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 137);
+  }
+};
+
+TEST_F(WalCrashTest, TornWriteCrashRecoversPriorRecordsAndTruncates) {
+  CrashingChild("wal.append.torn", 3, 10);
+  std::vector<std::string> recovered;
+  WalRecovery recovery;
+  auto log = OpenCollecting(dir_, WalOptions{}, &recovered, &recovery);
+  ASSERT_TRUE(log.ok());
+  // 3 full records landed before the torn 4th; the partial write is
+  // truncated away, never replayed.
+  ASSERT_EQ(recovered.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(recovered[i], PayloadFor(i));
+  EXPECT_EQ(recovery.torn_tail, 1u);
+  EXPECT_GT(recovery.truncated_bytes, 0u);
+}
+
+TEST_F(WalCrashTest, PreFsyncCrashKeepsFullyWrittenRecord) {
+  // kill -9 semantics: the page cache is kernel-owned, so a record fully
+  // handed to write() survives even though fdatasync never ran.
+  CrashingChild("wal.crash.pre_fsync", 5, 10);
+  std::vector<std::string> recovered;
+  WalRecovery recovery;
+  auto log = OpenCollecting(dir_, WalOptions{}, &recovered, &recovery);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(recovered.size(), 6u);  // records 0..5, the 6th mid-append
+  EXPECT_EQ(recovery.torn_tail, 0u);
+}
+
+TEST_F(WalCrashTest, PostFsyncPreAckCrashKeepsDurableRecord) {
+  CrashingChild("wal.crash.post_fsync", 5, 10);
+  std::vector<std::string> recovered;
+  WalRecovery recovery;
+  auto log = OpenCollecting(dir_, WalOptions{}, &recovered, &recovery);
+  ASSERT_TRUE(log.ok());
+  // The record was durable but never acked: recovery keeps it — exactly
+  // the case whose ledger-level dedupe the idempotent retry relies on.
+  ASSERT_EQ(recovered.size(), 6u);
+  EXPECT_EQ(recovery.torn_tail, 0u);
+}
+
+TEST_F(WalCrashTest, CheckpointPreRenameCrashFallsBackToSegments) {
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    fault::FaultInjector& injector = fault::FaultInjector::Global();
+    injector.Reset();
+    injector.Arm("wal.checkpoint.pre_rename", {});
+    std::vector<std::string> none;
+    auto log = OpenCollecting(dir_, WalOptions{}, &none);
+    if (!log.ok()) _exit(3);
+    for (size_t i = 0; i < 4; ++i) {
+      if (!(*log)->Append(PayloadFor(i)).ok()) _exit(4);
+    }
+    (void)(*log)->Checkpoint("state");  // dies before the rename
+    _exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 137);
+
+  std::vector<std::string> recovered;
+  WalRecovery recovery;
+  auto log = OpenCollecting(dir_, WalOptions{}, &recovered, &recovery);
+  ASSERT_TRUE(log.ok());
+  // The half-made checkpoint is invisible (tmp never renamed); every
+  // appended record still replays from the sealed segments.
+  EXPECT_FALSE(recovery.has_checkpoint);
+  ASSERT_EQ(recovered.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(recovered[i], PayloadFor(i));
+}
+
+#endif  // MBP_FAULT_INJECTION_ENABLED
+
+}  // namespace
+}  // namespace mbp::wal

@@ -139,6 +139,12 @@ TEST(NetProtocolFuzzTest, ResponseRoundTripAllShapes) {
           response.stats.model_cache_bytes = rng.NextUint64();
           response.stats.transactions_recorded = rng.NextUint64();
           response.stats.revenue = rng.NextDouble(0.0, 1e9);
+          response.stats.wal_appends = rng.NextUint64();
+          response.stats.wal_fsyncs = rng.NextUint64();
+          response.stats.wal_bytes = rng.NextUint64();
+          response.stats.recovery_records = rng.NextUint64();
+          response.stats.recovery_torn_tail = rng.NextUint64();
+          response.stats.recovery_ms = rng.NextUint64();
           response.stats.fulfillment_latency.count = 5;
           response.stats.fulfillment_latency.sum_micros = 99.25;
           response.stats.fulfillment_latency.buckets[4] = 5;
@@ -205,6 +211,14 @@ TEST(NetProtocolFuzzTest, ResponseRoundTripAllShapes) {
     EXPECT_EQ(decoded.stats.transactions_recorded,
               response.stats.transactions_recorded);
     EXPECT_EQ(decoded.stats.revenue, response.stats.revenue);
+    EXPECT_EQ(decoded.stats.wal_appends, response.stats.wal_appends);
+    EXPECT_EQ(decoded.stats.wal_fsyncs, response.stats.wal_fsyncs);
+    EXPECT_EQ(decoded.stats.wal_bytes, response.stats.wal_bytes);
+    EXPECT_EQ(decoded.stats.recovery_records,
+              response.stats.recovery_records);
+    EXPECT_EQ(decoded.stats.recovery_torn_tail,
+              response.stats.recovery_torn_tail);
+    EXPECT_EQ(decoded.stats.recovery_ms, response.stats.recovery_ms);
     EXPECT_EQ(decoded.stats.fulfillment_latency.count,
               response.stats.fulfillment_latency.count);
     EXPECT_EQ(decoded.stats.fulfillment_latency.buckets,

@@ -1,0 +1,218 @@
+// CatalogJournal (serving/catalog_journal.h, DESIGN.md §5j): journaled
+// publishes rebuild the exact pre-crash catalog on reopen — latest spec
+// per id wins, tombstones survive restarts, a checkpoint compacts the
+// journal to zero segment replay, and an invalid spec is rejected BEFORE
+// it is journaled so replay can never be poisoned.
+
+#include "serving/catalog_journal.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pricing_function.h"
+#include "serving/catalog_registry.h"
+
+namespace mbp::serving {
+namespace {
+
+core::PiecewiseLinearPricing Curve(double scale) {
+  return core::PiecewiseLinearPricing::Create(
+             {{1.0, 10.0 * scale}, {2.0, 18.0 * scale}, {4.0, 30.0 * scale}})
+      .value();
+}
+
+class CatalogJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/journal_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    RemoveDir(dir_);
+    // These tests exercise replay logic, not disk durability.
+    options_.fsync_policy = wal::FsyncPolicy::kNone;
+  }
+
+  void TearDown() override { RemoveDir(dir_); }
+
+  static void RemoveDir(const std::string& dir) {
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) return;
+    while (struct dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      unlink((dir + "/" + name).c_str());
+    }
+    closedir(d);
+    rmdir(dir.c_str());
+  }
+
+  std::unique_ptr<CatalogJournal> Open(CatalogRegistry* registry,
+                                       wal::WalRecovery* recovery = nullptr) {
+    auto journal = CatalogJournal::Open(dir_, options_, registry, recovery);
+    EXPECT_TRUE(journal.ok()) << journal.status().ToString();
+    return journal.ok() ? *std::move(journal) : nullptr;
+  }
+
+  static double PriceAt(const CatalogRegistry& registry,
+                        const std::string& id, double x) {
+    const CatalogRegistry::CurveSlot* slot = registry.Find(id);
+    if (slot == nullptr) return -1.0;
+    auto snapshot = slot->Load();
+    if (snapshot == nullptr) return -1.0;
+    return snapshot->PriceAt(x);
+  }
+
+  std::string dir_;
+  wal::WalOptions options_;
+};
+
+TEST_F(CatalogJournalTest, SpecCodecRoundtripAndTombstone) {
+  const std::vector<core::PricePoint> points = Curve(1.0).points();
+  const std::string bytes = CatalogJournal::EncodeSpec("curve-x", points);
+  std::string id;
+  std::vector<core::PricePoint> decoded;
+  ASSERT_TRUE(CatalogJournal::DecodeSpec(bytes, &id, &decoded));
+  EXPECT_EQ(id, "curve-x");
+  ASSERT_EQ(decoded.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(decoded[i].x, points[i].x);
+    EXPECT_DOUBLE_EQ(decoded[i].price, points[i].price);
+  }
+
+  // A tombstone is an empty point list under the same codec.
+  ASSERT_TRUE(CatalogJournal::DecodeSpec(
+      CatalogJournal::EncodeSpec("curve-x", {}), &id, &decoded));
+  EXPECT_TRUE(decoded.empty());
+
+  // Truncated and empty-id records are rejected.
+  EXPECT_FALSE(CatalogJournal::DecodeSpec(
+      std::string_view(bytes).substr(0, bytes.size() - 3), &id, &decoded));
+  EXPECT_FALSE(
+      CatalogJournal::DecodeSpec(CatalogJournal::EncodeSpec("", points), &id,
+                                 &decoded));
+}
+
+TEST_F(CatalogJournalTest, ReopenRepublishesEveryJournaledListing) {
+  {
+    CatalogRegistry registry;
+    auto journal = Open(&registry);
+    ASSERT_NE(journal, nullptr);
+    ASSERT_TRUE(journal->Publish("curve-a", Curve(1.0)).ok());
+    ASSERT_TRUE(journal->Publish("curve-b", Curve(2.0)).ok());
+    EXPECT_EQ(journal->listings(), 2u);
+    EXPECT_EQ(registry.size(), 2u);
+    // No Checkpoint(): the reopen replays raw segment records.
+  }
+
+  CatalogRegistry rebuilt;
+  wal::WalRecovery recovery;
+  auto journal = Open(&rebuilt, &recovery);
+  ASSERT_NE(journal, nullptr);
+  EXPECT_EQ(journal->listings(), 2u);
+  EXPECT_EQ(recovery.records_replayed, 2u);
+  EXPECT_DOUBLE_EQ(PriceAt(rebuilt, "curve-a", 2.0), 18.0);
+  EXPECT_DOUBLE_EQ(PriceAt(rebuilt, "curve-b", 2.0), 36.0);
+}
+
+TEST_F(CatalogJournalTest, LatestRepublishWinsOnReplay) {
+  {
+    CatalogRegistry registry;
+    auto journal = Open(&registry);
+    ASSERT_NE(journal, nullptr);
+    ASSERT_TRUE(journal->Publish("curve-a", Curve(1.0)).ok());
+    ASSERT_TRUE(journal->Publish("curve-a", Curve(3.0)).ok());
+    EXPECT_EQ(journal->listings(), 1u);
+  }
+
+  CatalogRegistry rebuilt;
+  auto journal = Open(&rebuilt);
+  ASSERT_NE(journal, nullptr);
+  EXPECT_EQ(journal->listings(), 1u);
+  EXPECT_DOUBLE_EQ(PriceAt(rebuilt, "curve-a", 2.0), 54.0)
+      << "replay must converge to the LAST published spec";
+}
+
+TEST_F(CatalogJournalTest, WithdrawTombstoneSurvivesRestart) {
+  {
+    CatalogRegistry registry;
+    auto journal = Open(&registry);
+    ASSERT_NE(journal, nullptr);
+    ASSERT_TRUE(journal->Publish("curve-a", Curve(1.0)).ok());
+    ASSERT_TRUE(journal->Publish("curve-b", Curve(2.0)).ok());
+    ASSERT_TRUE(journal->Withdraw("curve-a").ok());
+    EXPECT_EQ(journal->listings(), 1u);
+    EXPECT_EQ(journal->Withdraw("never-published").code(),
+              StatusCode::kNotFound);
+  }
+
+  CatalogRegistry rebuilt;
+  auto journal = Open(&rebuilt);
+  ASSERT_NE(journal, nullptr);
+  EXPECT_EQ(journal->listings(), 1u);
+  EXPECT_DOUBLE_EQ(PriceAt(rebuilt, "curve-a", 2.0), -1.0)
+      << "a withdrawn listing must stay withdrawn across the restart";
+  EXPECT_DOUBLE_EQ(PriceAt(rebuilt, "curve-b", 2.0), 36.0);
+}
+
+TEST_F(CatalogJournalTest, CheckpointCompactsToZeroSegmentReplay) {
+  {
+    CatalogRegistry registry;
+    auto journal = Open(&registry);
+    ASSERT_NE(journal, nullptr);
+    ASSERT_TRUE(journal->Publish("curve-a", Curve(1.0)).ok());
+    ASSERT_TRUE(journal->Publish("curve-a", Curve(3.0)).ok());
+    ASSERT_TRUE(journal->Publish("curve-b", Curve(2.0)).ok());
+    ASSERT_TRUE(journal->Withdraw("curve-b").ok());
+    ASSERT_TRUE(journal->Checkpoint().ok());
+    // One more publish after the checkpoint replays on top of it.
+    ASSERT_TRUE(journal->Publish("curve-c", Curve(1.0)).ok());
+  }
+
+  CatalogRegistry rebuilt;
+  wal::WalRecovery recovery;
+  auto journal = Open(&rebuilt, &recovery);
+  ASSERT_NE(journal, nullptr);
+  EXPECT_TRUE(recovery.has_checkpoint);
+  EXPECT_EQ(recovery.records_replayed, 1u)
+      << "only the post-checkpoint publish replays from segments";
+  EXPECT_EQ(journal->listings(), 2u);
+  EXPECT_DOUBLE_EQ(PriceAt(rebuilt, "curve-a", 2.0), 54.0);
+  EXPECT_DOUBLE_EQ(PriceAt(rebuilt, "curve-b", 2.0), -1.0)
+      << "withdrawn listings are absent from the checkpoint";
+  EXPECT_DOUBLE_EQ(PriceAt(rebuilt, "curve-c", 2.0), 18.0);
+}
+
+TEST_F(CatalogJournalTest, InvalidSpecIsRejectedBeforeJournaling) {
+  {
+    CatalogRegistry registry;
+    auto journal = Open(&registry);
+    ASSERT_NE(journal, nullptr);
+    ASSERT_TRUE(journal->Publish("curve-a", Curve(1.0)).ok());
+    // Subadditivity violation (arbitrage): the registry's compile step
+    // rejects it — and because validation runs BEFORE the append, the
+    // journal must not have recorded it either.
+    auto bad = core::PiecewiseLinearPricing::Create(
+        {{1.0, 1.0}, {2.0, 100.0}, {4.0, 101.0}});
+    if (bad.ok()) {
+      EXPECT_FALSE(journal->Publish("curve-bad", *bad).ok());
+    }
+    EXPECT_FALSE(journal->Publish("", Curve(1.0)).ok());
+    EXPECT_EQ(journal->listings(), 1u);
+  }
+
+  // The reopen must replay cleanly: nothing invalid reached the log.
+  CatalogRegistry rebuilt;
+  wal::WalRecovery recovery;
+  auto journal = Open(&rebuilt, &recovery);
+  ASSERT_NE(journal, nullptr);
+  EXPECT_EQ(journal->listings(), 1u);
+  EXPECT_EQ(recovery.records_replayed, 1u);
+}
+
+}  // namespace
+}  // namespace mbp::serving

@@ -1,0 +1,277 @@
+// Durable sale ledger (DESIGN.md §5j): the FulfillmentEngine's
+// crash-safety contract at the unit level — a restart rebuilds the
+// ledger from the WAL, a retried BUY after the restart re-delivers the
+// recorded sale bit-identically without charging twice, a clean
+// Shutdown() checkpoints so the next open replays zero segment records,
+// and a sale whose curve vanished from the catalog keeps its revenue but
+// drops its ledger entry. The process-level kill-9 version of these
+// assertions lives in tests/net/crash_recovery_test.cc.
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/wal.h"
+#include "core/pricing_function.h"
+#include "serving/catalog_registry.h"
+#include "serving/fulfillment.h"
+
+namespace mbp::serving {
+namespace {
+
+core::PiecewiseLinearPricing SmallCurve(double scale = 1.0) {
+  return core::PiecewiseLinearPricing::Create(
+             {{1.0, 10.0 * scale}, {2.0, 18.0 * scale}, {4.0, 30.0 * scale}})
+      .value();
+}
+
+class FulfillmentDurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ledger_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    RemoveDir(dir_);
+    ASSERT_TRUE(registry_.Publish("curve-a", SmallCurve()).ok());
+    ASSERT_TRUE(registry_.Publish("curve-b", SmallCurve(2.0)).ok());
+    // kill -9 durability, not power-loss durability, is what these tests
+    // exercise — skip the fsyncs so the suite stays fast.
+    wal_options_.fsync_policy = wal::FsyncPolicy::kNone;
+  }
+
+  void TearDown() override { RemoveDir(dir_); }
+
+  static void RemoveDir(const std::string& dir) {
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) return;
+    while (struct dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      unlink((dir + "/" + name).c_str());
+    }
+    closedir(d);
+    rmdir(dir.c_str());
+  }
+
+  std::unique_ptr<FulfillmentEngine> OpenEngine(
+      CatalogRegistry* registry = nullptr) {
+    auto engine = std::make_unique<FulfillmentEngine>(
+        registry != nullptr ? registry : &registry_);
+    const Status opened = engine->OpenDurableLedger(dir_, wal_options_);
+    EXPECT_TRUE(opened.ok()) << opened.ToString();
+    return engine;
+  }
+
+  std::string dir_;
+  CatalogRegistry registry_;
+  wal::WalOptions wal_options_;
+};
+
+TEST_F(FulfillmentDurabilityTest, SaleRecordCodecRoundtrip) {
+  SaleRecord record;
+  record.txn_id = 0x0123456789abcdefULL;
+  record.delta = 0.375;
+  record.price = 18.25;
+  record.seed_commitment = 0xfeedfacecafebeefULL;
+  const std::string bytes =
+      FulfillmentEngine::EncodeSaleRecord(record, "curve-a");
+
+  SaleRecord decoded;
+  std::string curve_id;
+  ASSERT_TRUE(FulfillmentEngine::DecodeSaleRecord(bytes, &decoded, &curve_id));
+  EXPECT_EQ(decoded.txn_id, record.txn_id);
+  EXPECT_DOUBLE_EQ(decoded.delta, record.delta);
+  EXPECT_DOUBLE_EQ(decoded.price, record.price);
+  EXPECT_EQ(decoded.seed_commitment, record.seed_commitment);
+  EXPECT_EQ(curve_id, "curve-a");
+
+  // Truncation at any scalar boundary and a zero txn id are rejected.
+  for (size_t cut : {size_t{0}, size_t{7}, size_t{31}}) {
+    EXPECT_FALSE(FulfillmentEngine::DecodeSaleRecord(
+        std::string_view(bytes).substr(0, cut), &decoded, &curve_id))
+        << "cut=" << cut;
+  }
+  SaleRecord zero = record;
+  zero.txn_id = 0;
+  EXPECT_FALSE(FulfillmentEngine::DecodeSaleRecord(
+      FulfillmentEngine::EncodeSaleRecord(zero, "curve-a"), &decoded,
+      &curve_id));
+}
+
+TEST_F(FulfillmentDurabilityTest, NonDurableEngineReportsZeroWalStats) {
+  FulfillmentEngine engine(&registry_);
+  EXPECT_FALSE(engine.durable());
+  ASSERT_TRUE(engine.Buy("curve-a", 0.5, 1).ok());
+  const FulfillmentStats stats = engine.Stats();
+  EXPECT_EQ(stats.wal_appends, 0u);
+  EXPECT_EQ(stats.wal_bytes, 0u);
+  EXPECT_EQ(stats.recovery_records, 0u);
+  EXPECT_TRUE(engine.Shutdown().ok()) << "Shutdown is a no-op without a WAL";
+}
+
+TEST_F(FulfillmentDurabilityTest, RestartRebuildsLedgerAndRedeliversExactly) {
+  std::vector<double> sold_weights;
+  double sold_price = 0.0;
+  {
+    auto engine = OpenEngine();
+    EXPECT_TRUE(engine->durable());
+    auto sale = engine->Buy("curve-a", 0.5, 7);
+    ASSERT_TRUE(sale.ok()) << sale.status();
+    ASSERT_TRUE(engine->Buy("curve-b", 0.25, 8).ok());
+    sold_weights = sale->weights;
+    sold_price = sale->record.price;
+    const FulfillmentStats stats = engine->Stats();
+    EXPECT_EQ(stats.wal_appends, 2u);
+    EXPECT_GT(stats.wal_bytes, 0u);
+    // No Shutdown(): simulates a crash after the appends reached the log.
+  }
+
+  auto engine = OpenEngine();
+  const FulfillmentStats stats = engine->Stats();
+  EXPECT_EQ(stats.recovery_records, 2u);
+  EXPECT_EQ(stats.transactions_recorded, 2u);
+  EXPECT_EQ(stats.recovery_torn_tail, 0u);
+  EXPECT_GE(stats.recovery_ms, 1u) << "recovery_ms rounds up, never 0 after "
+                                      "a real recovery";
+
+  // A retried BUY with the recorded txn id is a replay: bit-identical
+  // bytes, nothing charged again.
+  auto retry = engine->Buy("curve-a", 0.5, 7);
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_TRUE(retry->replayed);
+  ASSERT_EQ(retry->weights.size(), sold_weights.size());
+  EXPECT_EQ(0, std::memcmp(retry->weights.data(), sold_weights.data(),
+                           sold_weights.size() * sizeof(double)))
+      << "re-delivery after restart must be bit-identical";
+  EXPECT_DOUBLE_EQ(retry->record.price, sold_price);
+  EXPECT_EQ(engine->Stats().buys_ok, 0u)
+      << "a replayed retry is not a new sale";
+  EXPECT_TRUE(engine->ReplaySale(8).ok());
+}
+
+TEST_F(FulfillmentDurabilityTest, RestartChargesEachRecordedSaleOnce) {
+  double revenue_before = 0.0;
+  {
+    auto engine = OpenEngine();
+    for (uint64_t txn = 1; txn <= 5; ++txn) {
+      ASSERT_TRUE(engine->Buy("curve-a", 0.5, txn).ok());
+    }
+    // A retried txn appends nothing — the ledger answers it.
+    ASSERT_TRUE(engine->Buy("curve-a", 0.5, 3).ok());
+    EXPECT_EQ(engine->Stats().wal_appends, 5u);
+    revenue_before = engine->Stats().revenue;
+  }
+
+  auto engine = OpenEngine();
+  EXPECT_DOUBLE_EQ(engine->Stats().revenue, revenue_before)
+      << "revenue must equal the sum over DISTINCT recorded sales";
+  EXPECT_EQ(engine->Stats().transactions_recorded, 5u);
+}
+
+TEST_F(FulfillmentDurabilityTest, CleanShutdownCheckpointSkipsSegmentReplay) {
+  double revenue_before = 0.0;
+  {
+    auto engine = OpenEngine();
+    ASSERT_TRUE(engine->Buy("curve-a", 0.5, 11).ok());
+    ASSERT_TRUE(engine->Buy("curve-b", 0.5, 12).ok());
+    revenue_before = engine->Stats().revenue;
+    ASSERT_TRUE(engine->Shutdown().ok());
+  }
+
+  auto engine = OpenEngine();
+  const FulfillmentStats stats = engine->Stats();
+  EXPECT_EQ(stats.recovery_records, 0u)
+      << "a clean shutdown leaves nothing to replay from segments";
+  EXPECT_EQ(stats.transactions_recorded, 2u)
+      << "the checkpoint still carries the ledger";
+  EXPECT_DOUBLE_EQ(stats.revenue, revenue_before);
+  EXPECT_TRUE(engine->ReplaySale(11).ok());
+  EXPECT_TRUE(engine->ReplaySale(12).ok());
+}
+
+TEST_F(FulfillmentDurabilityTest, SalesAfterCheckpointReplayOnTopOfIt) {
+  double revenue_before = 0.0;
+  {
+    auto engine = OpenEngine();
+    ASSERT_TRUE(engine->Buy("curve-a", 0.5, 21).ok());
+    ASSERT_TRUE(engine->CheckpointLedger().ok());
+    ASSERT_TRUE(engine->Buy("curve-a", 0.5, 22).ok());
+    revenue_before = engine->Stats().revenue;
+    // Crash (no Shutdown): 21 lives in the checkpoint, 22 in a segment.
+  }
+
+  auto engine = OpenEngine();
+  const FulfillmentStats stats = engine->Stats();
+  EXPECT_EQ(stats.recovery_records, 1u) << "only the post-checkpoint sale "
+                                           "replays from segments";
+  EXPECT_EQ(stats.transactions_recorded, 2u);
+  EXPECT_DOUBLE_EQ(stats.revenue, revenue_before)
+      << "checkpoint revenue + per-record charges must not double-count";
+  EXPECT_TRUE(engine->ReplaySale(21).ok());
+  EXPECT_TRUE(engine->ReplaySale(22).ok());
+}
+
+TEST_F(FulfillmentDurabilityTest, OrphanedSaleKeepsRevenueDropsLedgerEntry) {
+  double revenue_before = 0.0;
+  {
+    auto engine = OpenEngine();
+    ASSERT_TRUE(engine->Buy("curve-a", 0.5, 31).ok());
+    ASSERT_TRUE(engine->Buy("curve-b", 0.5, 32).ok());
+    revenue_before = engine->Stats().revenue;
+  }
+
+  // The restarted process only republished curve-b: curve-a's sale is an
+  // orphan. The money was really collected — revenue keeps it — but the
+  // sale can no longer be replayed (same contract as FIFO expiry).
+  CatalogRegistry partial;
+  ASSERT_TRUE(partial.Publish("curve-b", SmallCurve(2.0)).ok());
+  auto engine = OpenEngine(&partial);
+  const FulfillmentStats stats = engine->Stats();
+  EXPECT_DOUBLE_EQ(stats.revenue, revenue_before);
+  EXPECT_EQ(stats.transactions_recorded, 1u);
+  EXPECT_EQ(engine->ReplaySale(31).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(engine->ReplaySale(32).ok());
+}
+
+TEST_F(FulfillmentDurabilityTest, FifoCapHoldsAcrossRestartRevenueDoesNot) {
+  FulfillmentOptions options;
+  options.max_transactions = 3;
+  double revenue_before = 0.0;
+  {
+    FulfillmentEngine engine(&registry_, options);
+    ASSERT_TRUE(engine.OpenDurableLedger(dir_, wal_options_).ok());
+    for (uint64_t txn = 1; txn <= 6; ++txn) {
+      ASSERT_TRUE(engine.Buy("curve-a", 0.5, txn).ok());
+    }
+    revenue_before = engine.Stats().revenue;
+    EXPECT_EQ(engine.Stats().transactions_recorded, 3u);
+  }
+
+  FulfillmentEngine engine(&registry_, options);
+  ASSERT_TRUE(engine.OpenDurableLedger(dir_, wal_options_).ok());
+  EXPECT_EQ(engine.Stats().transactions_recorded, 3u)
+      << "replay re-applies the FIFO cap";
+  EXPECT_DOUBLE_EQ(engine.Stats().revenue, revenue_before)
+      << "revenue covers evicted sales too — money is never un-collected";
+  EXPECT_EQ(engine.ReplaySale(1).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(engine.ReplaySale(6).ok());
+}
+
+TEST_F(FulfillmentDurabilityTest, FsyncPolicyEveryCountsOnePerAppend) {
+  wal_options_.fsync_policy = wal::FsyncPolicy::kEveryRecord;
+  auto engine = OpenEngine();
+  for (uint64_t txn = 1; txn <= 4; ++txn) {
+    ASSERT_TRUE(engine->Buy("curve-a", 0.5, txn).ok());
+  }
+  const FulfillmentStats stats = engine->Stats();
+  EXPECT_EQ(stats.wal_appends, 4u);
+  EXPECT_EQ(stats.wal_fsyncs, 4u);
+}
+
+}  // namespace
+}  // namespace mbp::serving

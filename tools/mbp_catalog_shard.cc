@@ -38,27 +38,46 @@
 //   --dataset-seed=N fulfillment training-set seed (default 0xD474)
 //   --model-dim=N    sold model dimensionality (default 16)
 //   --model-cache-bytes=N  trained-model LRU budget (default 64 MiB)
+//   --wal-dir=PATH   crash-safe durability (DESIGN.md §5j): journal
+//                    catalog publishes under PATH/catalog and the sale
+//                    ledger under PATH/ledger. On restart the catalog
+//                    and ledger rebuild from the logs — acked sales
+//                    survive kill -9, retried BUYs re-deliver recorded
+//                    sales charged once
+//   --wal-fsync=P    fsync policy: none | batch (default) | every
+//   --crash-point=N  arm the named crash fault point (e.g.
+//                    wal.crash.post_fsync): the process _exit(137)s when
+//                    it fires — the chaos harness's kill-9-at-a-named-
+//                    boundary hook. Armed AFTER startup so recovery and
+//                    catalog journaling never self-crash
+//   --crash-after=K  let the crash point's first K hits pass (default 0)
 //
 // Output: exactly one line "READY port=<p> curves=<n> bytes=<b>\n" on
-// stdout once serving (plus " shm=<path>" when --shm is set); the process
-// then blocks until stdin closes or a signal arrives, shuts down
-// gracefully, and exits 0.
+// stdout once serving (plus " shm=<path>" when --shm is set, plus
+// " wal=<dir> recovered=<records> torn=<n> recovery_ms=<n>" when
+// --wal-dir is set); the process then blocks until stdin closes or a
+// signal arrives, shuts down gracefully — flushing the WAL and writing
+// clean checkpoints, reported on a "DRAIN ..." line — and exits 0.
 
 #include <poll.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/fault_injection.h"
+#include "common/wal.h"
 #include "net/cluster.h"
 #include "net/server.h"
+#include "serving/catalog_journal.h"
 #include "serving/fulfillment.h"
 #include "serving/price_query_engine.h"
 #include "serving/synthetic_catalog.h"
@@ -130,7 +149,7 @@ int main(int argc, char** argv) {
   // from stable "shard-<i>" labels, NOT addresses — the same ring every
   // fleet client builds, so ownership and routing agree even though every
   // process binds an ephemeral port.
-  Status published = Status::OK();
+  std::function<bool(size_t)> owns;
   if (ring_size > 0) {
     if (ring_index >= ring_size) {
       std::fprintf(stderr, "--ring-index must be < --ring-size\n");
@@ -140,14 +159,59 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < ring_size; ++i) {
       labels.push_back("shard-" + std::to_string(i));
     }
-    const net::HashRing ring(labels, vnodes);
-    published = serving::PublishSyntheticCatalog(
-        spec, &registry, [&](size_t index) {
-          return ring.Owns(serving::SyntheticCurveId(index), ring_index,
-                           replicas);
-        });
+    owns = [ring = net::HashRing(labels, vnodes), ring_index,
+            replicas](size_t index) {
+      return ring.Owns(serving::SyntheticCurveId(index), ring_index,
+                       replicas);
+    };
+  }
+
+  // Durability (DESIGN.md §5j): with --wal-dir the catalog publishes go
+  // through a journal and the sale ledger through a WAL, both rooted
+  // under the directory. The journal opens FIRST — sale records resolve
+  // their curve ids against the recovered catalog.
+  const std::string wal_dir = bench::FlagString(argc, argv, "wal-dir", "");
+  wal::WalOptions wal_options;
+  const std::string fsync_name =
+      bench::FlagString(argc, argv, "wal-fsync", "batch");
+  if (!wal::ParseFsyncPolicy(fsync_name, &wal_options.fsync_policy)) {
+    std::fprintf(stderr, "--wal-fsync must be none|batch|every (got %s)\n",
+                 fsync_name.c_str());
+    return 1;
+  }
+
+  std::unique_ptr<serving::CatalogJournal> journal;
+  Status published = Status::OK();
+  if (!wal_dir.empty()) {
+    // The journal and ledger each mkdir their own leaf; the shared root
+    // is ours to create.
+    if (mkdir(wal_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "mkdir %s: %s\n", wal_dir.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    auto opened = serving::CatalogJournal::Open(wal_dir + "/catalog",
+                                                wal_options, &registry);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "catalog journal open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    journal = std::move(opened).value();
+    if (journal->listings() == 0) {
+      // Fresh journal: compile the synthetic share and journal every
+      // publish. A restart rebuilds the catalog from the journal instead
+      // of re-deriving it from whatever flags the new process was given.
+      for (size_t i = 0; i < spec.num_curves && published.ok(); ++i) {
+        if (owns != nullptr && !owns(i)) continue;
+        published = journal
+                        ->Publish(serving::SyntheticCurveId(i),
+                                  serving::MakeSyntheticCurve(spec, i))
+                        .status();
+      }
+    }
   } else {
-    published = serving::PublishSyntheticCatalog(spec, &registry);
+    published = serving::PublishSyntheticCatalog(spec, &registry, owns);
   }
   if (!published.ok()) {
     std::fprintf(stderr, "catalog publish failed: %s\n",
@@ -173,6 +237,31 @@ int main(int argc, char** argv) {
         flag("model-cache-bytes", 64.0 * 1024 * 1024));
     fulfillment =
         std::make_unique<serving::FulfillmentEngine>(&registry, fopts);
+    if (!wal_dir.empty()) {
+      // Charge-durable-then-deliver from here on: every first-delivery
+      // BUY appends its sale record (fsync per --wal-fsync) before the
+      // response leaves the process.
+      const Status opened =
+          fulfillment->OpenDurableLedger(wal_dir + "/ledger", wal_options);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "sale ledger open failed: %s\n",
+                     opened.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  // Arm the kill-9-at-a-named-boundary hook LAST, so startup recovery
+  // and catalog journaling cannot trip it — the harness aims it at the
+  // serving-time money path (wal.append.torn, wal.crash.pre_fsync,
+  // wal.crash.post_fsync, wal.checkpoint.pre_rename).
+  const std::string crash_point =
+      bench::FlagString(argc, argv, "crash-point", "");
+  if (!crash_point.empty()) {
+    fault::PointSchedule crash;
+    crash.skip_first = static_cast<uint64_t>(flag("crash-after", 0));
+    crash.max_fires = 1;
+    fault::FaultInjector::Global().Arm(crash_point, crash);
   }
 
   net::ServerOptions server_options;
@@ -218,14 +307,34 @@ int main(int argc, char** argv) {
   sigaction(SIGINT, &sa, nullptr);
   signal(SIGPIPE, SIG_IGN);
 
-  if (shm_path.empty()) {
-    std::printf("READY port=%u curves=%zu bytes=%zu\n", (*server)->port(),
-                registry.resident_listings(), registry.resident_bytes());
-  } else {
-    std::printf("READY port=%u curves=%zu bytes=%zu shm=%s\n",
-                (*server)->port(), registry.resident_listings(),
-                registry.resident_bytes(), shm_path.c_str());
+  std::string ready_suffix;
+  if (!shm_path.empty()) ready_suffix += " shm=" + shm_path;
+  if (!wal_dir.empty()) {
+    // What recovery found, summed over the catalog journal and the sale
+    // ledger: after a clean (checkpointed) shutdown both replay zero
+    // segment records and torn stays 0 — the observable the chaos
+    // harness and the restart quick-start key on.
+    uint64_t recovered = journal->recovery().records_replayed;
+    uint64_t torn = journal->recovery().torn_tail;
+    uint64_t recovery_ms = (journal->recovery().recovery_micros + 999) / 1000;
+    if (fulfillment != nullptr) {
+      const serving::FulfillmentStats fs = fulfillment->Stats();
+      recovered += fs.recovery_records;
+      torn += fs.recovery_torn_tail;
+      recovery_ms += fs.recovery_ms;
+    }
+    char wal_info[160];
+    std::snprintf(wal_info, sizeof(wal_info),
+                  " wal=%s recovered=%llu torn=%llu recovery_ms=%llu",
+                  wal_dir.c_str(),
+                  static_cast<unsigned long long>(recovered),
+                  static_cast<unsigned long long>(torn),
+                  static_cast<unsigned long long>(recovery_ms));
+    ready_suffix += wal_info;
   }
+  std::printf("READY port=%u curves=%zu bytes=%zu%s\n", (*server)->port(),
+              registry.resident_listings(), registry.resident_bytes(),
+              ready_suffix.c_str());
   std::fflush(stdout);
 
   // Park until the launcher closes our stdin or a signal lands.
@@ -240,5 +349,42 @@ int main(int argc, char** argv) {
     }
   }
   (*server)->Shutdown();
+  if (!wal_dir.empty()) {
+    // Graceful drain: flush the WAL and write clean checkpoints, so the
+    // next start recovers from the checkpoints alone (recovered=0 on its
+    // READY line) instead of replaying segments.
+    bool clean = true;
+    uint64_t sales = 0;
+    uint64_t wal_appends = 0;
+    uint64_t wal_fsyncs = 0;
+    double revenue = 0.0;
+    if (fulfillment != nullptr) {
+      const Status drained = fulfillment->Shutdown();
+      if (!drained.ok()) {
+        clean = false;
+        std::fprintf(stderr, "ledger checkpoint failed: %s\n",
+                     drained.ToString().c_str());
+      }
+      const serving::FulfillmentStats fs = fulfillment->Stats();
+      sales = fs.transactions_recorded;
+      wal_appends = fs.wal_appends;
+      wal_fsyncs = fs.wal_fsyncs;
+      revenue = fs.revenue;
+    }
+    const Status catalog_drained = journal->Checkpoint();
+    if (!catalog_drained.ok()) {
+      clean = false;
+      std::fprintf(stderr, "catalog checkpoint failed: %s\n",
+                   catalog_drained.ToString().c_str());
+    }
+    std::printf(
+        "DRAIN sales=%llu revenue=%.17g wal_appends=%llu wal_fsyncs=%llu "
+        "checkpoint=%s\n",
+        static_cast<unsigned long long>(sales), revenue,
+        static_cast<unsigned long long>(wal_appends),
+        static_cast<unsigned long long>(wal_fsyncs),
+        clean ? "clean" : "dirty");
+    std::fflush(stdout);
+  }
   return 0;
 }
